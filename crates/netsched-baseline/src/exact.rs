@@ -1,0 +1,239 @@
+//! Exact optimum via branch-and-bound, for small instances.
+//!
+//! The throughput-maximization problem is NP-hard even for unit heights on
+//! multiple tree networks, so an exact solver is only practical for small
+//! universes; the experiment harness uses it to compute the true optimum on
+//! small instances so that *empirical* approximation ratios can be reported
+//! next to the paper's worst-case guarantees.
+
+use netsched_graph::{DemandInstanceUniverse, InstanceId};
+
+/// Result of the exact solver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactResult {
+    /// An optimal selection of demand instances.
+    pub selected: Vec<InstanceId>,
+    /// The optimal profit.
+    pub profit: f64,
+    /// Number of branch-and-bound nodes explored.
+    pub nodes: u64,
+    /// `true` if the search completed; `false` if the node budget was
+    /// exhausted (the result is then only a lower bound).
+    pub complete: bool,
+}
+
+/// Computes the optimal profit by branch-and-bound over the demand
+/// instances, with a node budget to keep worst cases in check.
+///
+/// Instances are ordered by decreasing profit; at each node the solver
+/// branches on including/excluding the next instance and prunes with the
+/// "remaining profit" bound (the sum of profits of not-yet-decided demands,
+/// counted once per demand).
+pub fn branch_and_bound(universe: &DemandInstanceUniverse, node_budget: u64) -> ExactResult {
+    // Order instances by decreasing profit (then id) so good solutions are
+    // found early.
+    let mut order: Vec<InstanceId> = universe.instance_ids().collect();
+    order.sort_by(|&a, &b| {
+        universe
+            .profit(b)
+            .partial_cmp(&universe.profit(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+
+    // remaining_demand_profit[i] = sum over demands that still have an
+    // undecided instance at position ≥ i of their profit (each demand
+    // counted once) — an upper bound on what positions ≥ i can add.
+    let n = order.len();
+    let mut remaining = vec![0.0; n + 1];
+    {
+        let mut seen = vec![false; universe.num_demands()];
+        for i in (0..n).rev() {
+            let inst = universe.instance(order[i]);
+            remaining[i] = remaining[i + 1];
+            if !seen[inst.demand.index()] {
+                seen[inst.demand.index()] = true;
+                remaining[i] += inst.profit;
+            }
+        }
+    }
+
+    struct Search<'a> {
+        universe: &'a DemandInstanceUniverse,
+        order: &'a [InstanceId],
+        remaining: &'a [f64],
+        best: Vec<InstanceId>,
+        best_profit: f64,
+        nodes: u64,
+        budget: u64,
+        complete: bool,
+    }
+
+    impl Search<'_> {
+        fn dfs(&mut self, pos: usize, current: &mut Vec<InstanceId>, profit: f64) {
+            self.nodes += 1;
+            if self.nodes > self.budget {
+                self.complete = false;
+                return;
+            }
+            if profit > self.best_profit {
+                self.best_profit = profit;
+                self.best = current.clone();
+            }
+            if pos >= self.order.len() {
+                return;
+            }
+            // Prune: even taking everything still undecided cannot beat the
+            // incumbent.
+            if profit + self.remaining[pos] <= self.best_profit + 1e-12 {
+                return;
+            }
+            let d = self.order[pos];
+            // Branch 1: include (if feasible).
+            if self.universe.can_add(current, d) {
+                current.push(d);
+                self.dfs(pos + 1, current, profit + self.universe.profit(d));
+                current.pop();
+            }
+            // Branch 2: exclude.
+            self.dfs(pos + 1, current, profit);
+        }
+    }
+
+    let mut search = Search {
+        universe,
+        order: &order,
+        remaining: &remaining,
+        best: Vec::new(),
+        best_profit: 0.0,
+        nodes: 0,
+        budget: node_budget,
+        complete: true,
+    };
+    let mut current = Vec::new();
+    search.dfs(0, &mut current, 0.0);
+
+    let mut selected = search.best;
+    selected.sort_unstable();
+    ExactResult {
+        profit: search.best_profit,
+        selected,
+        nodes: search.nodes,
+        complete: search.complete,
+    }
+}
+
+/// Convenience wrapper with a default node budget suitable for the small
+/// instances used in experiments (up to a few dozen demand instances).
+pub fn exact_optimum(universe: &DemandInstanceUniverse) -> ExactResult {
+    branch_and_bound(universe, 20_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsched_graph::fixtures::{figure1_line_problem, figure6_problem, two_tree_problem};
+    use netsched_graph::{LineProblem, NetworkId, TreeProblem, VertexId};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn figure1_optimum_is_two() {
+        let u = figure1_line_problem().universe();
+        let res = exact_optimum(&u);
+        assert!(res.complete);
+        assert!((res.profit - 2.0).abs() < 1e-9);
+        assert!(u.is_feasible(&res.selected));
+    }
+
+    #[test]
+    fn figure6_optimum_is_five() {
+        // ⟨4,13⟩ (3.0) and ⟨2,3⟩ (2.0) are compatible; ⟨12,13⟩ conflicts
+        // with ⟨4,13⟩.
+        let u = figure6_problem().universe();
+        let res = exact_optimum(&u);
+        assert!(res.complete);
+        assert!((res.profit - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_tree_optimum() {
+        // Analysed in the core crate's tests: the optimum is 5.5
+        // (demand 0 on tree 0 and demand 2 on tree 1).
+        let u = two_tree_problem().universe();
+        let res = exact_optimum(&u);
+        assert!(res.complete);
+        assert!((res.profit - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_dominates_greedy_and_respects_dual_bound() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..3 {
+            let n = 12;
+            let mut p = TreeProblem::new(n);
+            let mut nets = Vec::new();
+            for _ in 0..2 {
+                let edges = (1..n)
+                    .map(|i| (VertexId::new(rng.gen_range(0..i)), VertexId::new(i)))
+                    .collect();
+                nets.push(p.add_network(edges).unwrap());
+            }
+            for _ in 0..8 {
+                let u = rng.gen_range(0..n);
+                let mut v = rng.gen_range(0..n);
+                while v == u {
+                    v = rng.gen_range(0..n);
+                }
+                p.add_unit_demand(
+                    VertexId::new(u),
+                    VertexId::new(v),
+                    rng.gen_range(1.0..10.0),
+                    nets.clone(),
+                )
+                .unwrap();
+            }
+            let u = p.universe();
+            let exact = exact_optimum(&u);
+            assert!(exact.complete);
+            let greedy = crate::greedy::best_greedy(&u);
+            assert!(exact.profit + 1e-9 >= greedy.profit);
+            // The distributed algorithm's dual certificate upper-bounds the
+            // true optimum.
+            let sol = netsched_core::solve_unit_tree(
+                &p,
+                &netsched_core::AlgorithmConfig::deterministic(0.1),
+            );
+            assert!(sol.diagnostics.optimum_upper_bound + 1e-6 >= exact.profit);
+            // And the exact optimum dominates the approximate solution.
+            assert!(exact.profit + 1e-9 >= sol.profit);
+            // Empirical ratio within the proven worst case.
+            if sol.profit > 0.0 {
+                assert!(exact.profit / sol.profit <= 7.0 / 0.9 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        // A dense instance with a tiny node budget cannot complete.
+        let mut p = LineProblem::new(12, 1);
+        let acc = vec![NetworkId::new(0)];
+        for _ in 0..10 {
+            p.add_demand(0, 11, 3, 1.0, 1.0, acc.clone()).unwrap();
+        }
+        let u = p.universe();
+        let res = branch_and_bound(&u, 50);
+        assert!(!res.complete);
+        // Even an incomplete run returns a feasible selection.
+        assert!(u.is_feasible(&res.selected));
+    }
+
+    #[test]
+    fn arbitrary_heights_respected() {
+        let u = figure1_line_problem().universe();
+        let res = exact_optimum(&u);
+        // The optimum keeps C plus one of A or B: profit 2.
+        assert_eq!(res.selected.len(), 2);
+    }
+}

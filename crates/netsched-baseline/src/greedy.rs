@@ -1,0 +1,137 @@
+//! Simple greedy baselines.
+//!
+//! These are not part of the paper; they serve as sanity baselines in the
+//! experiment harness (a reasonable practitioner's first attempt) and as
+//! differential-testing oracles for feasibility.
+
+use netsched_core::Solution;
+use netsched_graph::{DemandInstanceUniverse, InstanceId};
+
+/// Greedy order used by [`greedy_schedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GreedyOrder {
+    /// Highest profit first.
+    Profit,
+    /// Highest profit density (profit / path length) first.
+    ProfitPerLength,
+    /// Shortest path first (ties by profit).
+    ShortestFirst,
+}
+
+/// Greedily adds demand instances in the chosen order, keeping every
+/// instance that preserves feasibility. Returns a [`Solution`] with empty
+/// distributed-run diagnostics (this is a centralized heuristic).
+pub fn greedy_schedule(universe: &DemandInstanceUniverse, order: GreedyOrder) -> Solution {
+    let mut ids: Vec<InstanceId> = universe.instance_ids().collect();
+    match order {
+        GreedyOrder::Profit => ids.sort_by(|&a, &b| {
+            universe
+                .profit(b)
+                .partial_cmp(&universe.profit(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        }),
+        GreedyOrder::ProfitPerLength => ids.sort_by(|&a, &b| {
+            let da = universe.profit(a) / universe.instance(a).len().max(1) as f64;
+            let db = universe.profit(b) / universe.instance(b).len().max(1) as f64;
+            db.partial_cmp(&da)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        }),
+        GreedyOrder::ShortestFirst => ids.sort_by(|&a, &b| {
+            universe
+                .instance(a)
+                .len()
+                .cmp(&universe.instance(b).len())
+                .then(
+                    universe
+                        .profit(b)
+                        .partial_cmp(&universe.profit(a))
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+                .then(a.cmp(&b))
+        }),
+    }
+
+    let mut selected: Vec<InstanceId> = Vec::new();
+    for d in ids {
+        if universe.can_add(&selected, d) {
+            selected.push(d);
+        }
+    }
+    selected.sort_unstable();
+    let profit = universe.total_profit(&selected);
+    let mut sol = Solution::empty();
+    sol.selected = selected;
+    sol.profit = profit;
+    sol
+}
+
+/// Runs all three greedy orders and returns the best solution.
+pub fn best_greedy(universe: &DemandInstanceUniverse) -> Solution {
+    [
+        GreedyOrder::Profit,
+        GreedyOrder::ProfitPerLength,
+        GreedyOrder::ShortestFirst,
+    ]
+    .into_iter()
+    .map(|o| greedy_schedule(universe, o))
+    .max_by(|a, b| a.profit.partial_cmp(&b.profit).unwrap_or(std::cmp::Ordering::Equal))
+    .expect("three candidates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsched_graph::fixtures::{figure1_line_problem, two_tree_problem};
+
+    #[test]
+    fn greedy_is_feasible_on_fixtures() {
+        for u in [figure1_line_problem().universe(), two_tree_problem().universe()] {
+            for order in [
+                GreedyOrder::Profit,
+                GreedyOrder::ProfitPerLength,
+                GreedyOrder::ShortestFirst,
+            ] {
+                let sol = greedy_schedule(&u, order);
+                sol.verify(&u).unwrap();
+                assert!(sol.profit > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_is_maximal() {
+        let u = two_tree_problem().universe();
+        let sol = greedy_schedule(&u, GreedyOrder::Profit);
+        for d in u.instance_ids() {
+            if !sol.selected.contains(&d) {
+                assert!(
+                    !u.can_add(&sol.selected, d),
+                    "greedy left an addable instance {d} on the table"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn best_greedy_dominates_each_order() {
+        let u = two_tree_problem().universe();
+        let best = best_greedy(&u);
+        for order in [
+            GreedyOrder::Profit,
+            GreedyOrder::ProfitPerLength,
+            GreedyOrder::ShortestFirst,
+        ] {
+            assert!(best.profit + 1e-12 >= greedy_schedule(&u, order).profit);
+        }
+    }
+
+    #[test]
+    fn greedy_profit_picks_figure1_optimum() {
+        // Figure 1 heights: {A, C} and {B, C} are feasible with profit 2.
+        let u = figure1_line_problem().universe();
+        let sol = greedy_schedule(&u, GreedyOrder::Profit);
+        assert!((sol.profit - 2.0).abs() < 1e-9);
+    }
+}

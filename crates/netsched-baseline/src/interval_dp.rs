@@ -1,0 +1,164 @@
+//! Exact weighted interval scheduling for the single-resource, unit-height,
+//! fixed-interval special case.
+//!
+//! When there is a single line resource, every demand is a fixed interval
+//! (no window slack) and all heights are 1, the problem degenerates to
+//! classic weighted interval scheduling, solvable exactly in
+//! `O(m log m)` by dynamic programming. The experiment harness uses this as
+//! a scalable exact reference for the line-network experiments (Theorem 7.1)
+//! — the branch-and-bound solver covers the general cases but only at small
+//! sizes.
+
+use netsched_graph::{DemandInstanceUniverse, InstanceId};
+
+/// Returns the optimal profit and selection for a universe that consists of
+/// fixed intervals on a single unit-capacity resource with unit heights;
+/// returns `None` if the universe does not have that shape.
+pub fn weighted_interval_optimum(
+    universe: &DemandInstanceUniverse,
+) -> Option<(f64, Vec<InstanceId>)> {
+    if universe.num_networks() != 1 || !universe.is_unit_height() || !universe.is_uniform_capacity()
+    {
+        return None;
+    }
+    // Each demand must have exactly one instance (fixed interval, single
+    // resource) and its path must be contiguous.
+    let mut jobs: Vec<(u32, u32, f64, InstanceId)> = Vec::new(); // (start, end, profit, id)
+    for a in 0..universe.num_demands() {
+        let insts = universe.instances_of_demand(netsched_graph::DemandId::new(a));
+        if insts.len() != 1 {
+            return None;
+        }
+        let inst = universe.instance(insts[0]);
+        let edges = inst.path.as_slice();
+        if edges.is_empty() {
+            return None;
+        }
+        let s = edges[0].index() as u32;
+        let e = edges[edges.len() - 1].index() as u32;
+        if (e - s + 1) as usize != edges.len() {
+            return None; // not contiguous — not a line instance
+        }
+        jobs.push((s, e, inst.profit, inst.id));
+    }
+
+    // Sort by end slot; dp[i] = best profit using the first i jobs.
+    jobs.sort_by_key(|&(s, e, _, _)| (e, s));
+    let m = jobs.len();
+    let mut dp = vec![0.0f64; m + 1];
+    let mut take = vec![false; m];
+    // prev[i] = number of jobs (in sorted order) ending strictly before
+    // jobs[i] starts.
+    let ends: Vec<u32> = jobs.iter().map(|&(_, e, _, _)| e).collect();
+    for i in 0..m {
+        let (s, _e, p, _) = jobs[i];
+        // Find the last job whose end < s via binary search on `ends[..i]`.
+        let prev = ends[..i].partition_point(|&e| e < s);
+        let with = dp[prev] + p;
+        let without = dp[i];
+        if with > without {
+            dp[i + 1] = with;
+            take[i] = true;
+        } else {
+            dp[i + 1] = without;
+        }
+    }
+
+    // Reconstruct.
+    let mut selected = Vec::new();
+    let mut i = m;
+    while i > 0 {
+        if take[i - 1] {
+            let (s, _, _, id) = jobs[i - 1];
+            selected.push(id);
+            i = ends[..i - 1].partition_point(|&e| e < s);
+        } else {
+            i -= 1;
+        }
+    }
+    selected.sort_unstable();
+    debug_assert!(universe.is_feasible(&selected));
+    Some((dp[m], selected))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_optimum;
+    use netsched_graph::{LineProblem, NetworkId};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn fixed_interval_problem(seed: u64, n: u32, m: usize) -> LineProblem {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut p = LineProblem::new(n as usize, 1);
+        let acc = vec![NetworkId::new(0)];
+        for _ in 0..m {
+            let len = rng.gen_range(1..=(n / 3).max(1));
+            let start = rng.gen_range(0..=(n - len));
+            p.add_interval_demand(start, len, rng.gen_range(1.0..20.0), 1.0, acc.clone())
+                .unwrap();
+        }
+        p
+    }
+
+    #[test]
+    fn dp_matches_branch_and_bound() {
+        for seed in 0..5u64 {
+            let p = fixed_interval_problem(seed, 30, 12);
+            let u = p.universe();
+            let (dp_profit, dp_sel) = weighted_interval_optimum(&u).expect("valid shape");
+            let bb = exact_optimum(&u);
+            assert!(bb.complete);
+            assert!(
+                (dp_profit - bb.profit).abs() < 1e-9,
+                "seed {seed}: DP {dp_profit} vs B&B {}",
+                bb.profit
+            );
+            assert!(u.is_feasible(&dp_sel));
+            assert!((u.total_profit(&dp_sel) - dp_profit).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_non_matching_shapes() {
+        // Two resources → None.
+        let mut p = LineProblem::new(10, 2);
+        p.add_interval_demand(0, 2, 1.0, 1.0, vec![NetworkId::new(0), NetworkId::new(1)])
+            .unwrap();
+        assert!(weighted_interval_optimum(&p.universe()).is_none());
+        // Windows with slack (several instances per demand) → None.
+        let mut p = LineProblem::new(10, 1);
+        p.add_demand(0, 8, 2, 1.0, 1.0, vec![NetworkId::new(0)]).unwrap();
+        assert!(weighted_interval_optimum(&p.universe()).is_none());
+        // Non-unit heights → None.
+        let mut p = LineProblem::new(10, 1);
+        p.add_interval_demand(0, 2, 1.0, 0.5, vec![NetworkId::new(0)]).unwrap();
+        assert!(weighted_interval_optimum(&p.universe()).is_none());
+    }
+
+    #[test]
+    fn simple_chain_of_disjoint_jobs_takes_all() {
+        let mut p = LineProblem::new(12, 1);
+        let acc = vec![NetworkId::new(0)];
+        for i in 0..4 {
+            p.add_interval_demand(3 * i, 3, 1.0, 1.0, acc.clone()).unwrap();
+        }
+        let u = p.universe();
+        let (profit, sel) = weighted_interval_optimum(&u).unwrap();
+        assert!((profit - 4.0).abs() < 1e-9);
+        assert_eq!(sel.len(), 4);
+    }
+
+    #[test]
+    fn nested_jobs_pick_the_heavier() {
+        let mut p = LineProblem::new(10, 1);
+        let acc = vec![NetworkId::new(0)];
+        p.add_interval_demand(0, 10, 5.0, 1.0, acc.clone()).unwrap();
+        p.add_interval_demand(0, 3, 2.0, 1.0, acc.clone()).unwrap();
+        p.add_interval_demand(5, 3, 2.0, 1.0, acc).unwrap();
+        let u = p.universe();
+        let (profit, _) = weighted_interval_optimum(&u).unwrap();
+        assert!((profit - 5.0).abs() < 1e-9, "the long heavy job wins");
+    }
+}

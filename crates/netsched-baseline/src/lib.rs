@@ -1,0 +1,28 @@
+//! Baselines and reference solvers for `netsched`.
+//!
+//! * [`panconesi_sozio`] — a reconstruction of the Panconesi–Sozio
+//!   distributed line-network algorithm [15, 16], the prior state of the art
+//!   the paper improves by a factor of 5 (its first phase stops at slackness
+//!   `λ = 1/(5 + ε)` instead of `1 − ε`).
+//! * [`greedy`] — centralized greedy heuristics (profit, density, shortest
+//!   first) used as sanity baselines.
+//! * [`exact`] — branch-and-bound exact optimum for small instances.
+//! * [`interval_dp`] — exact weighted-interval-scheduling DP for the
+//!   single-resource, fixed-interval, unit-height special case.
+//! * [`upper_bound`] — cheap combinatorial optimum upper bounds, combined
+//!   with the dual certificates produced by the algorithms.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod exact;
+pub mod greedy;
+pub mod interval_dp;
+pub mod panconesi_sozio;
+pub mod upper_bound;
+
+pub use exact::{branch_and_bound, exact_optimum, ExactResult};
+pub use greedy::{best_greedy, greedy_schedule, GreedyOrder};
+pub use interval_dp::weighted_interval_optimum;
+pub use panconesi_sozio::{run_ps_style, solve_ps_line_narrow, solve_ps_line_unit};
+pub use upper_bound::{best_upper_bound, edge_cut_bound, total_profit_bound};

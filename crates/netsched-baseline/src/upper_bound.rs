@@ -1,0 +1,140 @@
+//! Optimum upper bounds used by the experiment harness.
+//!
+//! For small instances the branch-and-bound solver gives the exact optimum;
+//! for larger instances the experiments fall back to upper bounds: the dual
+//! certificate carried by every [`netsched_core::Solution`] (weak duality,
+//! Section 3) and two cheap combinatorial bounds implemented here.
+
+use netsched_core::Solution;
+use netsched_graph::{DemandInstanceUniverse, GlobalEdge, NetworkId};
+
+/// The trivial bound: the sum of all demand profits (each demand counted
+/// once).
+pub fn total_profit_bound(universe: &DemandInstanceUniverse) -> f64 {
+    let mut best_per_demand = vec![0.0f64; universe.num_demands()];
+    for inst in universe.instances() {
+        let slot = &mut best_per_demand[inst.demand.index()];
+        *slot = slot.max(inst.profit);
+    }
+    best_per_demand.iter().sum()
+}
+
+/// A single-edge cut bound for single-network instances.
+///
+/// For any edge `e`, a feasible solution packs at most `c(e)` units of
+/// height through `e`, so the profit of the selected instances crossing `e`
+/// is at most `c(e) · max_{d ∼ e} p(d)/h(d)`; instances not crossing `e` are
+/// bounded by their total profit. Taking the minimum over all edges gives a
+/// cheap, sound (if often loose) upper bound. Multi-network instances fall
+/// back to [`total_profit_bound`]; experiments on those should rely on the
+/// dual certificate instead.
+pub fn edge_cut_bound(universe: &DemandInstanceUniverse) -> f64 {
+    if universe.num_networks() != 1 || universe.num_instances() == 0 {
+        return total_profit_bound(universe);
+    }
+    let network = NetworkId::new(0);
+    let mut best = f64::INFINITY;
+    for e in 0..universe.num_edges(network) {
+        let edge = netsched_graph::EdgeId::new(e);
+        let mut crossing_profit = 0.0;
+        let mut max_density: f64 = 0.0;
+        for inst in universe.instances() {
+            if inst.path.contains(edge) {
+                crossing_profit += inst.profit;
+                max_density = max_density.max(inst.profit / inst.height.max(f64::MIN_POSITIVE));
+            }
+        }
+        // Demands with no instance through this edge are unconstrained by
+        // it; bound them by their profit (once per demand).
+        let mut non_crossing = 0.0;
+        let mut seen = vec![false; universe.num_demands()];
+        for inst in universe.instances() {
+            if !inst.path.contains(edge) && !seen[inst.demand.index()] {
+                seen[inst.demand.index()] = true;
+                non_crossing += inst.profit;
+            }
+        }
+        let cap = universe.capacity(GlobalEdge::new(network, edge));
+        let crossing_bound = crossing_profit.min(cap * max_density);
+        best = best.min(non_crossing + crossing_bound);
+    }
+    best.min(total_profit_bound(universe))
+}
+
+/// The best available upper bound: the minimum of the combinatorial bounds
+/// and the dual certificates of any solutions already computed.
+pub fn best_upper_bound(universe: &DemandInstanceUniverse, solutions: &[&Solution]) -> f64 {
+    let mut ub = total_profit_bound(universe).min(edge_cut_bound(universe));
+    for s in solutions {
+        if s.diagnostics.optimum_upper_bound > 0.0 {
+            ub = ub.min(s.diagnostics.optimum_upper_bound);
+        }
+    }
+    ub
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_optimum;
+    use netsched_graph::fixtures::{figure1_line_problem, figure6_problem, two_tree_problem};
+
+    #[test]
+    fn bounds_dominate_the_optimum() {
+        for u in [
+            figure1_line_problem().universe(),
+            figure6_problem().universe(),
+            two_tree_problem().universe(),
+        ] {
+            let opt = exact_optimum(&u).profit;
+            assert!(total_profit_bound(&u) + 1e-9 >= opt);
+            assert!(edge_cut_bound(&u) + 1e-9 >= opt);
+        }
+    }
+
+    #[test]
+    fn total_profit_bound_counts_each_demand_once() {
+        let u = two_tree_problem().universe();
+        // Demands have profits 3.0, 2.0, 2.5 → bound 7.5 even though there
+        // are 5 instances.
+        assert!((total_profit_bound(&u) - 7.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn best_upper_bound_uses_dual_certificates() {
+        let p = figure6_problem();
+        let u = p.universe();
+        let sol = netsched_core::solve_unit_tree(
+            &p,
+            &netsched_core::AlgorithmConfig::deterministic(0.1),
+        );
+        let ub = best_upper_bound(&u, &[&sol]);
+        let opt = exact_optimum(&u).profit;
+        assert!(ub + 1e-9 >= opt);
+        assert!(ub <= total_profit_bound(&u) + 1e-9);
+    }
+
+    #[test]
+    fn edge_cut_bound_tightens_single_bottleneck_instances() {
+        // All demands cross one shared edge with unit heights: the optimum
+        // is the single most profitable demand, and the cut bound sees it.
+        use netsched_graph::{TreeProblem, VertexId};
+        let mut p = TreeProblem::new(4);
+        let t = p
+            .add_network(vec![
+                (VertexId(0), VertexId(1)),
+                (VertexId(1), VertexId(2)),
+                (VertexId(2), VertexId(3)),
+            ])
+            .unwrap();
+        p.add_unit_demand(VertexId(0), VertexId(2), 4.0, vec![t]).unwrap();
+        p.add_unit_demand(VertexId(1), VertexId(3), 3.0, vec![t]).unwrap();
+        p.add_unit_demand(VertexId(1), VertexId(2), 2.0, vec![t]).unwrap();
+        let u = p.universe();
+        let bound = edge_cut_bound(&u);
+        // Every demand crosses edge (1,2); the bound via that edge is
+        // max profit/height · capacity = 4.
+        assert!((bound - 4.0).abs() < 1e-9);
+        assert!((exact_optimum(&u).profit - 4.0).abs() < 1e-9);
+    }
+}

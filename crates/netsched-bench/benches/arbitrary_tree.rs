@@ -1,0 +1,31 @@
+//! Criterion bench: the arbitrary-height tree algorithm (Theorem 6.3) across
+//! minimum heights — the runtime companion of E4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsched_core::{solve_arbitrary_tree, AlgorithmConfig};
+use netsched_workloads::{HeightDistribution, TreeWorkload};
+
+fn bench_arbitrary_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arbitrary_tree_solve");
+    group.sample_size(10);
+    for &hmin in &[0.5f64, 0.25, 0.1] {
+        let workload = TreeWorkload {
+            vertices: 32,
+            networks: 2,
+            demands: 40,
+            heights: HeightDistribution::Uniform { min: hmin, max: 1.0 },
+            seed: 0xAB,
+            ..TreeWorkload::default()
+        };
+        let problem = workload.build().unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("theorem_6_3", format!("hmin{hmin}")),
+            &problem,
+            |b, p| b.iter(|| solve_arbitrary_tree(p, &AlgorithmConfig::deterministic(0.1))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_arbitrary_tree);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench: building the three tree decompositions and the layered
+//! decomposition (E1/E2 runtime companion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsched_decomp::{
+    balancing_decomposition, ideal_decomposition, root_fixing_decomposition, InstanceLayering,
+    TreeDecompositionKind,
+};
+use netsched_graph::{NetworkId, TreeNetwork, VertexId};
+use netsched_workloads::{random_tree_edges, TreeTopology, TreeWorkload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_tree_decompositions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_decomposition_build");
+    for &n in &[64usize, 256, 1024] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let edges = random_tree_edges(TreeTopology::RandomAttachment, n, &mut rng);
+        let tree = TreeNetwork::new(NetworkId::new(0), n, edges).unwrap();
+        group.bench_with_input(BenchmarkId::new("ideal", n), &tree, |b, t| {
+            b.iter(|| ideal_decomposition(t))
+        });
+        group.bench_with_input(BenchmarkId::new("balancing", n), &tree, |b, t| {
+            b.iter(|| balancing_decomposition(t))
+        });
+        group.bench_with_input(BenchmarkId::new("root_fixing", n), &tree, |b, t| {
+            b.iter(|| root_fixing_decomposition(t, VertexId::new(0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_layering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("instance_layering");
+    for &n in &[64usize, 256] {
+        let workload = TreeWorkload {
+            vertices: n,
+            networks: 3,
+            demands: 2 * n,
+            seed: 3,
+            ..TreeWorkload::default()
+        };
+        let problem = workload.build().unwrap();
+        let universe = problem.universe();
+        group.bench_with_input(BenchmarkId::new("ideal_layering", n), &n, |b, _| {
+            b.iter(|| {
+                InstanceLayering::for_tree_problem(&problem, &universe, TreeDecompositionKind::Ideal)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree_decompositions, bench_layering);
+criterion_main!(benches);

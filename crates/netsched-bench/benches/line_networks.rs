@@ -1,0 +1,72 @@
+//! Criterion bench: line networks with windows — the paper's (4 + ε) /
+//! (23 + ε) algorithms vs the Panconesi–Sozio baseline and the exact DP.
+//! Runtime companion of E5/E6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsched_baseline::{solve_ps_line_unit, weighted_interval_optimum};
+use netsched_core::{solve_line_arbitrary, solve_line_unit, AlgorithmConfig};
+use netsched_workloads::{HeightDistribution, LineWorkload};
+
+fn bench_line_unit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("line_unit_solve");
+    group.sample_size(10);
+    for &m in &[30usize, 60, 120] {
+        let workload = LineWorkload {
+            timeslots: 96,
+            resources: 2,
+            demands: m,
+            max_slack: 4,
+            seed: 0x11,
+            ..LineWorkload::default()
+        };
+        let problem = workload.build().unwrap();
+        group.bench_with_input(BenchmarkId::new("theorem_7_1", m), &problem, |b, p| {
+            b.iter(|| solve_line_unit(p, &AlgorithmConfig::deterministic(0.1)))
+        });
+        group.bench_with_input(BenchmarkId::new("panconesi_sozio", m), &problem, |b, p| {
+            b.iter(|| solve_ps_line_unit(p, &AlgorithmConfig::deterministic(0.1)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_line_arbitrary_and_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("line_arbitrary_and_dp");
+    group.sample_size(10);
+    let workload = LineWorkload {
+        timeslots: 96,
+        resources: 2,
+        demands: 60,
+        max_slack: 4,
+        heights: HeightDistribution::Mixed {
+            wide_fraction: 0.3,
+            min_narrow: 0.1,
+        },
+        seed: 2,
+        ..LineWorkload::default()
+    };
+    let problem = workload.build().unwrap();
+    group.bench_function("theorem_7_2_arbitrary_heights", |b| {
+        b.iter(|| solve_line_arbitrary(&problem, &AlgorithmConfig::deterministic(0.1)))
+    });
+
+    // The exact DP on single-resource fixed intervals.
+    let dp_workload = LineWorkload {
+        timeslots: 256,
+        resources: 1,
+        demands: 200,
+        max_slack: 0,
+        access_probability: 1.0,
+        seed: 3,
+        ..LineWorkload::default()
+    };
+    let dp_problem = dp_workload.build().unwrap();
+    let dp_universe = dp_problem.universe();
+    group.bench_function("weighted_interval_dp_exact", |b| {
+        b.iter(|| weighted_interval_optimum(&dp_universe).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_line_unit, bench_line_arbitrary_and_dp);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench: Luby's distributed MIS on conflict graphs of growing
+//! size — the runtime companion of E11.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsched_distrib::{greedy_mis, maximal_independent_set, ConflictGraph, MisStrategy, RoundStats};
+use netsched_graph::InstanceId;
+use netsched_workloads::TreeWorkload;
+
+fn bench_mis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maximal_independent_set");
+    group.sample_size(10);
+    for &m in &[100usize, 400, 1000] {
+        let workload = TreeWorkload {
+            vertices: (m / 2).max(8),
+            networks: 2,
+            demands: m / 2,
+            seed: 0x715,
+            ..TreeWorkload::default()
+        };
+        let problem = workload.build().unwrap();
+        let universe = problem.universe();
+        let graph = ConflictGraph::build(&universe);
+        let active: Vec<InstanceId> = universe.instance_ids().collect();
+        group.bench_with_input(BenchmarkId::new("luby_simulated", active.len()), &graph, |b, g| {
+            b.iter(|| {
+                let mut stats = RoundStats::new();
+                maximal_independent_set(g, &active, MisStrategy::Luby { seed: 5 }, &mut stats)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_sequential", active.len()), &graph, |b, g| {
+            b.iter(|| greedy_mis(g, &active))
+        });
+        group.bench_with_input(BenchmarkId::new("conflict_graph_build", active.len()), &universe, |b, u| {
+            b.iter(|| ConflictGraph::build(u))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mis);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench: the distributed unit-height tree algorithm
+//! (Theorem 5.3) across instance sizes — the runtime companion of E3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsched_core::{solve_sequential_tree, solve_unit_tree, AlgorithmConfig};
+use netsched_distrib::MisStrategy;
+use netsched_workloads::TreeWorkload;
+
+fn bench_unit_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unit_tree_solve");
+    group.sample_size(10);
+    for &(n, m) in &[(32usize, 40usize), (64, 80), (128, 160)] {
+        let workload = TreeWorkload {
+            vertices: n,
+            networks: 3,
+            demands: m,
+            seed: 0xBE,
+            ..TreeWorkload::default()
+        };
+        let problem = workload.build().unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("distributed_luby", format!("n{n}_m{m}")),
+            &problem,
+            |b, p| {
+                b.iter(|| {
+                    solve_unit_tree(
+                        p,
+                        &AlgorithmConfig {
+                            epsilon: 0.1,
+                            mis: MisStrategy::Luby { seed: 1 },
+                            seed: 1,
+                        },
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("distributed_deterministic", format!("n{n}_m{m}")),
+            &problem,
+            |b, p| b.iter(|| solve_unit_tree(p, &AlgorithmConfig::deterministic(0.1))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sequential_appendix_a", format!("n{n}_m{m}")),
+            &problem,
+            |b, p| b.iter(|| solve_sequential_tree(p)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_unit_tree);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! CLI entry point for the experiment harness.
+//!
+//! ```text
+//! cargo run -p netsched-bench --release --bin experiments -- all
+//! cargo run -p netsched-bench --release --bin experiments -- e5 e6
+//! cargo run -p netsched-bench --release --bin experiments -- all --quick
+//! cargo run -p netsched-bench --release --bin experiments -- list
+//! ```
+
+use netsched_bench::experiments::{all_experiments, find};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let requested: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with('-'))
+        .cloned()
+        .collect();
+
+    if requested.iter().any(|a| a == "list") {
+        println!("available experiments:\n");
+        for e in all_experiments() {
+            println!("  {:<4} {}", e.id, e.description);
+        }
+        return;
+    }
+
+    let ids: Vec<String> = if requested.is_empty() || requested.iter().any(|a| a == "all") {
+        all_experiments().iter().map(|e| e.id.to_string()).collect()
+    } else {
+        requested
+    };
+
+    let mode = if quick { " (quick mode)" } else { "" };
+    println!("# netsched experiment harness{mode}\n");
+    println!(
+        "Reproducing the quantitative claims of \"Distributed Algorithms for Scheduling on \
+         Line and Tree Networks\" (arXiv:1205.1924 / IPPS 2013).\n"
+    );
+
+    for id in ids {
+        match find(&id) {
+            Some(e) => {
+                println!("## {} — {}\n", e.id.to_uppercase(), e.description);
+                let start = std::time::Instant::now();
+                let tables = (e.run)(quick);
+                for t in tables {
+                    println!("{}", t.render());
+                }
+                println!("_({} completed in {:.1}s)_\n", e.id, start.elapsed().as_secs_f64());
+            }
+            None => {
+                eprintln!("unknown experiment id: {id} (use `list` to see available ids)");
+                std::process::exit(2);
+            }
+        }
+    }
+}

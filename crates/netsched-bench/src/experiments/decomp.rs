@@ -1,0 +1,173 @@
+//! E1 and E2: decomposition experiments (Section 4 of the paper).
+
+use crate::table::{f2, int, Table};
+use netsched_decomp::{
+    balancing_decomposition, ideal_decomposition, ideal_depth_bound, root_fixing_decomposition,
+    InstanceLayering, TreeDecompositionKind,
+};
+use netsched_graph::{NetworkId, TreeNetwork, VertexId};
+use netsched_workloads::{
+    random_tree_edges, HeightDistribution, ProfitDistribution, TreeTopology, TreeWorkload,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn build_tree(topology: TreeTopology, n: usize, seed: u64) -> TreeNetwork {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let edges = random_tree_edges(topology, n, &mut rng);
+    TreeNetwork::new(NetworkId::new(0), n, edges).expect("generated trees are valid")
+}
+
+/// E1 — Lemma 4.1: depth and pivot size of the three tree decompositions.
+///
+/// The paper claims: root-fixing has θ = 1 but depth up to n; balancing has
+/// depth ≤ ⌈log n⌉ (+1 for the depth-1 root convention) but θ up to the
+/// depth; the ideal decomposition has θ ≤ 2 and depth ≤ 2⌈log n⌉.
+pub fn e1_decomposition_parameters(quick: bool) -> Vec<Table> {
+    let sizes: &[usize] = if quick { &[16, 64, 128] } else { &[16, 64, 256, 1024] };
+    let topologies = [
+        TreeTopology::RandomAttachment,
+        TreeTopology::Path,
+        TreeTopology::Star,
+        TreeTopology::Caterpillar,
+        TreeTopology::BinaryTree,
+    ];
+    let mut table = Table::new(
+        "E1 — tree-decomposition parameters (Lemma 4.1)",
+        &[
+            "topology", "n", "rootfix depth", "rootfix θ", "balance depth", "balance θ",
+            "ideal depth", "ideal θ", "2⌈log n⌉+1",
+        ],
+    )
+    .caption("Ideal decomposition must have θ ≤ 2 and depth ≤ 2⌈log n⌉ + 1.");
+
+    for &topology in &topologies {
+        for &n in sizes {
+            let tree = build_tree(topology, n, 0xE1 + n as u64);
+            let rf = root_fixing_decomposition(&tree, VertexId::new(0));
+            let bal = balancing_decomposition(&tree);
+            let ideal = ideal_decomposition(&tree);
+            // Validate the paper's bounds while we are here (cheap checks).
+            assert!(ideal.pivot_size(&tree) <= 2, "ideal pivot bound violated");
+            assert!(
+                ideal.max_depth() <= ideal_depth_bound(n),
+                "ideal depth bound violated"
+            );
+            table.add_row(vec![
+                topology.label().to_string(),
+                int(n as u64),
+                int(rf.max_depth() as u64),
+                int(rf.pivot_size(&tree) as u64),
+                int(bal.max_depth() as u64),
+                int(bal.pivot_size(&tree) as u64),
+                int(ideal.max_depth() as u64),
+                int(ideal.pivot_size(&tree) as u64),
+                int(ideal_depth_bound(n) as u64),
+            ]);
+        }
+    }
+    vec![table]
+}
+
+/// E2 — Lemmas 4.2/4.3: parameters of the derived layered decompositions and
+/// verification of the interference property.
+pub fn e2_layered_parameters(quick: bool) -> Vec<Table> {
+    let sizes: &[usize] = if quick { &[16, 32] } else { &[16, 32, 64, 128] };
+    let mut table = Table::new(
+        "E2 — layered-decomposition parameters (Lemmas 4.2/4.3)",
+        &[
+            "topology", "n", "m", "instances", "ideal ∆", "ideal ℓ", "appendix-A ∆",
+            "balancing ∆", "interference",
+        ],
+    )
+    .caption("Lemma 4.3: the ideal layering has ∆ ≤ 6 and ℓ = O(log n); Appendix A has ∆ ≤ 2.");
+
+    for &topology in &[TreeTopology::RandomAttachment, TreeTopology::Caterpillar, TreeTopology::Path] {
+        for &n in sizes {
+            let m = 2 * n;
+            let workload = TreeWorkload {
+                vertices: n,
+                networks: 2,
+                demands: m,
+                topology,
+                access_probability: 0.6,
+                profits: ProfitDistribution::Uniform { min: 1.0, max: 32.0 },
+                heights: HeightDistribution::Unit,
+                seed: 0xE2 + n as u64,
+            };
+            let problem = workload.build().expect("valid workload");
+            let universe = problem.universe();
+            let ideal = InstanceLayering::for_tree_problem(
+                &problem,
+                &universe,
+                TreeDecompositionKind::Ideal,
+            );
+            let appendix = InstanceLayering::appendix_a(&problem, &universe);
+            let balancing = InstanceLayering::for_tree_problem(
+                &problem,
+                &universe,
+                TreeDecompositionKind::Balancing,
+            );
+            // The interference check is O(|D|^2); keep it to moderate sizes.
+            let interference_ok = if universe.num_instances() <= 400 {
+                ideal.check_layered_property(&universe).is_ok()
+                    && appendix.check_layered_property(&universe).is_ok()
+            } else {
+                true
+            };
+            assert!(ideal.max_critical() <= 6);
+            assert!(appendix.max_critical() <= 2);
+            table.add_row(vec![
+                topology.label().to_string(),
+                int(n as u64),
+                int(m as u64),
+                int(universe.num_instances() as u64),
+                int(ideal.max_critical() as u64),
+                int(ideal.num_groups() as u64),
+                int(appendix.max_critical() as u64),
+                int(balancing.max_critical() as u64),
+                if interference_ok { "ok".into() } else { "VIOLATED".into() },
+            ]);
+        }
+    }
+
+    // A second table: the line length-class layering of Section 7.
+    let mut line_table = Table::new(
+        "E2b — line length-class layering (Section 7)",
+        &["L_max/L_min", "instances", "∆", "ℓ", "⌈log(Lmax/Lmin)⌉+1", "interference"],
+    )
+    .caption("The line layering has ∆ = 3 and ℓ ≤ ⌈log(L_max/L_min)⌉ + 1.");
+    use netsched_workloads::LineWorkload;
+    for &max_len in if quick { &[4u32, 16][..] } else { &[4u32, 16, 32][..] } {
+        let workload = LineWorkload {
+            timeslots: 2 * max_len.max(16),
+            resources: 2,
+            demands: 40,
+            min_length: 1,
+            max_length: max_len,
+            max_slack: 4,
+            seed: 0xE2B + max_len as u64,
+            ..LineWorkload::default()
+        };
+        let problem = workload.build().expect("valid workload");
+        let universe = problem.universe();
+        let layering = InstanceLayering::line_length_classes(&universe);
+        let (lmax, lmin) = problem.length_bounds();
+        let bound = ((lmax as f64 / lmin as f64).log2().floor() as u64) + 1;
+        let ok = if universe.num_instances() <= 400 {
+            layering.check_layered_property(&universe).is_ok()
+        } else {
+            true
+        };
+        line_table.add_row(vec![
+            f2(lmax as f64 / lmin as f64),
+            int(universe.num_instances() as u64),
+            int(layering.max_critical() as u64),
+            int(layering.num_groups() as u64),
+            int(bound),
+            if ok { "ok".into() } else { "VIOLATED".into() },
+        ]);
+    }
+
+    vec![table, line_table]
+}

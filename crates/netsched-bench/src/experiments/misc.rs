@@ -1,0 +1,297 @@
+//! E9, E10 and E11: worked examples, the capacitated extension and the
+//! distributed substrate measurements.
+
+use crate::table::{f2, f3, int, Table};
+use netsched_baseline::exact_optimum;
+use netsched_core::{
+    solve_arbitrary_tree, solve_line_arbitrary, solve_sequential_tree, solve_unit_tree,
+    AlgorithmConfig,
+};
+use netsched_distrib::{maximal_independent_set, CommGraph, ConflictGraph, MisStrategy, RoundStats};
+use netsched_graph::{fixtures, DemandId, NetworkId, Processor, ProcessorId, TreeProblem};
+use netsched_workloads::{HeightDistribution, ProfitDistribution, TreeTopology, TreeWorkload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn luby(epsilon: f64, seed: u64) -> AlgorithmConfig {
+    AlgorithmConfig {
+        epsilon,
+        mis: MisStrategy::Luby { seed },
+        seed,
+    }
+}
+
+/// E9 — the paper's worked examples (Figures 1, 2 and 6) as concrete runs.
+pub fn e9_worked_examples(_quick: bool) -> Vec<Table> {
+    let mut table = Table::new(
+        "E9 — worked examples of the paper",
+        &["instance", "demands", "instances", "exact OPT", "algorithm", "profit", "feasible"],
+    )
+    .caption("Figures 1 and 6 of the paper, plus the two-tree routing example.");
+
+    // Figure 1: heights 0.5 / 0.7 / 0.4 on one resource.
+    {
+        let problem = fixtures::figure1_line_problem();
+        let universe = problem.universe();
+        let exact = exact_optimum(&universe);
+        let sol = solve_line_arbitrary(&problem, &luby(0.1, 9));
+        table.add_row(vec![
+            "Figure 1 (line, heights)".into(),
+            int(problem.num_demands() as u64),
+            int(universe.num_instances() as u64),
+            f2(exact.profit),
+            "Thm 7.2".into(),
+            f2(sol.profit),
+            if sol.verify(&universe).is_ok() { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    // Figure 6 tree with the Section 4 demands.
+    {
+        let problem = fixtures::figure6_problem();
+        let universe = problem.universe();
+        let exact = exact_optimum(&universe);
+        for (label, sol) in [
+            ("Thm 5.3", solve_unit_tree(&problem, &luby(0.1, 9))),
+            ("Appendix A", solve_sequential_tree(&problem)),
+        ] {
+            table.add_row(vec![
+                "Figure 6 (tree, unit)".into(),
+                int(problem.num_demands() as u64),
+                int(universe.num_instances() as u64),
+                f2(exact.profit),
+                label.into(),
+                f2(sol.profit),
+                if sol.verify(&universe).is_ok() { "yes".into() } else { "NO".into() },
+            ]);
+        }
+    }
+    // The two-tree routing example (Figure 2's moral: alternative networks
+    // resolve conflicts).
+    {
+        let problem = fixtures::two_tree_problem();
+        let universe = problem.universe();
+        let exact = exact_optimum(&universe);
+        let sol = solve_unit_tree(&problem, &luby(0.1, 9));
+        table.add_row(vec![
+            "Two spanning trees".into(),
+            int(problem.num_demands() as u64),
+            int(universe.num_instances() as u64),
+            f2(exact.profit),
+            "Thm 5.3".into(),
+            f2(sol.profit),
+            if sol.verify(&universe).is_ok() { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    vec![table]
+}
+
+/// E10 — the capacitated ("non-uniform bandwidths") extension: random edge
+/// capacities in {0.5, 1, 2}.
+pub fn e10_capacitated(quick: bool) -> Vec<Table> {
+    let mut table = Table::new(
+        "E10 — non-uniform edge capacities (IPPS capacitated extension)",
+        &[
+            "n", "m", "capacity set", "profit", "reference", "%ref", "certified ratio",
+            "max edge load/capacity",
+        ],
+    )
+    .caption("Feasibility and certificates under per-edge capacities; loads never exceed capacities.");
+    let sizes: &[(usize, usize)] = if quick { &[(12, 10)] } else { &[(12, 10), (24, 24), (48, 48)] };
+    for &(n, m) in sizes {
+        for (label, caps) in [("uniform 1.0", vec![1.0]), ("{0.5, 1, 2}", vec![0.5, 1.0, 2.0])] {
+            let workload = TreeWorkload {
+                vertices: n,
+                networks: 2,
+                demands: m,
+                topology: TreeTopology::RandomAttachment,
+                heights: HeightDistribution::Uniform { min: 0.1, max: 1.0 },
+                profits: ProfitDistribution::Uniform { min: 1.0, max: 16.0 },
+                seed: 0xE10 + n as u64,
+                ..TreeWorkload::default()
+            };
+            let mut problem = workload.build().expect("valid workload");
+            let mut rng = StdRng::seed_from_u64(0xCAFE + n as u64);
+            for t in 0..problem.num_networks() {
+                let edges = problem.capacities(NetworkId::new(t)).len();
+                for e in 0..edges {
+                    let c = caps[rng.gen_range(0..caps.len())];
+                    problem.set_capacity(NetworkId::new(t), e, c).unwrap();
+                }
+            }
+            let universe = problem.universe();
+            let sol = solve_arbitrary_tree(&problem, &luby(0.1, 10));
+            sol.verify(&universe).expect("feasible under capacities");
+            let reference = if universe.num_instances() <= 20 {
+                exact_optimum(&universe).profit
+            } else {
+                sol.diagnostics.optimum_upper_bound
+            };
+            // Max relative edge load.
+            let mut max_rel: f64 = 0.0;
+            for t in 0..universe.num_networks() {
+                let network = NetworkId::new(t);
+                let loads = universe.edge_loads(network, &sol.selected);
+                for (e, &load) in loads.iter().enumerate() {
+                    let cap = universe
+                        .capacity(netsched_graph::GlobalEdge::new(network, netsched_graph::EdgeId::new(e)));
+                    max_rel = max_rel.max(load / cap);
+                }
+            }
+            table.add_row(vec![
+                int(n as u64),
+                int(m as u64),
+                label.into(),
+                f2(sol.profit),
+                f2(reference),
+                f2(crate::measure::pct(sol.profit, reference)),
+                f3(sol.certified_ratio().unwrap_or(1.0)),
+                f3(max_rel),
+            ]);
+        }
+    }
+    vec![table]
+}
+
+/// E11 — the distributed substrate: Luby MIS round/message scaling on the
+/// conflict graph and communication-graph diameters.
+pub fn e11_distributed_substrate(quick: bool) -> Vec<Table> {
+    let mut mis_table = Table::new(
+        "E11 — Luby MIS on the conflict graph",
+        &["N (instances)", "conflict edges", "max degree", "MIS size", "MIS rounds", "messages", "3·log2 N"],
+    )
+    .caption("Luby's algorithm needs O(log N) phases of 3 rounds each, independent of the diameter.");
+    let sizes: &[usize] = if quick { &[50, 200] } else { &[50, 200, 800, 2000] };
+    for &m in sizes {
+        let workload = TreeWorkload {
+            vertices: (m / 2).max(8),
+            networks: 2,
+            demands: m / 2,
+            seed: 0xE11 + m as u64,
+            ..TreeWorkload::default()
+        };
+        let problem = workload.build().expect("valid workload");
+        let universe = problem.universe();
+        let graph = ConflictGraph::build(&universe);
+        let active: Vec<_> = universe.instance_ids().collect();
+        let mut stats = RoundStats::new();
+        let mis = maximal_independent_set(&graph, &active, MisStrategy::Luby { seed: 11 }, &mut stats);
+        mis_table.add_row(vec![
+            int(graph.num_vertices() as u64),
+            int(graph.num_edges() as u64),
+            int(graph.max_degree() as u64),
+            int(mis.len() as u64),
+            int(stats.mis_rounds),
+            int(stats.messages),
+            f2(3.0 * (graph.num_vertices().max(2) as f64).log2()),
+        ]);
+    }
+
+    // Communication graph diameters: the chain-of-resources construction
+    // shows the diameter can be m − 1, which is why flooding-based
+    // algorithms cannot be polylogarithmic.
+    let mut comm_table = Table::new(
+        "E11b — communication-graph diameter",
+        &["construction", "processors", "resources", "edges", "diameter"],
+    )
+    .caption("Two processors communicate iff they share a resource (Section 1).");
+    let m = if quick { 64 } else { 256 };
+    // Chain: processor i accesses {i, i+1}.
+    let chain: Vec<Processor> = (0..m)
+        .map(|i| {
+            Processor::new(
+                ProcessorId::new(i),
+                DemandId::new(i),
+                vec![NetworkId::new(i), NetworkId::new(i + 1)],
+            )
+        })
+        .collect();
+    let chain_graph = CommGraph::build(&chain, m + 1);
+    comm_table.add_row(vec![
+        "resource chain".into(),
+        int(m as u64),
+        int((m + 1) as u64),
+        int(chain_graph.num_edges() as u64),
+        chain_graph.diameter().map_or("∞".into(), |d| int(d as u64)),
+    ]);
+    // Shared pool: everyone accesses resource 0.
+    let pool: Vec<Processor> = (0..m)
+        .map(|i| Processor::new(ProcessorId::new(i), DemandId::new(i), vec![NetworkId::new(0)]))
+        .collect();
+    let pool_graph = CommGraph::build(&pool, 1);
+    comm_table.add_row(vec![
+        "single shared resource".into(),
+        int(m as u64),
+        "1".into(),
+        int(pool_graph.num_edges() as u64),
+        pool_graph.diameter().map_or("∞".into(), |d| int(d as u64)),
+    ]);
+    // A realistic scenario communication graph.
+    let workload = TreeWorkload {
+        vertices: 48,
+        networks: 4,
+        demands: if quick { 60 } else { 120 },
+        access_probability: 0.4,
+        seed: 0xE11B,
+        ..TreeWorkload::default()
+    };
+    let problem: TreeProblem = workload.build().expect("valid workload");
+    let processors = problem.processors();
+    let graph = CommGraph::build(&processors, problem.num_networks());
+    comm_table.add_row(vec![
+        "random access sets (p=0.4, r=4)".into(),
+        int(processors.len() as u64),
+        int(problem.num_networks() as u64),
+        int(graph.num_edges() as u64),
+        graph.diameter().map_or("∞".into(), |d| int(d as u64)),
+    ]);
+
+    // Message-size accounting: the largest message carries at most ∆ + 1
+    // demand records (Section 5, "the message size is bounded by M_max").
+    let mut msg_table = Table::new(
+        "E11c — message sizes during a full run (Theorem 5.3)",
+        &["n", "m", "rounds", "messages", "max records per message", "∆ + 1"],
+    )
+    .caption("Each message carries O(1) demand records, matching the paper's O(M_max) bound.");
+    for &(n, m) in if quick { &[(24usize, 30usize)][..] } else { &[(24, 30), (64, 80)][..] } {
+        let workload = TreeWorkload {
+            vertices: n,
+            networks: 2,
+            demands: m,
+            seed: 0xE11C,
+            ..TreeWorkload::default()
+        };
+        let problem = workload.build().expect("valid workload");
+        let sol = solve_unit_tree(&problem, &luby(0.1, 11));
+        msg_table.add_row(vec![
+            int(n as u64),
+            int(m as u64),
+            int(sol.stats.rounds),
+            int(sol.stats.messages),
+            int(sol.stats.max_message_records),
+            int(sol.diagnostics.delta as u64 + 1),
+        ]);
+    }
+
+    vec![mis_table, comm_table, msg_table]
+}
+
+/// Re-exported helper used by the CLI to also dump scenario descriptions.
+pub fn scenario_overview() -> Table {
+    let mut table = Table::new(
+        "Named scenarios",
+        &["name", "kind", "description"],
+    );
+    for s in netsched_workloads::named_scenarios() {
+        let kind = match &s {
+            netsched_workloads::Scenario::Tree { .. } => "tree",
+            netsched_workloads::Scenario::Line { .. } => "line",
+        };
+        table.add_row(vec![
+            s.name().to_string(),
+            kind.to_string(),
+            s.description().chars().take(70).collect::<String>(),
+        ]);
+    }
+    table
+}
+

@@ -1,0 +1,75 @@
+//! Experiment harness for `netsched`.
+//!
+//! The paper is theoretical and contains no experimental tables or figures;
+//! every quantitative claim (approximation ratios, decomposition parameters,
+//! round complexities) is reproduced here as a measurable experiment. The
+//! experiment index lives in `DESIGN.md` (E1–E11) and the measured results
+//! are recorded in `EXPERIMENTS.md`.
+//!
+//! Run all experiments with
+//!
+//! ```text
+//! cargo run -p netsched-bench --release --bin experiments -- all
+//! ```
+//!
+//! or an individual one with its id (`e1` … `e11`). Pass `--quick` for a
+//! reduced sweep.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;
+
+/// Common measurement helpers shared by experiments and benches.
+pub mod measure {
+    use netsched_core::Solution;
+    use std::time::Instant;
+
+    /// Wall-clock time of a closure in milliseconds together with its
+    /// result.
+    pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+        let start = Instant::now();
+        let out = f();
+        (out, start.elapsed().as_secs_f64() * 1e3)
+    }
+
+    /// Percentage of `part` relative to `whole` (0 when `whole` is 0).
+    pub fn pct(part: f64, whole: f64) -> f64 {
+        if whole.abs() < 1e-12 {
+            0.0
+        } else {
+            100.0 * part / whole
+        }
+    }
+
+    /// The empirical approximation ratio `reference / achieved` (1.0 when
+    /// the achieved profit is zero and the reference is zero too).
+    pub fn ratio(reference: f64, sol: &Solution) -> f64 {
+        if sol.profit <= 1e-12 {
+            if reference <= 1e-12 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            reference / sol.profit
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::measure;
+
+    #[test]
+    fn pct_and_timed_behave() {
+        assert_eq!(measure::pct(1.0, 4.0), 25.0);
+        assert_eq!(measure::pct(1.0, 0.0), 0.0);
+        let (v, ms) = measure::timed(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(ms >= 0.0);
+    }
+}

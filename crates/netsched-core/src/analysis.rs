@@ -1,0 +1,327 @@
+//! Execution tracing and analysis of two-phase runs.
+//!
+//! The proofs of Lemma 3.1 and Lemma 5.1 reason about *which* instances were
+//! raised, in which step, by how much, and who "killed" whom (Claim 5.2).
+//! [`run_two_phase_traced`] runs the same engine as
+//! [`crate::framework::run_two_phase`] but records a [`Trace`] of every step,
+//! which the experiment harness and the tests use to inspect kill chains,
+//! per-stage step counts and the per-instance raise amounts δ(d).
+
+use crate::config::{stage_xi, stages_per_epoch, AlgorithmConfig, RaiseRule};
+use crate::duals::DualState;
+use crate::framework::run_two_phase;
+use crate::solution::Solution;
+use netsched_decomp::InstanceLayering;
+use netsched_distrib::{maximal_independent_set, ConflictGraph, MisStrategy, RoundStats};
+use netsched_graph::{DemandInstanceUniverse, InstanceId, EPS};
+use serde::{Deserialize, Serialize};
+
+/// One first-phase step (one MIS computation plus the simultaneous raises).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepRecord {
+    /// Epoch index (group of the layered decomposition).
+    pub epoch: usize,
+    /// Stage index within the epoch (1-based, as in the pseudocode).
+    pub stage: usize,
+    /// Step index within the stage (0-based).
+    pub step: usize,
+    /// Number of instances that were still unsatisfied at this step.
+    pub unsatisfied: usize,
+    /// The instances raised in this step (the MIS), with their raise
+    /// amounts δ(d).
+    pub raised: Vec<(InstanceId, f64)>,
+}
+
+/// A full trace of the first phase.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Every step in execution order.
+    pub steps: Vec<StepRecord>,
+}
+
+impl Trace {
+    /// Total number of steps.
+    pub fn num_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// The raise amount δ(d) of an instance (0 if it was never raised).
+    pub fn delta_of(&self, d: InstanceId) -> f64 {
+        self.steps
+            .iter()
+            .flat_map(|s| s.raised.iter())
+            .find(|(i, _)| *i == d)
+            .map(|(_, delta)| *delta)
+            .unwrap_or(0.0)
+    }
+
+    /// All raised instances in raise order.
+    pub fn raised_in_order(&self) -> Vec<InstanceId> {
+        self.steps
+            .iter()
+            .flat_map(|s| s.raised.iter().map(|(d, _)| *d))
+            .collect()
+    }
+
+    /// The maximum number of steps observed in any single (epoch, stage)
+    /// pair — the quantity bounded by Lemma 5.1.
+    pub fn max_steps_per_stage(&self) -> usize {
+        use std::collections::HashMap;
+        let mut counts: HashMap<(usize, usize), usize> = HashMap::new();
+        for s in &self.steps {
+            *counts.entry((s.epoch, s.stage)).or_default() += 1;
+        }
+        counts.values().copied().max().unwrap_or(0)
+    }
+
+    /// Extracts the *kill chains* of Lemma 5.1: within one (epoch, stage),
+    /// if `d1` is raised in step `i` and a conflicting `d2` is raised in a
+    /// later step of the same stage, then `d1` "killed" `d2` at step `i`.
+    /// Returns, per stage, the longest chain `d_1 → d_2 → …` found; Claim
+    /// 5.2 predicts that profits double along each chain.
+    pub fn longest_kill_chain(
+        &self,
+        universe: &DemandInstanceUniverse,
+        conflict: &ConflictGraph,
+    ) -> Vec<InstanceId> {
+        use std::collections::HashMap;
+        // Group raised instances by (epoch, stage) with their step index.
+        let mut by_stage: HashMap<(usize, usize), Vec<(usize, InstanceId)>> = HashMap::new();
+        for s in &self.steps {
+            for (d, _) in &s.raised {
+                by_stage.entry((s.epoch, s.stage)).or_default().push((s.step, *d));
+            }
+        }
+        let mut best: Vec<InstanceId> = Vec::new();
+        for entries in by_stage.values() {
+            // Longest path in the "killed by" DAG (edges from step i to a
+            // conflicting raise at step > i). Dynamic programming over steps.
+            let mut chain_to: HashMap<InstanceId, Vec<InstanceId>> = HashMap::new();
+            let mut sorted = entries.clone();
+            sorted.sort_unstable();
+            for &(step, d) in &sorted {
+                let mut best_prev: Vec<InstanceId> = Vec::new();
+                for &(prev_step, p) in &sorted {
+                    if prev_step < step && conflict.are_conflicting(p, d) {
+                        if let Some(chain) = chain_to.get(&p) {
+                            if chain.len() > best_prev.len() {
+                                best_prev = chain.clone();
+                            }
+                        }
+                    }
+                }
+                best_prev.push(d);
+                if best_prev.len() > best.len() {
+                    best = best_prev.clone();
+                }
+                chain_to.insert(d, best_prev);
+            }
+        }
+        let _ = universe;
+        best
+    }
+}
+
+/// Runs the two-phase engine while recording a [`Trace`]. The returned
+/// [`Solution`] is produced by the same (untraced) engine with the same
+/// configuration, so it is identical to what [`run_two_phase`] returns for
+/// deterministic MIS strategies.
+pub fn run_two_phase_traced(
+    universe: &DemandInstanceUniverse,
+    layering: &InstanceLayering,
+    rule: RaiseRule,
+    config: &AlgorithmConfig,
+) -> (Solution, Trace) {
+    // First, replay the first phase step by step to build the trace. This
+    // mirrors `run_two_phase`'s first phase exactly (same thresholds, same
+    // MIS strategy derivation) but keeps the per-step records.
+    let mut trace = Trace::default();
+    if universe.num_instances() == 0 {
+        return (Solution::empty(), trace);
+    }
+    let conflict = ConflictGraph::build(universe);
+    let mut duals = DualState::new(universe, rule);
+    let eligible: Vec<bool> = universe
+        .instance_ids()
+        .map(|d| DualState::max_relative_height(universe, d) <= 1.0 + EPS)
+        .collect();
+    let h_min = universe
+        .instance_ids()
+        .filter(|d| eligible[d.index()])
+        .map(|d| DualState::max_relative_height(universe, d))
+        .fold(1.0_f64, f64::min);
+    let xi = stage_xi(rule, layering.max_critical().max(1), h_min);
+    let stages = stages_per_epoch(xi, config.epsilon);
+    let profit_ratio = (universe.max_profit() / universe.min_profit()).max(1.0);
+    let step_cap = 4 * (profit_ratio.log2().ceil() as u64 + 4) + 32;
+
+    let mut scratch_stats = RoundStats::new();
+    for (epoch, group) in layering.groups().iter().enumerate() {
+        for stage in 1..=stages {
+            let threshold = 1.0 - xi.powi(stage as i32);
+            let mut step = 0usize;
+            loop {
+                let unsatisfied: Vec<InstanceId> = group
+                    .iter()
+                    .copied()
+                    .filter(|&d| {
+                        eligible[d.index()] && !duals.is_xi_satisfied(universe, d, threshold)
+                    })
+                    .collect();
+                if unsatisfied.is_empty() || step as u64 >= step_cap {
+                    break;
+                }
+                let strategy = match config.mis {
+                    MisStrategy::SequentialGreedy => MisStrategy::SequentialGreedy,
+                    MisStrategy::Luby { seed } => MisStrategy::Luby {
+                        seed: seed ^ ((epoch as u64) << 40 | (stage as u64) << 20 | step as u64),
+                    },
+                };
+                let mis = maximal_independent_set(
+                    &conflict,
+                    &unsatisfied,
+                    strategy,
+                    &mut scratch_stats,
+                );
+                let mut raised = Vec::with_capacity(mis.len());
+                for &d in &mis {
+                    let delta = duals.raise(universe, d, layering.critical(d));
+                    raised.push((d, delta));
+                }
+                trace.steps.push(StepRecord {
+                    epoch,
+                    stage,
+                    step,
+                    unsatisfied: unsatisfied.len(),
+                    raised,
+                });
+                step += 1;
+            }
+        }
+    }
+
+    // The solution itself comes from the canonical engine (identical
+    // configuration).
+    let solution = run_two_phase(universe, layering, rule, config);
+    (solution, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsched_decomp::TreeDecompositionKind;
+    use netsched_graph::fixtures::figure6_problem;
+    use netsched_graph::{NetworkId, TreeProblem, VertexId};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_problem(seed: u64, n: usize, m: usize) -> TreeProblem {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut p = TreeProblem::new(n);
+        let edges = (1..n)
+            .map(|i| (VertexId::new(rng.gen_range(0..i)), VertexId::new(i)))
+            .collect();
+        let t = p.add_network(edges).unwrap();
+        for _ in 0..m {
+            let u = rng.gen_range(0..n);
+            let mut v = rng.gen_range(0..n);
+            while v == u {
+                v = rng.gen_range(0..n);
+            }
+            p.add_unit_demand(
+                VertexId::new(u),
+                VertexId::new(v),
+                rng.gen_range(1.0..=16.0),
+                vec![t],
+            )
+            .unwrap();
+        }
+        p
+    }
+
+    #[test]
+    fn trace_matches_untraced_run_for_deterministic_mis() {
+        let p = random_problem(1, 20, 15);
+        let u = p.universe();
+        let layering = InstanceLayering::for_tree_problem(&p, &u, TreeDecompositionKind::Ideal);
+        let cfg = AlgorithmConfig::deterministic(0.1);
+        let (sol, trace) = run_two_phase_traced(&u, &layering, RaiseRule::Unit, &cfg);
+        let plain = run_two_phase(&u, &layering, RaiseRule::Unit, &cfg);
+        assert_eq!(sol.selected, plain.selected);
+        assert_eq!(sol.profit, plain.profit);
+        // Same raised set, same step count.
+        let mut traced_raised = trace.raised_in_order();
+        traced_raised.sort_unstable();
+        assert_eq!(traced_raised, plain.raised_instances);
+        assert_eq!(trace.num_steps() as u64, plain.diagnostics.steps);
+        assert_eq!(
+            trace.max_steps_per_stage() as u64,
+            plain.diagnostics.max_steps_per_stage
+        );
+    }
+
+    #[test]
+    fn deltas_are_positive_and_sum_below_dual_objective() {
+        let p = figure6_problem();
+        let u = p.universe();
+        let layering = InstanceLayering::for_tree_problem(&p, &u, TreeDecompositionKind::Ideal);
+        let (sol, trace) =
+            run_two_phase_traced(&u, &layering, RaiseRule::Unit, &AlgorithmConfig::deterministic(0.1));
+        let delta_sum: f64 = trace
+            .steps
+            .iter()
+            .flat_map(|s| s.raised.iter().map(|(_, d)| *d))
+            .sum();
+        assert!(delta_sum > 0.0);
+        // Each raise increases the dual objective by at most (∆ + 1)·δ.
+        assert!(
+            sol.diagnostics.dual_objective
+                <= (sol.diagnostics.delta as f64 + 1.0) * delta_sum + 1e-9
+        );
+        // δ(d) is recorded for every raised instance.
+        for d in &sol.raised_instances {
+            assert!(trace.delta_of(*d) > 0.0);
+        }
+        assert_eq!(trace.delta_of(InstanceId::new(9999.min(u.num_instances() as u32 as usize))), 0.0);
+    }
+
+    #[test]
+    fn kill_chain_profits_double_along_the_chain() {
+        // Claim 5.2: when d1 kills d2 in a stage, p(d2) ≥ 2·p(d1), so along
+        // any kill chain the profits at least double.
+        let p = random_problem(7, 24, 30);
+        let u = p.universe();
+        let layering = InstanceLayering::for_tree_problem(&p, &u, TreeDecompositionKind::Ideal);
+        let (_, trace) =
+            run_two_phase_traced(&u, &layering, RaiseRule::Unit, &AlgorithmConfig::deterministic(0.1));
+        let conflict = ConflictGraph::build(&u);
+        let chain = trace.longest_kill_chain(&u, &conflict);
+        assert!(!chain.is_empty());
+        for w in chain.windows(2) {
+            assert!(
+                u.profit(w[1]) >= 2.0 * u.profit(w[0]) - 1e-9,
+                "profits must double along a kill chain: {} then {}",
+                u.profit(w[0]),
+                u.profit(w[1])
+            );
+        }
+        // The chain length is therefore at most 1 + log2(pmax/pmin).
+        let bound = 1.0 + (u.max_profit() / u.min_profit()).log2();
+        assert!(chain.len() as f64 <= bound + 1e-9);
+    }
+
+    #[test]
+    fn empty_universe_gives_empty_trace() {
+        let p = TreeProblem::new(3);
+        let mut p = p;
+        p.add_network(vec![(VertexId(0), VertexId(1)), (VertexId(1), VertexId(2))])
+            .unwrap();
+        let u = p.universe();
+        let layering = InstanceLayering::for_tree_problem(&p, &u, TreeDecompositionKind::Ideal);
+        let (sol, trace) =
+            run_two_phase_traced(&u, &layering, RaiseRule::Unit, &AlgorithmConfig::default());
+        assert!(sol.is_empty());
+        assert_eq!(trace.num_steps(), 0);
+        let _ = NetworkId::new(0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Configuration of the distributed algorithms.
+
+use netsched_distrib::MisStrategy;
+use serde::{Deserialize, Serialize};
+
+/// Tunables shared by every algorithm in this crate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlgorithmConfig {
+    /// The accuracy parameter `ε > 0`. The slackness target of the first
+    /// phase is `λ = 1 − ε`, and the number of stages per epoch is
+    /// `⌈log_ξ ε⌉`.
+    pub epsilon: f64,
+    /// How maximal independent sets are computed in each step.
+    pub mis: MisStrategy,
+    /// Base seed for all randomized components (per-step MIS seeds are
+    /// derived deterministically from it).
+    pub seed: u64,
+}
+
+impl Default for AlgorithmConfig {
+    fn default() -> Self {
+        Self {
+            epsilon: 0.1,
+            mis: MisStrategy::Luby { seed: 0x5EED },
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl AlgorithmConfig {
+    /// A configuration with the given `ε` and defaults elsewhere.
+    pub fn with_epsilon(epsilon: f64) -> Self {
+        Self {
+            epsilon,
+            ..Self::default()
+        }
+    }
+
+    /// A deterministic configuration (sequential-greedy MIS), handy for
+    /// reproducible tests.
+    pub fn deterministic(epsilon: f64) -> Self {
+        Self {
+            epsilon,
+            mis: MisStrategy::SequentialGreedy,
+            seed: 0,
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.epsilon > 0.0 && self.epsilon < 1.0) {
+            return Err(format!("epsilon must lie in (0, 1), got {}", self.epsilon));
+        }
+        Ok(())
+    }
+}
+
+/// The per-demand-instance dual constraint form used by the two-phase
+/// engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RaiseRule {
+    /// Section 3.2 (unit-height / wide instances): the constraint is
+    /// `α(a_d) + Σ_{e ∼ d} β(e) ≥ p(d)`; raising adds `δ = s / (|π(d)| + 1)`
+    /// to `α(a_d)` and to `β(e)` for every critical edge.
+    Unit,
+    /// Section 6.1 (narrow instances): the constraint is
+    /// `α(a_d) + h(d) · Σ_{e ∼ d} β(e) ≥ p(d)` (with per-edge relative
+    /// heights `h(d)/c(e)` in the capacitated extension); raising adds
+    /// `δ = s / (1 + 2·h(d)·|π(d)|²)` to `α(a_d)` and `2|π(d)|·δ` to `β(e)`
+    /// for every critical edge, so that the constraint becomes tight.
+    Narrow,
+}
+
+/// Computes the paper's stage-progress constant `ξ` for the given raise
+/// rule, critical-set size `∆` and minimum (relative) height.
+///
+/// * Unit rule: `ξ = 2∆' / (2∆' + 1)` with `∆' = ∆ + 1` (Section 5 uses
+///   `14/15` for `∆ = 6`; Section 7 uses `8/9` for `∆ = 3`).
+/// * Narrow rule: `ξ = c / (c + h_min)` with `c = 2∆² + 1` (Section 6.1 and
+///   Section 7, "for some suitable constant c").
+pub fn stage_xi(rule: RaiseRule, delta: usize, h_min: f64) -> f64 {
+    match rule {
+        RaiseRule::Unit => {
+            let dp = 2.0 * (delta as f64 + 1.0);
+            dp / (dp + 1.0)
+        }
+        RaiseRule::Narrow => {
+            let c = 2.0 * (delta as f64) * (delta as f64) + 1.0;
+            c / (c + h_min.clamp(f64::MIN_POSITIVE, 1.0))
+        }
+    }
+}
+
+/// Number of stages per epoch: the smallest `b` with `ξ^b ≤ ε`.
+pub fn stages_per_epoch(xi: f64, epsilon: f64) -> usize {
+    assert!(xi > 0.0 && xi < 1.0, "xi must lie in (0, 1)");
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must lie in (0, 1)");
+    let b = (epsilon.ln() / xi.ln()).ceil() as usize;
+    b.max(1)
+}
+
+/// The approximation guarantee of a two-phase run governed by `(∆, λ)`:
+/// `(∆ + 1)/λ` for the unit rule (Lemma 3.1) and `(2∆² + 1)/λ` for the
+/// narrow rule (Lemma 6.1).
+pub fn approximation_bound(rule: RaiseRule, delta: usize, lambda: f64) -> f64 {
+    match rule {
+        RaiseRule::Unit => (delta as f64 + 1.0) / lambda,
+        RaiseRule::Narrow => (2.0 * (delta as f64).powi(2) + 1.0) / lambda,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xi_matches_paper_constants() {
+        // Section 5: ∆ = 6 ⇒ ξ = 14/15.
+        assert!((stage_xi(RaiseRule::Unit, 6, 1.0) - 14.0 / 15.0).abs() < 1e-12);
+        // Section 7: ∆ = 3 ⇒ ξ = 8/9.
+        assert!((stage_xi(RaiseRule::Unit, 3, 1.0) - 8.0 / 9.0).abs() < 1e-12);
+        // Section 6.1: c = 2∆² + 1 = 73 for ∆ = 6.
+        let xi = stage_xi(RaiseRule::Narrow, 6, 0.25);
+        assert!((xi - 73.0 / 73.25).abs() < 1e-12);
+        // Section 7 narrow: c' = 19 for ∆ = 3.
+        let xi = stage_xi(RaiseRule::Narrow, 3, 0.5);
+        assert!((xi - 19.0 / 19.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stages_per_epoch_grows_with_accuracy() {
+        let xi = stage_xi(RaiseRule::Unit, 6, 1.0);
+        let coarse = stages_per_epoch(xi, 0.5);
+        let fine = stages_per_epoch(xi, 0.01);
+        assert!(coarse < fine);
+        // ξ^b ≤ ε must hold.
+        assert!(xi.powi(fine as i32) <= 0.01 + 1e-12);
+        assert!(xi.powi(coarse as i32) <= 0.5 + 1e-12);
+    }
+
+    #[test]
+    fn narrow_stages_scale_with_inverse_hmin() {
+        let eps = 0.1;
+        let s_half = stages_per_epoch(stage_xi(RaiseRule::Narrow, 6, 0.5), eps);
+        let s_tenth = stages_per_epoch(stage_xi(RaiseRule::Narrow, 6, 0.1), eps);
+        // Roughly ×5 more stages for ×5 smaller h_min.
+        assert!(s_tenth > 3 * s_half);
+    }
+
+    #[test]
+    fn approximation_bounds_match_theorems() {
+        // Theorem 5.3: 7/(1 − ε).
+        assert!((approximation_bound(RaiseRule::Unit, 6, 0.9) - 7.0 / 0.9).abs() < 1e-12);
+        // Theorem 7.1: 4/(1 − ε).
+        assert!((approximation_bound(RaiseRule::Unit, 3, 0.9) - 4.0 / 0.9).abs() < 1e-12);
+        // Lemma 6.2: 73/(1 − ε).
+        assert!((approximation_bound(RaiseRule::Narrow, 6, 0.9) - 73.0 / 0.9).abs() < 1e-12);
+        // Section 7 narrow: 19/(1 − ε).
+        assert!((approximation_bound(RaiseRule::Narrow, 3, 0.9) - 19.0 / 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(AlgorithmConfig::default().validate().is_ok());
+        assert!(AlgorithmConfig::with_epsilon(0.0).validate().is_err());
+        assert!(AlgorithmConfig::with_epsilon(1.0).validate().is_err());
+        assert!(AlgorithmConfig::deterministic(0.2).validate().is_ok());
+    }
+}

@@ -1,0 +1,294 @@
+//! The dual variables `α(a)`, `β(e)` and their bookkeeping (Section 3.1 and
+//! Section 6.1).
+//!
+//! The primal LP selects demand instances subject to per-edge capacity and
+//! one-instance-per-demand constraints; its dual has a variable `α(a)` per
+//! demand and `β(e)` per (network, edge) pair, and one covering constraint
+//! per demand instance. The two-phase framework manipulates an (infeasible)
+//! dual assignment whose scaled version certifies the approximation bound
+//! via weak duality.
+
+use crate::config::RaiseRule;
+use netsched_graph::{DemandInstanceUniverse, InstanceId, NetworkId};
+
+/// The dual assignment `⟨α, β⟩`.
+#[derive(Debug, Clone)]
+pub struct DualState {
+    /// `α(a)` per demand.
+    alpha: Vec<f64>,
+    /// `β(e)` per network, per edge.
+    beta: Vec<Vec<f64>>,
+    /// Which constraint form / raise rule is in effect.
+    rule: RaiseRule,
+}
+
+impl DualState {
+    /// Creates the all-zero dual assignment for a universe.
+    pub fn new(universe: &DemandInstanceUniverse, rule: RaiseRule) -> Self {
+        let beta = (0..universe.num_networks())
+            .map(|t| vec![0.0; universe.num_edges(NetworkId::new(t))])
+            .collect();
+        Self {
+            alpha: vec![0.0; universe.num_demands()],
+            beta,
+            rule,
+        }
+    }
+
+    /// The raise rule this state was created with.
+    #[inline]
+    pub fn rule(&self) -> RaiseRule {
+        self.rule
+    }
+
+    /// `α(a)`.
+    #[inline]
+    pub fn alpha(&self, demand: netsched_graph::DemandId) -> f64 {
+        self.alpha[demand.index()]
+    }
+
+    /// `β(e)` for edge `e` of network `t`.
+    #[inline]
+    pub fn beta(&self, network: NetworkId, edge: netsched_graph::EdgeId) -> f64 {
+        self.beta[network.index()][edge.index()]
+    }
+
+    /// The *relative height* of instance `d` on edge `e`: `h(d) / c(e)`.
+    /// Equal to `h(d)` in the uniform-capacity setting of the arXiv text.
+    fn relative_height(universe: &DemandInstanceUniverse, d: InstanceId, edge: netsched_graph::EdgeId) -> f64 {
+        let inst = universe.instance(d);
+        inst.height / universe.capacity(netsched_graph::GlobalEdge::new(inst.network, edge))
+    }
+
+    /// The maximum relative height of `d` over its path (`ĥ(d)`); equals
+    /// `h(d)` under uniform capacities.
+    pub fn max_relative_height(universe: &DemandInstanceUniverse, d: InstanceId) -> f64 {
+        let inst = universe.instance(d);
+        inst.path
+            .iter()
+            .map(|e| Self::relative_height(universe, d, e))
+            .fold(0.0, f64::max)
+    }
+
+    /// The left-hand side of the dual constraint of `d`:
+    /// `α(a_d) + Σ_{e ∼ d} β(e)` under [`RaiseRule::Unit`], and
+    /// `α(a_d) + Σ_{e ∼ d} (h(d)/c(e)) · β(e)` under [`RaiseRule::Narrow`].
+    pub fn lhs(&self, universe: &DemandInstanceUniverse, d: InstanceId) -> f64 {
+        let inst = universe.instance(d);
+        let betas = &self.beta[inst.network.index()];
+        let mut sum = self.alpha[inst.demand.index()];
+        match self.rule {
+            RaiseRule::Unit => {
+                for e in inst.path.iter() {
+                    sum += betas[e.index()];
+                }
+            }
+            RaiseRule::Narrow => {
+                for e in inst.path.iter() {
+                    sum += Self::relative_height(universe, d, e) * betas[e.index()];
+                }
+            }
+        }
+        sum
+    }
+
+    /// The slack `s = p(d) − LHS` of the dual constraint of `d` (clamped to
+    /// zero from below).
+    pub fn slack(&self, universe: &DemandInstanceUniverse, d: InstanceId) -> f64 {
+        (universe.profit(d) - self.lhs(universe, d)).max(0.0)
+    }
+
+    /// Returns `true` if `d` is ξ-satisfied: `LHS ≥ ξ · p(d)` (Section 3.2).
+    pub fn is_xi_satisfied(&self, universe: &DemandInstanceUniverse, d: InstanceId, xi: f64) -> bool {
+        self.lhs(universe, d) + netsched_graph::EPS >= xi * universe.profit(d)
+    }
+
+    /// The largest `λ` for which every instance is λ-satisfied; this is the
+    /// slackness parameter reported at the end of the first phase.
+    pub fn achieved_lambda(&self, universe: &DemandInstanceUniverse) -> f64 {
+        universe
+            .instance_ids()
+            .map(|d| self.lhs(universe, d) / universe.profit(d))
+            .fold(f64::INFINITY, f64::min)
+            .min(1.0)
+    }
+
+    /// Raises instance `d` so that its dual constraint becomes tight, using
+    /// the critical edges `pi` and the state's raise rule. Returns the raise
+    /// amount `δ(d)`.
+    pub fn raise(
+        &mut self,
+        universe: &DemandInstanceUniverse,
+        d: InstanceId,
+        pi: &[netsched_graph::EdgeId],
+    ) -> f64 {
+        self.raise_with_options(universe, d, pi, true)
+    }
+
+    /// Like [`DualState::raise`] but optionally skipping the `α` variable.
+    ///
+    /// Appendix A notes that with a single tree-network (one instance per
+    /// demand) the `α` variables are unnecessary and dropping them improves
+    /// the sequential ratio from 3 to 2; in that mode
+    /// `δ = s / |π(d)|` and only the `β` variables are raised.
+    pub fn raise_with_options(
+        &mut self,
+        universe: &DemandInstanceUniverse,
+        d: InstanceId,
+        pi: &[netsched_graph::EdgeId],
+        include_alpha: bool,
+    ) -> f64 {
+        let inst = universe.instance(d);
+        let s = self.slack(universe, d);
+        if s <= 0.0 {
+            return 0.0;
+        }
+        let k = pi.len() as f64;
+        match self.rule {
+            RaiseRule::Unit => {
+                let denom = if include_alpha { k + 1.0 } else { k.max(1.0) };
+                let delta = s / denom;
+                if include_alpha {
+                    self.alpha[inst.demand.index()] += delta;
+                }
+                for &e in pi {
+                    debug_assert!(inst.path.contains(e), "critical edges must lie on the path");
+                    self.beta[inst.network.index()][e.index()] += delta;
+                }
+                delta
+            }
+            RaiseRule::Narrow => {
+                // δ is chosen so that the constraint becomes exactly tight:
+                // the LHS gains δ from α plus Σ_{e∈π} (h/c(e)) · 2kδ from the
+                // β variables. Under uniform capacities this is the paper's
+                // δ = s / (1 + 2·h(d)·|π(d)|²).
+                let rel_sum: f64 = pi
+                    .iter()
+                    .map(|&e| Self::relative_height(universe, d, e))
+                    .sum();
+                let delta = s / (1.0 + 2.0 * k * rel_sum);
+                self.alpha[inst.demand.index()] += delta;
+                for &e in pi {
+                    debug_assert!(inst.path.contains(e), "critical edges must lie on the path");
+                    self.beta[inst.network.index()][e.index()] += 2.0 * k * delta;
+                }
+                delta
+            }
+        }
+    }
+
+    /// The dual objective `Σ_a α(a) + Σ_e β(e)` of the current assignment.
+    pub fn objective(&self) -> f64 {
+        self.alpha.iter().sum::<f64>()
+            + self.beta.iter().map(|b| b.iter().sum::<f64>()).sum::<f64>()
+    }
+
+    /// An upper bound on the optimal profit obtained by scaling the dual
+    /// assignment by `1/λ` (weak duality, proof of Lemma 3.1). Only valid
+    /// when every instance is λ-satisfied — pass
+    /// [`DualState::achieved_lambda`] or a lower value.
+    pub fn scaled_upper_bound(&self, lambda: f64) -> f64 {
+        assert!(lambda > 0.0, "lambda must be positive");
+        self.objective() / lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsched_graph::fixtures::{figure1_line_problem, two_tree_problem};
+    use netsched_graph::EdgeId;
+
+    #[test]
+    fn unit_raise_makes_constraint_tight() {
+        let u = two_tree_problem().universe();
+        let mut duals = DualState::new(&u, RaiseRule::Unit);
+        let d = InstanceId::new(0);
+        assert_eq!(duals.lhs(&u, d), 0.0);
+        assert!(!duals.is_xi_satisfied(&u, d, 0.5));
+        let path: Vec<EdgeId> = u.instance(d).path.iter().collect();
+        let pi = &path[..path.len().min(2)];
+        let delta = duals.raise(&u, d, pi);
+        assert!(delta > 0.0);
+        let lhs = duals.lhs(&u, d);
+        assert!((lhs - u.profit(d)).abs() < 1e-9, "constraint must be tight");
+        assert!(duals.is_xi_satisfied(&u, d, 1.0));
+        // Raising again does nothing.
+        assert_eq!(duals.raise(&u, d, pi), 0.0);
+    }
+
+    #[test]
+    fn narrow_raise_makes_constraint_tight() {
+        let u = figure1_line_problem().universe();
+        let mut duals = DualState::new(&u, RaiseRule::Narrow);
+        for d in u.instance_ids() {
+            let path: Vec<EdgeId> = u.instance(d).path.iter().collect();
+            let pi: Vec<EdgeId> = vec![path[0], path[path.len() / 2], path[path.len() - 1]];
+            let mut pi = pi;
+            pi.sort_unstable();
+            pi.dedup();
+            duals.raise(&u, d, &pi);
+            assert!(
+                (duals.lhs(&u, d) - u.profit(d)).abs() < 1e-9,
+                "narrow raise must tighten the constraint"
+            );
+        }
+        assert!((duals.achieved_lambda(&u) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn raising_one_instance_helps_overlapping_ones() {
+        let u = figure1_line_problem().universe();
+        // A (instance 0) and B (instance 1) overlap on timeslots 3, 4.
+        let mut duals = DualState::new(&u, RaiseRule::Unit);
+        let shared = EdgeId::new(3);
+        duals.raise(&u, InstanceId::new(0), &[shared]);
+        assert!(duals.lhs(&u, InstanceId::new(1)) > 0.0);
+        // C (instance 2) is disjoint from A and its demand differs, so its
+        // LHS is untouched.
+        assert_eq!(duals.lhs(&u, InstanceId::new(2)), 0.0);
+    }
+
+    #[test]
+    fn objective_counts_alpha_and_beta() {
+        let u = two_tree_problem().universe();
+        let mut duals = DualState::new(&u, RaiseRule::Unit);
+        let d = InstanceId::new(0);
+        let path: Vec<EdgeId> = u.instance(d).path.iter().collect();
+        let delta = duals.raise(&u, d, &path[..1]);
+        // One alpha and one beta raised by delta each.
+        assert!((duals.objective() - 2.0 * delta).abs() < 1e-12);
+        assert!(duals.scaled_upper_bound(0.5) >= duals.objective());
+    }
+
+    #[test]
+    fn same_demand_instances_share_alpha() {
+        let u = two_tree_problem().universe();
+        let insts = u.instances_of_demand(netsched_graph::DemandId::new(0));
+        assert_eq!(insts.len(), 2);
+        let mut duals = DualState::new(&u, RaiseRule::Unit);
+        duals.raise(&u, insts[0], &[]);
+        // Raising with an empty critical set dumps the whole slack into
+        // alpha, which also appears in the sibling instance's constraint.
+        assert!(duals.lhs(&u, insts[1]) > 0.0);
+        assert!((duals.lhs(&u, insts[1]) - u.profit(insts[0])).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relative_heights_under_capacities() {
+        use netsched_graph::{TreeProblem, VertexId};
+        let mut p = TreeProblem::new(3);
+        let t = p
+            .add_network(vec![(VertexId(0), VertexId(1)), (VertexId(1), VertexId(2))])
+            .unwrap();
+        p.add_demand(VertexId(0), VertexId(2), 1.0, 0.6, vec![t]).unwrap();
+        p.set_capacity(t, 0, 2.0).unwrap();
+        let u = p.universe();
+        let d = InstanceId::new(0);
+        // Edge 0 has capacity 2 ⇒ relative height 0.3; edge 1 capacity 1 ⇒ 0.6.
+        assert!((DualState::max_relative_height(&u, d) - 0.6).abs() < 1e-12);
+        let mut duals = DualState::new(&u, RaiseRule::Narrow);
+        duals.raise(&u, d, &[EdgeId::new(0), EdgeId::new(1)]);
+        assert!((duals.lhs(&u, d) - 1.0).abs() < 1e-9);
+    }
+}

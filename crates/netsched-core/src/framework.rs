@@ -1,0 +1,498 @@
+//! The two-phase primal-dual framework (Section 3.2) and its distributed
+//! first phase (Section 5).
+//!
+//! The engine is generic over
+//!
+//! * the **layered decomposition** supplying the epoch of every demand
+//!   instance and its critical edges `π(d)` (this is where tree networks,
+//!   line networks and the Appendix A ordering differ), and
+//! * the **raise rule** ([`RaiseRule::Unit`] for unit-height/wide instances,
+//!   [`RaiseRule::Narrow`] for narrow instances).
+//!
+//! First phase: epochs iterate over the groups of the layered decomposition;
+//! each epoch runs `⌈log_ξ ε⌉` stages; each stage repeatedly computes a
+//! maximal independent set of the still-unsatisfied instances of the group
+//! and raises all of them simultaneously, pushing the MIS onto a stack.
+//! Second phase: pop the stack and greedily keep every instance that stays
+//! feasible.
+
+use crate::config::{stage_xi, stages_per_epoch, AlgorithmConfig, RaiseRule};
+use crate::duals::DualState;
+use crate::solution::{RunDiagnostics, Solution};
+use netsched_decomp::InstanceLayering;
+use netsched_distrib::{maximal_independent_set, ConflictGraph, MisStrategy, RoundStats};
+use netsched_graph::{DemandInstanceUniverse, InstanceId, EPS};
+
+/// Runs the two-phase framework on a universe with the given layering and
+/// raise rule. This is the engine behind every distributed algorithm in
+/// this crate (Theorems 5.3, 6.3, 7.1 and 7.2 only differ in the layering,
+/// the raise rule and the universe they pass in).
+pub fn run_two_phase(
+    universe: &DemandInstanceUniverse,
+    layering: &InstanceLayering,
+    rule: RaiseRule,
+    config: &AlgorithmConfig,
+) -> Solution {
+    config.validate().expect("invalid algorithm configuration");
+    if universe.num_instances() == 0 {
+        return Solution::empty();
+    }
+
+    let conflict = ConflictGraph::build(universe);
+    let mut duals = DualState::new(universe, rule);
+    let mut stats = RoundStats::new();
+
+    // Instances that can never be scheduled (their height exceeds some edge
+    // capacity on their path) are excluded from raising and from the dual
+    // certificate; they cannot belong to any feasible solution, so the
+    // optimum is unaffected.
+    let eligible: Vec<bool> = universe
+        .instance_ids()
+        .map(|d| DualState::max_relative_height(universe, d) <= 1.0 + EPS)
+        .collect();
+
+    // ξ and the number of stages per epoch (Sections 5, 6.1 and 7).
+    let h_min = universe
+        .instance_ids()
+        .filter(|d| eligible[d.index()])
+        .map(|d| DualState::max_relative_height(universe, d))
+        .fold(1.0_f64, f64::min);
+    let xi = stage_xi(rule, layering.max_critical().max(1), h_min);
+    let stages = stages_per_epoch(xi, config.epsilon);
+
+    // Safety cap on the number of steps per stage; Claim 5.2 bounds it by
+    // 1 + log2(p_max / p_min).
+    let profit_ratio = (universe.max_profit() / universe.min_profit()).max(1.0);
+    let step_cap = 4 * (profit_ratio.log2().ceil() as u64 + 4) + 32;
+
+    let groups = layering.groups();
+    let mut stack: Vec<Vec<InstanceId>> = Vec::new();
+    let mut steps: u64 = 0;
+    let mut max_steps_per_stage: u64 = 0;
+    let mut raised: u64 = 0;
+
+    // ---------------- First phase ----------------
+    for (epoch, group) in groups.iter().enumerate() {
+        for stage in 1..=stages {
+            let threshold = 1.0 - xi.powi(stage as i32);
+            let mut stage_steps: u64 = 0;
+            loop {
+                let unsatisfied: Vec<InstanceId> = group
+                    .iter()
+                    .copied()
+                    .filter(|&d| {
+                        eligible[d.index()] && !duals.is_xi_satisfied(universe, d, threshold)
+                    })
+                    .collect();
+                if unsatisfied.is_empty() {
+                    break;
+                }
+                debug_assert!(
+                    stage_steps < step_cap,
+                    "stage exceeded the Claim 5.2 step bound ({step_cap})"
+                );
+                if stage_steps >= step_cap {
+                    break;
+                }
+
+                // One step: MIS among the unsatisfied instances of the
+                // group, then raise every selected instance simultaneously.
+                let strategy = derive_strategy(config, epoch, stage, stage_steps);
+                let mis = maximal_independent_set(&conflict, &unsatisfied, strategy, &mut stats);
+
+                let mut outgoing_messages = 0u64;
+                for &d in &mis {
+                    duals.raise(universe, d, layering.critical(d));
+                    outgoing_messages += conflict.degree(d) as u64;
+                }
+                raised += mis.len() as u64;
+                // Broadcasting the raised dual variables to the processors
+                // that share a resource costs one round; each message
+                // carries at most |π(d)| + 1 ≤ ∆ + 1 records.
+                stats.record_messages(outgoing_messages, layering.max_critical() as u64 + 1);
+                stats.record_round();
+                stack.push(mis);
+                stage_steps += 1;
+            }
+            steps += stage_steps;
+            max_steps_per_stage = max_steps_per_stage.max(stage_steps);
+        }
+    }
+
+    // ---------------- Second phase ----------------
+    let mut selected: Vec<InstanceId> = Vec::new();
+    for mis in stack.iter().rev() {
+        let mut announced = 0u64;
+        for &d in mis {
+            if universe.can_add(&selected, d) {
+                selected.push(d);
+                announced += conflict.degree(d) as u64;
+            }
+        }
+        stats.record_messages(announced, 1);
+        stats.record_round();
+    }
+    selected.sort_unstable();
+
+    // The certificate: all eligible instances are λ-satisfied, so the dual
+    // assignment scaled by 1/λ upper-bounds the optimum (weak duality).
+    let lambda = universe
+        .instance_ids()
+        .filter(|d| eligible[d.index()])
+        .map(|d| duals.lhs(universe, d) / universe.profit(d))
+        .fold(1.0_f64, f64::min)
+        .max(EPS);
+    let dual_objective = duals.objective();
+
+    let mut raised_instances: Vec<InstanceId> = stack.iter().flatten().copied().collect();
+    raised_instances.sort_unstable();
+
+    let profit = universe.total_profit(&selected);
+    Solution {
+        selected,
+        raised_instances,
+        profit,
+        stats,
+        diagnostics: RunDiagnostics {
+            epochs: groups.len(),
+            stages_per_epoch: stages,
+            steps,
+            max_steps_per_stage,
+            raised,
+            delta: layering.max_critical(),
+            lambda,
+            dual_objective,
+            optimum_upper_bound: dual_objective / lambda,
+        },
+    }
+}
+
+/// Derives a per-step MIS strategy from the base configuration so that
+/// every step uses fresh (but reproducible) randomness.
+fn derive_strategy(
+    config: &AlgorithmConfig,
+    epoch: usize,
+    stage: usize,
+    step: u64,
+) -> MisStrategy {
+    match config.mis {
+        MisStrategy::SequentialGreedy => MisStrategy::SequentialGreedy,
+        MisStrategy::Luby { seed } => {
+            let mut x = seed
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(epoch as u64)
+                .wrapping_mul(0xBF58476D1CE4E5B9)
+                .wrapping_add(stage as u64)
+                .wrapping_mul(0x94D049BB133111EB)
+                .wrapping_add(step);
+            x ^= x >> 31;
+            MisStrategy::Luby { seed: x }
+        }
+    }
+}
+
+/// Verifies the *interference property* of a completed run (Section 3.2):
+/// replays the first phase deterministically is not possible, so instead we
+/// check the property that the layering guarantees — every pair of
+/// overlapping instances with `group(d1) ≤ group(d2)` has a critical edge of
+/// `d1` on `path(d2)`. Exposed mainly for tests and the experiment harness.
+pub fn check_interference_property(
+    universe: &DemandInstanceUniverse,
+    layering: &InstanceLayering,
+) -> Result<(), String> {
+    layering.check_layered_property(universe)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::approximation_bound;
+    use netsched_decomp::TreeDecompositionKind;
+    use netsched_graph::fixtures::{figure1_line_problem, figure6_problem, two_tree_problem};
+    use netsched_graph::{LineProblem, NetworkId, TreeProblem, VertexId};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_unit_tree_problem(seed: u64, n: usize, r: usize, m: usize) -> TreeProblem {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut p = TreeProblem::new(n);
+        let mut nets = Vec::new();
+        for _ in 0..r {
+            let edges = (1..n)
+                .map(|i| (VertexId::new(rng.gen_range(0..i)), VertexId::new(i)))
+                .collect();
+            nets.push(p.add_network(edges).unwrap());
+        }
+        for _ in 0..m {
+            let u = rng.gen_range(0..n);
+            let mut v = rng.gen_range(0..n);
+            while v == u {
+                v = rng.gen_range(0..n);
+            }
+            let access: Vec<NetworkId> = nets
+                .iter()
+                .copied()
+                .filter(|_| rng.gen_bool(0.6))
+                .collect();
+            let access = if access.is_empty() { vec![nets[0]] } else { access };
+            p.add_unit_demand(
+                VertexId::new(u),
+                VertexId::new(v),
+                rng.gen_range(1.0..64.0),
+                access,
+            )
+            .unwrap();
+        }
+        p
+    }
+
+    /// Internal consistency of Lemma 3.1: `dual_objective ≤ (∆ + 1)·p(S)`
+    /// and `OPT ≤ dual_objective / λ`, hence the certified ratio is at most
+    /// `(∆ + 1)/λ`.
+    fn assert_lemma_3_1(sol: &Solution) {
+        let d = sol.diagnostics;
+        assert!(
+            sol.profit * (d.delta as f64 + 1.0) + 1e-6 >= d.dual_objective,
+            "Lemma 3.1 inequality violated: profit {} · (∆+1) {} < dual {}",
+            sol.profit,
+            d.delta + 1,
+            d.dual_objective
+        );
+        let bound = approximation_bound(RaiseRule::Unit, d.delta, d.lambda);
+        let ratio = sol.certified_ratio().unwrap_or(1.0);
+        assert!(
+            ratio <= bound + 1e-6,
+            "certified ratio {ratio} exceeds the theorem bound {bound}"
+        );
+    }
+
+    #[test]
+    fn unit_engine_on_figure6() {
+        let p = figure6_problem();
+        let u = p.universe();
+        let layering = InstanceLayering::for_tree_problem(&p, &u, TreeDecompositionKind::Ideal);
+        let sol = run_two_phase(&u, &layering, RaiseRule::Unit, &AlgorithmConfig::deterministic(0.1));
+        sol.verify(&u).unwrap();
+        assert!(sol.profit > 0.0);
+        assert!(sol.diagnostics.lambda >= 1.0 - 0.1 - 1e-9);
+        assert_lemma_3_1(&sol);
+    }
+
+    #[test]
+    fn unit_engine_on_two_trees_picks_non_conflicting_routes() {
+        let p = two_tree_problem();
+        let u = p.universe();
+        let layering = InstanceLayering::for_tree_problem(&p, &u, TreeDecompositionKind::Ideal);
+        let sol = run_two_phase(&u, &layering, RaiseRule::Unit, &AlgorithmConfig::deterministic(0.05));
+        sol.verify(&u).unwrap();
+        // The three demands have total profit 7.5; at least two of them can
+        // always be scheduled (demand 0 via tree 1 and demand 1 via tree 0,
+        // say), and the 3-approximation guarantee forces a profit of at
+        // least opt/3+ε ≥ 2.5 even in the worst case. Empirically the engine
+        // schedules ≥ 2 demands here.
+        assert!(sol.len() >= 2, "expected at least two demands scheduled");
+        assert_lemma_3_1(&sol);
+    }
+
+    #[test]
+    fn narrow_engine_on_figure1() {
+        let p = figure1_line_problem();
+        let u = p.universe();
+        let layering = InstanceLayering::line_length_classes(&u);
+        let sol =
+            run_two_phase(&u, &layering, RaiseRule::Narrow, &AlgorithmConfig::deterministic(0.1));
+        sol.verify(&u).unwrap();
+        // {A, C} or {B, C} (profit 2) are feasible; the engine should find
+        // a solution of profit at least 1.
+        assert!(sol.profit >= 1.0);
+    }
+
+    #[test]
+    fn narrow_engine_respects_lemma_6_1_on_all_narrow_instances() {
+        // All heights at most 1/2 so the Lemma 6.1 accounting applies.
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut p = LineProblem::new(30, 2);
+        let acc = vec![NetworkId::new(0), NetworkId::new(1)];
+        for _ in 0..20 {
+            let len = rng.gen_range(1..=8u32);
+            let release = rng.gen_range(0..=(30 - len));
+            p.add_demand(
+                release,
+                release + len - 1,
+                len,
+                rng.gen_range(1.0..10.0),
+                rng.gen_range(0.1..=0.5),
+                acc.clone(),
+            )
+            .unwrap();
+        }
+        let u = p.universe();
+        let layering = InstanceLayering::line_length_classes(&u);
+        let sol =
+            run_two_phase(&u, &layering, RaiseRule::Narrow, &AlgorithmConfig::deterministic(0.1));
+        sol.verify(&u).unwrap();
+        let d = sol.diagnostics;
+        assert!(
+            sol.profit * (2.0 * (d.delta as f64).powi(2) + 1.0) + 1e-6 >= d.dual_objective,
+            "Lemma 6.1 inequality violated: profit {} vs dual {}",
+            sol.profit,
+            d.dual_objective
+        );
+        assert!(d.lambda >= 0.9 - 1e-9);
+        // Theorem bound for the narrow line case: (2·3² + 1)/λ = 19/(1 − ε).
+        assert!(sol.certified_ratio().unwrap() <= 19.0 / 0.9 + 1e-6);
+    }
+
+    #[test]
+    fn random_instances_unit_rule_respects_guarantees() {
+        for seed in 0..4u64 {
+            let p = random_unit_tree_problem(seed, 24, 3, 20);
+            let u = p.universe();
+            let layering =
+                InstanceLayering::for_tree_problem(&p, &u, TreeDecompositionKind::Ideal);
+            check_interference_property(&u, &layering).unwrap();
+            let cfg = AlgorithmConfig {
+                epsilon: 0.1,
+                mis: MisStrategy::Luby { seed: 99 + seed },
+                seed: seed,
+            };
+            let sol = run_two_phase(&u, &layering, RaiseRule::Unit, &cfg);
+            sol.verify(&u).unwrap();
+            assert!(sol.diagnostics.lambda >= 0.9 - 1e-9, "λ must reach 1 − ε");
+            assert_lemma_3_1(&sol);
+            assert!(sol.stats.rounds > 0);
+            assert!(sol.stats.mis_invocations > 0);
+        }
+    }
+
+    #[test]
+    fn every_raised_instance_is_selected_or_blocked() {
+        // The invariant used in the proof of Lemma 3.1: "for any d' ∈ R,
+        // either d' belongs to S or a successor of d' belongs to S" — in
+        // particular every raised instance is selected or conflicts with a
+        // selected instance.
+        let p = random_unit_tree_problem(7, 20, 2, 15);
+        let u = p.universe();
+        let layering = InstanceLayering::for_tree_problem(&p, &u, TreeDecompositionKind::Ideal);
+        let sol = run_two_phase(&u, &layering, RaiseRule::Unit, &AlgorithmConfig::deterministic(0.1));
+        let conflict = ConflictGraph::build(&u);
+        assert!(!sol.raised_instances.is_empty());
+        for &d in &sol.raised_instances {
+            let covered = sol.selected.contains(&d)
+                || sol
+                    .selected
+                    .iter()
+                    .any(|&s| conflict.are_conflicting(s, d));
+            assert!(covered, "raised instance {d} is neither selected nor blocked");
+        }
+    }
+
+    #[test]
+    fn deterministic_and_luby_runs_are_both_feasible_and_comparable() {
+        let p = random_unit_tree_problem(11, 30, 3, 25);
+        let u = p.universe();
+        let layering = InstanceLayering::for_tree_problem(&p, &u, TreeDecompositionKind::Ideal);
+        let det = run_two_phase(&u, &layering, RaiseRule::Unit, &AlgorithmConfig::deterministic(0.1));
+        let rnd = run_two_phase(
+            &u,
+            &layering,
+            RaiseRule::Unit,
+            &AlgorithmConfig {
+                epsilon: 0.1,
+                mis: MisStrategy::Luby { seed: 1 },
+                seed: 1,
+            },
+        );
+        det.verify(&u).unwrap();
+        rnd.verify(&u).unwrap();
+        // Both must satisfy the same worst-case bound; their profits should
+        // be in the same ballpark (within the approximation factor of each
+        // other).
+        let bound = approximation_bound(RaiseRule::Unit, layering.max_critical(), 0.9);
+        assert!(det.profit * bound + 1e-9 >= rnd.profit);
+        assert!(rnd.profit * bound + 1e-9 >= det.profit);
+    }
+
+    #[test]
+    fn steps_per_stage_respect_profit_ratio_bound() {
+        // Lemma 5.1 / Claim 5.2: the number of steps in a stage is at most
+        // 1 + log2(p_max / p_min) ... with the MIS tie-breaking this is a
+        // worst-case bound; we check a slightly relaxed version.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut p = TreeProblem::new(16);
+        let edges = (1..16)
+            .map(|i| (VertexId::new(rng.gen_range(0..i)), VertexId::new(i)))
+            .collect();
+        let t = p.add_network(edges).unwrap();
+        for _ in 0..30 {
+            let u = rng.gen_range(0..16);
+            let mut v = rng.gen_range(0..16);
+            while v == u {
+                v = rng.gen_range(0..16);
+            }
+            p.add_unit_demand(
+                VertexId::new(u),
+                VertexId::new(v),
+                rng.gen_range(1.0..=16.0),
+                vec![t],
+            )
+            .unwrap();
+        }
+        let u = p.universe();
+        let layering = InstanceLayering::for_tree_problem(&p, &u, TreeDecompositionKind::Ideal);
+        let sol = run_two_phase(&u, &layering, RaiseRule::Unit, &AlgorithmConfig::deterministic(0.1));
+        let ratio: f64 = 16.0;
+        assert!(
+            (sol.diagnostics.max_steps_per_stage as f64) <= ratio.log2() + 2.0,
+            "steps per stage {} exceed Claim 5.2 bound",
+            sol.diagnostics.max_steps_per_stage
+        );
+    }
+
+    #[test]
+    fn empty_universe_returns_empty_solution() {
+        let p = TreeProblem::new(4);
+        // A problem with a network but no demands.
+        let mut p = p;
+        p.add_network(vec![
+            (VertexId(0), VertexId(1)),
+            (VertexId(1), VertexId(2)),
+            (VertexId(2), VertexId(3)),
+        ])
+        .unwrap();
+        let u = p.universe();
+        let layering = InstanceLayering::for_tree_problem(&p, &u, TreeDecompositionKind::Ideal);
+        let sol = run_two_phase(&u, &layering, RaiseRule::Unit, &AlgorithmConfig::default());
+        assert!(sol.is_empty());
+        assert_eq!(sol.profit, 0.0);
+    }
+
+    #[test]
+    fn line_problem_with_windows_unit_rule() {
+        let mut p = LineProblem::new(20, 2);
+        let acc = vec![NetworkId::new(0), NetworkId::new(1)];
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..12 {
+            let len = rng.gen_range(1..=6u32);
+            let release = rng.gen_range(0..=(20 - len));
+            let slack = rng.gen_range(0..=(20 - release - len).min(4));
+            p.add_demand(
+                release,
+                release + len - 1 + slack,
+                len,
+                rng.gen_range(1.0..10.0),
+                1.0,
+                acc.clone(),
+            )
+            .unwrap();
+        }
+        let u = p.universe();
+        let layering = InstanceLayering::line_length_classes(&u);
+        let sol = run_two_phase(&u, &layering, RaiseRule::Unit, &AlgorithmConfig::deterministic(0.1));
+        sol.verify(&u).unwrap();
+        assert!(sol.profit > 0.0);
+        assert_lemma_3_1(&sol);
+        // ∆ = 3 for the line layering, so the certified ratio is ≤ 4/(1−ε).
+        assert!(sol.certified_ratio().unwrap() <= 4.0 / 0.9 + 1e-6);
+    }
+}

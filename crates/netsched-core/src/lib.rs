@@ -1,0 +1,50 @@
+//! The scheduling algorithms of "Distributed Algorithms for Scheduling on
+//! Line and Tree Networks" (Chakaravarthy, Roy, Sabharwal; arXiv:1205.1924,
+//! IPPS 2013).
+//!
+//! The crate is organized around a single generic engine,
+//! [`framework::run_two_phase`], which implements the two-phase primal-dual
+//! framework of Section 3.2 on top of a demand-instance universe
+//! (`netsched-graph`), a layered decomposition (`netsched-decomp`) and the
+//! distributed MIS substrate (`netsched-distrib`). The concrete algorithms
+//! differ only in which layering and raise rule they pass in:
+//!
+//! | Entry point | Paper result | Guarantee |
+//! |---|---|---|
+//! | [`tree::solve_unit_tree`] | Theorem 5.3 | `(7 + ε)` |
+//! | [`tree::solve_narrow_tree`] | Lemma 6.2 | `(73 + ε)` |
+//! | [`tree::solve_arbitrary_tree`] | Theorem 6.3 | `(80 + ε)` |
+//! | [`line::solve_line_unit`] | Theorem 7.1 | `(4 + ε)` |
+//! | [`line::solve_line_arbitrary`] | Theorem 7.2 | `(23 + ε)` |
+//! | [`sequential::solve_sequential_tree`] | Appendix A | `3` (sequential) |
+//!
+//! Every solution carries a dual certificate: `diagnostics.optimum_upper_bound`
+//! is a valid upper bound on the optimum (weak duality), so
+//! [`solution::Solution::certified_ratio`] is an instance-specific,
+//! machine-checked approximation ratio.
+//!
+//! The capacitated ("non-uniform bandwidths") extension of the IPPS version
+//! is supported throughout: per-edge capacities of the
+//! [`netsched_graph::TreeProblem`] are honoured by feasibility checks and by
+//! the dual constraints via relative heights `h(d)/c(e)`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analysis;
+pub mod config;
+pub mod duals;
+pub mod framework;
+pub mod line;
+pub mod sequential;
+pub mod solution;
+pub mod tree;
+
+pub use analysis::{run_two_phase_traced, StepRecord, Trace};
+pub use config::{approximation_bound, stage_xi, stages_per_epoch, AlgorithmConfig, RaiseRule};
+pub use duals::DualState;
+pub use framework::{check_interference_property, run_two_phase};
+pub use line::{solve_line_arbitrary, solve_line_narrow, solve_line_unit};
+pub use sequential::solve_sequential_tree;
+pub use solution::{RunDiagnostics, Solution};
+pub use tree::{solve_arbitrary_tree, solve_narrow_tree, solve_unit_tree, subproblem};

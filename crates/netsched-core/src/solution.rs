@@ -1,0 +1,164 @@
+//! Solutions and run diagnostics.
+
+use netsched_distrib::RoundStats;
+use netsched_graph::{DemandId, DemandInstanceUniverse, InstanceId, NetworkId};
+use serde::{Deserialize, Serialize};
+
+/// Diagnostics reported by a two-phase run; these are the quantities the
+/// paper's theorems bound (∆, λ, epochs, stages, steps) plus the dual
+/// objective used as an optimum upper bound.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunDiagnostics {
+    /// Number of epochs executed (`ℓ_max`, the layered-decomposition length).
+    pub epochs: usize,
+    /// Number of stages per epoch (`⌈log_ξ ε⌉`).
+    pub stages_per_epoch: usize,
+    /// Total number of first-phase steps (iterations) over all stages.
+    pub steps: u64,
+    /// Largest number of steps observed in a single stage (Lemma 5.1 bounds
+    /// this by `O(log(p_max/p_min))`).
+    pub max_steps_per_stage: u64,
+    /// Number of demand instances raised.
+    pub raised: u64,
+    /// The critical-set size ∆ of the layering actually used.
+    pub delta: usize,
+    /// The slackness λ achieved at the end of the first phase.
+    pub lambda: f64,
+    /// The dual objective `Σ α + Σ β` at the end of the first phase.
+    pub dual_objective: f64,
+    /// `dual_objective / λ`, an upper bound on the optimum profit.
+    pub optimum_upper_bound: f64,
+}
+
+/// The outcome of one scheduling algorithm run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Solution {
+    /// The selected demand instances (indices into the universe the
+    /// algorithm was run on).
+    pub selected: Vec<InstanceId>,
+    /// Every instance raised during the first phase (the paper's set `R`);
+    /// the second phase guarantees that each of them is either selected or
+    /// conflicts with a selected successor.
+    pub raised_instances: Vec<InstanceId>,
+    /// Total profit of the selection.
+    pub profit: f64,
+    /// Communication-round and message accounting.
+    pub stats: RoundStats,
+    /// Framework diagnostics.
+    pub diagnostics: RunDiagnostics,
+}
+
+impl Solution {
+    /// An empty solution.
+    pub fn empty() -> Self {
+        Self {
+            selected: Vec::new(),
+            raised_instances: Vec::new(),
+            profit: 0.0,
+            stats: RoundStats::default(),
+            diagnostics: RunDiagnostics::default(),
+        }
+    }
+
+    /// Number of scheduled demands.
+    pub fn len(&self) -> usize {
+        self.selected.len()
+    }
+
+    /// Returns `true` if nothing was scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.selected.is_empty()
+    }
+
+    /// Verifies the solution against a universe: feasibility (capacity and
+    /// one-instance-per-demand) and the reported profit.
+    pub fn verify(&self, universe: &DemandInstanceUniverse) -> Result<(), String> {
+        if !universe.is_feasible(&self.selected) {
+            return Err("selection violates feasibility".to_string());
+        }
+        let profit = universe.total_profit(&self.selected);
+        if (profit - self.profit).abs() > 1e-6 * (1.0 + profit.abs()) {
+            return Err(format!(
+                "reported profit {} does not match recomputed profit {}",
+                self.profit, profit
+            ));
+        }
+        Ok(())
+    }
+
+    /// The demands scheduled by this solution, with the network each one was
+    /// scheduled on.
+    pub fn assignments(&self, universe: &DemandInstanceUniverse) -> Vec<(DemandId, NetworkId)> {
+        self.selected
+            .iter()
+            .map(|&d| {
+                let inst = universe.instance(d);
+                (inst.demand, inst.network)
+            })
+            .collect()
+    }
+
+    /// The selected instances scheduled on a given network.
+    pub fn on_network(
+        &self,
+        universe: &DemandInstanceUniverse,
+        network: NetworkId,
+    ) -> Vec<InstanceId> {
+        universe.restrict_to_network(&self.selected, network)
+    }
+
+    /// The empirical approximation ratio `upper_bound / profit` implied by
+    /// the dual certificate (≥ 1; `None` when the solution is empty).
+    pub fn certified_ratio(&self) -> Option<f64> {
+        if self.profit <= 0.0 {
+            return None;
+        }
+        Some(self.diagnostics.optimum_upper_bound / self.profit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsched_graph::fixtures::figure1_line_problem;
+
+    #[test]
+    fn verify_catches_infeasible_and_wrong_profit() {
+        let u = figure1_line_problem().universe();
+        let mut s = Solution::empty();
+        s.selected = vec![InstanceId::new(0), InstanceId::new(2)];
+        s.profit = u.total_profit(&s.selected);
+        assert!(s.verify(&u).is_ok());
+        assert_eq!(s.len(), 2);
+
+        let mut bad = s.clone();
+        bad.selected = vec![InstanceId::new(0), InstanceId::new(1)];
+        bad.profit = u.total_profit(&bad.selected);
+        assert!(bad.verify(&u).is_err());
+
+        let mut wrong_profit = s.clone();
+        wrong_profit.profit += 1.0;
+        assert!(wrong_profit.verify(&u).is_err());
+    }
+
+    #[test]
+    fn assignments_and_restrictions() {
+        let u = figure1_line_problem().universe();
+        let mut s = Solution::empty();
+        s.selected = vec![InstanceId::new(1), InstanceId::new(2)];
+        s.profit = u.total_profit(&s.selected);
+        let asg = s.assignments(&u);
+        assert_eq!(asg.len(), 2);
+        assert!(asg.iter().all(|&(_, t)| t == NetworkId::new(0)));
+        assert_eq!(s.on_network(&u, NetworkId::new(0)).len(), 2);
+    }
+
+    #[test]
+    fn certified_ratio_requires_positive_profit() {
+        let mut s = Solution::empty();
+        assert!(s.certified_ratio().is_none());
+        s.profit = 2.0;
+        s.diagnostics.optimum_upper_bound = 5.0;
+        assert!((s.certified_ratio().unwrap() - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,298 @@
+//! Components of a tree network and balancer (centroid) computation.
+//!
+//! Section 4 of the paper works with *components*: vertex subsets that
+//! induce a connected subtree of a tree network. The two operations needed
+//! by the decomposition constructions are
+//!
+//! * splitting a component by one of its nodes (`split_component`), and
+//! * finding a *balancer* — a node whose removal splits the component into
+//!   pieces of size at most `⌊|C|/2⌋` (`find_balancer`). This is the classic
+//!   tree centroid; the paper observes that one always exists.
+
+use netsched_graph::{TreeNetwork, VertexId};
+
+/// Returns `true` if `comp` induces a non-empty connected subtree of `tree`.
+pub fn is_connected_subtree(tree: &TreeNetwork, comp: &[VertexId]) -> bool {
+    if comp.is_empty() {
+        return false;
+    }
+    let n = tree.num_vertices();
+    let mut member = vec![false; n];
+    for &v in comp {
+        if v.index() >= n || member[v.index()] {
+            return false; // out of range or duplicate
+        }
+        member[v.index()] = true;
+    }
+    // BFS restricted to members.
+    let mut visited = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    visited[comp[0].index()] = true;
+    queue.push_back(comp[0]);
+    let mut count = 1usize;
+    while let Some(u) = queue.pop_front() {
+        for &(v, _) in tree.neighbors(u) {
+            if member[v.index()] && !visited[v.index()] {
+                visited[v.index()] = true;
+                count += 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    count == comp.len()
+}
+
+/// The neighbourhood `Γ[C]` of a component: vertices outside `comp` adjacent
+/// (in `tree`) to some vertex of `comp`. The result is sorted and unique.
+pub fn neighbors_of(tree: &TreeNetwork, comp: &[VertexId]) -> Vec<VertexId> {
+    let n = tree.num_vertices();
+    let mut member = vec![false; n];
+    for &v in comp {
+        member[v.index()] = true;
+    }
+    let mut out = Vec::new();
+    let mut added = vec![false; n];
+    for &v in comp {
+        for &(w, _) in tree.neighbors(v) {
+            if !member[w.index()] && !added[w.index()] {
+                added[w.index()] = true;
+                out.push(w);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Splits component `comp` by node `z ∈ comp`: returns the vertex sets of
+/// the connected components of the induced subtree after deleting `z`
+/// (Section 4.2 "the node z splits C into components C1, ..., Cs").
+///
+/// The union of the returned components is `comp − {z}`; the result may be
+/// empty when `comp == {z}`.
+pub fn split_component(
+    tree: &TreeNetwork,
+    comp: &[VertexId],
+    z: VertexId,
+) -> Vec<Vec<VertexId>> {
+    let n = tree.num_vertices();
+    let mut member = vec![false; n];
+    for &v in comp {
+        member[v.index()] = true;
+    }
+    assert!(member[z.index()], "split node must belong to the component");
+    member[z.index()] = false;
+
+    let mut visited = vec![false; n];
+    let mut out = Vec::new();
+    // Each component of C − {z} contains exactly one neighbour of z, so we
+    // can seed the BFS from z's neighbours.
+    for &(start, _) in tree.neighbors(z) {
+        if !member[start.index()] || visited[start.index()] {
+            continue;
+        }
+        let mut queue = std::collections::VecDeque::new();
+        let mut part = Vec::new();
+        visited[start.index()] = true;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            part.push(u);
+            for &(v, _) in tree.neighbors(u) {
+                if member[v.index()] && !visited[v.index()] {
+                    visited[v.index()] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        out.push(part);
+    }
+    out
+}
+
+/// Finds a *balancer* (centroid) of the component: a node `z ∈ comp` such
+/// that every component of `comp − {z}` has at most `⌊|comp|/2⌋` vertices.
+///
+/// The paper's "following observation is easy to prove: any component
+/// contains a balancer"; this is the standard centroid argument, computed
+/// here by one DFS over the induced subtree in `O(|comp|)` time (after the
+/// `O(n)` membership scratch setup).
+pub fn find_balancer(tree: &TreeNetwork, comp: &[VertexId]) -> VertexId {
+    assert!(!comp.is_empty(), "cannot find a balancer of an empty component");
+    let n = tree.num_vertices();
+    let mut member = vec![false; n];
+    for &v in comp {
+        member[v.index()] = true;
+    }
+    let total = comp.len();
+    let root = comp[0];
+
+    // Iterative post-order DFS computing induced-subtree sizes.
+    let mut size = vec![0usize; n];
+    let mut parent: Vec<Option<VertexId>> = vec![None; n];
+    let mut order = Vec::with_capacity(total);
+    let mut stack = vec![root];
+    let mut seen = vec![false; n];
+    seen[root.index()] = true;
+    while let Some(u) = stack.pop() {
+        order.push(u);
+        for &(v, _) in tree.neighbors(u) {
+            if member[v.index()] && !seen[v.index()] {
+                seen[v.index()] = true;
+                parent[v.index()] = Some(u);
+                stack.push(v);
+            }
+        }
+    }
+    for &u in order.iter().rev() {
+        size[u.index()] += 1;
+        if let Some(p) = parent[u.index()] {
+            size[p.index()] += size[u.index()];
+        }
+    }
+
+    // The centroid is the vertex whose maximum split-component size is
+    // minimal; it always satisfies the ⌊total/2⌋ bound.
+    let mut best = root;
+    let mut best_max = usize::MAX;
+    for &u in &order {
+        let mut max_part = total - size[u.index()];
+        for &(v, _) in tree.neighbors(u) {
+            if member[v.index()] && parent[v.index()] == Some(u) {
+                max_part = max_part.max(size[v.index()]);
+            }
+        }
+        if max_part < best_max {
+            best_max = max_part;
+            best = u;
+        }
+    }
+    debug_assert!(
+        best_max <= total / 2,
+        "centroid bound violated: {best_max} > {}",
+        total / 2
+    );
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsched_graph::fixtures::figure6_tree;
+    use netsched_graph::NetworkId;
+
+    fn vids(ids: &[usize]) -> Vec<VertexId> {
+        ids.iter().map(|&i| VertexId::new(i)).collect()
+    }
+
+    fn tree() -> TreeNetwork {
+        figure6_tree(NetworkId::new(0))
+    }
+
+    #[test]
+    fn connectivity_check() {
+        let t = tree();
+        // Paper vertices 5, 2, 4 (indices 4, 1, 3) form a path — connected.
+        assert!(is_connected_subtree(&t, &vids(&[4, 1, 3])));
+        // Paper vertices 4 and 13 (indices 3, 12) are not adjacent.
+        assert!(!is_connected_subtree(&t, &vids(&[3, 12])));
+        // Duplicates and empty sets are rejected.
+        assert!(!is_connected_subtree(&t, &vids(&[3, 3])));
+        assert!(!is_connected_subtree(&t, &[]));
+        // The whole vertex set is connected.
+        let all: Vec<VertexId> = t.vertices().collect();
+        assert!(is_connected_subtree(&t, &all));
+    }
+
+    #[test]
+    fn neighbors_match_paper_example() {
+        let t = tree();
+        // Section 4.1: C(2) = {2, 4} (indices 1, 3) has pivot set {1, 5}
+        // (indices 0, 4).
+        let nb = neighbors_of(&t, &vids(&[1, 3]));
+        assert_eq!(nb, vids(&[0, 4]));
+        // Neighbours of the set {5, 9, 8, 2, 12, 13, 4} (indices 4, 8, 7, 1,
+        // 11, 12, 3) are {1, 10, 11} (indices 0, 9, 10): vertex 1 via the
+        // edge (1, 2) and the leaves 10, 11 via vertex 9.
+        let nb = neighbors_of(&t, &vids(&[4, 8, 7, 1, 11, 12, 3]));
+        assert_eq!(nb, vids(&[0, 9, 10]));
+    }
+
+    #[test]
+    fn split_by_node() {
+        let t = tree();
+        let all: Vec<VertexId> = t.vertices().collect();
+        // Splitting the whole tree by paper vertex 1 (index 0) gives the
+        // subtrees rooted at paper vertices 5, 6, 3.
+        let parts = split_component(&t, &all, VertexId::new(0));
+        assert_eq!(parts.len(), 3);
+        let sizes: Vec<usize> = {
+            let mut s: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+            s.sort_unstable();
+            s
+        };
+        // Branch via 3: {3, 7} → 2; via 6: {6, 14} → 2; via 5: 9 vertices.
+        assert_eq!(sizes, vec![2, 2, 9]);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, all.len() - 1);
+        for p in &parts {
+            assert!(is_connected_subtree(&t, p));
+        }
+    }
+
+    #[test]
+    fn split_singleton_component() {
+        let t = tree();
+        let parts = split_component(&t, &vids(&[3]), VertexId::new(3));
+        assert!(parts.is_empty());
+    }
+
+    #[test]
+    fn balancer_respects_half_bound() {
+        let t = tree();
+        let all: Vec<VertexId> = t.vertices().collect();
+        let z = find_balancer(&t, &all);
+        let parts = split_component(&t, &all, z);
+        for p in &parts {
+            assert!(
+                p.len() <= all.len() / 2,
+                "balancer {z} leaves a part of size {} > {}",
+                p.len(),
+                all.len() / 2
+            );
+        }
+    }
+
+    #[test]
+    fn balancer_of_path_is_middle() {
+        let t = TreeNetwork::line(NetworkId::new(0), 9).unwrap();
+        let all: Vec<VertexId> = t.vertices().collect();
+        let z = find_balancer(&t, &all);
+        // For a path of 9 vertices the centroid is the middle vertex.
+        assert_eq!(z, VertexId::new(4));
+    }
+
+    #[test]
+    fn balancer_of_star_is_center() {
+        // Star: center 0, leaves 1..=6.
+        let edges = (1..7).map(|i| (VertexId::new(0), VertexId::new(i))).collect();
+        let t = TreeNetwork::new(NetworkId::new(0), 7, edges).unwrap();
+        let all: Vec<VertexId> = t.vertices().collect();
+        assert_eq!(find_balancer(&t, &all), VertexId::new(0));
+    }
+
+    #[test]
+    fn balancer_of_sub_component() {
+        let t = tree();
+        // The component of paper vertices {5, 9, 8, 2, 12, 13, 4, 10, 11}
+        // (the subtree hanging off vertex 1 via 5).
+        let comp = vids(&[4, 8, 7, 1, 11, 12, 3, 9, 10]);
+        assert!(is_connected_subtree(&t, &comp));
+        let z = find_balancer(&t, &comp);
+        let parts = split_component(&t, &comp, z);
+        for p in &parts {
+            assert!(p.len() <= comp.len() / 2);
+        }
+        // The natural centroid of that subtree is paper vertex 5 (index 4).
+        assert_eq!(z, VertexId::new(4));
+    }
+}

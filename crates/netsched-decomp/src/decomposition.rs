@@ -1,0 +1,443 @@
+//! The tree-decomposition structure `H` of Section 4.1.
+//!
+//! A tree decomposition of a tree network `T` is a rooted tree `H` over the
+//! same vertex set such that
+//!
+//! 1. for any demand instance `d`, if `path(d)` passes through `x` and `y`
+//!    then it also passes through `LCA_H(x, y)`, and
+//! 2. for every node `z`, the set `C(z)` (`z` plus its descendants in `H`)
+//!    induces a connected subtree of `T`.
+//!
+//! Its two quality parameters are the *depth* (root has depth 1, following
+//! the paper) and the *pivot size* `θ` — the maximum number of neighbours of
+//! any `C(z)` in `T`.
+
+use crate::component;
+use netsched_graph::{EdgePath, LcaIndex, NetworkId, TreeNetwork, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// A rooted tree `H` over the vertex set of a tree network, intended to be a
+/// tree decomposition of that network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TreeDecomposition {
+    network: NetworkId,
+    root: VertexId,
+    /// Parent of each vertex in `H`; `None` only for the root.
+    parent: Vec<Option<VertexId>>,
+    /// Depth in `H`; the root has depth 1 (paper convention).
+    depth: Vec<u32>,
+    /// Children lists.
+    children: Vec<Vec<VertexId>>,
+    #[serde(skip)]
+    lca: Option<LcaIndex>,
+}
+
+impl TreeDecomposition {
+    /// Builds a decomposition from a parent array (the root is the unique
+    /// vertex with no parent). Panics if the parent array does not describe
+    /// a rooted tree covering all vertices.
+    pub fn from_parents(network: NetworkId, parent: Vec<Option<VertexId>>) -> Self {
+        let n = parent.len();
+        let mut children = vec![Vec::new(); n];
+        let mut root = None;
+        for (v, p) in parent.iter().enumerate() {
+            match p {
+                Some(p) => children[p.index()].push(VertexId::new(v)),
+                None => {
+                    assert!(root.is_none(), "tree decomposition must have a single root");
+                    root = Some(VertexId::new(v));
+                }
+            }
+        }
+        let root = root.expect("tree decomposition must have a root");
+
+        // Compute depths by BFS from the root; also verifies connectivity.
+        let mut depth = vec![0u32; n];
+        let mut queue = std::collections::VecDeque::new();
+        depth[root.index()] = 1;
+        queue.push_back(root);
+        let mut count = 0usize;
+        while let Some(u) = queue.pop_front() {
+            count += 1;
+            for &c in &children[u.index()] {
+                depth[c.index()] = depth[u.index()] + 1;
+                queue.push_back(c);
+            }
+        }
+        assert_eq!(count, n, "parent array must describe a connected rooted tree");
+
+        let zero_based: Vec<u32> = depth.iter().map(|d| d - 1).collect();
+        let lca = LcaIndex::new(&parent, &zero_based);
+        Self {
+            network,
+            root,
+            parent,
+            depth,
+            children,
+            lca: Some(lca),
+        }
+    }
+
+    /// Rebuilds the (non-serialized) LCA index after deserialization.
+    pub fn ensure_index(&mut self) {
+        if self.lca.is_none() {
+            let zero_based: Vec<u32> = self.depth.iter().map(|d| d - 1).collect();
+            self.lca = Some(LcaIndex::new(&self.parent, &zero_based));
+        }
+    }
+
+    fn lca_index(&self) -> &LcaIndex {
+        self.lca
+            .as_ref()
+            .expect("LCA index missing; call ensure_index() after deserialization")
+    }
+
+    /// The network this decomposition was built for.
+    #[inline]
+    pub fn network(&self) -> NetworkId {
+        self.network
+    }
+
+    /// The root `g` of `H`.
+    #[inline]
+    pub fn root(&self) -> VertexId {
+        self.root
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Depth of `v` in `H` (root has depth 1).
+    #[inline]
+    pub fn depth_of(&self, v: VertexId) -> u32 {
+        self.depth[v.index()]
+    }
+
+    /// Maximum depth over all vertices (the paper's `ℓ`).
+    pub fn max_depth(&self) -> u32 {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Parent of `v` in `H`.
+    #[inline]
+    pub fn parent_of(&self, v: VertexId) -> Option<VertexId> {
+        self.parent[v.index()]
+    }
+
+    /// Children of `v` in `H`.
+    #[inline]
+    pub fn children_of(&self, v: VertexId) -> &[VertexId] {
+        &self.children[v.index()]
+    }
+
+    /// Lowest common ancestor of `u` and `v` in `H`.
+    pub fn lca(&self, u: VertexId, v: VertexId) -> VertexId {
+        self.lca_index().lca(u, v)
+    }
+
+    /// Returns `true` if `anc` is an ancestor of `v` in `H` or equal to it.
+    pub fn is_ancestor_or_self(&self, anc: VertexId, v: VertexId) -> bool {
+        self.lca_index().is_ancestor_or_self(anc, v)
+    }
+
+    /// The component `C(z)`: `z` together with its descendants in `H`.
+    pub fn component_of(&self, z: VertexId) -> Vec<VertexId> {
+        let mut out = Vec::new();
+        let mut stack = vec![z];
+        while let Some(u) = stack.pop() {
+            out.push(u);
+            stack.extend(self.children[u.index()].iter().copied());
+        }
+        out
+    }
+
+    /// The node `µ(d)` at which a demand instance with the given path
+    /// vertices is *captured*: the least-depth vertex of the path in `H`
+    /// (Section 4.4). The first property of tree decompositions guarantees
+    /// it is unique.
+    pub fn captured_at(&self, path_vertices: &[VertexId]) -> VertexId {
+        *path_vertices
+            .iter()
+            .min_by_key(|v| self.depth[v.index()])
+            .expect("a demand path has at least two vertices")
+    }
+
+    /// Computes the pivot set `χ(z) = Γ[C(z)]` for every vertex.
+    ///
+    /// Implementation note: a vertex `b` belongs to `χ(x)` exactly when some
+    /// tree edge `(a, b)` has `a ∈ C(x)` and `b ∉ C(x)`, i.e. when `x` is an
+    /// ancestor-or-self of `a` in `H` but not of `b`. Those `x` are precisely
+    /// the vertices on the `H`-path from `a` up to (excluding)
+    /// `LCA_H(a, b)`, so every tree edge contributes to at most
+    /// `depth(H)` pivot sets and the whole computation takes
+    /// `O(n · depth(H))`.
+    pub fn pivot_sets(&self, tree: &TreeNetwork) -> Vec<Vec<VertexId>> {
+        let n = self.num_vertices();
+        let mut pivots: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        for (_, (a, b)) in tree.edges() {
+            for (from, other) in [(a, b), (b, a)] {
+                let stop = self.lca(a, b);
+                let mut x = from;
+                while x != stop {
+                    pivots[x.index()].push(other);
+                    match self.parent[x.index()] {
+                        Some(p) => x = p,
+                        None => break,
+                    }
+                }
+            }
+        }
+        for p in &mut pivots {
+            p.sort_unstable();
+            p.dedup();
+        }
+        pivots
+    }
+
+    /// The pivot size `θ`: maximum cardinality of `χ(z)` over all vertices.
+    pub fn pivot_size(&self, tree: &TreeNetwork) -> usize {
+        self.pivot_sets(tree)
+            .iter()
+            .map(|p| p.len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Checks both defining properties of tree decompositions against the
+    /// underlying tree network. Intended for tests and debug assertions
+    /// (`O(n^2 log n)`).
+    pub fn is_valid_for(&self, tree: &TreeNetwork) -> bool {
+        if tree.num_vertices() != self.num_vertices() {
+            return false;
+        }
+        // Property (ii): C(z) induces a connected subtree for every z.
+        for v in tree.vertices() {
+            let comp = self.component_of(v);
+            if !component::is_connected_subtree(tree, &comp) {
+                return false;
+            }
+        }
+        // Property (i): for every pair (x, y), the T-path between them
+        // passes through LCA_H(x, y). (Demand paths are a subset of all
+        // vertex pairs, so checking all pairs is sufficient and demand-free.)
+        for x in tree.vertices() {
+            for y in tree.vertices() {
+                if x >= y {
+                    continue;
+                }
+                let l = self.lca(x, y);
+                if !tree.path_passes_through(x, y, l) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The *wings* of a vertex `y` on a path: the edges of the path incident
+    /// to `y` (one if `y` is an end-point of the path, two otherwise);
+    /// Section 4.4.
+    pub fn wings_on_path(tree: &TreeNetwork, path: &EdgePath, y: VertexId) -> Vec<netsched_graph::EdgeId> {
+        tree.neighbors(y)
+            .iter()
+            .filter(|&&(_, e)| path.contains(e))
+            .map(|&(_, e)| e)
+            .collect()
+    }
+
+    /// The *bending point* of a path with end-points `(a, b)` with respect to
+    /// a vertex `u`: the unique vertex `y` on the path such that the tree
+    /// path from `u` to `y` avoids every other path vertex — equivalently the
+    /// median of `a`, `b`, `u` in `T` (Section 4.4).
+    pub fn bending_point(tree: &TreeNetwork, a: VertexId, b: VertexId, u: VertexId) -> VertexId {
+        // The median of three vertices in a tree is the pairwise LCA of
+        // maximum depth (with respect to any rooting of T).
+        let c1 = tree.lca(a, b);
+        let c2 = tree.lca(a, u);
+        let c3 = tree.lca(b, u);
+        let mut best = c1;
+        for c in [c2, c3] {
+            if tree.depth(c) > tree.depth(best) {
+                best = c;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsched_graph::fixtures::{figure6_tree, paper_vertex};
+
+    fn tree() -> TreeNetwork {
+        figure6_tree(NetworkId::new(0))
+    }
+
+    /// The example tree decomposition of Figure 3 (paper labels):
+    /// root 1; children of 1: 5, 6, 3; children of 5: 9, 8, 2;
+    /// children of 9: 11, 10; children of 8: 12, 13; children of 2: 4;
+    /// children of 6: 14; children of 3: 7.
+    fn figure3_decomposition() -> TreeDecomposition {
+        let parent_pairs = [
+            (5, 1),
+            (6, 1),
+            (3, 1),
+            (9, 5),
+            (8, 5),
+            (2, 5),
+            (11, 9),
+            (10, 9),
+            (12, 8),
+            (13, 8),
+            (4, 2),
+            (14, 6),
+            (7, 3),
+        ];
+        let mut parent: Vec<Option<VertexId>> = vec![None; 14];
+        for (c, p) in parent_pairs {
+            parent[paper_vertex(c).index()] = Some(paper_vertex(p));
+        }
+        TreeDecomposition::from_parents(NetworkId::new(0), parent)
+    }
+
+    #[test]
+    fn figure3_is_a_valid_decomposition() {
+        let t = tree();
+        let h = figure3_decomposition();
+        assert!(h.is_valid_for(&t));
+        assert_eq!(h.root(), paper_vertex(1));
+        // "This tree-decomposition has depth 4 and pivot set size θ = 2."
+        assert_eq!(h.max_depth(), 4);
+        assert_eq!(h.pivot_size(&t), 2);
+    }
+
+    #[test]
+    fn figure3_components_and_pivots_match_paper() {
+        let t = tree();
+        let h = figure3_decomposition();
+        // C(2) = {2, 4}; χ(2) = {1, 5}.
+        let mut c2 = h.component_of(paper_vertex(2));
+        c2.sort_unstable();
+        assert_eq!(c2, vec![paper_vertex(2), paper_vertex(4)]);
+        let pivots = h.pivot_sets(&t);
+        assert_eq!(
+            pivots[paper_vertex(2).index()],
+            vec![paper_vertex(1), paper_vertex(5)]
+        );
+        // χ(5) = {1}. (The paper lists C(5) without the leaves 10 and 11,
+        // but they must belong to C(5) for χ(5) = {1} to hold, since both
+        // are adjacent to 9 in the Figure 6 tree.)
+        assert_eq!(pivots[paper_vertex(5).index()], vec![paper_vertex(1)]);
+    }
+
+    #[test]
+    fn captured_at_matches_paper_example() {
+        let t = tree();
+        let h = figure3_decomposition();
+        // The demand ⟨4, 13⟩ is captured at node 5.
+        let path = t.path_vertices(paper_vertex(4), paper_vertex(13));
+        assert_eq!(h.captured_at(&path), paper_vertex(5));
+        // A demand within a single branch, e.g. ⟨12, 13⟩, is captured at 8.
+        let path = t.path_vertices(paper_vertex(12), paper_vertex(13));
+        assert_eq!(h.captured_at(&path), paper_vertex(8));
+    }
+
+    #[test]
+    fn bending_points_match_paper_example() {
+        let t = tree();
+        // "With respect to nodes 3 and 9, the bending points of the demand
+        // d = ⟨4, 13⟩ are 2 and 5, respectively." The path of ⟨4, 13⟩ is
+        // 4-2-5-8-13.
+        let a = paper_vertex(4);
+        let b = paper_vertex(13);
+        assert_eq!(
+            TreeDecomposition::bending_point(&t, a, b, paper_vertex(3)),
+            paper_vertex(2)
+        );
+        assert_eq!(
+            TreeDecomposition::bending_point(&t, a, b, paper_vertex(9)),
+            paper_vertex(5)
+        );
+        // A vertex already on the path is its own bending point.
+        assert_eq!(
+            TreeDecomposition::bending_point(&t, a, b, paper_vertex(8)),
+            paper_vertex(8)
+        );
+    }
+
+    #[test]
+    fn wings_match_paper_example() {
+        let t = tree();
+        let a = paper_vertex(4);
+        let b = paper_vertex(13);
+        let path = t.path_edges(a, b);
+        // "With respect to path(d), node 4 has only one wing ⟨4, 2⟩, while
+        // node 8 has two wings ⟨5, 8⟩ and ⟨8, 13⟩."
+        let w4 = TreeDecomposition::wings_on_path(&t, &path, paper_vertex(4));
+        assert_eq!(w4.len(), 1);
+        let w8 = TreeDecomposition::wings_on_path(&t, &path, paper_vertex(8));
+        assert_eq!(w8.len(), 2);
+        // A vertex not on the path has no wings.
+        let w7 = TreeDecomposition::wings_on_path(&t, &path, paper_vertex(7));
+        assert!(w7.is_empty());
+    }
+
+    #[test]
+    fn pivot_sets_match_brute_force_neighbourhoods() {
+        // The O(n·depth) pivot-set computation must agree with the direct
+        // definition χ(z) = Γ[C(z)] computed per node from scratch, for all
+        // three decomposition constructions on the Figure 6 tree.
+        let t = tree();
+        let decompositions = vec![
+            crate::root_fixing::root_fixing_decomposition(&t, paper_vertex(1)),
+            crate::balancing::balancing_decomposition(&t),
+            crate::ideal::ideal_decomposition(&t),
+            figure3_decomposition(),
+        ];
+        for h in decompositions {
+            let fast = h.pivot_sets(&t);
+            for z in t.vertices() {
+                let comp = h.component_of(z);
+                let brute = crate::component::neighbors_of(&t, &comp);
+                assert_eq!(
+                    fast[z.index()],
+                    brute,
+                    "pivot set of {z} disagrees with the brute-force neighbourhood"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_decomposition_detected() {
+        let t = tree();
+        // A "decomposition" rooted at a leaf whose parent structure is just
+        // a path through the vertices in index order is generally not a
+        // valid tree decomposition for the Figure 6 tree.
+        let mut parent: Vec<Option<VertexId>> = vec![None; 14];
+        for i in 1..14 {
+            parent[i] = Some(VertexId::new(i - 1));
+        }
+        let h = TreeDecomposition::from_parents(NetworkId::new(0), parent);
+        assert!(!h.is_valid_for(&t));
+    }
+
+    #[test]
+    #[should_panic(expected = "single root")]
+    fn two_roots_panic() {
+        let parent = vec![None, None, Some(VertexId(0))];
+        let _ = TreeDecomposition::from_parents(NetworkId::new(0), parent);
+    }
+
+    #[test]
+    fn ensure_index_roundtrip() {
+        let mut h = figure3_decomposition();
+        h.lca = None;
+        h.ensure_index();
+        assert_eq!(h.lca(paper_vertex(4), paper_vertex(13)), paper_vertex(5));
+    }
+}

@@ -1,0 +1,222 @@
+//! The ideal tree decomposition (Section 4.3, Lemma 4.1).
+//!
+//! `BuildIdealTD` recursively processes components that have **at most two
+//! neighbours** in the tree network. In each level it adds a balancer `z`
+//! and — when the two outside neighbours "meet" inside one split component —
+//! also a *junction* `j`, chosen so that every component handed to the next
+//! level again has at most two neighbours. The result is a tree
+//! decomposition with pivot size `θ = 2` and depth `O(log n)`
+//! (at most `2⌈log n⌉ + 1` with the paper's depth-1 root convention).
+
+use crate::component::{find_balancer, neighbors_of, split_component};
+use crate::decomposition::TreeDecomposition;
+use netsched_graph::{TreeNetwork, VertexId};
+
+/// Builds the ideal tree decomposition of `tree` (Lemma 4.1).
+///
+/// ```
+/// use netsched_decomp::{ideal_decomposition, ideal_depth_bound};
+/// use netsched_graph::{NetworkId, TreeNetwork};
+///
+/// // A path of 64 vertices: the root-fixing decomposition would have depth
+/// // 64, the ideal one stays logarithmic with pivot size at most 2.
+/// let tree = TreeNetwork::line(NetworkId::new(0), 64).unwrap();
+/// let h = ideal_decomposition(&tree);
+/// assert!(h.is_valid_for(&tree));
+/// assert!(h.pivot_size(&tree) <= 2);
+/// assert!(h.max_depth() <= ideal_depth_bound(64));
+/// ```
+pub fn ideal_decomposition(tree: &TreeNetwork) -> TreeDecomposition {
+    let n = tree.num_vertices();
+    let mut parent: Vec<Option<VertexId>> = vec![None; n];
+    let all: Vec<VertexId> = tree.vertices().collect();
+
+    if n == 1 {
+        return TreeDecomposition::from_parents(tree.id(), parent);
+    }
+
+    // Top level: split the whole vertex set by a balancer g; every resulting
+    // component has the single neighbour g, so the precondition of
+    // BuildIdealTD holds.
+    let g = find_balancer(tree, &all);
+    let mut stack: Vec<(Vec<VertexId>, VertexId)> = split_component(tree, &all, g)
+        .into_iter()
+        .map(|c| (c, g))
+        .collect();
+
+    // Each stack entry is a component C with |Γ(C)| ≤ 2 together with the
+    // H-node its sub-decomposition's root must hang under.
+    while let Some((comp, par)) = stack.pop() {
+        debug_assert!(
+            neighbors_of(tree, &comp).len() <= 2,
+            "BuildIdealTD precondition violated: component has more than two neighbours"
+        );
+        if comp.len() == 1 {
+            parent[comp[0].index()] = Some(par);
+            continue;
+        }
+
+        let z = find_balancer(tree, &comp);
+        let parts = split_component(tree, &comp, z);
+
+        // A split component violates the precondition only when it contains
+        // the attachment vertices of *both* outside neighbours as well as a
+        // neighbour of z; in that case (the paper's Case 2(b)) it has exactly
+        // three neighbours {u1, u2, z}.
+        let mut bad: Option<usize> = None;
+        for (i, part) in parts.iter().enumerate() {
+            let nb = neighbors_of(tree, part);
+            if nb.len() > 2 {
+                debug_assert!(bad.is_none(), "at most one component can exceed two neighbours");
+                debug_assert_eq!(nb.len(), 3);
+                bad = Some(i);
+            }
+        }
+
+        match bad {
+            None => {
+                // Cases 1 and 2(a): the balancer becomes the local root.
+                parent[z.index()] = Some(par);
+                for part in parts {
+                    stack.push((part, z));
+                }
+            }
+            Some(bad_idx) => {
+                // Case 2(b): locate the junction j — the median of u1, u2
+                // and z — and split the offending component by it.
+                let c_bad = &parts[bad_idx];
+                let nb = neighbors_of(tree, c_bad);
+                let outside: Vec<VertexId> = nb.into_iter().filter(|&v| v != z).collect();
+                debug_assert_eq!(outside.len(), 2);
+                let (u1, u2) = (outside[0], outside[1]);
+                let j = TreeDecomposition::bending_point(tree, u1, u2, z);
+                debug_assert!(
+                    c_bad.contains(&j),
+                    "the junction must lie inside the offending component"
+                );
+
+                // j is the local root, z hangs below it.
+                parent[j.index()] = Some(par);
+                parent[z.index()] = Some(j);
+
+                // Split C_bad by j. The sub-component adjacent to z (if any)
+                // goes below z; the others go below j.
+                for sub in split_component(tree, c_bad, j) {
+                    let adj_z = neighbors_of(tree, &sub).contains(&z);
+                    stack.push((sub, if adj_z { z } else { j }));
+                }
+                // The remaining components of the first split go below z.
+                for (i, part) in parts.iter().enumerate() {
+                    if i != bad_idx {
+                        stack.push((part.clone(), z));
+                    }
+                }
+            }
+        }
+    }
+
+    TreeDecomposition::from_parents(tree.id(), parent)
+}
+
+/// The depth bound guaranteed by Lemma 4.1 with the paper's depth-1 root
+/// convention: `2⌈log₂ n⌉ + 1`.
+pub fn ideal_depth_bound(n: usize) -> u32 {
+    if n <= 1 {
+        return 1;
+    }
+    2 * (usize::BITS - (n - 1).leading_zeros()) + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsched_graph::fixtures::figure6_tree;
+    use netsched_graph::NetworkId;
+
+    fn check(tree: &TreeNetwork) {
+        let h = ideal_decomposition(tree);
+        assert!(h.is_valid_for(tree), "ideal decomposition must be a valid TD");
+        assert!(
+            h.pivot_size(tree) <= 2,
+            "ideal decomposition must have pivot size at most 2 (got {})",
+            h.pivot_size(tree)
+        );
+        assert!(
+            h.max_depth() <= ideal_depth_bound(tree.num_vertices()),
+            "depth {} exceeds bound {} for n = {}",
+            h.max_depth(),
+            ideal_depth_bound(tree.num_vertices()),
+            tree.num_vertices()
+        );
+    }
+
+    #[test]
+    fn figure6_tree_ideal() {
+        check(&figure6_tree(NetworkId::new(0)));
+    }
+
+    #[test]
+    fn paths_of_many_sizes() {
+        for n in [2usize, 3, 4, 5, 8, 16, 33, 64, 127] {
+            check(&TreeNetwork::line(NetworkId::new(0), n).unwrap());
+        }
+    }
+
+    #[test]
+    fn stars_and_brooms() {
+        for n in [3usize, 8, 31, 64] {
+            let edges = (1..n).map(|i| (VertexId::new(0), VertexId::new(i))).collect();
+            check(&TreeNetwork::new(NetworkId::new(0), n, edges).unwrap());
+        }
+        // Broom: a path of 10 vertices with 10 extra leaves on the last one.
+        let mut edges: Vec<(VertexId, VertexId)> = (0..9)
+            .map(|i| (VertexId::new(i), VertexId::new(i + 1)))
+            .collect();
+        for i in 10..20 {
+            edges.push((VertexId::new(9), VertexId::new(i)));
+        }
+        check(&TreeNetwork::new(NetworkId::new(0), 20, edges).unwrap());
+    }
+
+    #[test]
+    fn caterpillar_and_binary_trees() {
+        // Caterpillar.
+        let mut edges: Vec<(VertexId, VertexId)> = (0..24)
+            .map(|i| (VertexId::new(i), VertexId::new(i + 1)))
+            .collect();
+        for i in 0..25 {
+            edges.push((VertexId::new(i), VertexId::new(25 + i)));
+        }
+        check(&TreeNetwork::new(NetworkId::new(0), 50, edges).unwrap());
+
+        // Complete binary tree on 63 vertices.
+        let edges = (1..63)
+            .map(|i| (VertexId::new((i - 1) / 2), VertexId::new(i)))
+            .collect();
+        check(&TreeNetwork::new(NetworkId::new(0), 63, edges).unwrap());
+    }
+
+    #[test]
+    fn single_and_two_vertex_trees() {
+        let t1 = TreeNetwork::new(NetworkId::new(0), 1, vec![]).unwrap();
+        let h1 = ideal_decomposition(&t1);
+        assert_eq!(h1.max_depth(), 1);
+        let t2 = TreeNetwork::line(NetworkId::new(0), 2).unwrap();
+        check(&t2);
+    }
+
+    #[test]
+    fn random_trees_from_pruefer_like_attachment() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        for n in [10usize, 30, 100, 257] {
+            for _ in 0..3 {
+                let edges = (1..n)
+                    .map(|i| (VertexId::new(rng.gen_range(0..i)), VertexId::new(i)))
+                    .collect();
+                check(&TreeNetwork::new(NetworkId::new(0), n, edges).unwrap());
+            }
+        }
+    }
+}

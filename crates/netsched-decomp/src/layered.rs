@@ -1,0 +1,456 @@
+//! Layered decompositions (Section 4.4 and Section 7).
+//!
+//! A layered decomposition of the demand instances of a network is a pair
+//! `⟨σ, π⟩`: an assignment of every instance to a group `G_1, …, G_ℓ` plus a
+//! set of *critical edges* `π(d) ⊆ path(d)` per instance, such that for any
+//! overlapping instances `d1 ∈ G_i`, `d2 ∈ G_j` with `i ≤ j`, `path(d2)`
+//! contains a critical edge of `d1`. The two quality parameters are the
+//! critical-set size `∆ = max |π(d)|` and the length `ℓ`.
+//!
+//! [`InstanceLayering`] stores a layered decomposition for an entire
+//! [`DemandInstanceUniverse`] (all networks merged, exactly as the
+//! distributed algorithm of Section 5 merges the per-network groups
+//! `G_k = ∪_q G_k^{(q)}`).
+
+use crate::balancing::balancing_decomposition;
+use crate::decomposition::TreeDecomposition;
+use crate::ideal::ideal_decomposition;
+use crate::root_fixing::root_fixing_decomposition;
+use netsched_graph::{
+    DemandInstanceUniverse, EdgeId, InstanceId, TreeProblem, VertexId,
+};
+use serde::{Deserialize, Serialize};
+
+/// Which tree decomposition to use when layering a tree problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TreeDecompositionKind {
+    /// Root-fixing decomposition (θ = 1, depth up to n), Section 4.2.
+    RootFixing,
+    /// Balancing/centroid decomposition (depth ≈ log n, θ up to log n),
+    /// Section 4.2.
+    Balancing,
+    /// The ideal decomposition (θ = 2, depth ≤ 2⌈log n⌉), Section 4.3.
+    Ideal,
+}
+
+/// A layered decomposition over all instances of a universe.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InstanceLayering {
+    group: Vec<usize>,
+    critical: Vec<Vec<EdgeId>>,
+    num_groups: usize,
+    max_critical: usize,
+}
+
+impl InstanceLayering {
+    /// Builds a layering from explicit per-instance groups and critical
+    /// sets.
+    pub fn from_parts(group: Vec<usize>, critical: Vec<Vec<EdgeId>>) -> Self {
+        assert_eq!(group.len(), critical.len());
+        let num_groups = group.iter().map(|g| g + 1).max().unwrap_or(0);
+        let max_critical = critical.iter().map(|c| c.len()).max().unwrap_or(0);
+        Self {
+            group,
+            critical,
+            num_groups,
+            max_critical,
+        }
+    }
+
+    /// Lemma 4.2: transforms per-network tree decompositions into a layered
+    /// decomposition with `∆ ≤ 2(θ + 1)`.
+    ///
+    /// Instances captured at the **deepest** nodes land in the first groups,
+    /// instances captured at the roots in the last, and the per-network
+    /// groups with the same index are merged (`G_k = ∪_q G_k^{(q)}`,
+    /// Section 5).
+    pub fn from_tree_decompositions(
+        problem: &TreeProblem,
+        universe: &DemandInstanceUniverse,
+        decompositions: &[TreeDecomposition],
+    ) -> Self {
+        assert_eq!(decompositions.len(), problem.num_networks());
+        let pivot_sets: Vec<Vec<Vec<VertexId>>> = decompositions
+            .iter()
+            .enumerate()
+            .map(|(q, h)| h.pivot_sets(problem.network(netsched_graph::NetworkId::new(q))))
+            .collect();
+
+        let mut group = vec![0usize; universe.num_instances()];
+        let mut critical = vec![Vec::new(); universe.num_instances()];
+        for inst in universe.instances() {
+            let tree = problem.network(inst.network);
+            let h = &decompositions[inst.network.index()];
+            let demand = problem.demand(inst.demand);
+            let (a, b) = (demand.u, demand.v);
+            let path_vertices = tree.path_vertices(a, b);
+            let z = h.captured_at(&path_vertices);
+
+            // Group: instances captured at depth ℓ_q go to group 0, those at
+            // the root (depth 1) to group ℓ_q − 1.
+            group[inst.id.index()] = (h.max_depth() - h.depth_of(z)) as usize;
+
+            // Critical edges: wings of z plus wings of the bending point with
+            // respect to every pivot of z.
+            let mut edges = TreeDecomposition::wings_on_path(tree, &inst.path, z);
+            for &u in &pivot_sets[inst.network.index()][z.index()] {
+                let y = TreeDecomposition::bending_point(tree, a, b, u);
+                edges.extend(TreeDecomposition::wings_on_path(tree, &inst.path, y));
+            }
+            edges.sort_unstable();
+            edges.dedup();
+            critical[inst.id.index()] = edges;
+        }
+        Self::from_parts(group, critical)
+    }
+
+    /// Builds the layering for a tree problem using the chosen tree
+    /// decomposition for every network. [`TreeDecompositionKind::Ideal`]
+    /// yields the paper's ∆ = 6, length O(log n) decomposition (Lemma 4.3).
+    pub fn for_tree_problem(
+        problem: &TreeProblem,
+        universe: &DemandInstanceUniverse,
+        kind: TreeDecompositionKind,
+    ) -> Self {
+        let decomps: Vec<TreeDecomposition> = problem
+            .networks()
+            .iter()
+            .map(|t| match kind {
+                TreeDecompositionKind::RootFixing => {
+                    root_fixing_decomposition(t, VertexId::new(0))
+                }
+                TreeDecompositionKind::Balancing => balancing_decomposition(t),
+                TreeDecompositionKind::Ideal => ideal_decomposition(t),
+            })
+            .collect();
+        Self::from_tree_decompositions(problem, universe, &decomps)
+    }
+
+    /// The Appendix A layering: root-fixing decomposition per network with
+    /// `π(d)` being only the wings of `µ(d)` (Observation A.1), giving
+    /// `∆ = 2` at the price of up to `n` groups.
+    pub fn appendix_a(problem: &TreeProblem, universe: &DemandInstanceUniverse) -> Self {
+        let decomps: Vec<TreeDecomposition> = problem
+            .networks()
+            .iter()
+            .map(|t| root_fixing_decomposition(t, VertexId::new(0)))
+            .collect();
+        let mut group = vec![0usize; universe.num_instances()];
+        let mut critical = vec![Vec::new(); universe.num_instances()];
+        for inst in universe.instances() {
+            let tree = problem.network(inst.network);
+            let h = &decomps[inst.network.index()];
+            let demand = problem.demand(inst.demand);
+            let path_vertices = tree.path_vertices(demand.u, demand.v);
+            let z = h.captured_at(&path_vertices);
+            group[inst.id.index()] = (h.max_depth() - h.depth_of(z)) as usize;
+            critical[inst.id.index()] = TreeDecomposition::wings_on_path(tree, &inst.path, z);
+        }
+        Self::from_parts(group, critical)
+    }
+
+    /// The line-network layering of Section 7: length classes with
+    /// `π(d) = {s(d), mid(d), e(d)}` and therefore `∆ = 3`,
+    /// `ℓ = ⌈log(L_max/L_min)⌉ + 1`.
+    ///
+    /// The universe must consist of line instances (contiguous paths); this
+    /// is the case for every universe produced by
+    /// [`netsched_graph::LineProblem::universe`].
+    pub fn line_length_classes(universe: &DemandInstanceUniverse) -> Self {
+        let l_min = universe
+            .instances()
+            .map(|d| d.len())
+            .min()
+            .unwrap_or(1)
+            .max(1);
+        let mut group = vec![0usize; universe.num_instances()];
+        let mut critical = vec![Vec::new(); universe.num_instances()];
+        for inst in universe.instances() {
+            let len = inst.len().max(1);
+            // Group i (0-based) holds lengths in [2^i · L_min, 2^{i+1} · L_min).
+            let ratio = len / l_min;
+            group[inst.id.index()] = (usize::BITS - 1 - ratio.leading_zeros()) as usize;
+
+            let edges = inst.path.as_slice();
+            let s = edges.first().copied().expect("line instances are non-empty");
+            let e = edges.last().copied().expect("line instances are non-empty");
+            let mid = EdgeId::new((s.index() + e.index()) / 2);
+            let mut c = vec![s, mid, e];
+            c.sort_unstable();
+            c.dedup();
+            critical[inst.id.index()] = c;
+        }
+        Self::from_parts(group, critical)
+    }
+
+    /// Group index (0-based) of instance `d`.
+    #[inline]
+    pub fn group(&self, d: InstanceId) -> usize {
+        self.group[d.index()]
+    }
+
+    /// Critical edges `π(d)` of instance `d` (edges of the instance's own
+    /// network).
+    #[inline]
+    pub fn critical(&self, d: InstanceId) -> &[EdgeId] {
+        &self.critical[d.index()]
+    }
+
+    /// Number of groups (`ℓ_max`).
+    #[inline]
+    pub fn num_groups(&self) -> usize {
+        self.num_groups
+    }
+
+    /// Maximum critical-set size (`∆`).
+    #[inline]
+    pub fn max_critical(&self) -> usize {
+        self.max_critical
+    }
+
+    /// The instances of each group, in group order.
+    pub fn groups(&self) -> Vec<Vec<InstanceId>> {
+        let mut out = vec![Vec::new(); self.num_groups];
+        for (i, &g) in self.group.iter().enumerate() {
+            out[g].push(InstanceId::new(i));
+        }
+        out
+    }
+
+    /// Verifies the defining property of layered decompositions against a
+    /// universe: for any overlapping `d1 ∈ G_i`, `d2 ∈ G_j` with `i ≤ j`,
+    /// `path(d2)` contains a critical edge of `d1`, and `π(d) ⊆ path(d)` for
+    /// every instance. Returns the first violation found.
+    pub fn check_layered_property(&self, universe: &DemandInstanceUniverse) -> Result<(), String> {
+        for inst in universe.instances() {
+            for &e in &self.critical[inst.id.index()] {
+                if !inst.path.contains(e) {
+                    return Err(format!(
+                        "critical edge {e} of instance {} is not on its path",
+                        inst.id
+                    ));
+                }
+            }
+        }
+        let ids: Vec<InstanceId> = universe.instance_ids().collect();
+        for &d1 in &ids {
+            for &d2 in &ids {
+                if d1 == d2 || self.group[d1.index()] > self.group[d2.index()] {
+                    continue;
+                }
+                if !universe.overlapping(d1, d2) {
+                    continue;
+                }
+                let path2 = &universe.instance(d2).path;
+                if !path2.intersects_slice(&self.critical[d1.index()]) {
+                    return Err(format!(
+                        "interference violated: {d1} (group {}) raised before {d2} (group {}) \
+                         but path({d2}) misses π({d1})",
+                        self.group[d1.index()],
+                        self.group[d2.index()],
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsched_graph::fixtures::{figure6_tree, paper_vertex};
+    use netsched_graph::{LineProblem, NetworkId};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A tree problem over the Figure 6 tree with a mix of long and short
+    /// demands.
+    fn figure6_many_demands() -> TreeProblem {
+        let tree = figure6_tree(NetworkId::new(0));
+        let mut p = TreeProblem::new(tree.num_vertices());
+        let t = p.add_tree(&tree).unwrap();
+        let pairs = [
+            (4, 13),
+            (2, 3),
+            (12, 13),
+            (10, 11),
+            (7, 14),
+            (4, 10),
+            (6, 13),
+            (1, 12),
+            (3, 7),
+            (9, 13),
+        ];
+        for (i, (a, b)) in pairs.iter().enumerate() {
+            p.add_unit_demand(paper_vertex(*a), paper_vertex(*b), (i + 1) as f64, vec![t])
+                .unwrap();
+        }
+        p
+    }
+
+    fn random_tree_problem(seed: u64, n: usize, r: usize, m: usize) -> TreeProblem {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut p = TreeProblem::new(n);
+        let mut nets = Vec::new();
+        for _ in 0..r {
+            let edges = (1..n)
+                .map(|i| (VertexId::new(rng.gen_range(0..i)), VertexId::new(i)))
+                .collect();
+            nets.push(p.add_network(edges).unwrap());
+        }
+        for _ in 0..m {
+            let u = rng.gen_range(0..n);
+            let mut v = rng.gen_range(0..n);
+            while v == u {
+                v = rng.gen_range(0..n);
+            }
+            let access: Vec<NetworkId> = nets
+                .iter()
+                .copied()
+                .filter(|_| rng.gen_bool(0.7))
+                .collect();
+            let access = if access.is_empty() { vec![nets[0]] } else { access };
+            p.add_unit_demand(
+                VertexId::new(u),
+                VertexId::new(v),
+                rng.gen_range(1.0..100.0),
+                access,
+            )
+            .unwrap();
+        }
+        p
+    }
+
+    #[test]
+    fn ideal_layering_has_delta_at_most_six() {
+        let p = figure6_many_demands();
+        let u = p.universe();
+        let layering = InstanceLayering::for_tree_problem(&p, &u, TreeDecompositionKind::Ideal);
+        assert!(layering.max_critical() <= 6, "Lemma 4.3: ∆ ≤ 6");
+        layering.check_layered_property(&u).unwrap();
+        // Length is at most the ideal decomposition depth bound.
+        assert!(layering.num_groups() as u32 <= crate::ideal::ideal_depth_bound(14));
+    }
+
+    #[test]
+    fn appendix_a_layering_has_delta_at_most_two() {
+        let p = figure6_many_demands();
+        let u = p.universe();
+        let layering = InstanceLayering::appendix_a(&p, &u);
+        assert!(layering.max_critical() <= 2, "Observation A.1: ∆ ≤ 2");
+        layering.check_layered_property(&u).unwrap();
+    }
+
+    #[test]
+    fn balancing_and_root_fixing_layerings_are_valid() {
+        let p = figure6_many_demands();
+        let u = p.universe();
+        for kind in [
+            TreeDecompositionKind::RootFixing,
+            TreeDecompositionKind::Balancing,
+        ] {
+            let layering = InstanceLayering::for_tree_problem(&p, &u, kind);
+            layering.check_layered_property(&u).unwrap();
+        }
+    }
+
+    #[test]
+    fn random_instances_all_layerings_valid() {
+        for seed in 0..5u64 {
+            let p = random_tree_problem(seed, 40, 3, 25);
+            let u = p.universe();
+            for kind in [
+                TreeDecompositionKind::RootFixing,
+                TreeDecompositionKind::Balancing,
+                TreeDecompositionKind::Ideal,
+            ] {
+                let layering = InstanceLayering::for_tree_problem(&p, &u, kind);
+                layering
+                    .check_layered_property(&u)
+                    .unwrap_or_else(|e| panic!("seed {seed}, {kind:?}: {e}"));
+                if kind == TreeDecompositionKind::Ideal {
+                    assert!(layering.max_critical() <= 6);
+                }
+            }
+            let appendix = InstanceLayering::appendix_a(&p, &u);
+            appendix.check_layered_property(&u).unwrap();
+            assert!(appendix.max_critical() <= 2);
+        }
+    }
+
+    #[test]
+    fn line_length_classes_have_delta_three_and_log_groups() {
+        let mut p = LineProblem::new(64, 2);
+        let acc = vec![NetworkId::new(0), NetworkId::new(1)];
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..30 {
+            let len = rng.gen_range(1..=32u32);
+            let release = rng.gen_range(0..=(64 - len));
+            let slack = rng.gen_range(0..=(64 - release - len));
+            p.add_demand(
+                release,
+                release + len - 1 + slack,
+                len,
+                rng.gen_range(1.0..10.0),
+                1.0,
+                acc.clone(),
+            )
+            .unwrap();
+        }
+        let u = p.universe();
+        let layering = InstanceLayering::line_length_classes(&u);
+        assert!(layering.max_critical() <= 3, "Section 7: ∆ = 3");
+        // ℓ ≤ ⌈log(L_max / L_min)⌉ + 1 ≤ log 64 + 1.
+        assert!(layering.num_groups() <= 7);
+        layering.check_layered_property(&u).unwrap();
+    }
+
+    #[test]
+    fn line_groups_are_by_doubling_lengths() {
+        let mut p = LineProblem::new(32, 1);
+        let acc = vec![NetworkId::new(0)];
+        for len in [1u32, 2, 3, 4, 7, 8, 16] {
+            p.add_interval_demand(0, len, 1.0, 1.0, acc.clone()).unwrap();
+        }
+        let u = p.universe();
+        let layering = InstanceLayering::line_length_classes(&u);
+        // L_min = 1: lengths 1 → group 0; 2, 3 → group 1; 4..7 → group 2;
+        // 8..15 → group 3; 16 → group 4.
+        let groups: Vec<usize> = u.instance_ids().map(|d| layering.group(d)).collect();
+        assert_eq!(groups, vec![0, 1, 1, 2, 2, 3, 4]);
+    }
+
+    #[test]
+    fn groups_accessor_partitions_instances() {
+        let p = figure6_many_demands();
+        let u = p.universe();
+        let layering = InstanceLayering::for_tree_problem(&p, &u, TreeDecompositionKind::Ideal);
+        let groups = layering.groups();
+        let total: usize = groups.iter().map(|g| g.len()).sum();
+        assert_eq!(total, u.num_instances());
+        for (gi, g) in groups.iter().enumerate() {
+            for &d in g {
+                assert_eq!(layering.group(d), gi);
+            }
+        }
+    }
+
+    #[test]
+    fn check_detects_bad_layering() {
+        let p = figure6_many_demands();
+        let u = p.universe();
+        // An adversarial layering: everything in one group with empty
+        // critical sets must be rejected (the demands overlap).
+        let bad = InstanceLayering::from_parts(
+            vec![0; u.num_instances()],
+            vec![Vec::new(); u.num_instances()],
+        );
+        assert!(bad.check_layered_property(&u).is_err());
+        // Critical edges not on the path are also rejected.
+        let mut critical = vec![Vec::new(); u.num_instances()];
+        critical[0] = vec![EdgeId::new(9999)];
+        let bad = InstanceLayering::from_parts(vec![0; u.num_instances()], critical);
+        assert!(bad.check_layered_property(&u).is_err());
+    }
+}

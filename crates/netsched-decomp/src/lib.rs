@@ -1,0 +1,30 @@
+//! Tree decompositions and layered decompositions for `netsched`.
+//!
+//! This crate implements Section 4 of the paper:
+//!
+//! * [`component`] — components of a tree network, neighbourhoods and
+//!   balancers (centroids);
+//! * [`decomposition::TreeDecomposition`] — the rooted tree `H` with its
+//!   pivot sets, capture points `µ(d)`, wings and bending points;
+//! * [`root_fixing`], [`balancing`], [`ideal`] — the three constructions of
+//!   Sections 4.2 and 4.3 (the ideal decomposition achieves pivot size
+//!   `θ = 2` and depth `O(log n)`, Lemma 4.1);
+//! * [`layered::InstanceLayering`] — layered decompositions (Lemma 4.2 for
+//!   trees with `∆ = 2(θ + 1)`, the Appendix A variant with `∆ = 2`, and the
+//!   Section 7 length-class decomposition for line networks with `∆ = 3`).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod balancing;
+pub mod component;
+pub mod decomposition;
+pub mod ideal;
+pub mod layered;
+pub mod root_fixing;
+
+pub use balancing::balancing_decomposition;
+pub use decomposition::TreeDecomposition;
+pub use ideal::{ideal_decomposition, ideal_depth_bound};
+pub use layered::{InstanceLayering, TreeDecompositionKind};
+pub use root_fixing::root_fixing_decomposition;

@@ -1,0 +1,72 @@
+//! The root-fixing tree decomposition (Section 4.2).
+//!
+//! Pick an arbitrary root `g` and let `H` be `T` itself rooted at `g`. Every
+//! component `C(z)` is the subtree of `T` below `z`, whose single neighbour
+//! is `z`'s parent, so the pivot size is `θ = 1`; the depth, however, can be
+//! as large as `n`. The sequential Appendix A algorithm implicitly uses this
+//! decomposition.
+
+use crate::decomposition::TreeDecomposition;
+use netsched_graph::{TreeNetwork, VertexId};
+
+/// Builds the root-fixing decomposition of `tree` rooted at `root`.
+pub fn root_fixing_decomposition(tree: &TreeNetwork, root: VertexId) -> TreeDecomposition {
+    let n = tree.num_vertices();
+    assert!(root.index() < n, "root out of range");
+    let mut parent: Vec<Option<VertexId>> = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    visited[root.index()] = true;
+    queue.push_back(root);
+    while let Some(u) = queue.pop_front() {
+        for &(v, _) in tree.neighbors(u) {
+            if !visited[v.index()] {
+                visited[v.index()] = true;
+                parent[v.index()] = Some(u);
+                queue.push_back(v);
+            }
+        }
+    }
+    TreeDecomposition::from_parents(tree.id(), parent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsched_graph::fixtures::{figure6_tree, paper_vertex};
+    use netsched_graph::NetworkId;
+
+    #[test]
+    fn root_fixing_is_valid_with_pivot_one() {
+        let t = figure6_tree(NetworkId::new(0));
+        let h = root_fixing_decomposition(&t, paper_vertex(1));
+        assert!(h.is_valid_for(&t));
+        assert_eq!(h.root(), paper_vertex(1));
+        assert_eq!(h.pivot_size(&t), 1, "root-fixing decompositions have θ = 1");
+        // Depth of the Figure 6 tree rooted at vertex 1 is 5 (e.g. 1-2-5-8-12).
+        assert_eq!(h.max_depth(), 5);
+    }
+
+    #[test]
+    fn path_graph_rooted_at_end_has_depth_n() {
+        let t = TreeNetwork::line(NetworkId::new(0), 16).unwrap();
+        let h = root_fixing_decomposition(&t, VertexId::new(0));
+        assert!(h.is_valid_for(&t));
+        assert_eq!(h.max_depth() as usize, t.num_vertices());
+        assert_eq!(h.pivot_size(&t), 1);
+    }
+
+    #[test]
+    fn captured_at_matches_appendix_a_example() {
+        let t = figure6_tree(NetworkId::new(0));
+        let h = root_fixing_decomposition(&t, paper_vertex(1));
+        // Appendix A: "A rooted-tree H has been constructed by picking the
+        // node 1 as the root. The demand instance d = ⟨4, 13⟩ will be
+        // captured at the node µ(d) = 2."
+        let path = t.path_vertices(paper_vertex(4), paper_vertex(13));
+        assert_eq!(h.captured_at(&path), paper_vertex(2));
+        // And this is exactly LCA_T(4, 13) for the same rooting (vertex 0 of
+        // the TreeNetwork is paper vertex 1).
+        assert_eq!(t.lca(paper_vertex(4), paper_vertex(13)), paper_vertex(2));
+    }
+}

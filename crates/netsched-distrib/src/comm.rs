@@ -1,0 +1,169 @@
+//! The communication graph among processors.
+//!
+//! "Two processors can communicate with each other, if they have access to
+//! some common resource" (Section 1). This module builds that graph from
+//! the processors' access sets; the experiment harness uses it to
+//! illustrate that its diameter can be as large as the number of
+//! processors, which is why polylogarithmic-round algorithms are
+//! non-trivial.
+
+use netsched_graph::{Processor, ProcessorId};
+
+/// The communication graph: vertices are processors, edges connect
+/// processors whose access sets intersect.
+#[derive(Debug, Clone)]
+pub struct CommGraph {
+    adj: Vec<Vec<ProcessorId>>,
+    num_edges: usize,
+}
+
+impl CommGraph {
+    /// Builds the communication graph from the processors' access sets.
+    ///
+    /// Construction buckets processors per resource, so the cost is the sum
+    /// of squared per-resource populations.
+    pub fn build(processors: &[Processor], num_resources: usize) -> Self {
+        let n = processors.len();
+        let mut by_resource: Vec<Vec<ProcessorId>> = vec![Vec::new(); num_resources];
+        for p in processors {
+            for &t in &p.access {
+                by_resource[t.index()].push(p.id);
+            }
+        }
+        let mut adj: Vec<Vec<ProcessorId>> = vec![Vec::new(); n];
+        for group in &by_resource {
+            for (i, &p1) in group.iter().enumerate() {
+                for &p2 in &group[i + 1..] {
+                    adj[p1.index()].push(p2);
+                    adj[p2.index()].push(p1);
+                }
+            }
+        }
+        let mut num_edges = 0;
+        for nbrs in &mut adj {
+            nbrs.sort_unstable();
+            nbrs.dedup();
+            num_edges += nbrs.len();
+        }
+        Self {
+            adj,
+            num_edges: num_edges / 2,
+        }
+    }
+
+    /// Number of processors.
+    #[inline]
+    pub fn num_processors(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of communication edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Neighbours of processor `p`.
+    #[inline]
+    pub fn neighbors(&self, p: ProcessorId) -> &[ProcessorId] {
+        &self.adj[p.index()]
+    }
+
+    /// Returns `true` if `p` and `q` can exchange messages directly.
+    pub fn can_communicate(&self, p: ProcessorId, q: ProcessorId) -> bool {
+        self.adj[p.index()].binary_search(&q).is_ok()
+    }
+
+    /// The eccentricity-based diameter of the graph (∞ is reported as
+    /// `None` when the graph is disconnected); BFS from every vertex.
+    pub fn diameter(&self) -> Option<usize> {
+        let n = self.adj.len();
+        if n == 0 {
+            return Some(0);
+        }
+        let mut best = 0usize;
+        for s in 0..n {
+            let mut dist = vec![usize::MAX; n];
+            let mut queue = std::collections::VecDeque::new();
+            dist[s] = 0;
+            queue.push_back(s);
+            while let Some(u) = queue.pop_front() {
+                for &v in &self.adj[u] {
+                    if dist[v.index()] == usize::MAX {
+                        dist[v.index()] = dist[u] + 1;
+                        queue.push_back(v.index());
+                    }
+                }
+            }
+            let ecc = dist.iter().copied().max().unwrap_or(0);
+            if ecc == usize::MAX {
+                return None;
+            }
+            best = best.max(ecc);
+        }
+        Some(best)
+    }
+
+    /// The adjacency lists as plain `usize` indices, for feeding a
+    /// [`crate::simulator::Topology`].
+    pub fn as_adjacency(&self) -> Vec<Vec<usize>> {
+        self.adj
+            .iter()
+            .map(|nbrs| nbrs.iter().map(|p| p.index()).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsched_graph::{DemandId, Processor};
+
+    fn proc(i: usize, access: &[usize]) -> Processor {
+        use netsched_graph::NetworkId;
+        Processor::new(
+            ProcessorId::new(i),
+            DemandId::new(i),
+            access.iter().map(|&t| NetworkId::new(t)).collect(),
+        )
+    }
+
+    #[test]
+    fn chain_of_resources_gives_a_path_graph() {
+        // Processor i accesses resources {i, i+1}: consecutive processors
+        // share a resource, others don't — a path of m processors, whose
+        // diameter is m - 1 (the paper's point about large diameters).
+        let m = 6;
+        let procs: Vec<Processor> = (0..m).map(|i| proc(i, &[i, i + 1])).collect();
+        let g = CommGraph::build(&procs, m + 1);
+        assert_eq!(g.num_edges(), m - 1);
+        assert_eq!(g.diameter(), Some(m - 1));
+        assert!(g.can_communicate(ProcessorId::new(0), ProcessorId::new(1)));
+        assert!(!g.can_communicate(ProcessorId::new(0), ProcessorId::new(2)));
+    }
+
+    #[test]
+    fn shared_resource_gives_a_clique() {
+        let procs: Vec<Processor> = (0..5).map(|i| proc(i, &[0])).collect();
+        let g = CommGraph::build(&procs, 1);
+        assert_eq!(g.num_edges(), 10);
+        assert_eq!(g.diameter(), Some(1));
+    }
+
+    #[test]
+    fn disconnected_graph_has_no_diameter() {
+        let procs = vec![proc(0, &[0]), proc(1, &[1])];
+        let g = CommGraph::build(&procs, 2);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.diameter(), None);
+    }
+
+    #[test]
+    fn adjacency_export_matches() {
+        let procs: Vec<Processor> = (0..4).map(|i| proc(i, &[i / 2])).collect();
+        let g = CommGraph::build(&procs, 2);
+        let adj = g.as_adjacency();
+        assert_eq!(adj[0], vec![1]);
+        assert_eq!(adj[2], vec![3]);
+    }
+}

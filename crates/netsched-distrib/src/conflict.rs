@@ -1,0 +1,176 @@
+//! The conflict graph over demand instances.
+//!
+//! Two demand instances conflict when they belong to the same demand or
+//! when they overlap on the same network (Section 2). The MIS computations
+//! of the distributed algorithm (Section 5) are performed on (induced
+//! subgraphs of) this graph: "the demand instances participating in the MIS
+//! computation form the vertices and an edge is drawn between a pair of
+//! vertices, if they are conflicting".
+
+use netsched_graph::{DemandInstanceUniverse, GlobalEdge, InstanceId};
+
+/// The conflict graph of a demand-instance universe.
+#[derive(Debug, Clone)]
+pub struct ConflictGraph {
+    adj: Vec<Vec<InstanceId>>,
+    num_edges: usize,
+}
+
+impl ConflictGraph {
+    /// Builds the conflict graph of the whole universe.
+    ///
+    /// Construction is bucket-based: instances of the same demand conflict,
+    /// and instances sharing a (network, edge) bucket conflict, so the cost
+    /// is proportional to the sum of squared bucket sizes rather than
+    /// `|D|^2 · path length`.
+    pub fn build(universe: &DemandInstanceUniverse) -> Self {
+        let n = universe.num_instances();
+        let mut adj: Vec<Vec<InstanceId>> = vec![Vec::new(); n];
+
+        // Same-demand cliques.
+        for a in 0..universe.num_demands() {
+            let group = universe.instances_of_demand(netsched_graph::DemandId::new(a));
+            for (i, &d1) in group.iter().enumerate() {
+                for &d2 in &group[i + 1..] {
+                    adj[d1.index()].push(d2);
+                    adj[d2.index()].push(d1);
+                }
+            }
+        }
+
+        // Shared-edge cliques: bucket instances by global edge.
+        let mut buckets: std::collections::HashMap<GlobalEdge, Vec<InstanceId>> =
+            std::collections::HashMap::new();
+        for inst in universe.instances() {
+            for e in inst.path.iter() {
+                buckets
+                    .entry(GlobalEdge::new(inst.network, e))
+                    .or_default()
+                    .push(inst.id);
+            }
+        }
+        for group in buckets.values() {
+            for (i, &d1) in group.iter().enumerate() {
+                for &d2 in &group[i + 1..] {
+                    adj[d1.index()].push(d2);
+                    adj[d2.index()].push(d1);
+                }
+            }
+        }
+
+        let mut num_edges = 0;
+        for nbrs in &mut adj {
+            nbrs.sort_unstable();
+            nbrs.dedup();
+            num_edges += nbrs.len();
+        }
+        Self {
+            adj,
+            num_edges: num_edges / 2,
+        }
+    }
+
+    /// Number of vertices (demand instances).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of conflict edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// The instances conflicting with `d`.
+    #[inline]
+    pub fn neighbors(&self, d: InstanceId) -> &[InstanceId] {
+        &self.adj[d.index()]
+    }
+
+    /// Degree of `d` in the conflict graph.
+    #[inline]
+    pub fn degree(&self, d: InstanceId) -> usize {
+        self.adj[d.index()].len()
+    }
+
+    /// Maximum degree.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(|a| a.len()).max().unwrap_or(0)
+    }
+
+    /// Returns `true` if `a` and `b` conflict.
+    pub fn are_conflicting(&self, a: InstanceId, b: InstanceId) -> bool {
+        self.adj[a.index()].binary_search(&b).is_ok()
+    }
+
+    /// Checks that a vertex subset is independent in the conflict graph.
+    pub fn is_independent(&self, set: &[InstanceId]) -> bool {
+        for (i, &a) in set.iter().enumerate() {
+            for &b in &set[i + 1..] {
+                if a == b || self.are_conflicting(a, b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsched_graph::fixtures::{figure1_line_problem, two_tree_problem};
+
+    #[test]
+    fn conflict_graph_matches_universe_predicate() {
+        for universe in [figure1_line_problem().universe(), two_tree_problem().universe()] {
+            let g = ConflictGraph::build(&universe);
+            assert_eq!(g.num_vertices(), universe.num_instances());
+            for a in universe.instance_ids() {
+                for b in universe.instance_ids() {
+                    if a == b {
+                        continue;
+                    }
+                    assert_eq!(
+                        g.are_conflicting(a, b),
+                        universe.conflicting(a, b),
+                        "mismatch for {a}, {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_conflict_counts() {
+        let u = figure1_line_problem().universe();
+        let g = ConflictGraph::build(&u);
+        // A–B overlap; B–C and A–C do not.
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(InstanceId::new(0)), 1);
+        assert_eq!(g.degree(InstanceId::new(2)), 0);
+        assert!(g.is_independent(&[InstanceId::new(0), InstanceId::new(2)]));
+        assert!(!g.is_independent(&[InstanceId::new(0), InstanceId::new(1)]));
+    }
+
+    #[test]
+    fn same_demand_instances_are_adjacent() {
+        let u = two_tree_problem().universe();
+        let g = ConflictGraph::build(&u);
+        let insts = u.instances_of_demand(netsched_graph::DemandId::new(0));
+        assert_eq!(insts.len(), 2);
+        assert!(g.are_conflicting(insts[0], insts[1]));
+    }
+
+    #[test]
+    fn degrees_and_max_degree_are_consistent() {
+        let u = two_tree_problem().universe();
+        let g = ConflictGraph::build(&u);
+        let sum: usize = (0..g.num_vertices())
+            .map(|i| g.degree(InstanceId::new(i)))
+            .sum();
+        assert_eq!(sum, 2 * g.num_edges());
+        assert!(g.max_degree() <= g.num_vertices() - 1);
+    }
+}

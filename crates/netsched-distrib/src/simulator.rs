@@ -1,0 +1,351 @@
+//! A synchronous message-passing simulator.
+//!
+//! The paper assumes "the standard synchronous, message passing model of
+//! computation: in a given network of processors, each processor can
+//! communicate in one step with all other processors it is directly
+//! connected to" (Section 1). [`SyncSimulator`] executes a set of
+//! [`Agent`]s on an undirected topology in lock-step rounds: messages sent
+//! in round `t` are delivered at the start of round `t + 1`, and the
+//! simulator records rounds and message counts in a [`RoundStats`].
+
+use crate::stats::RoundStats;
+
+/// What an agent wants to send at the end of a round.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outbox<M> {
+    /// Send the same message to every neighbour.
+    Broadcast(M),
+    /// Send individually addressed messages (`(neighbour index, message)`).
+    /// Neighbour indices are *global* agent indices and must be adjacent.
+    Unicast(Vec<(usize, M)>),
+    /// Send nothing this round.
+    Silent,
+}
+
+/// A node participating in a synchronous protocol.
+pub trait Agent {
+    /// The message type exchanged by the protocol.
+    type Msg: Clone;
+
+    /// Executes one round: `inbox` contains `(sender index, message)` pairs
+    /// delivered this round (sent by neighbours in the previous round).
+    /// Returns what to send next.
+    fn step(&mut self, round: usize, inbox: &[(usize, Self::Msg)]) -> Outbox<Self::Msg>;
+
+    /// Returns `true` once the agent has reached a terminal state. The
+    /// simulation stops when every agent is done and no messages are in
+    /// flight.
+    fn is_done(&self) -> bool;
+
+    /// Size of a message in abstract "demand records" for the `O(M_max)`
+    /// accounting; defaults to 1.
+    fn message_records(&self) -> u64 {
+        1
+    }
+}
+
+/// The undirected communication topology: `adjacency[i]` lists the agents
+/// agent `i` can exchange messages with.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl Topology {
+    /// Builds a topology from adjacency lists (deduplicated and sorted;
+    /// self-loops removed).
+    pub fn new(mut adjacency: Vec<Vec<usize>>) -> Self {
+        for (i, nbrs) in adjacency.iter_mut().enumerate() {
+            nbrs.retain(|&j| j != i);
+            nbrs.sort_unstable();
+            nbrs.dedup();
+        }
+        Self { adjacency }
+    }
+
+    /// Builds the complete graph on `n` agents.
+    pub fn complete(n: usize) -> Self {
+        Self::new(
+            (0..n)
+                .map(|i| (0..n).filter(|&j| j != i).collect())
+                .collect(),
+        )
+    }
+
+    /// Number of agents.
+    pub fn num_agents(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Neighbours of agent `i`.
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        &self.adjacency[i]
+    }
+
+    /// Returns `true` if `i` and `j` are adjacent.
+    pub fn are_adjacent(&self, i: usize, j: usize) -> bool {
+        self.adjacency[i].binary_search(&j).is_ok()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.adjacency.iter().map(|a| a.len()).sum::<usize>() / 2
+    }
+}
+
+/// Result of a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOutcome {
+    /// Communication statistics.
+    pub stats: RoundStats,
+    /// `true` if every agent reported `is_done()` before `max_rounds`.
+    pub converged: bool,
+}
+
+/// The synchronous round-based engine.
+#[derive(Debug, Clone)]
+pub struct SyncSimulator {
+    topology: Topology,
+}
+
+impl SyncSimulator {
+    /// Creates a simulator over the given topology.
+    pub fn new(topology: Topology) -> Self {
+        Self { topology }
+    }
+
+    /// The topology the simulator runs on.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Runs the agents until all are done (and no messages remain in
+    /// flight) or `max_rounds` is reached. Agent `i` talks to the
+    /// neighbours of node `i` in the topology.
+    pub fn run<A: Agent>(&self, agents: &mut [A], max_rounds: usize) -> SimOutcome {
+        assert_eq!(
+            agents.len(),
+            self.topology.num_agents(),
+            "one agent per topology node"
+        );
+        let n = agents.len();
+        let mut stats = RoundStats::new();
+        let mut inboxes: Vec<Vec<(usize, A::Msg)>> = vec![Vec::new(); n];
+
+        for round in 0..max_rounds {
+            if agents.iter().all(|a| a.is_done()) && inboxes.iter().all(|i| i.is_empty()) {
+                return SimOutcome {
+                    stats,
+                    converged: true,
+                };
+            }
+            let mut next: Vec<Vec<(usize, A::Msg)>> = vec![Vec::new(); n];
+            for (i, agent) in agents.iter_mut().enumerate() {
+                let inbox = std::mem::take(&mut inboxes[i]);
+                let records = agent.message_records();
+                match agent.step(round, &inbox) {
+                    Outbox::Broadcast(msg) => {
+                        let nbrs = self.topology.neighbors(i);
+                        stats.record_messages(nbrs.len() as u64, records);
+                        for &j in nbrs {
+                            next[j].push((i, msg.clone()));
+                        }
+                    }
+                    Outbox::Unicast(msgs) => {
+                        stats.record_messages(msgs.len() as u64, records);
+                        for (j, msg) in msgs {
+                            debug_assert!(
+                                self.topology.are_adjacent(i, j),
+                                "agent {i} tried to message non-neighbour {j}"
+                            );
+                            next[j].push((i, msg));
+                        }
+                    }
+                    Outbox::Silent => {}
+                }
+            }
+            inboxes = next;
+            stats.record_round();
+        }
+        SimOutcome {
+            stats,
+            converged: agents.iter().all(|a| a.is_done()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy flooding protocol: agent 0 starts with a token; every agent
+    /// that has the token broadcasts it once. Terminates when every agent
+    /// has the token.
+    struct Flooder {
+        has_token: bool,
+        broadcasted: bool,
+    }
+
+    impl Agent for Flooder {
+        type Msg = ();
+
+        fn step(&mut self, _round: usize, inbox: &[(usize, ())]) -> Outbox<()> {
+            if !inbox.is_empty() {
+                self.has_token = true;
+            }
+            if self.has_token && !self.broadcasted {
+                self.broadcasted = true;
+                Outbox::Broadcast(())
+            } else {
+                Outbox::Silent
+            }
+        }
+
+        fn is_done(&self) -> bool {
+            self.has_token
+        }
+    }
+
+    fn flooders(n: usize) -> Vec<Flooder> {
+        (0..n)
+            .map(|i| Flooder {
+                has_token: i == 0,
+                broadcasted: false,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn flooding_on_a_path_takes_diameter_rounds() {
+        let n = 8;
+        let adj = (0..n)
+            .map(|i| {
+                let mut v = Vec::new();
+                if i > 0 {
+                    v.push(i - 1);
+                }
+                if i + 1 < n {
+                    v.push(i + 1);
+                }
+                v
+            })
+            .collect();
+        let sim = SyncSimulator::new(Topology::new(adj));
+        let mut agents = flooders(n);
+        let out = sim.run(&mut agents, 100);
+        assert!(out.converged);
+        assert!(agents.iter().all(|a| a.has_token));
+        // The token needs n - 1 hops; each hop is one round, plus the final
+        // quiescence check happens after delivery.
+        assert!(out.stats.rounds as usize >= n - 1);
+        assert!(out.stats.rounds as usize <= n + 1);
+    }
+
+    #[test]
+    fn flooding_on_complete_graph_is_fast() {
+        let sim = SyncSimulator::new(Topology::complete(16));
+        let mut agents = flooders(16);
+        let out = sim.run(&mut agents, 10);
+        assert!(out.converged);
+        assert!(out.stats.rounds <= 3);
+        // Every agent broadcasts exactly once to 15 neighbours.
+        assert_eq!(out.stats.messages, 16 * 15);
+    }
+
+    #[test]
+    fn non_convergence_is_reported() {
+        // Two agents that are never done and never talk.
+        struct Stuck;
+        impl Agent for Stuck {
+            type Msg = ();
+            fn step(&mut self, _r: usize, _i: &[(usize, ())]) -> Outbox<()> {
+                Outbox::Silent
+            }
+            fn is_done(&self) -> bool {
+                false
+            }
+        }
+        let sim = SyncSimulator::new(Topology::complete(2));
+        let mut agents = vec![Stuck, Stuck];
+        let out = sim.run(&mut agents, 5);
+        assert!(!out.converged);
+        assert_eq!(out.stats.rounds, 5);
+    }
+
+    #[test]
+    fn topology_helpers() {
+        let t = Topology::new(vec![vec![1, 1, 0], vec![0], vec![]]);
+        assert_eq!(t.neighbors(0), &[1]);
+        assert!(t.are_adjacent(0, 1));
+        assert!(!t.are_adjacent(0, 2));
+        assert_eq!(t.num_edges(), 1);
+        let c = Topology::complete(4);
+        assert_eq!(c.num_edges(), 6);
+    }
+
+    /// A two-agent ping-pong over unicast messages: agent 0 sends a counter
+    /// to agent 1, which increments and returns it, until it reaches 5.
+    struct PingPong {
+        id: usize,
+        last_seen: u32,
+        target: u32,
+        kick_off: bool,
+    }
+
+    impl Agent for PingPong {
+        type Msg = u32;
+
+        fn step(&mut self, _round: usize, inbox: &[(usize, u32)]) -> Outbox<u32> {
+            if self.kick_off {
+                self.kick_off = false;
+                return Outbox::Unicast(vec![(1 - self.id, 1)]);
+            }
+            if let Some(&(from, value)) = inbox.first() {
+                self.last_seen = value;
+                if value < self.target {
+                    return Outbox::Unicast(vec![(from, value + 1)]);
+                }
+            }
+            Outbox::Silent
+        }
+
+        fn is_done(&self) -> bool {
+            self.last_seen >= self.target - 1
+        }
+
+        fn message_records(&self) -> u64 {
+            2
+        }
+    }
+
+    #[test]
+    fn unicast_ping_pong_counts_rounds_and_records() {
+        let sim = SyncSimulator::new(Topology::complete(2));
+        let mut agents = vec![
+            PingPong { id: 0, last_seen: 0, target: 5, kick_off: true },
+            PingPong { id: 1, last_seen: 0, target: 5, kick_off: false },
+        ];
+        let out = sim.run(&mut agents, 50);
+        assert!(out.converged);
+        // Messages carry values 1, 2, 3, 4, 5 — five unicast messages.
+        assert_eq!(out.stats.messages, 5);
+        // One message per round while the exchange is alive.
+        assert!(out.stats.rounds >= 5);
+        // The custom record size is reported for the O(M_max) accounting.
+        assert_eq!(out.stats.max_message_records, 2);
+        assert!(agents.iter().all(|a| a.last_seen >= 4));
+    }
+
+    #[test]
+    fn isolated_token_holder_converges_only_locally() {
+        // A topology with an isolated vertex 2: flooding from 0 never
+        // reaches it.
+        let t = Topology::new(vec![vec![1], vec![0], vec![]]);
+        let sim = SyncSimulator::new(t);
+        let mut agents = flooders(3);
+        let out = sim.run(&mut agents, 10);
+        assert!(!out.converged);
+        assert!(agents[1].has_token);
+        assert!(!agents[2].has_token);
+    }
+}

@@ -1,0 +1,99 @@
+//! Round and message accounting for the distributed algorithms.
+//!
+//! The paper's cost model is the synchronous message-passing model: the
+//! running time of an algorithm is its number of communication rounds, and
+//! messages must have size `O(M_max)` bits where `M_max` is the number of
+//! bits needed to describe one demand (Section 5, "Distributed
+//! Implementation"). [`RoundStats`] accumulates both quantities so the
+//! experiment harness can reproduce the round-complexity claims of
+//! Theorems 5.3, 6.3, 7.1 and 7.2.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulated communication cost of a distributed execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RoundStats {
+    /// Number of synchronous communication rounds.
+    pub rounds: u64,
+    /// Total number of point-to-point messages delivered.
+    pub messages: u64,
+    /// Largest message payload observed, in abstract "demand records"
+    /// (the paper's `O(M_max)` unit: one record describes one demand or one
+    /// dual-variable update).
+    pub max_message_records: u64,
+    /// Number of MIS computations performed (each costs `Time(MIS)` rounds).
+    pub mis_invocations: u64,
+    /// Rounds spent inside MIS computations (included in `rounds`).
+    pub mis_rounds: u64,
+}
+
+impl RoundStats {
+    /// A fresh, zeroed accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `count` messages delivered in the current round, each of the
+    /// given payload size (in demand records).
+    pub fn record_messages(&mut self, count: u64, records_per_message: u64) {
+        self.messages += count;
+        self.max_message_records = self.max_message_records.max(records_per_message);
+    }
+
+    /// Records the completion of one synchronous round.
+    pub fn record_round(&mut self) {
+        self.rounds += 1;
+    }
+
+    /// Records an entire MIS computation of the given number of rounds.
+    pub fn record_mis(&mut self, rounds: u64) {
+        self.mis_invocations += 1;
+        self.mis_rounds += rounds;
+        self.rounds += rounds;
+    }
+
+    /// Merges another accumulator into this one (e.g. the stats of a
+    /// sub-protocol).
+    pub fn merge(&mut self, other: &RoundStats) {
+        self.rounds += other.rounds;
+        self.messages += other.messages;
+        self.max_message_records = self.max_message_records.max(other.max_message_records);
+        self.mis_invocations += other.mis_invocations;
+        self.mis_rounds += other.mis_rounds;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulation() {
+        let mut s = RoundStats::new();
+        s.record_messages(10, 1);
+        s.record_round();
+        s.record_messages(5, 3);
+        s.record_round();
+        s.record_mis(4);
+        assert_eq!(s.rounds, 6);
+        assert_eq!(s.messages, 15);
+        assert_eq!(s.max_message_records, 3);
+        assert_eq!(s.mis_invocations, 1);
+        assert_eq!(s.mis_rounds, 4);
+    }
+
+    #[test]
+    fn merge_combines_both() {
+        let mut a = RoundStats::new();
+        a.record_round();
+        a.record_messages(2, 1);
+        let mut b = RoundStats::new();
+        b.record_mis(3);
+        b.record_messages(7, 2);
+        a.merge(&b);
+        assert_eq!(a.rounds, 4);
+        assert_eq!(a.messages, 9);
+        assert_eq!(a.max_message_records, 2);
+        assert_eq!(a.mis_invocations, 1);
+    }
+}

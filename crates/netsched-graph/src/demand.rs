@@ -1,0 +1,151 @@
+//! Demands and processors (Section 2 of the paper).
+
+use crate::ids::{DemandId, NetworkId, ProcessorId, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// A demand `a = (u, v)` with profit `p(a)` and bandwidth requirement
+/// ("height") `h(a) ∈ (0, 1]`.
+///
+/// In the unit-height case of the paper every height is exactly `1.0`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Demand {
+    /// Identifier (dense index into the owning problem's demand list).
+    pub id: DemandId,
+    /// One end-point.
+    pub u: VertexId,
+    /// The other end-point.
+    pub v: VertexId,
+    /// Profit `p(a) > 0`.
+    pub profit: f64,
+    /// Height `h(a) ∈ (0, 1]`.
+    pub height: f64,
+}
+
+impl Demand {
+    /// Creates a unit-height demand.
+    pub fn unit(id: DemandId, u: VertexId, v: VertexId, profit: f64) -> Self {
+        Self {
+            id,
+            u,
+            v,
+            profit,
+            height: 1.0,
+        }
+    }
+
+    /// Creates a demand with an explicit height.
+    pub fn with_height(id: DemandId, u: VertexId, v: VertexId, profit: f64, height: f64) -> Self {
+        Self {
+            id,
+            u,
+            v,
+            profit,
+            height,
+        }
+    }
+
+    /// Returns the pair of end-points.
+    #[inline]
+    pub fn endpoints(&self) -> (VertexId, VertexId) {
+        (self.u, self.v)
+    }
+
+    /// A demand instance is *wide* if its height exceeds `1/2` (Section 6);
+    /// the property is inherited from the demand.
+    #[inline]
+    pub fn is_wide(&self) -> bool {
+        self.height > 0.5
+    }
+
+    /// A demand instance is *narrow* if its height is at most `1/2`
+    /// (Section 6).
+    #[inline]
+    pub fn is_narrow(&self) -> bool {
+        !self.is_wide()
+    }
+}
+
+/// A processor/agent `P ∈ P`. Each processor owns exactly one demand and can
+/// access a subset of the networks (`Acc(P)`, Section 2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Processor {
+    /// Identifier of the processor.
+    pub id: ProcessorId,
+    /// The unique demand owned by this processor.
+    pub demand: DemandId,
+    /// The networks accessible to this processor (`Acc(P)`).
+    pub access: Vec<NetworkId>,
+}
+
+impl Processor {
+    /// Creates a processor owning `demand` with the given access set.
+    pub fn new(id: ProcessorId, demand: DemandId, mut access: Vec<NetworkId>) -> Self {
+        access.sort_unstable();
+        access.dedup();
+        Self { id, demand, access }
+    }
+
+    /// Returns `true` if the processor can access network `t`.
+    pub fn can_access(&self, t: NetworkId) -> bool {
+        self.access.binary_search(&t).is_ok()
+    }
+
+    /// Two processors may communicate iff they share an accessible resource
+    /// (Section 2): `Acc(P1) ∩ Acc(P2) ≠ ∅`.
+    pub fn can_communicate_with(&self, other: &Processor) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.access.len() && j < other.access.len() {
+            match self.access[i].cmp(&other.access[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_demand_has_height_one() {
+        let d = Demand::unit(DemandId(0), VertexId(1), VertexId(2), 5.0);
+        assert_eq!(d.height, 1.0);
+        assert!(d.is_wide());
+        assert!(!d.is_narrow());
+        assert_eq!(d.endpoints(), (VertexId(1), VertexId(2)));
+    }
+
+    #[test]
+    fn narrow_wide_threshold_is_half() {
+        let narrow = Demand::with_height(DemandId(0), VertexId(0), VertexId(1), 1.0, 0.5);
+        let wide = Demand::with_height(DemandId(1), VertexId(0), VertexId(1), 1.0, 0.5001);
+        assert!(narrow.is_narrow());
+        assert!(wide.is_wide());
+    }
+
+    #[test]
+    fn processor_access_is_sorted_and_deduped() {
+        let p = Processor::new(
+            ProcessorId(0),
+            DemandId(0),
+            vec![NetworkId(2), NetworkId(0), NetworkId(2)],
+        );
+        assert_eq!(p.access, vec![NetworkId(0), NetworkId(2)]);
+        assert!(p.can_access(NetworkId(0)));
+        assert!(!p.can_access(NetworkId(1)));
+    }
+
+    #[test]
+    fn communication_requires_shared_resource() {
+        let p0 = Processor::new(ProcessorId(0), DemandId(0), vec![NetworkId(0), NetworkId(1)]);
+        let p1 = Processor::new(ProcessorId(1), DemandId(1), vec![NetworkId(1), NetworkId(2)]);
+        let p2 = Processor::new(ProcessorId(2), DemandId(2), vec![NetworkId(3)]);
+        assert!(p0.can_communicate_with(&p1));
+        assert!(p1.can_communicate_with(&p0));
+        assert!(!p0.can_communicate_with(&p2));
+        assert!(!p1.can_communicate_with(&p2));
+    }
+}

@@ -1,0 +1,227 @@
+//! Error types for problem construction and validation.
+
+use crate::ids::{DemandId, NetworkId, VertexId};
+use std::fmt;
+
+/// Errors raised while constructing or validating networks and problems.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A tree network was given a number of edges different from `n - 1`.
+    NotATree {
+        /// Network being constructed.
+        network: NetworkId,
+        /// Number of vertices.
+        vertices: usize,
+        /// Number of edges supplied.
+        edges: usize,
+    },
+    /// A tree network is not connected (equivalently, it contains a cycle
+    /// when it has `n - 1` edges).
+    Disconnected {
+        /// Network being constructed.
+        network: NetworkId,
+    },
+    /// An edge references a vertex outside `0..n`.
+    VertexOutOfRange {
+        /// Network being constructed.
+        network: NetworkId,
+        /// Offending vertex.
+        vertex: VertexId,
+        /// Number of vertices in the network.
+        vertices: usize,
+    },
+    /// An edge connects a vertex to itself.
+    SelfLoop {
+        /// Network being constructed.
+        network: NetworkId,
+        /// The vertex with a self-loop.
+        vertex: VertexId,
+    },
+    /// The same undirected edge appears twice.
+    DuplicateEdge {
+        /// Network being constructed.
+        network: NetworkId,
+        /// One endpoint.
+        u: VertexId,
+        /// The other endpoint.
+        v: VertexId,
+    },
+    /// A demand has identical end-points.
+    DegenerateDemand {
+        /// Offending demand.
+        demand: DemandId,
+    },
+    /// A demand has a non-positive profit.
+    NonPositiveProfit {
+        /// Offending demand.
+        demand: DemandId,
+        /// The profit supplied.
+        profit: f64,
+    },
+    /// A demand has a height outside `(0, 1]`.
+    InvalidHeight {
+        /// Offending demand.
+        demand: DemandId,
+        /// The height supplied.
+        height: f64,
+    },
+    /// A demand's end-point is outside the vertex set.
+    DemandVertexOutOfRange {
+        /// Offending demand.
+        demand: DemandId,
+        /// Offending vertex.
+        vertex: VertexId,
+        /// Number of vertices.
+        vertices: usize,
+    },
+    /// A processor's access set references a network that does not exist.
+    UnknownNetwork {
+        /// Offending network reference.
+        network: NetworkId,
+        /// Number of networks in the problem.
+        networks: usize,
+    },
+    /// A processor has an empty access set, so its demand can never be
+    /// scheduled.
+    EmptyAccessSet {
+        /// The demand owned by the processor.
+        demand: DemandId,
+    },
+    /// Mismatched array lengths (e.g. capacities not matching edge count).
+    LengthMismatch {
+        /// Human-readable description of what mismatched.
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// A capacity is non-positive.
+    InvalidCapacity {
+        /// Network owning the edge.
+        network: NetworkId,
+        /// Edge index.
+        edge: usize,
+        /// The capacity supplied.
+        capacity: f64,
+    },
+    /// A windowed line demand has an empty or inverted window, or a
+    /// processing time that does not fit in the window.
+    InvalidWindow {
+        /// Offending demand.
+        demand: DemandId,
+        /// Release time.
+        release: u32,
+        /// Deadline.
+        deadline: u32,
+        /// Processing time.
+        processing: u32,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NotATree {
+                network,
+                vertices,
+                edges,
+            } => write!(
+                f,
+                "network {network} is not a tree: {vertices} vertices but {edges} edges (expected {})",
+                vertices.saturating_sub(1)
+            ),
+            GraphError::Disconnected { network } => {
+                write!(f, "network {network} is not connected")
+            }
+            GraphError::VertexOutOfRange {
+                network,
+                vertex,
+                vertices,
+            } => write!(
+                f,
+                "network {network}: vertex {vertex} out of range (n = {vertices})"
+            ),
+            GraphError::SelfLoop { network, vertex } => {
+                write!(f, "network {network}: self loop at {vertex}")
+            }
+            GraphError::DuplicateEdge { network, u, v } => {
+                write!(f, "network {network}: duplicate edge {u}-{v}")
+            }
+            GraphError::DegenerateDemand { demand } => {
+                write!(f, "demand {demand} has identical end-points")
+            }
+            GraphError::NonPositiveProfit { demand, profit } => {
+                write!(f, "demand {demand} has non-positive profit {profit}")
+            }
+            GraphError::InvalidHeight { demand, height } => {
+                write!(f, "demand {demand} has height {height} outside (0, 1]")
+            }
+            GraphError::DemandVertexOutOfRange {
+                demand,
+                vertex,
+                vertices,
+            } => write!(
+                f,
+                "demand {demand}: end-point {vertex} out of range (n = {vertices})"
+            ),
+            GraphError::UnknownNetwork { network, networks } => write!(
+                f,
+                "access set references unknown network {network} (r = {networks})"
+            ),
+            GraphError::EmptyAccessSet { demand } => {
+                write!(f, "demand {demand} has an empty access set")
+            }
+            GraphError::LengthMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(f, "{what}: expected length {expected}, got {actual}"),
+            GraphError::InvalidCapacity {
+                network,
+                edge,
+                capacity,
+            } => write!(
+                f,
+                "network {network}, edge {edge}: invalid capacity {capacity}"
+            ),
+            GraphError::InvalidWindow {
+                demand,
+                release,
+                deadline,
+                processing,
+            } => write!(
+                f,
+                "demand {demand}: invalid window [{release}, {deadline}] with processing time {processing}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_ids() {
+        let err = GraphError::NotATree {
+            network: NetworkId::new(3),
+            vertices: 10,
+            edges: 7,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("T3"));
+        assert!(msg.contains("10"));
+        assert!(msg.contains("expected 9"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_e: &E) {}
+        assert_err(&GraphError::Disconnected {
+            network: NetworkId::new(0),
+        });
+    }
+}

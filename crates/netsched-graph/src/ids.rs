@@ -1,0 +1,152 @@
+//! Identifier newtypes used across the workspace.
+//!
+//! All identifiers are dense indices (`u32`) into the corresponding arrays of
+//! the owning problem or universe, so they can be used directly to index
+//! `Vec`s without hashing.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates an identifier from a dense index.
+            #[inline]
+            pub fn new(index: usize) -> Self {
+                Self(index as u32)
+            }
+
+            /// Returns the identifier as a dense `usize` index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(index: usize) -> Self {
+                Self::new(index)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A vertex of the shared vertex set `V` (Section 2 of the paper).
+    VertexId,
+    "v"
+);
+id_type!(
+    /// An edge *within* a single network; dense index into that network's
+    /// edge list. Pair it with a [`NetworkId`] (see [`GlobalEdge`]) to obtain
+    /// the triple `⟨u, v, T⟩` used by the paper for the global edge set `E`.
+    EdgeId,
+    "e"
+);
+id_type!(
+    /// A network (tree-network or line-network/resource).
+    NetworkId,
+    "T"
+);
+id_type!(
+    /// A demand `a ∈ A`; one demand per processor.
+    DemandId,
+    "a"
+);
+id_type!(
+    /// A demand instance `d ∈ D` (demand × network × placement).
+    InstanceId,
+    "d"
+);
+id_type!(
+    /// A processor/agent `P ∈ P`.
+    ProcessorId,
+    "P"
+);
+
+/// An edge of the global edge set `E`: the paper represents it as the triple
+/// `⟨u, v, T⟩`; we represent it as (network, dense edge index within that
+/// network).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
+pub struct GlobalEdge {
+    /// The network the edge belongs to.
+    pub network: NetworkId,
+    /// The edge index within that network.
+    pub edge: EdgeId,
+}
+
+impl GlobalEdge {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(network: NetworkId, edge: EdgeId) -> Self {
+        Self { network, edge }
+    }
+}
+
+impl fmt::Display for GlobalEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.network, self.edge)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        let v = VertexId::new(7);
+        assert_eq!(v.index(), 7);
+        assert_eq!(usize::from(v), 7);
+        assert_eq!(VertexId::from(7usize), v);
+        assert_eq!(format!("{v}"), "v7");
+        assert_eq!(format!("{v:?}"), "v7");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(EdgeId::new(1) < EdgeId::new(2));
+        assert!(DemandId::new(0) < DemandId::new(10));
+    }
+
+    #[test]
+    fn global_edge_display() {
+        let e = GlobalEdge::new(NetworkId::new(2), EdgeId::new(5));
+        assert_eq!(format!("{e}"), "T2:e5");
+    }
+
+    #[test]
+    fn global_edge_ordering_is_network_major() {
+        let a = GlobalEdge::new(NetworkId::new(0), EdgeId::new(9));
+        let b = GlobalEdge::new(NetworkId::new(1), EdgeId::new(0));
+        assert!(a < b);
+    }
+}

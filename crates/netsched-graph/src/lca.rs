@@ -1,0 +1,190 @@
+//! Lowest-common-ancestor queries via binary lifting.
+//!
+//! Tree networks answer path queries (`path(d)` in the paper) by splitting a
+//! vertex pair `⟨u, v⟩` at their LCA with respect to an arbitrary root. The
+//! index is built once per network in `O(n log n)` and answers queries in
+//! `O(log n)`.
+
+use crate::ids::VertexId;
+
+/// Binary-lifting LCA index over a rooted tree.
+#[derive(Debug, Clone)]
+pub struct LcaIndex {
+    /// `up[k][v]` = the `2^k`-th ancestor of `v` (the root is its own
+    /// ancestor at every level).
+    up: Vec<Vec<u32>>,
+    /// Depth of each vertex; the root has depth 0.
+    depth: Vec<u32>,
+}
+
+impl LcaIndex {
+    /// Builds the index from a parent array (rooted tree).
+    ///
+    /// `parent[v]` must be `None` exactly for the root, and `depth[v]` must
+    /// equal the number of edges from the root to `v`.
+    pub fn new(parent: &[Option<VertexId>], depth: &[u32]) -> Self {
+        let n = parent.len();
+        assert_eq!(n, depth.len(), "parent and depth arrays must match");
+        let max_depth = depth.iter().copied().max().unwrap_or(0);
+        let levels = (usize::BITS - usize::leading_zeros(max_depth.max(1) as usize)) as usize;
+        let levels = levels.max(1);
+
+        let mut up = vec![vec![0u32; n]; levels];
+        for v in 0..n {
+            up[0][v] = match parent[v] {
+                Some(p) => p.0,
+                None => v as u32,
+            };
+        }
+        for k in 1..levels {
+            for v in 0..n {
+                let mid = up[k - 1][v] as usize;
+                up[k][v] = up[k - 1][mid];
+            }
+        }
+        Self {
+            up,
+            depth: depth.to_vec(),
+        }
+    }
+
+    /// Returns the depth of `v` (root has depth 0).
+    #[inline]
+    pub fn depth(&self, v: VertexId) -> u32 {
+        self.depth[v.index()]
+    }
+
+    /// Returns the ancestor of `v` that is `steps` edges closer to the root.
+    /// Saturates at the root.
+    pub fn ancestor(&self, v: VertexId, steps: u32) -> VertexId {
+        // Clamp to the depth of `v`: walking past the root stays at the root.
+        let mut steps = steps.min(self.depth[v.index()]);
+        let mut v = v.index();
+        let mut k = 0;
+        while steps > 0 && k < self.up.len() {
+            if steps & 1 == 1 {
+                v = self.up[k][v] as usize;
+            }
+            steps >>= 1;
+            k += 1;
+        }
+        VertexId(v as u32)
+    }
+
+    /// Returns the lowest common ancestor of `u` and `v`.
+    pub fn lca(&self, u: VertexId, v: VertexId) -> VertexId {
+        let (mut a, mut b) = (u, v);
+        if self.depth(a) < self.depth(b) {
+            std::mem::swap(&mut a, &mut b);
+        }
+        a = self.ancestor(a, self.depth(a) - self.depth(b));
+        if a == b {
+            return a;
+        }
+        let mut ai = a.index();
+        let mut bi = b.index();
+        for k in (0..self.up.len()).rev() {
+            if self.up[k][ai] != self.up[k][bi] {
+                ai = self.up[k][ai] as usize;
+                bi = self.up[k][bi] as usize;
+            }
+        }
+        VertexId(self.up[0][ai])
+    }
+
+    /// Number of edges on the path between `u` and `v`.
+    pub fn distance(&self, u: VertexId, v: VertexId) -> u32 {
+        let l = self.lca(u, v);
+        self.depth(u) + self.depth(v) - 2 * self.depth(l)
+    }
+
+    /// Returns `true` if `anc` lies on the path from the root to `v`
+    /// (inclusive of both ends).
+    pub fn is_ancestor_or_self(&self, anc: VertexId, v: VertexId) -> bool {
+        if self.depth(anc) > self.depth(v) {
+            return false;
+        }
+        self.ancestor(v, self.depth(v) - self.depth(anc)) == anc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a parent/depth pair for the tree
+    /// ```text
+    ///        0
+    ///       / \
+    ///      1   2
+    ///     / \    \
+    ///    3   4    5
+    ///        |
+    ///        6
+    /// ```
+    fn sample() -> (Vec<Option<VertexId>>, Vec<u32>) {
+        let parent = vec![
+            None,
+            Some(VertexId(0)),
+            Some(VertexId(0)),
+            Some(VertexId(1)),
+            Some(VertexId(1)),
+            Some(VertexId(2)),
+            Some(VertexId(4)),
+        ];
+        let depth = vec![0, 1, 1, 2, 2, 2, 3];
+        (parent, depth)
+    }
+
+    #[test]
+    fn lca_basic() {
+        let (parent, depth) = sample();
+        let idx = LcaIndex::new(&parent, &depth);
+        assert_eq!(idx.lca(VertexId(3), VertexId(4)), VertexId(1));
+        assert_eq!(idx.lca(VertexId(3), VertexId(5)), VertexId(0));
+        assert_eq!(idx.lca(VertexId(6), VertexId(3)), VertexId(1));
+        assert_eq!(idx.lca(VertexId(6), VertexId(6)), VertexId(6));
+        assert_eq!(idx.lca(VertexId(0), VertexId(6)), VertexId(0));
+    }
+
+    #[test]
+    fn distance_basic() {
+        let (parent, depth) = sample();
+        let idx = LcaIndex::new(&parent, &depth);
+        assert_eq!(idx.distance(VertexId(3), VertexId(4)), 2);
+        assert_eq!(idx.distance(VertexId(6), VertexId(5)), 5);
+        assert_eq!(idx.distance(VertexId(2), VertexId(2)), 0);
+    }
+
+    #[test]
+    fn ancestor_queries() {
+        let (parent, depth) = sample();
+        let idx = LcaIndex::new(&parent, &depth);
+        assert_eq!(idx.ancestor(VertexId(6), 1), VertexId(4));
+        assert_eq!(idx.ancestor(VertexId(6), 2), VertexId(1));
+        assert_eq!(idx.ancestor(VertexId(6), 3), VertexId(0));
+        assert_eq!(idx.ancestor(VertexId(6), 10), VertexId(0));
+        assert!(idx.is_ancestor_or_self(VertexId(1), VertexId(6)));
+        assert!(!idx.is_ancestor_or_self(VertexId(2), VertexId(6)));
+        assert!(idx.is_ancestor_or_self(VertexId(6), VertexId(6)));
+    }
+
+    #[test]
+    fn single_vertex_tree() {
+        let idx = LcaIndex::new(&[None], &[0]);
+        assert_eq!(idx.lca(VertexId(0), VertexId(0)), VertexId(0));
+        assert_eq!(idx.distance(VertexId(0), VertexId(0)), 0);
+    }
+
+    #[test]
+    fn path_graph_lca() {
+        // 0 - 1 - 2 - 3 - 4 rooted at 0.
+        let parent: Vec<Option<VertexId>> = (0..5)
+            .map(|i| if i == 0 { None } else { Some(VertexId(i - 1)) })
+            .collect();
+        let depth: Vec<u32> = (0..5).collect();
+        let idx = LcaIndex::new(&parent, &depth);
+        assert_eq!(idx.lca(VertexId(4), VertexId(2)), VertexId(2));
+        assert_eq!(idx.distance(VertexId(0), VertexId(4)), 4);
+    }
+}

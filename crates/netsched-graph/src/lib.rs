@@ -1,0 +1,75 @@
+//! Network substrate for `netsched`.
+//!
+//! This crate provides the data model shared by every other crate in the
+//! workspace:
+//!
+//! * identifier newtypes ([`VertexId`], [`EdgeId`], [`NetworkId`],
+//!   [`DemandId`], [`InstanceId`], [`ProcessorId`]),
+//! * [`TreeNetwork`] — a connected tree (in the paper, a spanning tree of the
+//!   global vertex set `V`) with unique-path and LCA queries,
+//! * [`LineNetwork`] / [`LineProblem`] — the timeline view of line networks
+//!   with release-time/deadline windows (Section 7 of the paper),
+//! * [`Demand`], [`Processor`], [`TreeProblem`] — the throughput-maximization
+//!   problem of Section 2,
+//! * [`DemandInstanceUniverse`] — the flattened set of *demand instances*
+//!   (demand × accessible network × placement) that all algorithms operate
+//!   on, together with conflict/overlap predicates and per-edge load
+//!   accounting.
+//!
+//! The paper being reproduced is "Distributed Algorithms for Scheduling on
+//! Line and Tree Networks" (Chakaravarthy, Roy, Sabharwal; arXiv:1205.1924,
+//! IPPS 2013). Section references in doc comments refer to that text.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod demand;
+pub mod error;
+pub mod fixtures;
+pub mod ids;
+pub mod lca;
+pub mod line;
+pub mod path;
+pub mod problem;
+pub mod tree;
+pub mod universe;
+
+pub use demand::{Demand, Processor};
+pub use error::GraphError;
+pub use ids::{DemandId, EdgeId, GlobalEdge, InstanceId, NetworkId, ProcessorId, VertexId};
+pub use lca::LcaIndex;
+pub use line::{LineDemand, LineNetwork, LineProblem};
+pub use path::EdgePath;
+pub use problem::TreeProblem;
+pub use tree::TreeNetwork;
+pub use universe::{DemandInstance, DemandInstanceUniverse};
+
+/// Tolerance used throughout the workspace when comparing floating-point
+/// profits, heights and dual values.
+pub const EPS: f64 = 1e-9;
+
+/// Returns `true` when `a` and `b` are equal up to [`EPS`] (absolute).
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= EPS
+}
+
+/// Returns `true` when `a <= b` up to [`EPS`].
+#[inline]
+pub fn approx_le(a: f64, b: f64) -> bool {
+    a <= b + EPS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_helpers_behave() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12));
+        assert!(!approx_eq(1.0, 1.0 + 1e-3));
+        assert!(approx_le(1.0, 1.0));
+        assert!(approx_le(1.0 + 1e-12, 1.0));
+        assert!(!approx_le(1.1, 1.0));
+    }
+}

@@ -1,0 +1,441 @@
+//! Line networks with windows (Section 1 "Line-Networks" and Section 7).
+//!
+//! A line network is viewed as a timeline of `n` discrete timeslots; each of
+//! the `r` resources offers one unit of bandwidth on every timeslot. A
+//! demand specifies a window `[rt, dl]`, a processing time `ρ`, a profit and
+//! a height; it may be executed on any segment of `ρ` consecutive timeslots
+//! inside its window, on any accessible resource. The demand instances are
+//! therefore (demand × resource × start-time) triples.
+
+use crate::error::GraphError;
+use crate::ids::{DemandId, InstanceId, NetworkId, ProcessorId, VertexId};
+use crate::demand::Processor;
+use crate::path::EdgePath;
+use crate::problem::TreeProblem;
+use crate::tree::TreeNetwork;
+use crate::universe::{DemandInstance, DemandInstanceUniverse};
+use serde::{Deserialize, Serialize};
+
+/// A windowed demand (job) on the timeline: window `[release, deadline]`
+/// (timeslots, inclusive), processing time, profit and height.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LineDemand {
+    /// Identifier (dense index into the owning problem's demand list).
+    pub id: DemandId,
+    /// Release time `rt(a)` — the first timeslot in which the job may run.
+    pub release: u32,
+    /// Deadline `dl(a)` — the last timeslot in which the job may run
+    /// (inclusive).
+    pub deadline: u32,
+    /// Processing time `ρ(a)` — the number of consecutive timeslots the job
+    /// occupies.
+    pub processing: u32,
+    /// Profit `p(a) > 0`.
+    pub profit: f64,
+    /// Height `h(a) ∈ (0, 1]`.
+    pub height: f64,
+}
+
+impl LineDemand {
+    /// Number of admissible start times within the window.
+    pub fn num_placements(&self) -> u32 {
+        (self.deadline + 1).saturating_sub(self.release + self.processing) + 1
+    }
+
+    /// Length of the window (`dl − rt + 1`).
+    pub fn window_len(&self) -> u32 {
+        self.deadline - self.release + 1
+    }
+}
+
+/// A single line network viewed as a timeline of `timeslots` slots; kept as
+/// a thin wrapper so tree-based code can reuse the path-graph view.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LineNetwork {
+    id: NetworkId,
+    timeslots: usize,
+}
+
+impl LineNetwork {
+    /// Creates a line network (resource) with the given number of timeslots.
+    pub fn new(id: NetworkId, timeslots: usize) -> Self {
+        Self { id, timeslots }
+    }
+
+    /// The identifier of this resource.
+    pub fn id(&self) -> NetworkId {
+        self.id
+    }
+
+    /// Number of timeslots (edges of the path graph).
+    pub fn timeslots(&self) -> usize {
+        self.timeslots
+    }
+
+    /// The equivalent path-graph tree network on `timeslots + 1` vertices;
+    /// edge `i` of that tree is timeslot `i`.
+    pub fn as_tree(&self) -> TreeNetwork {
+        TreeNetwork::line(self.id, self.timeslots + 1)
+            .expect("a path graph is always a valid tree")
+    }
+}
+
+/// The line-networks-with-windows scheduling problem of Section 7.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LineProblem {
+    timeslots: usize,
+    num_resources: usize,
+    demands: Vec<LineDemand>,
+    /// Access set of the processor owning each demand (indexed by demand).
+    access: Vec<Vec<NetworkId>>,
+}
+
+impl LineProblem {
+    /// Creates an empty problem with `timeslots` timeslots and
+    /// `num_resources` identical resources (line networks).
+    pub fn new(timeslots: usize, num_resources: usize) -> Self {
+        Self {
+            timeslots,
+            num_resources,
+            demands: Vec::new(),
+            access: Vec::new(),
+        }
+    }
+
+    /// Adds a windowed demand; returns its id.
+    ///
+    /// `release` and `deadline` are timeslot indices (inclusive window);
+    /// `processing` is the number of consecutive timeslots required.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_demand(
+        &mut self,
+        release: u32,
+        deadline: u32,
+        processing: u32,
+        profit: f64,
+        height: f64,
+        access: Vec<NetworkId>,
+    ) -> Result<DemandId, GraphError> {
+        let id = DemandId::new(self.demands.len());
+        if processing == 0
+            || deadline < release
+            || (deadline as usize) >= self.timeslots
+            || release + processing > deadline + 1
+        {
+            return Err(GraphError::InvalidWindow {
+                demand: id,
+                release,
+                deadline,
+                processing,
+            });
+        }
+        if profit <= 0.0 || !profit.is_finite() {
+            return Err(GraphError::NonPositiveProfit { demand: id, profit });
+        }
+        if height <= 0.0 || height > 1.0 || !height.is_finite() {
+            return Err(GraphError::InvalidHeight { demand: id, height });
+        }
+        if access.is_empty() {
+            return Err(GraphError::EmptyAccessSet { demand: id });
+        }
+        for &t in &access {
+            if t.index() >= self.num_resources {
+                return Err(GraphError::UnknownNetwork {
+                    network: t,
+                    networks: self.num_resources,
+                });
+            }
+        }
+        let mut access = access;
+        access.sort_unstable();
+        access.dedup();
+        self.demands.push(LineDemand {
+            id,
+            release,
+            deadline,
+            processing,
+            profit,
+            height,
+        });
+        self.access.push(access);
+        Ok(id)
+    }
+
+    /// Adds a fixed interval demand (no slack in the window): the job must
+    /// run exactly on `[start, start + length - 1]`.
+    pub fn add_interval_demand(
+        &mut self,
+        start: u32,
+        length: u32,
+        profit: f64,
+        height: f64,
+        access: Vec<NetworkId>,
+    ) -> Result<DemandId, GraphError> {
+        self.add_demand(start, start + length - 1, length, profit, height, access)
+    }
+
+    /// Number of timeslots `n`.
+    #[inline]
+    pub fn timeslots(&self) -> usize {
+        self.timeslots
+    }
+
+    /// Number of resources `r`.
+    #[inline]
+    pub fn num_resources(&self) -> usize {
+        self.num_resources
+    }
+
+    /// Number of demands `m`.
+    #[inline]
+    pub fn num_demands(&self) -> usize {
+        self.demands.len()
+    }
+
+    /// The demands.
+    #[inline]
+    pub fn demands(&self) -> &[LineDemand] {
+        &self.demands
+    }
+
+    /// A single demand.
+    #[inline]
+    pub fn demand(&self, a: DemandId) -> &LineDemand {
+        &self.demands[a.index()]
+    }
+
+    /// The access set of the processor owning demand `a`.
+    #[inline]
+    pub fn access(&self, a: DemandId) -> &[NetworkId] {
+        &self.access[a.index()]
+    }
+
+    /// Returns `true` if every demand has height exactly 1.
+    pub fn is_unit_height(&self) -> bool {
+        self.demands.iter().all(|d| (d.height - 1.0).abs() <= crate::EPS)
+    }
+
+    /// The resources as [`LineNetwork`] values.
+    pub fn resources(&self) -> Vec<LineNetwork> {
+        (0..self.num_resources)
+            .map(|t| LineNetwork::new(NetworkId::new(t), self.timeslots))
+            .collect()
+    }
+
+    /// Returns the processors (one per demand, with matching indices).
+    pub fn processors(&self) -> Vec<Processor> {
+        self.demands
+            .iter()
+            .map(|d| {
+                Processor::new(
+                    ProcessorId::new(d.id.index()),
+                    d.id,
+                    self.access[d.id.index()].clone(),
+                )
+            })
+            .collect()
+    }
+
+    /// Maximum and minimum instance lengths (`L_max`, `L_min`); used to size
+    /// the length-class layered decomposition of Section 7.
+    pub fn length_bounds(&self) -> (u32, u32) {
+        let max = self.demands.iter().map(|d| d.processing).max().unwrap_or(1);
+        let min = self.demands.iter().map(|d| d.processing).min().unwrap_or(1);
+        (max, min)
+    }
+
+    /// Flattens the problem into the demand-instance universe: one instance
+    /// per (demand, accessible resource, admissible start time), exactly as
+    /// Section 7 prescribes ("for each resource T accessible by P and each
+    /// interval of length ρ(a) contained within [rt(a), dl(a)], create a
+    /// demand instance").
+    pub fn universe(&self) -> DemandInstanceUniverse {
+        let mut instances = Vec::new();
+        for demand in &self.demands {
+            for &t in &self.access[demand.id.index()] {
+                let last_start = demand.deadline + 1 - demand.processing;
+                for start in demand.release..=last_start {
+                    let end = start + demand.processing - 1;
+                    instances.push(DemandInstance {
+                        id: InstanceId::new(instances.len()),
+                        demand: demand.id,
+                        network: t,
+                        profit: demand.profit,
+                        height: demand.height,
+                        path: EdgePath::contiguous(start as usize, end as usize),
+                        start: Some(start),
+                    });
+                }
+            }
+        }
+        let edges_per_network = vec![self.timeslots; self.num_resources];
+        DemandInstanceUniverse::new(instances, self.demands.len(), edges_per_network, None)
+    }
+
+    /// An equivalent [`TreeProblem`] where every resource is the path graph
+    /// over `timeslots + 1` vertices and every demand is pinned to its full
+    /// window. Only valid for demands without slack (window length equals
+    /// processing time); returns `None` if some demand has slack.
+    pub fn as_tree_problem(&self) -> Option<TreeProblem> {
+        if self
+            .demands
+            .iter()
+            .any(|d| d.window_len() != d.processing)
+        {
+            return None;
+        }
+        let mut p = TreeProblem::new(self.timeslots + 1);
+        for _ in 0..self.num_resources {
+            let edges = (0..self.timeslots)
+                .map(|i| (VertexId::new(i), VertexId::new(i + 1)))
+                .collect();
+            p.add_network(edges).ok()?;
+        }
+        for d in &self.demands {
+            p.add_demand(
+                VertexId::new(d.release as usize),
+                VertexId::new((d.deadline + 1) as usize),
+                d.profit,
+                d.height,
+                self.access[d.id.index()].clone(),
+            )
+            .ok()?;
+        }
+        Some(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_resources(r: usize) -> Vec<NetworkId> {
+        (0..r).map(NetworkId::new).collect()
+    }
+
+    #[test]
+    fn placements_and_universe_size() {
+        let mut p = LineProblem::new(10, 2);
+        // Window [0, 5], processing 3 → starts 0, 1, 2, 3 → 4 placements.
+        let a = p.add_demand(0, 5, 3, 1.0, 1.0, all_resources(2)).unwrap();
+        assert_eq!(p.demand(a).num_placements(), 4);
+        let u = p.universe();
+        // 4 placements × 2 resources.
+        assert_eq!(u.num_instances(), 8);
+        assert_eq!(u.instances_of_demand(a).len(), 8);
+    }
+
+    #[test]
+    fn fixed_interval_demand_has_one_placement_per_resource() {
+        let mut p = LineProblem::new(10, 3);
+        let a = p.add_interval_demand(2, 4, 1.0, 0.5, all_resources(3)).unwrap();
+        assert_eq!(p.demand(a).num_placements(), 1);
+        let u = p.universe();
+        assert_eq!(u.num_instances(), 3);
+        for d in u.instances() {
+            assert_eq!(d.start, Some(2));
+            assert_eq!(d.len(), 4);
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_windows() {
+        let mut p = LineProblem::new(10, 1);
+        let acc = all_resources(1);
+        assert!(matches!(
+            p.add_demand(5, 4, 1, 1.0, 1.0, acc.clone()),
+            Err(GraphError::InvalidWindow { .. })
+        ));
+        assert!(matches!(
+            p.add_demand(0, 3, 0, 1.0, 1.0, acc.clone()),
+            Err(GraphError::InvalidWindow { .. })
+        ));
+        assert!(matches!(
+            p.add_demand(0, 3, 5, 1.0, 1.0, acc.clone()),
+            Err(GraphError::InvalidWindow { .. })
+        ));
+        assert!(matches!(
+            p.add_demand(0, 20, 2, 1.0, 1.0, acc.clone()),
+            Err(GraphError::InvalidWindow { .. })
+        ));
+        assert!(matches!(
+            p.add_demand(0, 3, 2, 1.0, 1.0, vec![NetworkId(5)]),
+            Err(GraphError::UnknownNetwork { .. })
+        ));
+        assert!(matches!(
+            p.add_demand(0, 3, 2, -1.0, 1.0, acc),
+            Err(GraphError::NonPositiveProfit { .. })
+        ));
+    }
+
+    #[test]
+    fn figure1_semantics_via_line_problem() {
+        // Figure 1: heights 0.5, 0.7, 0.4; A and B overlap, B and C overlap,
+        // A and C do not.
+        let mut p = LineProblem::new(10, 1);
+        let acc = all_resources(1);
+        p.add_interval_demand(0, 5, 1.0, 0.5, acc.clone()).unwrap(); // A: slots 0..=4
+        p.add_interval_demand(3, 3, 1.0, 0.7, acc.clone()).unwrap(); // B: slots 3..=5
+        p.add_interval_demand(6, 4, 1.0, 0.4, acc).unwrap(); // C: slots 6..=9
+        let u = p.universe();
+        assert!(u.is_feasible(&[InstanceId(0), InstanceId(2)]));
+        assert!(u.is_feasible(&[InstanceId(1), InstanceId(2)]));
+        assert!(!u.is_feasible(&[InstanceId(0), InstanceId(1)]));
+    }
+
+    #[test]
+    fn windows_allow_resolving_conflicts() {
+        // Two unit-height jobs of length 3 with windows [0, 5]: both fit on
+        // one resource only because the windows allow disjoint placements.
+        let mut p = LineProblem::new(6, 1);
+        let acc = all_resources(1);
+        p.add_demand(0, 5, 3, 1.0, 1.0, acc.clone()).unwrap();
+        p.add_demand(0, 5, 3, 1.0, 1.0, acc).unwrap();
+        let u = p.universe();
+        // Placement of demand 0 at start 0 and demand 1 at start 3 are
+        // non-conflicting.
+        let d0 = u
+            .instances()
+            .find(|d| d.demand == DemandId(0) && d.start == Some(0))
+            .unwrap()
+            .id;
+        let d1 = u
+            .instances()
+            .find(|d| d.demand == DemandId(1) && d.start == Some(3))
+            .unwrap()
+            .id;
+        assert!(!u.conflicting(d0, d1));
+        assert!(u.is_feasible(&[d0, d1]));
+    }
+
+    #[test]
+    fn tree_problem_conversion() {
+        let mut p = LineProblem::new(8, 2);
+        let acc = all_resources(2);
+        p.add_interval_demand(0, 4, 2.0, 1.0, acc.clone()).unwrap();
+        p.add_interval_demand(4, 4, 1.0, 1.0, acc.clone()).unwrap();
+        let tp = p.as_tree_problem().expect("no slack, conversion must work");
+        assert_eq!(tp.num_networks(), 2);
+        assert_eq!(tp.num_demands(), 2);
+        let u_line = p.universe();
+        let u_tree = tp.universe();
+        assert_eq!(u_line.num_instances(), u_tree.num_instances());
+        // A windowed demand with slack cannot be converted.
+        p.add_demand(0, 7, 3, 1.0, 1.0, acc).unwrap();
+        assert!(p.as_tree_problem().is_none());
+    }
+
+    #[test]
+    fn length_bounds_and_resources() {
+        let mut p = LineProblem::new(16, 2);
+        let acc = all_resources(2);
+        p.add_demand(0, 15, 2, 1.0, 1.0, acc.clone()).unwrap();
+        p.add_demand(0, 15, 8, 1.0, 1.0, acc).unwrap();
+        assert_eq!(p.length_bounds(), (8, 2));
+        let res = p.resources();
+        assert_eq!(res.len(), 2);
+        assert_eq!(res[0].timeslots(), 16);
+        let tree = res[0].as_tree();
+        assert_eq!(tree.num_edges(), 16);
+    }
+}

@@ -1,0 +1,202 @@
+//! Edge-path representation and overlap predicates.
+//!
+//! A demand instance on a tree network corresponds to the unique path between
+//! its end-points; we store it as a sorted list of edge indices of that
+//! network. Overlap (`path(d1)` and `path(d2)` share an edge, Section 2) is a
+//! sorted-list intersection test.
+
+use crate::ids::EdgeId;
+use serde::{Deserialize, Serialize};
+
+/// A set of edges of a single network, stored as a sorted, deduplicated list
+/// of dense edge indices.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EdgePath {
+    edges: Vec<EdgeId>,
+}
+
+impl EdgePath {
+    /// Creates an empty path.
+    pub fn empty() -> Self {
+        Self { edges: Vec::new() }
+    }
+
+    /// Creates a path from an arbitrary list of edges (sorted and
+    /// deduplicated internally).
+    pub fn new(mut edges: Vec<EdgeId>) -> Self {
+        edges.sort_unstable();
+        edges.dedup();
+        Self { edges }
+    }
+
+    /// Creates a path from a list of edges that is already sorted and
+    /// deduplicated (checked in debug builds).
+    pub fn from_sorted(edges: Vec<EdgeId>) -> Self {
+        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]));
+        Self { edges }
+    }
+
+    /// Creates a contiguous path of edges `[start, end]` (inclusive); used by
+    /// the line/timeline view where edge `i` is the timeslot `i`.
+    pub fn contiguous(start: usize, end: usize) -> Self {
+        assert!(start <= end, "contiguous path must have start <= end");
+        Self {
+            edges: (start..=end).map(EdgeId::new).collect(),
+        }
+    }
+
+    /// Number of edges on the path (the paper's `len(d)` for line networks).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if the path contains no edges.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Returns `true` if the path uses edge `e`.
+    #[inline]
+    pub fn contains(&self, e: EdgeId) -> bool {
+        self.edges.binary_search(&e).is_ok()
+    }
+
+    /// Iterates over the edges in increasing index order.
+    pub fn iter(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Returns the underlying sorted slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Returns `true` if the two paths share at least one edge
+    /// ("overlapping" in Section 2, assuming both belong to the same
+    /// network).
+    pub fn intersects(&self, other: &EdgePath) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.edges.len() && j < other.edges.len() {
+            match self.edges[i].cmp(&other.edges[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// Returns the edges shared by the two paths.
+    pub fn intersection(&self, other: &EdgePath) -> Vec<EdgeId> {
+        let (mut i, mut j) = (0, 0);
+        let mut out = Vec::new();
+        while i < self.edges.len() && j < other.edges.len() {
+            match self.edges[i].cmp(&other.edges[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.edges[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns `true` if any edge of `self` appears in the given sorted
+    /// slice of edges (used for critical-edge / `π(d)` membership tests).
+    pub fn intersects_slice(&self, edges: &[EdgeId]) -> bool {
+        if edges.len() <= 4 {
+            edges.iter().any(|e| self.contains(*e))
+        } else {
+            self.intersects(&EdgePath::new(edges.to_vec()))
+        }
+    }
+}
+
+impl FromIterator<EdgeId> for EdgePath {
+    fn from_iter<I: IntoIterator<Item = EdgeId>>(iter: I) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a EdgePath {
+    type Item = EdgeId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, EdgeId>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.edges.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(ids: &[u32]) -> EdgePath {
+        EdgePath::new(ids.iter().map(|&i| EdgeId(i)).collect())
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let p = path(&[5, 1, 3, 1]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(
+            p.as_slice(),
+            &[EdgeId(1), EdgeId(3), EdgeId(5)],
+            "edges must be sorted and unique"
+        );
+    }
+
+    #[test]
+    fn contiguous_paths() {
+        let p = EdgePath::contiguous(2, 5);
+        assert_eq!(p.len(), 4);
+        assert!(p.contains(EdgeId(2)));
+        assert!(p.contains(EdgeId(5)));
+        assert!(!p.contains(EdgeId(6)));
+    }
+
+    #[test]
+    fn intersection_tests() {
+        let a = path(&[1, 2, 3, 4]);
+        let b = path(&[4, 5, 6]);
+        let c = path(&[7, 8]);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!(!b.intersects(&c));
+        assert_eq!(a.intersection(&b), vec![EdgeId(4)]);
+        assert!(a.intersection(&c).is_empty());
+    }
+
+    #[test]
+    fn intersects_slice_small_and_large() {
+        let a = path(&[10, 20, 30]);
+        assert!(a.intersects_slice(&[EdgeId(20)]));
+        assert!(!a.intersects_slice(&[EdgeId(21)]));
+        let large: Vec<EdgeId> = (0..10).map(EdgeId::new).collect();
+        assert!(!a.intersects_slice(&large));
+        let large_hit: Vec<EdgeId> = (25..35).map(EdgeId::new).collect();
+        assert!(a.intersects_slice(&large_hit));
+    }
+
+    #[test]
+    fn empty_path_behaviour() {
+        let e = EdgePath::empty();
+        assert!(e.is_empty());
+        assert!(!e.intersects(&path(&[1, 2])));
+        assert!(!path(&[1, 2]).intersects(&e));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let p: EdgePath = vec![EdgeId(3), EdgeId(1)].into_iter().collect();
+        assert_eq!(p.as_slice(), &[EdgeId(1), EdgeId(3)]);
+        let collected: Vec<EdgeId> = (&p).into_iter().collect();
+        assert_eq!(collected, vec![EdgeId(1), EdgeId(3)]);
+    }
+}

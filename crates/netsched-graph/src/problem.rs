@@ -1,0 +1,434 @@
+//! The throughput-maximization problem on tree networks (Section 2).
+
+use crate::demand::{Demand, Processor};
+use crate::error::GraphError;
+use crate::ids::{DemandId, InstanceId, NetworkId, ProcessorId, VertexId};
+use crate::tree::TreeNetwork;
+use crate::universe::{DemandInstance, DemandInstanceUniverse};
+use serde::{Deserialize, Serialize};
+
+/// The tree-network scheduling problem instance of Section 2: a shared
+/// vertex set, a set of tree networks over it, and a set of demands each
+/// owned by a processor with an access set.
+///
+/// The optional per-edge capacities implement the capacitated ("non-uniform
+/// bandwidths") extension of the IPPS version; when absent, every edge
+/// offers 1 unit of bandwidth as in the arXiv text.
+///
+/// ```
+/// use netsched_graph::{TreeProblem, VertexId};
+///
+/// let mut problem = TreeProblem::new(3);
+/// let t = problem.add_network(vec![
+///     (VertexId(0), VertexId(1)),
+///     (VertexId(1), VertexId(2)),
+/// ]).unwrap();
+/// problem.add_demand(VertexId(0), VertexId(2), 5.0, 0.5, vec![t]).unwrap();
+/// problem.add_demand(VertexId(1), VertexId(2), 1.0, 0.5, vec![t]).unwrap();
+///
+/// let universe = problem.universe();
+/// assert_eq!(universe.num_instances(), 2);
+/// // Both fit: their heights sum to 1.0 on the shared edge.
+/// let all: Vec<_> = universe.instance_ids().collect();
+/// assert!(universe.is_feasible(&all));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TreeProblem {
+    n_vertices: usize,
+    networks: Vec<TreeNetwork>,
+    demands: Vec<Demand>,
+    /// Access set of the processor owning each demand (indexed by demand).
+    access: Vec<Vec<NetworkId>>,
+    /// Per-network, per-edge capacities; empty means "all 1.0".
+    capacities: Vec<Vec<f64>>,
+}
+
+impl TreeProblem {
+    /// Creates an empty problem over `n_vertices` vertices.
+    pub fn new(n_vertices: usize) -> Self {
+        Self {
+            n_vertices,
+            networks: Vec::new(),
+            demands: Vec::new(),
+            access: Vec::new(),
+            capacities: Vec::new(),
+        }
+    }
+
+    /// Adds a tree network built from an edge list and returns its id.
+    pub fn add_network(
+        &mut self,
+        edges: Vec<(VertexId, VertexId)>,
+    ) -> Result<NetworkId, GraphError> {
+        let id = NetworkId::new(self.networks.len());
+        let network = TreeNetwork::new(id, self.n_vertices, edges)?;
+        self.capacities.push(vec![1.0; network.num_edges()]);
+        self.networks.push(network);
+        Ok(id)
+    }
+
+    /// Adds an already-constructed tree network (renumbering its id) and
+    /// returns its id.
+    pub fn add_tree(&mut self, edges: &TreeNetwork) -> Result<NetworkId, GraphError> {
+        let edge_list = edges.edges().map(|(_, uv)| uv).collect();
+        self.add_network(edge_list)
+    }
+
+    /// Adds a unit-height demand with the given access set; returns its id.
+    pub fn add_unit_demand(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        profit: f64,
+        access: Vec<NetworkId>,
+    ) -> Result<DemandId, GraphError> {
+        self.add_demand(u, v, profit, 1.0, access)
+    }
+
+    /// Adds a demand with an arbitrary height and the given access set;
+    /// returns its id.
+    pub fn add_demand(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        profit: f64,
+        height: f64,
+        access: Vec<NetworkId>,
+    ) -> Result<DemandId, GraphError> {
+        let id = DemandId::new(self.demands.len());
+        if u == v {
+            return Err(GraphError::DegenerateDemand { demand: id });
+        }
+        for w in [u, v] {
+            if w.index() >= self.n_vertices {
+                return Err(GraphError::DemandVertexOutOfRange {
+                    demand: id,
+                    vertex: w,
+                    vertices: self.n_vertices,
+                });
+            }
+        }
+        if profit <= 0.0 || !profit.is_finite() {
+            return Err(GraphError::NonPositiveProfit { demand: id, profit });
+        }
+        if height <= 0.0 || height > 1.0 || !height.is_finite() {
+            return Err(GraphError::InvalidHeight { demand: id, height });
+        }
+        if access.is_empty() {
+            return Err(GraphError::EmptyAccessSet { demand: id });
+        }
+        for &t in &access {
+            if t.index() >= self.networks.len() {
+                return Err(GraphError::UnknownNetwork {
+                    network: t,
+                    networks: self.networks.len(),
+                });
+            }
+        }
+        let mut access = access;
+        access.sort_unstable();
+        access.dedup();
+        self.demands.push(Demand::with_height(id, u, v, profit, height));
+        self.access.push(access);
+        Ok(id)
+    }
+
+    /// Sets the capacity of a single edge of a network (capacitated
+    /// extension).
+    pub fn set_capacity(
+        &mut self,
+        network: NetworkId,
+        edge: usize,
+        capacity: f64,
+    ) -> Result<(), GraphError> {
+        if network.index() >= self.networks.len() {
+            return Err(GraphError::UnknownNetwork {
+                network,
+                networks: self.networks.len(),
+            });
+        }
+        if edge >= self.capacities[network.index()].len() {
+            return Err(GraphError::LengthMismatch {
+                what: "edge index for capacity",
+                expected: self.capacities[network.index()].len(),
+                actual: edge,
+            });
+        }
+        if capacity <= 0.0 || !capacity.is_finite() {
+            return Err(GraphError::InvalidCapacity {
+                network,
+                edge,
+                capacity,
+            });
+        }
+        self.capacities[network.index()][edge] = capacity;
+        Ok(())
+    }
+
+    /// Number of vertices `n`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n_vertices
+    }
+
+    /// Number of networks `r`.
+    #[inline]
+    pub fn num_networks(&self) -> usize {
+        self.networks.len()
+    }
+
+    /// Number of demands `m` (= number of processors).
+    #[inline]
+    pub fn num_demands(&self) -> usize {
+        self.demands.len()
+    }
+
+    /// The networks.
+    #[inline]
+    pub fn networks(&self) -> &[TreeNetwork] {
+        &self.networks
+    }
+
+    /// A single network.
+    #[inline]
+    pub fn network(&self, t: NetworkId) -> &TreeNetwork {
+        &self.networks[t.index()]
+    }
+
+    /// The demands.
+    #[inline]
+    pub fn demands(&self) -> &[Demand] {
+        &self.demands
+    }
+
+    /// A single demand.
+    #[inline]
+    pub fn demand(&self, a: DemandId) -> &Demand {
+        &self.demands[a.index()]
+    }
+
+    /// The access set of the processor owning demand `a`.
+    #[inline]
+    pub fn access(&self, a: DemandId) -> &[NetworkId] {
+        &self.access[a.index()]
+    }
+
+    /// The per-edge capacities of network `t`.
+    #[inline]
+    pub fn capacities(&self, t: NetworkId) -> &[f64] {
+        &self.capacities[t.index()]
+    }
+
+    /// Returns `true` if every demand has height exactly 1.
+    pub fn is_unit_height(&self) -> bool {
+        self.demands.iter().all(|d| (d.height - 1.0).abs() <= crate::EPS)
+    }
+
+    /// Returns the processors (one per demand, with matching indices).
+    pub fn processors(&self) -> Vec<Processor> {
+        self.demands
+            .iter()
+            .map(|d| {
+                Processor::new(
+                    ProcessorId::new(d.id.index()),
+                    d.id,
+                    self.access[d.id.index()].clone(),
+                )
+            })
+            .collect()
+    }
+
+    /// Validates the problem as a whole.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        for (a, acc) in self.access.iter().enumerate() {
+            if acc.is_empty() {
+                return Err(GraphError::EmptyAccessSet {
+                    demand: DemandId::new(a),
+                });
+            }
+        }
+        if self.capacities.len() != self.networks.len() {
+            return Err(GraphError::LengthMismatch {
+                what: "capacities per network",
+                expected: self.networks.len(),
+                actual: self.capacities.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Flattens the problem into the demand-instance universe of Section 2:
+    /// one instance per (demand, accessible network) pair, with the unique
+    /// path materialized.
+    pub fn universe(&self) -> DemandInstanceUniverse {
+        let mut instances = Vec::new();
+        for demand in &self.demands {
+            for &t in &self.access[demand.id.index()] {
+                let network = &self.networks[t.index()];
+                let path = network.path_edges(demand.u, demand.v);
+                instances.push(DemandInstance {
+                    id: InstanceId::new(instances.len()),
+                    demand: demand.id,
+                    network: t,
+                    profit: demand.profit,
+                    height: demand.height,
+                    path,
+                    start: None,
+                });
+            }
+        }
+        let edges_per_network = self.networks.iter().map(|t| t.num_edges()).collect();
+        DemandInstanceUniverse::new(
+            instances,
+            self.demands.len(),
+            edges_per_network,
+            Some(self.capacities.clone()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 2 of the paper: a single tree-network with three demands
+    /// ⟨1,10⟩, ⟨2,3⟩ and ⟨12,13⟩ which all share the edge ⟨4,5⟩.
+    ///
+    /// We reproduce the topology with 0-based vertex ids using a 13-vertex
+    /// tree where the three demand paths pairwise share edge (3,4).
+    fn figure2_like_problem() -> TreeProblem {
+        // Build a caterpillar-ish tree: 0-1-2-3-4-5-6-7 spine, leaves
+        // 8..12 hanging off.
+        let mut p = TreeProblem::new(13);
+        let mut edges: Vec<(VertexId, VertexId)> = (0..7)
+            .map(|i| (VertexId::new(i), VertexId::new(i + 1)))
+            .collect();
+        edges.push((VertexId(8), VertexId(2)));
+        edges.push((VertexId(9), VertexId(3)));
+        edges.push((VertexId(10), VertexId(4)));
+        edges.push((VertexId(11), VertexId(5)));
+        edges.push((VertexId(12), VertexId(6)));
+        let t = p.add_network(edges).unwrap();
+        // Three demands whose paths all use edge (3,4) of the spine.
+        p.add_demand(VertexId(0), VertexId(7), 3.0, 0.4, vec![t]).unwrap();
+        p.add_demand(VertexId(9), VertexId(10), 2.0, 0.7, vec![t]).unwrap();
+        p.add_demand(VertexId(2), VertexId(11), 1.0, 0.3, vec![t]).unwrap();
+        p
+    }
+
+    #[test]
+    fn build_and_flatten() {
+        let p = figure2_like_problem();
+        assert_eq!(p.num_networks(), 1);
+        assert_eq!(p.num_demands(), 3);
+        p.validate().unwrap();
+        let u = p.universe();
+        assert_eq!(u.num_instances(), 3);
+        // All three paths share the spine edge between vertices 3 and 4, so
+        // all pairs overlap.
+        assert!(u.overlapping(InstanceId(0), InstanceId(1)));
+        assert!(u.overlapping(InstanceId(0), InstanceId(2)));
+        assert!(u.overlapping(InstanceId(1), InstanceId(2)));
+        // Unit-height semantics would allow only one of them...
+        assert!(u.is_independent_set(&[InstanceId(0)]));
+        assert!(!u.is_independent_set(&[InstanceId(0), InstanceId(1)]));
+        // ...but with heights 0.4, 0.7, 0.3 the first and third fit together
+        // (exactly as in Figure 2's discussion).
+        assert!(u.is_feasible(&[InstanceId(0), InstanceId(2)]));
+        assert!(!u.is_feasible(&[InstanceId(0), InstanceId(1)]));
+    }
+
+    #[test]
+    fn rejects_bad_demands() {
+        let mut p = TreeProblem::new(4);
+        let t = p
+            .add_network(vec![
+                (VertexId(0), VertexId(1)),
+                (VertexId(1), VertexId(2)),
+                (VertexId(2), VertexId(3)),
+            ])
+            .unwrap();
+        assert!(matches!(
+            p.add_unit_demand(VertexId(1), VertexId(1), 1.0, vec![t]),
+            Err(GraphError::DegenerateDemand { .. })
+        ));
+        assert!(matches!(
+            p.add_unit_demand(VertexId(0), VertexId(9), 1.0, vec![t]),
+            Err(GraphError::DemandVertexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            p.add_unit_demand(VertexId(0), VertexId(1), 0.0, vec![t]),
+            Err(GraphError::NonPositiveProfit { .. })
+        ));
+        assert!(matches!(
+            p.add_demand(VertexId(0), VertexId(1), 1.0, 1.5, vec![t]),
+            Err(GraphError::InvalidHeight { .. })
+        ));
+        assert!(matches!(
+            p.add_unit_demand(VertexId(0), VertexId(1), 1.0, vec![]),
+            Err(GraphError::EmptyAccessSet { .. })
+        ));
+        assert!(matches!(
+            p.add_unit_demand(VertexId(0), VertexId(1), 1.0, vec![NetworkId(7)]),
+            Err(GraphError::UnknownNetwork { .. })
+        ));
+    }
+
+    #[test]
+    fn multiple_networks_multiple_instances() {
+        let mut p = TreeProblem::new(4);
+        let line_edges: Vec<(VertexId, VertexId)> = (0..3)
+            .map(|i| (VertexId::new(i), VertexId::new(i + 1)))
+            .collect();
+        let t0 = p.add_network(line_edges.clone()).unwrap();
+        let t1 = p.add_network(line_edges).unwrap();
+        p.add_unit_demand(VertexId(0), VertexId(3), 1.0, vec![t0, t1]).unwrap();
+        p.add_unit_demand(VertexId(1), VertexId(2), 1.0, vec![t1]).unwrap();
+        let u = p.universe();
+        assert_eq!(u.num_instances(), 3);
+        assert_eq!(u.instances_of_demand(DemandId(0)).len(), 2);
+        assert_eq!(u.instances_on_network(t1).len(), 2);
+        // Instances of the same demand on different networks conflict.
+        let d0 = u.instances_of_demand(DemandId(0));
+        assert!(u.conflicting(d0[0], d0[1]));
+    }
+
+    #[test]
+    fn capacities_default_to_one_and_can_be_overridden() {
+        let mut p = TreeProblem::new(3);
+        let t = p
+            .add_network(vec![(VertexId(0), VertexId(1)), (VertexId(1), VertexId(2))])
+            .unwrap();
+        assert_eq!(p.capacities(t), &[1.0, 1.0]);
+        p.set_capacity(t, 1, 2.5).unwrap();
+        assert_eq!(p.capacities(t), &[1.0, 2.5]);
+        assert!(matches!(
+            p.set_capacity(t, 7, 1.0),
+            Err(GraphError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            p.set_capacity(t, 0, -1.0),
+            Err(GraphError::InvalidCapacity { .. })
+        ));
+        p.add_unit_demand(VertexId(0), VertexId(2), 1.0, vec![t]).unwrap();
+        p.add_unit_demand(VertexId(1), VertexId(2), 1.0, vec![t]).unwrap();
+        let u = p.universe();
+        // Edge 1 (between vertices 1 and 2) has capacity 2.5, so the two
+        // unit-height demands can share it; edge 0 is used only by demand 0.
+        assert!(u.is_feasible(&[InstanceId(0), InstanceId(1)]));
+    }
+
+    #[test]
+    fn processors_mirror_demands() {
+        let p = figure2_like_problem();
+        let procs = p.processors();
+        assert_eq!(procs.len(), 3);
+        for (i, pr) in procs.iter().enumerate() {
+            assert_eq!(pr.demand.index(), i);
+            assert_eq!(pr.access, p.access(DemandId::new(i)));
+        }
+        // All processors share the single network, so all pairs communicate.
+        assert!(procs[0].can_communicate_with(&procs[1]));
+        assert!(procs[1].can_communicate_with(&procs[2]));
+    }
+}

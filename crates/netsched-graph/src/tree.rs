@@ -1,0 +1,460 @@
+//! Tree networks: connected trees over the shared vertex set `V`.
+//!
+//! In the paper every network `T ∈ T` is a connected tree over the `n`
+//! vertices of `V` (Section 2), so the path between any pair of vertices is
+//! unique. [`TreeNetwork`] stores the edge list, an adjacency structure, a
+//! rooted view (parent/depth arrays rooted at vertex 0) and an LCA index so
+//! that `path(d)` queries run in `O(path length + log n)`.
+
+use crate::error::GraphError;
+use crate::ids::{EdgeId, NetworkId, VertexId};
+use crate::lca::LcaIndex;
+use crate::path::EdgePath;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A connected tree network over vertices `0..n`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TreeNetwork {
+    id: NetworkId,
+    n: usize,
+    /// Edge list; edge `i` connects `edges[i].0` and `edges[i].1`.
+    edges: Vec<(VertexId, VertexId)>,
+    /// Adjacency: for each vertex the list of `(neighbour, edge index)`.
+    adj: Vec<Vec<(VertexId, EdgeId)>>,
+    /// Parent of each vertex when rooted at vertex 0 (`None` for the root),
+    /// together with the edge to the parent.
+    parent: Vec<Option<(VertexId, EdgeId)>>,
+    /// Depth of each vertex when rooted at vertex 0 (root depth 0).
+    depth: Vec<u32>,
+    #[serde(skip)]
+    lca: Option<LcaIndex>,
+}
+
+impl TreeNetwork {
+    /// Builds a tree network from an edge list.
+    ///
+    /// The edge list must describe a connected tree over vertices `0..n`
+    /// (exactly `n - 1` edges, no self-loops, no duplicates, connected);
+    /// otherwise a [`GraphError`] is returned.
+    pub fn new(
+        id: NetworkId,
+        n: usize,
+        edges: Vec<(VertexId, VertexId)>,
+    ) -> Result<Self, GraphError> {
+        if n == 0 || edges.len() + 1 != n {
+            return Err(GraphError::NotATree {
+                network: id,
+                vertices: n,
+                edges: edges.len(),
+            });
+        }
+        let mut adj: Vec<Vec<(VertexId, EdgeId)>> = vec![Vec::new(); n];
+        let mut seen = std::collections::HashSet::with_capacity(edges.len());
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            for w in [u, v] {
+                if w.index() >= n {
+                    return Err(GraphError::VertexOutOfRange {
+                        network: id,
+                        vertex: w,
+                        vertices: n,
+                    });
+                }
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop {
+                    network: id,
+                    vertex: u,
+                });
+            }
+            let key = if u < v { (u, v) } else { (v, u) };
+            if !seen.insert(key) {
+                return Err(GraphError::DuplicateEdge {
+                    network: id,
+                    u,
+                    v,
+                });
+            }
+            adj[u.index()].push((v, EdgeId::new(i)));
+            adj[v.index()].push((u, EdgeId::new(i)));
+        }
+
+        // BFS from vertex 0 to establish parents/depths and check
+        // connectivity (n - 1 edges + connected ⇒ tree).
+        let mut parent: Vec<Option<(VertexId, EdgeId)>> = vec![None; n];
+        let mut depth = vec![0u32; n];
+        let mut visited = vec![false; n];
+        let mut queue = VecDeque::new();
+        visited[0] = true;
+        queue.push_back(VertexId(0));
+        let mut count = 1;
+        while let Some(u) = queue.pop_front() {
+            for &(v, e) in &adj[u.index()] {
+                if !visited[v.index()] {
+                    visited[v.index()] = true;
+                    parent[v.index()] = Some((u, e));
+                    depth[v.index()] = depth[u.index()] + 1;
+                    count += 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        if count != n {
+            return Err(GraphError::Disconnected { network: id });
+        }
+
+        let parent_only: Vec<Option<VertexId>> = parent.iter().map(|p| p.map(|(v, _)| v)).collect();
+        let lca = LcaIndex::new(&parent_only, &depth);
+
+        Ok(Self {
+            id,
+            n,
+            edges,
+            adj,
+            parent,
+            depth,
+            lca: Some(lca),
+        })
+    }
+
+    /// Builds the path graph `0 - 1 - ... - (n-1)`, the timeline view used by
+    /// line networks (Section 1, "Line-Networks"). Edge `i` connects vertices
+    /// `i` and `i + 1` and corresponds to timeslot `i`.
+    pub fn line(id: NetworkId, n: usize) -> Result<Self, GraphError> {
+        let edges = (0..n.saturating_sub(1))
+            .map(|i| (VertexId::new(i), VertexId::new(i + 1)))
+            .collect();
+        Self::new(id, n, edges)
+    }
+
+    /// Rebuilds the (non-serialized) LCA index after deserialization.
+    pub fn ensure_index(&mut self) {
+        if self.lca.is_none() {
+            let parent_only: Vec<Option<VertexId>> =
+                self.parent.iter().map(|p| p.map(|(v, _)| v)).collect();
+            self.lca = Some(LcaIndex::new(&parent_only, &self.depth));
+        }
+    }
+
+    fn lca_index(&self) -> &LcaIndex {
+        self.lca
+            .as_ref()
+            .expect("LCA index missing; call ensure_index() after deserialization")
+    }
+
+    /// The identifier of this network.
+    #[inline]
+    pub fn id(&self) -> NetworkId {
+        self.id
+    }
+
+    /// Number of vertices `n`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges (`n - 1`).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// End-points of edge `e`.
+    #[inline]
+    pub fn edge_endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        self.edges[e.index()]
+    }
+
+    /// Iterates over all vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        (0..self.n).map(VertexId::new)
+    }
+
+    /// Iterates over all edges as `(edge id, endpoints)`.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, (VertexId, VertexId))> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, &uv)| (EdgeId::new(i), uv))
+    }
+
+    /// Neighbours of `v` together with the connecting edge.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[(VertexId, EdgeId)] {
+        &self.adj[v.index()]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adj[v.index()].len()
+    }
+
+    /// The edge between `u` and `v`, if they are adjacent.
+    pub fn edge_between(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
+        self.adj[u.index()]
+            .iter()
+            .find(|&&(w, _)| w == v)
+            .map(|&(_, e)| e)
+    }
+
+    /// Parent of `v` in the rooted view (rooted at vertex 0).
+    #[inline]
+    pub fn parent(&self, v: VertexId) -> Option<(VertexId, EdgeId)> {
+        self.parent[v.index()]
+    }
+
+    /// Depth of `v` in the rooted view (root has depth 0).
+    #[inline]
+    pub fn depth(&self, v: VertexId) -> u32 {
+        self.depth[v.index()]
+    }
+
+    /// Lowest common ancestor of `u` and `v` with respect to the rooted view.
+    pub fn lca(&self, u: VertexId, v: VertexId) -> VertexId {
+        self.lca_index().lca(u, v)
+    }
+
+    /// Number of edges on the unique path between `u` and `v`.
+    pub fn distance(&self, u: VertexId, v: VertexId) -> u32 {
+        self.lca_index().distance(u, v)
+    }
+
+    /// The unique path between `u` and `v` as a set of edges.
+    pub fn path_edges(&self, u: VertexId, v: VertexId) -> EdgePath {
+        let l = self.lca(u, v);
+        let mut edges = Vec::with_capacity(self.distance(u, v) as usize);
+        let mut walk = |mut x: VertexId| {
+            while x != l {
+                let (p, e) = self.parent[x.index()].expect("non-root vertex must have a parent");
+                edges.push(e);
+                x = p;
+            }
+        };
+        walk(u);
+        walk(v);
+        EdgePath::new(edges)
+    }
+
+    /// The unique path between `u` and `v` as a vertex sequence from `u` to
+    /// `v` (inclusive).
+    pub fn path_vertices(&self, u: VertexId, v: VertexId) -> Vec<VertexId> {
+        let l = self.lca(u, v);
+        let mut up = Vec::new();
+        let mut x = u;
+        while x != l {
+            up.push(x);
+            x = self.parent[x.index()].expect("non-root vertex must have a parent").0;
+        }
+        up.push(l);
+        let mut down = Vec::new();
+        let mut y = v;
+        while y != l {
+            down.push(y);
+            y = self.parent[y.index()].expect("non-root vertex must have a parent").0;
+        }
+        up.extend(down.into_iter().rev());
+        up
+    }
+
+    /// Returns `true` if the path between `u` and `v` passes through vertex
+    /// `w`.
+    pub fn path_passes_through(&self, u: VertexId, v: VertexId, w: VertexId) -> bool {
+        self.distance(u, w) + self.distance(w, v) == self.distance(u, v)
+    }
+
+    /// Vertices of the connected component of `start` in the forest obtained
+    /// by deleting `removed` from the tree (`removed` itself is excluded).
+    ///
+    /// This is the "splitting a component by a node" operation of
+    /// Section 4.2.
+    pub fn component_avoiding(&self, start: VertexId, removed: &[VertexId]) -> Vec<VertexId> {
+        let mut blocked = vec![false; self.n];
+        for &r in removed {
+            blocked[r.index()] = true;
+        }
+        if blocked[start.index()] {
+            return Vec::new();
+        }
+        let mut visited = vec![false; self.n];
+        let mut queue = VecDeque::new();
+        let mut out = Vec::new();
+        visited[start.index()] = true;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            out.push(u);
+            for &(v, _) in &self.adj[u.index()] {
+                if !visited[v.index()] && !blocked[v.index()] {
+                    visited[v.index()] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The example tree-network of Figure 6 in the paper (vertices renumbered
+    /// from 1..14 to 0..13):
+    ///
+    /// paper vertex i ↦ here i - 1.
+    pub fn figure6_tree() -> TreeNetwork {
+        // Paper edges (1-based): (1,2), (2,5), (5,9), (5,8), (2,4), (8,12),
+        // (8,13), (9,11), (9,10), (1,6), (6,14), (1,3), (3,7).
+        let raw = [
+            (1, 2),
+            (2, 5),
+            (5, 9),
+            (5, 8),
+            (2, 4),
+            (8, 12),
+            (8, 13),
+            (9, 11),
+            (9, 10),
+            (1, 6),
+            (6, 14),
+            (1, 3),
+            (3, 7),
+        ];
+        let edges = raw
+            .iter()
+            .map(|&(u, v)| (VertexId::new(u - 1), VertexId::new(v - 1)))
+            .collect();
+        TreeNetwork::new(NetworkId::new(0), 14, edges).expect("figure 6 tree is valid")
+    }
+
+    #[test]
+    fn rejects_wrong_edge_count() {
+        let err = TreeNetwork::new(
+            NetworkId::new(0),
+            3,
+            vec![(VertexId(0), VertexId(1))],
+        )
+        .unwrap_err();
+        assert!(matches!(err, GraphError::NotATree { .. }));
+    }
+
+    #[test]
+    fn rejects_disconnected() {
+        // 4 vertices, 3 edges but with a duplicate-free cycle 0-1-2-0 leaves
+        // vertex 3 unreachable.
+        let err = TreeNetwork::new(
+            NetworkId::new(0),
+            4,
+            vec![
+                (VertexId(0), VertexId(1)),
+                (VertexId(1), VertexId(2)),
+                (VertexId(2), VertexId(0)),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, GraphError::Disconnected { .. }));
+    }
+
+    #[test]
+    fn rejects_self_loop_and_duplicates() {
+        let err = TreeNetwork::new(
+            NetworkId::new(0),
+            2,
+            vec![(VertexId(0), VertexId(0))],
+        )
+        .unwrap_err();
+        assert!(matches!(err, GraphError::SelfLoop { .. }));
+
+        let err = TreeNetwork::new(
+            NetworkId::new(0),
+            3,
+            vec![(VertexId(0), VertexId(1)), (VertexId(1), VertexId(0))],
+        )
+        .unwrap_err();
+        assert!(matches!(err, GraphError::DuplicateEdge { .. }));
+    }
+
+    #[test]
+    fn rejects_out_of_range_vertex() {
+        let err = TreeNetwork::new(
+            NetworkId::new(0),
+            2,
+            vec![(VertexId(0), VertexId(5))],
+        )
+        .unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfRange { .. }));
+    }
+
+    #[test]
+    fn line_constructor() {
+        let line = TreeNetwork::line(NetworkId::new(1), 5).unwrap();
+        assert_eq!(line.num_vertices(), 5);
+        assert_eq!(line.num_edges(), 4);
+        let p = line.path_edges(VertexId(1), VertexId(4));
+        assert_eq!(p.as_slice(), &[EdgeId(1), EdgeId(2), EdgeId(3)]);
+    }
+
+    #[test]
+    fn figure6_paths() {
+        let t = figure6_tree();
+        // Demand ⟨4, 13⟩ in the paper = vertices 3 and 12 here; its path is
+        // 4-2-5-8-13 (paper), i.e. 4 edges.
+        let p = t.path_edges(VertexId(3), VertexId(12));
+        assert_eq!(p.len(), 4);
+        // It passes through paper-vertex 5 (= 4 here) and paper-vertex 2 (= 1
+        // here).
+        assert!(t.path_passes_through(VertexId(3), VertexId(12), VertexId(4)));
+        assert!(t.path_passes_through(VertexId(3), VertexId(12), VertexId(1)));
+        assert!(!t.path_passes_through(VertexId(3), VertexId(12), VertexId(0)));
+
+        let verts = t.path_vertices(VertexId(3), VertexId(12));
+        assert_eq!(verts.first(), Some(&VertexId(3)));
+        assert_eq!(verts.last(), Some(&VertexId(12)));
+        assert_eq!(verts.len(), 5);
+    }
+
+    #[test]
+    fn paths_are_symmetric() {
+        let t = figure6_tree();
+        for u in t.vertices() {
+            for v in t.vertices() {
+                assert_eq!(t.path_edges(u, v), t.path_edges(v, u));
+                assert_eq!(t.distance(u, v), t.distance(v, u));
+                assert_eq!(t.path_edges(u, v).len() as u32, t.distance(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn component_avoiding_splits_tree() {
+        let t = figure6_tree();
+        // Removing paper-vertex 5 (index 4) separates paper-vertex 9's side
+        // (9, 10, 11 ⇒ indices 8, 9, 10) from the rest.
+        let comp = t.component_avoiding(VertexId(8), &[VertexId(4)]);
+        let mut comp: Vec<usize> = comp.into_iter().map(|v| v.index()).collect();
+        comp.sort_unstable();
+        assert_eq!(comp, vec![8, 9, 10]);
+        // Removing the start vertex itself yields nothing.
+        assert!(t.component_avoiding(VertexId(8), &[VertexId(8)]).is_empty());
+    }
+
+    #[test]
+    fn edge_between_and_degree() {
+        let t = figure6_tree();
+        assert!(t.edge_between(VertexId(0), VertexId(1)).is_some()); // paper edge (1, 2)
+        assert!(t.edge_between(VertexId(0), VertexId(13)).is_none());
+        assert_eq!(t.degree(VertexId(0)), 3); // paper vertex 1: neighbours 2, 6, 3
+    }
+
+    #[test]
+    fn ensure_index_rebuilds_after_skip() {
+        // The LCA index is `#[serde(skip)]`-ped; emulate a deserialized value
+        // by dropping it and rebuilding.
+        let t = figure6_tree();
+        let mut copy = t.clone();
+        copy.lca = None;
+        copy.ensure_index();
+        assert_eq!(copy.distance(VertexId(3), VertexId(12)), 4);
+    }
+}

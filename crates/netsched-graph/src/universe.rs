@@ -1,0 +1,529 @@
+//! The demand-instance universe.
+//!
+//! Section 2 of the paper reformulates the problem in terms of *demand
+//! instances*: one copy of a demand per accessible network (and, for
+//! windowed line networks, per admissible start time). Every algorithm in
+//! this workspace operates on a [`DemandInstanceUniverse`]: a flat list of
+//! instances, each with an owner demand, a network, a profit, a height and
+//! the set of edges its routing occupies, plus the per-edge capacities.
+//!
+//! A *feasible solution* is a subset of instances containing at most one
+//! instance per demand such that on every edge the heights of the selected
+//! instances through it sum to at most the edge capacity.
+
+use crate::ids::{DemandId, EdgeId, GlobalEdge, InstanceId, NetworkId};
+use crate::path::EdgePath;
+use crate::EPS;
+use serde::{Deserialize, Serialize};
+
+/// A single demand instance `d ∈ D`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DemandInstance {
+    /// Identifier (dense index into the universe).
+    pub id: InstanceId,
+    /// The demand this instance belongs to (`a_d` in the paper).
+    pub demand: DemandId,
+    /// The network this instance is scheduled on.
+    pub network: NetworkId,
+    /// Profit `p(d)` (equal to the owning demand's profit).
+    pub profit: f64,
+    /// Height `h(d)` (equal to the owning demand's height).
+    pub height: f64,
+    /// The edges of `path(d)` within `network`.
+    pub path: EdgePath,
+    /// For windowed line instances: the start timeslot of the execution
+    /// segment. `None` for tree instances.
+    pub start: Option<u32>,
+}
+
+impl DemandInstance {
+    /// Returns `true` if this instance uses edge `e` of its own network
+    /// (`d ∼ e` in the paper).
+    #[inline]
+    pub fn active_on(&self, e: EdgeId) -> bool {
+        self.path.contains(e)
+    }
+
+    /// Returns `true` if the instance is wide (`h(d) > 1/2`, Section 6).
+    #[inline]
+    pub fn is_wide(&self) -> bool {
+        self.height > 0.5
+    }
+
+    /// Returns `true` if the instance is narrow (`h(d) ≤ 1/2`, Section 6).
+    #[inline]
+    pub fn is_narrow(&self) -> bool {
+        !self.is_wide()
+    }
+
+    /// Length of the instance (number of edges of its path); for line
+    /// instances this is the paper's `len(d) = e(d) − s(d) + 1`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.path.len()
+    }
+
+    /// Returns `true` if the path is empty (never the case for valid
+    /// demands, whose end-points differ).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.path.is_empty()
+    }
+}
+
+/// The full set of demand instances of a problem, plus edge capacities.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DemandInstanceUniverse {
+    instances: Vec<DemandInstance>,
+    num_demands: usize,
+    num_networks: usize,
+    /// Number of edges of each network.
+    edges_per_network: Vec<usize>,
+    /// Capacity of each edge of each network (1.0 in the uniform-bandwidth
+    /// setting of the arXiv text; arbitrary positive values in the
+    /// capacitated/IPPS setting).
+    capacities: Vec<Vec<f64>>,
+    /// Instances of each demand (`Inst(a)`).
+    by_demand: Vec<Vec<InstanceId>>,
+    /// Instances on each network (`D(T)`).
+    by_network: Vec<Vec<InstanceId>>,
+}
+
+impl DemandInstanceUniverse {
+    /// Assembles a universe from its parts.
+    ///
+    /// `edges_per_network[t]` is the number of edges of network `t`;
+    /// `capacities` may be empty, in which case every capacity defaults
+    /// to 1.0.
+    pub fn new(
+        instances: Vec<DemandInstance>,
+        num_demands: usize,
+        edges_per_network: Vec<usize>,
+        capacities: Option<Vec<Vec<f64>>>,
+    ) -> Self {
+        let num_networks = edges_per_network.len();
+        let capacities = capacities
+            .unwrap_or_else(|| edges_per_network.iter().map(|&m| vec![1.0; m]).collect());
+        assert_eq!(
+            capacities.len(),
+            num_networks,
+            "capacities must cover every network"
+        );
+        for (t, caps) in capacities.iter().enumerate() {
+            assert_eq!(
+                caps.len(),
+                edges_per_network[t],
+                "capacities must cover every edge of network {t}"
+            );
+        }
+        let mut by_demand = vec![Vec::new(); num_demands];
+        let mut by_network = vec![Vec::new(); num_networks];
+        for (i, inst) in instances.iter().enumerate() {
+            assert_eq!(inst.id.index(), i, "instance ids must be dense");
+            by_demand[inst.demand.index()].push(inst.id);
+            by_network[inst.network.index()].push(inst.id);
+        }
+        Self {
+            instances,
+            num_demands,
+            num_networks,
+            edges_per_network,
+            capacities,
+            by_demand,
+            by_network,
+        }
+    }
+
+    /// Number of demand instances `|D|`.
+    #[inline]
+    pub fn num_instances(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Number of demands `m`.
+    #[inline]
+    pub fn num_demands(&self) -> usize {
+        self.num_demands
+    }
+
+    /// Number of networks `r`.
+    #[inline]
+    pub fn num_networks(&self) -> usize {
+        self.num_networks
+    }
+
+    /// Number of edges of network `t`.
+    #[inline]
+    pub fn num_edges(&self, t: NetworkId) -> usize {
+        self.edges_per_network[t.index()]
+    }
+
+    /// Total number of edges over all networks (`|E|`).
+    pub fn total_edges(&self) -> usize {
+        self.edges_per_network.iter().sum()
+    }
+
+    /// The instance with identifier `d`.
+    #[inline]
+    pub fn instance(&self, d: InstanceId) -> &DemandInstance {
+        &self.instances[d.index()]
+    }
+
+    /// Iterates over all instances.
+    pub fn instances(&self) -> impl Iterator<Item = &DemandInstance> {
+        self.instances.iter()
+    }
+
+    /// Iterates over all instance identifiers.
+    pub fn instance_ids(&self) -> impl Iterator<Item = InstanceId> {
+        (0..self.instances.len()).map(InstanceId::new)
+    }
+
+    /// The instances of demand `a` (`Inst(a)`).
+    #[inline]
+    pub fn instances_of_demand(&self, a: DemandId) -> &[InstanceId] {
+        &self.by_demand[a.index()]
+    }
+
+    /// The instances on network `t` (`D(T)`).
+    #[inline]
+    pub fn instances_on_network(&self, t: NetworkId) -> &[InstanceId] {
+        &self.by_network[t.index()]
+    }
+
+    /// Capacity of a global edge.
+    #[inline]
+    pub fn capacity(&self, e: GlobalEdge) -> f64 {
+        self.capacities[e.network.index()][e.edge.index()]
+    }
+
+    /// Profit `p(d)`.
+    #[inline]
+    pub fn profit(&self, d: InstanceId) -> f64 {
+        self.instances[d.index()].profit
+    }
+
+    /// Height `h(d)`.
+    #[inline]
+    pub fn height(&self, d: InstanceId) -> f64 {
+        self.instances[d.index()].height
+    }
+
+    /// The owning demand `a_d`.
+    #[inline]
+    pub fn demand_of(&self, d: InstanceId) -> DemandId {
+        self.instances[d.index()].demand
+    }
+
+    /// Maximum profit over all instances (`p_max`); 1.0 for an empty
+    /// universe.
+    pub fn max_profit(&self) -> f64 {
+        if self.instances.is_empty() {
+            return 1.0;
+        }
+        self.instances
+            .iter()
+            .map(|d| d.profit)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Minimum profit over all instances (`p_min`); 1.0 for an empty
+    /// universe.
+    pub fn min_profit(&self) -> f64 {
+        if self.instances.is_empty() {
+            return 1.0;
+        }
+        self.instances
+            .iter()
+            .map(|d| d.profit)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Minimum height over all instances (`h_min`); 1.0 for an empty
+    /// universe.
+    pub fn min_height(&self) -> f64 {
+        self.instances
+            .iter()
+            .map(|d| d.height)
+            .fold(1.0_f64, f64::min)
+    }
+
+    /// Returns `true` if every instance has height exactly 1 (the
+    /// unit-height case).
+    pub fn is_unit_height(&self) -> bool {
+        self.instances.iter().all(|d| (d.height - 1.0).abs() <= EPS)
+    }
+
+    /// Returns `true` if every capacity is exactly 1 (the uniform-bandwidth
+    /// setting of the arXiv text).
+    pub fn is_uniform_capacity(&self) -> bool {
+        self.capacities
+            .iter()
+            .flat_map(|c| c.iter())
+            .all(|&c| (c - 1.0).abs() <= EPS)
+    }
+
+    /// Two instances *overlap* if they belong to the same network and their
+    /// paths share an edge (Section 2).
+    pub fn overlapping(&self, a: InstanceId, b: InstanceId) -> bool {
+        let (da, db) = (&self.instances[a.index()], &self.instances[b.index()]);
+        da.network == db.network && da.path.intersects(&db.path)
+    }
+
+    /// Two instances *conflict* if they belong to the same demand or they
+    /// overlap (Section 2).
+    pub fn conflicting(&self, a: InstanceId, b: InstanceId) -> bool {
+        if a == b {
+            return false;
+        }
+        let (da, db) = (&self.instances[a.index()], &self.instances[b.index()]);
+        da.demand == db.demand || (da.network == db.network && da.path.intersects(&db.path))
+    }
+
+    /// Returns `true` if the given set of instances is an *independent set*:
+    /// pairwise non-conflicting (Section 2). This is the feasibility notion
+    /// of the unit-height case.
+    pub fn is_independent_set(&self, selection: &[InstanceId]) -> bool {
+        for (i, &a) in selection.iter().enumerate() {
+            for &b in &selection[i + 1..] {
+                if a == b || self.conflicting(a, b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Per-edge load of a selection on a given network: `load[e]` = sum of
+    /// heights of selected instances through edge `e`.
+    pub fn edge_loads(&self, network: NetworkId, selection: &[InstanceId]) -> Vec<f64> {
+        let mut load = vec![0.0; self.num_edges(network)];
+        for &d in selection {
+            let inst = &self.instances[d.index()];
+            if inst.network == network {
+                for e in inst.path.iter() {
+                    load[e.index()] += inst.height;
+                }
+            }
+        }
+        load
+    }
+
+    /// Returns `true` if the selection respects capacities on every edge and
+    /// selects at most one instance per demand (the feasibility notion of
+    /// the arbitrary-height / capacitated case, Section 6).
+    pub fn is_feasible(&self, selection: &[InstanceId]) -> bool {
+        // At most one instance per demand, and no repeated instance.
+        let mut used = vec![false; self.num_demands];
+        let mut seen = vec![false; self.num_instances()];
+        for &d in selection {
+            if seen[d.index()] {
+                return false;
+            }
+            seen[d.index()] = true;
+            let a = self.demand_of(d).index();
+            if used[a] {
+                return false;
+            }
+            used[a] = true;
+        }
+        // Capacity constraints per network.
+        for t in 0..self.num_networks {
+            let network = NetworkId::new(t);
+            let load = self.edge_loads(network, selection);
+            for (e, &l) in load.iter().enumerate() {
+                if l > self.capacities[t][e] + EPS {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Returns `true` if `candidate` can be added to `selection` without
+    /// violating feasibility. `selection` is assumed feasible.
+    pub fn can_add(&self, selection: &[InstanceId], candidate: InstanceId) -> bool {
+        let cand = &self.instances[candidate.index()];
+        for &d in selection {
+            if d == candidate || self.demand_of(d) == cand.demand {
+                return false;
+            }
+        }
+        // Check the capacity only on the candidate's own edges.
+        for e in cand.path.iter() {
+            let mut load = cand.height;
+            for &d in selection {
+                let inst = &self.instances[d.index()];
+                if inst.network == cand.network && inst.path.contains(e) {
+                    load += inst.height;
+                }
+            }
+            if load > self.capacities[cand.network.index()][e.index()] + EPS {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Total profit of a selection.
+    pub fn total_profit(&self, selection: &[InstanceId]) -> f64 {
+        selection.iter().map(|&d| self.profit(d)).sum()
+    }
+
+    /// Restricts a selection to the instances scheduled on network `t`.
+    pub fn restrict_to_network(&self, selection: &[InstanceId], t: NetworkId) -> Vec<InstanceId> {
+        selection
+            .iter()
+            .copied()
+            .filter(|&d| self.instances[d.index()].network == t)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Universe mirroring Figure 1 of the paper: a single line resource of 10
+    /// timeslots with demands A, B, C of heights 0.5, 0.7, 0.4.
+    ///
+    /// A occupies timeslots 0..=4, B occupies 3..=5, C occupies 6..=9, so
+    /// {A, C} and {B, C} fit but {A, B} does not (0.5 + 0.7 > 1 on slots
+    /// 3 and 4).
+    fn figure1_universe() -> DemandInstanceUniverse {
+        let mk = |i: usize, a: usize, s: usize, e: usize, h: f64| DemandInstance {
+            id: InstanceId::new(i),
+            demand: DemandId::new(a),
+            network: NetworkId::new(0),
+            profit: 1.0,
+            height: h,
+            path: EdgePath::contiguous(s, e),
+            start: Some(s as u32),
+        };
+        DemandInstanceUniverse::new(
+            vec![
+                mk(0, 0, 0, 4, 0.5),
+                mk(1, 1, 3, 5, 0.7),
+                mk(2, 2, 6, 9, 0.4),
+            ],
+            3,
+            vec![10],
+            None,
+        )
+    }
+
+    #[test]
+    fn figure1_feasibility_matches_paper() {
+        let u = figure1_universe();
+        let a = InstanceId(0);
+        let b = InstanceId(1);
+        let c = InstanceId(2);
+        // {A, C} and {B, C} can be scheduled, {A, B} cannot (0.5 + 0.7 > 1 on
+        // shared timeslots 3, 4).
+        assert!(u.is_feasible(&[a, c]));
+        assert!(u.is_feasible(&[b, c]));
+        assert!(!u.is_feasible(&[a, b]));
+        assert!(!u.is_feasible(&[a, b, c]));
+    }
+
+    #[test]
+    fn overlap_and_conflict() {
+        let u = figure1_universe();
+        assert!(u.overlapping(InstanceId(0), InstanceId(1)));
+        assert!(!u.overlapping(InstanceId(1), InstanceId(2)));
+        assert!(!u.overlapping(InstanceId(0), InstanceId(2)));
+        assert!(u.conflicting(InstanceId(0), InstanceId(1)));
+        assert!(!u.conflicting(InstanceId(0), InstanceId(2)));
+        assert!(!u.conflicting(InstanceId(0), InstanceId(0)));
+    }
+
+    #[test]
+    fn independent_set_check_unit_height_semantics() {
+        let u = figure1_universe();
+        assert!(u.is_independent_set(&[InstanceId(0), InstanceId(2)]));
+        assert!(!u.is_independent_set(&[InstanceId(0), InstanceId(1)]));
+        assert!(u.is_independent_set(&[]));
+        // A repeated instance is not an independent set.
+        assert!(!u.is_independent_set(&[InstanceId(0), InstanceId(0)]));
+    }
+
+    #[test]
+    fn can_add_respects_capacity_and_demand_uniqueness() {
+        let u = figure1_universe();
+        assert!(u.can_add(&[InstanceId(0)], InstanceId(2)));
+        assert!(!u.can_add(&[InstanceId(0)], InstanceId(1)));
+        assert!(!u.can_add(&[InstanceId(0)], InstanceId(0)));
+    }
+
+    #[test]
+    fn loads_and_profit() {
+        let u = figure1_universe();
+        let loads = u.edge_loads(NetworkId(0), &[InstanceId(0), InstanceId(2)]);
+        assert!((loads[0] - 0.5).abs() < 1e-12);
+        assert!((loads[6] - 0.4).abs() < 1e-12);
+        assert!((loads[5] - 0.0).abs() < 1e-12);
+        assert!((u.total_profit(&[InstanceId(0), InstanceId(2)]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_demand_instances_conflict() {
+        // Two copies of the same demand on different networks conflict even
+        // though their paths live on different networks.
+        let mk = |i: usize, t: usize| DemandInstance {
+            id: InstanceId::new(i),
+            demand: DemandId::new(0),
+            network: NetworkId::new(t),
+            profit: 2.0,
+            height: 1.0,
+            path: EdgePath::contiguous(0, 1),
+            start: None,
+        };
+        let u = DemandInstanceUniverse::new(vec![mk(0, 0), mk(1, 1)], 1, vec![3, 3], None);
+        assert!(u.conflicting(InstanceId(0), InstanceId(1)));
+        assert!(!u.overlapping(InstanceId(0), InstanceId(1)));
+        assert!(!u.is_feasible(&[InstanceId(0), InstanceId(1)]));
+        assert!(u.is_feasible(&[InstanceId(0)]));
+    }
+
+    #[test]
+    fn capacitated_universe() {
+        // One edge with capacity 2.0 admits two unit-height instances of
+        // different demands.
+        let mk = |i: usize, a: usize| DemandInstance {
+            id: InstanceId::new(i),
+            demand: DemandId::new(a),
+            network: NetworkId::new(0),
+            profit: 1.0,
+            height: 1.0,
+            path: EdgePath::contiguous(0, 0),
+            start: None,
+        };
+        let u = DemandInstanceUniverse::new(
+            vec![mk(0, 0), mk(1, 1), mk(2, 2)],
+            3,
+            vec![1],
+            Some(vec![vec![2.0]]),
+        );
+        assert!(!u.is_uniform_capacity());
+        assert!(u.is_feasible(&[InstanceId(0), InstanceId(1)]));
+        assert!(!u.is_feasible(&[InstanceId(0), InstanceId(1), InstanceId(2)]));
+    }
+
+    #[test]
+    fn stats_accessors() {
+        let u = figure1_universe();
+        assert_eq!(u.num_instances(), 3);
+        assert_eq!(u.num_demands(), 3);
+        assert_eq!(u.num_networks(), 1);
+        assert_eq!(u.total_edges(), 10);
+        assert!(!u.is_unit_height());
+        assert!(u.is_uniform_capacity());
+        assert!((u.min_height() - 0.4).abs() < 1e-12);
+        assert_eq!(u.instances_of_demand(DemandId(1)), &[InstanceId(1)]);
+        assert_eq!(u.instances_on_network(NetworkId(0)).len(), 3);
+        assert_eq!(
+            u.restrict_to_network(&[InstanceId(0), InstanceId(2)], NetworkId(0)).len(),
+            2
+        );
+    }
+}

@@ -1,0 +1,192 @@
+//! Profit and height distributions for synthetic demands.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How demand profits are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ProfitDistribution {
+    /// Every demand has the same profit.
+    Constant(f64),
+    /// Uniform in `[min, max]`.
+    Uniform {
+        /// Smallest profit.
+        min: f64,
+        /// Largest profit.
+        max: f64,
+    },
+    /// Powers of two `2^0 .. 2^exponents`, uniformly chosen — used to stress
+    /// the `log(p_max/p_min)` term of the round-complexity bounds.
+    PowerOfTwo {
+        /// Number of distinct exponents.
+        exponents: u32,
+    },
+}
+
+/// How demand heights are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum HeightDistribution {
+    /// Unit height (the Section 5 setting).
+    Unit,
+    /// Uniform in `[min, max] ⊆ (0, 1]`.
+    Uniform {
+        /// Smallest height.
+        min: f64,
+        /// Largest height.
+        max: f64,
+    },
+    /// Narrow-only heights: uniform in `[min, 1/2]`.
+    Narrow {
+        /// Smallest height.
+        min: f64,
+    },
+    /// A mix: with probability `wide_fraction` the height is uniform in
+    /// `(1/2, 1]`, otherwise uniform in `[min_narrow, 1/2]`.
+    Mixed {
+        /// Fraction of wide demands.
+        wide_fraction: f64,
+        /// Smallest narrow height.
+        min_narrow: f64,
+    },
+}
+
+/// A sampled (profit, height) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DemandSpec {
+    /// Sampled profit.
+    pub profit: f64,
+    /// Sampled height.
+    pub height: f64,
+}
+
+impl DemandSpec {
+    /// Samples a (profit, height) pair from the given distributions.
+    pub fn sample(
+        profits: &ProfitDistribution,
+        heights: &HeightDistribution,
+        rng: &mut StdRng,
+    ) -> Self {
+        let profit = match *profits {
+            ProfitDistribution::Constant(p) => p,
+            ProfitDistribution::Uniform { min, max } => {
+                if (max - min).abs() < f64::EPSILON {
+                    min
+                } else {
+                    rng.gen_range(min..max)
+                }
+            }
+            ProfitDistribution::PowerOfTwo { exponents } => {
+                let e = rng.gen_range(0..=exponents);
+                (2.0f64).powi(e as i32)
+            }
+        };
+        let height = match *heights {
+            HeightDistribution::Unit => 1.0,
+            HeightDistribution::Uniform { min, max } => {
+                if (max - min).abs() < f64::EPSILON {
+                    min
+                } else {
+                    rng.gen_range(min..=max)
+                }
+            }
+            HeightDistribution::Narrow { min } => rng.gen_range(min..=0.5),
+            HeightDistribution::Mixed {
+                wide_fraction,
+                min_narrow,
+            } => {
+                if rng.gen_bool(wide_fraction.clamp(0.0, 1.0)) {
+                    rng.gen_range(0.5f64.next_up()..=1.0)
+                } else {
+                    rng.gen_range(min_narrow..=0.5)
+                }
+            }
+        };
+        Self { profit, height }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..200 {
+            let s = DemandSpec::sample(
+                &ProfitDistribution::Uniform { min: 1.0, max: 8.0 },
+                &HeightDistribution::Uniform { min: 0.1, max: 0.9 },
+                &mut rng,
+            );
+            assert!(s.profit >= 1.0 && s.profit <= 8.0);
+            assert!(s.height >= 0.1 && s.height <= 0.9);
+        }
+    }
+
+    #[test]
+    fn power_of_two_profits_are_powers() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let s = DemandSpec::sample(
+                &ProfitDistribution::PowerOfTwo { exponents: 6 },
+                &HeightDistribution::Unit,
+                &mut rng,
+            );
+            let l = s.profit.log2();
+            assert!((l - l.round()).abs() < 1e-12);
+            assert!(s.profit >= 1.0 && s.profit <= 64.0);
+            assert_eq!(s.height, 1.0);
+        }
+    }
+
+    #[test]
+    fn narrow_and_mixed_distributions_respect_the_half_threshold() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut saw_wide = false;
+        let mut saw_narrow = false;
+        for _ in 0..300 {
+            let narrow = DemandSpec::sample(
+                &ProfitDistribution::Constant(1.0),
+                &HeightDistribution::Narrow { min: 0.05 },
+                &mut rng,
+            );
+            assert!(narrow.height <= 0.5);
+            let mixed = DemandSpec::sample(
+                &ProfitDistribution::Constant(1.0),
+                &HeightDistribution::Mixed {
+                    wide_fraction: 0.5,
+                    min_narrow: 0.05,
+                },
+                &mut rng,
+            );
+            if mixed.height > 0.5 {
+                saw_wide = true;
+            } else {
+                saw_narrow = true;
+            }
+            assert!(mixed.height > 0.0 && mixed.height <= 1.0);
+        }
+        assert!(saw_wide && saw_narrow);
+    }
+
+    #[test]
+    fn constant_distributions_are_constant() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = DemandSpec::sample(
+            &ProfitDistribution::Constant(5.0),
+            &HeightDistribution::Unit,
+            &mut rng,
+        );
+        assert_eq!(s.profit, 5.0);
+        assert_eq!(s.height, 1.0);
+        let s = DemandSpec::sample(
+            &ProfitDistribution::Uniform { min: 2.0, max: 2.0 },
+            &HeightDistribution::Uniform { min: 0.3, max: 0.3 },
+            &mut rng,
+        );
+        assert_eq!(s.profit, 2.0);
+        assert_eq!(s.height, 0.3);
+    }
+}

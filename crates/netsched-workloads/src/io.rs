@@ -1,0 +1,124 @@
+//! JSON serialization of problems, workloads and experiment results.
+
+use netsched_graph::{LineProblem, TreeProblem};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::path::Path;
+
+/// Serializes any serializable value to pretty-printed JSON.
+pub fn to_json_string<T: Serialize>(value: &T) -> Result<String, String> {
+    serde_json::to_string_pretty(value).map_err(|e| e.to_string())
+}
+
+/// Deserializes a value from JSON.
+pub fn from_json_str<T: DeserializeOwned>(json: &str) -> Result<T, String> {
+    serde_json::from_str(json).map_err(|e| e.to_string())
+}
+
+/// Writes a serializable value to a JSON file.
+pub fn write_json<T: Serialize, P: AsRef<Path>>(path: P, value: &T) -> Result<(), String> {
+    let json = to_json_string(value)?;
+    std::fs::write(path, json).map_err(|e| e.to_string())
+}
+
+/// Reads a value from a JSON file.
+pub fn read_json<T: DeserializeOwned, P: AsRef<Path>>(path: P) -> Result<T, String> {
+    let data = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    from_json_str(&data)
+}
+
+/// Round-trips a tree problem through JSON, rebuilding the internal indices
+/// that are skipped during serialization.
+pub fn tree_problem_from_json(json: &str) -> Result<TreeProblem, String> {
+    let p: TreeProblem = from_json_str(json)?;
+    // TreeNetwork's LCA index is #[serde(skip)]; the accessors rebuild it on
+    // demand only through `ensure_index`, so re-create the problem from its
+    // parts to guarantee queryability.
+    let mut rebuilt = TreeProblem::new(p.num_vertices());
+    for t in 0..p.num_networks() {
+        let net = p.network(netsched_graph::NetworkId::new(t));
+        let edges = net.edges().map(|(_, uv)| uv).collect();
+        let id = rebuilt.add_network(edges).map_err(|e| e.to_string())?;
+        for (e, &cap) in p.capacities(netsched_graph::NetworkId::new(t)).iter().enumerate() {
+            if (cap - 1.0).abs() > f64::EPSILON {
+                rebuilt.set_capacity(id, e, cap).map_err(|e| e.to_string())?;
+            }
+        }
+    }
+    for d in p.demands() {
+        rebuilt
+            .add_demand(d.u, d.v, d.profit, d.height, p.access(d.id).to_vec())
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(rebuilt)
+}
+
+/// Round-trips a line problem through JSON.
+pub fn line_problem_from_json(json: &str) -> Result<LineProblem, String> {
+    from_json_str(json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::line_gen::LineWorkload;
+    use crate::tree_gen::TreeWorkload;
+
+    #[test]
+    fn tree_problem_json_roundtrip() {
+        let p = TreeWorkload {
+            vertices: 20,
+            networks: 2,
+            demands: 10,
+            ..TreeWorkload::default()
+        }
+        .build()
+        .unwrap();
+        let json = to_json_string(&p).unwrap();
+        let q = tree_problem_from_json(&json).unwrap();
+        assert_eq!(p.num_demands(), q.num_demands());
+        assert_eq!(p.num_networks(), q.num_networks());
+        // The rebuilt problem supports path queries (indices rebuilt).
+        let u = q.universe();
+        assert_eq!(u.num_instances(), p.universe().num_instances());
+    }
+
+    #[test]
+    fn line_problem_json_roundtrip() {
+        let p = LineWorkload::default().build().unwrap();
+        let json = to_json_string(&p).unwrap();
+        let q = line_problem_from_json(&json).unwrap();
+        assert_eq!(p.num_demands(), q.num_demands());
+        assert_eq!(p.universe().num_instances(), q.universe().num_instances());
+    }
+
+    #[test]
+    fn workload_descriptions_roundtrip() {
+        let w = TreeWorkload::default();
+        let json = to_json_string(&w).unwrap();
+        let back: TreeWorkload = from_json_str(&json).unwrap();
+        assert_eq!(w, back);
+        let w = LineWorkload::default();
+        let json = to_json_string(&w).unwrap();
+        let back: LineWorkload = from_json_str(&json).unwrap();
+        assert_eq!(w, back);
+    }
+
+    #[test]
+    fn file_io_roundtrip() {
+        let dir = std::env::temp_dir().join("netsched-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("workload.json");
+        let w = LineWorkload::default();
+        write_json(&path, &w).unwrap();
+        let back: LineWorkload = read_json(&path).unwrap();
+        assert_eq!(w, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn invalid_json_is_an_error() {
+        assert!(from_json_str::<LineWorkload>("{not json").is_err());
+        assert!(read_json::<LineWorkload, _>("/nonexistent/netsched.json").is_err());
+    }
+}

@@ -1,0 +1,22 @@
+//! Workload generators, named scenarios and instance serialization for
+//! `netsched`.
+//!
+//! The paper has no public benchmark suite, so the experiment harness
+//! generates synthetic instances: random tree topologies of several shapes,
+//! windowed line workloads with controllable length/profit spreads, and
+//! height distributions for the narrow/wide split. All generators are
+//! seeded and therefore reproducible.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod demand_gen;
+pub mod io;
+pub mod line_gen;
+pub mod scenarios;
+pub mod tree_gen;
+
+pub use demand_gen::{DemandSpec, HeightDistribution, ProfitDistribution};
+pub use line_gen::{LineWorkload, LineWorkloadBuilder};
+pub use scenarios::{named_scenarios, Scenario};
+pub use tree_gen::{random_tree_edges, tree_problem, TreeTopology, TreeWorkload};

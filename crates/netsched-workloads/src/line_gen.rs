@@ -1,0 +1,230 @@
+//! Random windowed line-network workload generation (Section 7 setting).
+
+use crate::demand_gen::{DemandSpec, HeightDistribution, ProfitDistribution};
+use netsched_graph::{GraphError, LineProblem, NetworkId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Description of a random windowed line workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LineWorkload {
+    /// Number of timeslots (`n`).
+    pub timeslots: u32,
+    /// Number of resources (`r`).
+    pub resources: usize,
+    /// Number of demands (`m`).
+    pub demands: usize,
+    /// Smallest processing time (`L_min`).
+    pub min_length: u32,
+    /// Largest processing time (`L_max`).
+    pub max_length: u32,
+    /// Maximum window slack (extra room beyond the processing time); 0 means
+    /// fixed intervals.
+    pub max_slack: u32,
+    /// Probability that a processor can access any given resource (at least
+    /// one access is always granted).
+    pub access_probability: f64,
+    /// Profit distribution.
+    pub profits: ProfitDistribution,
+    /// Height distribution.
+    pub heights: HeightDistribution,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for LineWorkload {
+    fn default() -> Self {
+        Self {
+            timeslots: 64,
+            resources: 2,
+            demands: 50,
+            min_length: 1,
+            max_length: 16,
+            max_slack: 8,
+            access_probability: 0.7,
+            profits: ProfitDistribution::Uniform { min: 1.0, max: 32.0 },
+            heights: HeightDistribution::Unit,
+            seed: 0,
+        }
+    }
+}
+
+impl LineWorkload {
+    /// Materializes the workload as a [`LineProblem`].
+    pub fn build(&self) -> Result<LineProblem, GraphError> {
+        assert!(self.min_length >= 1 && self.min_length <= self.max_length);
+        assert!(self.max_length <= self.timeslots);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut problem = LineProblem::new(self.timeslots as usize, self.resources);
+        let all: Vec<NetworkId> = (0..self.resources).map(NetworkId::new).collect();
+        for _ in 0..self.demands {
+            let spec = DemandSpec::sample(&self.profits, &self.heights, &mut rng);
+            let len = rng.gen_range(self.min_length..=self.max_length);
+            let release = rng.gen_range(0..=(self.timeslots - len));
+            let slack = rng.gen_range(0..=self.max_slack.min(self.timeslots - release - len));
+            let mut access: Vec<NetworkId> = all
+                .iter()
+                .copied()
+                .filter(|_| rng.gen_bool(self.access_probability.clamp(0.0, 1.0)))
+                .collect();
+            if access.is_empty() {
+                access.push(all[rng.gen_range(0..all.len())]);
+            }
+            problem.add_demand(
+                release,
+                release + len - 1 + slack,
+                len,
+                spec.profit,
+                spec.height,
+                access,
+            )?;
+        }
+        Ok(problem)
+    }
+}
+
+/// Builder-style construction for sweeps in the experiment harness.
+#[derive(Debug, Clone, Default)]
+pub struct LineWorkloadBuilder {
+    workload: LineWorkload,
+}
+
+impl LineWorkloadBuilder {
+    /// Starts from the default workload.
+    pub fn new() -> Self {
+        Self {
+            workload: LineWorkload::default(),
+        }
+    }
+
+    /// Sets the number of timeslots.
+    pub fn timeslots(mut self, n: u32) -> Self {
+        self.workload.timeslots = n;
+        self
+    }
+
+    /// Sets the number of resources.
+    pub fn resources(mut self, r: usize) -> Self {
+        self.workload.resources = r;
+        self
+    }
+
+    /// Sets the number of demands.
+    pub fn demands(mut self, m: usize) -> Self {
+        self.workload.demands = m;
+        self
+    }
+
+    /// Sets the processing-time range.
+    pub fn lengths(mut self, min: u32, max: u32) -> Self {
+        self.workload.min_length = min;
+        self.workload.max_length = max;
+        self
+    }
+
+    /// Sets the maximum window slack.
+    pub fn slack(mut self, s: u32) -> Self {
+        self.workload.max_slack = s;
+        self
+    }
+
+    /// Sets the profit distribution.
+    pub fn profits(mut self, p: ProfitDistribution) -> Self {
+        self.workload.profits = p;
+        self
+    }
+
+    /// Sets the height distribution.
+    pub fn heights(mut self, h: HeightDistribution) -> Self {
+        self.workload.heights = h;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.workload.seed = s;
+        self
+    }
+
+    /// Returns the configured workload description.
+    pub fn finish(self) -> LineWorkload {
+        self.workload
+    }
+
+    /// Builds the problem directly.
+    pub fn build(self) -> Result<LineProblem, GraphError> {
+        self.workload.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_workload_builds_and_is_reproducible() {
+        let w = LineWorkload::default();
+        let a = w.build().unwrap();
+        let b = w.build().unwrap();
+        assert_eq!(a.num_demands(), 50);
+        assert_eq!(a.num_resources(), 2);
+        for (x, y) in a.demands().iter().zip(b.demands()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn lengths_and_windows_respect_bounds() {
+        let w = LineWorkloadBuilder::new()
+            .timeslots(40)
+            .lengths(2, 8)
+            .slack(4)
+            .demands(30)
+            .seed(9)
+            .finish();
+        let p = w.build().unwrap();
+        let (lmax, lmin) = p.length_bounds();
+        assert!(lmin >= 2 && lmax <= 8);
+        for d in p.demands() {
+            assert!(d.deadline < 40);
+            assert!(d.window_len() >= d.processing);
+            assert!(d.window_len() - d.processing <= 4);
+        }
+    }
+
+    #[test]
+    fn zero_slack_gives_fixed_intervals() {
+        let p = LineWorkloadBuilder::new()
+            .slack(0)
+            .demands(20)
+            .seed(5)
+            .build()
+            .unwrap();
+        for d in p.demands() {
+            assert_eq!(d.num_placements(), 1);
+        }
+    }
+
+    #[test]
+    fn builder_round_trips_every_field() {
+        let w = LineWorkloadBuilder::new()
+            .timeslots(100)
+            .resources(4)
+            .demands(10)
+            .lengths(3, 9)
+            .slack(2)
+            .profits(ProfitDistribution::Constant(2.0))
+            .heights(HeightDistribution::Narrow { min: 0.1 })
+            .seed(77)
+            .finish();
+        assert_eq!(w.timeslots, 100);
+        assert_eq!(w.resources, 4);
+        assert_eq!(w.demands, 10);
+        assert_eq!((w.min_length, w.max_length), (3, 9));
+        assert_eq!(w.max_slack, 2);
+        assert_eq!(w.seed, 77);
+        let p = w.build().unwrap();
+        assert!(p.demands().iter().all(|d| d.profit == 2.0 && d.height <= 0.5));
+    }
+}

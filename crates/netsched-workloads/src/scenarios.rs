@@ -1,0 +1,189 @@
+//! Named scenarios: concrete, motivated instances used by the examples and
+//! the experiment harness.
+//!
+//! The paper's introduction motivates the problem with processors/agents
+//! competing for exclusive routes on shared communication networks; these
+//! scenarios instantiate that story at a small, inspectable scale and also
+//! re-export the worked figures of the paper.
+
+use crate::demand_gen::{HeightDistribution, ProfitDistribution};
+use crate::line_gen::LineWorkload;
+use crate::tree_gen::{TreeTopology, TreeWorkload};
+use netsched_graph::fixtures;
+use netsched_graph::{LineProblem, TreeProblem};
+use serde::{Deserialize, Serialize};
+
+/// A named scenario: either a tree-network or a line-network instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Scenario {
+    /// A tree-network scheduling scenario.
+    Tree {
+        /// Name used in tables and examples.
+        name: String,
+        /// Description of the story behind the instance.
+        description: String,
+        /// The generated workload.
+        workload: TreeWorkload,
+    },
+    /// A windowed line-network scheduling scenario.
+    Line {
+        /// Name used in tables and examples.
+        name: String,
+        /// Description of the story behind the instance.
+        description: String,
+        /// The generated workload.
+        workload: LineWorkload,
+    },
+}
+
+impl Scenario {
+    /// The scenario name.
+    pub fn name(&self) -> &str {
+        match self {
+            Scenario::Tree { name, .. } | Scenario::Line { name, .. } => name,
+        }
+    }
+
+    /// The scenario description.
+    pub fn description(&self) -> &str {
+        match self {
+            Scenario::Tree { description, .. } | Scenario::Line { description, .. } => description,
+        }
+    }
+}
+
+/// The standard set of named scenarios used by examples and experiments.
+pub fn named_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::Tree {
+            name: "datacenter-spanning-trees".to_string(),
+            description: "Pairs of racks exchange bulk data over one of several \
+                          spanning trees of the datacenter fabric; each transfer \
+                          needs an exclusive lightpath (unit height)."
+                .to_string(),
+            workload: TreeWorkload {
+                vertices: 96,
+                networks: 4,
+                demands: 120,
+                topology: TreeTopology::RandomAttachment,
+                access_probability: 0.5,
+                profits: ProfitDistribution::Uniform { min: 1.0, max: 64.0 },
+                heights: HeightDistribution::Unit,
+                seed: 2013,
+            },
+        },
+        Scenario::Tree {
+            name: "sensor-aggregation-trees".to_string(),
+            description: "Sensor clusters stream readings to analysis nodes over \
+                          aggregation trees with limited per-link bandwidth; \
+                          flows request fractional bandwidth (arbitrary heights)."
+                .to_string(),
+            workload: TreeWorkload {
+                vertices: 64,
+                networks: 3,
+                demands: 90,
+                topology: TreeTopology::Caterpillar,
+                access_probability: 0.7,
+                profits: ProfitDistribution::PowerOfTwo { exponents: 6 },
+                heights: HeightDistribution::Mixed {
+                    wide_fraction: 0.3,
+                    min_narrow: 0.1,
+                },
+                seed: 99,
+            },
+        },
+        Scenario::Line {
+            name: "batch-jobs-with-deadlines".to_string(),
+            description: "Batch jobs with release times, deadlines and processing \
+                          times compete for a small pool of identical machines; \
+                          each machine is a timeline resource (Section 7 with \
+                          windows, unit height)."
+                .to_string(),
+            workload: LineWorkload {
+                timeslots: 96,
+                resources: 3,
+                demands: 80,
+                min_length: 1,
+                max_length: 24,
+                max_slack: 12,
+                access_probability: 0.8,
+                profits: ProfitDistribution::Uniform { min: 1.0, max: 32.0 },
+                heights: HeightDistribution::Unit,
+                seed: 7,
+            },
+        },
+        Scenario::Line {
+            name: "bandwidth-reservations".to_string(),
+            description: "Advance bandwidth reservations on parallel links: each \
+                          request needs a fraction of a link's capacity for a \
+                          contiguous time window (arbitrary heights)."
+                .to_string(),
+            workload: LineWorkload {
+                timeslots: 72,
+                resources: 2,
+                demands: 70,
+                min_length: 2,
+                max_length: 18,
+                max_slack: 6,
+                access_probability: 0.9,
+                profits: ProfitDistribution::Uniform { min: 1.0, max: 16.0 },
+                heights: HeightDistribution::Mixed {
+                    wide_fraction: 0.25,
+                    min_narrow: 0.05,
+                },
+                seed: 31,
+            },
+        },
+    ]
+}
+
+/// The worked example of Figure 1 (three jobs of heights 0.5, 0.7, 0.4 on a
+/// single resource), re-exported for convenience.
+pub fn figure1_problem() -> LineProblem {
+    fixtures::figure1_line_problem()
+}
+
+/// The worked example of Figure 6 / Section 4 (the 14-vertex tree with the
+/// demand ⟨4, 13⟩), re-exported for convenience.
+pub fn figure6_problem() -> TreeProblem {
+    fixtures::figure6_problem()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scenarios_build_valid_problems() {
+        for scenario in named_scenarios() {
+            match &scenario {
+                Scenario::Tree { workload, .. } => {
+                    let p = workload.build().unwrap();
+                    p.validate().unwrap();
+                    assert_eq!(p.num_demands(), workload.demands);
+                }
+                Scenario::Line { workload, .. } => {
+                    let p = workload.build().unwrap();
+                    assert_eq!(p.num_demands(), workload.demands);
+                }
+            }
+            assert!(!scenario.name().is_empty());
+            assert!(!scenario.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn scenario_names_are_unique() {
+        let scenarios = named_scenarios();
+        let mut names: Vec<&str> = scenarios.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), scenarios.len());
+    }
+
+    #[test]
+    fn figure_reexports_work() {
+        assert_eq!(figure1_problem().num_demands(), 3);
+        assert_eq!(figure6_problem().num_networks(), 1);
+    }
+}

@@ -1,0 +1,262 @@
+//! Random tree-network workload generation.
+
+use crate::demand_gen::{DemandSpec, HeightDistribution, ProfitDistribution};
+use netsched_graph::{GraphError, NetworkId, TreeProblem, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Shapes of random tree topologies used in the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TreeTopology {
+    /// Uniform random attachment: vertex `i` attaches to a uniformly random
+    /// earlier vertex (yields trees of logarithmic expected depth).
+    RandomAttachment,
+    /// Preferential-attachment-flavoured trees (new vertices attach to
+    /// vertices proportionally to degree + 1), producing high-degree hubs.
+    PreferentialAttachment,
+    /// A path: the line-network shape (worst case for root-fixing depth).
+    Path,
+    /// A star: one hub adjacent to everything.
+    Star,
+    /// A caterpillar: a spine of `n/2` vertices with a leaf on each.
+    Caterpillar,
+    /// A complete binary tree.
+    BinaryTree,
+}
+
+impl TreeTopology {
+    /// All topologies, handy for sweeps.
+    pub fn all() -> [TreeTopology; 6] {
+        [
+            TreeTopology::RandomAttachment,
+            TreeTopology::PreferentialAttachment,
+            TreeTopology::Path,
+            TreeTopology::Star,
+            TreeTopology::Caterpillar,
+            TreeTopology::BinaryTree,
+        ]
+    }
+
+    /// A short label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            TreeTopology::RandomAttachment => "random",
+            TreeTopology::PreferentialAttachment => "pref-attach",
+            TreeTopology::Path => "path",
+            TreeTopology::Star => "star",
+            TreeTopology::Caterpillar => "caterpillar",
+            TreeTopology::BinaryTree => "binary",
+        }
+    }
+}
+
+/// Generates the edge list of a tree of the chosen topology on `n` vertices.
+pub fn random_tree_edges(
+    topology: TreeTopology,
+    n: usize,
+    rng: &mut StdRng,
+) -> Vec<(VertexId, VertexId)> {
+    assert!(n >= 1);
+    match topology {
+        TreeTopology::RandomAttachment => (1..n)
+            .map(|i| (VertexId::new(rng.gen_range(0..i)), VertexId::new(i)))
+            .collect(),
+        TreeTopology::PreferentialAttachment => {
+            let mut degree = vec![0usize; n];
+            let mut edges = Vec::with_capacity(n.saturating_sub(1));
+            for i in 1..n {
+                // Weight earlier vertices by degree + 1.
+                let total: usize = degree[..i].iter().map(|d| d + 1).sum();
+                let mut pick = rng.gen_range(0..total);
+                let mut target = 0;
+                for (j, &d) in degree[..i].iter().enumerate() {
+                    let w = d + 1;
+                    if pick < w {
+                        target = j;
+                        break;
+                    }
+                    pick -= w;
+                }
+                degree[target] += 1;
+                degree[i] += 1;
+                edges.push((VertexId::new(target), VertexId::new(i)));
+            }
+            edges
+        }
+        TreeTopology::Path => (1..n)
+            .map(|i| (VertexId::new(i - 1), VertexId::new(i)))
+            .collect(),
+        TreeTopology::Star => (1..n)
+            .map(|i| (VertexId::new(0), VertexId::new(i)))
+            .collect(),
+        TreeTopology::Caterpillar => {
+            let spine = (n + 1) / 2;
+            let mut edges: Vec<(VertexId, VertexId)> = (1..spine)
+                .map(|i| (VertexId::new(i - 1), VertexId::new(i)))
+                .collect();
+            for leaf in spine..n {
+                edges.push((VertexId::new(leaf - spine), VertexId::new(leaf)));
+            }
+            edges
+        }
+        TreeTopology::BinaryTree => (1..n)
+            .map(|i| (VertexId::new((i - 1) / 2), VertexId::new(i)))
+            .collect(),
+    }
+}
+
+/// Description of a random tree-network workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeWorkload {
+    /// Number of vertices per network.
+    pub vertices: usize,
+    /// Number of networks (`r`).
+    pub networks: usize,
+    /// Number of demands (`m`).
+    pub demands: usize,
+    /// Topology of every network.
+    pub topology: TreeTopology,
+    /// Probability that a processor can access any given network (at least
+    /// one access is always granted).
+    pub access_probability: f64,
+    /// Profit distribution.
+    pub profits: ProfitDistribution,
+    /// Height distribution.
+    pub heights: HeightDistribution,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for TreeWorkload {
+    fn default() -> Self {
+        Self {
+            vertices: 64,
+            networks: 3,
+            demands: 60,
+            topology: TreeTopology::RandomAttachment,
+            access_probability: 0.6,
+            profits: ProfitDistribution::Uniform { min: 1.0, max: 32.0 },
+            heights: HeightDistribution::Unit,
+            seed: 0,
+        }
+    }
+}
+
+impl TreeWorkload {
+    /// Materializes the workload as a [`TreeProblem`].
+    pub fn build(&self) -> Result<TreeProblem, GraphError> {
+        tree_problem(self)
+    }
+}
+
+/// Materializes a [`TreeWorkload`] into a [`TreeProblem`].
+pub fn tree_problem(w: &TreeWorkload) -> Result<TreeProblem, GraphError> {
+    assert!(w.vertices >= 2, "need at least two vertices for demands");
+    let mut rng = StdRng::seed_from_u64(w.seed);
+    let mut problem = TreeProblem::new(w.vertices);
+    let mut networks = Vec::new();
+    for _ in 0..w.networks {
+        let edges = random_tree_edges(w.topology, w.vertices, &mut rng);
+        networks.push(problem.add_network(edges)?);
+    }
+    for _ in 0..w.demands {
+        let spec = DemandSpec::sample(&w.profits, &w.heights, &mut rng);
+        let u = rng.gen_range(0..w.vertices);
+        let mut v = rng.gen_range(0..w.vertices);
+        while v == u {
+            v = rng.gen_range(0..w.vertices);
+        }
+        let mut access: Vec<NetworkId> = networks
+            .iter()
+            .copied()
+            .filter(|_| rng.gen_bool(w.access_probability.clamp(0.0, 1.0)))
+            .collect();
+        if access.is_empty() {
+            access.push(networks[rng.gen_range(0..networks.len())]);
+        }
+        problem.add_demand(
+            VertexId::new(u),
+            VertexId::new(v),
+            spec.profit,
+            spec.height,
+            access,
+        )?;
+    }
+    Ok(problem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_topologies_yield_valid_trees() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for topology in TreeTopology::all() {
+            for n in [2usize, 5, 17, 64] {
+                let edges = random_tree_edges(topology, n, &mut rng);
+                let t = netsched_graph::TreeNetwork::new(NetworkId::new(0), n, edges)
+                    .unwrap_or_else(|e| panic!("{topology:?} n={n}: {e}"));
+                assert_eq!(t.num_edges(), n - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn workload_is_reproducible() {
+        let w = TreeWorkload {
+            seed: 42,
+            ..TreeWorkload::default()
+        };
+        let a = w.build().unwrap();
+        let b = w.build().unwrap();
+        assert_eq!(a.num_demands(), b.num_demands());
+        for (da, db) in a.demands().iter().zip(b.demands()) {
+            assert_eq!(da, db);
+        }
+    }
+
+    #[test]
+    fn workload_respects_counts_and_heights() {
+        let w = TreeWorkload {
+            vertices: 32,
+            networks: 2,
+            demands: 40,
+            heights: HeightDistribution::Uniform { min: 0.2, max: 0.5 },
+            ..TreeWorkload::default()
+        };
+        let p = w.build().unwrap();
+        assert_eq!(p.num_networks(), 2);
+        assert_eq!(p.num_demands(), 40);
+        for d in p.demands() {
+            assert!(d.height >= 0.2 - 1e-12 && d.height <= 0.5 + 1e-12);
+            assert!(!p.access(d.id).is_empty());
+        }
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn star_and_path_shapes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let star = random_tree_edges(TreeTopology::Star, 10, &mut rng);
+        assert!(star.iter().all(|&(u, _)| u == VertexId::new(0)));
+        let path = random_tree_edges(TreeTopology::Path, 10, &mut rng);
+        assert!(path
+            .iter()
+            .enumerate()
+            .all(|(i, &(u, v))| u.index() == i && v.index() == i + 1));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = TreeWorkload { seed: 1, ..TreeWorkload::default() }.build().unwrap();
+        let b = TreeWorkload { seed: 2, ..TreeWorkload::default() }.build().unwrap();
+        let same = a
+            .demands()
+            .iter()
+            .zip(b.demands())
+            .all(|(x, y)| x.u == y.u && x.v == y.v && x.profit == y.profit);
+        assert!(!same, "different seeds should produce different demands");
+    }
+}

@@ -1,0 +1,120 @@
+//! # netsched
+//!
+//! A Rust implementation of **"Distributed Algorithms for Scheduling on Line
+//! and Tree Networks"** (Chakaravarthy, Roy, Sabharwal; arXiv:1205.1924,
+//! IPPS 2013 version "… with Non-uniform Bandwidths"): distributed
+//! constant-factor approximation algorithms for throughput maximization when
+//! processors compete for exclusive routes on shared tree networks and for
+//! time windows on line networks.
+//!
+//! This crate is a thin facade over the workspace:
+//!
+//! * [`graph`] (`netsched-graph`) — networks, demands, problem instances and
+//!   the demand-instance universe;
+//! * [`decomp`] (`netsched-decomp`) — tree decompositions (root-fixing,
+//!   balancing, ideal) and layered decompositions;
+//! * [`distrib`] (`netsched-distrib`) — the synchronous message-passing
+//!   simulator, conflict graphs and Luby's distributed MIS;
+//! * [`core`] (`netsched-core`) — the two-phase primal-dual framework and
+//!   the paper's algorithms (Theorems 5.3, 6.3, 7.1, 7.2, Appendix A);
+//! * [`baseline`] (`netsched-baseline`) — Panconesi–Sozio reconstruction,
+//!   greedy heuristics, exact solvers and optimum upper bounds;
+//! * [`workloads`] (`netsched-workloads`) — seeded workload generators and
+//!   named scenarios.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use netsched::prelude::*;
+//!
+//! // Two racks exchanging data over one shared spanning tree.
+//! let mut problem = TreeProblem::new(6);
+//! let t = problem
+//!     .add_network(vec![
+//!         (VertexId(0), VertexId(1)),
+//!         (VertexId(1), VertexId(2)),
+//!         (VertexId(2), VertexId(3)),
+//!         (VertexId(2), VertexId(4)),
+//!         (VertexId(4), VertexId(5)),
+//!     ])
+//!     .unwrap();
+//! problem.add_unit_demand(VertexId(0), VertexId(3), 5.0, vec![t]).unwrap();
+//! problem.add_unit_demand(VertexId(1), VertexId(5), 4.0, vec![t]).unwrap();
+//! problem.add_unit_demand(VertexId(3), VertexId(5), 2.0, vec![t]).unwrap();
+//!
+//! let solution = solve_unit_tree(&problem, &AlgorithmConfig::deterministic(0.1));
+//! let universe = problem.universe();
+//! solution.verify(&universe).unwrap();
+//! assert!(solution.profit > 0.0);
+//! // Every run carries a machine-checked optimum upper bound.
+//! assert!(solution.diagnostics.optimum_upper_bound >= solution.profit);
+//! ```
+
+#![warn(missing_docs)]
+
+/// Re-export of `netsched-graph`.
+pub use netsched_graph as graph;
+
+/// Re-export of `netsched-decomp`.
+pub use netsched_decomp as decomp;
+
+/// Re-export of `netsched-distrib`.
+pub use netsched_distrib as distrib;
+
+/// Re-export of `netsched-core`.
+pub use netsched_core as core;
+
+/// Re-export of `netsched-baseline`.
+pub use netsched_baseline as baseline;
+
+/// Re-export of `netsched-workloads`.
+pub use netsched_workloads as workloads;
+
+/// The most commonly used types and entry points.
+pub mod prelude {
+    pub use netsched_baseline::{
+        best_greedy, exact_optimum, solve_ps_line_narrow, solve_ps_line_unit,
+        weighted_interval_optimum,
+    };
+    pub use netsched_core::{
+        approximation_bound, solve_arbitrary_tree, solve_line_arbitrary, solve_line_unit,
+        solve_narrow_tree, solve_sequential_tree, solve_unit_tree, AlgorithmConfig, RaiseRule,
+        Solution,
+    };
+    pub use netsched_decomp::{
+        balancing_decomposition, ideal_decomposition, root_fixing_decomposition,
+        InstanceLayering, TreeDecomposition, TreeDecompositionKind,
+    };
+    pub use netsched_distrib::{CommGraph, ConflictGraph, MisStrategy, RoundStats};
+    pub use netsched_graph::{
+        Demand, DemandId, DemandInstanceUniverse, EdgeId, GlobalEdge, InstanceId, LineProblem,
+        NetworkId, Processor, ProcessorId, TreeNetwork, TreeProblem, VertexId,
+    };
+    pub use netsched_workloads::{
+        named_scenarios, HeightDistribution, LineWorkload, ProfitDistribution, Scenario,
+        TreeTopology, TreeWorkload,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_exposes_a_working_pipeline() {
+        let workload = TreeWorkload {
+            vertices: 24,
+            networks: 2,
+            demands: 20,
+            seed: 1,
+            ..TreeWorkload::default()
+        };
+        let problem = workload.build().unwrap();
+        let universe = problem.universe();
+        let solution = solve_unit_tree(&problem, &AlgorithmConfig::deterministic(0.1));
+        solution.verify(&universe).unwrap();
+        let exact = exact_optimum(&universe);
+        assert!(exact.profit + 1e-9 >= solution.profit);
+        assert!(solution.diagnostics.optimum_upper_bound + 1e-6 >= exact.profit);
+    }
+}

@@ -1,0 +1,187 @@
+//! Property-based tests for the scheduling algorithms: feasibility, dual
+//! certificates and the approximation guarantees, on random instances of all
+//! flavours (unit/arbitrary heights, tree/line networks, with/without
+//! windows, uniform/non-uniform capacities).
+
+use netsched::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_tree_problem(seed: u64, n: usize, r: usize, m: usize, unit: bool) -> TreeProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut p = TreeProblem::new(n);
+    let mut nets = Vec::new();
+    for _ in 0..r {
+        let edges = (1..n)
+            .map(|i| (VertexId::new(rng.gen_range(0..i)), VertexId::new(i)))
+            .collect();
+        nets.push(p.add_network(edges).unwrap());
+    }
+    for _ in 0..m {
+        let u = rng.gen_range(0..n);
+        let mut v = rng.gen_range(0..n);
+        while v == u {
+            v = rng.gen_range(0..n);
+        }
+        let access: Vec<NetworkId> = nets.iter().copied().filter(|_| rng.gen_bool(0.7)).collect();
+        let access = if access.is_empty() { vec![nets[0]] } else { access };
+        let height = if unit { 1.0 } else { rng.gen_range(0.05..=1.0) };
+        p.add_demand(
+            VertexId::new(u),
+            VertexId::new(v),
+            rng.gen_range(1.0..=64.0),
+            height,
+            access,
+        )
+        .unwrap();
+    }
+    p
+}
+
+fn random_line_problem(seed: u64, n: u32, r: usize, m: usize, unit: bool) -> LineProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut p = LineProblem::new(n as usize, r);
+    let acc_all: Vec<NetworkId> = (0..r).map(NetworkId::new).collect();
+    for _ in 0..m {
+        let len = rng.gen_range(1..=(n / 3).max(1));
+        let release = rng.gen_range(0..=(n - len));
+        let slack = rng.gen_range(0..=(n - release - len).min(4));
+        let access: Vec<NetworkId> = acc_all.iter().copied().filter(|_| rng.gen_bool(0.7)).collect();
+        let access = if access.is_empty() { vec![acc_all[0]] } else { access };
+        let height = if unit { 1.0 } else { rng.gen_range(0.05..=1.0) };
+        p.add_demand(
+            release,
+            release + len - 1 + slack,
+            len,
+            rng.gen_range(1.0..=32.0),
+            height,
+            access,
+        )
+        .unwrap();
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem 5.3 invariants on random unit-height tree instances:
+    /// feasibility, λ ≥ 1 − ε, ∆ ≤ 6, and the certified ratio within
+    /// 7/(1 − ε).
+    #[test]
+    fn unit_tree_invariants(seed in any::<u64>(), n in 6usize..32, r in 1usize..4, m in 1usize..24) {
+        let p = random_tree_problem(seed, n, r, m, true);
+        let u = p.universe();
+        let sol = solve_unit_tree(&p, &AlgorithmConfig::deterministic(0.1));
+        prop_assert!(sol.verify(&u).is_ok());
+        prop_assert!(sol.diagnostics.delta <= 6);
+        prop_assert!(sol.diagnostics.lambda >= 0.9 - 1e-9);
+        if let Some(ratio) = sol.certified_ratio() {
+            prop_assert!(ratio <= 7.0 / 0.9 + 1e-6);
+        }
+        // Lemma 3.1 inequality: dual ≤ (∆ + 1) · profit.
+        prop_assert!(sol.profit * (sol.diagnostics.delta as f64 + 1.0) + 1e-6 >= sol.diagnostics.dual_objective);
+    }
+
+    /// Theorem 6.3 invariants on random arbitrary-height tree instances.
+    #[test]
+    fn arbitrary_tree_invariants(seed in any::<u64>(), n in 6usize..24, r in 1usize..3, m in 1usize..18) {
+        let p = random_tree_problem(seed, n, r, m, false);
+        let u = p.universe();
+        let sol = solve_arbitrary_tree(&p, &AlgorithmConfig::deterministic(0.1));
+        prop_assert!(sol.verify(&u).is_ok());
+        if let Some(ratio) = sol.certified_ratio() {
+            prop_assert!(ratio <= 82.0 / 0.9 + 1e-6);
+        }
+    }
+
+    /// Theorem 7.1 / 7.2 invariants on random windowed line instances, plus
+    /// the Panconesi–Sozio baseline and greedy always being feasible.
+    #[test]
+    fn line_invariants(seed in any::<u64>(), n in 10u32..48, r in 1usize..3, m in 1usize..16, unit in any::<bool>()) {
+        let p = random_line_problem(seed, n, r, m, unit);
+        let u = p.universe();
+        let sol = if unit {
+            solve_line_unit(&p, &AlgorithmConfig::deterministic(0.1))
+        } else {
+            solve_line_arbitrary(&p, &AlgorithmConfig::deterministic(0.1))
+        };
+        prop_assert!(sol.verify(&u).is_ok());
+        prop_assert!(sol.diagnostics.delta <= 3);
+        let ps = if unit {
+            solve_ps_line_unit(&p, &AlgorithmConfig::deterministic(0.2))
+        } else {
+            solve_ps_line_narrow(&p, &AlgorithmConfig::deterministic(0.2))
+        };
+        prop_assert!(ps.verify(&u).is_ok());
+        let greedy = best_greedy(&u);
+        prop_assert!(greedy.verify(&u).is_ok());
+        // Dual certificates upper-bound any feasible solution, in particular
+        // the greedy one.
+        prop_assert!(sol.diagnostics.optimum_upper_bound + 1e-6 >= greedy.profit);
+    }
+
+    /// On small instances the dual certificate upper-bounds the true optimum
+    /// and the empirical ratio respects the worst-case bound.
+    #[test]
+    fn certificates_dominate_exact_optimum(seed in any::<u64>()) {
+        let p = random_tree_problem(seed, 12, 2, 8, true);
+        let u = p.universe();
+        let exact = exact_optimum(&u);
+        prop_assert!(exact.complete);
+        let sol = solve_unit_tree(&p, &AlgorithmConfig::deterministic(0.1));
+        prop_assert!(sol.diagnostics.optimum_upper_bound + 1e-6 >= exact.profit);
+        prop_assert!(exact.profit + 1e-9 >= sol.profit);
+        let seq = solve_sequential_tree(&p);
+        prop_assert!(seq.diagnostics.optimum_upper_bound + 1e-6 >= exact.profit);
+        prop_assert!(exact.profit + 1e-9 >= seq.profit);
+        if seq.profit > 0.0 {
+            prop_assert!(exact.profit / seq.profit <= 3.0 + 1e-9);
+        }
+        if sol.profit > 0.0 {
+            prop_assert!(exact.profit / sol.profit <= 7.0 / 0.9 + 1e-9);
+        }
+    }
+
+    /// The capacitated extension never violates per-edge capacities and
+    /// never schedules an instance whose height exceeds a capacity on its
+    /// path.
+    #[test]
+    fn capacitated_feasibility(seed in any::<u64>(), n in 6usize..20, m in 1usize..14) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut p = random_tree_problem(seed, n, 2, m, false);
+        // Randomize capacities in [0.5, 2.0].
+        for t in 0..p.num_networks() {
+            let edges = p.capacities(NetworkId::new(t)).len();
+            for e in 0..edges {
+                let c = rng.gen_range(0.5..=2.0);
+                p.set_capacity(NetworkId::new(t), e, c).unwrap();
+            }
+        }
+        let u = p.universe();
+        let sol = solve_arbitrary_tree(&p, &AlgorithmConfig::deterministic(0.15));
+        prop_assert!(sol.verify(&u).is_ok());
+        for t in 0..u.num_networks() {
+            let network = NetworkId::new(t);
+            let loads = u.edge_loads(network, &sol.selected);
+            for (e, &load) in loads.iter().enumerate() {
+                prop_assert!(load <= u.capacity(GlobalEdge::new(network, EdgeId::new(e))) + 1e-9);
+            }
+        }
+    }
+
+    /// Luby and deterministic MIS runs produce feasible schedules of the
+    /// same instance and both certificates bound both profits.
+    #[test]
+    fn luby_and_deterministic_agree_on_feasibility(seed in any::<u64>()) {
+        let p = random_tree_problem(seed, 16, 2, 12, true);
+        let u = p.universe();
+        let det = solve_unit_tree(&p, &AlgorithmConfig::deterministic(0.1));
+        let luby = solve_unit_tree(&p, &AlgorithmConfig { epsilon: 0.1, mis: MisStrategy::Luby { seed }, seed });
+        prop_assert!(det.verify(&u).is_ok());
+        prop_assert!(luby.verify(&u).is_ok());
+        prop_assert!(det.diagnostics.optimum_upper_bound + 1e-6 >= luby.profit);
+        prop_assert!(luby.diagnostics.optimum_upper_bound + 1e-6 >= det.profit);
+    }
+}

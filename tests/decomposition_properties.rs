@@ -1,0 +1,161 @@
+//! Property-based tests for the decomposition machinery (Section 4).
+//!
+//! These check the paper's structural lemmas on randomly generated trees and
+//! demand sets:
+//!
+//! * Lemma 4.1 — the ideal tree decomposition is a valid tree decomposition
+//!   with pivot size ≤ 2 and depth ≤ 2⌈log n⌉ + 1;
+//! * Lemma 4.2 / 4.3 — the derived layered decomposition has ∆ ≤ 6 and
+//!   satisfies the interference property;
+//! * Section 7 — the line length-class decomposition has ∆ ≤ 3 and satisfies
+//!   the interference property.
+
+use netsched::prelude::*;
+use netsched_decomp::{balancing_decomposition, ideal_decomposition, ideal_depth_bound, root_fixing_decomposition, InstanceLayering, TreeDecompositionKind};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a random tree on `n` vertices from a seed (uniform attachment).
+fn random_tree(seed: u64, n: usize) -> TreeNetwork {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let edges = (1..n)
+        .map(|i| (VertexId::new(rng.gen_range(0..i)), VertexId::new(i)))
+        .collect();
+    TreeNetwork::new(NetworkId::new(0), n, edges).unwrap()
+}
+
+/// Builds a random unit-height tree problem.
+fn random_tree_problem(seed: u64, n: usize, r: usize, m: usize) -> TreeProblem {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+    let mut p = TreeProblem::new(n);
+    let mut nets = Vec::new();
+    for q in 0..r {
+        let mut rng_t = StdRng::seed_from_u64(seed.wrapping_add(q as u64));
+        let edges = (1..n)
+            .map(|i| (VertexId::new(rng_t.gen_range(0..i)), VertexId::new(i)))
+            .collect();
+        nets.push(p.add_network(edges).unwrap());
+    }
+    for _ in 0..m {
+        let u = rng.gen_range(0..n);
+        let mut v = rng.gen_range(0..n);
+        while v == u {
+            v = rng.gen_range(0..n);
+        }
+        let access: Vec<NetworkId> = nets.iter().copied().filter(|_| rng.gen_bool(0.6)).collect();
+        let access = if access.is_empty() { vec![nets[0]] } else { access };
+        p.add_unit_demand(VertexId::new(u), VertexId::new(v), rng.gen_range(1.0..50.0), access)
+            .unwrap();
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Lemma 4.1: ideal decompositions are valid, have pivot size ≤ 2 and
+    /// logarithmic depth, on arbitrary random trees.
+    #[test]
+    fn ideal_decomposition_properties(seed in any::<u64>(), n in 2usize..200) {
+        let tree = random_tree(seed, n);
+        let h = ideal_decomposition(&tree);
+        prop_assert!(h.is_valid_for(&tree));
+        prop_assert!(h.pivot_size(&tree) <= 2);
+        prop_assert!(h.max_depth() <= ideal_depth_bound(n));
+    }
+
+    /// The three decompositions are all valid tree decompositions; the
+    /// root-fixing one has pivot size 1 and the balancing one has
+    /// logarithmic depth.
+    #[test]
+    fn all_decompositions_are_valid(seed in any::<u64>(), n in 2usize..80) {
+        let tree = random_tree(seed, n);
+        let rf = root_fixing_decomposition(&tree, VertexId::new(0));
+        prop_assert!(rf.is_valid_for(&tree));
+        prop_assert_eq!(rf.pivot_size(&tree), 1);
+        let bal = balancing_decomposition(&tree);
+        prop_assert!(bal.is_valid_for(&tree));
+        let log_bound = (usize::BITS - (n.max(2) - 1).leading_zeros()) + 1;
+        prop_assert!(bal.max_depth() <= log_bound);
+    }
+
+    /// Lemma 4.3: the ideal layering has ∆ ≤ 6, at most 2⌈log n⌉ + 1 groups
+    /// and satisfies the interference property; the Appendix A layering has
+    /// ∆ ≤ 2.
+    #[test]
+    fn tree_layerings_satisfy_interference(
+        seed in any::<u64>(),
+        n in 4usize..40,
+        r in 1usize..3,
+        m in 1usize..25,
+    ) {
+        let p = random_tree_problem(seed, n, r, m);
+        let u = p.universe();
+        let ideal = InstanceLayering::for_tree_problem(&p, &u, TreeDecompositionKind::Ideal);
+        prop_assert!(ideal.max_critical() <= 6);
+        prop_assert!(ideal.num_groups() as u32 <= ideal_depth_bound(n));
+        prop_assert!(ideal.check_layered_property(&u).is_ok());
+
+        let appendix = InstanceLayering::appendix_a(&p, &u);
+        prop_assert!(appendix.max_critical() <= 2);
+        prop_assert!(appendix.check_layered_property(&u).is_ok());
+    }
+
+    /// Section 7: the line length-class layering has ∆ ≤ 3,
+    /// ⌈log(L_max/L_min)⌉ + 1 groups and satisfies the interference
+    /// property.
+    #[test]
+    fn line_layering_satisfies_interference(
+        seed in any::<u64>(),
+        n in 8u32..64,
+        m in 1usize..20,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut p = LineProblem::new(n as usize, 2);
+        let acc = vec![NetworkId::new(0), NetworkId::new(1)];
+        for _ in 0..m {
+            let len = rng.gen_range(1..=(n / 2).max(1));
+            let release = rng.gen_range(0..=(n - len));
+            let slack = rng.gen_range(0..=(n - release - len).min(4));
+            p.add_demand(release, release + len - 1 + slack, len, rng.gen_range(1.0..10.0), 1.0, acc.clone()).unwrap();
+        }
+        let u = p.universe();
+        let layering = InstanceLayering::line_length_classes(&u);
+        prop_assert!(layering.max_critical() <= 3);
+        let (lmax, lmin) = p.length_bounds();
+        let group_bound = (lmax as f64 / lmin as f64).log2().floor() as usize + 1;
+        prop_assert!(layering.num_groups() <= group_bound);
+        prop_assert!(layering.check_layered_property(&u).is_ok());
+    }
+
+    /// Paths and LCA queries agree with brute-force BFS distances.
+    #[test]
+    fn tree_paths_match_bfs(seed in any::<u64>(), n in 2usize..60) {
+        let tree = random_tree(seed, n);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1234);
+        for _ in 0..10 {
+            let u = VertexId::new(rng.gen_range(0..n));
+            let v = VertexId::new(rng.gen_range(0..n));
+            // BFS distance.
+            let mut dist = vec![usize::MAX; n];
+            let mut queue = std::collections::VecDeque::new();
+            dist[u.index()] = 0;
+            queue.push_back(u);
+            while let Some(x) = queue.pop_front() {
+                for &(y, _) in tree.neighbors(x) {
+                    if dist[y.index()] == usize::MAX {
+                        dist[y.index()] = dist[x.index()] + 1;
+                        queue.push_back(y);
+                    }
+                }
+            }
+            prop_assert_eq!(dist[v.index()] as u32, tree.distance(u, v));
+            prop_assert_eq!(tree.path_edges(u, v).len(), dist[v.index()]);
+            let verts = tree.path_vertices(u, v);
+            prop_assert_eq!(verts.len(), dist[v.index()] + 1);
+            prop_assert_eq!(verts[0], u);
+            prop_assert_eq!(*verts.last().unwrap(), v);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the distributed substrate: conflict graphs,
+//! communication graphs and Luby's MIS protocol on the synchronous
+//! simulator.
+
+use netsched::distrib::{greedy_mis, is_maximal_independent, maximal_independent_set};
+use netsched::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_universe(seed: u64, n: usize, r: usize, m: usize) -> DemandInstanceUniverse {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut p = TreeProblem::new(n);
+    let mut nets = Vec::new();
+    for _ in 0..r {
+        let edges = (1..n)
+            .map(|i| (VertexId::new(rng.gen_range(0..i)), VertexId::new(i)))
+            .collect();
+        nets.push(p.add_network(edges).unwrap());
+    }
+    for _ in 0..m {
+        let u = rng.gen_range(0..n);
+        let mut v = rng.gen_range(0..n);
+        while v == u {
+            v = rng.gen_range(0..n);
+        }
+        let access: Vec<NetworkId> = nets.iter().copied().filter(|_| rng.gen_bool(0.5)).collect();
+        let access = if access.is_empty() { vec![nets[0]] } else { access };
+        p.add_unit_demand(VertexId::new(u), VertexId::new(v), 1.0, access)
+            .unwrap();
+    }
+    p.universe()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The conflict graph agrees with the pairwise conflict predicate of the
+    /// universe.
+    #[test]
+    fn conflict_graph_matches_predicate(seed in any::<u64>(), n in 4usize..20, m in 1usize..20) {
+        let u = random_universe(seed, n, 2, m);
+        let g = ConflictGraph::build(&u);
+        prop_assert_eq!(g.num_vertices(), u.num_instances());
+        for a in u.instance_ids() {
+            for b in u.instance_ids() {
+                if a != b {
+                    prop_assert_eq!(g.are_conflicting(a, b), u.conflicting(a, b));
+                }
+            }
+        }
+        let degree_sum: usize = u.instance_ids().map(|d| g.degree(d)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+    }
+
+    /// Luby's protocol always produces a maximal independent set of the
+    /// induced subgraph, regardless of seed and restriction.
+    #[test]
+    fn luby_always_maximal(seed in any::<u64>(), n in 4usize..24, m in 1usize..30, modulo in 1usize..4) {
+        let u = random_universe(seed, n, 2, m);
+        let g = ConflictGraph::build(&u);
+        let active: Vec<InstanceId> = u.instance_ids().filter(|d| d.index() % modulo == 0).collect();
+        let mut stats = RoundStats::new();
+        let set = maximal_independent_set(&g, &active, MisStrategy::Luby { seed }, &mut stats);
+        prop_assert!(is_maximal_independent(&g, &active, &set));
+        // Round accounting: at least one round per MIS unless nothing to do.
+        if !active.is_empty() {
+            prop_assert!(stats.rounds >= 1);
+            prop_assert_eq!(stats.mis_invocations, 1);
+        }
+        // Luby and greedy may return different sets but both are maximal.
+        let gset = greedy_mis(&g, &active);
+        prop_assert!(is_maximal_independent(&g, &active, &gset));
+    }
+
+    /// The communication graph connects exactly the processor pairs that
+    /// share a resource (Section 2's communication rule).
+    #[test]
+    fn comm_graph_matches_access_sets(seed in any::<u64>(), m in 2usize..20, r in 1usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let processors: Vec<Processor> = (0..m)
+            .map(|i| {
+                let mut access: Vec<NetworkId> =
+                    (0..r).filter(|_| rng.gen_bool(0.5)).map(NetworkId::new).collect();
+                if access.is_empty() {
+                    access.push(NetworkId::new(rng.gen_range(0..r)));
+                }
+                Processor::new(ProcessorId::new(i), DemandId::new(i), access)
+            })
+            .collect();
+        let g = CommGraph::build(&processors, r);
+        for a in &processors {
+            for b in &processors {
+                if a.id != b.id {
+                    prop_assert_eq!(
+                        g.can_communicate(a.id, b.id),
+                        a.can_communicate_with(b),
+                        "processors {} and {}", a.id, b.id
+                    );
+                }
+            }
+        }
+    }
+
+    /// Universe feasibility predicates are consistent: an independent set is
+    /// always feasible in the unit-height uniform-capacity world, and
+    /// `can_add` agrees with `is_feasible` of the extended selection.
+    #[test]
+    fn feasibility_predicates_are_consistent(seed in any::<u64>(), n in 4usize..16, m in 1usize..16) {
+        let u = random_universe(seed, n, 2, m);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
+        // Build a random feasible selection greedily.
+        let mut selection: Vec<InstanceId> = Vec::new();
+        let ids: Vec<InstanceId> = u.instance_ids().collect();
+        for _ in 0..ids.len() {
+            let i = rng.gen_range(0..ids.len());
+            let d = ids[i];
+            if u.can_add(&selection, d) {
+                selection.push(d);
+            }
+        }
+        prop_assert!(u.is_feasible(&selection));
+        prop_assert!(u.is_independent_set(&selection));
+        // can_add must agree with is_feasible on the extended set.
+        for d in u.instance_ids() {
+            let mut extended = selection.clone();
+            if selection.contains(&d) {
+                continue;
+            }
+            extended.push(d);
+            prop_assert_eq!(u.can_add(&selection, d), u.is_feasible(&extended));
+        }
+    }
+}
