@@ -76,7 +76,11 @@ pub fn best_greedy(universe: &DemandInstanceUniverse) -> Solution {
     ]
     .into_iter()
     .map(|o| greedy_schedule(universe, o))
-    .max_by(|a, b| a.profit.partial_cmp(&b.profit).unwrap_or(std::cmp::Ordering::Equal))
+    .max_by(|a, b| {
+        a.profit
+            .partial_cmp(&b.profit)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    })
     .expect("three candidates")
 }
 
@@ -87,7 +91,10 @@ mod tests {
 
     #[test]
     fn greedy_is_feasible_on_fixtures() {
-        for u in [figure1_line_problem().universe(), two_tree_problem().universe()] {
+        for u in [
+            figure1_line_problem().universe(),
+            two_tree_problem().universe(),
+        ] {
             for order in [
                 GreedyOrder::Profit,
                 GreedyOrder::ProfitPerLength,

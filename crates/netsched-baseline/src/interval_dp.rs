@@ -129,11 +129,13 @@ mod tests {
         assert!(weighted_interval_optimum(&p.universe()).is_none());
         // Windows with slack (several instances per demand) → None.
         let mut p = LineProblem::new(10, 1);
-        p.add_demand(0, 8, 2, 1.0, 1.0, vec![NetworkId::new(0)]).unwrap();
+        p.add_demand(0, 8, 2, 1.0, 1.0, vec![NetworkId::new(0)])
+            .unwrap();
         assert!(weighted_interval_optimum(&p.universe()).is_none());
         // Non-unit heights → None.
         let mut p = LineProblem::new(10, 1);
-        p.add_interval_demand(0, 2, 1.0, 0.5, vec![NetworkId::new(0)]).unwrap();
+        p.add_interval_demand(0, 2, 1.0, 0.5, vec![NetworkId::new(0)])
+            .unwrap();
         assert!(weighted_interval_optimum(&p.universe()).is_none());
     }
 
@@ -142,7 +144,8 @@ mod tests {
         let mut p = LineProblem::new(12, 1);
         let acc = vec![NetworkId::new(0)];
         for i in 0..4 {
-            p.add_interval_demand(3 * i, 3, 1.0, 1.0, acc.clone()).unwrap();
+            p.add_interval_demand(3 * i, 3, 1.0, 1.0, acc.clone())
+                .unwrap();
         }
         let u = p.universe();
         let (profit, sel) = weighted_interval_optimum(&u).unwrap();

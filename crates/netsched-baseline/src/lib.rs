@@ -11,6 +11,9 @@
 //!   single-resource, fixed-interval, unit-height special case.
 //! * [`upper_bound`] — cheap combinatorial optimum upper bounds, combined
 //!   with the dual certificates produced by the algorithms.
+//! * [`solvers`] — every baseline behind the unified
+//!   [`netsched_core::Solver`] trait, with a [`registry`] the `netsched`
+//!   facade chains after the paper algorithms.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -19,10 +22,14 @@ pub mod exact;
 pub mod greedy;
 pub mod interval_dp;
 pub mod panconesi_sozio;
+pub mod solvers;
 pub mod upper_bound;
 
 pub use exact::{branch_and_bound, exact_optimum, ExactResult};
 pub use greedy::{best_greedy, greedy_schedule, GreedyOrder};
 pub use interval_dp::weighted_interval_optimum;
 pub use panconesi_sozio::{run_ps_style, solve_ps_line_narrow, solve_ps_line_unit};
+pub use solvers::{
+    registry, ExactSolver, GreedySolver, IntervalDpSolver, PsLineNarrowSolver, PsLineUnitSolver,
+};
 pub use upper_bound::{best_upper_bound, edge_cut_bound, total_profit_bound};

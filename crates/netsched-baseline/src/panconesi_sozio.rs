@@ -58,9 +58,7 @@ pub fn run_ps_style(
             let unsatisfied: Vec<InstanceId> = group
                 .iter()
                 .copied()
-                .filter(|&d| {
-                    eligible[d.index()] && !duals.is_xi_satisfied(universe, d, threshold)
-                })
+                .filter(|&d| eligible[d.index()] && !duals.is_xi_satisfied(universe, d, threshold))
                 .collect();
             if unsatisfied.is_empty() || epoch_steps >= step_cap {
                 break;

@@ -1,0 +1,290 @@
+//! The baselines behind the unified [`Solver`] trait.
+//!
+//! Every reference algorithm of this crate — the greedy heuristics, the
+//! branch-and-bound exact solver, the weighted-interval DP and the
+//! Panconesi–Sozio reconstruction — registers here as a
+//! [`netsched_core::Solver`], so the `netsched` facade can run them through
+//! the same cached [`Scheduler`](netsched_core::Scheduler) session and
+//! [`portfolio`](netsched_core::Scheduler::portfolio) as the paper's
+//! algorithms.
+
+use crate::exact::branch_and_bound;
+use crate::greedy::{greedy_schedule, GreedyOrder};
+use crate::interval_dp::weighted_interval_optimum;
+use crate::panconesi_sozio::run_ps_style;
+use crate::upper_bound::total_profit_bound;
+use netsched_core::{Problem, ProblemKind, RaiseRule, Solution, SolveContext, Solver};
+
+/// The centralized greedy heuristic in a fixed order (no worst-case
+/// guarantee; used as a sanity baseline and differential-testing oracle).
+#[derive(Debug, Clone, Copy)]
+pub struct GreedySolver {
+    order: GreedyOrder,
+}
+
+impl GreedySolver {
+    /// Greedy by the given order.
+    pub fn new(order: GreedyOrder) -> Self {
+        Self { order }
+    }
+}
+
+impl Solver for GreedySolver {
+    fn name(&self) -> &'static str {
+        match self.order {
+            GreedyOrder::Profit => "greedy-profit",
+            GreedyOrder::ProfitPerLength => "greedy-density",
+            GreedyOrder::ShortestFirst => "greedy-shortest",
+        }
+    }
+
+    fn guarantee(&self, _eps: f64) -> Option<f64> {
+        None
+    }
+
+    fn solve(&self, ctx: &SolveContext<'_>) -> Solution {
+        greedy_schedule(ctx.universe(), self.order)
+    }
+}
+
+/// Branch-and-bound exact optimum under a node budget. When the search
+/// completes the dual slot of the diagnostics carries the optimum itself
+/// (certified ratio 1); when the budget is exhausted the solution is only a
+/// lower bound and the certificate falls back to the combinatorial
+/// total-profit bound — hence no unconditional `guarantee` is claimed.
+#[derive(Debug, Clone, Copy)]
+pub struct ExactSolver {
+    node_budget: u64,
+}
+
+impl ExactSolver {
+    /// Exact solver with an explicit branch-and-bound node budget.
+    pub fn with_budget(node_budget: u64) -> Self {
+        Self { node_budget }
+    }
+}
+
+impl Default for ExactSolver {
+    fn default() -> Self {
+        // Generous enough to complete on the small instances used in tests
+        // and experiments while keeping worst cases bounded.
+        Self::with_budget(5_000_000)
+    }
+}
+
+impl Solver for ExactSolver {
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+
+    fn guarantee(&self, _eps: f64) -> Option<f64> {
+        None
+    }
+
+    fn solve(&self, ctx: &SolveContext<'_>) -> Solution {
+        let universe = ctx.universe();
+        let result = branch_and_bound(universe, self.node_budget);
+        let mut solution = Solution::empty();
+        solution.selected = result.selected;
+        solution.profit = result.profit;
+        solution.diagnostics.lambda = 1.0;
+        solution.diagnostics.optimum_upper_bound = if result.complete {
+            result.profit
+        } else {
+            total_profit_bound(universe)
+        };
+        solution.diagnostics.dual_objective = solution.diagnostics.optimum_upper_bound;
+        solution
+    }
+}
+
+/// Exact weighted-interval-scheduling DP for the single-resource,
+/// fixed-interval, unit-height line special case (certified ratio 1 on
+/// supported shapes).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IntervalDpSolver;
+
+impl Solver for IntervalDpSolver {
+    fn name(&self) -> &'static str {
+        "line-interval-dp"
+    }
+
+    fn guarantee(&self, _eps: f64) -> Option<f64> {
+        Some(1.0)
+    }
+
+    fn supports(&self, problem: &Problem<'_>) -> bool {
+        match problem.as_line() {
+            Some(p) => {
+                p.num_resources() == 1
+                    && p.is_unit_height()
+                    && p.demands().iter().all(|d| d.num_placements() == 1)
+            }
+            None => false,
+        }
+    }
+
+    fn solve(&self, ctx: &SolveContext<'_>) -> Solution {
+        let universe = ctx.universe();
+        let Some((profit, selected)) = weighted_interval_optimum(universe) else {
+            return Solution::empty();
+        };
+        let mut solution = Solution::empty();
+        solution.selected = selected;
+        solution.profit = profit;
+        solution.diagnostics.lambda = 1.0;
+        solution.diagnostics.dual_objective = profit;
+        solution.diagnostics.optimum_upper_bound = profit;
+        solution
+    }
+}
+
+/// The Panconesi–Sozio-style baseline for all-wide line instances: single
+/// stage per epoch with threshold `1/(5 + ε)`, hence a `(∆ + 1)(5 + ε) =
+/// (20 + ε)`-style guarantee — the bound the paper improves by a factor 5.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PsLineUnitSolver;
+
+impl Solver for PsLineUnitSolver {
+    fn name(&self) -> &'static str {
+        "ps-line-unit"
+    }
+
+    fn guarantee(&self, eps: f64) -> Option<f64> {
+        // Lemma 3.1 with ∆ = 3 and λ = 1/(5 + ε).
+        Some(4.0 * (5.0 + eps))
+    }
+
+    fn supports(&self, problem: &Problem<'_>) -> bool {
+        problem.kind() == ProblemKind::Line && problem.all_wide()
+    }
+
+    fn solve(&self, ctx: &SolveContext<'_>) -> Solution {
+        run_ps_style(
+            ctx.universe(),
+            ctx.layering(),
+            RaiseRule::Unit,
+            ctx.config(),
+        )
+    }
+}
+
+/// The Panconesi–Sozio-style baseline for all-narrow line instances
+/// (Lemma 6.1 with `λ = 1/(5 + ε)`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PsLineNarrowSolver;
+
+impl Solver for PsLineNarrowSolver {
+    fn name(&self) -> &'static str {
+        "ps-line-narrow"
+    }
+
+    fn guarantee(&self, eps: f64) -> Option<f64> {
+        // (2∆² + 1)(5 + ε) with ∆ = 3.
+        Some(19.0 * (5.0 + eps))
+    }
+
+    fn supports(&self, problem: &Problem<'_>) -> bool {
+        problem.kind() == ProblemKind::Line && problem.all_narrow()
+    }
+
+    fn solve(&self, ctx: &SolveContext<'_>) -> Solution {
+        run_ps_style(
+            ctx.universe(),
+            ctx.layering(),
+            RaiseRule::Narrow,
+            ctx.config(),
+        )
+    }
+}
+
+/// Every baseline as a boxed [`Solver`]; the `netsched` facade chains this
+/// after [`netsched_core::registry`].
+pub fn registry() -> Vec<Box<dyn Solver>> {
+    vec![
+        Box::new(GreedySolver::new(GreedyOrder::Profit)),
+        Box::new(GreedySolver::new(GreedyOrder::ProfitPerLength)),
+        Box::new(GreedySolver::new(GreedyOrder::ShortestFirst)),
+        Box::new(ExactSolver::default()),
+        Box::new(IntervalDpSolver),
+        Box::new(PsLineUnitSolver),
+        Box::new(PsLineNarrowSolver),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsched_core::{AlgorithmConfig, Scheduler};
+    use netsched_graph::fixtures::{figure1_line_problem, figure6_problem};
+    use netsched_graph::{LineProblem, NetworkId};
+
+    #[test]
+    fn baseline_registry_runs_on_the_fixtures() {
+        let tree = figure6_problem();
+        let session = Scheduler::for_tree(&tree);
+        let config = AlgorithmConfig::deterministic(0.1);
+        for solver in registry() {
+            if !solver.supports(&session.problem()) {
+                continue;
+            }
+            let sol = session.solve_with(solver.as_ref(), &config);
+            sol.verify(session.universe())
+                .unwrap_or_else(|e| panic!("{}: {e}", solver.name()));
+        }
+    }
+
+    #[test]
+    fn exact_solver_certifies_optimality_when_complete() {
+        let line = figure1_line_problem();
+        let session = Scheduler::for_line(&line);
+        let sol = session.solve_with(&ExactSolver::default(), &AlgorithmConfig::default());
+        sol.verify(session.universe()).unwrap();
+        assert!((sol.profit - 2.0).abs() < 1e-9);
+        assert_eq!(sol.certified_ratio(), Some(1.0));
+    }
+
+    #[test]
+    fn interval_dp_supports_only_its_shape() {
+        let mut fixed = LineProblem::new(10, 1);
+        fixed
+            .add_interval_demand(0, 3, 2.0, 1.0, vec![NetworkId::new(0)])
+            .unwrap();
+        assert!(IntervalDpSolver.supports(&Problem::Line(&fixed)));
+
+        let mut windowed = LineProblem::new(10, 1);
+        windowed
+            .add_demand(0, 8, 2, 1.0, 1.0, vec![NetworkId::new(0)])
+            .unwrap();
+        assert!(!IntervalDpSolver.supports(&Problem::Line(&windowed)));
+        assert!(!IntervalDpSolver.supports(&Problem::Tree(&figure6_problem())));
+
+        let session = Scheduler::for_line(&fixed);
+        let sol = session.solve_with(&IntervalDpSolver, &AlgorithmConfig::default());
+        assert_eq!(sol.certified_ratio(), Some(1.0));
+        assert!((sol.profit - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ps_baseline_certificates_respect_their_weaker_bound() {
+        let mut p = LineProblem::new(24, 2);
+        let acc = vec![NetworkId::new(0), NetworkId::new(1)];
+        for i in 0..8u32 {
+            p.add_demand(
+                i * 2 % 20,
+                i * 2 % 20 + 3,
+                2,
+                1.0 + i as f64,
+                1.0,
+                acc.clone(),
+            )
+            .unwrap();
+        }
+        let session = Scheduler::for_line(&p);
+        let config = AlgorithmConfig::deterministic(0.2);
+        let sol = session.solve_with(&PsLineUnitSolver, &config);
+        sol.verify(session.universe()).unwrap();
+        let bound = PsLineUnitSolver.guarantee(0.2).unwrap();
+        assert!(sol.certified_ratio().unwrap_or(1.0) <= bound + 1e-6);
+    }
+}

@@ -104,10 +104,8 @@ mod tests {
     fn best_upper_bound_uses_dual_certificates() {
         let p = figure6_problem();
         let u = p.universe();
-        let sol = netsched_core::solve_unit_tree(
-            &p,
-            &netsched_core::AlgorithmConfig::deterministic(0.1),
-        );
+        let sol =
+            netsched_core::solve_unit_tree(&p, &netsched_core::AlgorithmConfig::deterministic(0.1));
         let ub = best_upper_bound(&u, &[&sol]);
         let opt = exact_optimum(&u).profit;
         assert!(ub + 1e-9 >= opt);
@@ -127,9 +125,12 @@ mod tests {
                 (VertexId(2), VertexId(3)),
             ])
             .unwrap();
-        p.add_unit_demand(VertexId(0), VertexId(2), 4.0, vec![t]).unwrap();
-        p.add_unit_demand(VertexId(1), VertexId(3), 3.0, vec![t]).unwrap();
-        p.add_unit_demand(VertexId(1), VertexId(2), 2.0, vec![t]).unwrap();
+        p.add_unit_demand(VertexId(0), VertexId(2), 4.0, vec![t])
+            .unwrap();
+        p.add_unit_demand(VertexId(1), VertexId(3), 3.0, vec![t])
+            .unwrap();
+        p.add_unit_demand(VertexId(1), VertexId(2), 2.0, vec![t])
+            .unwrap();
         let u = p.universe();
         let bound = edge_cut_bound(&u);
         // Every demand crosses edge (1,2); the bound via that edge is

@@ -13,7 +13,10 @@ fn bench_arbitrary_tree(c: &mut Criterion) {
             vertices: 32,
             networks: 2,
             demands: 40,
-            heights: HeightDistribution::Uniform { min: hmin, max: 1.0 },
+            heights: HeightDistribution::Uniform {
+                min: hmin,
+                max: 1.0,
+            },
             seed: 0xAB,
             ..TreeWorkload::default()
         };

@@ -44,7 +44,11 @@ fn bench_layering(c: &mut Criterion) {
         let universe = problem.universe();
         group.bench_with_input(BenchmarkId::new("ideal_layering", n), &n, |b, _| {
             b.iter(|| {
-                InstanceLayering::for_tree_problem(&problem, &universe, TreeDecompositionKind::Ideal)
+                InstanceLayering::for_tree_problem(
+                    &problem,
+                    &universe,
+                    TreeDecompositionKind::Ideal,
+                )
             })
         });
     }

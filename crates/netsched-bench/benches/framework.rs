@@ -32,7 +32,12 @@ fn bench_engine_ablation(c: &mut Criterion) {
             &layering,
             |b, l| {
                 b.iter(|| {
-                    run_two_phase(&universe, l, RaiseRule::Unit, &AlgorithmConfig::deterministic(0.1))
+                    run_two_phase(
+                        &universe,
+                        l,
+                        RaiseRule::Unit,
+                        &AlgorithmConfig::deterministic(0.1),
+                    )
                 })
             },
         );

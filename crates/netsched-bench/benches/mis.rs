@@ -2,7 +2,9 @@
 //! size — the runtime companion of E11.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use netsched_distrib::{greedy_mis, maximal_independent_set, ConflictGraph, MisStrategy, RoundStats};
+use netsched_distrib::{
+    greedy_mis, maximal_independent_set, ConflictGraph, MisStrategy, RoundStats,
+};
 use netsched_graph::InstanceId;
 use netsched_workloads::TreeWorkload;
 
@@ -21,18 +23,26 @@ fn bench_mis(c: &mut Criterion) {
         let universe = problem.universe();
         let graph = ConflictGraph::build(&universe);
         let active: Vec<InstanceId> = universe.instance_ids().collect();
-        group.bench_with_input(BenchmarkId::new("luby_simulated", active.len()), &graph, |b, g| {
-            b.iter(|| {
-                let mut stats = RoundStats::new();
-                maximal_independent_set(g, &active, MisStrategy::Luby { seed: 5 }, &mut stats)
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("greedy_sequential", active.len()), &graph, |b, g| {
-            b.iter(|| greedy_mis(g, &active))
-        });
-        group.bench_with_input(BenchmarkId::new("conflict_graph_build", active.len()), &universe, |b, u| {
-            b.iter(|| ConflictGraph::build(u))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("luby_simulated", active.len()),
+            &graph,
+            |b, g| {
+                b.iter(|| {
+                    let mut stats = RoundStats::new();
+                    maximal_independent_set(g, &active, MisStrategy::Luby { seed: 5 }, &mut stats)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("greedy_sequential", active.len()),
+            &graph,
+            |b, g| b.iter(|| greedy_mis(g, &active)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("conflict_graph_build", active.len()),
+            &universe,
+            |b, u| b.iter(|| ConflictGraph::build(u)),
+        );
     }
     group.finish();
 }

@@ -2,7 +2,9 @@
 //! (Theorem 5.3) across instance sizes — the runtime companion of E3.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use netsched_core::{solve_sequential_tree, solve_unit_tree, AlgorithmConfig};
+use netsched_core::{
+    solve_sequential_tree, solve_unit_tree, AlgorithmConfig, Scheduler, UnitTreeSolver,
+};
 use netsched_distrib::MisStrategy;
 use netsched_workloads::TreeWorkload;
 
@@ -48,5 +50,38 @@ fn bench_unit_tree(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_unit_tree);
+/// The Scheduler session win: solving the same instance repeatedly (an ε
+/// sweep, a portfolio, a seed study) with a shared session skips the
+/// universe + decomposition rebuild that the per-call path pays every time.
+fn bench_session_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_session");
+    group.sample_size(10);
+    for &(n, m) in &[(64usize, 80usize), (128, 160)] {
+        let workload = TreeWorkload {
+            vertices: n,
+            networks: 3,
+            demands: m,
+            seed: 0x5E55,
+            ..TreeWorkload::default()
+        };
+        let problem = workload.build().unwrap();
+        let config = AlgorithmConfig::deterministic(0.1);
+        group.bench_with_input(
+            BenchmarkId::new("per_call_rebuild", format!("n{n}_m{m}")),
+            &problem,
+            |b, p| b.iter(|| solve_unit_tree(p, &config)),
+        );
+        let session = Scheduler::for_tree(&problem);
+        session.universe(); // warm the caches once, outside the timing loop
+        session.layering();
+        group.bench_with_input(
+            BenchmarkId::new("cached_session", format!("n{n}_m{m}")),
+            &session,
+            |b, s| b.iter(|| s.solve_with(&UnitTreeSolver, &config)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_unit_tree, bench_session_reuse);
 criterion_main!(benches);

@@ -48,7 +48,11 @@ fn main() {
                 for t in tables {
                     println!("{}", t.render());
                 }
-                println!("_({} completed in {:.1}s)_\n", e.id, start.elapsed().as_secs_f64());
+                println!(
+                    "_({} completed in {:.1}s)_\n",
+                    e.id,
+                    start.elapsed().as_secs_f64()
+                );
             }
             None => {
                 eprintln!("unknown experiment id: {id} (use `list` to see available ids)");

@@ -24,7 +24,11 @@ fn build_tree(topology: TreeTopology, n: usize, seed: u64) -> TreeNetwork {
 /// depth ≤ ⌈log n⌉ (+1 for the depth-1 root convention) but θ up to the
 /// depth; the ideal decomposition has θ ≤ 2 and depth ≤ 2⌈log n⌉.
 pub fn e1_decomposition_parameters(quick: bool) -> Vec<Table> {
-    let sizes: &[usize] = if quick { &[16, 64, 128] } else { &[16, 64, 256, 1024] };
+    let sizes: &[usize] = if quick {
+        &[16, 64, 128]
+    } else {
+        &[16, 64, 256, 1024]
+    };
     let topologies = [
         TreeTopology::RandomAttachment,
         TreeTopology::Path,
@@ -35,8 +39,15 @@ pub fn e1_decomposition_parameters(quick: bool) -> Vec<Table> {
     let mut table = Table::new(
         "E1 — tree-decomposition parameters (Lemma 4.1)",
         &[
-            "topology", "n", "rootfix depth", "rootfix θ", "balance depth", "balance θ",
-            "ideal depth", "ideal θ", "2⌈log n⌉+1",
+            "topology",
+            "n",
+            "rootfix depth",
+            "rootfix θ",
+            "balance depth",
+            "balance θ",
+            "ideal depth",
+            "ideal θ",
+            "2⌈log n⌉+1",
         ],
     )
     .caption("Ideal decomposition must have θ ≤ 2 and depth ≤ 2⌈log n⌉ + 1.");
@@ -76,13 +87,24 @@ pub fn e2_layered_parameters(quick: bool) -> Vec<Table> {
     let mut table = Table::new(
         "E2 — layered-decomposition parameters (Lemmas 4.2/4.3)",
         &[
-            "topology", "n", "m", "instances", "ideal ∆", "ideal ℓ", "appendix-A ∆",
-            "balancing ∆", "interference",
+            "topology",
+            "n",
+            "m",
+            "instances",
+            "ideal ∆",
+            "ideal ℓ",
+            "appendix-A ∆",
+            "balancing ∆",
+            "interference",
         ],
     )
     .caption("Lemma 4.3: the ideal layering has ∆ ≤ 6 and ℓ = O(log n); Appendix A has ∆ ≤ 2.");
 
-    for &topology in &[TreeTopology::RandomAttachment, TreeTopology::Caterpillar, TreeTopology::Path] {
+    for &topology in &[
+        TreeTopology::RandomAttachment,
+        TreeTopology::Caterpillar,
+        TreeTopology::Path,
+    ] {
         for &n in sizes {
             let m = 2 * n;
             let workload = TreeWorkload {
@@ -91,7 +113,10 @@ pub fn e2_layered_parameters(quick: bool) -> Vec<Table> {
                 demands: m,
                 topology,
                 access_probability: 0.6,
-                profits: ProfitDistribution::Uniform { min: 1.0, max: 32.0 },
+                profits: ProfitDistribution::Uniform {
+                    min: 1.0,
+                    max: 32.0,
+                },
                 heights: HeightDistribution::Unit,
                 seed: 0xE2 + n as u64,
             };
@@ -126,7 +151,11 @@ pub fn e2_layered_parameters(quick: bool) -> Vec<Table> {
                 int(ideal.num_groups() as u64),
                 int(appendix.max_critical() as u64),
                 int(balancing.max_critical() as u64),
-                if interference_ok { "ok".into() } else { "VIOLATED".into() },
+                if interference_ok {
+                    "ok".into()
+                } else {
+                    "VIOLATED".into()
+                },
             ]);
         }
     }
@@ -134,11 +163,22 @@ pub fn e2_layered_parameters(quick: bool) -> Vec<Table> {
     // A second table: the line length-class layering of Section 7.
     let mut line_table = Table::new(
         "E2b — line length-class layering (Section 7)",
-        &["L_max/L_min", "instances", "∆", "ℓ", "⌈log(Lmax/Lmin)⌉+1", "interference"],
+        &[
+            "L_max/L_min",
+            "instances",
+            "∆",
+            "ℓ",
+            "⌈log(Lmax/Lmin)⌉+1",
+            "interference",
+        ],
     )
     .caption("The line layering has ∆ = 3 and ℓ ≤ ⌈log(L_max/L_min)⌉ + 1.");
     use netsched_workloads::LineWorkload;
-    for &max_len in if quick { &[4u32, 16][..] } else { &[4u32, 16, 32][..] } {
+    for &max_len in if quick {
+        &[4u32, 16][..]
+    } else {
+        &[4u32, 16, 32][..]
+    } {
         let workload = LineWorkload {
             timeslots: 2 * max_len.max(16),
             resources: 2,

@@ -4,10 +4,9 @@
 use crate::measure;
 use crate::table::{f2, f3, int, Table};
 use netsched_baseline::{
-    best_greedy, exact_optimum, solve_ps_line_narrow, solve_ps_line_unit,
-    weighted_interval_optimum,
+    best_greedy, exact_optimum, weighted_interval_optimum, PsLineNarrowSolver, PsLineUnitSolver,
 };
-use netsched_core::{solve_line_arbitrary, solve_line_unit, AlgorithmConfig};
+use netsched_core::{AlgorithmConfig, LineUnitSolver, Scheduler};
 use netsched_distrib::MisStrategy;
 use netsched_workloads::{HeightDistribution, LineWorkload, ProfitDistribution};
 use rayon::prelude::*;
@@ -27,8 +26,16 @@ pub fn e5_line_unit_vs_ps(quick: bool) -> Vec<Table> {
     let mut table = Table::new(
         "E5 — unit-height line networks with windows (Theorem 7.1 vs [16])",
         &[
-            "slots", "r", "m", "algorithm", "profit", "%ref", "λ", "worst-case bound",
-            "certified ratio", "rounds",
+            "slots",
+            "r",
+            "m",
+            "algorithm",
+            "profit",
+            "%ref",
+            "λ",
+            "worst-case bound",
+            "certified ratio",
+            "rounds",
         ],
     )
     .caption(
@@ -49,41 +56,48 @@ pub fn e5_line_unit_vs_ps(quick: bool) -> Vec<Table> {
             min_length: 1,
             max_length: (slots / 4).max(2),
             max_slack: 4,
-            profits: ProfitDistribution::Uniform { min: 1.0, max: 32.0 },
+            profits: ProfitDistribution::Uniform {
+                min: 1.0,
+                max: 32.0,
+            },
             heights: HeightDistribution::Unit,
             seed: 0xE5 + slots as u64,
             ..LineWorkload::default()
         };
         let problem = workload.build().expect("valid workload");
-        let universe = problem.universe();
+        // One session: our algorithm and the PS baseline share the cached
+        // universe and length-class layering.
+        let session = Scheduler::for_line(&problem);
+        let universe = session.universe();
         let eps = 0.1;
-        let ours = solve_line_unit(&problem, &luby(eps, 5));
-        let ps = solve_ps_line_unit(&problem, &luby(eps, 5));
-        let greedy = best_greedy(&universe);
-        ours.verify(&universe).expect("feasible");
-        ps.verify(&universe).expect("feasible");
+        let ours = session.solve_with(&LineUnitSolver, &luby(eps, 5));
+        let ps = session.solve_with(&PsLineUnitSolver, &luby(eps, 5));
+        let greedy = best_greedy(universe);
+        ours.verify(universe).expect("feasible");
+        ps.verify(universe).expect("feasible");
 
         let reference = if m <= 10 {
-            exact_optimum(&universe).profit
+            exact_optimum(universe).profit
         } else {
             ours.diagnostics
                 .optimum_upper_bound
                 .min(ps.diagnostics.optimum_upper_bound)
         };
-        let mut row = |name: &str, profit: f64, lambda: f64, bound: f64, ratio: f64, rounds: u64| {
-            table.add_row(vec![
-                int(slots as u64),
-                int(r as u64),
-                int(m as u64),
-                name.to_string(),
-                f2(profit),
-                f2(measure::pct(profit, reference)),
-                f3(lambda),
-                f2(bound),
-                f3(ratio),
-                int(rounds),
-            ]);
-        };
+        let mut row =
+            |name: &str, profit: f64, lambda: f64, bound: f64, ratio: f64, rounds: u64| {
+                table.add_row(vec![
+                    int(slots as u64),
+                    int(r as u64),
+                    int(m as u64),
+                    name.to_string(),
+                    f2(profit),
+                    f2(measure::pct(profit, reference)),
+                    f3(lambda),
+                    f2(bound),
+                    f3(ratio),
+                    int(rounds),
+                ]);
+            };
         row(
             "this paper (Thm 7.1)",
             ours.profit,
@@ -108,10 +122,23 @@ pub fn e5_line_unit_vs_ps(quick: bool) -> Vec<Table> {
     // scale.
     let mut exact_table = Table::new(
         "E5b — single resource, fixed intervals: empirical ratios at scale",
-        &["m", "optimum (DP)", "ours", "ours ratio", "PS", "PS ratio", "greedy", "greedy ratio"],
+        &[
+            "m",
+            "optimum (DP)",
+            "ours",
+            "ours ratio",
+            "PS",
+            "PS ratio",
+            "greedy",
+            "greedy ratio",
+        ],
     )
     .caption("Exact optimum from the weighted-interval-scheduling DP; ratios are OPT/achieved.");
-    let ms: &[usize] = if quick { &[20, 60] } else { &[20, 60, 120, 240] };
+    let ms: &[usize] = if quick {
+        &[20, 60]
+    } else {
+        &[20, 60, 120, 240]
+    };
     let rows: Vec<Vec<String>> = ms
         .par_iter()
         .map(|&m| {
@@ -123,17 +150,20 @@ pub fn e5_line_unit_vs_ps(quick: bool) -> Vec<Table> {
                 max_length: 16,
                 max_slack: 0,
                 access_probability: 1.0,
-                profits: ProfitDistribution::Uniform { min: 1.0, max: 32.0 },
+                profits: ProfitDistribution::Uniform {
+                    min: 1.0,
+                    max: 32.0,
+                },
                 heights: HeightDistribution::Unit,
                 seed: 0xE5B + m as u64,
-                ..LineWorkload::default()
             };
             let problem = workload.build().expect("valid workload");
-            let universe = problem.universe();
-            let (opt, _) = weighted_interval_optimum(&universe).expect("DP shape");
-            let ours = solve_line_unit(&problem, &luby(0.1, 55));
-            let ps = solve_ps_line_unit(&problem, &luby(0.1, 55));
-            let greedy = best_greedy(&universe);
+            let session = Scheduler::for_line(&problem);
+            let universe = session.universe();
+            let (opt, _) = weighted_interval_optimum(universe).expect("DP shape");
+            let ours = session.solve_with(&LineUnitSolver, &luby(0.1, 55));
+            let ps = session.solve_with(&PsLineUnitSolver, &luby(0.1, 55));
+            let greedy = best_greedy(universe);
             vec![
                 int(m as u64),
                 f2(opt),
@@ -159,8 +189,15 @@ pub fn e6_line_arbitrary_vs_ps(quick: bool) -> Vec<Table> {
     let mut table = Table::new(
         "E6 — arbitrary-height line networks with windows (Theorem 7.2 vs [16])",
         &[
-            "slots", "r", "m", "algorithm", "profit", "%ref", "worst-case bound",
-            "certified ratio", "rounds",
+            "slots",
+            "r",
+            "m",
+            "algorithm",
+            "profit",
+            "%ref",
+            "worst-case bound",
+            "certified ratio",
+            "rounds",
         ],
     )
     .caption("The paper's guarantee is 23+ε versus Panconesi–Sozio's 55+ε.");
@@ -177,7 +214,10 @@ pub fn e6_line_arbitrary_vs_ps(quick: bool) -> Vec<Table> {
             min_length: 1,
             max_length: (slots / 4).max(2),
             max_slack: 4,
-            profits: ProfitDistribution::Uniform { min: 1.0, max: 16.0 },
+            profits: ProfitDistribution::Uniform {
+                min: 1.0,
+                max: 16.0,
+            },
             heights: HeightDistribution::Mixed {
                 wide_fraction: 0.3,
                 min_narrow: 0.1,
@@ -186,15 +226,18 @@ pub fn e6_line_arbitrary_vs_ps(quick: bool) -> Vec<Table> {
             ..LineWorkload::default()
         };
         let problem = workload.build().expect("valid workload");
-        let universe = problem.universe();
+        // Mixed heights: the session auto-selects Theorem 7.2; the PS-style
+        // narrow baseline reuses the same cached layering.
+        let session = Scheduler::for_line(&problem);
+        let universe = session.universe();
         let eps = 0.1;
-        let ours = solve_line_arbitrary(&problem, &luby(eps, 6));
-        let ps = solve_ps_line_narrow(&problem, &luby(eps, 6));
-        let greedy = best_greedy(&universe);
-        ours.verify(&universe).expect("feasible");
-        ps.verify(&universe).expect("feasible");
+        let ours = session.solve(&luby(eps, 6));
+        let ps = session.solve_with(&PsLineNarrowSolver, &luby(eps, 6));
+        let greedy = best_greedy(universe);
+        ours.verify(universe).expect("feasible");
+        ps.verify(universe).expect("feasible");
         let reference = if m <= 10 {
-            exact_optimum(&universe).profit
+            exact_optimum(universe).profit
         } else {
             ours.diagnostics.optimum_upper_bound
         };

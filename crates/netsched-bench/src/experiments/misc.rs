@@ -1,17 +1,27 @@
-//! E9, E10 and E11: worked examples, the capacitated extension and the
-//! distributed substrate measurements.
+//! E9, E10, E11 and E13: worked examples, the capacitated extension, the
+//! distributed substrate measurements and the Scheduler session-reuse
+//! experiment.
 
+use crate::measure;
 use crate::table::{f2, f3, int, Table};
 use netsched_baseline::exact_optimum;
-use netsched_core::{
-    solve_arbitrary_tree, solve_line_arbitrary, solve_sequential_tree, solve_unit_tree,
-    AlgorithmConfig,
+use netsched_core::{AlgorithmConfig, Scheduler, Solver, UnitTreeSolver};
+use netsched_distrib::{
+    maximal_independent_set, CommGraph, ConflictGraph, MisStrategy, RoundStats,
 };
-use netsched_distrib::{maximal_independent_set, CommGraph, ConflictGraph, MisStrategy, RoundStats};
 use netsched_graph::{fixtures, DemandId, NetworkId, Processor, ProcessorId, TreeProblem};
 use netsched_workloads::{HeightDistribution, ProfitDistribution, TreeTopology, TreeWorkload};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// The paper algorithms followed by the baselines — the same chaining the
+/// `netsched` facade exposes as `netsched::registry()` (this crate sits
+/// below the facade, so it assembles the list itself).
+fn full_registry() -> Vec<Box<dyn Solver>> {
+    let mut solvers = netsched_core::registry();
+    solvers.extend(netsched_baseline::registry());
+    solvers
+}
 
 fn luby(epsilon: f64, seed: u64) -> AlgorithmConfig {
     AlgorithmConfig {
@@ -21,67 +31,54 @@ fn luby(epsilon: f64, seed: u64) -> AlgorithmConfig {
     }
 }
 
-/// E9 — the paper's worked examples (Figures 1, 2 and 6) as concrete runs.
+/// E9 — the paper's worked examples (Figures 1, 2 and 6) as concrete runs
+/// of the full solver registry through one `Scheduler` session each.
 pub fn e9_worked_examples(_quick: bool) -> Vec<Table> {
     let mut table = Table::new(
-        "E9 — worked examples of the paper",
-        &["instance", "demands", "instances", "exact OPT", "algorithm", "profit", "feasible"],
+        "E9 — worked examples of the paper (full registry per session)",
+        &[
+            "instance",
+            "exact OPT",
+            "solver",
+            "profit",
+            "certified ratio",
+            "feasible",
+        ],
     )
-    .caption("Figures 1 and 6 of the paper, plus the two-tree routing example.");
+    .caption(
+        "Figures 1 and 6 of the paper plus the two-tree routing example; every \
+         registered solver that supports the shape runs on one shared session.",
+    );
 
-    // Figure 1: heights 0.5 / 0.7 / 0.4 on one resource.
-    {
-        let problem = fixtures::figure1_line_problem();
-        let universe = problem.universe();
-        let exact = exact_optimum(&universe);
-        let sol = solve_line_arbitrary(&problem, &luby(0.1, 9));
-        table.add_row(vec![
-            "Figure 1 (line, heights)".into(),
-            int(problem.num_demands() as u64),
-            int(universe.num_instances() as u64),
-            f2(exact.profit),
-            "Thm 7.2".into(),
-            f2(sol.profit),
-            if sol.verify(&universe).is_ok() { "yes".into() } else { "NO".into() },
-        ]);
-    }
-    // Figure 6 tree with the Section 4 demands.
-    {
-        let problem = fixtures::figure6_problem();
-        let universe = problem.universe();
-        let exact = exact_optimum(&universe);
-        for (label, sol) in [
-            ("Thm 5.3", solve_unit_tree(&problem, &luby(0.1, 9))),
-            ("Appendix A", solve_sequential_tree(&problem)),
-        ] {
+    let registry = full_registry();
+    let config = luby(0.1, 9);
+
+    let mut run_on = |label: &str, session: &Scheduler<'_>| {
+        let exact = exact_optimum(session.universe());
+        let portfolio = session.portfolio(&registry, &config);
+        for run in &portfolio.runs {
             table.add_row(vec![
-                "Figure 6 (tree, unit)".into(),
-                int(problem.num_demands() as u64),
-                int(universe.num_instances() as u64),
-                f2(exact.profit),
                 label.into(),
-                f2(sol.profit),
-                if sol.verify(&universe).is_ok() { "yes".into() } else { "NO".into() },
+                f2(exact.profit),
+                run.name.into(),
+                f2(run.solution.profit),
+                run.solution.certified_ratio().map_or("-".into(), f3),
+                if run.verified {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
             ]);
         }
-    }
-    // The two-tree routing example (Figure 2's moral: alternative networks
-    // resolve conflicts).
-    {
-        let problem = fixtures::two_tree_problem();
-        let universe = problem.universe();
-        let exact = exact_optimum(&universe);
-        let sol = solve_unit_tree(&problem, &luby(0.1, 9));
-        table.add_row(vec![
-            "Two spanning trees".into(),
-            int(problem.num_demands() as u64),
-            int(universe.num_instances() as u64),
-            f2(exact.profit),
-            "Thm 5.3".into(),
-            f2(sol.profit),
-            if sol.verify(&universe).is_ok() { "yes".into() } else { "NO".into() },
-        ]);
-    }
+    };
+
+    let figure1 = fixtures::figure1_line_problem();
+    run_on("Figure 1 (line, heights)", &Scheduler::for_line(&figure1));
+    let figure6 = fixtures::figure6_problem();
+    run_on("Figure 6 (tree, unit)", &Scheduler::for_tree(&figure6));
+    let two_tree = fixtures::two_tree_problem();
+    run_on("Two spanning trees", &Scheduler::for_tree(&two_tree));
+
     vec![table]
 }
 
@@ -91,21 +88,39 @@ pub fn e10_capacitated(quick: bool) -> Vec<Table> {
     let mut table = Table::new(
         "E10 — non-uniform edge capacities (IPPS capacitated extension)",
         &[
-            "n", "m", "capacity set", "profit", "reference", "%ref", "certified ratio",
+            "n",
+            "m",
+            "capacity set",
+            "profit",
+            "reference",
+            "%ref",
+            "certified ratio",
             "max edge load/capacity",
         ],
     )
-    .caption("Feasibility and certificates under per-edge capacities; loads never exceed capacities.");
-    let sizes: &[(usize, usize)] = if quick { &[(12, 10)] } else { &[(12, 10), (24, 24), (48, 48)] };
+    .caption(
+        "Feasibility and certificates under per-edge capacities; loads never exceed capacities.",
+    );
+    let sizes: &[(usize, usize)] = if quick {
+        &[(12, 10)]
+    } else {
+        &[(12, 10), (24, 24), (48, 48)]
+    };
     for &(n, m) in sizes {
-        for (label, caps) in [("uniform 1.0", vec![1.0]), ("{0.5, 1, 2}", vec![0.5, 1.0, 2.0])] {
+        for (label, caps) in [
+            ("uniform 1.0", vec![1.0]),
+            ("{0.5, 1, 2}", vec![0.5, 1.0, 2.0]),
+        ] {
             let workload = TreeWorkload {
                 vertices: n,
                 networks: 2,
                 demands: m,
                 topology: TreeTopology::RandomAttachment,
                 heights: HeightDistribution::Uniform { min: 0.1, max: 1.0 },
-                profits: ProfitDistribution::Uniform { min: 1.0, max: 16.0 },
+                profits: ProfitDistribution::Uniform {
+                    min: 1.0,
+                    max: 16.0,
+                },
                 seed: 0xE10 + n as u64,
                 ..TreeWorkload::default()
             };
@@ -118,11 +133,12 @@ pub fn e10_capacitated(quick: bool) -> Vec<Table> {
                     problem.set_capacity(NetworkId::new(t), e, c).unwrap();
                 }
             }
-            let universe = problem.universe();
-            let sol = solve_arbitrary_tree(&problem, &luby(0.1, 10));
-            sol.verify(&universe).expect("feasible under capacities");
+            let session = Scheduler::for_tree(&problem);
+            let universe = session.universe();
+            let sol = session.solve(&luby(0.1, 10));
+            sol.verify(universe).expect("feasible under capacities");
             let reference = if universe.num_instances() <= 20 {
-                exact_optimum(&universe).profit
+                exact_optimum(universe).profit
             } else {
                 sol.diagnostics.optimum_upper_bound
             };
@@ -132,8 +148,10 @@ pub fn e10_capacitated(quick: bool) -> Vec<Table> {
                 let network = NetworkId::new(t);
                 let loads = universe.edge_loads(network, &sol.selected);
                 for (e, &load) in loads.iter().enumerate() {
-                    let cap = universe
-                        .capacity(netsched_graph::GlobalEdge::new(network, netsched_graph::EdgeId::new(e)));
+                    let cap = universe.capacity(netsched_graph::GlobalEdge::new(
+                        network,
+                        netsched_graph::EdgeId::new(e),
+                    ));
                     max_rel = max_rel.max(load / cap);
                 }
             }
@@ -157,10 +175,24 @@ pub fn e10_capacitated(quick: bool) -> Vec<Table> {
 pub fn e11_distributed_substrate(quick: bool) -> Vec<Table> {
     let mut mis_table = Table::new(
         "E11 — Luby MIS on the conflict graph",
-        &["N (instances)", "conflict edges", "max degree", "MIS size", "MIS rounds", "messages", "3·log2 N"],
+        &[
+            "N (instances)",
+            "conflict edges",
+            "max degree",
+            "MIS size",
+            "MIS rounds",
+            "messages",
+            "3·log2 N",
+        ],
     )
-    .caption("Luby's algorithm needs O(log N) phases of 3 rounds each, independent of the diameter.");
-    let sizes: &[usize] = if quick { &[50, 200] } else { &[50, 200, 800, 2000] };
+    .caption(
+        "Luby's algorithm needs O(log N) phases of 3 rounds each, independent of the diameter.",
+    );
+    let sizes: &[usize] = if quick {
+        &[50, 200]
+    } else {
+        &[50, 200, 800, 2000]
+    };
     for &m in sizes {
         let workload = TreeWorkload {
             vertices: (m / 2).max(8),
@@ -174,7 +206,8 @@ pub fn e11_distributed_substrate(quick: bool) -> Vec<Table> {
         let graph = ConflictGraph::build(&universe);
         let active: Vec<_> = universe.instance_ids().collect();
         let mut stats = RoundStats::new();
-        let mis = maximal_independent_set(&graph, &active, MisStrategy::Luby { seed: 11 }, &mut stats);
+        let mis =
+            maximal_independent_set(&graph, &active, MisStrategy::Luby { seed: 11 }, &mut stats);
         mis_table.add_row(vec![
             int(graph.num_vertices() as u64),
             int(graph.num_edges() as u64),
@@ -191,7 +224,13 @@ pub fn e11_distributed_substrate(quick: bool) -> Vec<Table> {
     // algorithms cannot be polylogarithmic.
     let mut comm_table = Table::new(
         "E11b — communication-graph diameter",
-        &["construction", "processors", "resources", "edges", "diameter"],
+        &[
+            "construction",
+            "processors",
+            "resources",
+            "edges",
+            "diameter",
+        ],
     )
     .caption("Two processors communicate iff they share a resource (Section 1).");
     let m = if quick { 64 } else { 256 };
@@ -215,7 +254,13 @@ pub fn e11_distributed_substrate(quick: bool) -> Vec<Table> {
     ]);
     // Shared pool: everyone accesses resource 0.
     let pool: Vec<Processor> = (0..m)
-        .map(|i| Processor::new(ProcessorId::new(i), DemandId::new(i), vec![NetworkId::new(0)]))
+        .map(|i| {
+            Processor::new(
+                ProcessorId::new(i),
+                DemandId::new(i),
+                vec![NetworkId::new(0)],
+            )
+        })
         .collect();
     let pool_graph = CommGraph::build(&pool, 1);
     comm_table.add_row(vec![
@@ -249,10 +294,21 @@ pub fn e11_distributed_substrate(quick: bool) -> Vec<Table> {
     // demand records (Section 5, "the message size is bounded by M_max").
     let mut msg_table = Table::new(
         "E11c — message sizes during a full run (Theorem 5.3)",
-        &["n", "m", "rounds", "messages", "max records per message", "∆ + 1"],
+        &[
+            "n",
+            "m",
+            "rounds",
+            "messages",
+            "max records per message",
+            "∆ + 1",
+        ],
     )
     .caption("Each message carries O(1) demand records, matching the paper's O(M_max) bound.");
-    for &(n, m) in if quick { &[(24usize, 30usize)][..] } else { &[(24, 30), (64, 80)][..] } {
+    for &(n, m) in if quick {
+        &[(24usize, 30usize)][..]
+    } else {
+        &[(24, 30), (64, 80)][..]
+    } {
         let workload = TreeWorkload {
             vertices: n,
             networks: 2,
@@ -261,7 +317,7 @@ pub fn e11_distributed_substrate(quick: bool) -> Vec<Table> {
             ..TreeWorkload::default()
         };
         let problem = workload.build().expect("valid workload");
-        let sol = solve_unit_tree(&problem, &luby(0.1, 11));
+        let sol = Scheduler::for_tree(&problem).solve_with(&UnitTreeSolver, &luby(0.1, 11));
         msg_table.add_row(vec![
             int(n as u64),
             int(m as u64),
@@ -277,10 +333,7 @@ pub fn e11_distributed_substrate(quick: bool) -> Vec<Table> {
 
 /// Re-exported helper used by the CLI to also dump scenario descriptions.
 pub fn scenario_overview() -> Table {
-    let mut table = Table::new(
-        "Named scenarios",
-        &["name", "kind", "description"],
-    );
+    let mut table = Table::new("Named scenarios", &["name", "kind", "description"]);
     for s in netsched_workloads::named_scenarios() {
         let kind = match &s {
             netsched_workloads::Scenario::Tree { .. } => "tree",
@@ -295,3 +348,117 @@ pub fn scenario_overview() -> Table {
     table
 }
 
+/// E13 — the Scheduler session: cold solve (universe + decomposition built)
+/// vs cached solves across an ε sweep, and the total cost of the old
+/// one-call-one-rebuild pattern vs one session.
+pub fn e13_session_reuse(quick: bool) -> Vec<Table> {
+    let mut table = Table::new(
+        "E13 — Scheduler session reuse across an ε sweep",
+        &[
+            "n",
+            "m",
+            "sweep size",
+            "per-call rebuild (ms)",
+            "one session (ms)",
+            "speedup",
+            "universe builds",
+            "decomp builds",
+        ],
+    )
+    .caption(
+        "The sweep solves the same instance at several accuracies; the session builds the \
+         universe and layered decomposition once, the old free-function path rebuilt them \
+         on every call.",
+    );
+    let sizes: &[(usize, usize)] = if quick {
+        &[(48, 64)]
+    } else {
+        &[(48, 64), (96, 128), (192, 256)]
+    };
+    let epsilons: &[f64] = if quick {
+        &[0.5, 0.2, 0.1]
+    } else {
+        &[0.5, 0.3, 0.2, 0.1, 0.05]
+    };
+    for &(n, m) in sizes {
+        let workload = TreeWorkload {
+            vertices: n,
+            networks: 3,
+            demands: m,
+            seed: 0xE13 + n as u64,
+            ..TreeWorkload::default()
+        };
+        let problem = workload.build().expect("valid workload");
+
+        let (naive_profits, naive_ms) = measure::timed(|| {
+            epsilons
+                .iter()
+                .map(|&eps| {
+                    // The historical pattern: every call opens its own
+                    // session, so universe + decomposition are rebuilt.
+                    netsched_core::solve_unit_tree(&problem, &luby(eps, 13)).profit
+                })
+                .collect::<Vec<f64>>()
+        });
+
+        let session = Scheduler::for_tree(&problem);
+        let (session_profits, session_ms) = measure::timed(|| {
+            epsilons
+                .iter()
+                .map(|&eps| session.solve_with(&UnitTreeSolver, &luby(eps, 13)).profit)
+                .collect::<Vec<f64>>()
+        });
+        assert_eq!(
+            naive_profits, session_profits,
+            "session must not change results"
+        );
+        let counts = session.build_counts();
+        assert_eq!(counts.universe, 1);
+        assert_eq!(counts.layering, 1);
+
+        table.add_row(vec![
+            int(n as u64),
+            int(m as u64),
+            int(epsilons.len() as u64),
+            f2(naive_ms),
+            f2(session_ms),
+            f2(naive_ms / session_ms.max(1e-9)),
+            int(counts.universe as u64),
+            int(counts.layering as u64),
+        ]);
+    }
+
+    // A second table: the portfolio over the full registry on one session.
+    let mut portfolio_table = Table::new(
+        "E13b — portfolio over the full registry on one session",
+        &[
+            "instance",
+            "solvers run",
+            "best solver",
+            "best profit",
+            "universe builds",
+        ],
+    )
+    .caption("All supporting solvers share one set of caches; the best verified run wins.");
+    let workload = TreeWorkload {
+        vertices: 14,
+        networks: 2,
+        demands: 10,
+        seed: 0xE13B,
+        ..TreeWorkload::default()
+    };
+    let problem = workload.build().expect("valid workload");
+    let session = Scheduler::for_tree(&problem);
+    let registry = full_registry();
+    let portfolio = session.portfolio(&registry, &luby(0.1, 13));
+    let best = portfolio.best().expect("verified best run");
+    portfolio_table.add_row(vec![
+        "tree n=14 m=10".into(),
+        int(portfolio.runs.len() as u64),
+        best.name.into(),
+        f2(best.solution.profit),
+        int(session.build_counts().universe as u64),
+    ]);
+
+    vec![table, portfolio_table]
+}

@@ -84,6 +84,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             description: "Ablation: ideal vs balancing vs root-fixing vs Appendix-A layerings in the engine",
             run: tree::e12_layering_ablation,
         },
+        Experiment {
+            id: "e13",
+            description: "Scheduler session reuse: cold vs cached solves across an eps sweep, plus a registry portfolio",
+            run: misc::e13_session_reuse,
+        },
     ]
 }
 
@@ -97,15 +102,15 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_twelve_unique_experiments() {
+    fn registry_has_thirteen_unique_experiments() {
         let all = all_experiments();
-        assert_eq!(all.len(), 12);
+        assert_eq!(all.len(), 13);
         let mut ids: Vec<&str> = all.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 12);
+        assert_eq!(ids.len(), 13);
         assert!(find("e3").is_some());
-        assert!(find("e12").is_some());
+        assert!(find("e13").is_some());
         assert!(find("e42").is_none());
     }
 

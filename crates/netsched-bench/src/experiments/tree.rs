@@ -4,9 +4,7 @@
 use crate::measure;
 use crate::table::{f2, f3, int, Table};
 use netsched_baseline::{best_greedy, exact_optimum};
-use netsched_core::{
-    solve_arbitrary_tree, solve_sequential_tree, solve_unit_tree, AlgorithmConfig,
-};
+use netsched_core::{AlgorithmConfig, Scheduler, SequentialTreeSolver, UnitTreeSolver};
 use netsched_distrib::MisStrategy;
 use netsched_workloads::{HeightDistribution, ProfitDistribution, TreeTopology, TreeWorkload};
 use rayon::prelude::*;
@@ -31,8 +29,16 @@ pub fn e3_unit_tree(quick: bool) -> Vec<Table> {
     let mut quality = Table::new(
         "E3 — unit-height tree networks (Theorem 5.3): quality",
         &[
-            "n", "r", "m", "ours profit", "seq profit", "greedy profit", "reference",
-            "ours %ref", "certified ratio", "paper bound",
+            "n",
+            "r",
+            "m",
+            "ours profit",
+            "seq profit",
+            "greedy profit",
+            "reference",
+            "ours %ref",
+            "certified ratio",
+            "paper bound",
         ],
     )
     .caption(
@@ -49,18 +55,24 @@ pub fn e3_unit_tree(quick: bool) -> Vec<Table> {
                 demands: m,
                 topology: TreeTopology::RandomAttachment,
                 access_probability: 0.6,
-                profits: ProfitDistribution::Uniform { min: 1.0, max: 32.0 },
+                profits: ProfitDistribution::Uniform {
+                    min: 1.0,
+                    max: 32.0,
+                },
                 heights: HeightDistribution::Unit,
                 seed: 0xE3 + n as u64,
             };
             let problem = workload.build().expect("valid workload");
-            let universe = problem.universe();
-            let ours = solve_unit_tree(&problem, &luby(0.1, 1));
-            ours.verify(&universe).expect("feasible");
-            let seq = solve_sequential_tree(&problem);
-            let greedy = best_greedy(&universe);
+            // One session per instance: the universe and decomposition are
+            // shared by the distributed, sequential and greedy runs.
+            let session = Scheduler::for_tree(&problem);
+            let universe = session.universe();
+            let ours = session.solve_with(&UnitTreeSolver, &luby(0.1, 1));
+            ours.verify(universe).expect("feasible");
+            let seq = session.solve_with(&SequentialTreeSolver, &luby(0.1, 1));
+            let greedy = best_greedy(universe);
             let (reference, ref_label) = if n <= 12 {
-                (exact_optimum(&universe).profit, "exact")
+                (exact_optimum(universe).profit, "exact")
             } else {
                 (ours.diagnostics.optimum_upper_bound, "dual UB")
             };
@@ -86,22 +98,42 @@ pub fn e3_unit_tree(quick: bool) -> Vec<Table> {
     // (Theorem 5.3: O(Time(MIS) · log n · log(1/ε) · log(pmax/pmin))).
     let mut rounds = Table::new(
         "E3b — round complexity scaling (Theorem 5.3)",
-        &["n", "ε", "epochs", "stages/epoch", "steps", "MIS rounds", "total rounds", "messages"],
+        &[
+            "n",
+            "ε",
+            "epochs",
+            "stages/epoch",
+            "steps",
+            "MIS rounds",
+            "total rounds",
+            "messages",
+        ],
     )
     .caption("Rounds grow with log n (epochs) and log(1/ε) (stages), not with m.");
-    let ns: &[usize] = if quick { &[32, 64] } else { &[32, 64, 128, 256] };
+    let ns: &[usize] = if quick {
+        &[32, 64]
+    } else {
+        &[32, 64, 128, 256]
+    };
     for &n in ns {
-        for &eps in if quick { &[0.2, 0.05][..] } else { &[0.5, 0.2, 0.1, 0.05][..] } {
+        for &eps in if quick {
+            &[0.2, 0.05][..]
+        } else {
+            &[0.5, 0.2, 0.1, 0.05][..]
+        } {
             let workload = TreeWorkload {
                 vertices: n,
                 networks: 3,
                 demands: n,
                 seed: 0xE3B + n as u64,
-                profits: ProfitDistribution::Uniform { min: 1.0, max: 16.0 },
+                profits: ProfitDistribution::Uniform {
+                    min: 1.0,
+                    max: 16.0,
+                },
                 ..TreeWorkload::default()
             };
             let problem = workload.build().expect("valid workload");
-            let sol = solve_unit_tree(&problem, &luby(eps, 3));
+            let sol = Scheduler::for_tree(&problem).solve_with(&UnitTreeSolver, &luby(eps, 3));
             rounds.add_row(vec![
                 int(n as u64),
                 f2(eps),
@@ -124,31 +156,49 @@ pub fn e4_arbitrary_tree(quick: bool) -> Vec<Table> {
     let mut table = Table::new(
         "E4 — arbitrary heights on tree networks (Theorem 6.3)",
         &[
-            "h_min", "profit", "reference", "%ref", "certified ratio", "stages/epoch",
-            "rounds", "paper bound",
+            "h_min",
+            "profit",
+            "reference",
+            "%ref",
+            "certified ratio",
+            "stages/epoch",
+            "rounds",
+            "paper bound",
         ],
     )
     .caption(
         "Stages per epoch grow like 1/h_min (Lemma 6.2); the certified ratio stays far \
          below the 80+ε worst case.",
     );
-    let hmins: &[f64] = if quick { &[0.5, 0.1] } else { &[0.5, 0.25, 0.1, 0.05] };
+    let hmins: &[f64] = if quick {
+        &[0.5, 0.1]
+    } else {
+        &[0.5, 0.25, 0.1, 0.05]
+    };
     for &hmin in hmins {
         let workload = TreeWorkload {
             vertices: if quick { 20 } else { 32 },
             networks: 2,
             demands: if quick { 16 } else { 40 },
-            heights: HeightDistribution::Uniform { min: hmin, max: 1.0 },
-            profits: ProfitDistribution::Uniform { min: 1.0, max: 16.0 },
+            heights: HeightDistribution::Uniform {
+                min: hmin,
+                max: 1.0,
+            },
+            profits: ProfitDistribution::Uniform {
+                min: 1.0,
+                max: 16.0,
+            },
             seed: 0xE4,
             ..TreeWorkload::default()
         };
         let problem = workload.build().expect("valid workload");
-        let universe = problem.universe();
-        let sol = solve_arbitrary_tree(&problem, &luby(0.1, 4));
-        sol.verify(&universe).expect("feasible");
+        // Mixed heights: the dispatch table auto-selects Theorem 6.3.
+        let session = Scheduler::for_tree(&problem);
+        let universe = session.universe();
+        let sol = session.solve(&luby(0.1, 4));
+        sol.verify(universe).expect("feasible");
         let (reference, label) = if universe.num_instances() <= 24 {
-            (exact_optimum(&universe).profit, "exact")
+            (exact_optimum(universe).profit, "exact")
         } else {
             (sol.diagnostics.optimum_upper_bound, "dual UB")
         };
@@ -171,10 +221,18 @@ pub fn e4_arbitrary_tree(quick: bool) -> Vec<Table> {
 pub fn e7_steps_per_stage(quick: bool) -> Vec<Table> {
     let mut table = Table::new(
         "E7 — steps per stage vs profit spread (Lemma 5.1, Claim 5.2)",
-        &["p_max/p_min", "max steps/stage", "bound 1+log2(spread)", "total steps", "rounds"],
+        &[
+            "p_max/p_min",
+            "max steps/stage",
+            "bound 1+log2(spread)",
+            "total steps",
+            "rounds",
+        ],
     )
-    .caption("Claim 5.2: within a stage, surviving unsatisfied instances double in profit, so \
-              steps per stage ≤ 1 + log2(p_max/p_min).");
+    .caption(
+        "Claim 5.2: within a stage, surviving unsatisfied instances double in profit, so \
+              steps per stage ≤ 1 + log2(p_max/p_min).",
+    );
     let exponents: &[u32] = if quick { &[0, 4, 8] } else { &[0, 2, 4, 8, 12] };
     for &k in exponents {
         let workload = TreeWorkload {
@@ -186,7 +244,7 @@ pub fn e7_steps_per_stage(quick: bool) -> Vec<Table> {
             ..TreeWorkload::default()
         };
         let problem = workload.build().expect("valid workload");
-        let sol = solve_unit_tree(&problem, &luby(0.1, 7));
+        let sol = Scheduler::for_tree(&problem).solve_with(&UnitTreeSolver, &luby(0.1, 7));
         let bound = 1.0 + k as f64;
         assert!(
             sol.diagnostics.max_steps_per_stage as f64 <= bound + 1.0,
@@ -211,8 +269,14 @@ pub fn e8_sequential_vs_distributed(quick: bool) -> Vec<Table> {
     let mut table = Table::new(
         "E8 — sequential (Appendix A) vs distributed (Theorem 5.3)",
         &[
-            "seed", "exact", "seq profit", "seq ratio", "seq rounds", "dist profit",
-            "dist ratio", "dist rounds",
+            "seed",
+            "exact",
+            "seq profit",
+            "seq ratio",
+            "seq rounds",
+            "dist profit",
+            "dist ratio",
+            "dist rounds",
         ],
     )
     .caption(
@@ -232,10 +296,10 @@ pub fn e8_sequential_vs_distributed(quick: bool) -> Vec<Table> {
                 ..TreeWorkload::default()
             };
             let problem = workload.build().expect("valid workload");
-            let universe = problem.universe();
-            let exact = exact_optimum(&universe);
-            let seq = solve_sequential_tree(&problem);
-            let dist = solve_unit_tree(&problem, &luby(0.1, seed));
+            let session = Scheduler::for_tree(&problem);
+            let exact = exact_optimum(session.universe());
+            let seq = session.solve_with(&SequentialTreeSolver, &luby(0.1, seed));
+            let dist = session.solve_with(&UnitTreeSolver, &luby(0.1, seed));
             vec![
                 int(seed),
                 f2(exact.profit),
@@ -267,7 +331,15 @@ pub fn e12_layering_ablation(quick: bool) -> Vec<Table> {
 
     let mut table = Table::new(
         "E12 — ablation: layered-decomposition choice (unit rule)",
-        &["layering", "∆", "epochs", "profit", "certified ratio", "worst-case bound", "rounds"],
+        &[
+            "layering",
+            "∆",
+            "epochs",
+            "profit",
+            "certified ratio",
+            "worst-case bound",
+            "rounds",
+        ],
     )
     .caption(
         "The ideal layering keeps both ∆ (approximation) and the number of epochs (rounds) \

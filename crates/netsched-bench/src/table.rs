@@ -106,7 +106,9 @@ mod tests {
         assert!(s.contains("| 1024 |"));
         assert_eq!(t.num_rows(), 2);
         // Header separator present.
-        assert!(s.lines().any(|l| l.starts_with("|---") || l.starts_with("|--")));
+        assert!(s
+            .lines()
+            .any(|l| l.starts_with("|---") || l.starts_with("|--")));
     }
 
     #[test]

@@ -14,10 +14,9 @@ use crate::solution::Solution;
 use netsched_decomp::InstanceLayering;
 use netsched_distrib::{maximal_independent_set, ConflictGraph, MisStrategy, RoundStats};
 use netsched_graph::{DemandInstanceUniverse, InstanceId, EPS};
-use serde::{Deserialize, Serialize};
 
 /// One first-phase step (one MIS computation plus the simultaneous raises).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StepRecord {
     /// Epoch index (group of the layered decomposition).
     pub epoch: usize,
@@ -33,7 +32,7 @@ pub struct StepRecord {
 }
 
 /// A full trace of the first phase.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
     /// Every step in execution order.
     pub steps: Vec<StepRecord>,
@@ -89,7 +88,10 @@ impl Trace {
         let mut by_stage: HashMap<(usize, usize), Vec<(usize, InstanceId)>> = HashMap::new();
         for s in &self.steps {
             for (d, _) in &s.raised {
-                by_stage.entry((s.epoch, s.stage)).or_default().push((s.step, *d));
+                by_stage
+                    .entry((s.epoch, s.stage))
+                    .or_default()
+                    .push((s.step, *d));
             }
         }
         let mut best: Vec<InstanceId> = Vec::new();
@@ -177,12 +179,8 @@ pub fn run_two_phase_traced(
                         seed: seed ^ ((epoch as u64) << 40 | (stage as u64) << 20 | step as u64),
                     },
                 };
-                let mis = maximal_independent_set(
-                    &conflict,
-                    &unsatisfied,
-                    strategy,
-                    &mut scratch_stats,
-                );
+                let mis =
+                    maximal_independent_set(&conflict, &unsatisfied, strategy, &mut scratch_stats);
                 let mut raised = Vec::with_capacity(mis.len());
                 for &d in &mis {
                     let delta = duals.raise(universe, d, layering.critical(d));
@@ -265,8 +263,12 @@ mod tests {
         let p = figure6_problem();
         let u = p.universe();
         let layering = InstanceLayering::for_tree_problem(&p, &u, TreeDecompositionKind::Ideal);
-        let (sol, trace) =
-            run_two_phase_traced(&u, &layering, RaiseRule::Unit, &AlgorithmConfig::deterministic(0.1));
+        let (sol, trace) = run_two_phase_traced(
+            &u,
+            &layering,
+            RaiseRule::Unit,
+            &AlgorithmConfig::deterministic(0.1),
+        );
         let delta_sum: f64 = trace
             .steps
             .iter()
@@ -282,7 +284,10 @@ mod tests {
         for d in &sol.raised_instances {
             assert!(trace.delta_of(*d) > 0.0);
         }
-        assert_eq!(trace.delta_of(InstanceId::new(9999.min(u.num_instances() as u32 as usize))), 0.0);
+        assert_eq!(
+            trace.delta_of(InstanceId::new(9999.min(u.num_instances() as u32 as usize))),
+            0.0
+        );
     }
 
     #[test]
@@ -292,8 +297,12 @@ mod tests {
         let p = random_problem(7, 24, 30);
         let u = p.universe();
         let layering = InstanceLayering::for_tree_problem(&p, &u, TreeDecompositionKind::Ideal);
-        let (_, trace) =
-            run_two_phase_traced(&u, &layering, RaiseRule::Unit, &AlgorithmConfig::deterministic(0.1));
+        let (_, trace) = run_two_phase_traced(
+            &u,
+            &layering,
+            RaiseRule::Unit,
+            &AlgorithmConfig::deterministic(0.1),
+        );
         let conflict = ConflictGraph::build(&u);
         let chain = trace.longest_kill_chain(&u, &conflict);
         assert!(!chain.is_empty());

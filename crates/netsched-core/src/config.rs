@@ -1,7 +1,6 @@
 //! Configuration of the distributed algorithms.
 
 use netsched_distrib::MisStrategy;
-use serde::{Deserialize, Serialize};
 
 /// Tunables shared by every algorithm in this crate.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,7 +56,7 @@ impl AlgorithmConfig {
 
 /// The per-demand-instance dual constraint form used by the two-phase
 /// engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RaiseRule {
     /// Section 3.2 (unit-height / wide instances): the constraint is
     /// `α(a_d) + Σ_{e ∼ d} β(e) ≥ p(d)`; raising adds `δ = s / (|π(d)| + 1)`

@@ -55,7 +55,11 @@ impl DualState {
 
     /// The *relative height* of instance `d` on edge `e`: `h(d) / c(e)`.
     /// Equal to `h(d)` in the uniform-capacity setting of the arXiv text.
-    fn relative_height(universe: &DemandInstanceUniverse, d: InstanceId, edge: netsched_graph::EdgeId) -> f64 {
+    fn relative_height(
+        universe: &DemandInstanceUniverse,
+        d: InstanceId,
+        edge: netsched_graph::EdgeId,
+    ) -> f64 {
         let inst = universe.instance(d);
         inst.height / universe.capacity(netsched_graph::GlobalEdge::new(inst.network, edge))
     }
@@ -99,7 +103,12 @@ impl DualState {
     }
 
     /// Returns `true` if `d` is ξ-satisfied: `LHS ≥ ξ · p(d)` (Section 3.2).
-    pub fn is_xi_satisfied(&self, universe: &DemandInstanceUniverse, d: InstanceId, xi: f64) -> bool {
+    pub fn is_xi_satisfied(
+        &self,
+        universe: &DemandInstanceUniverse,
+        d: InstanceId,
+        xi: f64,
+    ) -> bool {
         self.lhs(universe, d) + netsched_graph::EPS >= xi * universe.profit(d)
     }
 
@@ -281,7 +290,8 @@ mod tests {
         let t = p
             .add_network(vec![(VertexId(0), VertexId(1)), (VertexId(1), VertexId(2))])
             .unwrap();
-        p.add_demand(VertexId(0), VertexId(2), 1.0, 0.6, vec![t]).unwrap();
+        p.add_demand(VertexId(0), VertexId(2), 1.0, 0.6, vec![t])
+            .unwrap();
         p.set_capacity(t, 0, 2.0).unwrap();
         let u = p.universe();
         let d = InstanceId::new(0);

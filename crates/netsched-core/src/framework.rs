@@ -169,12 +169,7 @@ pub fn run_two_phase(
 
 /// Derives a per-step MIS strategy from the base configuration so that
 /// every step uses fresh (but reproducible) randomness.
-fn derive_strategy(
-    config: &AlgorithmConfig,
-    epoch: usize,
-    stage: usize,
-    step: u64,
-) -> MisStrategy {
+fn derive_strategy(config: &AlgorithmConfig, epoch: usize, stage: usize, step: u64) -> MisStrategy {
     match config.mis {
         MisStrategy::SequentialGreedy => MisStrategy::SequentialGreedy,
         MisStrategy::Luby { seed } => {
@@ -229,12 +224,13 @@ mod tests {
             while v == u {
                 v = rng.gen_range(0..n);
             }
-            let access: Vec<NetworkId> = nets
-                .iter()
-                .copied()
-                .filter(|_| rng.gen_bool(0.6))
-                .collect();
-            let access = if access.is_empty() { vec![nets[0]] } else { access };
+            let access: Vec<NetworkId> =
+                nets.iter().copied().filter(|_| rng.gen_bool(0.6)).collect();
+            let access = if access.is_empty() {
+                vec![nets[0]]
+            } else {
+                access
+            };
             p.add_unit_demand(
                 VertexId::new(u),
                 VertexId::new(v),
@@ -271,7 +267,12 @@ mod tests {
         let p = figure6_problem();
         let u = p.universe();
         let layering = InstanceLayering::for_tree_problem(&p, &u, TreeDecompositionKind::Ideal);
-        let sol = run_two_phase(&u, &layering, RaiseRule::Unit, &AlgorithmConfig::deterministic(0.1));
+        let sol = run_two_phase(
+            &u,
+            &layering,
+            RaiseRule::Unit,
+            &AlgorithmConfig::deterministic(0.1),
+        );
         sol.verify(&u).unwrap();
         assert!(sol.profit > 0.0);
         assert!(sol.diagnostics.lambda >= 1.0 - 0.1 - 1e-9);
@@ -283,7 +284,12 @@ mod tests {
         let p = two_tree_problem();
         let u = p.universe();
         let layering = InstanceLayering::for_tree_problem(&p, &u, TreeDecompositionKind::Ideal);
-        let sol = run_two_phase(&u, &layering, RaiseRule::Unit, &AlgorithmConfig::deterministic(0.05));
+        let sol = run_two_phase(
+            &u,
+            &layering,
+            RaiseRule::Unit,
+            &AlgorithmConfig::deterministic(0.05),
+        );
         sol.verify(&u).unwrap();
         // The three demands have total profit 7.5; at least two of them can
         // always be scheduled (demand 0 via tree 1 and demand 1 via tree 0,
@@ -299,8 +305,12 @@ mod tests {
         let p = figure1_line_problem();
         let u = p.universe();
         let layering = InstanceLayering::line_length_classes(&u);
-        let sol =
-            run_two_phase(&u, &layering, RaiseRule::Narrow, &AlgorithmConfig::deterministic(0.1));
+        let sol = run_two_phase(
+            &u,
+            &layering,
+            RaiseRule::Narrow,
+            &AlgorithmConfig::deterministic(0.1),
+        );
         sol.verify(&u).unwrap();
         // {A, C} or {B, C} (profit 2) are feasible; the engine should find
         // a solution of profit at least 1.
@@ -328,8 +338,12 @@ mod tests {
         }
         let u = p.universe();
         let layering = InstanceLayering::line_length_classes(&u);
-        let sol =
-            run_two_phase(&u, &layering, RaiseRule::Narrow, &AlgorithmConfig::deterministic(0.1));
+        let sol = run_two_phase(
+            &u,
+            &layering,
+            RaiseRule::Narrow,
+            &AlgorithmConfig::deterministic(0.1),
+        );
         sol.verify(&u).unwrap();
         let d = sol.diagnostics;
         assert!(
@@ -348,13 +362,12 @@ mod tests {
         for seed in 0..4u64 {
             let p = random_unit_tree_problem(seed, 24, 3, 20);
             let u = p.universe();
-            let layering =
-                InstanceLayering::for_tree_problem(&p, &u, TreeDecompositionKind::Ideal);
+            let layering = InstanceLayering::for_tree_problem(&p, &u, TreeDecompositionKind::Ideal);
             check_interference_property(&u, &layering).unwrap();
             let cfg = AlgorithmConfig {
                 epsilon: 0.1,
                 mis: MisStrategy::Luby { seed: 99 + seed },
-                seed: seed,
+                seed,
             };
             let sol = run_two_phase(&u, &layering, RaiseRule::Unit, &cfg);
             sol.verify(&u).unwrap();
@@ -374,16 +387,21 @@ mod tests {
         let p = random_unit_tree_problem(7, 20, 2, 15);
         let u = p.universe();
         let layering = InstanceLayering::for_tree_problem(&p, &u, TreeDecompositionKind::Ideal);
-        let sol = run_two_phase(&u, &layering, RaiseRule::Unit, &AlgorithmConfig::deterministic(0.1));
+        let sol = run_two_phase(
+            &u,
+            &layering,
+            RaiseRule::Unit,
+            &AlgorithmConfig::deterministic(0.1),
+        );
         let conflict = ConflictGraph::build(&u);
         assert!(!sol.raised_instances.is_empty());
         for &d in &sol.raised_instances {
             let covered = sol.selected.contains(&d)
-                || sol
-                    .selected
-                    .iter()
-                    .any(|&s| conflict.are_conflicting(s, d));
-            assert!(covered, "raised instance {d} is neither selected nor blocked");
+                || sol.selected.iter().any(|&s| conflict.are_conflicting(s, d));
+            assert!(
+                covered,
+                "raised instance {d} is neither selected nor blocked"
+            );
         }
     }
 
@@ -392,7 +410,12 @@ mod tests {
         let p = random_unit_tree_problem(11, 30, 3, 25);
         let u = p.universe();
         let layering = InstanceLayering::for_tree_problem(&p, &u, TreeDecompositionKind::Ideal);
-        let det = run_two_phase(&u, &layering, RaiseRule::Unit, &AlgorithmConfig::deterministic(0.1));
+        let det = run_two_phase(
+            &u,
+            &layering,
+            RaiseRule::Unit,
+            &AlgorithmConfig::deterministic(0.1),
+        );
         let rnd = run_two_phase(
             &u,
             &layering,
@@ -440,7 +463,12 @@ mod tests {
         }
         let u = p.universe();
         let layering = InstanceLayering::for_tree_problem(&p, &u, TreeDecompositionKind::Ideal);
-        let sol = run_two_phase(&u, &layering, RaiseRule::Unit, &AlgorithmConfig::deterministic(0.1));
+        let sol = run_two_phase(
+            &u,
+            &layering,
+            RaiseRule::Unit,
+            &AlgorithmConfig::deterministic(0.1),
+        );
         let ratio: f64 = 16.0;
         assert!(
             (sol.diagnostics.max_steps_per_stage as f64) <= ratio.log2() + 2.0,
@@ -488,7 +516,12 @@ mod tests {
         }
         let u = p.universe();
         let layering = InstanceLayering::line_length_classes(&u);
-        let sol = run_two_phase(&u, &layering, RaiseRule::Unit, &AlgorithmConfig::deterministic(0.1));
+        let sol = run_two_phase(
+            &u,
+            &layering,
+            RaiseRule::Unit,
+            &AlgorithmConfig::deterministic(0.1),
+        );
         sol.verify(&u).unwrap();
         assert!(sol.profit > 0.0);
         assert_lemma_3_1(&sol);

@@ -1,22 +1,41 @@
 //! The scheduling algorithms of "Distributed Algorithms for Scheduling on
 //! Line and Tree Networks" (Chakaravarthy, Roy, Sabharwal; arXiv:1205.1924,
-//! IPPS 2013).
+//! IPPS 2013), behind a unified [`Solver`] trait and a cached [`Scheduler`]
+//! session API.
 //!
-//! The crate is organized around a single generic engine,
-//! [`framework::run_two_phase`], which implements the two-phase primal-dual
-//! framework of Section 3.2 on top of a demand-instance universe
-//! (`netsched-graph`), a layered decomposition (`netsched-decomp`) and the
-//! distributed MIS substrate (`netsched-distrib`). The concrete algorithms
-//! differ only in which layering and raise rule they pass in:
+//! # Architecture
 //!
-//! | Entry point | Paper result | Guarantee |
-//! |---|---|---|
-//! | [`tree::solve_unit_tree`] | Theorem 5.3 | `(7 + ε)` |
-//! | [`tree::solve_narrow_tree`] | Lemma 6.2 | `(73 + ε)` |
-//! | [`tree::solve_arbitrary_tree`] | Theorem 6.3 | `(80 + ε)` |
-//! | [`line::solve_line_unit`] | Theorem 7.1 | `(4 + ε)` |
-//! | [`line::solve_line_arbitrary`] | Theorem 7.2 | `(23 + ε)` |
-//! | [`sequential::solve_sequential_tree`] | Appendix A | `3` (sequential) |
+//! All six of the paper's algorithms are instantiations of one two-phase
+//! primal-dual engine, [`framework::run_two_phase`], over a demand-instance
+//! universe (`netsched-graph`), a layered decomposition (`netsched-decomp`)
+//! and the distributed MIS substrate (`netsched-distrib`); they differ only
+//! in the layering and the raise rule. The [`solver`] module lifts each of
+//! them into a [`Solver`] implementation, and [`Scheduler`] provides the
+//! session: it builds the universe, the layerings and the wide/narrow split
+//! **once** and reuses them across repeated solves with different `ε`,
+//! [`RaiseRule`] or seeds.
+//!
+//! # The dispatch table
+//!
+//! [`Scheduler::solve`] auto-selects the paper algorithm from the instance
+//! shape (see [`Scheduler::auto_solver`]):
+//!
+//! | shape | heights | solver | paper result | guarantee |
+//! |---|---|---|---|---|
+//! | tree | all wide (`h > 1/2`, incl. unit) | [`UnitTreeSolver`] | Theorem 5.3 | `7/(1−ε)` |
+//! | tree | all narrow (`h ≤ 1/2`) | [`NarrowTreeSolver`] | Lemma 6.2 | `73/(1−ε)` |
+//! | tree | mixed | [`ArbitraryTreeSolver`] | Theorem 6.3 | `80/(1−ε)` |
+//! | line | all wide | [`LineUnitSolver`] | Theorem 7.1 | `4/(1−ε)` |
+//! | line | all narrow | [`LineNarrowSolver`] | Section 7 (narrow) | `19/(1−ε)` |
+//! | line | mixed | [`LineArbitrarySolver`] | Theorem 7.2 | `23/(1−ε)` |
+//!
+//! [`SequentialTreeSolver`] (Appendix A, sequential `3`-approximation) is in
+//! the [`registry`] but never auto-selected: it trades polylogarithmic round
+//! complexity for the better constant.
+//!
+//! The historical free functions ([`solve_unit_tree`],
+//! [`solve_line_arbitrary`], …) remain as thin wrappers that create a
+//! single-call session and delegate to the corresponding solver.
 //!
 //! Every solution carries a dual certificate: `diagnostics.optimum_upper_bound`
 //! is a valid upper bound on the optimum (weak duality), so
@@ -38,13 +57,25 @@ pub mod framework;
 pub mod line;
 pub mod sequential;
 pub mod solution;
+pub mod solver;
 pub mod tree;
 
 pub use analysis::{run_two_phase_traced, StepRecord, Trace};
 pub use config::{approximation_bound, stage_xi, stages_per_epoch, AlgorithmConfig, RaiseRule};
 pub use duals::DualState;
 pub use framework::{check_interference_property, run_two_phase};
-pub use line::{solve_line_arbitrary, solve_line_narrow, solve_line_unit};
-pub use sequential::solve_sequential_tree;
+pub use line::{
+    solve_line_arbitrary, solve_line_arbitrary_on, solve_line_narrow, solve_line_narrow_on,
+    solve_line_unit, solve_line_unit_on,
+};
+pub use sequential::{run_sequential, solve_sequential_on, solve_sequential_tree};
 pub use solution::{RunDiagnostics, Solution};
-pub use tree::{solve_arbitrary_tree, solve_narrow_tree, solve_unit_tree, subproblem};
+pub use solver::{
+    registry, ArbitraryTreeSolver, BuildCounts, LineArbitrarySolver, LineNarrowSolver,
+    LineUnitSolver, NarrowTreeSolver, Portfolio, PortfolioRun, Problem, ProblemKind, Scheduler,
+    SequentialTreeSolver, SolveContext, Solver, SplitPart, UnitTreeSolver,
+};
+pub use tree::{
+    solve_arbitrary_tree, solve_arbitrary_tree_on, solve_narrow_tree, solve_narrow_tree_on,
+    solve_unit_tree, solve_unit_tree_on, subproblem,
+};

@@ -6,16 +6,18 @@
 //! and therefore a `(4 + ε)`-approximation for unit heights
 //! (Theorem 7.1) and `(23 + ε)` for arbitrary heights (Theorem 7.2).
 //!
-//! All returned instance ids refer to `problem.universe()`.
+//! The entry points are thin wrappers over the [`crate::Scheduler`] session
+//! API (the algorithm bodies live in [`crate::LineUnitSolver`],
+//! [`crate::LineNarrowSolver`] and [`crate::LineArbitrarySolver`]); the
+//! `_on` variants run directly on a prebuilt universe. All returned
+//! instance ids refer to `problem.universe()`.
 
 use crate::config::{AlgorithmConfig, RaiseRule};
 use crate::framework::run_two_phase;
-use crate::solution::{RunDiagnostics, Solution};
+use crate::solution::Solution;
+use crate::solver::{LineArbitrarySolver, LineNarrowSolver, LineUnitSolver, Scheduler};
 use netsched_decomp::InstanceLayering;
-use netsched_distrib::RoundStats;
-use netsched_graph::{
-    DemandId, DemandInstanceUniverse, InstanceId, LineDemand, LineProblem, NetworkId,
-};
+use netsched_graph::{DemandId, DemandInstanceUniverse, LineDemand, LineProblem};
 
 /// Theorem 7.1: the distributed `(4 + ε)`-approximation for the unit-height
 /// case of line networks with windows. Also used for the wide instances of
@@ -36,15 +38,11 @@ use netsched_graph::{
 /// assert_eq!(solution.len(), 2, "the windows let both jobs run");
 /// ```
 pub fn solve_line_unit(problem: &LineProblem, config: &AlgorithmConfig) -> Solution {
-    let universe = problem.universe();
-    solve_line_unit_on(&universe, config)
+    Scheduler::for_line(problem).solve_with(&LineUnitSolver, config)
 }
 
 /// As [`solve_line_unit`] but reusing an already built `problem.universe()`.
-pub fn solve_line_unit_on(
-    universe: &DemandInstanceUniverse,
-    config: &AlgorithmConfig,
-) -> Solution {
+pub fn solve_line_unit_on(universe: &DemandInstanceUniverse, config: &AlgorithmConfig) -> Solution {
     let layering = InstanceLayering::line_length_classes(universe);
     run_two_phase(universe, &layering, RaiseRule::Unit, config)
 }
@@ -52,8 +50,7 @@ pub fn solve_line_unit_on(
 /// The `(19 + ε)`-approximation for line networks whose demands are all
 /// narrow (Section 7, arbitrary-height case, narrow part).
 pub fn solve_line_narrow(problem: &LineProblem, config: &AlgorithmConfig) -> Solution {
-    let universe = problem.universe();
-    solve_line_narrow_on(&universe, config)
+    Scheduler::for_line(problem).solve_with(&LineNarrowSolver, config)
 }
 
 /// As [`solve_line_narrow`] but reusing an already built
@@ -70,91 +67,17 @@ pub fn solve_line_narrow_on(
 /// with windows and arbitrary heights, combining the wide (unit-height
 /// algorithm) and narrow schedules per resource.
 pub fn solve_line_arbitrary(problem: &LineProblem, config: &AlgorithmConfig) -> Solution {
-    let universe = problem.universe();
+    Scheduler::for_line(problem).solve_with(&LineArbitrarySolver, config)
+}
 
-    let (wide_problem, wide_map) = line_subproblem(problem, |d| d.height > 0.5);
-    let (narrow_problem, narrow_map) = line_subproblem(problem, |d| d.height <= 0.5);
-
-    let wide_solution = if wide_problem.num_demands() > 0 {
-        solve_line_unit(&wide_problem, config)
-    } else {
-        Solution::empty()
-    };
-    let narrow_solution = if narrow_problem.num_demands() > 0 {
-        solve_line_narrow(&narrow_problem, config)
-    } else {
-        Solution::empty()
-    };
-
-    let wide_selected = translate_line_selection(
-        &wide_problem.universe(),
-        &wide_solution.selected,
-        &wide_map,
-        &universe,
-    );
-    let narrow_selected = translate_line_selection(
-        &narrow_problem.universe(),
-        &narrow_solution.selected,
-        &narrow_map,
-        &universe,
-    );
-
-    let mut selected: Vec<InstanceId> = Vec::new();
-    for t in 0..universe.num_networks() {
-        let network = NetworkId::new(t);
-        let w = universe.restrict_to_network(&wide_selected, network);
-        let n = universe.restrict_to_network(&narrow_selected, network);
-        if universe.total_profit(&w) >= universe.total_profit(&n) {
-            selected.extend(w);
-        } else {
-            selected.extend(n);
-        }
-    }
-    selected.sort_unstable();
-
-    let mut stats = RoundStats::new();
-    stats.merge(&wide_solution.stats);
-    stats.merge(&narrow_solution.stats);
-
-    let mut raised_instances = Vec::new();
-    raised_instances.extend(translate_line_selection(
-        &wide_problem.universe(),
-        &wide_solution.raised_instances,
-        &wide_map,
-        &universe,
-    ));
-    raised_instances.extend(translate_line_selection(
-        &narrow_problem.universe(),
-        &narrow_solution.raised_instances,
-        &narrow_map,
-        &universe,
-    ));
-    raised_instances.sort_unstable();
-
-    let wd = wide_solution.diagnostics;
-    let nd = narrow_solution.diagnostics;
-    let profit = universe.total_profit(&selected);
-    Solution {
-        selected,
-        raised_instances,
-        profit,
-        stats,
-        diagnostics: RunDiagnostics {
-            epochs: wd.epochs.max(nd.epochs),
-            stages_per_epoch: wd.stages_per_epoch.max(nd.stages_per_epoch),
-            steps: wd.steps + nd.steps,
-            max_steps_per_stage: wd.max_steps_per_stage.max(nd.max_steps_per_stage),
-            raised: wd.raised + nd.raised,
-            delta: wd.delta.max(nd.delta),
-            lambda: if wide_solution.is_empty() && narrow_solution.is_empty() {
-                1.0
-            } else {
-                wd.lambda.min(nd.lambda).max(f64::MIN_POSITIVE)
-            },
-            dual_objective: wd.dual_objective + nd.dual_objective,
-            optimum_upper_bound: wd.optimum_upper_bound + nd.optimum_upper_bound,
-        },
-    }
+/// As [`solve_line_arbitrary`] but reusing an already built
+/// `problem.universe()`.
+pub fn solve_line_arbitrary_on(
+    problem: &LineProblem,
+    universe: &DemandInstanceUniverse,
+    config: &AlgorithmConfig,
+) -> Solution {
+    Scheduler::for_line_with_universe(problem, universe).solve_with(&LineArbitrarySolver, config)
 }
 
 /// Builds the line sub-problem containing only the demands selected by
@@ -183,37 +106,12 @@ pub fn line_subproblem<F: Fn(&LineDemand) -> bool>(
     (sub, map)
 }
 
-/// Translates instance ids of a line sub-problem universe back into
-/// instance ids of the original universe, matching on (original demand,
-/// resource, start time).
-fn translate_line_selection(
-    sub_universe: &DemandInstanceUniverse,
-    selection: &[InstanceId],
-    demand_map: &[DemandId],
-    original: &DemandInstanceUniverse,
-) -> Vec<InstanceId> {
-    selection
-        .iter()
-        .map(|&d| {
-            let inst = sub_universe.instance(d);
-            let orig_demand = demand_map[inst.demand.index()];
-            *original
-                .instances_of_demand(orig_demand)
-                .iter()
-                .find(|&&o| {
-                    let oi = original.instance(o);
-                    oi.network == inst.network && oi.start == inst.start
-                })
-                .expect("original universe must contain the matching instance")
-        })
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::approximation_bound;
     use netsched_graph::fixtures::figure1_line_problem;
+    use netsched_graph::NetworkId;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -230,7 +128,11 @@ mod tests {
                 .copied()
                 .filter(|_| rng.gen_bool(0.7))
                 .collect();
-            let access = if access.is_empty() { vec![acc_all[0]] } else { access };
+            let access = if access.is_empty() {
+                vec![acc_all[0]]
+            } else {
+                access
+            };
             let height = if unit { 1.0 } else { rng.gen_range(0.05..=1.0) };
             p.add_demand(
                 release,
@@ -349,8 +251,15 @@ mod tests {
             for _ in 0..10 {
                 let len = rng.gen_range(2..=6u32);
                 let release = rng.gen_range(0..=(20 - len));
-                p.add_demand(release, release + len - 1, len, rng.gen_range(1.0..5.0), 1.0, acc.clone())
-                    .unwrap();
+                p.add_demand(
+                    release,
+                    release + len - 1,
+                    len,
+                    rng.gen_range(1.0..5.0),
+                    1.0,
+                    acc.clone(),
+                )
+                .unwrap();
             }
             let u = p.universe();
             let sol = solve_line_unit(&p, &AlgorithmConfig::deterministic(0.1));

@@ -20,26 +20,41 @@ use netsched_graph::{DemandInstanceUniverse, InstanceId, NetworkId, TreeProblem,
 /// capacitated extension, per-edge capacities are still respected in the
 /// second phase).
 ///
-/// The returned instance ids refer to `problem.universe()`.
+/// The returned instance ids refer to `problem.universe()`. Delegates
+/// through a [`crate::Scheduler`] session, so the universe and the
+/// Appendix A layering are built exactly once.
 pub fn solve_sequential_tree(problem: &TreeProblem) -> Solution {
-    let universe = problem.universe();
-    solve_sequential_on(problem, &universe)
+    crate::Scheduler::for_tree(problem).solve_with(
+        &crate::SequentialTreeSolver,
+        &crate::AlgorithmConfig::default(),
+    )
 }
 
 /// As [`solve_sequential_tree`] but reusing an already-built universe
 /// (which must be `problem.universe()`).
-pub fn solve_sequential_on(
-    problem: &TreeProblem,
-    universe: &DemandInstanceUniverse,
-) -> Solution {
+pub fn solve_sequential_on(problem: &TreeProblem, universe: &DemandInstanceUniverse) -> Solution {
     if universe.num_instances() == 0 {
         return Solution::empty();
     }
     let layering = InstanceLayering::appendix_a(problem, universe);
+    run_sequential(universe, &layering)
+}
+
+/// The Appendix A engine over a prebuilt wings-only layering — the single
+/// code path behind [`solve_sequential_tree`], [`solve_sequential_on`] and
+/// [`crate::SequentialTreeSolver`].
+pub fn run_sequential(universe: &DemandInstanceUniverse, layering: &InstanceLayering) -> Solution {
+    if universe.num_instances() == 0 {
+        return Solution::empty();
+    }
     // Single-tree optimization: when every demand has exactly one instance,
     // the α variables are unnecessary (Appendix A, last paragraph).
-    let single_instance_per_demand = (0..universe.num_demands())
-        .all(|a| universe.instances_of_demand(netsched_graph::DemandId::new(a)).len() <= 1);
+    let single_instance_per_demand = (0..universe.num_demands()).all(|a| {
+        universe
+            .instances_of_demand(netsched_graph::DemandId::new(a))
+            .len()
+            <= 1
+    });
 
     let mut duals = DualState::new(universe, RaiseRule::Unit);
     let mut stats = RoundStats::new();
@@ -137,15 +152,25 @@ mod tests {
         // long overlapping both. Profits make the two short ones optimal.
         let mut p = TreeProblem::new(7);
         let t = p
-            .add_network((0..6).map(|i| (VertexId::new(i), VertexId::new(i + 1))).collect())
+            .add_network(
+                (0..6)
+                    .map(|i| (VertexId::new(i), VertexId::new(i + 1)))
+                    .collect(),
+            )
             .unwrap();
-        p.add_unit_demand(VertexId(0), VertexId(3), 3.0, vec![t]).unwrap();
-        p.add_unit_demand(VertexId(3), VertexId(6), 3.0, vec![t]).unwrap();
-        p.add_unit_demand(VertexId(0), VertexId(6), 4.0, vec![t]).unwrap();
+        p.add_unit_demand(VertexId(0), VertexId(3), 3.0, vec![t])
+            .unwrap();
+        p.add_unit_demand(VertexId(3), VertexId(6), 3.0, vec![t])
+            .unwrap();
+        p.add_unit_demand(VertexId(0), VertexId(6), 4.0, vec![t])
+            .unwrap();
         let u = p.universe();
         let sol = solve_sequential_tree(&p);
         sol.verify(&u).unwrap();
-        assert!((sol.profit - 6.0).abs() < 1e-9, "expected the two short demands");
+        assert!(
+            (sol.profit - 6.0).abs() < 1e-9,
+            "expected the two short demands"
+        );
     }
 
     #[test]
@@ -169,10 +194,16 @@ mod tests {
         // raised first, so with equal profits the second phase prefers it.
         let mut p = TreeProblem::new(9);
         let t = p
-            .add_network((0..8).map(|i| (VertexId::new(i), VertexId::new(i + 1))).collect())
+            .add_network(
+                (0..8)
+                    .map(|i| (VertexId::new(i), VertexId::new(i + 1)))
+                    .collect(),
+            )
             .unwrap();
-        p.add_unit_demand(VertexId(3), VertexId(5), 1.0, vec![t]).unwrap(); // inner
-        p.add_unit_demand(VertexId(1), VertexId(8), 1.0, vec![t]).unwrap(); // outer
+        p.add_unit_demand(VertexId(3), VertexId(5), 1.0, vec![t])
+            .unwrap(); // inner
+        p.add_unit_demand(VertexId(1), VertexId(8), 1.0, vec![t])
+            .unwrap(); // outer
         let u = p.universe();
         let sol = solve_sequential_tree(&p);
         sol.verify(&u).unwrap();

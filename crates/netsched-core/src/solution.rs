@@ -2,12 +2,11 @@
 
 use netsched_distrib::RoundStats;
 use netsched_graph::{DemandId, DemandInstanceUniverse, InstanceId, NetworkId};
-use serde::{Deserialize, Serialize};
 
 /// Diagnostics reported by a two-phase run; these are the quantities the
 /// paper's theorems bound (∆, λ, epochs, stages, steps) plus the dual
 /// objective used as an optimum upper bound.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RunDiagnostics {
     /// Number of epochs executed (`ℓ_max`, the layered-decomposition length).
     pub epochs: usize,
@@ -31,7 +30,7 @@ pub struct RunDiagnostics {
 }
 
 /// The outcome of one scheduling algorithm run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Solution {
     /// The selected demand instances (indices into the universe the
     /// algorithm was run on).
@@ -108,9 +107,10 @@ impl Solution {
     }
 
     /// The empirical approximation ratio `upper_bound / profit` implied by
-    /// the dual certificate (≥ 1; `None` when the solution is empty).
+    /// the dual certificate (≥ 1; `None` when the solution is empty or
+    /// carries no certificate, e.g. a plain heuristic run).
     pub fn certified_ratio(&self) -> Option<f64> {
-        if self.profit <= 0.0 {
+        if self.profit <= 0.0 || self.diagnostics.optimum_upper_bound <= 0.0 {
             return None;
         }
         Some(self.diagnostics.optimum_upper_bound / self.profit)

@@ -10,16 +10,18 @@
 //!   algorithm, narrow demands by the narrow algorithm, and per network the
 //!   more profitable of the two schedules is kept.
 //!
-//! All returned instance ids refer to `problem.universe()`.
+//! Every function here is a thin wrapper over the [`crate::Scheduler`]
+//! session API: the algorithm bodies live in the [`crate::Solver`]
+//! implementations ([`crate::UnitTreeSolver`], [`crate::NarrowTreeSolver`],
+//! [`crate::ArbitraryTreeSolver`]), and the session guarantees that the
+//! universe, the layered decomposition and the wide/narrow split are each
+//! built exactly once per call (or reused entirely with the `_on`
+//! variants). All returned instance ids refer to `problem.universe()`.
 
-use crate::config::{AlgorithmConfig, RaiseRule};
-use crate::framework::run_two_phase;
-use crate::solution::{RunDiagnostics, Solution};
-use netsched_decomp::{InstanceLayering, TreeDecompositionKind};
-use netsched_distrib::RoundStats;
-use netsched_graph::{
-    Demand, DemandId, DemandInstanceUniverse, InstanceId, NetworkId, TreeProblem,
-};
+use crate::config::AlgorithmConfig;
+use crate::solution::Solution;
+use crate::solver::{ArbitraryTreeSolver, NarrowTreeSolver, Scheduler, UnitTreeSolver};
+use netsched_graph::{Demand, DemandId, DemandInstanceUniverse, NetworkId, TreeProblem};
 
 /// Theorem 5.3: the distributed `(7 + ε)`-approximation for the unit-height
 /// case of tree networks. Also used for the *wide* instances of the
@@ -48,8 +50,7 @@ use netsched_graph::{
 /// assert!(solution.diagnostics.optimum_upper_bound >= 3.0);
 /// ```
 pub fn solve_unit_tree(problem: &TreeProblem, config: &AlgorithmConfig) -> Solution {
-    let universe = problem.universe();
-    solve_unit_tree_on(problem, &universe, config)
+    Scheduler::for_tree(problem).solve_with(&UnitTreeSolver, config)
 }
 
 /// As [`solve_unit_tree`] but reusing an already built `problem.universe()`.
@@ -58,16 +59,13 @@ pub fn solve_unit_tree_on(
     universe: &DemandInstanceUniverse,
     config: &AlgorithmConfig,
 ) -> Solution {
-    let layering =
-        InstanceLayering::for_tree_problem(problem, universe, TreeDecompositionKind::Ideal);
-    run_two_phase(universe, &layering, RaiseRule::Unit, config)
+    Scheduler::for_tree_with_universe(problem, universe).solve_with(&UnitTreeSolver, config)
 }
 
 /// Lemma 6.2: the distributed `(73 + ε)`-approximation for tree networks
 /// whose demands are all narrow (`h(a) ≤ 1/2`).
 pub fn solve_narrow_tree(problem: &TreeProblem, config: &AlgorithmConfig) -> Solution {
-    let universe = problem.universe();
-    solve_narrow_tree_on(problem, &universe, config)
+    Scheduler::for_tree(problem).solve_with(&NarrowTreeSolver, config)
 }
 
 /// As [`solve_narrow_tree`] but reusing an already built
@@ -77,9 +75,7 @@ pub fn solve_narrow_tree_on(
     universe: &DemandInstanceUniverse,
     config: &AlgorithmConfig,
 ) -> Solution {
-    let layering =
-        InstanceLayering::for_tree_problem(problem, universe, TreeDecompositionKind::Ideal);
-    run_two_phase(universe, &layering, RaiseRule::Narrow, config)
+    Scheduler::for_tree_with_universe(problem, universe).solve_with(&NarrowTreeSolver, config)
 }
 
 /// Theorem 6.3: the distributed `(80 + ε)`-approximation for tree networks
@@ -90,95 +86,17 @@ pub fn solve_narrow_tree_on(
 /// narrow algorithm the narrow ones, and for every network the more
 /// profitable of the two per-network schedules is kept.
 pub fn solve_arbitrary_tree(problem: &TreeProblem, config: &AlgorithmConfig) -> Solution {
-    let universe = problem.universe();
+    Scheduler::for_tree(problem).solve_with(&ArbitraryTreeSolver, config)
+}
 
-    let (wide_problem, wide_map) = subproblem(problem, |d| d.is_wide());
-    let (narrow_problem, narrow_map) = subproblem(problem, |d| d.is_narrow());
-
-    let wide_solution = if wide_problem.num_demands() > 0 {
-        solve_unit_tree(&wide_problem, config)
-    } else {
-        Solution::empty()
-    };
-    let narrow_solution = if narrow_problem.num_demands() > 0 {
-        solve_narrow_tree(&narrow_problem, config)
-    } else {
-        Solution::empty()
-    };
-
-    // Translate both solutions back into instance ids of the original
-    // universe.
-    let wide_selected = translate_selection(
-        &wide_problem.universe(),
-        &wide_solution.selected,
-        &wide_map,
-        &universe,
-    );
-    let narrow_selected = translate_selection(
-        &narrow_problem.universe(),
-        &narrow_solution.selected,
-        &narrow_map,
-        &universe,
-    );
-
-    // Per network, keep the more profitable of the two schedules.
-    let mut selected: Vec<InstanceId> = Vec::new();
-    for t in 0..universe.num_networks() {
-        let network = NetworkId::new(t);
-        let w = universe.restrict_to_network(&wide_selected, network);
-        let n = universe.restrict_to_network(&narrow_selected, network);
-        if universe.total_profit(&w) >= universe.total_profit(&n) {
-            selected.extend(w);
-        } else {
-            selected.extend(n);
-        }
-    }
-    selected.sort_unstable();
-
-    let mut stats = RoundStats::new();
-    stats.merge(&wide_solution.stats);
-    stats.merge(&narrow_solution.stats);
-
-    let mut raised_instances = Vec::new();
-    raised_instances.extend(translate_selection(
-        &wide_problem.universe(),
-        &wide_solution.raised_instances,
-        &wide_map,
-        &universe,
-    ));
-    raised_instances.extend(translate_selection(
-        &narrow_problem.universe(),
-        &narrow_solution.raised_instances,
-        &narrow_map,
-        &universe,
-    ));
-    raised_instances.sort_unstable();
-
-    let wd = wide_solution.diagnostics;
-    let nd = narrow_solution.diagnostics;
-    let profit = universe.total_profit(&selected);
-    Solution {
-        selected,
-        raised_instances,
-        profit,
-        stats,
-        diagnostics: RunDiagnostics {
-            epochs: wd.epochs.max(nd.epochs),
-            stages_per_epoch: wd.stages_per_epoch.max(nd.stages_per_epoch),
-            steps: wd.steps + nd.steps,
-            max_steps_per_stage: wd.max_steps_per_stage.max(nd.max_steps_per_stage),
-            raised: wd.raised + nd.raised,
-            delta: wd.delta.max(nd.delta),
-            lambda: if wide_solution.is_empty() && narrow_solution.is_empty() {
-                1.0
-            } else {
-                wd.lambda.min(nd.lambda).max(f64::MIN_POSITIVE)
-            },
-            dual_objective: wd.dual_objective + nd.dual_objective,
-            // OPT ≤ OPT_wide + OPT_narrow ≤ ub_wide + ub_narrow.
-            optimum_upper_bound: wd.optimum_upper_bound + nd.optimum_upper_bound,
-        },
-    }
+/// As [`solve_arbitrary_tree`] but reusing an already built
+/// `problem.universe()`.
+pub fn solve_arbitrary_tree_on(
+    problem: &TreeProblem,
+    universe: &DemandInstanceUniverse,
+    config: &AlgorithmConfig,
+) -> Solution {
+    Scheduler::for_tree_with_universe(problem, universe).solve_with(&ArbitraryTreeSolver, config)
 }
 
 /// Builds the sub-problem containing only the demands selected by `keep`
@@ -192,10 +110,13 @@ pub fn subproblem<F: Fn(&Demand) -> bool>(
     for t in 0..problem.num_networks() {
         let network = problem.network(NetworkId::new(t));
         let edges = network.edges().map(|(_, uv)| uv).collect();
-        let id = sub.add_network(edges).expect("copied network must be valid");
+        let id = sub
+            .add_network(edges)
+            .expect("copied network must be valid");
         for (e, &cap) in problem.capacities(NetworkId::new(t)).iter().enumerate() {
             if (cap - 1.0).abs() > f64::EPSILON {
-                sub.set_capacity(id, e, cap).expect("copied capacity must be valid");
+                sub.set_capacity(id, e, cap)
+                    .expect("copied capacity must be valid");
             }
         }
     }
@@ -216,32 +137,10 @@ pub fn subproblem<F: Fn(&Demand) -> bool>(
     (sub, map)
 }
 
-/// Translates instance ids of a sub-problem universe back into instance ids
-/// of the original universe, matching on (original demand, network).
-fn translate_selection(
-    sub_universe: &DemandInstanceUniverse,
-    selection: &[InstanceId],
-    demand_map: &[DemandId],
-    original: &DemandInstanceUniverse,
-) -> Vec<InstanceId> {
-    selection
-        .iter()
-        .map(|&d| {
-            let inst = sub_universe.instance(d);
-            let orig_demand = demand_map[inst.demand.index()];
-            *original
-                .instances_of_demand(orig_demand)
-                .iter()
-                .find(|&&o| original.instance(o).network == inst.network)
-                .expect("original universe must contain the matching instance")
-        })
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::approximation_bound;
+    use crate::config::{approximation_bound, RaiseRule};
     use netsched_graph::fixtures::figure6_problem;
     use netsched_graph::VertexId;
     use rand::rngs::StdRng;
@@ -263,12 +162,13 @@ mod tests {
             while v == u {
                 v = rng.gen_range(0..n);
             }
-            let access: Vec<NetworkId> = nets
-                .iter()
-                .copied()
-                .filter(|_| rng.gen_bool(0.6))
-                .collect();
-            let access = if access.is_empty() { vec![nets[0]] } else { access };
+            let access: Vec<NetworkId> =
+                nets.iter().copied().filter(|_| rng.gen_bool(0.6)).collect();
+            let access = if access.is_empty() {
+                vec![nets[0]]
+            } else {
+                access
+            };
             let height = if unit { 1.0 } else { rng.gen_range(0.05..=1.0) };
             p.add_demand(
                 VertexId::new(u),
@@ -307,7 +207,11 @@ mod tests {
             // Rebuild with narrow heights.
             let mut narrow = TreeProblem::new(p.num_vertices());
             for t in 0..p.num_networks() {
-                let edges = p.network(NetworkId::new(t)).edges().map(|(_, uv)| uv).collect();
+                let edges = p
+                    .network(NetworkId::new(t))
+                    .edges()
+                    .map(|(_, uv)| uv)
+                    .collect();
                 narrow.add_network(edges).unwrap();
             }
             let mut rng = StdRng::seed_from_u64(seed + 100);
@@ -373,7 +277,10 @@ mod tests {
         assert_eq!(wide.num_networks(), p.num_networks());
         for (new_idx, &old) in wide_map.iter().enumerate() {
             assert!(p.demand(old).is_wide());
-            assert_eq!(wide.demand(DemandId::new(new_idx)).profit, p.demand(old).profit);
+            assert_eq!(
+                wide.demand(DemandId::new(new_idx)).profit,
+                p.demand(old).profit
+            );
         }
         for &old in &narrow_map {
             assert!(p.demand(old).is_narrow());

@@ -70,11 +70,7 @@ pub fn neighbors_of(tree: &TreeNetwork, comp: &[VertexId]) -> Vec<VertexId> {
 ///
 /// The union of the returned components is `comp − {z}`; the result may be
 /// empty when `comp == {z}`.
-pub fn split_component(
-    tree: &TreeNetwork,
-    comp: &[VertexId],
-    z: VertexId,
-) -> Vec<Vec<VertexId>> {
+pub fn split_component(tree: &TreeNetwork, comp: &[VertexId], z: VertexId) -> Vec<Vec<VertexId>> {
     let n = tree.num_vertices();
     let mut member = vec![false; n];
     for &v in comp {
@@ -117,7 +113,10 @@ pub fn split_component(
 /// here by one DFS over the induced subtree in `O(|comp|)` time (after the
 /// `O(n)` membership scratch setup).
 pub fn find_balancer(tree: &TreeNetwork, comp: &[VertexId]) -> VertexId {
-    assert!(!comp.is_empty(), "cannot find a balancer of an empty component");
+    assert!(
+        !comp.is_empty(),
+        "cannot find a balancer of an empty component"
+    );
     let n = tree.num_vertices();
     let mut member = vec![false; n];
     for &v in comp {
@@ -274,7 +273,9 @@ mod tests {
     #[test]
     fn balancer_of_star_is_center() {
         // Star: center 0, leaves 1..=6.
-        let edges = (1..7).map(|i| (VertexId::new(0), VertexId::new(i))).collect();
+        let edges = (1..7)
+            .map(|i| (VertexId::new(0), VertexId::new(i)))
+            .collect();
         let t = TreeNetwork::new(NetworkId::new(0), 7, edges).unwrap();
         let all: Vec<VertexId> = t.vertices().collect();
         assert_eq!(find_balancer(&t, &all), VertexId::new(0));

@@ -14,11 +14,10 @@
 
 use crate::component;
 use netsched_graph::{EdgePath, LcaIndex, NetworkId, TreeNetwork, VertexId};
-use serde::{Deserialize, Serialize};
 
 /// A rooted tree `H` over the vertex set of a tree network, intended to be a
 /// tree decomposition of that network.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TreeDecomposition {
     network: NetworkId,
     root: VertexId,
@@ -28,7 +27,6 @@ pub struct TreeDecomposition {
     depth: Vec<u32>,
     /// Children lists.
     children: Vec<Vec<VertexId>>,
-    #[serde(skip)]
     lca: Option<LcaIndex>,
 }
 
@@ -64,7 +62,10 @@ impl TreeDecomposition {
                 queue.push_back(c);
             }
         }
-        assert_eq!(count, n, "parent array must describe a connected rooted tree");
+        assert_eq!(
+            count, n,
+            "parent array must describe a connected rooted tree"
+        );
 
         let zero_based: Vec<u32> = depth.iter().map(|d| d - 1).collect();
         let lca = LcaIndex::new(&parent, &zero_based);
@@ -240,7 +241,11 @@ impl TreeDecomposition {
     /// The *wings* of a vertex `y` on a path: the edges of the path incident
     /// to `y` (one if `y` is an end-point of the path, two otherwise);
     /// Section 4.4.
-    pub fn wings_on_path(tree: &TreeNetwork, path: &EdgePath, y: VertexId) -> Vec<netsched_graph::EdgeId> {
+    pub fn wings_on_path(
+        tree: &TreeNetwork,
+        path: &EdgePath,
+        y: VertexId,
+    ) -> Vec<netsched_graph::EdgeId> {
         tree.neighbors(y)
             .iter()
             .filter(|&&(_, e)| path.contains(e))
@@ -419,8 +424,8 @@ mod tests {
         // a path through the vertices in index order is generally not a
         // valid tree decomposition for the Figure 6 tree.
         let mut parent: Vec<Option<VertexId>> = vec![None; 14];
-        for i in 1..14 {
-            parent[i] = Some(VertexId::new(i - 1));
+        for (i, slot) in parent.iter_mut().enumerate().skip(1) {
+            *slot = Some(VertexId::new(i - 1));
         }
         let h = TreeDecomposition::from_parents(NetworkId::new(0), parent);
         assert!(!h.is_valid_for(&t));

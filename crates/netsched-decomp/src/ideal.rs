@@ -67,7 +67,10 @@ pub fn ideal_decomposition(tree: &TreeNetwork) -> TreeDecomposition {
         for (i, part) in parts.iter().enumerate() {
             let nb = neighbors_of(tree, part);
             if nb.len() > 2 {
-                debug_assert!(bad.is_none(), "at most one component can exceed two neighbours");
+                debug_assert!(
+                    bad.is_none(),
+                    "at most one component can exceed two neighbours"
+                );
                 debug_assert_eq!(nb.len(), 3);
                 bad = Some(i);
             }
@@ -135,7 +138,10 @@ mod tests {
 
     fn check(tree: &TreeNetwork) {
         let h = ideal_decomposition(tree);
-        assert!(h.is_valid_for(tree), "ideal decomposition must be a valid TD");
+        assert!(
+            h.is_valid_for(tree),
+            "ideal decomposition must be a valid TD"
+        );
         assert!(
             h.pivot_size(tree) <= 2,
             "ideal decomposition must have pivot size at most 2 (got {})",
@@ -165,7 +171,9 @@ mod tests {
     #[test]
     fn stars_and_brooms() {
         for n in [3usize, 8, 31, 64] {
-            let edges = (1..n).map(|i| (VertexId::new(0), VertexId::new(i))).collect();
+            let edges = (1..n)
+                .map(|i| (VertexId::new(0), VertexId::new(i)))
+                .collect();
             check(&TreeNetwork::new(NetworkId::new(0), n, edges).unwrap());
         }
         // Broom: a path of 10 vertices with 10 extra leaves on the last one.

@@ -16,13 +16,10 @@ use crate::balancing::balancing_decomposition;
 use crate::decomposition::TreeDecomposition;
 use crate::ideal::ideal_decomposition;
 use crate::root_fixing::root_fixing_decomposition;
-use netsched_graph::{
-    DemandInstanceUniverse, EdgeId, InstanceId, TreeProblem, VertexId,
-};
-use serde::{Deserialize, Serialize};
+use netsched_graph::{DemandInstanceUniverse, EdgeId, InstanceId, TreeProblem, VertexId};
 
 /// Which tree decomposition to use when layering a tree problem.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TreeDecompositionKind {
     /// Root-fixing decomposition (θ = 1, depth up to n), Section 4.2.
     RootFixing,
@@ -34,7 +31,7 @@ pub enum TreeDecompositionKind {
 }
 
 /// A layered decomposition over all instances of a universe.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct InstanceLayering {
     group: Vec<usize>,
     critical: Vec<Vec<EdgeId>>,
@@ -116,9 +113,7 @@ impl InstanceLayering {
             .networks()
             .iter()
             .map(|t| match kind {
-                TreeDecompositionKind::RootFixing => {
-                    root_fixing_decomposition(t, VertexId::new(0))
-                }
+                TreeDecompositionKind::RootFixing => root_fixing_decomposition(t, VertexId::new(0)),
                 TreeDecompositionKind::Balancing => balancing_decomposition(t),
                 TreeDecompositionKind::Ideal => ideal_decomposition(t),
             })
@@ -172,7 +167,10 @@ impl InstanceLayering {
             group[inst.id.index()] = (usize::BITS - 1 - ratio.leading_zeros()) as usize;
 
             let edges = inst.path.as_slice();
-            let s = edges.first().copied().expect("line instances are non-empty");
+            let s = edges
+                .first()
+                .copied()
+                .expect("line instances are non-empty");
             let e = edges.last().copied().expect("line instances are non-empty");
             let mid = EdgeId::new((s.index() + e.index()) / 2);
             let mut c = vec![s, mid, e];
@@ -305,12 +303,13 @@ mod tests {
             while v == u {
                 v = rng.gen_range(0..n);
             }
-            let access: Vec<NetworkId> = nets
-                .iter()
-                .copied()
-                .filter(|_| rng.gen_bool(0.7))
-                .collect();
-            let access = if access.is_empty() { vec![nets[0]] } else { access };
+            let access: Vec<NetworkId> =
+                nets.iter().copied().filter(|_| rng.gen_bool(0.7)).collect();
+            let access = if access.is_empty() {
+                vec![nets[0]]
+            } else {
+                access
+            };
             p.add_unit_demand(
                 VertexId::new(u),
                 VertexId::new(v),
@@ -411,7 +410,8 @@ mod tests {
         let mut p = LineProblem::new(32, 1);
         let acc = vec![NetworkId::new(0)];
         for len in [1u32, 2, 3, 4, 7, 8, 16] {
-            p.add_interval_demand(0, len, 1.0, 1.0, acc.clone()).unwrap();
+            p.add_interval_demand(0, len, 1.0, 1.0, acc.clone())
+                .unwrap();
         }
         let u = p.universe();
         let layering = InstanceLayering::line_length_classes(&u);

@@ -81,7 +81,7 @@ impl Agent for LubyAgent {
                 LubyMsg::Value(v) => {
                     if self.active_neighbors.contains(&from) {
                         let cand = (v, from);
-                        if self.best_neighbor.map_or(true, |b| cand > b) {
+                        if self.best_neighbor.is_none_or(|b| cand > b) {
                             self.best_neighbor = Some(cand);
                         }
                     }
@@ -105,7 +105,7 @@ impl Agent for LubyAgent {
                 // largest among active neighbours (ties broken by index).
                 if self.state == LubyState::Active {
                     let me = (self.my_value, self.my_index);
-                    let wins = self.best_neighbor.map_or(true, |b| me > b);
+                    let wins = self.best_neighbor.is_none_or(|b| me > b);
                     if wins {
                         self.state = LubyState::InMis;
                         return Outbox::Broadcast(LubyMsg::Joined);
@@ -169,7 +169,9 @@ pub fn maximal_independent_set(
             let mut agents: Vec<LubyAgent> = (0..active.len())
                 .map(|i| LubyAgent {
                     state: LubyState::Active,
-                    rng: SmallRng::seed_from_u64(seed ^ ((i as u64).wrapping_mul(0x9E3779B97F4A7C15))),
+                    rng: SmallRng::seed_from_u64(
+                        seed ^ ((i as u64).wrapping_mul(0x9E3779B97F4A7C15)),
+                    ),
                     active_neighbors: adjacency[i].iter().copied().collect(),
                     my_value: 0,
                     best_neighbor: None,
@@ -240,10 +242,7 @@ pub fn is_maximal_independent(
         if set_lookup.contains(&d) {
             continue;
         }
-        let dominated = graph
-            .neighbors(d)
-            .iter()
-            .any(|n| set_lookup.contains(n));
+        let dominated = graph.neighbors(d).iter().any(|n| set_lookup.contains(n));
         if !dominated {
             return false;
         }
@@ -274,12 +273,13 @@ mod tests {
             while v == u {
                 v = rng.gen_range(0..n);
             }
-            let access: Vec<NetworkId> = nets
-                .iter()
-                .copied()
-                .filter(|_| rng.gen_bool(0.6))
-                .collect();
-            let access = if access.is_empty() { vec![nets[0]] } else { access };
+            let access: Vec<NetworkId> =
+                nets.iter().copied().filter(|_| rng.gen_bool(0.6)).collect();
+            let access = if access.is_empty() {
+                vec![nets[0]]
+            } else {
+                access
+            };
             p.add_unit_demand(VertexId::new(u), VertexId::new(v), 1.0, access)
                 .unwrap();
         }
@@ -293,8 +293,12 @@ mod tests {
             let g = ConflictGraph::build(&u);
             let active: Vec<InstanceId> = u.instance_ids().collect();
             let mut stats = RoundStats::new();
-            let set =
-                maximal_independent_set(&g, &active, MisStrategy::Luby { seed: 42 + seed }, &mut stats);
+            let set = maximal_independent_set(
+                &g,
+                &active,
+                MisStrategy::Luby { seed: 42 + seed },
+                &mut stats,
+            );
             assert!(is_maximal_independent(&g, &active, &set), "seed {seed}");
             assert!(stats.rounds > 0);
             assert!(stats.mis_invocations == 1);
@@ -350,11 +354,11 @@ mod tests {
         let u = two_tree_problem().universe();
         let g = ConflictGraph::build(&u);
         let mut stats = RoundStats::new();
-        assert!(maximal_independent_set(&g, &[], MisStrategy::Luby { seed: 1 }, &mut stats)
-            .is_empty());
+        assert!(
+            maximal_independent_set(&g, &[], MisStrategy::Luby { seed: 1 }, &mut stats).is_empty()
+        );
         let single = vec![InstanceId::new(0)];
-        let set =
-            maximal_independent_set(&g, &single, MisStrategy::Luby { seed: 1 }, &mut stats);
+        let set = maximal_independent_set(&g, &single, MisStrategy::Luby { seed: 1 }, &mut stats);
         assert_eq!(set, single);
     }
 

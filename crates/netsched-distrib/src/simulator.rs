@@ -322,8 +322,18 @@ mod tests {
     fn unicast_ping_pong_counts_rounds_and_records() {
         let sim = SyncSimulator::new(Topology::complete(2));
         let mut agents = vec![
-            PingPong { id: 0, last_seen: 0, target: 5, kick_off: true },
-            PingPong { id: 1, last_seen: 0, target: 5, kick_off: false },
+            PingPong {
+                id: 0,
+                last_seen: 0,
+                target: 5,
+                kick_off: true,
+            },
+            PingPong {
+                id: 1,
+                last_seen: 0,
+                target: 5,
+                kick_off: false,
+            },
         ];
         let out = sim.run(&mut agents, 50);
         assert!(out.converged);

@@ -8,10 +8,8 @@
 //! experiment harness can reproduce the round-complexity claims of
 //! Theorems 5.3, 6.3, 7.1 and 7.2.
 
-use serde::{Deserialize, Serialize};
-
 /// Accumulated communication cost of a distributed execution.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RoundStats {
     /// Number of synchronous communication rounds.
     pub rounds: u64,

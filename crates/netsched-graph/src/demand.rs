@@ -1,13 +1,12 @@
 //! Demands and processors (Section 2 of the paper).
 
 use crate::ids::{DemandId, NetworkId, ProcessorId, VertexId};
-use serde::{Deserialize, Serialize};
 
 /// A demand `a = (u, v)` with profit `p(a)` and bandwidth requirement
 /// ("height") `h(a) ∈ (0, 1]`.
 ///
 /// In the unit-height case of the paper every height is exactly `1.0`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Demand {
     /// Identifier (dense index into the owning problem's demand list).
     pub id: DemandId,
@@ -67,7 +66,7 @@ impl Demand {
 
 /// A processor/agent `P ∈ P`. Each processor owns exactly one demand and can
 /// access a subset of the networks (`Acc(P)`, Section 2).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Processor {
     /// Identifier of the processor.
     pub id: ProcessorId,
@@ -140,8 +139,16 @@ mod tests {
 
     #[test]
     fn communication_requires_shared_resource() {
-        let p0 = Processor::new(ProcessorId(0), DemandId(0), vec![NetworkId(0), NetworkId(1)]);
-        let p1 = Processor::new(ProcessorId(1), DemandId(1), vec![NetworkId(1), NetworkId(2)]);
+        let p0 = Processor::new(
+            ProcessorId(0),
+            DemandId(0),
+            vec![NetworkId(0), NetworkId(1)],
+        );
+        let p1 = Processor::new(
+            ProcessorId(1),
+            DemandId(1),
+            vec![NetworkId(1), NetworkId(2)],
+        );
         let p2 = Processor::new(ProcessorId(2), DemandId(2), vec![NetworkId(3)]);
         assert!(p0.can_communicate_with(&p1));
         assert!(p1.can_communicate_with(&p0));

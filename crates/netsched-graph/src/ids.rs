@@ -4,14 +4,13 @@
 //! the owning problem or universe, so they can be used directly to index
 //! `Vec`s without hashing.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! id_type {
     ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
         $(#[$meta])*
         #[derive(
-            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
         )]
         pub struct $name(pub u32);
 
@@ -93,9 +92,7 @@ id_type!(
 /// An edge of the global edge set `E`: the paper represents it as the triple
 /// `⟨u, v, T⟩`; we represent it as (network, dense edge index within that
 /// network).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct GlobalEdge {
     /// The network the edge belongs to.
     pub network: NetworkId,

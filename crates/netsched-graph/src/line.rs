@@ -7,18 +7,17 @@
 //! inside its window, on any accessible resource. The demand instances are
 //! therefore (demand × resource × start-time) triples.
 
+use crate::demand::Processor;
 use crate::error::GraphError;
 use crate::ids::{DemandId, InstanceId, NetworkId, ProcessorId, VertexId};
-use crate::demand::Processor;
 use crate::path::EdgePath;
 use crate::problem::TreeProblem;
 use crate::tree::TreeNetwork;
 use crate::universe::{DemandInstance, DemandInstanceUniverse};
-use serde::{Deserialize, Serialize};
 
 /// A windowed demand (job) on the timeline: window `[release, deadline]`
 /// (timeslots, inclusive), processing time, profit and height.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LineDemand {
     /// Identifier (dense index into the owning problem's demand list).
     pub id: DemandId,
@@ -50,7 +49,7 @@ impl LineDemand {
 
 /// A single line network viewed as a timeline of `timeslots` slots; kept as
 /// a thin wrapper so tree-based code can reuse the path-graph view.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LineNetwork {
     id: NetworkId,
     timeslots: usize,
@@ -75,13 +74,12 @@ impl LineNetwork {
     /// The equivalent path-graph tree network on `timeslots + 1` vertices;
     /// edge `i` of that tree is timeslot `i`.
     pub fn as_tree(&self) -> TreeNetwork {
-        TreeNetwork::line(self.id, self.timeslots + 1)
-            .expect("a path graph is always a valid tree")
+        TreeNetwork::line(self.id, self.timeslots + 1).expect("a path graph is always a valid tree")
     }
 }
 
 /// The line-networks-with-windows scheduling problem of Section 7.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LineProblem {
     timeslots: usize,
     num_resources: usize,
@@ -212,7 +210,9 @@ impl LineProblem {
 
     /// Returns `true` if every demand has height exactly 1.
     pub fn is_unit_height(&self) -> bool {
-        self.demands.iter().all(|d| (d.height - 1.0).abs() <= crate::EPS)
+        self.demands
+            .iter()
+            .all(|d| (d.height - 1.0).abs() <= crate::EPS)
     }
 
     /// The resources as [`LineNetwork`] values.
@@ -277,11 +277,7 @@ impl LineProblem {
     /// window. Only valid for demands without slack (window length equals
     /// processing time); returns `None` if some demand has slack.
     pub fn as_tree_problem(&self) -> Option<TreeProblem> {
-        if self
-            .demands
-            .iter()
-            .any(|d| d.window_len() != d.processing)
-        {
+        if self.demands.iter().any(|d| d.window_len() != d.processing) {
             return None;
         }
         let mut p = TreeProblem::new(self.timeslots + 1);
@@ -328,7 +324,9 @@ mod tests {
     #[test]
     fn fixed_interval_demand_has_one_placement_per_resource() {
         let mut p = LineProblem::new(10, 3);
-        let a = p.add_interval_demand(2, 4, 1.0, 0.5, all_resources(3)).unwrap();
+        let a = p
+            .add_interval_demand(2, 4, 1.0, 0.5, all_resources(3))
+            .unwrap();
         assert_eq!(p.demand(a).num_placements(), 1);
         let u = p.universe();
         assert_eq!(u.num_instances(), 3);

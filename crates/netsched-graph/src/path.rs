@@ -6,11 +6,10 @@
 //! sorted-list intersection test.
 
 use crate::ids::EdgeId;
-use serde::{Deserialize, Serialize};
 
 /// A set of edges of a single network, stored as a sorted, deduplicated list
 /// of dense edge indices.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct EdgePath {
     edges: Vec<EdgeId>,
 }

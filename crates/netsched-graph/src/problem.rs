@@ -5,7 +5,6 @@ use crate::error::GraphError;
 use crate::ids::{DemandId, InstanceId, NetworkId, ProcessorId, VertexId};
 use crate::tree::TreeNetwork;
 use crate::universe::{DemandInstance, DemandInstanceUniverse};
-use serde::{Deserialize, Serialize};
 
 /// The tree-network scheduling problem instance of Section 2: a shared
 /// vertex set, a set of tree networks over it, and a set of demands each
@@ -32,7 +31,7 @@ use serde::{Deserialize, Serialize};
 /// let all: Vec<_> = universe.instance_ids().collect();
 /// assert!(universe.is_feasible(&all));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TreeProblem {
     n_vertices: usize,
     networks: Vec<TreeNetwork>,
@@ -128,7 +127,8 @@ impl TreeProblem {
         let mut access = access;
         access.sort_unstable();
         access.dedup();
-        self.demands.push(Demand::with_height(id, u, v, profit, height));
+        self.demands
+            .push(Demand::with_height(id, u, v, profit, height));
         self.access.push(access);
         Ok(id)
     }
@@ -221,7 +221,9 @@ impl TreeProblem {
 
     /// Returns `true` if every demand has height exactly 1.
     pub fn is_unit_height(&self) -> bool {
-        self.demands.iter().all(|d| (d.height - 1.0).abs() <= crate::EPS)
+        self.demands
+            .iter()
+            .all(|d| (d.height - 1.0).abs() <= crate::EPS)
     }
 
     /// Returns the processors (one per demand, with matching indices).
@@ -310,9 +312,12 @@ mod tests {
         edges.push((VertexId(12), VertexId(6)));
         let t = p.add_network(edges).unwrap();
         // Three demands whose paths all use edge (3,4) of the spine.
-        p.add_demand(VertexId(0), VertexId(7), 3.0, 0.4, vec![t]).unwrap();
-        p.add_demand(VertexId(9), VertexId(10), 2.0, 0.7, vec![t]).unwrap();
-        p.add_demand(VertexId(2), VertexId(11), 1.0, 0.3, vec![t]).unwrap();
+        p.add_demand(VertexId(0), VertexId(7), 3.0, 0.4, vec![t])
+            .unwrap();
+        p.add_demand(VertexId(9), VertexId(10), 2.0, 0.7, vec![t])
+            .unwrap();
+        p.add_demand(VertexId(2), VertexId(11), 1.0, 0.3, vec![t])
+            .unwrap();
         p
     }
 
@@ -382,8 +387,10 @@ mod tests {
             .collect();
         let t0 = p.add_network(line_edges.clone()).unwrap();
         let t1 = p.add_network(line_edges).unwrap();
-        p.add_unit_demand(VertexId(0), VertexId(3), 1.0, vec![t0, t1]).unwrap();
-        p.add_unit_demand(VertexId(1), VertexId(2), 1.0, vec![t1]).unwrap();
+        p.add_unit_demand(VertexId(0), VertexId(3), 1.0, vec![t0, t1])
+            .unwrap();
+        p.add_unit_demand(VertexId(1), VertexId(2), 1.0, vec![t1])
+            .unwrap();
         let u = p.universe();
         assert_eq!(u.num_instances(), 3);
         assert_eq!(u.instances_of_demand(DemandId(0)).len(), 2);
@@ -410,8 +417,10 @@ mod tests {
             p.set_capacity(t, 0, -1.0),
             Err(GraphError::InvalidCapacity { .. })
         ));
-        p.add_unit_demand(VertexId(0), VertexId(2), 1.0, vec![t]).unwrap();
-        p.add_unit_demand(VertexId(1), VertexId(2), 1.0, vec![t]).unwrap();
+        p.add_unit_demand(VertexId(0), VertexId(2), 1.0, vec![t])
+            .unwrap();
+        p.add_unit_demand(VertexId(1), VertexId(2), 1.0, vec![t])
+            .unwrap();
         let u = p.universe();
         // Edge 1 (between vertices 1 and 2) has capacity 2.5, so the two
         // unit-height demands can share it; edge 0 is used only by demand 0.

@@ -10,11 +10,10 @@ use crate::error::GraphError;
 use crate::ids::{EdgeId, NetworkId, VertexId};
 use crate::lca::LcaIndex;
 use crate::path::EdgePath;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// A connected tree network over vertices `0..n`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TreeNetwork {
     id: NetworkId,
     n: usize,
@@ -27,7 +26,6 @@ pub struct TreeNetwork {
     parent: Vec<Option<(VertexId, EdgeId)>>,
     /// Depth of each vertex when rooted at vertex 0 (root depth 0).
     depth: Vec<u32>,
-    #[serde(skip)]
     lca: Option<LcaIndex>,
 }
 
@@ -69,11 +67,7 @@ impl TreeNetwork {
             }
             let key = if u < v { (u, v) } else { (v, u) };
             if !seen.insert(key) {
-                return Err(GraphError::DuplicateEdge {
-                    network: id,
-                    u,
-                    v,
-                });
+                return Err(GraphError::DuplicateEdge { network: id, u, v });
             }
             adj[u.index()].push((v, EdgeId::new(i)));
             adj[v.index()].push((u, EdgeId::new(i)));
@@ -245,14 +239,18 @@ impl TreeNetwork {
         let mut x = u;
         while x != l {
             up.push(x);
-            x = self.parent[x.index()].expect("non-root vertex must have a parent").0;
+            x = self.parent[x.index()]
+                .expect("non-root vertex must have a parent")
+                .0;
         }
         up.push(l);
         let mut down = Vec::new();
         let mut y = v;
         while y != l {
             down.push(y);
-            y = self.parent[y.index()].expect("non-root vertex must have a parent").0;
+            y = self.parent[y.index()]
+                .expect("non-root vertex must have a parent")
+                .0;
         }
         up.extend(down.into_iter().rev());
         up
@@ -330,12 +328,8 @@ mod tests {
 
     #[test]
     fn rejects_wrong_edge_count() {
-        let err = TreeNetwork::new(
-            NetworkId::new(0),
-            3,
-            vec![(VertexId(0), VertexId(1))],
-        )
-        .unwrap_err();
+        let err =
+            TreeNetwork::new(NetworkId::new(0), 3, vec![(VertexId(0), VertexId(1))]).unwrap_err();
         assert!(matches!(err, GraphError::NotATree { .. }));
     }
 
@@ -358,12 +352,8 @@ mod tests {
 
     #[test]
     fn rejects_self_loop_and_duplicates() {
-        let err = TreeNetwork::new(
-            NetworkId::new(0),
-            2,
-            vec![(VertexId(0), VertexId(0))],
-        )
-        .unwrap_err();
+        let err =
+            TreeNetwork::new(NetworkId::new(0), 2, vec![(VertexId(0), VertexId(0))]).unwrap_err();
         assert!(matches!(err, GraphError::SelfLoop { .. }));
 
         let err = TreeNetwork::new(
@@ -377,12 +367,8 @@ mod tests {
 
     #[test]
     fn rejects_out_of_range_vertex() {
-        let err = TreeNetwork::new(
-            NetworkId::new(0),
-            2,
-            vec![(VertexId(0), VertexId(5))],
-        )
-        .unwrap_err();
+        let err =
+            TreeNetwork::new(NetworkId::new(0), 2, vec![(VertexId(0), VertexId(5))]).unwrap_err();
         assert!(matches!(err, GraphError::VertexOutOfRange { .. }));
     }
 
@@ -449,8 +435,8 @@ mod tests {
 
     #[test]
     fn ensure_index_rebuilds_after_skip() {
-        // The LCA index is `#[serde(skip)]`-ped; emulate a deserialized value
-        // by dropping it and rebuilding.
+        // The LCA index is not serialized by the JSON layer; emulate a
+        // deserialized value by dropping it and rebuilding.
         let t = figure6_tree();
         let mut copy = t.clone();
         copy.lca = None;

@@ -14,10 +14,9 @@
 use crate::ids::{DemandId, EdgeId, GlobalEdge, InstanceId, NetworkId};
 use crate::path::EdgePath;
 use crate::EPS;
-use serde::{Deserialize, Serialize};
 
 /// A single demand instance `d ∈ D`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DemandInstance {
     /// Identifier (dense index into the universe).
     pub id: InstanceId,
@@ -72,7 +71,7 @@ impl DemandInstance {
 }
 
 /// The full set of demand instances of a problem, plus edge capacities.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DemandInstanceUniverse {
     instances: Vec<DemandInstance>,
     num_demands: usize,
@@ -102,8 +101,8 @@ impl DemandInstanceUniverse {
         capacities: Option<Vec<Vec<f64>>>,
     ) -> Self {
         let num_networks = edges_per_network.len();
-        let capacities = capacities
-            .unwrap_or_else(|| edges_per_network.iter().map(|&m| vec![1.0; m]).collect());
+        let capacities =
+            capacities.unwrap_or_else(|| edges_per_network.iter().map(|&m| vec![1.0; m]).collect());
         assert_eq!(
             capacities.len(),
             num_networks,
@@ -522,7 +521,8 @@ mod tests {
         assert_eq!(u.instances_of_demand(DemandId(1)), &[InstanceId(1)]);
         assert_eq!(u.instances_on_network(NetworkId(0)).len(), 3);
         assert_eq!(
-            u.restrict_to_network(&[InstanceId(0), InstanceId(2)], NetworkId(0)).len(),
+            u.restrict_to_network(&[InstanceId(0), InstanceId(2)], NetworkId(0))
+                .len(),
             2
         );
     }

@@ -2,10 +2,9 @@
 
 use rand::rngs::StdRng;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// How demand profits are drawn.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ProfitDistribution {
     /// Every demand has the same profit.
     Constant(f64),
@@ -25,7 +24,7 @@ pub enum ProfitDistribution {
 }
 
 /// How demand heights are drawn.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum HeightDistribution {
     /// Unit height (the Section 5 setting).
     Unit,
@@ -52,7 +51,7 @@ pub enum HeightDistribution {
 }
 
 /// A sampled (profit, height) pair.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DemandSpec {
     /// Sampled profit.
     pub profit: f64,

@@ -1,68 +1,419 @@
-//! JSON serialization of problems, workloads and experiment results.
+//! JSON serialization of problems, workloads and scenarios.
+//!
+//! Built on the hand-rolled [`crate::json`] layer (no external
+//! dependencies). Problems serialize through their public constructor API
+//! (edges, capacities, demands), so a deserialized [`TreeProblem`] or
+//! [`LineProblem`] is always fully indexed and queryable.
 
-use netsched_graph::{LineProblem, TreeProblem};
-use serde::de::DeserializeOwned;
-use serde::Serialize;
+use crate::demand_gen::{HeightDistribution, ProfitDistribution};
+use crate::json::{FromJson, JsonValue, ToJson};
+use crate::line_gen::LineWorkload;
+use crate::scenarios::Scenario;
+use crate::tree_gen::{TreeTopology, TreeWorkload};
+use netsched_graph::{LineProblem, NetworkId, TreeProblem, VertexId};
 use std::path::Path;
 
-/// Serializes any serializable value to pretty-printed JSON.
-pub fn to_json_string<T: Serialize>(value: &T) -> Result<String, String> {
-    serde_json::to_string_pretty(value).map_err(|e| e.to_string())
+/// Serializes any [`ToJson`] value to pretty-printed JSON.
+pub fn to_json_string<T: ToJson>(value: &T) -> Result<String, String> {
+    Ok(value.to_json().render())
 }
 
-/// Deserializes a value from JSON.
-pub fn from_json_str<T: DeserializeOwned>(json: &str) -> Result<T, String> {
-    serde_json::from_str(json).map_err(|e| e.to_string())
+/// Deserializes a [`FromJson`] value from JSON text.
+pub fn from_json_str<T: FromJson>(json: &str) -> Result<T, String> {
+    T::from_json(&JsonValue::parse(json)?)
 }
 
 /// Writes a serializable value to a JSON file.
-pub fn write_json<T: Serialize, P: AsRef<Path>>(path: P, value: &T) -> Result<(), String> {
+pub fn write_json<T: ToJson, P: AsRef<Path>>(path: P, value: &T) -> Result<(), String> {
     let json = to_json_string(value)?;
     std::fs::write(path, json).map_err(|e| e.to_string())
 }
 
 /// Reads a value from a JSON file.
-pub fn read_json<T: DeserializeOwned, P: AsRef<Path>>(path: P) -> Result<T, String> {
+pub fn read_json<T: FromJson, P: AsRef<Path>>(path: P) -> Result<T, String> {
     let data = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
     from_json_str(&data)
 }
 
-/// Round-trips a tree problem through JSON, rebuilding the internal indices
-/// that are skipped during serialization.
+/// Parses a tree problem from JSON (the problem is rebuilt through its
+/// constructor API, so all internal indices are ready for queries).
 pub fn tree_problem_from_json(json: &str) -> Result<TreeProblem, String> {
-    let p: TreeProblem = from_json_str(json)?;
-    // TreeNetwork's LCA index is #[serde(skip)]; the accessors rebuild it on
-    // demand only through `ensure_index`, so re-create the problem from its
-    // parts to guarantee queryability.
-    let mut rebuilt = TreeProblem::new(p.num_vertices());
-    for t in 0..p.num_networks() {
-        let net = p.network(netsched_graph::NetworkId::new(t));
-        let edges = net.edges().map(|(_, uv)| uv).collect();
-        let id = rebuilt.add_network(edges).map_err(|e| e.to_string())?;
-        for (e, &cap) in p.capacities(netsched_graph::NetworkId::new(t)).iter().enumerate() {
-            if (cap - 1.0).abs() > f64::EPSILON {
-                rebuilt.set_capacity(id, e, cap).map_err(|e| e.to_string())?;
-            }
-        }
-    }
-    for d in p.demands() {
-        rebuilt
-            .add_demand(d.u, d.v, d.profit, d.height, p.access(d.id).to_vec())
-            .map_err(|e| e.to_string())?;
-    }
-    Ok(rebuilt)
+    from_json_str(json)
 }
 
-/// Round-trips a line problem through JSON.
+/// Parses a line problem from JSON.
 pub fn line_problem_from_json(json: &str) -> Result<LineProblem, String> {
     from_json_str(json)
+}
+
+fn access_to_json(access: &[NetworkId]) -> JsonValue {
+    JsonValue::Array(access.iter().map(|t| JsonValue::int(t.index())).collect())
+}
+
+fn access_from_json(value: &JsonValue) -> Result<Vec<NetworkId>, String> {
+    value
+        .as_array()?
+        .iter()
+        .map(|t| Ok(NetworkId::new(t.as_usize()?)))
+        .collect()
+}
+
+impl ToJson for TreeProblem {
+    fn to_json(&self) -> JsonValue {
+        let networks: Vec<JsonValue> = (0..self.num_networks())
+            .map(|t| {
+                let id = NetworkId::new(t);
+                let edges: Vec<JsonValue> = self
+                    .network(id)
+                    .edges()
+                    .map(|(_, (u, v))| {
+                        JsonValue::Array(vec![JsonValue::int(u.index()), JsonValue::int(v.index())])
+                    })
+                    .collect();
+                let capacities: Vec<JsonValue> = self
+                    .capacities(id)
+                    .iter()
+                    .map(|&c| JsonValue::num(c))
+                    .collect();
+                JsonValue::object(vec![
+                    ("edges", JsonValue::Array(edges)),
+                    ("capacities", JsonValue::Array(capacities)),
+                ])
+            })
+            .collect();
+        let demands: Vec<JsonValue> = self
+            .demands()
+            .iter()
+            .map(|d| {
+                JsonValue::object(vec![
+                    ("u", JsonValue::int(d.u.index())),
+                    ("v", JsonValue::int(d.v.index())),
+                    ("profit", JsonValue::num(d.profit)),
+                    ("height", JsonValue::num(d.height)),
+                    ("access", access_to_json(self.access(d.id))),
+                ])
+            })
+            .collect();
+        JsonValue::object(vec![
+            ("vertices", JsonValue::int(self.num_vertices())),
+            ("networks", JsonValue::Array(networks)),
+            ("demands", JsonValue::Array(demands)),
+        ])
+    }
+}
+
+impl FromJson for TreeProblem {
+    fn from_json(value: &JsonValue) -> Result<Self, String> {
+        let vertices = value.field("vertices")?.as_usize()?;
+        let mut problem = TreeProblem::new(vertices);
+        for network in value.field("networks")?.as_array()? {
+            let edges: Vec<(VertexId, VertexId)> = network
+                .field("edges")?
+                .as_array()?
+                .iter()
+                .map(|edge| {
+                    let pair = edge.as_array()?;
+                    if pair.len() != 2 {
+                        return Err("edge must be a [u, v] pair".to_string());
+                    }
+                    Ok((
+                        VertexId::new(pair[0].as_usize()?),
+                        VertexId::new(pair[1].as_usize()?),
+                    ))
+                })
+                .collect::<Result<_, String>>()?;
+            let id = problem.add_network(edges).map_err(|e| e.to_string())?;
+            for (e, cap) in network.field("capacities")?.as_array()?.iter().enumerate() {
+                let cap = cap.as_f64()?;
+                if (cap - 1.0).abs() > f64::EPSILON {
+                    problem
+                        .set_capacity(id, e, cap)
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+        }
+        for demand in value.field("demands")?.as_array()? {
+            problem
+                .add_demand(
+                    VertexId::new(demand.field("u")?.as_usize()?),
+                    VertexId::new(demand.field("v")?.as_usize()?),
+                    demand.field("profit")?.as_f64()?,
+                    demand.field("height")?.as_f64()?,
+                    access_from_json(demand.field("access")?)?,
+                )
+                .map_err(|e| e.to_string())?;
+        }
+        Ok(problem)
+    }
+}
+
+impl ToJson for LineProblem {
+    fn to_json(&self) -> JsonValue {
+        let demands: Vec<JsonValue> = self
+            .demands()
+            .iter()
+            .map(|d| {
+                JsonValue::object(vec![
+                    ("release", JsonValue::int(d.release as usize)),
+                    ("deadline", JsonValue::int(d.deadline as usize)),
+                    ("processing", JsonValue::int(d.processing as usize)),
+                    ("profit", JsonValue::num(d.profit)),
+                    ("height", JsonValue::num(d.height)),
+                    ("access", access_to_json(self.access(d.id))),
+                ])
+            })
+            .collect();
+        JsonValue::object(vec![
+            ("timeslots", JsonValue::int(self.timeslots())),
+            ("resources", JsonValue::int(self.num_resources())),
+            ("demands", JsonValue::Array(demands)),
+        ])
+    }
+}
+
+impl FromJson for LineProblem {
+    fn from_json(value: &JsonValue) -> Result<Self, String> {
+        let timeslots = value.field("timeslots")?.as_usize()?;
+        let resources = value.field("resources")?.as_usize()?;
+        let mut problem = LineProblem::new(timeslots, resources);
+        for demand in value.field("demands")?.as_array()? {
+            problem
+                .add_demand(
+                    demand.field("release")?.as_u32()?,
+                    demand.field("deadline")?.as_u32()?,
+                    demand.field("processing")?.as_u32()?,
+                    demand.field("profit")?.as_f64()?,
+                    demand.field("height")?.as_f64()?,
+                    access_from_json(demand.field("access")?)?,
+                )
+                .map_err(|e| e.to_string())?;
+        }
+        Ok(problem)
+    }
+}
+
+impl ToJson for TreeTopology {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::String(self.label().to_string())
+    }
+}
+
+impl FromJson for TreeTopology {
+    fn from_json(value: &JsonValue) -> Result<Self, String> {
+        let label = value.as_str()?;
+        TreeTopology::all()
+            .into_iter()
+            .find(|t| t.label() == label)
+            .ok_or_else(|| format!("unknown tree topology `{label}`"))
+    }
+}
+
+impl ToJson for ProfitDistribution {
+    fn to_json(&self) -> JsonValue {
+        match *self {
+            ProfitDistribution::Constant(value) => JsonValue::object(vec![
+                ("kind", JsonValue::String("constant".to_string())),
+                ("value", JsonValue::num(value)),
+            ]),
+            ProfitDistribution::Uniform { min, max } => JsonValue::object(vec![
+                ("kind", JsonValue::String("uniform".to_string())),
+                ("min", JsonValue::num(min)),
+                ("max", JsonValue::num(max)),
+            ]),
+            ProfitDistribution::PowerOfTwo { exponents } => JsonValue::object(vec![
+                ("kind", JsonValue::String("power_of_two".to_string())),
+                ("exponents", JsonValue::int(exponents as usize)),
+            ]),
+        }
+    }
+}
+
+impl FromJson for ProfitDistribution {
+    fn from_json(value: &JsonValue) -> Result<Self, String> {
+        match value.field("kind")?.as_str()? {
+            "constant" => Ok(ProfitDistribution::Constant(
+                value.field("value")?.as_f64()?,
+            )),
+            "uniform" => Ok(ProfitDistribution::Uniform {
+                min: value.field("min")?.as_f64()?,
+                max: value.field("max")?.as_f64()?,
+            }),
+            "power_of_two" => Ok(ProfitDistribution::PowerOfTwo {
+                exponents: value.field("exponents")?.as_u32()?,
+            }),
+            other => Err(format!("unknown profit distribution `{other}`")),
+        }
+    }
+}
+
+impl ToJson for HeightDistribution {
+    fn to_json(&self) -> JsonValue {
+        match *self {
+            HeightDistribution::Unit => {
+                JsonValue::object(vec![("kind", JsonValue::String("unit".to_string()))])
+            }
+            HeightDistribution::Uniform { min, max } => JsonValue::object(vec![
+                ("kind", JsonValue::String("uniform".to_string())),
+                ("min", JsonValue::num(min)),
+                ("max", JsonValue::num(max)),
+            ]),
+            HeightDistribution::Narrow { min } => JsonValue::object(vec![
+                ("kind", JsonValue::String("narrow".to_string())),
+                ("min", JsonValue::num(min)),
+            ]),
+            HeightDistribution::Mixed {
+                wide_fraction,
+                min_narrow,
+            } => JsonValue::object(vec![
+                ("kind", JsonValue::String("mixed".to_string())),
+                ("wide_fraction", JsonValue::num(wide_fraction)),
+                ("min_narrow", JsonValue::num(min_narrow)),
+            ]),
+        }
+    }
+}
+
+impl FromJson for HeightDistribution {
+    fn from_json(value: &JsonValue) -> Result<Self, String> {
+        match value.field("kind")?.as_str()? {
+            "unit" => Ok(HeightDistribution::Unit),
+            "uniform" => Ok(HeightDistribution::Uniform {
+                min: value.field("min")?.as_f64()?,
+                max: value.field("max")?.as_f64()?,
+            }),
+            "narrow" => Ok(HeightDistribution::Narrow {
+                min: value.field("min")?.as_f64()?,
+            }),
+            "mixed" => Ok(HeightDistribution::Mixed {
+                wide_fraction: value.field("wide_fraction")?.as_f64()?,
+                min_narrow: value.field("min_narrow")?.as_f64()?,
+            }),
+            other => Err(format!("unknown height distribution `{other}`")),
+        }
+    }
+}
+
+impl ToJson for TreeWorkload {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("vertices", JsonValue::int(self.vertices)),
+            ("networks", JsonValue::int(self.networks)),
+            ("demands", JsonValue::int(self.demands)),
+            ("topology", self.topology.to_json()),
+            (
+                "access_probability",
+                JsonValue::num(self.access_probability),
+            ),
+            ("profits", self.profits.to_json()),
+            ("heights", self.heights.to_json()),
+            ("seed", JsonValue::u64_value(self.seed)),
+        ])
+    }
+}
+
+impl FromJson for TreeWorkload {
+    fn from_json(value: &JsonValue) -> Result<Self, String> {
+        Ok(TreeWorkload {
+            vertices: value.field("vertices")?.as_usize()?,
+            networks: value.field("networks")?.as_usize()?,
+            demands: value.field("demands")?.as_usize()?,
+            topology: TreeTopology::from_json(value.field("topology")?)?,
+            access_probability: value.field("access_probability")?.as_f64()?,
+            profits: ProfitDistribution::from_json(value.field("profits")?)?,
+            heights: HeightDistribution::from_json(value.field("heights")?)?,
+            seed: value.field("seed")?.as_u64()?,
+        })
+    }
+}
+
+impl ToJson for LineWorkload {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("timeslots", JsonValue::int(self.timeslots as usize)),
+            ("resources", JsonValue::int(self.resources)),
+            ("demands", JsonValue::int(self.demands)),
+            ("min_length", JsonValue::int(self.min_length as usize)),
+            ("max_length", JsonValue::int(self.max_length as usize)),
+            ("max_slack", JsonValue::int(self.max_slack as usize)),
+            (
+                "access_probability",
+                JsonValue::num(self.access_probability),
+            ),
+            ("profits", self.profits.to_json()),
+            ("heights", self.heights.to_json()),
+            ("seed", JsonValue::u64_value(self.seed)),
+        ])
+    }
+}
+
+impl FromJson for LineWorkload {
+    fn from_json(value: &JsonValue) -> Result<Self, String> {
+        Ok(LineWorkload {
+            timeslots: value.field("timeslots")?.as_u32()?,
+            resources: value.field("resources")?.as_usize()?,
+            demands: value.field("demands")?.as_usize()?,
+            min_length: value.field("min_length")?.as_u32()?,
+            max_length: value.field("max_length")?.as_u32()?,
+            max_slack: value.field("max_slack")?.as_u32()?,
+            access_probability: value.field("access_probability")?.as_f64()?,
+            profits: ProfitDistribution::from_json(value.field("profits")?)?,
+            heights: HeightDistribution::from_json(value.field("heights")?)?,
+            seed: value.field("seed")?.as_u64()?,
+        })
+    }
+}
+
+impl ToJson for Scenario {
+    fn to_json(&self) -> JsonValue {
+        match self {
+            Scenario::Tree {
+                name,
+                description,
+                workload,
+            } => JsonValue::object(vec![
+                ("kind", JsonValue::String("tree".to_string())),
+                ("name", JsonValue::String(name.clone())),
+                ("description", JsonValue::String(description.clone())),
+                ("workload", workload.to_json()),
+            ]),
+            Scenario::Line {
+                name,
+                description,
+                workload,
+            } => JsonValue::object(vec![
+                ("kind", JsonValue::String("line".to_string())),
+                ("name", JsonValue::String(name.clone())),
+                ("description", JsonValue::String(description.clone())),
+                ("workload", workload.to_json()),
+            ]),
+        }
+    }
+}
+
+impl FromJson for Scenario {
+    fn from_json(value: &JsonValue) -> Result<Self, String> {
+        let name = value.field("name")?.as_str()?.to_string();
+        let description = value.field("description")?.as_str()?.to_string();
+        match value.field("kind")?.as_str()? {
+            "tree" => Ok(Scenario::Tree {
+                name,
+                description,
+                workload: TreeWorkload::from_json(value.field("workload")?)?,
+            }),
+            "line" => Ok(Scenario::Line {
+                name,
+                description,
+                workload: LineWorkload::from_json(value.field("workload")?)?,
+            }),
+            other => Err(format!("unknown scenario kind `{other}`")),
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::line_gen::LineWorkload;
-    use crate::tree_gen::TreeWorkload;
+    use crate::scenarios::named_scenarios;
 
     #[test]
     fn tree_problem_json_roundtrip() {
@@ -84,6 +435,22 @@ mod tests {
     }
 
     #[test]
+    fn capacities_survive_the_roundtrip() {
+        let mut p = TreeWorkload {
+            vertices: 12,
+            networks: 1,
+            demands: 6,
+            ..TreeWorkload::default()
+        }
+        .build()
+        .unwrap();
+        p.set_capacity(NetworkId::new(0), 3, 2.5).unwrap();
+        let q = tree_problem_from_json(&to_json_string(&p).unwrap()).unwrap();
+        assert_eq!(q.capacities(NetworkId::new(0))[3], 2.5);
+        assert_eq!(q.capacities(NetworkId::new(0))[0], 1.0);
+    }
+
+    #[test]
     fn line_problem_json_roundtrip() {
         let p = LineWorkload::default().build().unwrap();
         let json = to_json_string(&p).unwrap();
@@ -102,6 +469,32 @@ mod tests {
         let json = to_json_string(&w).unwrap();
         let back: LineWorkload = from_json_str(&json).unwrap();
         assert_eq!(w, back);
+    }
+
+    #[test]
+    fn every_named_scenario_roundtrips() {
+        for scenario in named_scenarios() {
+            let json = to_json_string(&scenario).unwrap();
+            let back: Scenario = from_json_str(&json).unwrap();
+            assert_eq!(scenario.name(), back.name());
+            assert_eq!(scenario.description(), back.description());
+        }
+    }
+
+    #[test]
+    fn seeds_beyond_2_pow_53_roundtrip_exactly() {
+        let w = TreeWorkload {
+            seed: (1 << 60) + 1,
+            ..TreeWorkload::default()
+        };
+        let back: TreeWorkload = from_json_str(&to_json_string(&w).unwrap()).unwrap();
+        assert_eq!(back.seed, (1 << 60) + 1);
+        let w = LineWorkload {
+            seed: u64::MAX,
+            ..LineWorkload::default()
+        };
+        let back: LineWorkload = from_json_str(&to_json_string(&w).unwrap()).unwrap();
+        assert_eq!(back.seed, u64::MAX);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 
 pub mod demand_gen;
 pub mod io;
+pub mod json;
 pub mod line_gen;
 pub mod scenarios;
 pub mod tree_gen;

@@ -4,10 +4,9 @@ use crate::demand_gen::{DemandSpec, HeightDistribution, ProfitDistribution};
 use netsched_graph::{GraphError, LineProblem, NetworkId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Description of a random windowed line workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LineWorkload {
     /// Number of timeslots (`n`).
     pub timeslots: u32,
@@ -43,7 +42,10 @@ impl Default for LineWorkload {
             max_length: 16,
             max_slack: 8,
             access_probability: 0.7,
-            profits: ProfitDistribution::Uniform { min: 1.0, max: 32.0 },
+            profits: ProfitDistribution::Uniform {
+                min: 1.0,
+                max: 32.0,
+            },
             heights: HeightDistribution::Unit,
             seed: 0,
         }
@@ -225,6 +227,9 @@ mod tests {
         assert_eq!(w.max_slack, 2);
         assert_eq!(w.seed, 77);
         let p = w.build().unwrap();
-        assert!(p.demands().iter().all(|d| d.profit == 2.0 && d.height <= 0.5));
+        assert!(p
+            .demands()
+            .iter()
+            .all(|d| d.profit == 2.0 && d.height <= 0.5));
     }
 }

@@ -11,10 +11,9 @@ use crate::line_gen::LineWorkload;
 use crate::tree_gen::{TreeTopology, TreeWorkload};
 use netsched_graph::fixtures;
 use netsched_graph::{LineProblem, TreeProblem};
-use serde::{Deserialize, Serialize};
 
 /// A named scenario: either a tree-network or a line-network instance.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Scenario {
     /// A tree-network scheduling scenario.
     Tree {
@@ -67,7 +66,10 @@ pub fn named_scenarios() -> Vec<Scenario> {
                 demands: 120,
                 topology: TreeTopology::RandomAttachment,
                 access_probability: 0.5,
-                profits: ProfitDistribution::Uniform { min: 1.0, max: 64.0 },
+                profits: ProfitDistribution::Uniform {
+                    min: 1.0,
+                    max: 64.0,
+                },
                 heights: HeightDistribution::Unit,
                 seed: 2013,
             },
@@ -107,7 +109,10 @@ pub fn named_scenarios() -> Vec<Scenario> {
                 max_length: 24,
                 max_slack: 12,
                 access_probability: 0.8,
-                profits: ProfitDistribution::Uniform { min: 1.0, max: 32.0 },
+                profits: ProfitDistribution::Uniform {
+                    min: 1.0,
+                    max: 32.0,
+                },
                 heights: HeightDistribution::Unit,
                 seed: 7,
             },
@@ -126,7 +131,10 @@ pub fn named_scenarios() -> Vec<Scenario> {
                 max_length: 18,
                 max_slack: 6,
                 access_probability: 0.9,
-                profits: ProfitDistribution::Uniform { min: 1.0, max: 16.0 },
+                profits: ProfitDistribution::Uniform {
+                    min: 1.0,
+                    max: 16.0,
+                },
                 heights: HeightDistribution::Mixed {
                     wide_fraction: 0.25,
                     min_narrow: 0.05,

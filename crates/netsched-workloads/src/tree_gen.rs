@@ -4,10 +4,9 @@ use crate::demand_gen::{DemandSpec, HeightDistribution, ProfitDistribution};
 use netsched_graph::{GraphError, NetworkId, TreeProblem, VertexId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Shapes of random tree topologies used in the experiments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TreeTopology {
     /// Uniform random attachment: vertex `i` attaches to a uniformly random
     /// earlier vertex (yields trees of logarithmic expected depth).
@@ -91,7 +90,7 @@ pub fn random_tree_edges(
             .map(|i| (VertexId::new(0), VertexId::new(i)))
             .collect(),
         TreeTopology::Caterpillar => {
-            let spine = (n + 1) / 2;
+            let spine = n.div_ceil(2);
             let mut edges: Vec<(VertexId, VertexId)> = (1..spine)
                 .map(|i| (VertexId::new(i - 1), VertexId::new(i)))
                 .collect();
@@ -107,7 +106,7 @@ pub fn random_tree_edges(
 }
 
 /// Description of a random tree-network workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TreeWorkload {
     /// Number of vertices per network.
     pub vertices: usize,
@@ -136,7 +135,10 @@ impl Default for TreeWorkload {
             demands: 60,
             topology: TreeTopology::RandomAttachment,
             access_probability: 0.6,
-            profits: ProfitDistribution::Uniform { min: 1.0, max: 32.0 },
+            profits: ProfitDistribution::Uniform {
+                min: 1.0,
+                max: 32.0,
+            },
             heights: HeightDistribution::Unit,
             seed: 0,
         }
@@ -250,8 +252,18 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = TreeWorkload { seed: 1, ..TreeWorkload::default() }.build().unwrap();
-        let b = TreeWorkload { seed: 2, ..TreeWorkload::default() }.build().unwrap();
+        let a = TreeWorkload {
+            seed: 1,
+            ..TreeWorkload::default()
+        }
+        .build()
+        .unwrap();
+        let b = TreeWorkload {
+            seed: 2,
+            ..TreeWorkload::default()
+        }
+        .build()
+        .unwrap();
         let same = a
             .demands()
             .iter()

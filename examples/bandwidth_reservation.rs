@@ -5,11 +5,12 @@
 //! scheduler picks a link, a start time and which requests to admit. This
 //! is the Section 7 setting of the paper with arbitrary heights.
 //!
-//! The example compares:
-//!   * the paper's (23 + ε)-approximation (Theorem 7.2),
-//!   * the Panconesi–Sozio-style baseline it improves on,
-//!   * a profit-greedy heuristic, and
-//!   * the exact optimum (branch-and-bound; the instance is kept small).
+//! The example opens one [`Scheduler`] session on the instance and runs the
+//! full solver registry as a portfolio — the paper's (23 + ε)-approximation
+//! (Theorem 7.2, auto-selected for this mixed-height shape), the
+//! Panconesi–Sozio-style baseline it improves on, the greedy heuristics and
+//! the exact optimum all share the session's cached universe and
+//! decompositions.
 //!
 //! Run with: `cargo run --example bandwidth_reservation`
 
@@ -26,7 +27,10 @@ fn main() {
         max_length: 10,
         max_slack: 5,
         access_probability: 0.85,
-        profits: ProfitDistribution::Uniform { min: 1.0, max: 20.0 },
+        profits: ProfitDistribution::Uniform {
+            min: 1.0,
+            max: 20.0,
+        },
         heights: HeightDistribution::Mixed {
             wide_fraction: 0.3,
             min_narrow: 0.1,
@@ -34,7 +38,7 @@ fn main() {
         seed: 42,
     };
     let problem = workload.build().expect("workload is valid");
-    let universe = problem.universe();
+    let session = Scheduler::for_line(&problem);
 
     println!("== bandwidth reservation example ==");
     println!(
@@ -42,7 +46,11 @@ fn main() {
         problem.num_demands(),
         problem.num_resources(),
         problem.timeslots(),
-        universe.num_instances()
+        session.universe().num_instances()
+    );
+    println!(
+        "auto-selected solver: {} (Theorem 7.2)",
+        session.auto_solver().name()
     );
 
     let config = AlgorithmConfig {
@@ -51,42 +59,38 @@ fn main() {
         seed: 7,
     };
 
-    let ours = solve_line_arbitrary(&problem, &config);
-    ours.verify(&universe).expect("feasible");
-    let ps = solve_ps_line_narrow(&problem, &config);
-    ps.verify(&universe).expect("feasible");
-    let greedy = best_greedy(&universe);
-    greedy.verify(&universe).expect("feasible");
-    let exact = exact_optimum(&universe);
-
-    println!("\n{:<38} {:>10} {:>10} {:>10}", "algorithm", "profit", "rounds", "vs OPT");
-    let row = |name: &str, profit: f64, rounds: u64| {
-        println!(
-            "{:<38} {:>10.2} {:>10} {:>9.1}%",
-            name,
-            profit,
-            rounds,
-            100.0 * profit / exact.profit.max(1e-9)
-        );
+    // One portfolio call: every registered solver that supports this shape
+    // runs on the shared session caches — including Theorem 7.2 and the
+    // exact branch-and-bound, so both are read back from the runs below
+    // instead of being solved a second time.
+    let portfolio = session.portfolio(&netsched::registry(), &config);
+    let run_named = |name: &str| {
+        portfolio
+            .runs
+            .iter()
+            .find(|r| r.name == name)
+            .expect("solver participates in the portfolio")
     };
-    row(
-        "this paper, Thm 7.2 (23+eps approx)",
-        ours.profit,
-        ours.stats.rounds,
-    );
-    row("Panconesi-Sozio style baseline", ps.profit, ps.stats.rounds);
-    row("profit-greedy heuristic", greedy.profit, 0);
-    println!(
-        "{:<38} {:>10.2} {:>10} {:>9.1}%",
-        "exact optimum (branch & bound)",
-        exact.profit,
-        "-",
-        100.0
-    );
+    let exact = &run_named("exact").solution;
 
-    println!("\n-- admitted reservations (this paper) --");
+    println!(
+        "\n{:<20} {:>10} {:>10} {:>10}",
+        "solver", "profit", "rounds", "vs OPT"
+    );
+    for run in &portfolio.runs {
+        println!(
+            "{:<20} {:>10.2} {:>10} {:>9.1}%",
+            run.name,
+            run.solution.profit,
+            run.solution.stats.rounds,
+            100.0 * run.solution.profit / exact.profit.max(1e-9)
+        );
+    }
+    let ours = &run_named("line-arbitrary").solution;
+
+    println!("\n-- admitted reservations (this paper, Thm 7.2) --");
     for &inst in &ours.selected {
-        let d = universe.instance(inst);
+        let d = session.universe().instance(inst);
         let demand = problem.demand(d.demand);
         println!(
             "  request {:>3}: link {}, slots [{:>2}, {:>2}], bandwidth {:.2}, profit {:>5.1}  (window [{}, {}])",
@@ -105,6 +109,13 @@ fn main() {
         "\ncertificate: OPT <= {:.2}; certified ratio {:.2} (theorem bound {:.1})",
         ours.diagnostics.optimum_upper_bound,
         ours.certified_ratio().unwrap_or(1.0),
-        23.0 / (1.0 - config.epsilon)
+        LineArbitrarySolver.guarantee(config.epsilon).unwrap()
+    );
+    let counts = session.build_counts();
+    println!(
+        "session caches: universe x{}, wide/narrow split x{} — shared by {} runs",
+        counts.universe,
+        counts.split,
+        portfolio.runs.len()
     );
 }

@@ -44,22 +44,33 @@ fn main() {
             .add_demand(VertexId::new(u), VertexId::new(v), profit, height, vec![t])
             .expect("valid demand");
     }
-    let universe = problem.universe();
+    let session = Scheduler::for_tree(&problem);
+    let universe = session.universe();
 
     println!("== capacitated (non-uniform bandwidth) example ==");
     println!(
         "fabric: {} nodes; core links have capacity 2.0, access links 1.0",
         problem.num_vertices()
     );
-    println!("{} flows requesting fractional bandwidth\n", problem.num_demands());
+    println!(
+        "{} flows requesting fractional bandwidth\n",
+        problem.num_demands()
+    );
 
     let config = AlgorithmConfig::deterministic(0.1);
-    let solution = solve_arbitrary_tree(&problem, &config);
-    solution.verify(&universe).expect("feasible under capacities");
-    let exact = exact_optimum(&universe);
+    // Mixed heights on a tree: the dispatch table selects Theorem 6.3.
+    println!("auto-selected solver: {}\n", session.auto_solver().name());
+    let solution = session.solve(&config);
+    solution
+        .verify(universe)
+        .expect("feasible under capacities");
+    let exact = exact_optimum(universe);
 
     println!("{:<28} {:>8}", "algorithm", "profit");
-    println!("{:<28} {:>8.1}", "arbitrary-height (Thm 6.3)", solution.profit);
+    println!(
+        "{:<28} {:>8.1}",
+        "arbitrary-height (Thm 6.3)", solution.profit
+    );
     println!("{:<28} {:>8.1}", "exact optimum", exact.profit);
 
     println!("\n-- admitted flows --");

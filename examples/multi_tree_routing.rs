@@ -24,7 +24,8 @@ fn main() {
         _ => unreachable!("datacenter scenario is a tree scenario"),
     };
     let problem = workload.build().expect("valid workload");
-    let universe = problem.universe();
+    let session = Scheduler::for_tree(&problem);
+    let universe = session.universe();
 
     println!("== multi-tree routing example ==");
     println!("{}", scenario.description());
@@ -51,13 +52,22 @@ fn main() {
         mis: MisStrategy::Luby { seed: 11 },
         seed: 11,
     };
-    let distributed = solve_unit_tree(&problem, &config);
-    distributed.verify(&universe).expect("feasible");
-    let sequential = solve_sequential_tree(&problem);
-    sequential.verify(&universe).expect("feasible");
-    let greedy = best_greedy(&universe);
+    // The session shares its cached universe and layerings across all three
+    // solver runs (the dispatch table picks Theorem 5.3 for this shape).
+    assert_eq!(session.auto_solver().name(), "tree-unit");
+    let distributed = session.solve(&config);
+    distributed.verify(universe).expect("feasible");
+    let sequential = session.solve_with(&SequentialTreeSolver, &config);
+    sequential.verify(universe).expect("feasible");
+    let greedy = session.solve_with(
+        &GreedySolver::new(netsched::baseline::GreedyOrder::Profit),
+        &config,
+    );
 
-    println!("\n{:<34} {:>10} {:>12} {:>10}", "algorithm", "profit", "scheduled", "rounds");
+    println!(
+        "\n{:<34} {:>10} {:>12} {:>10}",
+        "algorithm", "profit", "scheduled", "rounds"
+    );
     println!(
         "{:<34} {:>10.1} {:>12} {:>10}",
         "distributed (Thm 5.3, 7+eps)",
@@ -74,18 +84,36 @@ fn main() {
     );
     println!(
         "{:<34} {:>10.1} {:>12} {:>10}",
-        "profit-greedy heuristic", greedy.profit, greedy.len(), 0
+        "profit-greedy heuristic",
+        greedy.profit,
+        greedy.len(),
+        0
     );
 
     let d = distributed.diagnostics;
     println!("\n-- distributed cost breakdown (Theorem 5.3 bound) --");
     println!("  epochs (layered-decomposition length) : {}", d.epochs);
-    println!("  stages per epoch (⌈log_ξ ε⌉)           : {}", d.stages_per_epoch);
+    println!(
+        "  stages per epoch (⌈log_ξ ε⌉)           : {}",
+        d.stages_per_epoch
+    );
     println!("  first-phase steps                      : {}", d.steps);
-    println!("  max steps in one stage                 : {}", d.max_steps_per_stage);
-    println!("  MIS invocations / MIS rounds           : {} / {}", distributed.stats.mis_invocations, distributed.stats.mis_rounds);
-    println!("  total communication rounds             : {}", distributed.stats.rounds);
-    println!("  total messages                         : {}", distributed.stats.messages);
+    println!(
+        "  max steps in one stage                 : {}",
+        d.max_steps_per_stage
+    );
+    println!(
+        "  MIS invocations / MIS rounds           : {} / {}",
+        distributed.stats.mis_invocations, distributed.stats.mis_rounds
+    );
+    println!(
+        "  total communication rounds             : {}",
+        distributed.stats.rounds
+    );
+    println!(
+        "  total messages                         : {}",
+        distributed.stats.messages
+    );
     println!(
         "  certified ratio {:.2} <= worst-case bound {:.2}",
         distributed.certified_ratio().unwrap_or(1.0),
@@ -95,7 +123,7 @@ fn main() {
     // How many transfers were routed per tree.
     println!("\n-- load per spanning tree (distributed schedule) --");
     for t in 0..problem.num_networks() {
-        let on_t = distributed.on_network(&universe, NetworkId::new(t));
+        let on_t = distributed.on_network(universe, NetworkId::new(t));
         let profit: f64 = on_t.iter().map(|&i| universe.profit(i)).sum();
         println!(
             "  tree {}: {} transfers, profit {:.1}",

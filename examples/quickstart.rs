@@ -1,9 +1,10 @@
 //! Quickstart: schedule a handful of transfers on a shared tree network.
 //!
 //! Builds the worked example of the paper (the Figure 6 tree with the
-//! Section 4 demands), runs the distributed (7 + ε)-approximation of
-//! Theorem 5.3, and prints the schedule together with its dual certificate
-//! and the true optimum.
+//! Section 4 demands), opens a [`Scheduler`] session on it, lets the
+//! dispatch table auto-select the paper algorithm (Theorem 5.3 here), and
+//! then runs a portfolio over every registered solver on the same cached
+//! session — universe and decomposition are built exactly once.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -14,7 +15,7 @@ fn main() {
     // ⟨4, 13⟩ (profit 3), ⟨2, 3⟩ (profit 2) and ⟨12, 13⟩ (profit 1),
     // all owned by processors that can only access this one tree.
     let problem = netsched::graph::fixtures::figure6_problem();
-    let universe = problem.universe();
+    let session = Scheduler::for_tree(&problem);
 
     println!("== netsched quickstart ==");
     println!(
@@ -22,24 +23,30 @@ fn main() {
         problem.num_vertices(),
         problem.num_networks(),
         problem.num_demands(),
-        universe.num_instances()
+        session.universe().num_instances()
     );
 
-    // The distributed algorithm of Theorem 5.3: ideal tree decomposition
-    // (∆ = 6), slackness 1 − ε, Luby MIS on the conflict graph.
+    // The dispatch table picks the paper algorithm from the instance shape;
+    // unit heights on a tree select Theorem 5.3 (ideal decomposition,
+    // ∆ = 6, slackness 1 − ε, Luby MIS on the conflict graph).
     let config = AlgorithmConfig {
         epsilon: 0.1,
         mis: MisStrategy::Luby { seed: 2013 },
         seed: 2013,
     };
-    let solution = solve_unit_tree(&problem, &config);
+    println!(
+        "auto-selected solver: {} (guarantee {:.2})",
+        session.auto_solver().name(),
+        session.auto_solver().guarantee(config.epsilon).unwrap()
+    );
+    let solution = session.solve(&config);
     solution
-        .verify(&universe)
+        .verify(session.universe())
         .expect("the algorithm must produce a feasible schedule");
 
     println!("\n-- schedule (distributed, Theorem 5.3) --");
     for &inst in &solution.selected {
-        let d = universe.instance(inst);
+        let d = session.universe().instance(inst);
         let demand = problem.demand(d.demand);
         println!(
             "  demand {} = <v{}, v{}>  profit {:.1}  scheduled on {} via {} edge(s)",
@@ -57,7 +64,10 @@ fn main() {
     let diag = solution.diagnostics;
     println!("  critical-set size ∆          : {}", diag.delta);
     println!("  achieved slackness λ         : {:.4}", diag.lambda);
-    println!("  dual optimum upper bound     : {:.2}", diag.optimum_upper_bound);
+    println!(
+        "  dual optimum upper bound     : {:.2}",
+        diag.optimum_upper_bound
+    );
     println!(
         "  certified approximation ratio: {:.2} (worst-case bound {:.2})",
         solution.certified_ratio().unwrap_or(1.0),
@@ -68,15 +78,36 @@ fn main() {
         solution.stats.rounds, solution.stats.mis_rounds, solution.stats.messages
     );
 
-    // Compare against the exact optimum (tiny instance) and the sequential
-    // 3-approximation of Appendix A.
-    let exact = exact_optimum(&universe);
-    let sequential = solve_sequential_tree(&problem);
-    println!("\n-- references --");
-    println!("  exact optimum                : {:.2}", exact.profit);
-    println!("  sequential Appendix A        : {:.2}", sequential.profit);
+    // A portfolio over the full registry (paper algorithms + baselines)
+    // reuses the same session caches and keeps the best verified schedule.
+    println!("\n-- portfolio over the solver registry --");
+    let portfolio = session.portfolio(&netsched::registry(), &config);
     println!(
-        "  empirical ratio (opt/ours)   : {:.3}",
-        exact.profit / solution.profit
+        "  {:<18} {:>8} {:>10} {:>12}",
+        "solver", "profit", "certified", "guarantee"
+    );
+    for run in &portfolio.runs {
+        println!(
+            "  {:<18} {:>8.2} {:>10} {:>12}",
+            run.name,
+            run.solution.profit,
+            run.solution
+                .certified_ratio()
+                .map_or("-".to_string(), |r| format!("{r:.2}")),
+            run.guarantee.map_or("-".to_string(), |g| format!("{g:.2}")),
+        );
+    }
+    let best = portfolio.best().expect("at least one verified run");
+    println!(
+        "  best verified: {} with profit {:.2}",
+        best.name, best.solution.profit
+    );
+
+    let counts = session.build_counts();
+    println!(
+        "\nsession caches: universe built {} time(s), decomposition {} time(s) — across {} solver runs",
+        counts.universe,
+        counts.layering,
+        portfolio.runs.len() + 1
     );
 }

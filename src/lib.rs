@@ -7,20 +7,28 @@
 //! processors compete for exclusive routes on shared tree networks and for
 //! time windows on line networks.
 //!
-//! This crate is a thin facade over the workspace:
+//! ## The Solver / Scheduler API
 //!
-//! * [`graph`] (`netsched-graph`) — networks, demands, problem instances and
-//!   the demand-instance universe;
-//! * [`decomp`] (`netsched-decomp`) — tree decompositions (root-fixing,
-//!   balancing, ideal) and layered decompositions;
-//! * [`distrib`] (`netsched-distrib`) — the synchronous message-passing
-//!   simulator, conflict graphs and Luby's distributed MIS;
-//! * [`core`] (`netsched-core`) — the two-phase primal-dual framework and
-//!   the paper's algorithms (Theorems 5.3, 6.3, 7.1, 7.2, Appendix A);
-//! * [`baseline`] (`netsched-baseline`) — Panconesi–Sozio reconstruction,
-//!   greedy heuristics, exact solvers and optimum upper bounds;
-//! * [`workloads`] (`netsched-workloads`) — seeded workload generators and
-//!   named scenarios.
+//! Everything runs through two abstractions from [`core`]:
+//!
+//! * [`Solver`](prelude::Solver) — a named algorithm with an optional
+//!   worst-case guarantee. The paper's six algorithms
+//!   (`netsched_core::registry`) and every baseline
+//!   (`netsched_baseline::registry`) implement it; [`registry`] chains both.
+//! * [`Scheduler`](prelude::Scheduler) — a *session* around one problem
+//!   ([`TreeProblem`](prelude::TreeProblem) or
+//!   [`LineProblem`](prelude::LineProblem)). It builds the demand-instance
+//!   universe, the layered decompositions and the wide/narrow split **once**
+//!   and reuses them across every solve, sweep and portfolio on that
+//!   instance.
+//!
+//! [`Scheduler::solve`](prelude::Scheduler::solve) auto-selects the paper
+//! algorithm by instance shape (line vs tree; all-wide vs all-narrow vs
+//! mixed heights — the Theorem 5.3 / 6.3 / 7.1 / 7.2 dispatch table, see
+//! `netsched_core::solver`), and
+//! [`Scheduler::portfolio`](prelude::Scheduler::portfolio) runs any set of
+//! registered solvers on the shared caches and keeps the best certified
+//! schedule.
 //!
 //! ## Quickstart
 //!
@@ -42,13 +50,42 @@
 //! problem.add_unit_demand(VertexId(1), VertexId(5), 4.0, vec![t]).unwrap();
 //! problem.add_unit_demand(VertexId(3), VertexId(5), 2.0, vec![t]).unwrap();
 //!
-//! let solution = solve_unit_tree(&problem, &AlgorithmConfig::deterministic(0.1));
-//! let universe = problem.universe();
-//! solution.verify(&universe).unwrap();
+//! // One session; the universe and decomposition are built exactly once
+//! // even across repeated solves with different ε.
+//! let session = Scheduler::for_tree(&problem);
+//! assert_eq!(session.auto_solver().name(), "tree-unit"); // Theorem 5.3
+//! let solution = session.solve(&AlgorithmConfig::deterministic(0.1));
+//! solution.verify(session.universe()).unwrap();
 //! assert!(solution.profit > 0.0);
 //! // Every run carries a machine-checked optimum upper bound.
 //! assert!(solution.diagnostics.optimum_upper_bound >= solution.profit);
+//!
+//! // A portfolio over every registered solver keeps the best verified run.
+//! let portfolio = session.portfolio(&netsched::registry(), &AlgorithmConfig::deterministic(0.1));
+//! assert!(portfolio.best_solution().profit + 1e-9 >= solution.profit);
+//! assert_eq!(session.build_counts().universe, 1);
 //! ```
+//!
+//! The pre-redesign free functions (`solve_unit_tree`,
+//! `solve_line_arbitrary`, …) remain available as thin wrappers that create
+//! a single-call session.
+//!
+//! ## Workspace layout
+//!
+//! * [`graph`] (`netsched-graph`) — networks, demands, problem instances and
+//!   the demand-instance universe;
+//! * [`decomp`] (`netsched-decomp`) — tree decompositions (root-fixing,
+//!   balancing, ideal) and layered decompositions;
+//! * [`distrib`] (`netsched-distrib`) — the synchronous message-passing
+//!   simulator, conflict graphs and Luby's distributed MIS;
+//! * [`core`] (`netsched-core`) — the two-phase primal-dual framework, the
+//!   paper's algorithms (Theorems 5.3, 6.3, 7.1, 7.2, Appendix A) and the
+//!   Solver/Scheduler session API;
+//! * [`baseline`] (`netsched-baseline`) — Panconesi–Sozio reconstruction,
+//!   greedy heuristics, exact solvers and optimum upper bounds, all behind
+//!   the same `Solver` trait;
+//! * [`workloads`] (`netsched-workloads`) — seeded workload generators,
+//!   named scenarios and JSON instance serialization.
 
 #![warn(missing_docs)]
 
@@ -70,26 +107,49 @@ pub use netsched_baseline as baseline;
 /// Re-export of `netsched-workloads`.
 pub use netsched_workloads as workloads;
 
+/// Every registered solver: the paper's algorithms
+/// ([`netsched_core::registry`]) followed by the baselines
+/// ([`netsched_baseline::registry`]). Feed this to
+/// [`Scheduler::portfolio`](netsched_core::Scheduler::portfolio) or iterate
+/// it for conformance sweeps.
+pub fn registry() -> Vec<Box<dyn netsched_core::Solver>> {
+    let mut solvers = netsched_core::registry();
+    solvers.extend(netsched_baseline::registry());
+    solvers
+}
+
 /// The most commonly used types and entry points.
 pub mod prelude {
+    // The unified Solver / Scheduler session API.
+    pub use netsched_core::{
+        approximation_bound, AlgorithmConfig, BuildCounts, Portfolio, PortfolioRun, Problem,
+        ProblemKind, RaiseRule, Scheduler, Solution, SolveContext, Solver,
+    };
+    // The paper's algorithms: solver types and the historical free-function
+    // wrappers.
+    pub use netsched_core::{
+        solve_arbitrary_tree, solve_line_arbitrary, solve_line_unit, solve_narrow_tree,
+        solve_sequential_tree, solve_unit_tree, ArbitraryTreeSolver, LineArbitrarySolver,
+        LineNarrowSolver, LineUnitSolver, NarrowTreeSolver, SequentialTreeSolver, UnitTreeSolver,
+    };
+    // Baselines.
     pub use netsched_baseline::{
         best_greedy, exact_optimum, solve_ps_line_narrow, solve_ps_line_unit,
-        weighted_interval_optimum,
+        weighted_interval_optimum, ExactSolver, GreedySolver, IntervalDpSolver, PsLineNarrowSolver,
+        PsLineUnitSolver,
     };
-    pub use netsched_core::{
-        approximation_bound, solve_arbitrary_tree, solve_line_arbitrary, solve_line_unit,
-        solve_narrow_tree, solve_sequential_tree, solve_unit_tree, AlgorithmConfig, RaiseRule,
-        Solution,
-    };
+    // Decompositions and the distributed substrate.
     pub use netsched_decomp::{
-        balancing_decomposition, ideal_decomposition, root_fixing_decomposition,
-        InstanceLayering, TreeDecomposition, TreeDecompositionKind,
+        balancing_decomposition, ideal_decomposition, root_fixing_decomposition, InstanceLayering,
+        TreeDecomposition, TreeDecompositionKind,
     };
     pub use netsched_distrib::{CommGraph, ConflictGraph, MisStrategy, RoundStats};
+    // The data model.
     pub use netsched_graph::{
         Demand, DemandId, DemandInstanceUniverse, EdgeId, GlobalEdge, InstanceId, LineProblem,
         NetworkId, Processor, ProcessorId, TreeNetwork, TreeProblem, VertexId,
     };
+    // Workloads and scenarios.
     pub use netsched_workloads::{
         named_scenarios, HeightDistribution, LineWorkload, ProfitDistribution, Scenario,
         TreeTopology, TreeWorkload,
@@ -110,11 +170,25 @@ mod tests {
             ..TreeWorkload::default()
         };
         let problem = workload.build().unwrap();
-        let universe = problem.universe();
-        let solution = solve_unit_tree(&problem, &AlgorithmConfig::deterministic(0.1));
-        solution.verify(&universe).unwrap();
-        let exact = exact_optimum(&universe);
+        let session = Scheduler::for_tree(&problem);
+        let solution = session.solve(&AlgorithmConfig::deterministic(0.1));
+        solution.verify(session.universe()).unwrap();
+        let exact = exact_optimum(session.universe());
         assert!(exact.profit + 1e-9 >= solution.profit);
         assert!(solution.diagnostics.optimum_upper_bound + 1e-6 >= exact.profit);
+        assert_eq!(session.build_counts().universe, 1);
+    }
+
+    #[test]
+    fn combined_registry_covers_paper_algorithms_and_baselines() {
+        let names: Vec<&str> = crate::registry().iter().map(|s| s.name()).collect();
+        assert!(names.contains(&"tree-unit"));
+        assert!(names.contains(&"line-arbitrary"));
+        assert!(names.contains(&"exact"));
+        assert!(names.contains(&"ps-line-unit"));
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len(), "solver names must be unique");
     }
 }

@@ -25,7 +25,11 @@ fn random_tree_problem(seed: u64, n: usize, r: usize, m: usize, unit: bool) -> T
             v = rng.gen_range(0..n);
         }
         let access: Vec<NetworkId> = nets.iter().copied().filter(|_| rng.gen_bool(0.7)).collect();
-        let access = if access.is_empty() { vec![nets[0]] } else { access };
+        let access = if access.is_empty() {
+            vec![nets[0]]
+        } else {
+            access
+        };
         let height = if unit { 1.0 } else { rng.gen_range(0.05..=1.0) };
         p.add_demand(
             VertexId::new(u),
@@ -47,8 +51,16 @@ fn random_line_problem(seed: u64, n: u32, r: usize, m: usize, unit: bool) -> Lin
         let len = rng.gen_range(1..=(n / 3).max(1));
         let release = rng.gen_range(0..=(n - len));
         let slack = rng.gen_range(0..=(n - release - len).min(4));
-        let access: Vec<NetworkId> = acc_all.iter().copied().filter(|_| rng.gen_bool(0.7)).collect();
-        let access = if access.is_empty() { vec![acc_all[0]] } else { access };
+        let access: Vec<NetworkId> = acc_all
+            .iter()
+            .copied()
+            .filter(|_| rng.gen_bool(0.7))
+            .collect();
+        let access = if access.is_empty() {
+            vec![acc_all[0]]
+        } else {
+            access
+        };
         let height = if unit { 1.0 } else { rng.gen_range(0.05..=1.0) };
         p.add_demand(
             release,

@@ -11,7 +11,10 @@
 //!   the interference property.
 
 use netsched::prelude::*;
-use netsched_decomp::{balancing_decomposition, ideal_decomposition, ideal_depth_bound, root_fixing_decomposition, InstanceLayering, TreeDecompositionKind};
+use netsched_decomp::{
+    balancing_decomposition, ideal_decomposition, ideal_depth_bound, root_fixing_decomposition,
+    InstanceLayering, TreeDecompositionKind,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -44,9 +47,18 @@ fn random_tree_problem(seed: u64, n: usize, r: usize, m: usize) -> TreeProblem {
             v = rng.gen_range(0..n);
         }
         let access: Vec<NetworkId> = nets.iter().copied().filter(|_| rng.gen_bool(0.6)).collect();
-        let access = if access.is_empty() { vec![nets[0]] } else { access };
-        p.add_unit_demand(VertexId::new(u), VertexId::new(v), rng.gen_range(1.0..50.0), access)
-            .unwrap();
+        let access = if access.is_empty() {
+            vec![nets[0]]
+        } else {
+            access
+        };
+        p.add_unit_demand(
+            VertexId::new(u),
+            VertexId::new(v),
+            rng.gen_range(1.0..50.0),
+            access,
+        )
+        .unwrap();
     }
     p
 }

@@ -25,7 +25,11 @@ fn random_universe(seed: u64, n: usize, r: usize, m: usize) -> DemandInstanceUni
             v = rng.gen_range(0..n);
         }
         let access: Vec<NetworkId> = nets.iter().copied().filter(|_| rng.gen_bool(0.5)).collect();
-        let access = if access.is_empty() { vec![nets[0]] } else { access };
+        let access = if access.is_empty() {
+            vec![nets[0]]
+        } else {
+            access
+        };
         p.add_unit_demand(VertexId::new(u), VertexId::new(v), 1.0, access)
             .unwrap();
     }

@@ -59,7 +59,10 @@ fn distributed_tree_algorithm_vs_exact_on_small_instances() {
         assert!(exact.complete);
 
         for (label, sol) in [
-            ("luby", solve_unit_tree(&problem, &AlgorithmConfig::with_epsilon(0.1))),
+            (
+                "luby",
+                solve_unit_tree(&problem, &AlgorithmConfig::with_epsilon(0.1)),
+            ),
             ("deterministic", solve_unit_tree(&problem, &det(0.1))),
             ("sequential", solve_sequential_tree(&problem)),
         ] {
@@ -80,7 +83,11 @@ fn distributed_tree_algorithm_vs_exact_on_small_instances() {
             // distributed runs, 3 for the sequential one).
             if sol.profit > 0.0 {
                 let ratio = exact.profit / sol.profit;
-                let bound = if label == "sequential" { 3.0 } else { 7.0 / 0.9 };
+                let bound = if label == "sequential" {
+                    3.0
+                } else {
+                    7.0 / 0.9
+                };
                 assert!(
                     ratio <= bound + 1e-9,
                     "seed {seed} {label}: empirical ratio {ratio} above the bound {bound}"
@@ -119,7 +126,10 @@ fn line_algorithms_vs_exact_and_ps_baseline() {
                 "{label}: invalid certificate"
             );
             if sol.profit > 0.0 {
-                assert!(exact.profit / sol.profit <= bound + 1e-9, "{label} ratio too large");
+                assert!(
+                    exact.profit / sol.profit <= bound + 1e-9,
+                    "{label} ratio too large"
+                );
             }
         }
         // The headline claim of Section 7: our guarantee (4 + ε) is a
@@ -262,5 +272,8 @@ fn round_complexity_scales_with_problem_parameters() {
     };
     let narrow_spread = rounds_of(&base, 0.1);
     let wide_spread = rounds_of(&spread, 0.1);
-    assert!(wide_spread + 8 >= narrow_spread, "wide profit spread should not reduce rounds drastically");
+    assert!(
+        wide_spread + 8 >= narrow_spread,
+        "wide profit spread should not reduce rounds drastically"
+    );
 }

@@ -1,0 +1,353 @@
+//! Conformance suite for the unified Solver / Scheduler API.
+//!
+//! For every solver in the combined [`netsched::registry`] and a spread of
+//! seeded workloads, the suite checks the trait contract:
+//!
+//! * every produced solution passes `verify` against the session universe;
+//! * wherever a worst-case guarantee is claimed, the machine-checked
+//!   certificate (`certified_ratio`) stays within it;
+//! * the [`Scheduler`] session constructs the universe and the layered
+//!   decomposition exactly once across repeated solves with different `ε`;
+//! * [`Scheduler::portfolio`] returns a verified solution at least as
+//!   profitable as every individual registered solver on that instance.
+
+use netsched::prelude::*;
+
+fn tree_workloads() -> Vec<(&'static str, TreeWorkload)> {
+    let mut workloads = Vec::new();
+    for seed in 0..3u64 {
+        workloads.push((
+            "tree-unit",
+            TreeWorkload {
+                vertices: 14,
+                networks: 2,
+                demands: 10,
+                seed,
+                ..TreeWorkload::default()
+            },
+        ));
+        workloads.push((
+            "tree-narrow",
+            TreeWorkload {
+                vertices: 12,
+                networks: 2,
+                demands: 9,
+                heights: HeightDistribution::Narrow { min: 0.1 },
+                seed: seed + 10,
+                ..TreeWorkload::default()
+            },
+        ));
+        workloads.push((
+            "tree-mixed",
+            TreeWorkload {
+                vertices: 12,
+                networks: 2,
+                demands: 9,
+                heights: HeightDistribution::Mixed {
+                    wide_fraction: 0.4,
+                    min_narrow: 0.1,
+                },
+                seed: seed + 20,
+                ..TreeWorkload::default()
+            },
+        ));
+    }
+    workloads
+}
+
+fn line_workloads() -> Vec<(&'static str, LineWorkload)> {
+    let mut workloads = Vec::new();
+    for seed in 0..3u64 {
+        workloads.push((
+            "line-unit",
+            LineWorkload {
+                timeslots: 24,
+                resources: 2,
+                demands: 9,
+                min_length: 1,
+                max_length: 8,
+                max_slack: 3,
+                seed,
+                ..LineWorkload::default()
+            },
+        ));
+        workloads.push((
+            "line-narrow",
+            LineWorkload {
+                timeslots: 24,
+                resources: 2,
+                demands: 9,
+                min_length: 1,
+                max_length: 8,
+                max_slack: 2,
+                heights: HeightDistribution::Narrow { min: 0.1 },
+                seed: seed + 10,
+                ..LineWorkload::default()
+            },
+        ));
+        workloads.push((
+            "line-fixed-intervals",
+            LineWorkload {
+                timeslots: 32,
+                resources: 1,
+                demands: 10,
+                min_length: 2,
+                max_length: 8,
+                max_slack: 0,
+                access_probability: 1.0,
+                seed: seed + 20,
+                ..LineWorkload::default()
+            },
+        ));
+        workloads.push((
+            "line-mixed",
+            LineWorkload {
+                timeslots: 24,
+                resources: 2,
+                demands: 9,
+                min_length: 1,
+                max_length: 8,
+                max_slack: 2,
+                heights: HeightDistribution::Mixed {
+                    wide_fraction: 0.3,
+                    min_narrow: 0.1,
+                },
+                seed: seed + 30,
+                ..LineWorkload::default()
+            },
+        ));
+    }
+    workloads
+}
+
+/// Checks the trait contract for every supporting solver on one session.
+fn check_conformance(label: &str, session: &Scheduler<'_>, config: &AlgorithmConfig) {
+    let mut supported = 0usize;
+    for solver in netsched::registry() {
+        if !solver.supports(&session.problem()) {
+            continue;
+        }
+        supported += 1;
+        let solution = session.solve_with(solver.as_ref(), config);
+        solution
+            .verify(session.universe())
+            .unwrap_or_else(|e| panic!("{label}/{}: verification failed: {e}", solver.name()));
+        if let (Some(guarantee), Some(ratio)) =
+            (solver.guarantee(config.epsilon), solution.certified_ratio())
+        {
+            assert!(
+                ratio <= guarantee + 1e-6,
+                "{label}/{}: certified ratio {ratio} exceeds the claimed guarantee {guarantee}",
+                solver.name()
+            );
+        }
+    }
+    assert!(
+        supported >= 3,
+        "{label}: expected at least the auto solver, a greedy and the exact solver, got {supported}"
+    );
+}
+
+#[test]
+fn every_registry_solver_conforms_on_tree_workloads() {
+    let config = AlgorithmConfig::deterministic(0.1);
+    for (label, workload) in tree_workloads() {
+        let problem = workload.build().unwrap();
+        let session = Scheduler::for_tree(&problem);
+        check_conformance(label, &session, &config);
+    }
+}
+
+#[test]
+fn every_registry_solver_conforms_on_line_workloads() {
+    let config = AlgorithmConfig::deterministic(0.1);
+    for (label, workload) in line_workloads() {
+        let problem = workload.build().unwrap();
+        let session = Scheduler::for_line(&problem);
+        check_conformance(label, &session, &config);
+    }
+}
+
+#[test]
+fn session_reuses_universe_and_decomposition_across_epsilons() {
+    let workload = TreeWorkload {
+        vertices: 24,
+        networks: 2,
+        demands: 20,
+        seed: 7,
+        ..TreeWorkload::default()
+    };
+    let problem = workload.build().unwrap();
+    let session = Scheduler::for_tree(&problem);
+
+    let coarse = session.solve(&AlgorithmConfig::deterministic(0.25));
+    let fine = session.solve(&AlgorithmConfig::deterministic(0.05));
+    coarse.verify(session.universe()).unwrap();
+    fine.verify(session.universe()).unwrap();
+
+    let counts = session.build_counts();
+    assert_eq!(counts.universe, 1, "universe must be built exactly once");
+    assert_eq!(
+        counts.layering, 1,
+        "decomposition must be built exactly once"
+    );
+    // Finer ε ⇒ more stages per epoch ⇒ at least as tight slackness.
+    assert!(fine.diagnostics.stages_per_epoch >= coarse.diagnostics.stages_per_epoch);
+    assert!(fine.diagnostics.lambda >= 0.95 - 1e-9);
+
+    // The same holds on a line session, including the wide/narrow split.
+    let workload = LineWorkload {
+        timeslots: 32,
+        resources: 2,
+        demands: 16,
+        heights: HeightDistribution::Mixed {
+            wide_fraction: 0.4,
+            min_narrow: 0.1,
+        },
+        seed: 3,
+        ..LineWorkload::default()
+    };
+    let problem = workload.build().unwrap();
+    let session = Scheduler::for_line(&problem);
+    let a = session.solve(&AlgorithmConfig::deterministic(0.2));
+    let b = session.solve(&AlgorithmConfig::deterministic(0.1));
+    a.verify(session.universe()).unwrap();
+    b.verify(session.universe()).unwrap();
+    let counts = session.build_counts();
+    assert_eq!(counts.universe, 1);
+    assert_eq!(
+        counts.layering, 0,
+        "arbitrary-height solver uses only the split layerings"
+    );
+    assert_eq!(
+        counts.split, 1,
+        "wide/narrow split must be built exactly once"
+    );
+}
+
+#[test]
+fn portfolio_dominates_every_individual_solver() {
+    let config = AlgorithmConfig::deterministic(0.1);
+
+    let tree = TreeWorkload {
+        vertices: 14,
+        networks: 2,
+        demands: 10,
+        seed: 11,
+        ..TreeWorkload::default()
+    }
+    .build()
+    .unwrap();
+    let session = Scheduler::for_tree(&tree);
+    let portfolio = session.portfolio(&netsched::registry(), &config);
+    let best = portfolio.best().expect("verified best run");
+    best.solution.verify(session.universe()).unwrap();
+    for run in &portfolio.runs {
+        assert!(run.verified, "{} failed verification", run.name);
+        assert!(
+            best.solution.profit + 1e-9 >= run.solution.profit,
+            "portfolio best ({}) is beaten by {}",
+            best.name,
+            run.name
+        );
+    }
+    // The exact solver participates on this small instance, so the best
+    // verified run is the true optimum.
+    assert!(portfolio.runs.iter().any(|r| r.name == "exact"));
+    let exact = exact_optimum(session.universe());
+    assert!((best.solution.profit - exact.profit).abs() < 1e-9);
+
+    let line = LineWorkload {
+        timeslots: 24,
+        resources: 2,
+        demands: 9,
+        min_length: 1,
+        max_length: 8,
+        max_slack: 3,
+        seed: 5,
+        ..LineWorkload::default()
+    }
+    .build()
+    .unwrap();
+    let session = Scheduler::for_line(&line);
+    let portfolio = session.portfolio(&netsched::registry(), &config);
+    let best = portfolio.best().expect("verified best run");
+    for run in &portfolio.runs {
+        assert!(best.solution.profit + 1e-9 >= run.solution.profit);
+    }
+    assert_eq!(session.build_counts().universe, 1);
+}
+
+#[test]
+fn auto_selection_matches_workload_shapes() {
+    let unit = TreeWorkload {
+        vertices: 10,
+        networks: 1,
+        demands: 5,
+        seed: 1,
+        ..TreeWorkload::default()
+    }
+    .build()
+    .unwrap();
+    assert_eq!(Scheduler::for_tree(&unit).auto_solver().name(), "tree-unit");
+
+    let narrow = TreeWorkload {
+        vertices: 10,
+        networks: 1,
+        demands: 5,
+        heights: HeightDistribution::Narrow { min: 0.1 },
+        seed: 1,
+        ..TreeWorkload::default()
+    }
+    .build()
+    .unwrap();
+    assert_eq!(
+        Scheduler::for_tree(&narrow).auto_solver().name(),
+        "tree-narrow"
+    );
+
+    let line = LineWorkload {
+        timeslots: 16,
+        resources: 1,
+        demands: 6,
+        seed: 1,
+        ..LineWorkload::default()
+    }
+    .build()
+    .unwrap();
+    assert_eq!(Scheduler::for_line(&line).auto_solver().name(), "line-unit");
+}
+
+#[test]
+fn free_function_wrappers_agree_with_the_session_api() {
+    let config = AlgorithmConfig::deterministic(0.1);
+    let tree = TreeWorkload {
+        vertices: 16,
+        networks: 2,
+        demands: 12,
+        seed: 2,
+        ..TreeWorkload::default()
+    }
+    .build()
+    .unwrap();
+    let wrapper = solve_unit_tree(&tree, &config);
+    let session = Scheduler::for_tree(&tree);
+    let direct = session.solve_with(&UnitTreeSolver, &config);
+    assert_eq!(wrapper.selected, direct.selected);
+    assert_eq!(wrapper.profit, direct.profit);
+
+    let line = LineWorkload {
+        timeslots: 24,
+        resources: 2,
+        demands: 10,
+        seed: 2,
+        ..LineWorkload::default()
+    }
+    .build()
+    .unwrap();
+    let wrapper = solve_line_unit(&line, &config);
+    let session = Scheduler::for_line(&line);
+    let direct = session.solve_with(&LineUnitSolver, &config);
+    assert_eq!(wrapper.selected, direct.selected);
+    assert_eq!(wrapper.profit, direct.profit);
+}

@@ -1,0 +1,250 @@
+//! Offline drop-in shim for the subset of the `criterion` API used by the
+//! workspace benches: [`Criterion::benchmark_group`], [`BenchmarkGroup`]
+//! with `sample_size` / `bench_function` / `bench_with_input` / `finish`,
+//! [`BenchmarkId`], [`Bencher::iter`], [`black_box`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurements are real wall-clock timings (median over the configured
+//! number of samples, with automatic per-sample iteration calibration) but
+//! there is no statistical analysis, plotting or state persistence: the
+//! build environment has no crates.io access, so this shim keeps
+//! `cargo bench` functional and self-contained.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time for one measurement sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(5);
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            group: name,
+            sample_size: 20,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        run_benchmark("", &id.into().label(), 20, &mut f);
+    }
+}
+
+/// A group of benchmarks sharing a name and sample size.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    group: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks a closure under the given id.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        run_benchmark(&self.group, &id.into().label(), self.sample_size, &mut f);
+    }
+
+    /// Benchmarks a closure that receives a shared input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) {
+        run_benchmark(
+            &self.group,
+            &id.into().label(),
+            self.sample_size,
+            &mut |b| f(b, input),
+        );
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus an optional parameter label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id consisting of a parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match &self.parameter {
+            Some(p) if !self.function.is_empty() => format!("{}/{}", self.function, p),
+            Some(p) => p.clone(),
+            None => self.function.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> Self {
+        Self {
+            function: function.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(function: String) -> Self {
+        Self {
+            function,
+            parameter: None,
+        }
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] performs the timing.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times the closure, calibrating iterations per sample so that each
+    /// sample runs for roughly [`TARGET_SAMPLE`].
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibration: double the iteration count until a sample is long
+        // enough to time reliably.
+        if self.iters_per_sample == 0 {
+            let mut iters = 1u64;
+            loop {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                let elapsed = start.elapsed();
+                if elapsed >= TARGET_SAMPLE || iters >= 1 << 20 {
+                    self.iters_per_sample = iters;
+                    break;
+                }
+                iters *= 2;
+            }
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            self.samples
+                .push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+}
+
+fn run_benchmark(group: &str, label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        iters_per_sample: 0,
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut bencher);
+    let full = if group.is_empty() {
+        label.to_string()
+    } else {
+        format!("{group}/{label}")
+    };
+    if bencher.samples.is_empty() {
+        println!("  {full:<56} (no measurement)");
+        return;
+    }
+    bencher.samples.sort_unstable();
+    let median = bencher.samples[bencher.samples.len() / 2];
+    let min = bencher.samples[0];
+    let max = bencher.samples[bencher.samples.len() - 1];
+    println!(
+        "  {full:<56} median {:>12?}  min {:>12?}  max {:>12?}  ({} samples x {} iters)",
+        median,
+        min,
+        max,
+        bencher.samples.len(),
+        bencher.iters_per_sample
+    );
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_records() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut runs = 0u64;
+        group.bench_function(BenchmarkId::new("count", 1), |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        group.finish();
+        assert!(runs >= 3);
+    }
+
+    #[test]
+    fn id_labels() {
+        assert_eq!(BenchmarkId::new("f", "p").label(), "f/p");
+        assert_eq!(BenchmarkId::from("plain").label(), "plain");
+        assert_eq!(BenchmarkId::from_parameter(7).label(), "7");
+    }
+}

@@ -1,0 +1,120 @@
+//! Offline drop-in shim for the subset of the `rayon` API used by the
+//! workspace: `par_iter().map(..).collect()` over slices and `Vec`s.
+//!
+//! Work is genuinely executed in parallel with `std::thread::scope`
+//! (contiguous chunks, one OS thread per chunk, order-preserving collect),
+//! but there is no work stealing or global pool: the build environment has
+//! no crates.io access, so this shim keeps the experiment harness parallel
+//! and self-contained.
+
+/// The public traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// Types whose contents can be iterated in parallel by shared reference.
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type.
+    type Item: Sync + 'a;
+
+    /// Returns a parallel iterator over `&Self::Item`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A borrowed parallel iterator.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps every element through `f`, to be executed in parallel on
+    /// [`ParMap::collect`].
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParIter::map`], executed on [`ParMap::collect`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Runs the map in parallel and collects the results in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        let n = self.items.len();
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n.max(1));
+        let f = &self.f;
+        if n == 0 || threads <= 1 {
+            return self.items.iter().map(f).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let mut per_chunk: Vec<Vec<R>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(chunk)
+                .map(|c| scope.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            for handle in handles {
+                per_chunk.push(handle.join().expect("parallel map worker panicked"));
+            }
+        });
+        per_chunk.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn preserves_order_and_maps_all() {
+        let input: Vec<u64> = (0..257).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out.len(), input.len());
+        assert!(out.iter().enumerate().all(|(i, &v)| v == 2 * i as u64));
+    }
+
+    #[test]
+    fn works_on_slices_and_empty_inputs() {
+        let slice: &[u32] = &[3, 1, 2];
+        let out: Vec<u32> = slice.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![4, 2, 3]);
+        let empty: &[u32] = &[];
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}
