@@ -30,16 +30,9 @@ pub fn weighted_interval_optimum(
             return None;
         }
         let inst = universe.instance(insts[0]);
-        let edges = inst.path.as_slice();
-        if edges.is_empty() {
-            return None;
-        }
-        let s = edges[0].index() as u32;
-        let e = edges[edges.len() - 1].index() as u32;
-        if (e - s + 1) as usize != edges.len() {
-            return None; // not contiguous — not a line instance
-        }
-        jobs.push((s, e, inst.profit, inst.id));
+        // A line instance is exactly one contiguous interval run.
+        let run = inst.path.as_single_run()?;
+        jobs.push((run.start, run.end, inst.profit, inst.id));
     }
 
     // Sort by end slot; dp[i] = best profit using the first i jobs.

@@ -1,0 +1,445 @@
+//! Benchmark: implicit interval paths + difference-array congestion engine
+//! versus the pre-PR materialized representation.
+//!
+//! Two scenarios stress the two axes the interval representation targets:
+//!
+//! * **deep-tree** — a caterpillar-style tree (long spine, random leaves)
+//!   whose demand paths span hundreds of edges; the old representation
+//!   materialized every path as a sorted `Vec<EdgeId>`.
+//! * **windowed-line** — wide windows on a long timeline; the old
+//!   representation allocated one `Vec<EdgeId>` per admissible start time.
+//!
+//! For each scenario we measure universe construction, conflict-graph
+//! construction and a verification pass (`edge_loads` over every network),
+//! against a faithful in-bench replica of the old code path (`Vec<EdgeId>`
+//! paths, per-edge `HashMap` buckets). Run with `--quick` for the reduced
+//! CI configuration; results are written to `BENCH_path_repr.json` so the
+//! perf trajectory is recorded from this PR onward.
+
+use criterion::black_box;
+use netsched_distrib::ConflictGraph;
+use netsched_graph::{
+    DemandInstanceUniverse, EdgeId, GlobalEdge, InstanceId, LineProblem, NetworkId, TreeProblem,
+    VertexId,
+};
+use netsched_workloads::json::JsonValue;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Baseline replica of the pre-PR representation.
+// ---------------------------------------------------------------------------
+
+/// The old materialized representation: one sorted `Vec<EdgeId>` per
+/// instance (plus the per-instance metadata the old universe kept).
+struct MaterializedUniverse {
+    paths: Vec<Vec<EdgeId>>,
+    network: Vec<NetworkId>,
+    demand: Vec<u32>,
+    height: Vec<f64>,
+    edges_per_network: Vec<usize>,
+}
+
+impl MaterializedUniverse {
+    /// Replicates the old `TreeProblem::universe`: walk parent pointers to
+    /// the LCA, push every edge, sort.
+    fn build_tree(problem: &TreeProblem) -> Self {
+        let mut out = Self::empty(
+            problem
+                .networks()
+                .iter()
+                .map(|t| t.num_edges())
+                .collect::<Vec<_>>(),
+        );
+        for demand in problem.demands() {
+            for &t in problem.access(demand.id) {
+                let network = problem.network(t);
+                let l = network.lca(demand.u, demand.v);
+                let mut edges = Vec::with_capacity(network.distance(demand.u, demand.v) as usize);
+                for mut x in [demand.u, demand.v] {
+                    while x != l {
+                        let (p, e) = network.parent(x).expect("non-root has a parent");
+                        edges.push(e);
+                        x = p;
+                    }
+                }
+                edges.sort_unstable();
+                out.push(t, demand.id.index() as u32, demand.height, edges);
+            }
+        }
+        out
+    }
+
+    /// Replicates the old `LineProblem::universe`: one heap-allocated
+    /// `Vec<EdgeId>` per (demand, resource, admissible start time).
+    fn build_line(problem: &LineProblem) -> Self {
+        let mut out = Self::empty(vec![problem.timeslots(); problem.num_resources()]);
+        for demand in problem.demands() {
+            for &t in problem.access(demand.id) {
+                let last_start = demand.deadline + 1 - demand.processing;
+                for start in demand.release..=last_start {
+                    let end = start + demand.processing - 1;
+                    let edges: Vec<EdgeId> =
+                        (start as usize..=end as usize).map(EdgeId::new).collect();
+                    out.push(t, demand.id.index() as u32, demand.height, edges);
+                }
+            }
+        }
+        out
+    }
+
+    fn empty(edges_per_network: Vec<usize>) -> Self {
+        Self {
+            paths: Vec::new(),
+            network: Vec::new(),
+            demand: Vec::new(),
+            height: Vec::new(),
+            edges_per_network,
+        }
+    }
+
+    fn push(&mut self, t: NetworkId, demand: u32, height: f64, edges: Vec<EdgeId>) {
+        self.paths.push(edges);
+        self.network.push(t);
+        self.demand.push(demand);
+        self.height.push(height);
+    }
+
+    /// The old `ConflictGraph::build`: same-demand cliques plus per-edge
+    /// `HashMap` buckets, `Vec<Vec<_>>` adjacency with sort + dedup.
+    fn conflict_graph(&self) -> Vec<Vec<u32>> {
+        let n = self.paths.len();
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut by_demand: std::collections::HashMap<u32, Vec<u32>> =
+            std::collections::HashMap::new();
+        for (i, &a) in self.demand.iter().enumerate() {
+            by_demand.entry(a).or_default().push(i as u32);
+        }
+        for group in by_demand.values() {
+            for (i, &d1) in group.iter().enumerate() {
+                for &d2 in &group[i + 1..] {
+                    adj[d1 as usize].push(d2);
+                    adj[d2 as usize].push(d1);
+                }
+            }
+        }
+        let mut buckets: std::collections::HashMap<GlobalEdge, Vec<u32>> =
+            std::collections::HashMap::new();
+        for (i, path) in self.paths.iter().enumerate() {
+            for &e in path {
+                buckets
+                    .entry(GlobalEdge::new(self.network[i], e))
+                    .or_default()
+                    .push(i as u32);
+            }
+        }
+        for group in buckets.values() {
+            for (i, &d1) in group.iter().enumerate() {
+                for &d2 in &group[i + 1..] {
+                    adj[d1 as usize].push(d2);
+                    adj[d2 as usize].push(d1);
+                }
+            }
+        }
+        for nbrs in &mut adj {
+            nbrs.sort_unstable();
+            nbrs.dedup();
+        }
+        adj
+    }
+
+    /// The old per-edge load accumulation over every network.
+    fn edge_loads(&self) -> Vec<Vec<f64>> {
+        let mut loads: Vec<Vec<f64>> = self
+            .edges_per_network
+            .iter()
+            .map(|&m| vec![0.0; m])
+            .collect();
+        for (i, path) in self.paths.iter().enumerate() {
+            let l = &mut loads[self.network[i].index()];
+            for &e in path {
+                l[e.index()] += self.height[i];
+            }
+        }
+        loads
+    }
+
+    /// Bytes held by the materialized path storage (payload only; Vec
+    /// headers excluded, which favours the baseline).
+    fn path_bytes(&self) -> usize {
+        self.paths.iter().map(|p| p.len() * 4).sum()
+    }
+}
+
+/// Bytes held by the interval-run path storage of the real universe.
+fn run_path_bytes(universe: &DemandInstanceUniverse) -> usize {
+    universe.instances().map(|d| d.path.num_runs() * 8).sum()
+}
+
+// ---------------------------------------------------------------------------
+// Scenarios.
+// ---------------------------------------------------------------------------
+
+struct Sizes {
+    tree_vertices: usize,
+    tree_demands: usize,
+    line_slots: u32,
+    line_demands: usize,
+    samples: usize,
+}
+
+const FULL: Sizes = Sizes {
+    tree_vertices: 3000,
+    tree_demands: 400,
+    line_slots: 2000,
+    line_demands: 160,
+    samples: 7,
+};
+
+const QUICK: Sizes = Sizes {
+    tree_vertices: 600,
+    tree_demands: 120,
+    line_slots: 500,
+    line_demands: 60,
+    samples: 3,
+};
+
+/// Deep caterpillar tree: 80% spine, leaves attached to random spine
+/// vertices; demands connect random vertices, so paths span a large chunk
+/// of the spine.
+fn deep_tree_problem(sizes: &Sizes) -> TreeProblem {
+    let n = sizes.tree_vertices;
+    let spine = (n * 4) / 5;
+    let mut rng = StdRng::seed_from_u64(20130521);
+    let mut problem = TreeProblem::new(n);
+    let mut nets = Vec::new();
+    for _ in 0..2 {
+        let mut edges: Vec<(VertexId, VertexId)> = (1..spine)
+            .map(|i| (VertexId::new(i - 1), VertexId::new(i)))
+            .collect();
+        for v in spine..n {
+            edges.push((VertexId::new(rng.gen_range(0..spine)), VertexId::new(v)));
+        }
+        nets.push(problem.add_network(edges).unwrap());
+    }
+    for _ in 0..sizes.tree_demands {
+        let u = rng.gen_range(0..n);
+        let mut v = rng.gen_range(0..n);
+        while v == u {
+            v = rng.gen_range(0..n);
+        }
+        let access = if rng.gen_bool(0.5) {
+            nets.clone()
+        } else {
+            vec![nets[rng.gen_range(0..nets.len())]]
+        };
+        problem
+            .add_unit_demand(
+                VertexId::new(u),
+                VertexId::new(v),
+                rng.gen_range(1.0..64.0),
+                access,
+            )
+            .unwrap();
+    }
+    problem
+}
+
+/// Wide windows on a long timeline: every admissible start time becomes an
+/// instance.
+fn windowed_line_problem(sizes: &Sizes) -> LineProblem {
+    let slots = sizes.line_slots;
+    let mut rng = StdRng::seed_from_u64(19051205);
+    let mut problem = LineProblem::new(slots as usize, 2);
+    let acc = vec![NetworkId::new(0), NetworkId::new(1)];
+    for _ in 0..sizes.line_demands {
+        let len = rng.gen_range(slots / 40..=slots / 10).max(1);
+        let release = rng.gen_range(0..=(slots - len));
+        let slack = rng.gen_range(0..=(slots - release - len).min(slots / 50));
+        problem
+            .add_demand(
+                release,
+                release + len - 1 + slack,
+                len,
+                rng.gen_range(1.0..16.0),
+                rng.gen_range(0.2..=1.0),
+                acc.clone(),
+            )
+            .unwrap();
+    }
+    problem
+}
+
+// ---------------------------------------------------------------------------
+// Measurement.
+// ---------------------------------------------------------------------------
+
+/// Median wall-clock time of `samples` runs of `f`.
+fn measure<O>(samples: usize, mut f: impl FnMut() -> O) -> Duration {
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+struct ScenarioResult {
+    name: &'static str,
+    instances: usize,
+    universe_new: Duration,
+    universe_old: Duration,
+    conflict_new: Duration,
+    conflict_old: Duration,
+    loads_new: Duration,
+    loads_old: Duration,
+    path_bytes_new: usize,
+    path_bytes_old: usize,
+}
+
+impl ScenarioResult {
+    fn build_speedup(&self) -> f64 {
+        secs(self.universe_old + self.conflict_old) / secs(self.universe_new + self.conflict_new)
+    }
+
+    fn memory_ratio(&self) -> f64 {
+        self.path_bytes_old as f64 / self.path_bytes_new.max(1) as f64
+    }
+
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("instances", JsonValue::int(self.instances)),
+            ("universe_new_s", JsonValue::num(secs(self.universe_new))),
+            ("universe_old_s", JsonValue::num(secs(self.universe_old))),
+            ("conflict_new_s", JsonValue::num(secs(self.conflict_new))),
+            ("conflict_old_s", JsonValue::num(secs(self.conflict_old))),
+            ("edge_loads_new_s", JsonValue::num(secs(self.loads_new))),
+            ("edge_loads_old_s", JsonValue::num(secs(self.loads_old))),
+            ("build_speedup", JsonValue::num(self.build_speedup())),
+            ("path_bytes_new", JsonValue::int(self.path_bytes_new)),
+            ("path_bytes_old", JsonValue::int(self.path_bytes_old)),
+            ("path_memory_ratio", JsonValue::num(self.memory_ratio())),
+        ])
+    }
+
+    fn print(&self) {
+        println!("\nbenchmark group: path_repr/{}", self.name);
+        println!("  instances: {}", self.instances);
+        println!(
+            "  universe build     new {:>12?}   old {:>12?}   ({:.2}x)",
+            self.universe_new,
+            self.universe_old,
+            secs(self.universe_old) / secs(self.universe_new)
+        );
+        println!(
+            "  conflict build     new {:>12?}   old {:>12?}   ({:.2}x)",
+            self.conflict_new,
+            self.conflict_old,
+            secs(self.conflict_old) / secs(self.conflict_new)
+        );
+        println!(
+            "  edge loads         new {:>12?}   old {:>12?}   ({:.2}x)",
+            self.loads_new,
+            self.loads_old,
+            secs(self.loads_old) / secs(self.loads_new)
+        );
+        println!(
+            "  universe+conflict speedup: {:.2}x   path memory: {} -> {} bytes ({:.1}x smaller)",
+            self.build_speedup(),
+            self.path_bytes_old,
+            self.path_bytes_new,
+            self.memory_ratio()
+        );
+    }
+}
+
+fn run_tree_scenario(sizes: &Sizes) -> ScenarioResult {
+    let problem = deep_tree_problem(sizes);
+    let universe_new = measure(sizes.samples, || problem.universe());
+    let universe_old = measure(sizes.samples, || MaterializedUniverse::build_tree(&problem));
+    let universe = problem.universe();
+    let old = MaterializedUniverse::build_tree(&problem);
+    let conflict_new = measure(sizes.samples, || ConflictGraph::build(&universe));
+    let conflict_old = measure(sizes.samples, || old.conflict_graph());
+    let selection: Vec<InstanceId> = universe.instance_ids().collect();
+    let loads_new = measure(sizes.samples, || {
+        (0..universe.num_networks())
+            .map(|t| universe.edge_loads(NetworkId::new(t), &selection))
+            .collect::<Vec<_>>()
+    });
+    let loads_old = measure(sizes.samples, || old.edge_loads());
+    ScenarioResult {
+        name: "deep-tree",
+        instances: universe.num_instances(),
+        universe_new,
+        universe_old,
+        conflict_new,
+        conflict_old,
+        loads_new,
+        loads_old,
+        path_bytes_new: run_path_bytes(&universe),
+        path_bytes_old: old.path_bytes(),
+    }
+}
+
+fn run_line_scenario(sizes: &Sizes) -> ScenarioResult {
+    let problem = windowed_line_problem(sizes);
+    let universe_new = measure(sizes.samples, || problem.universe());
+    let universe_old = measure(sizes.samples, || MaterializedUniverse::build_line(&problem));
+    let universe = problem.universe();
+    let old = MaterializedUniverse::build_line(&problem);
+    let conflict_new = measure(sizes.samples, || ConflictGraph::build(&universe));
+    let conflict_old = measure(sizes.samples, || old.conflict_graph());
+    let selection: Vec<InstanceId> = universe.instance_ids().collect();
+    let loads_new = measure(sizes.samples, || {
+        (0..universe.num_networks())
+            .map(|t| universe.edge_loads(NetworkId::new(t), &selection))
+            .collect::<Vec<_>>()
+    });
+    let loads_old = measure(sizes.samples, || old.edge_loads());
+    ScenarioResult {
+        name: "windowed-line",
+        instances: universe.num_instances(),
+        universe_new,
+        universe_old,
+        conflict_new,
+        conflict_old,
+        loads_new,
+        loads_old,
+        path_bytes_new: run_path_bytes(&universe),
+        path_bytes_old: old.path_bytes(),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sizes = if quick { QUICK } else { FULL };
+    let mode = if quick { "quick" } else { "full" };
+
+    let results = [run_tree_scenario(&sizes), run_line_scenario(&sizes)];
+    for r in &results {
+        r.print();
+    }
+
+    let json = JsonValue::object(vec![
+        ("bench", JsonValue::String("path_repr".to_string())),
+        ("mode", JsonValue::String(mode.to_string())),
+        (
+            "scenarios",
+            JsonValue::object(results.iter().map(|r| (r.name, r.to_json())).collect()),
+        ),
+    ]);
+    // Anchor at the workspace root regardless of the bench's working
+    // directory, so CI and local runs agree on the artifact location.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_path_repr.json");
+    std::fs::write(path, json.render()).expect("writing BENCH_path_repr.json must succeed");
+    println!("\nwrote BENCH_path_repr.json ({mode} mode)");
+}

@@ -9,11 +9,11 @@
 
 use crate::config::{stage_xi, stages_per_epoch, AlgorithmConfig, RaiseRule};
 use crate::duals::DualState;
-use crate::framework::run_two_phase;
+use crate::framework::{eligibility, run_two_phase};
 use crate::solution::Solution;
 use netsched_decomp::InstanceLayering;
 use netsched_distrib::{maximal_independent_set, ConflictGraph, MisStrategy, RoundStats};
-use netsched_graph::{DemandInstanceUniverse, InstanceId, EPS};
+use netsched_graph::{DemandInstanceUniverse, InstanceId};
 
 /// One first-phase step (one MIS computation plus the simultaneous raises).
 #[derive(Debug, Clone, PartialEq)]
@@ -143,15 +143,7 @@ pub fn run_two_phase_traced(
     }
     let conflict = ConflictGraph::build(universe);
     let mut duals = DualState::new(universe, rule);
-    let eligible: Vec<bool> = universe
-        .instance_ids()
-        .map(|d| DualState::max_relative_height(universe, d) <= 1.0 + EPS)
-        .collect();
-    let h_min = universe
-        .instance_ids()
-        .filter(|d| eligible[d.index()])
-        .map(|d| DualState::max_relative_height(universe, d))
-        .fold(1.0_f64, f64::min);
+    let (eligible, h_min) = eligibility(universe);
     let xi = stage_xi(rule, layering.max_critical().max(1), h_min);
     let stages = stages_per_epoch(xi, config.epsilon);
     let profit_ratio = (universe.max_profit() / universe.min_profit()).max(1.0);

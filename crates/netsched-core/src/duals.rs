@@ -7,17 +7,80 @@
 //! per demand instance. The two-phase framework manipulates an (infeasible)
 //! dual assignment whose scaled version certifies the approximation bound
 //! via weak duality.
+//!
+//! The `β` variables are stored in per-network **Fenwick trees**: a raise
+//! performs `|π(d)| ≤ ∆` point updates, and the constraint LHS
+//! `Σ_{e ∼ d} β(e)` is evaluated as one range sum per interval run of
+//! `path(d)` — `O(runs · log E)` instead of `O(path length)`, which is what
+//! makes the first phase sublinear in the instance lengths.
 
 use crate::config::RaiseRule;
 use netsched_graph::{DemandInstanceUniverse, InstanceId, NetworkId};
+
+/// A Fenwick (binary indexed) tree over `f64` with point updates and
+/// prefix/range sums, plus a dense mirror so single-point reads stay `O(1)`
+/// (the capacitated narrow path reads `β(e)` edge by edge).
+#[derive(Debug, Clone)]
+struct Fenwick {
+    tree: Vec<f64>,
+    dense: Vec<f64>,
+}
+
+impl Fenwick {
+    fn new(len: usize) -> Self {
+        Self {
+            tree: vec![0.0; len + 1],
+            dense: vec![0.0; len],
+        }
+    }
+
+    /// Adds `delta` at index `i`.
+    fn add(&mut self, i: usize, delta: f64) {
+        self.dense[i] += delta;
+        let mut i = i + 1;
+        while i < self.tree.len() {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of the first `i` entries (`[0, i)`).
+    fn prefix(&self, i: usize) -> f64 {
+        let mut i = i.min(self.tree.len() - 1);
+        let mut sum = 0.0;
+        while i > 0 {
+            sum += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+
+    /// Sum over the inclusive index range `[lo, hi]`.
+    #[inline]
+    fn range(&self, lo: usize, hi: usize) -> f64 {
+        self.prefix(hi + 1) - self.prefix(lo)
+    }
+
+    /// Value at a single index (`O(1)` via the dense mirror).
+    #[inline]
+    fn point(&self, i: usize) -> f64 {
+        self.dense[i]
+    }
+
+    /// Sum of all entries.
+    #[inline]
+    fn total(&self) -> f64 {
+        self.prefix(self.tree.len() - 1)
+    }
+}
 
 /// The dual assignment `⟨α, β⟩`.
 #[derive(Debug, Clone)]
 pub struct DualState {
     /// `α(a)` per demand.
     alpha: Vec<f64>,
-    /// `β(e)` per network, per edge.
-    beta: Vec<Vec<f64>>,
+    /// `β(e)` per network, as a Fenwick tree over the edge indices.
+    beta: Vec<Fenwick>,
     /// Which constraint form / raise rule is in effect.
     rule: RaiseRule,
 }
@@ -26,7 +89,7 @@ impl DualState {
     /// Creates the all-zero dual assignment for a universe.
     pub fn new(universe: &DemandInstanceUniverse, rule: RaiseRule) -> Self {
         let beta = (0..universe.num_networks())
-            .map(|t| vec![0.0; universe.num_edges(NetworkId::new(t))])
+            .map(|t| Fenwick::new(universe.num_edges(NetworkId::new(t))))
             .collect();
         Self {
             alpha: vec![0.0; universe.num_demands()],
@@ -50,7 +113,7 @@ impl DualState {
     /// `β(e)` for edge `e` of network `t`.
     #[inline]
     pub fn beta(&self, network: NetworkId, edge: netsched_graph::EdgeId) -> f64 {
-        self.beta[network.index()][edge.index()]
+        self.beta[network.index()].point(edge.index())
     }
 
     /// The *relative height* of instance `d` on edge `e`: `h(d) / c(e)`.
@@ -65,9 +128,12 @@ impl DualState {
     }
 
     /// The maximum relative height of `d` over its path (`ĥ(d)`); equals
-    /// `h(d)` under uniform capacities.
+    /// `h(d)` under uniform capacities, where it is answered in `O(1)`.
     pub fn max_relative_height(universe: &DemandInstanceUniverse, d: InstanceId) -> f64 {
         let inst = universe.instance(d);
+        if universe.is_uniform_capacity() {
+            return inst.height;
+        }
         inst.path
             .iter()
             .map(|e| Self::relative_height(universe, d, e))
@@ -77,19 +143,32 @@ impl DualState {
     /// The left-hand side of the dual constraint of `d`:
     /// `α(a_d) + Σ_{e ∼ d} β(e)` under [`RaiseRule::Unit`], and
     /// `α(a_d) + Σ_{e ∼ d} (h(d)/c(e)) · β(e)` under [`RaiseRule::Narrow`].
+    ///
+    /// Evaluated as one Fenwick range sum per interval run of `path(d)`
+    /// (`O(runs · log E)`); only the capacitated narrow case falls back to
+    /// per-edge point queries, because there every edge carries its own
+    /// `h(d)/c(e)` weight.
     pub fn lhs(&self, universe: &DemandInstanceUniverse, d: InstanceId) -> f64 {
         let inst = universe.instance(d);
         let betas = &self.beta[inst.network.index()];
         let mut sum = self.alpha[inst.demand.index()];
         match self.rule {
             RaiseRule::Unit => {
-                for e in inst.path.iter() {
-                    sum += betas[e.index()];
+                for run in inst.path.runs() {
+                    sum += betas.range(run.start as usize, run.end as usize);
                 }
+            }
+            RaiseRule::Narrow if universe.is_uniform_capacity() => {
+                // h(d)/c(e) = h(d) on every edge: factor it out of the sum.
+                let mut beta_sum = 0.0;
+                for run in inst.path.runs() {
+                    beta_sum += betas.range(run.start as usize, run.end as usize);
+                }
+                sum += inst.height * beta_sum;
             }
             RaiseRule::Narrow => {
                 for e in inst.path.iter() {
-                    sum += Self::relative_height(universe, d, e) * betas[e.index()];
+                    sum += Self::relative_height(universe, d, e) * betas.point(e.index());
                 }
             }
         }
@@ -162,7 +241,7 @@ impl DualState {
                 }
                 for &e in pi {
                     debug_assert!(inst.path.contains(e), "critical edges must lie on the path");
-                    self.beta[inst.network.index()][e.index()] += delta;
+                    self.beta[inst.network.index()].add(e.index(), delta);
                 }
                 delta
             }
@@ -179,7 +258,7 @@ impl DualState {
                 self.alpha[inst.demand.index()] += delta;
                 for &e in pi {
                     debug_assert!(inst.path.contains(e), "critical edges must lie on the path");
-                    self.beta[inst.network.index()][e.index()] += 2.0 * k * delta;
+                    self.beta[inst.network.index()].add(e.index(), 2.0 * k * delta);
                 }
                 delta
             }
@@ -188,8 +267,7 @@ impl DualState {
 
     /// The dual objective `Σ_a α(a) + Σ_e β(e)` of the current assignment.
     pub fn objective(&self) -> f64 {
-        self.alpha.iter().sum::<f64>()
-            + self.beta.iter().map(|b| b.iter().sum::<f64>()).sum::<f64>()
+        self.alpha.iter().sum::<f64>() + self.beta.iter().map(Fenwick::total).sum::<f64>()
     }
 
     /// An upper bound on the optimal profit obtained by scaling the dual

@@ -21,7 +21,24 @@ use crate::duals::DualState;
 use crate::solution::{RunDiagnostics, Solution};
 use netsched_decomp::InstanceLayering;
 use netsched_distrib::{maximal_independent_set, ConflictGraph, MisStrategy, RoundStats};
-use netsched_graph::{DemandInstanceUniverse, InstanceId, EPS};
+use netsched_graph::{DemandInstanceUniverse, InstanceId, LoadTracker, EPS};
+
+/// Eligibility of every instance (those whose height fits every edge
+/// capacity on their path) together with the minimum relative height
+/// `h_min` over the eligible instances. Shared by the plain and traced
+/// engines; `O(|D|)` under uniform capacities.
+pub(crate) fn eligibility(universe: &DemandInstanceUniverse) -> (Vec<bool>, f64) {
+    let eligible: Vec<bool> = universe
+        .instance_ids()
+        .map(|d| DualState::max_relative_height(universe, d) <= 1.0 + EPS)
+        .collect();
+    let h_min = universe
+        .instance_ids()
+        .filter(|d| eligible[d.index()])
+        .map(|d| DualState::max_relative_height(universe, d))
+        .fold(1.0_f64, f64::min);
+    (eligible, h_min)
+}
 
 /// Runs the two-phase framework on a universe with the given layering and
 /// raise rule. This is the engine behind every distributed algorithm in
@@ -45,18 +62,9 @@ pub fn run_two_phase(
     // Instances that can never be scheduled (their height exceeds some edge
     // capacity on their path) are excluded from raising and from the dual
     // certificate; they cannot belong to any feasible solution, so the
-    // optimum is unaffected.
-    let eligible: Vec<bool> = universe
-        .instance_ids()
-        .map(|d| DualState::max_relative_height(universe, d) <= 1.0 + EPS)
-        .collect();
-
-    // ξ and the number of stages per epoch (Sections 5, 6.1 and 7).
-    let h_min = universe
-        .instance_ids()
-        .filter(|d| eligible[d.index()])
-        .map(|d| DualState::max_relative_height(universe, d))
-        .fold(1.0_f64, f64::min);
+    // optimum is unaffected. ξ and the number of stages per epoch follow
+    // (Sections 5, 6.1 and 7).
+    let (eligible, h_min) = eligibility(universe);
     let xi = stage_xi(rule, layering.max_critical().max(1), h_min);
     let stages = stages_per_epoch(xi, config.epsilon);
 
@@ -120,11 +128,14 @@ pub fn run_two_phase(
     }
 
     // ---------------- Second phase ----------------
+    // Incremental congestion tracking: each candidate costs O(path(d)),
+    // independent of how much has already been selected.
+    let mut tracker = LoadTracker::new(universe);
     let mut selected: Vec<InstanceId> = Vec::new();
     for mis in stack.iter().rev() {
         let mut announced = 0u64;
         for &d in mis {
-            if universe.can_add(&selected, d) {
+            if tracker.try_commit(universe, d) {
                 selected.push(d);
                 announced += conflict.degree(d) as u64;
             }

@@ -13,7 +13,9 @@ use crate::duals::DualState;
 use crate::solution::{RunDiagnostics, Solution};
 use netsched_decomp::InstanceLayering;
 use netsched_distrib::RoundStats;
-use netsched_graph::{DemandInstanceUniverse, InstanceId, NetworkId, TreeProblem, EPS};
+use netsched_graph::{
+    DemandInstanceUniverse, InstanceId, LoadTracker, NetworkId, TreeProblem, EPS,
+};
 
 /// Runs the Appendix A sequential algorithm on a tree problem (unit-height
 /// semantics: selected paths on a network must be edge-disjoint; with the
@@ -84,10 +86,12 @@ pub fn run_sequential(universe: &DemandInstanceUniverse, layering: &InstanceLaye
         }
     }
 
-    // Second phase: reverse order, greedy feasibility.
+    // Second phase: reverse order, greedy feasibility with incremental
+    // congestion tracking (O(path(d)) per candidate).
+    let mut tracker = LoadTracker::new(universe);
     let mut selected: Vec<InstanceId> = Vec::new();
     for &d in stack.iter().rev() {
-        if universe.can_add(&selected, d) {
+        if tracker.try_commit(universe, d) {
             selected.push(d);
         }
         stats.record_round();

@@ -35,6 +35,17 @@
 //! instances can never be scheduled together, so unit-height reasoning
 //! applies verbatim (Section 6).
 //!
+//! # Representation
+//!
+//! Every cached structure is built on the implicit interval-path
+//! representation of `netsched-graph`: universes store `O(log n)` interval
+//! runs per tree instance (one run per line instance), universe
+//! construction is `O(|D| log n)` rather than `O(Σ path length)`, and the
+//! conflict graph is assembled by a deterministic interval sweep into a
+//! flat CSR. Sessions therefore stay cheap to open even for deep trees and
+//! wide windows; see the `netsched-graph` crate docs for the complexity
+//! table.
+//!
 //! # Example
 //!
 //! ```

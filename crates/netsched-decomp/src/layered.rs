@@ -166,12 +166,10 @@ impl InstanceLayering {
             let ratio = len / l_min;
             group[inst.id.index()] = (usize::BITS - 1 - ratio.leading_zeros()) as usize;
 
-            let edges = inst.path.as_slice();
-            let s = edges
-                .first()
-                .copied()
-                .expect("line instances are non-empty");
-            let e = edges.last().copied().expect("line instances are non-empty");
+            // Line instances are single interval runs; the critical edges
+            // are the two ends plus the midpoint, read off the bounds in
+            // O(1) without touching the per-edge representation.
+            let (s, e) = inst.path.bounds().expect("line instances are non-empty");
             let mid = EdgeId::new((s.index() + e.index()) / 2);
             let mut c = vec![s, mid, e];
             c.sort_unstable();

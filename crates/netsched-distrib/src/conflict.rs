@@ -6,74 +6,114 @@
 //! subgraphs of) this graph: "the demand instances participating in the MIS
 //! computation form the vertices and an edge is drawn between a pair of
 //! vertices, if they are conflicting".
+//!
+//! Construction is a sort-based **interval sweep** over the implicit
+//! interval runs of every path (no hash maps, no per-edge buckets): runs on
+//! the same network are sorted by start and swept left to right, emitting
+//! one candidate pair per *overlapping run pair* — for line instances
+//! exactly once per conflicting pair, for tree paths at most once per pair
+//! of intersecting runs (`O(log² n)`), versus once per shared edge in the
+//! old bucket construction. The adjacency is stored as a CSR (flat
+//! `offsets` / `neighbors`) with each neighbor list sorted ascending, so
+//! the graph is byte-for-byte deterministic across runs and platforms.
 
-use netsched_graph::{DemandInstanceUniverse, GlobalEdge, InstanceId};
+use netsched_graph::{DemandInstanceUniverse, InstanceId};
 
-/// The conflict graph of a demand-instance universe.
+/// The conflict graph of a demand-instance universe, in CSR form.
 #[derive(Debug, Clone)]
 pub struct ConflictGraph {
-    adj: Vec<Vec<InstanceId>>,
+    /// `neighbors[offsets[v] .. offsets[v + 1]]` are the conflicts of `v`,
+    /// sorted ascending.
+    offsets: Vec<u32>,
+    neighbors: Vec<InstanceId>,
     num_edges: usize,
 }
 
 impl ConflictGraph {
     /// Builds the conflict graph of the whole universe.
-    ///
-    /// Construction is bucket-based: instances of the same demand conflict,
-    /// and instances sharing a (network, edge) bucket conflict, so the cost
-    /// is proportional to the sum of squared bucket sizes rather than
-    /// `|D|^2 · path length`.
     pub fn build(universe: &DemandInstanceUniverse) -> Self {
         let n = universe.num_instances();
-        let mut adj: Vec<Vec<InstanceId>> = vec![Vec::new(); n];
+        // Candidate conflicting pairs, normalized to (low, high). Duplicates
+        // (tree paths intersecting on several runs, overlap + same demand)
+        // are removed by the sort/dedup below.
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
 
         // Same-demand cliques.
         for a in 0..universe.num_demands() {
             let group = universe.instances_of_demand(netsched_graph::DemandId::new(a));
             for (i, &d1) in group.iter().enumerate() {
                 for &d2 in &group[i + 1..] {
-                    adj[d1.index()].push(d2);
-                    adj[d2.index()].push(d1);
+                    pairs.push(ordered(d1, d2));
                 }
             }
         }
 
-        // Shared-edge cliques: bucket instances by global edge.
-        let mut buckets: std::collections::HashMap<GlobalEdge, Vec<InstanceId>> =
-            std::collections::HashMap::new();
-        for inst in universe.instances() {
-            for e in inst.path.iter() {
-                buckets
-                    .entry(GlobalEdge::new(inst.network, e))
-                    .or_default()
-                    .push(inst.id);
-            }
-        }
-        for group in buckets.values() {
-            for (i, &d1) in group.iter().enumerate() {
-                for &d2 in &group[i + 1..] {
-                    adj[d1.index()].push(d2);
-                    adj[d2.index()].push(d1);
+        // Shared-edge conflicts via a per-network interval sweep. Runs are
+        // sorted by start; every run still active when a later run begins
+        // overlaps it.
+        for t in 0..universe.num_networks() {
+            let network = netsched_graph::NetworkId::new(t);
+            let mut runs: Vec<(u32, u32, u32)> = Vec::new(); // (start, end, instance)
+            for &d in universe.instances_on_network(network) {
+                for run in universe.instance(d).path.runs() {
+                    runs.push((run.start, run.end, d.index() as u32));
                 }
+            }
+            runs.sort_unstable();
+            let mut active: Vec<(u32, u32)> = Vec::new(); // (end, instance)
+            for &(start, end, inst) in &runs {
+                active.retain(|&(e, _)| e >= start);
+                for &(_, other) in &active {
+                    if other != inst {
+                        pairs.push(if other < inst {
+                            (other, inst)
+                        } else {
+                            (inst, other)
+                        });
+                    }
+                }
+                active.push((end, inst));
             }
         }
 
-        let mut num_edges = 0;
-        for nbrs in &mut adj {
-            nbrs.sort_unstable();
-            nbrs.dedup();
-            num_edges += nbrs.len();
+        pairs.sort_unstable();
+        pairs.dedup();
+        let num_edges = pairs.len();
+
+        // CSR assembly. Iterating the sorted unique pairs keeps every
+        // neighbor list sorted ascending without any per-vertex sort.
+        let mut degree = vec![0u32; n];
+        for &(a, b) in &pairs {
+            degree[a as usize] += 1;
+            degree[b as usize] += 1;
         }
+        let mut offsets = vec![0u32; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + degree[v];
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![InstanceId::new(0); 2 * num_edges];
+        for &(a, b) in &pairs {
+            neighbors[cursor[a as usize] as usize] = InstanceId(b);
+            cursor[a as usize] += 1;
+            neighbors[cursor[b as usize] as usize] = InstanceId(a);
+            cursor[b as usize] += 1;
+        }
+        for v in 0..n {
+            neighbors[offsets[v] as usize..offsets[v + 1] as usize].sort_unstable();
+        }
+
         Self {
-            adj,
-            num_edges: num_edges / 2,
+            offsets,
+            neighbors,
+            num_edges,
         }
     }
 
     /// Number of vertices (demand instances).
     #[inline]
     pub fn num_vertices(&self) -> usize {
-        self.adj.len()
+        self.offsets.len() - 1
     }
 
     /// Number of conflict edges.
@@ -82,26 +122,29 @@ impl ConflictGraph {
         self.num_edges
     }
 
-    /// The instances conflicting with `d`.
+    /// The instances conflicting with `d`, sorted ascending.
     #[inline]
     pub fn neighbors(&self, d: InstanceId) -> &[InstanceId] {
-        &self.adj[d.index()]
+        &self.neighbors[self.offsets[d.index()] as usize..self.offsets[d.index() + 1] as usize]
     }
 
     /// Degree of `d` in the conflict graph.
     #[inline]
     pub fn degree(&self, d: InstanceId) -> usize {
-        self.adj[d.index()].len()
+        (self.offsets[d.index() + 1] - self.offsets[d.index()]) as usize
     }
 
     /// Maximum degree.
     pub fn max_degree(&self) -> usize {
-        self.adj.iter().map(|a| a.len()).max().unwrap_or(0)
+        (0..self.num_vertices())
+            .map(|v| self.degree(InstanceId::new(v)))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Returns `true` if `a` and `b` conflict.
     pub fn are_conflicting(&self, a: InstanceId, b: InstanceId) -> bool {
-        self.adj[a.index()].binary_search(&b).is_ok()
+        self.neighbors(a).binary_search(&b).is_ok()
     }
 
     /// Checks that a vertex subset is independent in the conflict graph.
@@ -117,16 +160,26 @@ impl ConflictGraph {
     }
 }
 
+#[inline]
+fn ordered(a: InstanceId, b: InstanceId) -> (u32, u32) {
+    if a.0 < b.0 {
+        (a.0, b.0)
+    } else {
+        (b.0, a.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netsched_graph::fixtures::{figure1_line_problem, two_tree_problem};
+    use netsched_graph::fixtures::{figure1_line_problem, figure6_problem, two_tree_problem};
 
     #[test]
     fn conflict_graph_matches_universe_predicate() {
         for universe in [
             figure1_line_problem().universe(),
             two_tree_problem().universe(),
+            figure6_problem().universe(),
         ] {
             let g = ConflictGraph::build(&universe);
             assert_eq!(g.num_vertices(), universe.num_instances());
@@ -175,5 +228,28 @@ mod tests {
             .sum();
         assert_eq!(sum, 2 * g.num_edges());
         assert!(g.max_degree() < g.num_vertices());
+    }
+
+    #[test]
+    fn adjacency_is_sorted_and_deterministic() {
+        // The interval sweep must produce identical, sorted adjacency on
+        // every build — downstream MIS tie-breaking depends on it. (The old
+        // bucket construction iterated a SipHash-seeded HashMap here.)
+        for universe in [
+            figure1_line_problem().universe(),
+            two_tree_problem().universe(),
+            figure6_problem().universe(),
+        ] {
+            let g1 = ConflictGraph::build(&universe);
+            let g2 = ConflictGraph::build(&universe);
+            assert_eq!(g1.offsets, g2.offsets);
+            assert_eq!(g1.neighbors, g2.neighbors);
+            for v in universe.instance_ids() {
+                assert!(
+                    g1.neighbors(v).windows(2).all(|w| w[0] < w[1]),
+                    "adjacency of {v} must be strictly sorted"
+                );
+            }
+        }
     }
 }

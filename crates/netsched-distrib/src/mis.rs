@@ -11,6 +11,7 @@
 use crate::conflict::ConflictGraph;
 use crate::simulator::{Agent, Outbox, SyncSimulator, Topology};
 use crate::stats::RoundStats;
+use fxhash::{FxHashMap, FxHashSet};
 use netsched_graph::InstanceId;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -54,7 +55,7 @@ struct LubyAgent {
     rng: SmallRng,
     /// Number of neighbours still active (including those whose status
     /// updates are still in flight).
-    active_neighbors: std::collections::HashSet<usize>,
+    active_neighbors: FxHashSet<usize>,
     /// Value drawn in the current phase.
     my_value: u64,
     /// Values received from neighbours this phase.
@@ -151,8 +152,11 @@ pub fn maximal_independent_set(
             set
         }
         MisStrategy::Luby { seed } => {
-            // Induced subgraph: map instance ids to local indices.
-            let mut local_of = std::collections::HashMap::with_capacity(active.len());
+            // Induced subgraph: map instance ids to local indices. The
+            // deterministic Fx hasher keeps the whole protocol reproducible
+            // independent of the process hash seed.
+            let mut local_of =
+                FxHashMap::with_capacity_and_hasher(active.len(), Default::default());
             for (i, &d) in active.iter().enumerate() {
                 local_of.insert(d, i);
             }
@@ -208,7 +212,7 @@ pub fn greedy_mis(graph: &ConflictGraph, active: &[InstanceId]) -> Vec<InstanceI
     sorted.sort_unstable();
     sorted.dedup();
     let mut chosen: Vec<InstanceId> = Vec::new();
-    let mut blocked: std::collections::HashSet<InstanceId> = std::collections::HashSet::new();
+    let mut blocked: FxHashSet<InstanceId> = FxHashSet::default();
     for &d in &sorted {
         if blocked.contains(&d) {
             continue;
@@ -228,7 +232,7 @@ pub fn is_maximal_independent(
     active: &[InstanceId],
     set: &[InstanceId],
 ) -> bool {
-    let set_lookup: std::collections::HashSet<InstanceId> = set.iter().copied().collect();
+    let set_lookup: FxHashSet<InstanceId> = set.iter().copied().collect();
     if !graph.is_independent(set) {
         return false;
     }

@@ -105,6 +105,16 @@ pub enum GraphError {
         /// The capacity supplied.
         capacity: f64,
     },
+    /// No edge connects the given vertex pair in the network (raised when
+    /// addressing a capacity by end-points).
+    NoSuchEdge {
+        /// Network queried.
+        network: NetworkId,
+        /// One endpoint.
+        u: VertexId,
+        /// The other endpoint.
+        v: VertexId,
+    },
     /// A windowed line demand has an empty or inverted window, or a
     /// processing time that does not fit in the window.
     InvalidWindow {
@@ -185,6 +195,9 @@ impl fmt::Display for GraphError {
                 f,
                 "network {network}, edge {edge}: invalid capacity {capacity}"
             ),
+            GraphError::NoSuchEdge { network, u, v } => {
+                write!(f, "network {network}: no edge between {u} and {v}")
+            }
             GraphError::InvalidWindow {
                 demand,
                 release,

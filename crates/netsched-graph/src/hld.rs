@@ -1,0 +1,352 @@
+//! Heavy-light decomposition (HLD) over a rooted tree.
+//!
+//! The decomposition partitions the vertices into *chains*: every non-leaf
+//! keeps one *heavy* child (a child of maximum subtree size) in its own
+//! chain and starts a new chain at each remaining (light) child. Walking
+//! from any vertex to the root crosses at most `⌈log₂ n⌉` light edges, so
+//! any tree path decomposes into `O(log n)` chain fragments.
+//!
+//! [`HldIndex`] additionally assigns every vertex a *position*: a DFS
+//! numbering that visits the heavy child first, so the vertices of each
+//! chain occupy consecutive positions. The parent edge of vertex `v` gets
+//! the **edge position** `pos(v) − 1`; under this canonical edge numbering
+//! (adopted by [`crate::TreeNetwork`] at construction) every chain fragment
+//! of a path is a contiguous interval of edge indices, and tree paths become
+//! [`crate::EdgePath`]s of at most `2⌈log₂ n⌉` interval runs instead of
+//! materialized edge lists.
+//!
+//! The construction is deterministic and *idempotent* with respect to the
+//! induced edge order: ties between equal-size children are broken by
+//! children-list order, and the heavy child's parent edge always receives
+//! the smallest position among its siblings — so rebuilding the index from
+//! an edge list already in HLD order reproduces the identity relabeling.
+//! (This keeps serialized problems stable across save/load round trips.)
+
+use crate::ids::VertexId;
+use crate::path::EdgeRun;
+
+/// Heavy-light decomposition index of a rooted tree.
+#[derive(Debug, Clone)]
+pub struct HldIndex {
+    /// DFS position of each vertex (root = 0); chain vertices consecutive.
+    pos: Vec<u32>,
+    /// Head (shallowest vertex) of the chain containing each vertex.
+    head: Vec<u32>,
+    /// Parent of each vertex (the root is its own parent).
+    parent: Vec<u32>,
+    /// Depth of each vertex (root = 0).
+    depth: Vec<u32>,
+    /// Inverse of `pos`: `vertex_at[p]` is the vertex with position `p`.
+    vertex_at: Vec<u32>,
+}
+
+impl HldIndex {
+    /// Builds the index from a parent array and per-vertex children lists
+    /// (children must be listed in a deterministic order; `TreeNetwork` uses
+    /// adjacency order, i.e. edge input order).
+    pub fn new(parent: &[Option<VertexId>], depth: &[u32], children: &[Vec<VertexId>]) -> Self {
+        let n = parent.len();
+        assert_eq!(n, depth.len(), "parent and depth arrays must match");
+        assert_eq!(n, children.len(), "parent and children arrays must match");
+        let root = (0..n)
+            .find(|&v| parent[v].is_none())
+            .expect("rooted tree must have a root");
+
+        // Subtree sizes, processing vertices in decreasing depth order so
+        // every child is finished before its parent.
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_unstable_by_key(|&v| std::cmp::Reverse(depth[v as usize]));
+        let mut size = vec![1u32; n];
+        for &v in &order {
+            if let Some(p) = parent[v as usize] {
+                size[p.index()] += size[v as usize];
+            }
+        }
+
+        // Heavy child: first child (in children-list order) of maximum
+        // subtree size. The deterministic first-max tie-break is what makes
+        // the induced edge relabeling idempotent.
+        let mut heavy: Vec<Option<u32>> = vec![None; n];
+        for v in 0..n {
+            let mut best: Option<(u32, u32)> = None; // (size, child)
+            for &c in &children[v] {
+                let s = size[c.index()];
+                if best.is_none_or(|(bs, _)| s > bs) {
+                    best = Some((s, c.0));
+                }
+            }
+            heavy[v] = best.map(|(_, c)| c);
+        }
+
+        // Iterative DFS visiting the heavy child first; light children in
+        // children-list order. Chain heads propagate along heavy edges.
+        let mut pos = vec![0u32; n];
+        let mut head = vec![0u32; n];
+        let mut vertex_at = vec![0u32; n];
+        let mut next_pos = 0u32;
+        let mut stack: Vec<(u32, u32)> = vec![(root as u32, root as u32)]; // (vertex, chain head)
+        while let Some((v, h)) = stack.pop() {
+            pos[v as usize] = next_pos;
+            vertex_at[next_pos as usize] = v;
+            next_pos += 1;
+            head[v as usize] = h;
+            // Push light children first (reversed so the first light child
+            // is processed right after the whole heavy subtree), then the
+            // heavy child last so it pops first and continues the chain.
+            let hc = heavy[v as usize];
+            for &c in children[v as usize].iter().rev() {
+                if Some(c.0) != hc {
+                    stack.push((c.0, c.0));
+                }
+            }
+            if let Some(hc) = hc {
+                stack.push((hc, h));
+            }
+        }
+        debug_assert_eq!(next_pos as usize, n, "DFS must reach every vertex");
+
+        let parent = (0..n)
+            .map(|v| parent[v].map_or(v as u32, |p| p.0))
+            .collect();
+        Self {
+            pos,
+            head,
+            parent,
+            depth: depth.to_vec(),
+            vertex_at,
+        }
+    }
+
+    /// DFS position of `v` (root = 0).
+    #[inline]
+    pub fn pos(&self, v: VertexId) -> u32 {
+        self.pos[v.index()]
+    }
+
+    /// The vertex at DFS position `p`.
+    #[inline]
+    pub fn vertex_at(&self, p: u32) -> VertexId {
+        VertexId(self.vertex_at[p as usize])
+    }
+
+    /// Canonical edge position of the parent edge of `v` (`pos(v) − 1`);
+    /// `None` for the root.
+    #[inline]
+    pub fn parent_edge_pos(&self, v: VertexId) -> Option<u32> {
+        (self.pos[v.index()] != 0).then(|| self.pos[v.index()] - 1)
+    }
+
+    /// Head of the chain containing `v`.
+    #[inline]
+    pub fn chain_head(&self, v: VertexId) -> VertexId {
+        VertexId(self.head[v.index()])
+    }
+
+    /// The unique tree path between `u` and `v` as interval runs in the
+    /// canonical edge order. At most `2⌈log₂ n⌉` runs, produced in
+    /// `O(log n)` time with no per-edge work.
+    pub fn path_runs(&self, u: VertexId, v: VertexId) -> Vec<EdgeRun> {
+        let mut runs = Vec::new();
+        let (mut a, mut b) = (u.0, v.0);
+        while self.head[a as usize] != self.head[b as usize] {
+            // Climb the vertex whose chain head is deeper.
+            if self.depth[self.head[a as usize] as usize]
+                < self.depth[self.head[b as usize] as usize]
+            {
+                std::mem::swap(&mut a, &mut b);
+            }
+            let h = self.head[a as usize];
+            // Edges: the parent edges of every chain vertex from `h` up to
+            // `a`, i.e. positions pos(h) − 1 ..= pos(a) − 1 (pos(h) ≥ 1
+            // because `h` is not the root's chain head here).
+            runs.push(EdgeRun::new(
+                self.pos[h as usize] - 1,
+                self.pos[a as usize] - 1,
+            ));
+            a = self.parent[h as usize];
+        }
+        // Same chain: the shallower of the two is the LCA.
+        let (top, bot) = if self.pos[a as usize] <= self.pos[b as usize] {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        if top != bot {
+            runs.push(EdgeRun::new(
+                self.pos[top as usize],
+                self.pos[bot as usize] - 1,
+            ));
+        }
+        runs
+    }
+
+    /// Lowest common ancestor of `u` and `v` (by chain climbing).
+    pub fn lca(&self, u: VertexId, v: VertexId) -> VertexId {
+        let (mut a, mut b) = (u.0, v.0);
+        while self.head[a as usize] != self.head[b as usize] {
+            if self.depth[self.head[a as usize] as usize]
+                < self.depth[self.head[b as usize] as usize]
+            {
+                std::mem::swap(&mut a, &mut b);
+            }
+            a = self.parent[self.head[a as usize] as usize];
+        }
+        VertexId(if self.depth[a as usize] <= self.depth[b as usize] {
+            a
+        } else {
+            b
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds parent/depth/children for the tree
+    /// ```text
+    ///        0
+    ///       / \
+    ///      1   2
+    ///     / \    \
+    ///    3   4    5
+    ///        |
+    ///        6
+    /// ```
+    fn sample() -> (Vec<Option<VertexId>>, Vec<u32>, Vec<Vec<VertexId>>) {
+        let parent = vec![
+            None,
+            Some(VertexId(0)),
+            Some(VertexId(0)),
+            Some(VertexId(1)),
+            Some(VertexId(1)),
+            Some(VertexId(2)),
+            Some(VertexId(4)),
+        ];
+        let depth = vec![0, 1, 1, 2, 2, 2, 3];
+        let mut children = vec![Vec::new(); 7];
+        for (v, p) in parent.iter().enumerate() {
+            if let Some(p) = p {
+                children[p.index()].push(VertexId::new(v));
+            }
+        }
+        (parent, depth, children)
+    }
+
+    #[test]
+    fn positions_are_a_permutation_with_root_zero() {
+        let (parent, depth, children) = sample();
+        let idx = HldIndex::new(&parent, &depth, &children);
+        assert_eq!(idx.pos(VertexId(0)), 0);
+        let mut seen: Vec<u32> = (0..7).map(|v| idx.pos(VertexId(v))).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..7).collect::<Vec<_>>());
+        for p in 0..7 {
+            assert_eq!(idx.pos(idx.vertex_at(p)), p);
+        }
+    }
+
+    #[test]
+    fn chains_occupy_consecutive_positions() {
+        let (parent, depth, children) = sample();
+        let idx = HldIndex::new(&parent, &depth, &children);
+        // The heavy path from the root is 0 - 1 - 4 - 6 (subtree sizes:
+        // size(1) = 4 > size(2) = 2, size(4) = 2 > size(3) = 1).
+        assert_eq!(idx.pos(VertexId(1)), 1);
+        assert_eq!(idx.pos(VertexId(4)), 2);
+        assert_eq!(idx.pos(VertexId(6)), 3);
+        assert_eq!(idx.chain_head(VertexId(6)), VertexId(0));
+        assert_eq!(idx.chain_head(VertexId(3)), VertexId(3));
+    }
+
+    #[test]
+    fn path_runs_cover_the_walk_edges() {
+        let (parent, depth, children) = sample();
+        let idx = HldIndex::new(&parent, &depth, &children);
+        // Naive edge set via parent walk, in position space.
+        let naive = |u: usize, v: usize| {
+            let l = idx.lca(VertexId(u as u32), VertexId(v as u32));
+            let mut edges = Vec::new();
+            for mut x in [u as u32, v as u32] {
+                while x != l.0 {
+                    edges.push(idx.parent_edge_pos(VertexId(x)).unwrap());
+                    x = parent[x as usize].unwrap().0;
+                }
+            }
+            edges.sort_unstable();
+            edges
+        };
+        for u in 0..7 {
+            for v in 0..7 {
+                let mut from_runs: Vec<u32> = idx
+                    .path_runs(VertexId(u), VertexId(v))
+                    .iter()
+                    .flat_map(|r| r.start..=r.end)
+                    .collect();
+                from_runs.sort_unstable();
+                assert_eq!(
+                    from_runs,
+                    naive(u as usize, v as usize),
+                    "path {u} - {v} mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lca_matches_structure() {
+        let (parent, depth, children) = sample();
+        let idx = HldIndex::new(&parent, &depth, &children);
+        assert_eq!(idx.lca(VertexId(3), VertexId(6)), VertexId(1));
+        assert_eq!(idx.lca(VertexId(3), VertexId(5)), VertexId(0));
+        assert_eq!(idx.lca(VertexId(6), VertexId(6)), VertexId(6));
+        assert_eq!(idx.lca(VertexId(0), VertexId(5)), VertexId(0));
+    }
+
+    #[test]
+    fn path_graph_is_one_chain_identity_numbering() {
+        let n = 9usize;
+        let parent: Vec<Option<VertexId>> = (0..n)
+            .map(|v| (v > 0).then(|| VertexId((v - 1) as u32)))
+            .collect();
+        let depth: Vec<u32> = (0..n as u32).collect();
+        let mut children = vec![Vec::new(); n];
+        for v in 1..n {
+            children[v - 1].push(VertexId(v as u32));
+        }
+        let idx = HldIndex::new(&parent, &depth, &children);
+        for v in 0..n as u32 {
+            assert_eq!(idx.pos(VertexId(v)), v);
+        }
+        let runs = idx.path_runs(VertexId(2), VertexId(7));
+        assert_eq!(runs, vec![EdgeRun::new(2, 6)]);
+    }
+
+    #[test]
+    fn run_count_is_logarithmic_on_a_balanced_tree() {
+        // Complete binary tree on 2^10 - 1 vertices.
+        let n = (1usize << 10) - 1;
+        let parent: Vec<Option<VertexId>> = (0..n)
+            .map(|v| (v > 0).then(|| VertexId(((v - 1) / 2) as u32)))
+            .collect();
+        let mut depth = vec![0u32; n];
+        for v in 1..n {
+            depth[v] = depth[(v - 1) / 2] + 1;
+        }
+        let mut children = vec![Vec::new(); n];
+        for v in 1..n {
+            children[(v - 1) / 2].push(VertexId(v as u32));
+        }
+        let idx = HldIndex::new(&parent, &depth, &children);
+        // Path between the leftmost and rightmost leaf (depth 9 each, LCA
+        // at the root): 18 edges, decomposed into at most 2 * log2(n) runs.
+        let runs = idx.path_runs(VertexId((n - 1) as u32), VertexId((n / 2) as u32));
+        assert!(
+            runs.len() <= 20,
+            "expected O(log n) runs, got {}",
+            runs.len()
+        );
+        let total: usize = runs.iter().map(EdgeRun::len).sum();
+        assert_eq!(total as u32, 18, "leaf-to-leaf path length");
+    }
+}

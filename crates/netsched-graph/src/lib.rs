@@ -6,7 +6,8 @@
 //! * identifier newtypes ([`VertexId`], [`EdgeId`], [`NetworkId`],
 //!   [`DemandId`], [`InstanceId`], [`ProcessorId`]),
 //! * [`TreeNetwork`] — a connected tree (in the paper, a spanning tree of the
-//!   global vertex set `V`) with unique-path and LCA queries,
+//!   global vertex set `V`) with unique-path, LCA and heavy-light
+//!   decomposition queries,
 //! * [`LineNetwork`] / [`LineProblem`] — the timeline view of line networks
 //!   with release-time/deadline windows (Section 7 of the paper),
 //! * [`Demand`], [`Processor`], [`TreeProblem`] — the throughput-maximization
@@ -14,7 +15,32 @@
 //! * [`DemandInstanceUniverse`] — the flattened set of *demand instances*
 //!   (demand × accessible network × placement) that all algorithms operate
 //!   on, together with conflict/overlap predicates and per-edge load
-//!   accounting.
+//!   accounting, and [`LoadTracker`] for incremental greedy selection.
+//!
+//! # Implicit interval paths
+//!
+//! Paths are never materialized edge-by-edge. An [`EdgePath`] is a short
+//! sorted list of interval *runs* ([`EdgeRun`], `[start, end]` inclusive):
+//! line/windowed instances are a single inline interval (no heap
+//! allocation), and tree paths are at most `2⌈log₂ n⌉` runs because
+//! [`TreeNetwork`] canonicalizes its edge ids to heavy-light order
+//! ([`HldIndex`]) at construction. Congestion accounting rides on the same
+//! structure: loads accumulate `+h` / `−h` at run endpoints and resolve
+//! with one prefix-sum pass (a difference array).
+//!
+//! With `n` vertices per network, `|D|` instances, `E` total edges and `S`
+//! the sum of all path lengths, the costs are:
+//!
+//! | operation | materialized (pre-interval) | implicit intervals |
+//! |---|---|---|
+//! | build one tree path | `O(path len)` walk + sort | `O(log n)` [`HldIndex::path_runs`] |
+//! | build one line instance | `O(len)` alloc per start | `O(1)` inline interval |
+//! | universe construction | `O(S)` | `O(|D| log n)` |
+//! | `len` / bounds | `O(1)` / `O(1)` | `O(runs)` / `O(1)` |
+//! | `contains(e)` | `O(log len)` | `O(log runs)` |
+//! | overlap test | `O(len_a + len_b)` merge | `O(runs_a + runs_b)` merge |
+//! | `edge_loads` / verify | `O(S)` | `O(|D| log n + E)` difference array |
+//! | conflict-graph build | `O(Σ bucket²)` HashMap buckets | sort-based interval sweep, CSR output |
 //!
 //! The paper being reproduced is "Distributed Algorithms for Scheduling on
 //! Line and Tree Networks" (Chakaravarthy, Roy, Sabharwal; arXiv:1205.1924,
@@ -26,6 +52,7 @@
 pub mod demand;
 pub mod error;
 pub mod fixtures;
+pub mod hld;
 pub mod ids;
 pub mod lca;
 pub mod line;
@@ -36,13 +63,14 @@ pub mod universe;
 
 pub use demand::{Demand, Processor};
 pub use error::GraphError;
+pub use hld::HldIndex;
 pub use ids::{DemandId, EdgeId, GlobalEdge, InstanceId, NetworkId, ProcessorId, VertexId};
 pub use lca::LcaIndex;
 pub use line::{LineDemand, LineNetwork, LineProblem};
-pub use path::EdgePath;
+pub use path::{EdgePath, EdgeRun};
 pub use problem::TreeProblem;
 pub use tree::TreeNetwork;
-pub use universe::{DemandInstance, DemandInstanceUniverse};
+pub use universe::{DemandInstance, DemandInstanceUniverse, LoadTracker};
 
 /// Tolerance used throughout the workspace when comparing floating-point
 /// profits, heights and dual values.

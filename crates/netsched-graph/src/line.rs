@@ -249,6 +249,10 @@ impl LineProblem {
     /// Section 7 prescribes ("for each resource T accessible by P and each
     /// interval of length ρ(a) contained within [rt(a), dl(a)], create a
     /// demand instance").
+    ///
+    /// Every instance path is a single implicit `[start, end]` interval
+    /// ([`EdgePath::interval`]) — `O(1)` memory per instance regardless of
+    /// the processing time, with no heap allocation per admissible start.
     pub fn universe(&self) -> DemandInstanceUniverse {
         let mut instances = Vec::new();
         for demand in &self.demands {
@@ -262,7 +266,7 @@ impl LineProblem {
                         network: t,
                         profit: demand.profit,
                         height: demand.height,
-                        path: EdgePath::contiguous(start as usize, end as usize),
+                        path: EdgePath::interval(start as usize, end as usize),
                         start: Some(start),
                     });
                 }

@@ -1,119 +1,289 @@
-//! Edge-path representation and overlap predicates.
+//! Implicit interval paths and overlap predicates.
 //!
-//! A demand instance on a tree network corresponds to the unique path between
-//! its end-points; we store it as a sorted list of edge indices of that
-//! network. Overlap (`path(d1)` and `path(d2)` share an edge, Section 2) is a
-//! sorted-list intersection test.
+//! A demand instance occupies a set of edges of a single network. Instead of
+//! materializing that set as a sorted `Vec<EdgeId>` (`O(path length)` memory
+//! and construction time), an [`EdgePath`] stores it as a short list of
+//! *runs* — maximal contiguous edge-index intervals `[start, end]`:
+//!
+//! * line/windowed instances are a **single interval** held inline
+//!   ([`EdgePath::interval`], no heap allocation at all), and
+//! * tree paths are at most `O(log n)` runs, because [`crate::TreeNetwork`]
+//!   canonicalizes edge indices to heavy-light-decomposition order (see
+//!   [`crate::hld::HldIndex`]), under which any root-to-leaf walk crosses at
+//!   most `⌈log₂ n⌉` chains.
+//!
+//! Every predicate is therefore sublinear in the path length: `contains` is
+//! `O(log runs)`, `intersects` is a two-pointer merge over runs, and `len`
+//! sums run widths. Congestion accounting in
+//! [`crate::DemandInstanceUniverse`] exploits the same structure with
+//! difference arrays (`+h` at `start`, `−h` at `end + 1`).
 
 use crate::ids::EdgeId;
 
-/// A set of edges of a single network, stored as a sorted, deduplicated list
-/// of dense edge indices.
+/// A maximal contiguous interval of edge indices `[start, end]` (inclusive
+/// on both ends).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeRun {
+    /// First edge index of the run.
+    pub start: u32,
+    /// Last edge index of the run (inclusive; `end >= start`).
+    pub end: u32,
+}
+
+impl EdgeRun {
+    /// Creates a run covering `[start, end]` (inclusive).
+    #[inline]
+    pub fn new(start: u32, end: u32) -> Self {
+        debug_assert!(start <= end, "run must have start <= end");
+        Self { start, end }
+    }
+
+    /// Number of edges in the run.
+    #[inline]
+    pub fn len(&self) -> usize {
+        (self.end - self.start + 1) as usize
+    }
+
+    /// Runs are never empty; provided for API symmetry.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Returns `true` if the run covers edge `e`.
+    #[inline]
+    pub fn contains(&self, e: EdgeId) -> bool {
+        self.start <= e.0 && e.0 <= self.end
+    }
+
+    /// Returns `true` if the two runs share at least one edge.
+    #[inline]
+    pub fn overlaps(&self, other: &EdgeRun) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// The shared edges of two runs, if any.
+    #[inline]
+    pub fn intersect(&self, other: &EdgeRun) -> Option<EdgeRun> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        (start <= end).then_some(EdgeRun { start, end })
+    }
+
+    /// Iterates over the edges of the run in increasing index order.
+    pub fn iter(&self) -> impl Iterator<Item = EdgeId> {
+        (self.start..=self.end).map(EdgeId)
+    }
+}
+
+/// The run list: single intervals are stored inline so the dominant case
+/// (line/windowed instances) performs no heap allocation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+enum Repr {
+    #[default]
+    Empty,
+    One(EdgeRun),
+    /// Invariant: sorted by `start`, pairwise disjoint and non-adjacent
+    /// (`runs[i].end + 1 < runs[i + 1].start`), length ≥ 2.
+    Many(Box<[EdgeRun]>),
+}
+
+/// A set of edges of a single network, stored as sorted maximal interval
+/// runs.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct EdgePath {
-    edges: Vec<EdgeId>,
+    repr: Repr,
 }
 
 impl EdgePath {
     /// Creates an empty path.
+    #[inline]
     pub fn empty() -> Self {
-        Self { edges: Vec::new() }
+        Self { repr: Repr::Empty }
     }
 
-    /// Creates a path from an arbitrary list of edges (sorted and
-    /// deduplicated internally).
-    pub fn new(mut edges: Vec<EdgeId>) -> Self {
-        edges.sort_unstable();
-        edges.dedup();
-        Self { edges }
-    }
-
-    /// Creates a path from a list of edges that is already sorted and
-    /// deduplicated (checked in debug builds).
-    pub fn from_sorted(edges: Vec<EdgeId>) -> Self {
-        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]));
-        Self { edges }
-    }
-
-    /// Creates a contiguous path of edges `[start, end]` (inclusive); used by
-    /// the line/timeline view where edge `i` is the timeslot `i`.
-    pub fn contiguous(start: usize, end: usize) -> Self {
-        assert!(start <= end, "contiguous path must have start <= end");
+    /// Creates the contiguous path of edges `[start, end]` (inclusive)
+    /// without any heap allocation; used by the line/timeline view where
+    /// edge `i` is the timeslot `i`.
+    #[inline]
+    pub fn interval(start: usize, end: usize) -> Self {
+        assert!(start <= end, "interval path must have start <= end");
         Self {
-            edges: (start..=end).map(EdgeId::new).collect(),
+            repr: Repr::One(EdgeRun::new(start as u32, end as u32)),
         }
     }
 
-    /// Number of edges on the path (the paper's `len(d)` for line networks).
+    /// Creates a path from an arbitrary list of runs; sorts, merges
+    /// overlapping/adjacent runs and normalizes the representation.
+    pub fn from_runs(mut runs: Vec<EdgeRun>) -> Self {
+        if runs.is_empty() {
+            return Self::empty();
+        }
+        runs.sort_unstable_by_key(|r| r.start);
+        let mut merged: Vec<EdgeRun> = Vec::with_capacity(runs.len());
+        for r in runs {
+            match merged.last_mut() {
+                Some(last) if r.start <= last.end.saturating_add(1) => {
+                    last.end = last.end.max(r.end);
+                }
+                _ => merged.push(r),
+            }
+        }
+        if merged.len() == 1 {
+            Self {
+                repr: Repr::One(merged[0]),
+            }
+        } else {
+            Self {
+                repr: Repr::Many(merged.into_boxed_slice()),
+            }
+        }
+    }
+
+    /// Creates a path from an arbitrary list of edges (sorted, deduplicated
+    /// and compressed into runs internally).
+    pub fn new(mut edges: Vec<EdgeId>) -> Self {
+        edges.sort_unstable();
+        edges.dedup();
+        let mut runs: Vec<EdgeRun> = Vec::new();
+        for e in edges {
+            match runs.last_mut() {
+                Some(last) if e.0 == last.end + 1 => last.end = e.0,
+                _ => runs.push(EdgeRun::new(e.0, e.0)),
+            }
+        }
+        match runs.len() {
+            0 => Self::empty(),
+            1 => Self {
+                repr: Repr::One(runs[0]),
+            },
+            _ => Self {
+                repr: Repr::Many(runs.into_boxed_slice()),
+            },
+        }
+    }
+
+    /// The runs of the path, sorted by start and pairwise non-adjacent.
+    #[inline]
+    pub fn runs(&self) -> &[EdgeRun] {
+        match &self.repr {
+            Repr::Empty => &[],
+            Repr::One(r) => std::slice::from_ref(r),
+            Repr::Many(rs) => rs,
+        }
+    }
+
+    /// Number of runs (1 for line instances, ≤ `2⌈log₂ n⌉` for tree paths
+    /// under the canonical HLD edge order).
+    #[inline]
+    pub fn num_runs(&self) -> usize {
+        self.runs().len()
+    }
+
+    /// Number of edges on the path (the paper's `len(d)` for line
+    /// networks). `O(runs)`, not `O(path length)`.
     #[inline]
     pub fn len(&self) -> usize {
-        self.edges.len()
+        self.runs().iter().map(EdgeRun::len).sum()
     }
 
     /// Returns `true` if the path contains no edges.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.edges.is_empty()
+        matches!(self.repr, Repr::Empty)
     }
 
-    /// Returns `true` if the path uses edge `e`.
+    /// If the path is a single contiguous interval, returns it.
+    #[inline]
+    pub fn as_single_run(&self) -> Option<EdgeRun> {
+        match self.repr {
+            Repr::One(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The smallest and largest edge index on the path.
+    #[inline]
+    pub fn bounds(&self) -> Option<(EdgeId, EdgeId)> {
+        let runs = self.runs();
+        match (runs.first(), runs.last()) {
+            (Some(f), Some(l)) => Some((EdgeId(f.start), EdgeId(l.end))),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the path uses edge `e` (`O(log runs)`).
     #[inline]
     pub fn contains(&self, e: EdgeId) -> bool {
-        self.edges.binary_search(&e).is_ok()
+        match &self.repr {
+            Repr::Empty => false,
+            Repr::One(r) => r.contains(e),
+            Repr::Many(runs) => {
+                let i = runs.partition_point(|r| r.end < e.0);
+                i < runs.len() && runs[i].contains(e)
+            }
+        }
     }
 
     /// Iterates over the edges in increasing index order.
-    pub fn iter(&self) -> impl Iterator<Item = EdgeId> + '_ {
-        self.edges.iter().copied()
-    }
-
-    /// Returns the underlying sorted slice.
-    #[inline]
-    pub fn as_slice(&self) -> &[EdgeId] {
-        &self.edges
+    pub fn iter(&self) -> EdgePathIter<'_> {
+        self.into_iter()
     }
 
     /// Returns `true` if the two paths share at least one edge
     /// ("overlapping" in Section 2, assuming both belong to the same
-    /// network).
+    /// network). A two-pointer merge over the runs: `O(runs_a + runs_b)`,
+    /// independent of the path lengths.
     pub fn intersects(&self, other: &EdgePath) -> bool {
+        let (a, b) = (self.runs(), other.runs());
         let (mut i, mut j) = (0, 0);
-        while i < self.edges.len() && j < other.edges.len() {
-            match self.edges[i].cmp(&other.edges[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => return true,
+        while i < a.len() && j < b.len() {
+            if a[i].overlaps(&b[j]) {
+                return true;
+            }
+            if a[i].end < b[j].end {
+                i += 1;
+            } else {
+                j += 1;
             }
         }
         false
     }
 
-    /// Returns the edges shared by the two paths.
-    pub fn intersection(&self, other: &EdgePath) -> Vec<EdgeId> {
+    /// Returns the edges shared by the two paths as a new path.
+    pub fn intersection(&self, other: &EdgePath) -> EdgePath {
+        let (a, b) = (self.runs(), other.runs());
+        let mut out: Vec<EdgeRun> = Vec::new();
         let (mut i, mut j) = (0, 0);
-        let mut out = Vec::new();
-        while i < self.edges.len() && j < other.edges.len() {
-            match self.edges[i].cmp(&other.edges[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    out.push(self.edges[i]);
-                    i += 1;
-                    j += 1;
-                }
+        while i < a.len() && j < b.len() {
+            if let Some(r) = a[i].intersect(&b[j]) {
+                out.push(r);
+            }
+            if a[i].end < b[j].end {
+                i += 1;
+            } else {
+                j += 1;
             }
         }
-        out
+        // Runs of a normalized path are non-adjacent, so the pairwise
+        // intersections are already sorted, disjoint and non-adjacent.
+        match out.len() {
+            0 => Self::empty(),
+            1 => Self {
+                repr: Repr::One(out[0]),
+            },
+            _ => Self {
+                repr: Repr::Many(out.into_boxed_slice()),
+            },
+        }
     }
 
-    /// Returns `true` if any edge of `self` appears in the given sorted
-    /// slice of edges (used for critical-edge / `π(d)` membership tests).
+    /// Returns `true` if any edge of `self` appears in the given slice of
+    /// edges (used for critical-edge / `π(d)` membership tests; the slice
+    /// need not be sorted). `O(k log runs)` for `k` edges — the critical
+    /// sets this is used with have `k ≤ ∆ ≤ 6`.
     pub fn intersects_slice(&self, edges: &[EdgeId]) -> bool {
-        if edges.len() <= 4 {
-            edges.iter().any(|e| self.contains(*e))
-        } else {
-            self.intersects(&EdgePath::new(edges.to_vec()))
-        }
+        edges.iter().any(|e| self.contains(*e))
     }
 }
 
@@ -123,12 +293,44 @@ impl FromIterator<EdgeId> for EdgePath {
     }
 }
 
+impl FromIterator<EdgeRun> for EdgePath {
+    fn from_iter<I: IntoIterator<Item = EdgeRun>>(iter: I) -> Self {
+        Self::from_runs(iter.into_iter().collect())
+    }
+}
+
+/// Iterator over the edges of an [`EdgePath`] in increasing index order.
+pub struct EdgePathIter<'a> {
+    runs: std::slice::Iter<'a, EdgeRun>,
+    current: Option<(u32, u32)>,
+}
+
+impl Iterator for EdgePathIter<'_> {
+    type Item = EdgeId;
+
+    fn next(&mut self) -> Option<EdgeId> {
+        let (next, end) = match self.current {
+            Some(pair) => pair,
+            None => {
+                let run = self.runs.next()?;
+                (run.start, run.end)
+            }
+        };
+        // Runs are never empty, so `next <= end` always holds here.
+        self.current = (next < end).then_some((next + 1, end));
+        Some(EdgeId(next))
+    }
+}
+
 impl<'a> IntoIterator for &'a EdgePath {
     type Item = EdgeId;
-    type IntoIter = std::iter::Copied<std::slice::Iter<'a, EdgeId>>;
+    type IntoIter = EdgePathIter<'a>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.edges.iter().copied()
+        EdgePathIter {
+            runs: self.runs().iter(),
+            current: None,
+        }
     }
 }
 
@@ -141,23 +343,47 @@ mod tests {
     }
 
     #[test]
-    fn construction_sorts_and_dedups() {
+    fn construction_sorts_dedups_and_compresses() {
         let p = path(&[5, 1, 3, 1]);
         assert_eq!(p.len(), 3);
+        let collected: Vec<EdgeId> = p.iter().collect();
         assert_eq!(
-            p.as_slice(),
-            &[EdgeId(1), EdgeId(3), EdgeId(5)],
+            collected,
+            vec![EdgeId(1), EdgeId(3), EdgeId(5)],
             "edges must be sorted and unique"
         );
+        assert_eq!(p.num_runs(), 3);
+        // Consecutive edges compress into one run.
+        let q = path(&[4, 2, 3, 7, 8]);
+        assert_eq!(q.num_runs(), 2);
+        assert_eq!(q.runs(), &[EdgeRun::new(2, 4), EdgeRun::new(7, 8)]);
+        assert_eq!(q.len(), 5);
     }
 
     #[test]
-    fn contiguous_paths() {
-        let p = EdgePath::contiguous(2, 5);
+    fn interval_paths_are_single_runs() {
+        let p = EdgePath::interval(2, 5);
         assert_eq!(p.len(), 4);
+        assert_eq!(p.num_runs(), 1);
+        assert_eq!(p.as_single_run(), Some(EdgeRun::new(2, 5)));
+        assert_eq!(p.bounds(), Some((EdgeId(2), EdgeId(5))));
         assert!(p.contains(EdgeId(2)));
         assert!(p.contains(EdgeId(5)));
         assert!(!p.contains(EdgeId(6)));
+    }
+
+    #[test]
+    fn from_runs_normalizes() {
+        let p = EdgePath::from_runs(vec![
+            EdgeRun::new(5, 6),
+            EdgeRun::new(0, 2),
+            EdgeRun::new(3, 4), // adjacent to [0, 2] -> merged
+        ]);
+        assert_eq!(p.runs(), &[EdgeRun::new(0, 6)]);
+        assert_eq!(p.as_single_run(), Some(EdgeRun::new(0, 6)));
+        let q = EdgePath::from_runs(vec![EdgeRun::new(4, 9), EdgeRun::new(0, 5)]);
+        assert_eq!(q.runs(), &[EdgeRun::new(0, 9)]);
+        assert!(EdgePath::from_runs(Vec::new()).is_empty());
     }
 
     #[test]
@@ -168,8 +394,15 @@ mod tests {
         assert!(a.intersects(&b));
         assert!(!a.intersects(&c));
         assert!(!b.intersects(&c));
-        assert_eq!(a.intersection(&b), vec![EdgeId(4)]);
+        let ab = a.intersection(&b);
+        assert_eq!(ab.iter().collect::<Vec<_>>(), vec![EdgeId(4)]);
         assert!(a.intersection(&c).is_empty());
+        // Multi-run intersection.
+        let d = EdgePath::from_runs(vec![EdgeRun::new(0, 2), EdgeRun::new(6, 9)]);
+        let e = EdgePath::from_runs(vec![EdgeRun::new(2, 7)]);
+        let de = d.intersection(&e);
+        assert_eq!(de.runs(), &[EdgeRun::new(2, 2), EdgeRun::new(6, 7)]);
+        assert!(d.intersects(&e));
     }
 
     #[test]
@@ -187,15 +420,48 @@ mod tests {
     fn empty_path_behaviour() {
         let e = EdgePath::empty();
         assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert_eq!(e.num_runs(), 0);
+        assert_eq!(e.bounds(), None);
         assert!(!e.intersects(&path(&[1, 2])));
         assert!(!path(&[1, 2]).intersects(&e));
+        assert!(e.intersection(&path(&[1, 2])).is_empty());
     }
 
     #[test]
-    fn from_iterator() {
+    fn from_iterator_and_into_iterator() {
         let p: EdgePath = vec![EdgeId(3), EdgeId(1)].into_iter().collect();
-        assert_eq!(p.as_slice(), &[EdgeId(1), EdgeId(3)]);
         let collected: Vec<EdgeId> = (&p).into_iter().collect();
         assert_eq!(collected, vec![EdgeId(1), EdgeId(3)]);
+        let q: EdgePath = vec![EdgeRun::new(0, 1), EdgeRun::new(3, 4)]
+            .into_iter()
+            .collect();
+        assert_eq!(q.len(), 4);
+        let collected: Vec<EdgeId> = (&q).into_iter().collect();
+        assert_eq!(collected, vec![EdgeId(0), EdgeId(1), EdgeId(3), EdgeId(4)]);
+    }
+
+    #[test]
+    fn run_predicates() {
+        let r = EdgeRun::new(3, 7);
+        assert_eq!(r.len(), 5);
+        assert!(!r.is_empty());
+        assert!(r.contains(EdgeId(3)) && r.contains(EdgeId(7)));
+        assert!(!r.contains(EdgeId(8)));
+        assert!(r.overlaps(&EdgeRun::new(7, 9)));
+        assert!(!r.overlaps(&EdgeRun::new(8, 9)));
+        assert_eq!(r.intersect(&EdgeRun::new(5, 10)), Some(EdgeRun::new(5, 7)));
+        assert_eq!(r.intersect(&EdgeRun::new(8, 10)), None);
+    }
+
+    #[test]
+    fn contains_uses_binary_search_over_many_runs() {
+        let runs: Vec<EdgeRun> = (0..50).map(|i| EdgeRun::new(i * 10, i * 10 + 3)).collect();
+        let p = EdgePath::from_runs(runs);
+        assert_eq!(p.num_runs(), 50);
+        assert!(p.contains(EdgeId(130)));
+        assert!(p.contains(EdgeId(133)));
+        assert!(!p.contains(EdgeId(134)));
+        assert!(!p.contains(EdgeId(999)));
     }
 }

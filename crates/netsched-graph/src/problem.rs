@@ -134,7 +134,38 @@ impl TreeProblem {
     }
 
     /// Sets the capacity of a single edge of a network (capacitated
+    /// extension), addressing the edge by its end-points — the robust way
+    /// to target a physical link, since positional edge indices refer to
+    /// the network's canonical (HLD) edge order, not the input order.
+    pub fn set_capacity_between(
+        &mut self,
+        network: NetworkId,
+        u: VertexId,
+        v: VertexId,
+        capacity: f64,
+    ) -> Result<(), GraphError> {
+        if network.index() >= self.networks.len() {
+            return Err(GraphError::UnknownNetwork {
+                network,
+                networks: self.networks.len(),
+            });
+        }
+        let edge = self.networks[network.index()]
+            .edge_between(u, v)
+            .ok_or(GraphError::NoSuchEdge { network, u, v })?;
+        self.set_capacity(network, edge.index(), capacity)
+    }
+
+    /// Sets the capacity of a single edge of a network (capacitated
     /// extension).
+    ///
+    /// `edge` is an index into the network's **canonical (HLD) edge
+    /// order** — the order reported by [`TreeNetwork::edges`] — which may
+    /// differ from the order edges were passed to
+    /// [`TreeProblem::add_network`]. Prefer
+    /// [`TreeProblem::set_capacity_between`] when targeting a link by its
+    /// end-points. (For path graphs listed in natural order the two orders
+    /// coincide.)
     pub fn set_capacity(
         &mut self,
         network: NetworkId,
@@ -425,6 +456,48 @@ mod tests {
         // Edge 1 (between vertices 1 and 2) has capacity 2.5, so the two
         // unit-height demands can share it; edge 0 is used only by demand 0.
         assert!(u.is_feasible(&[InstanceId(0), InstanceId(1)]));
+    }
+
+    #[test]
+    fn set_capacity_between_targets_the_physical_link() {
+        // A branching tree where HLD canonicalization permutes the input
+        // edge order: addressing by end-points must still hit the intended
+        // link regardless of the permutation.
+        let mut p = TreeProblem::new(9);
+        let t = p
+            .add_network(vec![
+                (VertexId(0), VertexId(1)),
+                (VertexId(0), VertexId(2)),
+                (VertexId(1), VertexId(3)),
+                (VertexId(1), VertexId(4)),
+                (VertexId(1), VertexId(5)),
+                (VertexId(2), VertexId(6)),
+                (VertexId(2), VertexId(7)),
+                (VertexId(2), VertexId(8)),
+            ])
+            .unwrap();
+        p.set_capacity_between(t, VertexId(0), VertexId(2), 2.0)
+            .unwrap();
+        // Symmetric endpoint order works too.
+        p.set_capacity_between(t, VertexId(1), VertexId(0), 3.0)
+            .unwrap();
+        let network = p.network(t).clone();
+        for (e, (u, v)) in network.edges() {
+            let expected = match (u.index().min(v.index()), u.index().max(v.index())) {
+                (0, 2) => 2.0,
+                (0, 1) => 3.0,
+                _ => 1.0,
+            };
+            assert_eq!(p.capacities(t)[e.index()], expected, "link {u}-{v}");
+        }
+        assert!(matches!(
+            p.set_capacity_between(t, VertexId(3), VertexId(8), 2.0),
+            Err(GraphError::NoSuchEdge { .. })
+        ));
+        assert!(matches!(
+            p.set_capacity_between(NetworkId(9), VertexId(0), VertexId(1), 2.0),
+            Err(GraphError::UnknownNetwork { .. })
+        ));
     }
 
     #[test]

@@ -3,10 +3,22 @@
 //! In the paper every network `T ∈ T` is a connected tree over the `n`
 //! vertices of `V` (Section 2), so the path between any pair of vertices is
 //! unique. [`TreeNetwork`] stores the edge list, an adjacency structure, a
-//! rooted view (parent/depth arrays rooted at vertex 0) and an LCA index so
-//! that `path(d)` queries run in `O(path length + log n)`.
+//! rooted view (parent/depth arrays rooted at vertex 0), an LCA index and a
+//! heavy-light decomposition ([`HldIndex`]).
+//!
+//! **Canonical edge order.** At construction the edge indices are relabeled
+//! so that [`EdgeId`] equals the HLD edge position (`pos(child) − 1`): the
+//! edges of every heavy chain are consecutive, and the unique path between
+//! any two vertices decomposes into at most `2⌈log₂ n⌉` contiguous interval
+//! runs. [`TreeNetwork::path_edges`] therefore answers `path(d)` queries in
+//! `O(log n)` time and memory — no per-edge work at all. The relabeling is
+//! deterministic and idempotent (rebuilding from an already-canonical edge
+//! list is the identity), so serialized problems round-trip stably; for a
+//! path graph (the line/timeline view) the canonical order coincides with
+//! the natural `edge i = timeslot i` numbering.
 
 use crate::error::GraphError;
+use crate::hld::HldIndex;
 use crate::ids::{EdgeId, NetworkId, VertexId};
 use crate::lca::LcaIndex;
 use crate::path::EdgePath;
@@ -17,7 +29,8 @@ use std::collections::VecDeque;
 pub struct TreeNetwork {
     id: NetworkId,
     n: usize,
-    /// Edge list; edge `i` connects `edges[i].0` and `edges[i].1`.
+    /// Edge list in canonical HLD order; edge `i` connects `edges[i].0` and
+    /// `edges[i].1`.
     edges: Vec<(VertexId, VertexId)>,
     /// Adjacency: for each vertex the list of `(neighbour, edge index)`.
     adj: Vec<Vec<(VertexId, EdgeId)>>,
@@ -27,6 +40,7 @@ pub struct TreeNetwork {
     /// Depth of each vertex when rooted at vertex 0 (root depth 0).
     depth: Vec<u32>,
     lca: Option<LcaIndex>,
+    hld: Option<HldIndex>,
 }
 
 impl TreeNetwork {
@@ -35,6 +49,12 @@ impl TreeNetwork {
     /// The edge list must describe a connected tree over vertices `0..n`
     /// (exactly `n - 1` edges, no self-loops, no duplicates, connected);
     /// otherwise a [`GraphError`] is returned.
+    ///
+    /// Edge indices are canonicalized to heavy-light-decomposition order
+    /// (see the module docs): the reported [`EdgeId`]s of the constructed
+    /// network are the HLD edge positions, not the input positions. The
+    /// relabeling is deterministic and idempotent, and it is the identity
+    /// for path graphs listed in their natural order.
     pub fn new(
         id: NetworkId,
         n: usize,
@@ -100,14 +120,45 @@ impl TreeNetwork {
         let parent_only: Vec<Option<VertexId>> = parent.iter().map(|p| p.map(|(v, _)| v)).collect();
         let lca = LcaIndex::new(&parent_only, &depth);
 
+        // Canonicalize edge ids to HLD order: the parent edge of vertex `v`
+        // becomes edge `pos(v) − 1`. Children lists follow adjacency order
+        // (= edge input order), which makes the relabeling idempotent.
+        let children = children_in_adjacency_order(&adj, &parent_only);
+        let hld = HldIndex::new(&parent_only, &depth, &children);
+        let mut perm = vec![0u32; edges.len()]; // old edge id -> new edge id
+        for (v, p) in parent.iter().enumerate() {
+            if let Some((_, old_edge)) = p {
+                perm[old_edge.index()] = hld
+                    .parent_edge_pos(VertexId(v as u32))
+                    .expect("non-root vertex has a parent edge");
+            }
+        }
+        let mut relabeled_edges = vec![(VertexId(0), VertexId(0)); edges.len()];
+        for (old, &uv) in edges.iter().enumerate() {
+            relabeled_edges[perm[old] as usize] = uv;
+        }
+        let adj = adj
+            .into_iter()
+            .map(|nbrs| {
+                nbrs.into_iter()
+                    .map(|(v, e)| (v, EdgeId(perm[e.index()])))
+                    .collect()
+            })
+            .collect();
+        let parent = parent
+            .into_iter()
+            .map(|p| p.map(|(v, e)| (v, EdgeId(perm[e.index()]))))
+            .collect();
+
         Ok(Self {
             id,
             n,
-            edges,
+            edges: relabeled_edges,
             adj,
             parent,
             depth,
             lca: Some(lca),
+            hld: Some(hld),
         })
     }
 
@@ -121,12 +172,21 @@ impl TreeNetwork {
         Self::new(id, n, edges)
     }
 
-    /// Rebuilds the (non-serialized) LCA index after deserialization.
+    /// Rebuilds the (non-serialized) LCA and HLD indices after
+    /// deserialization. Rebuilding the HLD from the stored adjacency
+    /// reproduces the canonical edge order already in effect (the
+    /// construction is idempotent), so edge ids are unchanged.
     pub fn ensure_index(&mut self) {
-        if self.lca.is_none() {
+        if self.lca.is_none() || self.hld.is_none() {
             let parent_only: Vec<Option<VertexId>> =
                 self.parent.iter().map(|p| p.map(|(v, _)| v)).collect();
-            self.lca = Some(LcaIndex::new(&parent_only, &self.depth));
+            if self.lca.is_none() {
+                self.lca = Some(LcaIndex::new(&parent_only, &self.depth));
+            }
+            if self.hld.is_none() {
+                let children = children_in_adjacency_order(&self.adj, &parent_only);
+                self.hld = Some(HldIndex::new(&parent_only, &self.depth, &children));
+            }
         }
     }
 
@@ -134,6 +194,17 @@ impl TreeNetwork {
         self.lca
             .as_ref()
             .expect("LCA index missing; call ensure_index() after deserialization")
+    }
+
+    fn hld_index(&self) -> &HldIndex {
+        self.hld
+            .as_ref()
+            .expect("HLD index missing; call ensure_index() after deserialization")
+    }
+
+    /// The heavy-light decomposition underlying the canonical edge order.
+    pub fn hld(&self) -> &HldIndex {
+        self.hld_index()
     }
 
     /// The identifier of this network.
@@ -216,19 +287,12 @@ impl TreeNetwork {
     }
 
     /// The unique path between `u` and `v` as a set of edges.
+    ///
+    /// Thanks to the canonical HLD edge order this is `O(log n)` time and
+    /// memory — the result holds at most `2⌈log₂ n⌉` interval runs instead
+    /// of one entry per edge.
     pub fn path_edges(&self, u: VertexId, v: VertexId) -> EdgePath {
-        let l = self.lca(u, v);
-        let mut edges = Vec::with_capacity(self.distance(u, v) as usize);
-        let mut walk = |mut x: VertexId| {
-            while x != l {
-                let (p, e) = self.parent[x.index()].expect("non-root vertex must have a parent");
-                edges.push(e);
-                x = p;
-            }
-        };
-        walk(u);
-        walk(v);
-        EdgePath::new(edges)
+        EdgePath::from_runs(self.hld_index().path_runs(u, v))
     }
 
     /// The unique path between `u` and `v` as a vertex sequence from `u` to
@@ -291,6 +355,23 @@ impl TreeNetwork {
         }
         out
     }
+}
+
+/// Children of every vertex in adjacency order (= edge order), skipping the
+/// parent; this is the deterministic order the HLD tie-breaking relies on.
+fn children_in_adjacency_order(
+    adj: &[Vec<(VertexId, EdgeId)>],
+    parent: &[Option<VertexId>],
+) -> Vec<Vec<VertexId>> {
+    adj.iter()
+        .enumerate()
+        .map(|(v, nbrs)| {
+            nbrs.iter()
+                .filter(|&&(w, _)| parent[w.index()] == Some(VertexId(v as u32)))
+                .map(|&(w, _)| w)
+                .collect()
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -377,8 +458,17 @@ mod tests {
         let line = TreeNetwork::line(NetworkId::new(1), 5).unwrap();
         assert_eq!(line.num_vertices(), 5);
         assert_eq!(line.num_edges(), 4);
+        // The canonical HLD order is the identity on path graphs, so edge
+        // `i` is still timeslot `i` and the path is one interval run.
         let p = line.path_edges(VertexId(1), VertexId(4));
-        assert_eq!(p.as_slice(), &[EdgeId(1), EdgeId(2), EdgeId(3)]);
+        assert_eq!(
+            p.iter().collect::<Vec<_>>(),
+            vec![EdgeId(1), EdgeId(2), EdgeId(3)]
+        );
+        assert_eq!(p.num_runs(), 1);
+        for v in 1..5u32 {
+            assert_eq!(line.parent(VertexId(v)).unwrap().1, EdgeId(v - 1));
+        }
     }
 
     #[test]
@@ -435,12 +525,52 @@ mod tests {
 
     #[test]
     fn ensure_index_rebuilds_after_skip() {
-        // The LCA index is not serialized by the JSON layer; emulate a
-        // deserialized value by dropping it and rebuilding.
+        // The LCA/HLD indices are not serialized by the JSON layer; emulate
+        // a deserialized value by dropping them and rebuilding.
         let t = figure6_tree();
         let mut copy = t.clone();
         copy.lca = None;
+        copy.hld = None;
         copy.ensure_index();
         assert_eq!(copy.distance(VertexId(3), VertexId(12)), 4);
+        assert_eq!(
+            copy.path_edges(VertexId(3), VertexId(12)),
+            t.path_edges(VertexId(3), VertexId(12))
+        );
+    }
+
+    #[test]
+    fn canonical_edge_order_is_idempotent() {
+        // Rebuilding a network from its own (canonical) edge list must keep
+        // every edge id stable — this is what keeps serialized problems
+        // consistent across save/load round trips.
+        let t = figure6_tree();
+        let edge_list: Vec<(VertexId, VertexId)> = t.edges().map(|(_, uv)| uv).collect();
+        let rebuilt = TreeNetwork::new(NetworkId::new(0), t.num_vertices(), edge_list).unwrap();
+        for (e, uv) in t.edges() {
+            assert_eq!(rebuilt.edge_endpoints(e), uv, "edge {e} moved on rebuild");
+        }
+        for u in t.vertices() {
+            for v in t.vertices() {
+                assert_eq!(t.path_edges(u, v), rebuilt.path_edges(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn paths_decompose_into_logarithmically_many_runs() {
+        let t = figure6_tree();
+        let log2n = (usize::BITS - t.num_vertices().leading_zeros()) as usize;
+        for u in t.vertices() {
+            for v in t.vertices() {
+                let p = t.path_edges(u, v);
+                assert_eq!(p.len() as u32, t.distance(u, v));
+                assert!(
+                    p.num_runs() <= 2 * log2n,
+                    "path {u} - {v} has {} runs",
+                    p.num_runs()
+                );
+            }
+        }
     }
 }

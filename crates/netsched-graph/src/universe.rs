@@ -10,6 +10,16 @@
 //! A *feasible solution* is a subset of instances containing at most one
 //! instance per demand such that on every edge the heights of the selected
 //! instances through it sum to at most the edge capacity.
+//!
+//! Congestion accounting is run-based (see [`crate::path`]): instead of
+//! touching every edge of every selected path, [`edge_loads`] and
+//! [`is_feasible`] accumulate `+h` / `−h` at the interval endpoints of each
+//! run and take a single prefix-sum pass — `O(m + E)` instead of
+//! `O(Σ path length)`. [`LoadTracker`] offers the same accounting
+//! incrementally for greedy selection loops (the framework's second phase).
+//!
+//! [`edge_loads`]: DemandInstanceUniverse::edge_loads
+//! [`is_feasible`]: DemandInstanceUniverse::is_feasible
 
 use crate::ids::{DemandId, EdgeId, GlobalEdge, InstanceId, NetworkId};
 use crate::path::EdgePath;
@@ -86,6 +96,9 @@ pub struct DemandInstanceUniverse {
     by_demand: Vec<Vec<InstanceId>>,
     /// Instances on each network (`D(T)`).
     by_network: Vec<Vec<InstanceId>>,
+    /// Cached: `true` when every capacity is exactly 1.0 (the
+    /// uniform-bandwidth setting), enabling `O(runs)` feasibility checks.
+    uniform_capacity: bool,
 }
 
 impl DemandInstanceUniverse {
@@ -122,6 +135,10 @@ impl DemandInstanceUniverse {
             by_demand[inst.demand.index()].push(inst.id);
             by_network[inst.network.index()].push(inst.id);
         }
+        let uniform_capacity = capacities
+            .iter()
+            .flat_map(|c| c.iter())
+            .all(|&c| (c - 1.0).abs() <= EPS);
         Self {
             instances,
             num_demands,
@@ -130,6 +147,7 @@ impl DemandInstanceUniverse {
             capacities,
             by_demand,
             by_network,
+            uniform_capacity,
         }
     }
 
@@ -254,12 +272,10 @@ impl DemandInstanceUniverse {
     }
 
     /// Returns `true` if every capacity is exactly 1 (the uniform-bandwidth
-    /// setting of the arXiv text).
+    /// setting of the arXiv text). Cached at construction, `O(1)`.
+    #[inline]
     pub fn is_uniform_capacity(&self) -> bool {
-        self.capacities
-            .iter()
-            .flat_map(|c| c.iter())
-            .all(|&c| (c - 1.0).abs() <= EPS)
+        self.uniform_capacity
     }
 
     /// Two instances *overlap* if they belong to the same network and their
@@ -295,15 +311,28 @@ impl DemandInstanceUniverse {
 
     /// Per-edge load of a selection on a given network: `load[e]` = sum of
     /// heights of selected instances through edge `e`.
+    ///
+    /// Difference-array accounting: each interval run contributes `+h` at
+    /// its start and `−h` past its end, followed by one prefix-sum pass —
+    /// `O(|selection| + E_t)` instead of `O(Σ path length)`.
     pub fn edge_loads(&self, network: NetworkId, selection: &[InstanceId]) -> Vec<f64> {
-        let mut load = vec![0.0; self.num_edges(network)];
+        let m = self.num_edges(network);
+        let mut diff = vec![0.0; m + 1];
         for &d in selection {
             let inst = &self.instances[d.index()];
             if inst.network == network {
-                for e in inst.path.iter() {
-                    load[e.index()] += inst.height;
+                for run in inst.path.runs() {
+                    diff[run.start as usize] += inst.height;
+                    diff[run.end as usize + 1] -= inst.height;
                 }
             }
+        }
+        let mut acc = 0.0;
+        let mut load = diff;
+        load.truncate(m);
+        for l in &mut load {
+            acc += *l;
+            *l = acc;
         }
         load
     }
@@ -311,10 +340,14 @@ impl DemandInstanceUniverse {
     /// Returns `true` if the selection respects capacities on every edge and
     /// selects at most one instance per demand (the feasibility notion of
     /// the arbitrary-height / capacitated case, Section 6).
+    ///
+    /// One difference-array pass per network actually touched by the
+    /// selection: `O(|selection| + Σ E_t over touched networks)`.
     pub fn is_feasible(&self, selection: &[InstanceId]) -> bool {
         // At most one instance per demand, and no repeated instance.
         let mut used = vec![false; self.num_demands];
         let mut seen = vec![false; self.num_instances()];
+        let mut touched = vec![false; self.num_networks];
         for &d in selection {
             if seen[d.index()] {
                 return false;
@@ -325,9 +358,13 @@ impl DemandInstanceUniverse {
                 return false;
             }
             used[a] = true;
+            touched[self.instances[d.index()].network.index()] = true;
         }
-        // Capacity constraints per network.
-        for t in 0..self.num_networks {
+        // Capacity constraints per touched network.
+        for (t, touched) in touched.iter().enumerate() {
+            if !touched {
+                continue;
+            }
             let network = NetworkId::new(t);
             let load = self.edge_loads(network, selection);
             for (e, &l) in load.iter().enumerate() {
@@ -341,6 +378,12 @@ impl DemandInstanceUniverse {
 
     /// Returns `true` if `candidate` can be added to `selection` without
     /// violating feasibility. `selection` is assumed feasible.
+    ///
+    /// Under uniform capacities the check is an endpoint sweep over the
+    /// run intersections of the candidate with the selection —
+    /// `O(k log k)` where `k` is the number of intersecting runs, with no
+    /// per-edge work. (Greedy loops that add many candidates should prefer
+    /// a [`LoadTracker`].)
     pub fn can_add(&self, selection: &[InstanceId], candidate: InstanceId) -> bool {
         let cand = &self.instances[candidate.index()];
         for &d in selection {
@@ -348,20 +391,56 @@ impl DemandInstanceUniverse {
                 return false;
             }
         }
-        // Check the capacity only on the candidate's own edges.
-        for e in cand.path.iter() {
-            let mut load = cand.height;
+        if self.uniform_capacity {
+            // Event sweep: +h at the start of every run intersection with
+            // the candidate's path, −h past its end; the load within the
+            // candidate's path changes only at those endpoints.
+            let mut events: Vec<(u32, f64)> = Vec::new();
             for &d in selection {
                 let inst = &self.instances[d.index()];
-                if inst.network == cand.network && inst.path.contains(e) {
-                    load += inst.height;
+                if inst.network != cand.network {
+                    continue;
+                }
+                let shared = cand.path.intersection(&inst.path);
+                for run in shared.runs() {
+                    events.push((run.start, inst.height));
+                    events.push((run.end + 1, -inst.height));
                 }
             }
-            if load > self.capacities[cand.network.index()][e.index()] + EPS {
-                return false;
+            if events.is_empty() {
+                return cand.height <= 1.0 + EPS;
             }
+            events.sort_unstable_by_key(|e| e.0);
+            let mut load = cand.height;
+            let mut i = 0;
+            while i < events.len() {
+                let at = events[i].0;
+                while i < events.len() && events[i].0 == at {
+                    load += events[i].1;
+                    i += 1;
+                }
+                if load > 1.0 + EPS {
+                    return false;
+                }
+            }
+            true
+        } else {
+            // Arbitrary capacities: per-edge check over the candidate's own
+            // path (each membership test is O(log runs)).
+            for e in cand.path.iter() {
+                let mut load = cand.height;
+                for &d in selection {
+                    let inst = &self.instances[d.index()];
+                    if inst.network == cand.network && inst.path.contains(e) {
+                        load += inst.height;
+                    }
+                }
+                if load > self.capacities[cand.network.index()][e.index()] + EPS {
+                    return false;
+                }
+            }
+            true
         }
-        true
     }
 
     /// Total profit of a selection.
@@ -376,6 +455,83 @@ impl DemandInstanceUniverse {
             .copied()
             .filter(|&d| self.instances[d.index()].network == t)
             .collect()
+    }
+}
+
+/// Incremental congestion accounting for greedy selection loops.
+///
+/// The second phase of the two-phase framework repeatedly asks "does
+/// instance `d` still fit next to everything selected so far?". Answering
+/// that with [`DemandInstanceUniverse::can_add`] costs `O(|selection|)` per
+/// query; a `LoadTracker` instead maintains the per-edge loads of the
+/// running selection, so each query and each commit costs `O(path(d))`
+/// regardless of how much is already selected — the whole phase is
+/// `O(Σ path length of the raised instances)`.
+#[derive(Debug, Clone)]
+pub struct LoadTracker {
+    /// Per-network, per-edge load of the committed selection.
+    loads: Vec<Vec<f64>>,
+    /// Demands already covered by a committed instance.
+    used_demand: Vec<bool>,
+    /// Instances already committed.
+    selected: Vec<bool>,
+}
+
+impl LoadTracker {
+    /// Creates an empty tracker for a universe.
+    pub fn new(universe: &DemandInstanceUniverse) -> Self {
+        Self {
+            loads: (0..universe.num_networks())
+                .map(|t| vec![0.0; universe.num_edges(NetworkId::new(t))])
+                .collect(),
+            used_demand: vec![false; universe.num_demands()],
+            selected: vec![false; universe.num_instances()],
+        }
+    }
+
+    /// Returns `true` if `d` can join the committed selection without
+    /// violating demand-uniqueness or any edge capacity.
+    pub fn fits(&self, universe: &DemandInstanceUniverse, d: InstanceId) -> bool {
+        let inst = universe.instance(d);
+        if self.selected[d.index()] || self.used_demand[inst.demand.index()] {
+            return false;
+        }
+        let loads = &self.loads[inst.network.index()];
+        let caps = &universe.capacities[inst.network.index()];
+        for run in inst.path.runs() {
+            for e in run.start as usize..=run.end as usize {
+                if loads[e] + inst.height > caps[e] + EPS {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Commits `d` to the selection (the caller must have checked
+    /// [`LoadTracker::fits`]).
+    pub fn commit(&mut self, universe: &DemandInstanceUniverse, d: InstanceId) {
+        let inst = universe.instance(d);
+        debug_assert!(!self.selected[d.index()]);
+        debug_assert!(!self.used_demand[inst.demand.index()]);
+        self.selected[d.index()] = true;
+        self.used_demand[inst.demand.index()] = true;
+        let loads = &mut self.loads[inst.network.index()];
+        for run in inst.path.runs() {
+            for load in &mut loads[run.start as usize..=run.end as usize] {
+                *load += inst.height;
+            }
+        }
+    }
+
+    /// Commits `d` if it fits; returns whether it was committed.
+    pub fn try_commit(&mut self, universe: &DemandInstanceUniverse, d: InstanceId) -> bool {
+        if self.fits(universe, d) {
+            self.commit(universe, d);
+            true
+        } else {
+            false
+        }
     }
 }
 
@@ -396,7 +552,7 @@ mod tests {
             network: NetworkId::new(0),
             profit: 1.0,
             height: h,
-            path: EdgePath::contiguous(s, e),
+            path: EdgePath::interval(s, e),
             start: Some(s as u32),
         };
         DemandInstanceUniverse::new(
@@ -474,7 +630,7 @@ mod tests {
             network: NetworkId::new(t),
             profit: 2.0,
             height: 1.0,
-            path: EdgePath::contiguous(0, 1),
+            path: EdgePath::interval(0, 1),
             start: None,
         };
         let u = DemandInstanceUniverse::new(vec![mk(0, 0), mk(1, 1)], 1, vec![3, 3], None);
@@ -494,7 +650,7 @@ mod tests {
             network: NetworkId::new(0),
             profit: 1.0,
             height: 1.0,
-            path: EdgePath::contiguous(0, 0),
+            path: EdgePath::interval(0, 0),
             start: None,
         };
         let u = DemandInstanceUniverse::new(

@@ -122,12 +122,26 @@ impl FromJson for TreeProblem {
                     ))
                 })
                 .collect::<Result<_, String>>()?;
-            let id = problem.add_network(edges).map_err(|e| e.to_string())?;
-            for (e, cap) in network.field("capacities")?.as_array()?.iter().enumerate() {
+            let id = problem
+                .add_network(edges.clone())
+                .map_err(|e| e.to_string())?;
+            // The file's capacities array is positional *in file edge
+            // order*, but `add_network` canonicalizes edge ids (HLD order),
+            // so each capacity must be resolved through its edge's
+            // end-points — never through the positional index.
+            let capacities = network.field("capacities")?.as_array()?;
+            if capacities.len() != edges.len() {
+                return Err(format!(
+                    "network {id}: {} capacities for {} edges",
+                    capacities.len(),
+                    edges.len()
+                ));
+            }
+            for (&(u, v), cap) in edges.iter().zip(capacities) {
                 let cap = cap.as_f64()?;
                 if (cap - 1.0).abs() > f64::EPSILON {
                     problem
-                        .set_capacity(id, e, cap)
+                        .set_capacity_between(id, u, v, cap)
                         .map_err(|e| e.to_string())?;
                 }
             }
@@ -448,6 +462,41 @@ mod tests {
         let q = tree_problem_from_json(&to_json_string(&p).unwrap()).unwrap();
         assert_eq!(q.capacities(NetworkId::new(0))[3], 2.5);
         assert_eq!(q.capacities(NetworkId::new(0))[0], 1.0);
+    }
+
+    #[test]
+    fn capacities_follow_physical_links_for_externally_ordered_edges() {
+        // Hand-authored file whose edge list is NOT in canonical HLD order
+        // (the light leaf edge is listed first): the loader must attach
+        // each positional capacity to the link named by its end-points, not
+        // to whatever edge ends up at that index after canonicalization.
+        let json = r#"{
+            "vertices": 5,
+            "networks": [{
+                "edges": [[0, 4], [0, 1], [1, 2], [2, 3]],
+                "capacities": [7.5, 1.0, 1.0, 3.0]
+            }],
+            "demands": [
+                {"u": 0, "v": 4, "profit": 1.0, "height": 1.0, "access": [0]}
+            ]
+        }"#;
+        let p = tree_problem_from_json(json).unwrap();
+        let network = p.network(NetworkId::new(0));
+        for (e, (u, v)) in network.edges() {
+            let expected = match (u.index().min(v.index()), u.index().max(v.index())) {
+                (0, 4) => 7.5,
+                (2, 3) => 3.0,
+                _ => 1.0,
+            };
+            assert_eq!(
+                p.capacities(NetworkId::new(0))[e.index()],
+                expected,
+                "capacity of link {u}-{v}"
+            );
+        }
+        // A mismatched capacities array is rejected, not silently padded.
+        let bad = json.replace("[7.5, 1.0, 1.0, 3.0]", "[7.5, 1.0]");
+        assert!(tree_problem_from_json(&bad).is_err());
     }
 
     #[test]

@@ -19,5 +19,5 @@ pub mod tree_gen;
 
 pub use demand_gen::{DemandSpec, HeightDistribution, ProfitDistribution};
 pub use line_gen::{LineWorkload, LineWorkloadBuilder};
-pub use scenarios::{named_scenarios, Scenario};
+pub use scenarios::{named_scenarios, scenario_by_name, scenario_index, Scenario};
 pub use tree_gen::{random_tree_edges, tree_problem, TreeTopology, TreeWorkload};

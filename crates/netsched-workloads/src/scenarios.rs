@@ -9,6 +9,7 @@
 use crate::demand_gen::{HeightDistribution, ProfitDistribution};
 use crate::line_gen::LineWorkload;
 use crate::tree_gen::{TreeTopology, TreeWorkload};
+use fxhash::FxHashMap;
 use netsched_graph::fixtures;
 use netsched_graph::{LineProblem, TreeProblem};
 
@@ -145,6 +146,21 @@ pub fn named_scenarios() -> Vec<Scenario> {
     ]
 }
 
+/// The named scenarios indexed by name (deterministic Fx-hashed map, so
+/// iteration order is reproducible across runs).
+pub fn scenario_index() -> FxHashMap<String, Scenario> {
+    named_scenarios()
+        .into_iter()
+        .map(|s| (s.name().to_string(), s))
+        .collect()
+}
+
+/// Looks up a named scenario (via [`scenario_index`], so the two lookup
+/// paths cannot drift apart).
+pub fn scenario_by_name(name: &str) -> Option<Scenario> {
+    scenario_index().remove(name)
+}
+
 /// The worked example of Figure 1 (three jobs of heights 0.5, 0.7, 0.4 on a
 /// single resource), re-exported for convenience.
 pub fn figure1_problem() -> LineProblem {
@@ -193,5 +209,19 @@ mod tests {
     fn figure_reexports_work() {
         assert_eq!(figure1_problem().num_demands(), 3);
         assert_eq!(figure6_problem().num_networks(), 1);
+    }
+
+    #[test]
+    fn index_and_lookup_agree() {
+        let index = scenario_index();
+        assert_eq!(index.len(), named_scenarios().len());
+        for scenario in named_scenarios() {
+            assert!(index.contains_key(scenario.name()));
+            assert_eq!(
+                scenario_by_name(scenario.name()).map(|s| s.name().to_string()),
+                Some(scenario.name().to_string())
+            );
+        }
+        assert!(scenario_by_name("no-such-scenario").is_none());
     }
 }

@@ -24,9 +24,15 @@ fn main() {
         (VertexId(2), VertexId(8)),
     ];
     let t = problem.add_network(edges).expect("valid tree");
-    // Edges 0 and 1 are the core links: capacity 2.0.
-    problem.set_capacity(t, 0, 2.0).unwrap();
-    problem.set_capacity(t, 1, 2.0).unwrap();
+    // The two core links get capacity 2.0, addressed by their end-points
+    // (edge indices follow the network's canonical HLD order, so positional
+    // capacity updates are reserved for path graphs).
+    problem
+        .set_capacity_between(t, VertexId(0), VertexId(1), 2.0)
+        .unwrap();
+    problem
+        .set_capacity_between(t, VertexId(0), VertexId(2), 2.0)
+        .unwrap();
 
     // Cross-aggregation flows (they all use both core links) plus local
     // flows under one aggregation switch.
@@ -93,11 +99,13 @@ fn main() {
     for (e, load) in loads.iter().enumerate() {
         let cap = problem.capacities(t)[e];
         let (u, v) = problem.network(t).edge_endpoints(EdgeId::new(e));
+        // The difference-array prefix sum can leave a -0.0 residue on
+        // edges whose loads fully cancel; clamp for display.
         println!(
             "  link v{}-v{}: load {:.2} / capacity {:.1}",
             u.index(),
             v.index(),
-            load,
+            load.max(0.0),
             cap
         );
         assert!(*load <= cap + 1e-9, "capacity violated");

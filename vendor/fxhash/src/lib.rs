@@ -1,0 +1,154 @@
+//! Offline drop-in shim for the `fxhash` crate: the Firefox/rustc
+//! multiply-rotate hash behind [`FxHashMap`] / [`FxHashSet`] aliases.
+//!
+//! Two reasons to prefer this over `std`'s default SipHash maps:
+//!
+//! 1. **Determinism** — `std::collections::HashMap` seeds SipHash from the
+//!    process RNG, so iteration order differs between runs. `FxHasher` has
+//!    no seed: the same keys always produce the same table layout, which
+//!    keeps every hash-dependent code path in the workspace reproducible.
+//! 2. **Speed** — the workspace keys are small integers and short tuples;
+//!    one wrapping multiply per word is substantially cheaper than SipHash.
+//!
+//! Like the other `vendor/` shims this is not the upstream crate, just an
+//! API-compatible implementation of the subset the workspace uses
+//! ([`FxHashMap`], [`FxHashSet`], [`FxHasher`], [`FxBuildHasher`], and the
+//! `hash32`/`hash64` helpers).
+
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+/// The 64-bit Fx multiply-rotate constant (golden-ratio derived).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The FxHash streaming hasher: `hash = (hash.rotl(5) ^ word) * SEED` per
+/// input word. Not cryptographic and not DoS-resistant — use only where
+/// determinism and speed matter more than adversarial robustness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` producing unseeded [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`]: deterministic layout, fast on small
+/// integer keys.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// Hashes a value with [`FxHasher`] to 64 bits.
+pub fn hash64<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut hasher = FxHasher::default();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Hashes a value with [`FxHasher`] to 32 bits.
+pub fn hash32<T: Hash + ?Sized>(value: &T) -> u32 {
+    hash64(value) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashing_is_deterministic_across_hashers() {
+        assert_eq!(hash64(&42u64), hash64(&42u64));
+        assert_eq!(hash64("path"), hash64("path"));
+        assert_ne!(hash64(&1u64), hash64(&2u64));
+        assert_eq!(hash32(&7usize), hash32(&7usize));
+    }
+
+    #[test]
+    fn map_and_set_roundtrip() {
+        let mut map: FxHashMap<u32, &str> = FxHashMap::default();
+        map.insert(1, "one");
+        map.insert(2, "two");
+        assert_eq!(map.get(&1), Some(&"one"));
+        let mut set: FxHashSet<(u32, u32)> = FxHashSet::default();
+        set.insert((3, 4));
+        assert!(set.contains(&(3, 4)));
+        assert!(!set.contains(&(4, 3)));
+    }
+
+    #[test]
+    fn iteration_order_is_stable_for_identical_inserts() {
+        let build = || {
+            let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+            for k in 0..256 {
+                m.insert(k * 977, k);
+            }
+            m.into_iter().collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build(), "unseeded hashing must be reproducible");
+    }
+
+    #[test]
+    fn uneven_byte_streams_hash_consistently() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FxHasher::default();
+        c.write(&[1, 2, 3]);
+        assert_ne!(a.finish(), c.finish());
+    }
+}
