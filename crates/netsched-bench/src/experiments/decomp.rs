@@ -113,6 +113,7 @@ pub fn e2_layered_parameters(quick: bool) -> Vec<Table> {
                 demands: m,
                 topology,
                 access_probability: 0.6,
+                access_skew: 0.0,
                 profits: ProfitDistribution::Uniform {
                     min: 1.0,
                     max: 32.0,

@@ -150,6 +150,7 @@ pub fn e5_line_unit_vs_ps(quick: bool) -> Vec<Table> {
                 max_length: 16,
                 max_slack: 0,
                 access_probability: 1.0,
+                access_skew: 0.0,
                 profits: ProfitDistribution::Uniform {
                     min: 1.0,
                     max: 32.0,

@@ -55,6 +55,7 @@ pub fn e3_unit_tree(quick: bool) -> Vec<Table> {
                 demands: m,
                 topology: TreeTopology::RandomAttachment,
                 access_probability: 0.6,
+                access_skew: 0.0,
                 profits: ProfitDistribution::Uniform {
                     min: 1.0,
                     max: 32.0,

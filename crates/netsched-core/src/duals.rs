@@ -12,10 +12,20 @@
 //! performs `|π(d)| ≤ ∆` point updates, and the constraint LHS
 //! `Σ_{e ∼ d} β(e)` is evaluated as one range sum per interval run of
 //! `path(d)` — `O(runs · log E)` instead of `O(path length)`, which is what
-//! makes the first phase sublinear in the instance lengths.
+//! makes the first phase sublinear in the instance lengths. In the
+//! capacitated narrow setting a second Fenwick tree mirrors `β(e)/c(e)`,
+//! so the weighted constraint LHS is the same `O(runs · log E)` range sum
+//! instead of a per-edge loop; `ĥ(d)` queries ride on the universe's
+//! range-minimum [`CapacityIndex`](netsched_graph::CapacityIndex).
+//!
+//! Because the `β` trees are per-network and both an MIS and the paths
+//! within it are conflict-free, a whole MIS worth of raises decomposes by
+//! network: [`DualState::raise_batch`] executes them shard-parallel with
+//! float-identical results to the sequential loop.
 
 use crate::config::RaiseRule;
 use netsched_graph::{DemandInstanceUniverse, InstanceId, NetworkId};
+use rayon::prelude::*;
 
 /// A Fenwick (binary indexed) tree over `f64` with point updates and
 /// prefix/range sums, plus a dense mirror so single-point reads stay `O(1)`
@@ -74,13 +84,22 @@ impl Fenwick {
     }
 }
 
+/// The per-network slice of the `β` assignment: the Fenwick tree over
+/// `β(e)` plus, in the capacitated narrow setting, a mirror tree over
+/// `β(e)/c(e)` so the weighted constraint LHS stays a range sum.
+#[derive(Debug, Clone)]
+struct NetworkDuals {
+    beta: Fenwick,
+    weighted: Option<Fenwick>,
+}
+
 /// The dual assignment `⟨α, β⟩`.
 #[derive(Debug, Clone)]
 pub struct DualState {
     /// `α(a)` per demand.
     alpha: Vec<f64>,
-    /// `β(e)` per network, as a Fenwick tree over the edge indices.
-    beta: Vec<Fenwick>,
+    /// `β(e)` per network, as Fenwick trees over the edge indices.
+    beta: Vec<NetworkDuals>,
     /// Which constraint form / raise rule is in effect.
     rule: RaiseRule,
 }
@@ -88,8 +107,15 @@ pub struct DualState {
 impl DualState {
     /// Creates the all-zero dual assignment for a universe.
     pub fn new(universe: &DemandInstanceUniverse, rule: RaiseRule) -> Self {
+        let mirror = rule == RaiseRule::Narrow && !universe.is_uniform_capacity();
         let beta = (0..universe.num_networks())
-            .map(|t| Fenwick::new(universe.num_edges(NetworkId::new(t))))
+            .map(|t| {
+                let edges = universe.num_edges(NetworkId::new(t));
+                NetworkDuals {
+                    beta: Fenwick::new(edges),
+                    weighted: mirror.then(|| Fenwick::new(edges)),
+                }
+            })
             .collect();
         Self {
             alpha: vec![0.0; universe.num_demands()],
@@ -113,7 +139,7 @@ impl DualState {
     /// `β(e)` for edge `e` of network `t`.
     #[inline]
     pub fn beta(&self, network: NetworkId, edge: netsched_graph::EdgeId) -> f64 {
-        self.beta[network.index()].point(edge.index())
+        self.beta[network.index()].beta.point(edge.index())
     }
 
     /// The *relative height* of instance `d` on edge `e`: `h(d) / c(e)`.
@@ -128,16 +154,18 @@ impl DualState {
     }
 
     /// The maximum relative height of `d` over its path (`ĥ(d)`); equals
-    /// `h(d)` under uniform capacities, where it is answered in `O(1)`.
+    /// `h(d)` under uniform capacities (`O(1)`) and
+    /// `h(d) / min_{e ∼ d} c(e)` otherwise — one range-minimum query per
+    /// interval run on the universe's capacity index (`O(runs)`).
     pub fn max_relative_height(universe: &DemandInstanceUniverse, d: InstanceId) -> f64 {
         let inst = universe.instance(d);
         if universe.is_uniform_capacity() {
             return inst.height;
         }
-        inst.path
-            .iter()
-            .map(|e| Self::relative_height(universe, d, e))
-            .fold(0.0, f64::max)
+        if inst.path.is_empty() {
+            return 0.0;
+        }
+        inst.height / universe.min_capacity_on_path(inst.network, &inst.path)
     }
 
     /// The left-hand side of the dual constraint of `d`:
@@ -145,34 +173,43 @@ impl DualState {
     /// `α(a_d) + Σ_{e ∼ d} (h(d)/c(e)) · β(e)` under [`RaiseRule::Narrow`].
     ///
     /// Evaluated as one Fenwick range sum per interval run of `path(d)`
-    /// (`O(runs · log E)`); only the capacitated narrow case falls back to
-    /// per-edge point queries, because there every edge carries its own
-    /// `h(d)/c(e)` weight.
+    /// (`O(runs · log E)`) in every setting: the capacitated narrow case
+    /// reads the `β(e)/c(e)` mirror tree, so the per-edge weights are
+    /// already folded into the range sum.
     pub fn lhs(&self, universe: &DemandInstanceUniverse, d: InstanceId) -> f64 {
         let inst = universe.instance(d);
-        let betas = &self.beta[inst.network.index()];
-        let mut sum = self.alpha[inst.demand.index()];
-        match self.rule {
+        self.alpha[inst.demand.index()]
+            + Self::lhs_in_network(&self.beta[inst.network.index()], self.rule, universe, d)
+    }
+
+    /// The `β` contribution to the constraint LHS of `d`, within its own
+    /// network's trees.
+    fn lhs_in_network(
+        nd: &NetworkDuals,
+        rule: RaiseRule,
+        universe: &DemandInstanceUniverse,
+        d: InstanceId,
+    ) -> f64 {
+        let inst = universe.instance(d);
+        match rule {
             RaiseRule::Unit => {
+                let mut sum = 0.0;
                 for run in inst.path.runs() {
-                    sum += betas.range(run.start as usize, run.end as usize);
+                    sum += nd.beta.range(run.start as usize, run.end as usize);
                 }
-            }
-            RaiseRule::Narrow if universe.is_uniform_capacity() => {
-                // h(d)/c(e) = h(d) on every edge: factor it out of the sum.
-                let mut beta_sum = 0.0;
-                for run in inst.path.runs() {
-                    beta_sum += betas.range(run.start as usize, run.end as usize);
-                }
-                sum += inst.height * beta_sum;
+                sum
             }
             RaiseRule::Narrow => {
-                for e in inst.path.iter() {
-                    sum += Self::relative_height(universe, d, e) * betas.point(e.index());
+                // Uniform: h(d)/c(e) = h(d), factor it out of the β sum.
+                // Capacitated: the mirror tree already carries β(e)/c(e).
+                let tree = nd.weighted.as_ref().unwrap_or(&nd.beta);
+                let mut sum = 0.0;
+                for run in inst.path.runs() {
+                    sum += tree.range(run.start as usize, run.end as usize);
                 }
+                inst.height * sum
             }
         }
-        sum
     }
 
     /// The slack `s = p(d) − LHS` of the dual constraint of `d` (clamped to
@@ -227,21 +264,51 @@ impl DualState {
         include_alpha: bool,
     ) -> f64 {
         let inst = universe.instance(d);
-        let s = self.slack(universe, d);
+        let alpha_now = self.alpha[inst.demand.index()];
+        let rule = self.rule;
+        let delta = Self::raise_in_network(
+            &mut self.beta[inst.network.index()],
+            rule,
+            universe,
+            d,
+            pi,
+            alpha_now,
+            include_alpha,
+        );
+        let touch_alpha = include_alpha || rule == RaiseRule::Narrow;
+        if touch_alpha && delta > 0.0 {
+            self.alpha[inst.demand.index()] += delta;
+        }
+        delta
+    }
+
+    /// Applies the `β` side of one raise within the instance's own network
+    /// trees and returns δ(d) (0 when the constraint is already tight).
+    /// The caller is responsible for the `α` update, which is what lets
+    /// [`DualState::raise_batch`] run the `β` work network-parallel.
+    fn raise_in_network(
+        nd: &mut NetworkDuals,
+        rule: RaiseRule,
+        universe: &DemandInstanceUniverse,
+        d: InstanceId,
+        pi: &[netsched_graph::EdgeId],
+        alpha_now: f64,
+        include_alpha: bool,
+    ) -> f64 {
+        let inst = universe.instance(d);
+        let lhs = alpha_now + Self::lhs_in_network(nd, rule, universe, d);
+        let s = (universe.profit(d) - lhs).max(0.0);
         if s <= 0.0 {
             return 0.0;
         }
         let k = pi.len() as f64;
-        match self.rule {
+        match rule {
             RaiseRule::Unit => {
                 let denom = if include_alpha { k + 1.0 } else { k.max(1.0) };
                 let delta = s / denom;
-                if include_alpha {
-                    self.alpha[inst.demand.index()] += delta;
-                }
                 for &e in pi {
                     debug_assert!(inst.path.contains(e), "critical edges must lie on the path");
-                    self.beta[inst.network.index()].add(e.index(), delta);
+                    nd.beta.add(e.index(), delta);
                 }
                 delta
             }
@@ -255,19 +322,88 @@ impl DualState {
                     .map(|&e| Self::relative_height(universe, d, e))
                     .sum();
                 let delta = s / (1.0 + 2.0 * k * rel_sum);
-                self.alpha[inst.demand.index()] += delta;
                 for &e in pi {
                     debug_assert!(inst.path.contains(e), "critical edges must lie on the path");
-                    self.beta[inst.network.index()].add(e.index(), 2.0 * k * delta);
+                    nd.beta.add(e.index(), 2.0 * k * delta);
+                    if let Some(weighted) = &mut nd.weighted {
+                        let c = universe.capacity(netsched_graph::GlobalEdge::new(inst.network, e));
+                        weighted.add(e.index(), 2.0 * k * delta / c);
+                    }
                 }
                 delta
             }
         }
     }
 
+    /// Raises a whole MIS at once, shard-parallel by network.
+    ///
+    /// The instances of an MIS are pairwise conflict-free: their demands
+    /// are distinct (so the `α` updates never collide) and same-network
+    /// members have edge-disjoint paths (so the `β` reads and point updates
+    /// never interact). The raises are therefore order-independent and the
+    /// result is float-identical to raising the batch sequentially — the
+    /// per-network trees are farmed out through rayon and the `α` deltas
+    /// applied on return. Small batches skip the parallel machinery.
+    pub fn raise_batch(
+        &mut self,
+        universe: &DemandInstanceUniverse,
+        items: &[(InstanceId, &[netsched_graph::EdgeId])],
+    ) {
+        const PAR_MIN_BATCH: usize = 64;
+        if items.len() < PAR_MIN_BATCH || rayon::current_num_threads() <= 1 {
+            for &(d, pi) in items {
+                self.raise(universe, d, pi);
+            }
+            return;
+        }
+        // One raise work item: the instance, its critical edges and its
+        // demand's α value as of batch start.
+        type RaiseItem<'a> = (InstanceId, &'a [netsched_graph::EdgeId], f64);
+        let rule = self.rule;
+        let mut grouped: Vec<Vec<RaiseItem<'_>>> = vec![Vec::new(); self.beta.len()];
+        let mut touched = 0usize;
+        for &(d, pi) in items {
+            let inst = universe.instance(d);
+            let bucket = &mut grouped[inst.network.index()];
+            if bucket.is_empty() {
+                touched += 1;
+            }
+            bucket.push((d, pi, self.alpha[inst.demand.index()]));
+        }
+        if touched <= 1 {
+            for &(d, pi) in items {
+                self.raise(universe, d, pi);
+            }
+            return;
+        }
+        let nets = std::mem::take(&mut self.beta);
+        let work: Vec<(NetworkDuals, Vec<RaiseItem<'_>>)> = nets.into_iter().zip(grouped).collect();
+        let results: Vec<(NetworkDuals, Vec<(usize, f64)>)> = work
+            .into_par_iter()
+            .map(|(mut nd, batch)| {
+                let mut alpha_updates = Vec::with_capacity(batch.len());
+                for (d, pi, alpha_now) in batch {
+                    let delta =
+                        Self::raise_in_network(&mut nd, rule, universe, d, pi, alpha_now, true);
+                    if delta > 0.0 {
+                        alpha_updates.push((universe.instance(d).demand.index(), delta));
+                    }
+                }
+                (nd, alpha_updates)
+            })
+            .collect();
+        self.beta = Vec::with_capacity(results.len());
+        for (nd, updates) in results {
+            self.beta.push(nd);
+            for (demand, delta) in updates {
+                self.alpha[demand] += delta;
+            }
+        }
+    }
+
     /// The dual objective `Σ_a α(a) + Σ_e β(e)` of the current assignment.
     pub fn objective(&self) -> f64 {
-        self.alpha.iter().sum::<f64>() + self.beta.iter().map(Fenwick::total).sum::<f64>()
+        self.alpha.iter().sum::<f64>() + self.beta.iter().map(|nd| nd.beta.total()).sum::<f64>()
     }
 
     /// An upper bound on the optimal profit obtained by scaling the dual

@@ -20,8 +20,12 @@ use crate::config::{stage_xi, stages_per_epoch, AlgorithmConfig, RaiseRule};
 use crate::duals::DualState;
 use crate::solution::{RunDiagnostics, Solution};
 use netsched_decomp::InstanceLayering;
-use netsched_distrib::{maximal_independent_set, ConflictGraph, MisStrategy, RoundStats};
+use netsched_distrib::{
+    maximal_independent_set, sharded_mis, ConflictGraph, MisScratch, MisStrategy, RoundStats,
+    ShardedConflictGraph,
+};
 use netsched_graph::{DemandInstanceUniverse, InstanceId, LoadTracker, EPS};
+use rayon::prelude::*;
 
 /// Eligibility of every instance (those whose height fits every edge
 /// capacity on their path) together with the minimum relative height
@@ -44,7 +48,220 @@ pub(crate) fn eligibility(universe: &DemandInstanceUniverse) -> (Vec<bool>, f64)
 /// raise rule. This is the engine behind every distributed algorithm in
 /// this crate (Theorems 5.3, 6.3, 7.1 and 7.2 only differ in the layering,
 /// the raise rule and the universe they pass in).
+///
+/// Builds the sharded conflict graph and delegates to
+/// [`run_two_phase_on`]; callers that solve the same universe repeatedly
+/// (the `Scheduler` session) should build the graph once and call
+/// [`run_two_phase_on`] directly.
 pub fn run_two_phase(
+    universe: &DemandInstanceUniverse,
+    layering: &InstanceLayering,
+    rule: RaiseRule,
+    config: &AlgorithmConfig,
+) -> Solution {
+    if universe.num_instances() == 0 {
+        config.validate().expect("invalid algorithm configuration");
+        return Solution::empty();
+    }
+    let conflict = ShardedConflictGraph::build(universe);
+    run_two_phase_on(universe, &conflict, layering, rule, config)
+}
+
+/// Positions within one layering group that are eligible and still below
+/// the stage threshold, in group order. The Fenwick-heavy satisfaction
+/// checks are evaluated shard-parallel (reads only); the order-preserving
+/// merge keeps the result identical to the sequential filter.
+fn unsatisfied_of_group(
+    universe: &DemandInstanceUniverse,
+    duals: &DualState,
+    eligible: &[bool],
+    group: &[InstanceId],
+    group_by_shard: &[Vec<u32>],
+    threshold: f64,
+) -> Vec<InstanceId> {
+    const PAR_MIN_GROUP: usize = 1024;
+    let keep =
+        |d: InstanceId| eligible[d.index()] && !duals.is_xi_satisfied(universe, d, threshold);
+    if group.len() < PAR_MIN_GROUP || group_by_shard.len() <= 1 || rayon::current_num_threads() <= 1
+    {
+        return group.iter().copied().filter(|&d| keep(d)).collect();
+    }
+    let kept_parts: Vec<Vec<u32>> = (0..group_by_shard.len())
+        .into_par_iter()
+        .map(|t| {
+            group_by_shard[t]
+                .iter()
+                .copied()
+                .filter(|&p| keep(group[p as usize]))
+                .collect()
+        })
+        .collect();
+    let mut mask = vec![false; group.len()];
+    for part in &kept_parts {
+        for &p in part {
+            mask[p as usize] = true;
+        }
+    }
+    group
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| mask[i])
+        .map(|(_, &d)| d)
+        .collect()
+}
+
+/// Runs the two-phase framework on a prebuilt sharded conflict graph.
+///
+/// The first phase is executed shard-parallel: the per-step satisfaction
+/// filters, the MIS of each step ([`sharded_mis`]) and the dual raises of
+/// each MIS ([`DualState::raise_batch`]) all decompose by network. Every
+/// decision — MIS contents, raise amounts, schedules, certificates — is
+/// identical to the sequential reference engine
+/// ([`run_two_phase_reference`]) at any thread count; only the Luby
+/// round/message accounting may differ from the message-passing simulator
+/// by small constants.
+pub fn run_two_phase_on(
+    universe: &DemandInstanceUniverse,
+    conflict: &ShardedConflictGraph,
+    layering: &InstanceLayering,
+    rule: RaiseRule,
+    config: &AlgorithmConfig,
+) -> Solution {
+    config.validate().expect("invalid algorithm configuration");
+    if universe.num_instances() == 0 {
+        return Solution::empty();
+    }
+
+    let mut duals = DualState::new(universe, rule);
+    let mut stats = RoundStats::new();
+    let mut scratch = MisScratch::new(universe.num_instances());
+
+    let (eligible, h_min) = eligibility(universe);
+    let xi = stage_xi(rule, layering.max_critical().max(1), h_min);
+    let stages = stages_per_epoch(xi, config.epsilon);
+
+    let profit_ratio = (universe.max_profit() / universe.min_profit()).max(1.0);
+    let step_cap = 4 * (profit_ratio.log2().ceil() as u64 + 4) + 32;
+
+    let groups = layering.groups();
+    let sharding = conflict.sharding();
+    let mut stack: Vec<Vec<InstanceId>> = Vec::new();
+    let mut steps: u64 = 0;
+    let mut max_steps_per_stage: u64 = 0;
+    let mut raised: u64 = 0;
+
+    // ---------------- First phase ----------------
+    for (epoch, group) in groups.iter().enumerate() {
+        // Group positions partitioned by shard, once per epoch.
+        let mut group_by_shard: Vec<Vec<u32>> = vec![Vec::new(); conflict.num_shards()];
+        for (i, &d) in group.iter().enumerate() {
+            group_by_shard[sharding.shard_of(d).index()].push(i as u32);
+        }
+        for stage in 1..=stages {
+            let threshold = 1.0 - xi.powi(stage as i32);
+            let mut stage_steps: u64 = 0;
+            loop {
+                let unsatisfied = unsatisfied_of_group(
+                    universe,
+                    &duals,
+                    &eligible,
+                    group,
+                    &group_by_shard,
+                    threshold,
+                );
+                if unsatisfied.is_empty() {
+                    break;
+                }
+                debug_assert!(
+                    stage_steps < step_cap,
+                    "stage exceeded the Claim 5.2 step bound ({step_cap})"
+                );
+                if stage_steps >= step_cap {
+                    break;
+                }
+
+                // One step: shard-parallel MIS among the unsatisfied
+                // instances of the group, then raise the whole MIS at once
+                // (also shard-parallel; an MIS is conflict-free, so the
+                // raises are independent).
+                let strategy = derive_strategy(config, epoch, stage, stage_steps);
+                let mis = sharded_mis(conflict, &unsatisfied, strategy, &mut stats, &mut scratch);
+
+                let batch: Vec<(InstanceId, &[netsched_graph::EdgeId])> =
+                    mis.iter().map(|&d| (d, layering.critical(d))).collect();
+                duals.raise_batch(universe, &batch);
+                let outgoing_messages: u64 = mis.iter().map(|&d| conflict.degree(d) as u64).sum();
+                raised += mis.len() as u64;
+                // Broadcasting the raised dual variables to the processors
+                // that share a resource costs one round; each message
+                // carries at most |π(d)| + 1 ≤ ∆ + 1 records.
+                stats.record_messages(outgoing_messages, layering.max_critical() as u64 + 1);
+                stats.record_round();
+                stack.push(mis);
+                stage_steps += 1;
+            }
+            steps += stage_steps;
+            max_steps_per_stage = max_steps_per_stage.max(stage_steps);
+        }
+    }
+
+    // ---------------- Second phase ----------------
+    // Incremental congestion tracking: each candidate costs O(path(d)),
+    // independent of how much has already been selected.
+    let mut tracker = LoadTracker::new(universe);
+    let mut selected: Vec<InstanceId> = Vec::new();
+    for mis in stack.iter().rev() {
+        let mut announced = 0u64;
+        for &d in mis {
+            if tracker.try_commit(universe, d) {
+                selected.push(d);
+                announced += conflict.degree(d) as u64;
+            }
+        }
+        stats.record_messages(announced, 1);
+        stats.record_round();
+    }
+    selected.sort_unstable();
+
+    // The certificate: all eligible instances are λ-satisfied, so the dual
+    // assignment scaled by 1/λ upper-bounds the optimum (weak duality).
+    let lambda = universe
+        .instance_ids()
+        .filter(|d| eligible[d.index()])
+        .map(|d| duals.lhs(universe, d) / universe.profit(d))
+        .fold(1.0_f64, f64::min)
+        .max(EPS);
+    let dual_objective = duals.objective();
+
+    let mut raised_instances: Vec<InstanceId> = stack.iter().flatten().copied().collect();
+    raised_instances.sort_unstable();
+
+    let profit = universe.total_profit(&selected);
+    Solution {
+        selected,
+        raised_instances,
+        profit,
+        stats,
+        diagnostics: RunDiagnostics {
+            epochs: groups.len(),
+            stages_per_epoch: stages,
+            steps,
+            max_steps_per_stage,
+            raised,
+            delta: layering.max_critical(),
+            lambda,
+            dual_objective,
+            optimum_upper_bound: dual_objective / lambda,
+        },
+    }
+}
+
+/// The pre-shard reference engine: single flat CSR, simulator-driven MIS,
+/// strictly sequential filters and raises. Kept as the differential-testing
+/// baseline for the sharded engine — the equivalence suite asserts that
+/// [`run_two_phase`] reproduces its schedules and certificates exactly —
+/// and as the honest "before" side of the `shard_scaling` bench.
+pub fn run_two_phase_reference(
     universe: &DemandInstanceUniverse,
     layering: &InstanceLayering,
     rule: RaiseRule,

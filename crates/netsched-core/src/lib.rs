@@ -63,7 +63,9 @@ pub mod tree;
 pub use analysis::{run_two_phase_traced, StepRecord, Trace};
 pub use config::{approximation_bound, stage_xi, stages_per_epoch, AlgorithmConfig, RaiseRule};
 pub use duals::DualState;
-pub use framework::{check_interference_property, run_two_phase};
+pub use framework::{
+    check_interference_property, run_two_phase, run_two_phase_on, run_two_phase_reference,
+};
 pub use line::{
     solve_line_arbitrary, solve_line_arbitrary_on, solve_line_narrow, solve_line_narrow_on,
     solve_line_unit, solve_line_unit_on,

@@ -72,11 +72,11 @@
 //! ```
 
 use crate::config::{AlgorithmConfig, RaiseRule};
-use crate::framework::run_two_phase;
+use crate::framework::run_two_phase_on;
 use crate::sequential::run_sequential;
 use crate::solution::{RunDiagnostics, Solution};
 use netsched_decomp::{InstanceLayering, TreeDecompositionKind};
-use netsched_distrib::RoundStats;
+use netsched_distrib::{RoundStats, ShardedConflictGraph};
 use netsched_graph::{
     DemandId, DemandInstanceUniverse, InstanceId, LineProblem, NetworkId, TreeProblem,
 };
@@ -235,6 +235,7 @@ pub struct SplitPart {
     map: Vec<DemandId>,
     universe: DemandInstanceUniverse,
     layering: InstanceLayering,
+    conflict: OnceLock<ShardedConflictGraph>,
 }
 
 enum OwnedProblem {
@@ -251,6 +252,13 @@ impl SplitPart {
     /// The layering of this half.
     pub fn layering(&self) -> &InstanceLayering {
         &self.layering
+    }
+
+    /// The sharded conflict graph of this half, built on first use and
+    /// cached for the lifetime of the session.
+    pub fn conflict(&self) -> &ShardedConflictGraph {
+        self.conflict
+            .get_or_init(|| ShardedConflictGraph::build(&self.universe))
     }
 
     /// Mapping from sub-problem demand indices to original demand ids.
@@ -282,6 +290,8 @@ pub struct BuildCounts {
     pub layering: usize,
     /// Appendix A layering constructions.
     pub sequential_layering: usize,
+    /// Sharded conflict-graph constructions.
+    pub conflict: usize,
     /// Wide/narrow split constructions (sub-problems, sub-universes and
     /// their layerings count as one build).
     pub split: usize,
@@ -303,10 +313,12 @@ pub struct Scheduler<'p> {
     layering: OnceLock<InstanceLayering>,
     sequential_layering: OnceLock<InstanceLayering>,
     split: OnceLock<SplitCaches>,
+    conflict: OnceLock<ShardedConflictGraph>,
     universe_builds: AtomicUsize,
     layering_builds: AtomicUsize,
     sequential_layering_builds: AtomicUsize,
     split_builds: AtomicUsize,
+    conflict_builds: AtomicUsize,
 }
 
 impl<'p> Scheduler<'p> {
@@ -319,10 +331,12 @@ impl<'p> Scheduler<'p> {
             layering: OnceLock::new(),
             sequential_layering: OnceLock::new(),
             split: OnceLock::new(),
+            conflict: OnceLock::new(),
             universe_builds: AtomicUsize::new(0),
             layering_builds: AtomicUsize::new(0),
             sequential_layering_builds: AtomicUsize::new(0),
             split_builds: AtomicUsize::new(0),
+            conflict_builds: AtomicUsize::new(0),
         }
     }
 
@@ -401,6 +415,16 @@ impl<'p> Scheduler<'p> {
         })
     }
 
+    /// The sharded conflict graph over the session universe, built on
+    /// first use (shard-parallel) and cached; every subsequent solve reuses
+    /// it instead of re-sweeping the conflict structure.
+    pub fn conflict(&self) -> &ShardedConflictGraph {
+        self.conflict.get_or_init(|| {
+            self.conflict_builds.fetch_add(1, Ordering::Relaxed);
+            ShardedConflictGraph::build(self.universe())
+        })
+    }
+
     fn split(&self) -> &SplitCaches {
         self.split.get_or_init(|| {
             self.split_builds.fetch_add(1, Ordering::Relaxed);
@@ -424,6 +448,7 @@ impl<'p> Scheduler<'p> {
             universe: self.universe_builds.load(Ordering::Relaxed),
             layering: self.layering_builds.load(Ordering::Relaxed),
             sequential_layering: self.sequential_layering_builds.load(Ordering::Relaxed),
+            conflict: self.conflict_builds.load(Ordering::Relaxed),
             split: self.split_builds.load(Ordering::Relaxed),
         }
     }
@@ -527,6 +552,11 @@ impl<'a> SolveContext<'a> {
         self.session.layering()
     }
 
+    /// The cached sharded conflict graph.
+    pub fn conflict(&self) -> &'a ShardedConflictGraph {
+        self.session.conflict()
+    }
+
     /// The cached Appendix A layering (tree problems only).
     pub fn sequential_layering(&self) -> &'a InstanceLayering {
         self.session.sequential_layering()
@@ -615,6 +645,7 @@ fn tree_split_part(problem: TreeProblem, map: Vec<DemandId>) -> SplitPart {
         map,
         universe,
         layering,
+        conflict: OnceLock::new(),
     }
 }
 
@@ -626,6 +657,7 @@ fn line_split_part(problem: LineProblem, map: Vec<DemandId>) -> SplitPart {
         map,
         universe,
         layering,
+        conflict: OnceLock::new(),
     }
 }
 
@@ -664,8 +696,9 @@ fn solve_wide_narrow(ctx: &SolveContext<'_>) -> Solution {
     let narrow = ctx.narrow();
 
     let wide_solution = if wide.universe.num_instances() > 0 {
-        run_two_phase(
+        run_two_phase_on(
             &wide.universe,
+            wide.conflict(),
             &wide.layering,
             RaiseRule::Unit,
             ctx.config(),
@@ -674,8 +707,9 @@ fn solve_wide_narrow(ctx: &SolveContext<'_>) -> Solution {
         Solution::empty()
     };
     let narrow_solution = if narrow.universe.num_instances() > 0 {
-        run_two_phase(
+        run_two_phase_on(
             &narrow.universe,
+            narrow.conflict(),
             &narrow.layering,
             RaiseRule::Narrow,
             ctx.config(),
@@ -772,8 +806,9 @@ impl Solver for UnitTreeSolver {
     }
 
     fn solve(&self, ctx: &SolveContext<'_>) -> Solution {
-        run_two_phase(
+        run_two_phase_on(
             ctx.universe(),
+            ctx.conflict(),
             ctx.layering(),
             RaiseRule::Unit,
             ctx.config(),
@@ -801,8 +836,9 @@ impl Solver for NarrowTreeSolver {
     }
 
     fn solve(&self, ctx: &SolveContext<'_>) -> Solution {
-        run_two_phase(
+        run_two_phase_on(
             ctx.universe(),
+            ctx.conflict(),
             ctx.layering(),
             RaiseRule::Narrow,
             ctx.config(),
@@ -878,8 +914,9 @@ impl Solver for LineUnitSolver {
     }
 
     fn solve(&self, ctx: &SolveContext<'_>) -> Solution {
-        run_two_phase(
+        run_two_phase_on(
             ctx.universe(),
+            ctx.conflict(),
             ctx.layering(),
             RaiseRule::Unit,
             ctx.config(),
@@ -907,8 +944,9 @@ impl Solver for LineNarrowSolver {
     }
 
     fn solve(&self, ctx: &SolveContext<'_>) -> Solution {
-        run_two_phase(
+        run_two_phase_on(
             ctx.universe(),
+            ctx.conflict(),
             ctx.layering(),
             RaiseRule::Narrow,
             ctx.config(),

@@ -16,8 +16,23 @@
 //! old bucket construction. The adjacency is stored as a CSR (flat
 //! `offsets` / `neighbors`) with each neighbor list sorted ascending, so
 //! the graph is byte-for-byte deterministic across runs and platforms.
+//!
+//! # Sharded construction
+//!
+//! Overlap edges never cross networks, so the sweep decomposes perfectly
+//! along the shards of a [`ShardedUniverse`]: [`ShardedConflictGraph`]
+//! builds one local CSR per shard (sweep, sort and CSR assembly all inside
+//! the shard task, driven shard-parallel through rayon) and keeps the only
+//! cross-shard edges — same-demand cliques spanning networks — in a
+//! compact global cross-shard CSR. [`ShardedConflictGraph::merged`] folds
+//! the per-shard CSRs and the cross adjacency back into a single
+//! [`ConflictGraph`] that is **byte-identical** to what the
+//! single-threaded [`ConflictGraph::build`] produces, at any thread count
+//! (the per-shard pair sets are disjoint and deterministic, so the merge
+//! is a permutation-free set union).
 
-use netsched_graph::{DemandInstanceUniverse, InstanceId};
+use netsched_graph::{DemandInstanceUniverse, InstanceId, NetworkId, ShardedUniverse};
+use rayon::prelude::*;
 
 /// The conflict graph of a demand-instance universe, in CSR form.
 #[derive(Debug, Clone)]
@@ -78,36 +93,7 @@ impl ConflictGraph {
 
         pairs.sort_unstable();
         pairs.dedup();
-        let num_edges = pairs.len();
-
-        // CSR assembly. Iterating the sorted unique pairs keeps every
-        // neighbor list sorted ascending without any per-vertex sort.
-        let mut degree = vec![0u32; n];
-        for &(a, b) in &pairs {
-            degree[a as usize] += 1;
-            degree[b as usize] += 1;
-        }
-        let mut offsets = vec![0u32; n + 1];
-        for v in 0..n {
-            offsets[v + 1] = offsets[v] + degree[v];
-        }
-        let mut cursor = offsets.clone();
-        let mut neighbors = vec![InstanceId::new(0); 2 * num_edges];
-        for &(a, b) in &pairs {
-            neighbors[cursor[a as usize] as usize] = InstanceId(b);
-            cursor[a as usize] += 1;
-            neighbors[cursor[b as usize] as usize] = InstanceId(a);
-            cursor[b as usize] += 1;
-        }
-        for v in 0..n {
-            neighbors[offsets[v] as usize..offsets[v + 1] as usize].sort_unstable();
-        }
-
-        Self {
-            offsets,
-            neighbors,
-            num_edges,
-        }
+        assemble_csr(n, &pairs)
     }
 
     /// Number of vertices (demand instances).
@@ -166,6 +152,273 @@ fn ordered(a: InstanceId, b: InstanceId) -> (u32, u32) {
         (a.0, b.0)
     } else {
         (b.0, a.0)
+    }
+}
+
+/// Assembles the raw CSR arrays from sorted, deduplicated `(low, high)`
+/// pairs. Iterating the sorted unique pairs keeps every neighbor list
+/// sorted ascending without any per-vertex sort; the output is fully
+/// determined by the pair *set*, which is what makes the sharded merge
+/// byte-identical to the single-threaded build. Shared by the global
+/// ([`ConflictGraph`]) and per-shard ([`ShardConflict`]) assemblies so the
+/// algorithm exists exactly once.
+fn assemble_csr_arrays(n: usize, pairs: &[(u32, u32)]) -> (Vec<u32>, Vec<u32>) {
+    let mut degree = vec![0u32; n];
+    for &(a, b) in pairs {
+        degree[a as usize] += 1;
+        degree[b as usize] += 1;
+    }
+    let mut offsets = vec![0u32; n + 1];
+    for v in 0..n {
+        offsets[v + 1] = offsets[v] + degree[v];
+    }
+    let mut cursor = offsets.clone();
+    let mut neighbors = vec![0u32; 2 * pairs.len()];
+    for &(a, b) in pairs {
+        neighbors[cursor[a as usize] as usize] = b;
+        cursor[a as usize] += 1;
+        neighbors[cursor[b as usize] as usize] = a;
+        cursor[b as usize] += 1;
+    }
+    for v in 0..n {
+        neighbors[offsets[v] as usize..offsets[v + 1] as usize].sort_unstable();
+    }
+    (offsets, neighbors)
+}
+
+/// [`assemble_csr_arrays`] wrapped into a [`ConflictGraph`].
+fn assemble_csr(n: usize, pairs: &[(u32, u32)]) -> ConflictGraph {
+    let (offsets, neighbors) = assemble_csr_arrays(n, pairs);
+    ConflictGraph {
+        offsets,
+        neighbors: neighbors.into_iter().map(InstanceId).collect(),
+        num_edges: pairs.len(),
+    }
+}
+
+/// The conflict edges local to one shard (overlaps plus same-demand pairs
+/// on the shard's network), as a CSR over the shard's *local* instance ids.
+#[derive(Debug, Clone)]
+pub struct ShardConflict {
+    offsets: Vec<u32>,
+    neighbors: Vec<u32>,
+    num_edges: usize,
+}
+
+impl ShardConflict {
+    /// Builds the local CSR from sorted, deduplicated local pairs.
+    fn from_pairs(n: usize, pairs: &[(u32, u32)]) -> Self {
+        let (offsets, neighbors) = assemble_csr_arrays(n, pairs);
+        Self {
+            offsets,
+            neighbors,
+            num_edges: pairs.len(),
+        }
+    }
+
+    /// Number of local vertices (instances of the shard).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of conflict edges local to the shard.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// The local ids conflicting with local vertex `v`, sorted ascending.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.neighbors[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
+    }
+
+    /// Degree of local vertex `v` within the shard.
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+}
+
+/// The conflict graph in sharded form: one local CSR per network plus a
+/// compact cross-shard adjacency holding the same-demand cliques that span
+/// networks (the only conflict edges that ever cross a shard boundary).
+#[derive(Debug, Clone)]
+pub struct ShardedConflictGraph {
+    sharding: ShardedUniverse,
+    shards: Vec<ShardConflict>,
+    /// Cross-shard same-demand edges, as a global CSR.
+    cross: ConflictGraph,
+}
+
+impl ShardedConflictGraph {
+    /// Builds the sharded conflict graph of a universe, partitioning it by
+    /// network first.
+    pub fn build(universe: &DemandInstanceUniverse) -> Self {
+        Self::build_with(universe, ShardedUniverse::build(universe))
+    }
+
+    /// Builds the sharded conflict graph on an existing partition.
+    ///
+    /// The per-shard interval sweeps (and their sorts and CSR assemblies)
+    /// run shard-parallel through rayon; the same-demand cliques are split
+    /// serially beforehand into per-shard and cross-shard pair lists
+    /// (`O(Σ |Inst(a)|²)`, the size of the cliques themselves).
+    pub fn build_with(universe: &DemandInstanceUniverse, sharding: ShardedUniverse) -> Self {
+        let num_shards = sharding.num_shards();
+        // Same-demand cliques, routed to the owning shard when both
+        // endpoints share a network and to the cross-shard list otherwise.
+        let mut demand_pairs: Vec<Vec<(u32, u32)>> = vec![Vec::new(); num_shards];
+        let mut cross_pairs: Vec<(u32, u32)> = Vec::new();
+        for a in 0..universe.num_demands() {
+            let group = universe.instances_of_demand(netsched_graph::DemandId::new(a));
+            for (i, &d1) in group.iter().enumerate() {
+                for &d2 in &group[i + 1..] {
+                    let (t1, t2) = (sharding.shard_of(d1), sharding.shard_of(d2));
+                    if t1 == t2 {
+                        // Locals follow global order, so (d1, d2) ascending
+                        // maps to ascending locals.
+                        demand_pairs[t1.index()]
+                            .push((sharding.local_of(d1), sharding.local_of(d2)));
+                    } else {
+                        cross_pairs.push(ordered(d1, d2));
+                    }
+                }
+            }
+        }
+
+        // One task per shard: interval sweep + same-demand pairs → local CSR.
+        let work: Vec<(usize, Vec<(u32, u32)>)> = demand_pairs.into_iter().enumerate().collect();
+        let sharding_ref = &sharding;
+        let shards: Vec<ShardConflict> = work
+            .into_par_iter()
+            .map(move |(t, mut pairs)| {
+                let shard = &sharding_ref.shards()[t];
+                let mut active: Vec<(u32, u32)> = Vec::new(); // (end, local)
+                for run in shard.runs() {
+                    active.retain(|&(e, _)| e >= run.start);
+                    for &(_, other) in &active {
+                        if other != run.local {
+                            pairs.push(if other < run.local {
+                                (other, run.local)
+                            } else {
+                                (run.local, other)
+                            });
+                        }
+                    }
+                    active.push((run.end, run.local));
+                }
+                pairs.sort_unstable();
+                pairs.dedup();
+                ShardConflict::from_pairs(shard.len(), &pairs)
+            })
+            .collect();
+
+        cross_pairs.sort_unstable();
+        cross_pairs.dedup();
+        let cross = assemble_csr(sharding.num_instances(), &cross_pairs);
+
+        Self {
+            sharding,
+            shards,
+            cross,
+        }
+    }
+
+    /// The universe partition the graph was built on.
+    #[inline]
+    pub fn sharding(&self) -> &ShardedUniverse {
+        &self.sharding
+    }
+
+    /// Number of shards (== networks).
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of vertices (demand instances).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.sharding.num_instances()
+    }
+
+    /// Total number of conflict edges (local plus cross-shard).
+    pub fn num_edges(&self) -> usize {
+        self.shards
+            .iter()
+            .map(ShardConflict::num_edges)
+            .sum::<usize>()
+            + self.cross.num_edges()
+    }
+
+    /// The local CSR of one shard.
+    #[inline]
+    pub fn shard(&self, t: NetworkId) -> &ShardConflict {
+        &self.shards[t.index()]
+    }
+
+    /// All per-shard CSRs, indexed by network.
+    #[inline]
+    pub fn shards(&self) -> &[ShardConflict] {
+        &self.shards
+    }
+
+    /// The cross-shard same-demand neighbors of a global instance, sorted
+    /// ascending.
+    #[inline]
+    pub fn cross_neighbors(&self, d: InstanceId) -> &[InstanceId] {
+        self.cross.neighbors(d)
+    }
+
+    /// Degree of a global instance in the full conflict graph.
+    #[inline]
+    pub fn degree(&self, d: InstanceId) -> usize {
+        self.shards[self.sharding.shard_of(d).index()].degree(self.sharding.local_of(d))
+            + self.cross.degree(d)
+    }
+
+    /// Folds the per-shard CSRs and the cross-shard adjacency into a single
+    /// global [`ConflictGraph`].
+    ///
+    /// The result is byte-identical to [`ConflictGraph::build`] on the same
+    /// universe, at any thread count: local pair sets are per-shard
+    /// deterministic and disjoint across shards, cross pairs are disjoint
+    /// from both, and [`assemble_csr`] is a pure function of the sorted
+    /// pair set.
+    pub fn merged(&self) -> ConflictGraph {
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        let shard_pairs: Vec<Vec<(u32, u32)>> = (0..self.shards.len())
+            .into_par_iter()
+            .map(|t| {
+                let shard = &self.shards[t];
+                let globals = self.sharding.shards()[t].globals();
+                let mut out = Vec::with_capacity(shard.num_edges());
+                for v in 0..shard.num_vertices() as u32 {
+                    let g = globals[v as usize].0;
+                    for &u in shard.neighbors(v) {
+                        if u > v {
+                            out.push((g, globals[u as usize].0));
+                        }
+                    }
+                }
+                out
+            })
+            .collect();
+        for sp in shard_pairs {
+            pairs.extend(sp);
+        }
+        for v in 0..self.cross.num_vertices() {
+            let d = InstanceId::new(v);
+            for &u in self.cross.neighbors(d) {
+                if u > d {
+                    pairs.push((d.0, u.0));
+                }
+            }
+        }
+        pairs.sort_unstable();
+        assemble_csr(self.num_vertices(), &pairs)
     }
 }
 
@@ -228,6 +481,65 @@ mod tests {
             .sum();
         assert_eq!(sum, 2 * g.num_edges());
         assert!(g.max_degree() < g.num_vertices());
+    }
+
+    #[test]
+    fn sharded_merge_is_byte_identical_to_the_flat_build() {
+        for universe in [
+            figure1_line_problem().universe(),
+            two_tree_problem().universe(),
+            figure6_problem().universe(),
+        ] {
+            let flat = ConflictGraph::build(&universe);
+            let sharded = ShardedConflictGraph::build(&universe);
+            let merged = sharded.merged();
+            assert_eq!(flat.offsets, merged.offsets);
+            assert_eq!(flat.neighbors, merged.neighbors);
+            assert_eq!(flat.num_edges(), merged.num_edges());
+            assert_eq!(flat.num_edges(), sharded.num_edges());
+            for d in universe.instance_ids() {
+                assert_eq!(sharded.degree(d), flat.degree(d), "degree of {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn cross_adjacency_holds_exactly_the_spanning_same_demand_cliques() {
+        let u = two_tree_problem().universe();
+        let sharded = ShardedConflictGraph::build(&u);
+        for a in u.instance_ids() {
+            for &b in sharded.cross_neighbors(a) {
+                assert_eq!(u.demand_of(a), u.demand_of(b));
+                assert_ne!(u.instance(a).network, u.instance(b).network);
+            }
+        }
+        // Every cross-network same-demand pair appears.
+        for a in u.instance_ids() {
+            for b in u.instance_ids() {
+                if a != b
+                    && u.demand_of(a) == u.demand_of(b)
+                    && u.instance(a).network != u.instance(b).network
+                {
+                    assert!(sharded.cross_neighbors(a).binary_search(&b).is_ok());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_csr_matches_the_universe_predicate_locally() {
+        let u = figure6_problem().universe();
+        let sharded = ShardedConflictGraph::build(&u);
+        for (t, shard) in sharded.shards().iter().enumerate() {
+            let network = netsched_graph::NetworkId::new(t);
+            let part = sharded.sharding().shard(network);
+            for v in 0..shard.num_vertices() as u32 {
+                let dv = part.global_of(v);
+                for &w in shard.neighbors(v) {
+                    assert!(u.conflicting(dv, part.global_of(w)));
+                }
+            }
+        }
     }
 
     #[test]

@@ -8,13 +8,14 @@
 //! genuine message-passing protocol on the [`SyncSimulator`], plus a
 //! sequential greedy MIS used as a deterministic baseline and for testing.
 
-use crate::conflict::ConflictGraph;
+use crate::conflict::{ConflictGraph, ShardedConflictGraph};
 use crate::simulator::{Agent, Outbox, SyncSimulator, Topology};
 use crate::stats::RoundStats;
 use fxhash::{FxHashMap, FxHashSet};
 use netsched_graph::InstanceId;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 /// How to compute maximal independent sets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -225,6 +226,352 @@ pub fn greedy_mis(graph: &ConflictGraph, active: &[InstanceId]) -> Vec<InstanceI
     chosen
 }
 
+// ---------------------------------------------------------------------------
+// Shard-parallel MIS over a ShardedConflictGraph.
+// ---------------------------------------------------------------------------
+
+/// Active sets below this size run the shard loops serially: the per-phase
+/// thread-spawn overhead of the scoped-thread rayon shim outweighs the work.
+const PAR_MIN_ACTIVE: usize = 1024;
+
+/// Runs `f` once per shard, either serially or shard-parallel, collecting
+/// the results in shard order (identical output either way).
+fn run_per_shard<R, F>(num_shards: usize, parallel: bool, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if parallel && num_shards > 1 {
+        (0..num_shards).into_par_iter().map(f).collect()
+    } else {
+        (0..num_shards).map(f).collect()
+    }
+}
+
+/// Reusable buffers for [`sharded_mis`]: a global instance → active-position
+/// table, allocated once per engine run instead of once per MIS call.
+#[derive(Debug, Clone)]
+pub struct MisScratch {
+    /// Instance id → position in the current active list (`u32::MAX` when
+    /// absent). Always reset to the sentinel between calls.
+    pos: Vec<u32>,
+}
+
+impl MisScratch {
+    /// Creates scratch space for a universe of `num_instances` instances.
+    pub fn new(num_instances: usize) -> Self {
+        Self {
+            pos: vec![u32::MAX; num_instances],
+        }
+    }
+}
+
+/// Computes a maximal independent set of the subgraph induced by `active`
+/// on a sharded conflict graph, shard-parallel.
+///
+/// Produces **exactly** the same set as [`maximal_independent_set`] on the
+/// merged graph for either strategy, at any thread count: the greedy path
+/// iterates per-shard lexicographic sweeps to the (unique) fixpoint that
+/// equals the global lowest-id-first MIS, and the Luby path executes the
+/// same phase protocol as the message-passing simulator with identical
+/// per-vertex random streams, evaluating each phase shard-parallel.
+/// Communication accounting follows the same model (3 rounds per Luby
+/// phase; broadcasts along conflict edges).
+pub fn sharded_mis(
+    graph: &ShardedConflictGraph,
+    active: &[InstanceId],
+    strategy: MisStrategy,
+    stats: &mut RoundStats,
+    scratch: &mut MisScratch,
+) -> Vec<InstanceId> {
+    if active.is_empty() {
+        return Vec::new();
+    }
+    match strategy {
+        MisStrategy::SequentialGreedy => {
+            let set = sharded_greedy_mis(graph, active, scratch);
+            stats.record_mis(1);
+            set
+        }
+        MisStrategy::Luby { seed } => sharded_luby(graph, active, seed, stats, scratch),
+    }
+}
+
+/// The lowest-id-first greedy MIS, computed by iterating per-shard
+/// lexicographic sweeps with cross-shard membership exchange until the
+/// fixpoint. Cross-shard edges are same-demand cliques only, so the
+/// exchange settles in a handful of rounds; the fixpoint is consistent
+/// ("chosen iff no lower-id chosen neighbor" for every vertex), which
+/// pins it to the unique global greedy MIS of [`greedy_mis`].
+pub fn sharded_greedy_mis(
+    graph: &ShardedConflictGraph,
+    active: &[InstanceId],
+    scratch: &mut MisScratch,
+) -> Vec<InstanceId> {
+    let mut sorted: Vec<InstanceId> = active.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let n = sorted.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let sharding = graph.sharding();
+    for (i, &d) in sorted.iter().enumerate() {
+        scratch.pos[d.index()] = i as u32;
+    }
+    let mut by_shard: Vec<Vec<u32>> = vec![Vec::new(); graph.num_shards()];
+    for (i, &d) in sorted.iter().enumerate() {
+        by_shard[sharding.shard_of(d).index()].push(i as u32);
+    }
+    let parallel = n >= PAR_MIN_ACTIVE && rayon::current_num_threads() > 1;
+
+    let mut belief = vec![false; n];
+    let mut rounds = 0usize;
+    loop {
+        assert!(
+            rounds <= n + 2,
+            "sharded greedy MIS failed to reach a fixpoint"
+        );
+        let pos = &scratch.pos;
+        let belief_ref = &belief;
+        let sorted_ref = &sorted;
+        let by_shard_ref = &by_shard;
+        let chosen_parts: Vec<Vec<u32>> = run_per_shard(graph.num_shards(), parallel, |t| {
+            let csr = &graph.shards()[t];
+            let part = &sharding.shards()[t];
+            let mut blocked = vec![false; part.len()];
+            let mut chosen = Vec::new();
+            for &p in &by_shard_ref[t] {
+                let d = sorted_ref[p as usize];
+                let local = sharding.local_of(d);
+                if blocked[local as usize] {
+                    continue;
+                }
+                let mut cross_blocked = false;
+                for &g in graph.cross_neighbors(d) {
+                    if g >= d {
+                        break;
+                    }
+                    let q = pos[g.index()];
+                    if q != u32::MAX && belief_ref[q as usize] {
+                        cross_blocked = true;
+                        break;
+                    }
+                }
+                if cross_blocked {
+                    continue;
+                }
+                chosen.push(p);
+                for &ln in csr.neighbors(local) {
+                    blocked[ln as usize] = true;
+                }
+            }
+            chosen
+        });
+        let mut new_belief = vec![false; n];
+        for part in &chosen_parts {
+            for &p in part {
+                new_belief[p as usize] = true;
+            }
+        }
+        if new_belief == belief {
+            break;
+        }
+        belief = new_belief;
+        rounds += 1;
+    }
+
+    let result: Vec<InstanceId> = (0..n).filter(|&i| belief[i]).map(|i| sorted[i]).collect();
+    for &d in &sorted {
+        scratch.pos[d.index()] = u32::MAX;
+    }
+    result
+}
+
+/// Luby's algorithm, phase-synchronous over flat arrays instead of the
+/// message-passing simulator, with every sub-round evaluated
+/// shard-parallel. Per-vertex random streams, tie-breaking and knockout
+/// timing replicate the [`LubyAgent`] protocol exactly, so the chosen set
+/// is identical to the simulator's for every seed.
+fn sharded_luby(
+    graph: &ShardedConflictGraph,
+    active: &[InstanceId],
+    seed: u64,
+    stats: &mut RoundStats,
+    scratch: &mut MisScratch,
+) -> Vec<InstanceId> {
+    const ACTIVE: u8 = 0;
+    const IN_MIS: u8 = 1;
+    const OUT: u8 = 2;
+
+    let n = active.len();
+    let sharding = graph.sharding();
+    for (i, &d) in active.iter().enumerate() {
+        scratch.pos[d.index()] = i as u32;
+    }
+    let mut by_shard: Vec<Vec<u32>> = vec![Vec::new(); graph.num_shards()];
+    for (i, &d) in active.iter().enumerate() {
+        by_shard[sharding.shard_of(d).index()].push(i as u32);
+    }
+    let parallel = n >= PAR_MIN_ACTIVE && rayon::current_num_threads() > 1;
+    let num_shards = graph.num_shards();
+
+    // Induced adjacency in active-position space, built shard-parallel.
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    {
+        let pos = &scratch.pos;
+        let active_ref = active;
+        let by_shard_ref = &by_shard;
+        let parts: Vec<Vec<(u32, Vec<u32>)>> = run_per_shard(num_shards, parallel, |t| {
+            let csr = &graph.shards()[t];
+            let part = &sharding.shards()[t];
+            by_shard_ref[t]
+                .iter()
+                .map(|&p| {
+                    let d = active_ref[p as usize];
+                    let local = sharding.local_of(d);
+                    let mut nbrs: Vec<u32> = Vec::with_capacity(csr.degree(local));
+                    for &ln in csr.neighbors(local) {
+                        let q = pos[part.global_of(ln).index()];
+                        if q != u32::MAX {
+                            nbrs.push(q);
+                        }
+                    }
+                    for &g in graph.cross_neighbors(d) {
+                        let q = pos[g.index()];
+                        if q != u32::MAX {
+                            nbrs.push(q);
+                        }
+                    }
+                    (p, nbrs)
+                })
+                .collect()
+        });
+        for part in parts {
+            for (p, nbrs) in part {
+                adj[p as usize] = nbrs;
+            }
+        }
+    }
+    let deg: Vec<u32> = adj.iter().map(|a| a.len() as u32).collect();
+
+    let mut state = vec![ACTIVE; n];
+    let mut values = vec![0u64; n];
+    let mut rngs: Vec<SmallRng> = (0..n)
+        .map(|i| SmallRng::seed_from_u64(seed ^ ((i as u64).wrapping_mul(0x9E3779B97F4A7C15))))
+        .collect();
+    // Remaining active-neighbor counts, mirroring the simulator's
+    // `active_neighbors` sets for the Dropped-broadcast condition.
+    let mut anbrs: Vec<i64> = deg.iter().map(|&d| d as i64).collect();
+    let mut pending_drops: Vec<u32> = Vec::new();
+    let mut active_list: Vec<u32> = (0..n as u32).collect();
+
+    // Same phase budget as the simulator's round cap (3 rounds per phase).
+    let max_phases = 4 * (usize::BITS - n.leading_zeros()) as usize + 16;
+    let mut remaining = n;
+    let mut phases = 0usize;
+    let mut messages = 0u64;
+
+    while remaining > 0 {
+        assert!(
+            phases < max_phases,
+            "Luby MIS did not converge within {max_phases} phases"
+        );
+        // Dropped notifications from the previous phase arrive first.
+        for &p in &pending_drops {
+            for &q in &adj[p as usize] {
+                anbrs[q as usize] -= 1;
+            }
+        }
+        pending_drops.clear();
+
+        // Sub-round A: every active vertex draws and broadcasts a value.
+        active_list.retain(|&p| state[p as usize] == ACTIVE);
+        for &p in &active_list {
+            values[p as usize] = rngs[p as usize].gen();
+            messages += deg[p as usize] as u64;
+        }
+
+        // Sub-round B: join when the local (value, index) beats every
+        // active neighbor (read-only, shard-parallel).
+        let joined_parts: Vec<Vec<u32>> = {
+            let state_ref = &state;
+            let values_ref = &values;
+            let adj_ref = &adj;
+            let by_shard_ref = &by_shard;
+            run_per_shard(num_shards, parallel, |t| {
+                by_shard_ref[t]
+                    .iter()
+                    .copied()
+                    .filter(|&p| {
+                        state_ref[p as usize] == ACTIVE && {
+                            let me = (values_ref[p as usize], p as usize);
+                            adj_ref[p as usize].iter().all(|&q| {
+                                state_ref[q as usize] != ACTIVE
+                                    || me > (values_ref[q as usize], q as usize)
+                            })
+                        }
+                    })
+                    .collect()
+            })
+        };
+        for part in &joined_parts {
+            for &p in part {
+                state[p as usize] = IN_MIS;
+                remaining -= 1;
+                messages += deg[p as usize] as u64;
+                for &q in &adj[p as usize] {
+                    anbrs[q as usize] -= 1;
+                }
+            }
+        }
+
+        // Sub-round C: active vertices adjacent to a joiner drop out and
+        // (if they still have undecided neighbors) announce it.
+        let out_parts: Vec<Vec<u32>> = {
+            let state_ref = &state;
+            let adj_ref = &adj;
+            let by_shard_ref = &by_shard;
+            run_per_shard(num_shards, parallel, |t| {
+                by_shard_ref[t]
+                    .iter()
+                    .copied()
+                    .filter(|&p| {
+                        state_ref[p as usize] == ACTIVE
+                            && adj_ref[p as usize]
+                                .iter()
+                                .any(|&q| state_ref[q as usize] == IN_MIS)
+                    })
+                    .collect()
+            })
+        };
+        for part in &out_parts {
+            for &p in part {
+                state[p as usize] = OUT;
+                remaining -= 1;
+                if anbrs[p as usize] > 0 {
+                    messages += deg[p as usize] as u64;
+                    pending_drops.push(p);
+                }
+            }
+        }
+        phases += 1;
+    }
+
+    stats.record_mis(3 * phases as u64 + 1);
+    stats.record_messages(messages, 1);
+
+    let mut set: Vec<InstanceId> = (0..n)
+        .filter(|&i| state[i] == IN_MIS)
+        .map(|i| active[i])
+        .collect();
+    set.sort_unstable();
+    for &d in active {
+        scratch.pos[d.index()] = u32::MAX;
+    }
+    set
+}
+
 /// Checks that `set ⊆ active` is an independent set that is maximal within
 /// the subgraph induced by `active`.
 pub fn is_maximal_independent(
@@ -351,6 +698,85 @@ mod tests {
             stats.rounds,
             n
         );
+    }
+
+    #[test]
+    fn sharded_luby_matches_the_simulator_exactly() {
+        for seed in 0..6u64 {
+            let u = random_universe(seed, 28, 4, 45);
+            let flat = ConflictGraph::build(&u);
+            let sharded = ShardedConflictGraph::build(&u);
+            let mut scratch = MisScratch::new(u.num_instances());
+            // Full active set and an induced subset, several Luby seeds.
+            let full: Vec<InstanceId> = u.instance_ids().collect();
+            let subset: Vec<InstanceId> = u.instance_ids().filter(|d| d.index() % 3 != 1).collect();
+            for active in [&full, &subset] {
+                for luby_seed in [1u64, 42, 0xDEAD] {
+                    let mut s1 = RoundStats::new();
+                    let mut s2 = RoundStats::new();
+                    let reference = maximal_independent_set(
+                        &flat,
+                        active,
+                        MisStrategy::Luby { seed: luby_seed },
+                        &mut s1,
+                    );
+                    let ours = sharded_mis(
+                        &sharded,
+                        active,
+                        MisStrategy::Luby { seed: luby_seed },
+                        &mut s2,
+                        &mut scratch,
+                    );
+                    assert_eq!(reference, ours, "seed {seed}, luby seed {luby_seed}");
+                    assert!(s2.rounds > 0 && s2.messages > 0 && s2.mis_invocations == 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_greedy_matches_global_greedy() {
+        for seed in 0..8u64 {
+            let u = random_universe(100 + seed, 24, 5, 40);
+            let flat = ConflictGraph::build(&u);
+            let sharded = ShardedConflictGraph::build(&u);
+            let mut scratch = MisScratch::new(u.num_instances());
+            let full: Vec<InstanceId> = u.instance_ids().collect();
+            let subset: Vec<InstanceId> = u.instance_ids().filter(|d| d.index() % 2 == 0).collect();
+            for active in [&full, &subset] {
+                let reference = greedy_mis(&flat, active);
+                let ours = sharded_greedy_mis(&sharded, active, &mut scratch);
+                assert_eq!(reference, ours, "seed {seed}");
+                assert!(is_maximal_independent(&flat, active, &ours));
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_mis_handles_empty_and_singleton_inputs() {
+        let u = two_tree_problem().universe();
+        let sharded = ShardedConflictGraph::build(&u);
+        let mut scratch = MisScratch::new(u.num_instances());
+        let mut stats = RoundStats::new();
+        assert!(sharded_mis(
+            &sharded,
+            &[],
+            MisStrategy::Luby { seed: 3 },
+            &mut stats,
+            &mut scratch
+        )
+        .is_empty());
+        let single = vec![InstanceId::new(0)];
+        let set = sharded_mis(
+            &sharded,
+            &single,
+            MisStrategy::Luby { seed: 3 },
+            &mut stats,
+            &mut scratch,
+        );
+        assert_eq!(set, single);
+        // The scratch sentinel is restored after every call.
+        assert!(scratch.pos.iter().all(|&p| p == u32::MAX));
     }
 
     #[test]

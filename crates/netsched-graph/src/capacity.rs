@@ -1,0 +1,131 @@
+//! Range-minimum index over edge capacities.
+//!
+//! The capacitated (non-uniform bandwidth) setting of the paper repeatedly
+//! asks "does a constant load `L` fit under every capacity of an edge
+//! range?". A per-network **sparse table** answers the underlying
+//! range-minimum query in `O(1)` after `O(E log E)` preprocessing, which
+//! lets [`DemandInstanceUniverse::can_add`] and the eligibility pass of the
+//! two-phase engine replace their per-edge fallback loops with one query
+//! per interval run — the same `O(runs log E)` complexity the uniform path
+//! enjoys.
+//!
+//! [`DemandInstanceUniverse::can_add`]: crate::DemandInstanceUniverse::can_add
+
+use crate::ids::NetworkId;
+use crate::path::EdgePath;
+
+/// A standard sparse table for range-minimum queries over one capacity
+/// array: `levels[k][i] = min(caps[i .. i + 2^k])`.
+#[derive(Debug, Clone)]
+struct SparseTable {
+    levels: Vec<Vec<f64>>,
+}
+
+impl SparseTable {
+    fn build(caps: &[f64]) -> Self {
+        let n = caps.len();
+        let mut levels = vec![caps.to_vec()];
+        let mut width = 1usize;
+        while 2 * width <= n {
+            let prev = levels.last().expect("at least one level");
+            let next: Vec<f64> = (0..=n - 2 * width)
+                .map(|i| prev[i].min(prev[i + width]))
+                .collect();
+            levels.push(next);
+            width *= 2;
+        }
+        Self { levels }
+    }
+
+    /// Minimum over the inclusive index range `[lo, hi]`.
+    #[inline]
+    fn min_in(&self, lo: usize, hi: usize) -> f64 {
+        debug_assert!(lo <= hi && hi < self.levels[0].len());
+        let len = hi - lo + 1;
+        let k = usize::BITS as usize - 1 - len.leading_zeros() as usize;
+        let level = &self.levels[k];
+        level[lo].min(level[hi + 1 - (1 << k)])
+    }
+}
+
+/// Per-network range-minimum tables over edge capacities.
+///
+/// Built once per universe (only when capacities are non-uniform — the
+/// uniform setting never needs it) and immutable afterwards, like every
+/// other universe-derived index.
+#[derive(Debug, Clone)]
+pub struct CapacityIndex {
+    tables: Vec<SparseTable>,
+}
+
+impl CapacityIndex {
+    /// Builds the index from per-network capacity arrays.
+    pub fn build(capacities: &[Vec<f64>]) -> Self {
+        Self {
+            tables: capacities.iter().map(|c| SparseTable::build(c)).collect(),
+        }
+    }
+
+    /// Minimum capacity over the inclusive edge range `[lo, hi]` of network
+    /// `t`, in `O(1)`.
+    #[inline]
+    pub fn min_in(&self, t: NetworkId, lo: usize, hi: usize) -> f64 {
+        self.tables[t.index()].min_in(lo, hi)
+    }
+
+    /// Minimum capacity over every edge of a path of network `t`
+    /// (`O(runs)`); `f64::INFINITY` for an empty path.
+    pub fn min_on_path(&self, t: NetworkId, path: &EdgePath) -> f64 {
+        let table = &self.tables[t.index()];
+        path.runs()
+            .iter()
+            .map(|run| table.min_in(run.start as usize, run.end as usize))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::EdgeRun;
+
+    fn naive_min(caps: &[f64], lo: usize, hi: usize) -> f64 {
+        caps[lo..=hi].iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    #[test]
+    fn sparse_table_matches_naive_on_all_ranges() {
+        let caps: Vec<f64> = (0..37)
+            .map(|i| ((i * 7919 + 13) % 101) as f64 / 10.0 + 0.1)
+            .collect();
+        let index = CapacityIndex::build(std::slice::from_ref(&caps));
+        for lo in 0..caps.len() {
+            for hi in lo..caps.len() {
+                assert_eq!(
+                    index.min_in(NetworkId::new(0), lo, hi),
+                    naive_min(&caps, lo, hi),
+                    "range [{lo}, {hi}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn min_on_path_folds_over_runs() {
+        let caps = vec![5.0, 1.0, 4.0, 3.0, 2.0, 6.0];
+        let index = CapacityIndex::build(&[caps]);
+        let path = EdgePath::from_runs(vec![EdgeRun::new(2, 3), EdgeRun::new(5, 5)]);
+        assert_eq!(index.min_on_path(NetworkId::new(0), &path), 3.0);
+        assert_eq!(
+            index.min_on_path(NetworkId::new(0), &EdgePath::empty()),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn single_edge_networks_work() {
+        let index = CapacityIndex::build(&[vec![2.5], vec![1.0, 9.0]]);
+        assert_eq!(index.min_in(NetworkId::new(0), 0, 0), 2.5);
+        assert_eq!(index.min_in(NetworkId::new(1), 0, 1), 1.0);
+    }
+}

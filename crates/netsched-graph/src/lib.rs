@@ -15,7 +15,16 @@
 //! * [`DemandInstanceUniverse`] — the flattened set of *demand instances*
 //!   (demand × accessible network × placement) that all algorithms operate
 //!   on, together with conflict/overlap predicates and per-edge load
-//!   accounting, and [`LoadTracker`] for incremental greedy selection.
+//!   accounting, and [`LoadTracker`] for incremental greedy selection,
+//! * [`ShardedUniverse`] — the universe partitioned by [`NetworkId`]: one
+//!   shard per network with a global↔local id table and pre-sorted
+//!   per-shard run arrays, the unit of parallelism for the sharded
+//!   conflict engine in `netsched-distrib` and the shard-parallel MIS
+//!   epochs in `netsched-core`,
+//! * [`CapacityIndex`] — per-network sparse tables answering
+//!   range-minimum capacity queries in `O(1)`, which keep the capacitated
+//!   `can_add`/eligibility paths at the uniform path's `O(runs log E)`
+//!   instead of falling back to per-edge loops.
 //!
 //! # Implicit interval paths
 //!
@@ -41,6 +50,8 @@
 //! | overlap test | `O(len_a + len_b)` merge | `O(runs_a + runs_b)` merge |
 //! | `edge_loads` / verify | `O(S)` | `O(|D| log n + E)` difference array |
 //! | conflict-graph build | `O(Σ bucket²)` HashMap buckets | sort-based interval sweep, CSR output |
+//! | capacitated `can_add` | `O(path len · selection)` | event sweep + `O(1)` range-min per segment |
+//! | universe sharding | — | `O(|D| log n)` [`ShardedUniverse::build`] |
 //!
 //! The paper being reproduced is "Distributed Algorithms for Scheduling on
 //! Line and Tree Networks" (Chakaravarthy, Roy, Sabharwal; arXiv:1205.1924,
@@ -49,6 +60,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod capacity;
 pub mod demand;
 pub mod error;
 pub mod fixtures;
@@ -58,9 +70,11 @@ pub mod lca;
 pub mod line;
 pub mod path;
 pub mod problem;
+pub mod shard;
 pub mod tree;
 pub mod universe;
 
+pub use capacity::CapacityIndex;
 pub use demand::{Demand, Processor};
 pub use error::GraphError;
 pub use hld::HldIndex;
@@ -69,6 +83,7 @@ pub use lca::LcaIndex;
 pub use line::{LineDemand, LineNetwork, LineProblem};
 pub use path::{EdgePath, EdgeRun};
 pub use problem::TreeProblem;
+pub use shard::{ShardRun, ShardedUniverse, UniverseShard};
 pub use tree::TreeNetwork;
 pub use universe::{DemandInstance, DemandInstanceUniverse, LoadTracker};
 

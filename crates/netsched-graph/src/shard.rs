@@ -1,0 +1,249 @@
+//! Sharding the demand-instance universe by network.
+//!
+//! The conflict structure of the paper is a union of per-network interval
+//! graphs joined only by same-demand cliques: two instances overlap only if
+//! they live on the same network, so everything driven by overlaps — the
+//! interval sweep that builds the conflict graph, the per-epoch MIS rounds,
+//! the dual raises — decomposes along [`NetworkId`] boundaries. A
+//! [`ShardedUniverse`] materializes that decomposition: one shard per
+//! network holding the instances of that network under a dense *local*
+//! id space, a global↔local id table, and the shard's interval runs
+//! pre-sorted for sweeping.
+//!
+//! The sharded view is purely a secondary index over a
+//! [`DemandInstanceUniverse`]; it stores no profits, heights or paths of its
+//! own and is cheap to rebuild (`O(|D| log n)` for the run sort). Consumers
+//! (`netsched-distrib::conflict`, the two-phase engine in `netsched-core`)
+//! drive one task per shard through rayon and translate local results back
+//! through the id table.
+
+use crate::ids::{InstanceId, NetworkId};
+use crate::universe::DemandInstanceUniverse;
+
+/// One interval run of one instance within a shard, in local instance ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ShardRun {
+    /// First edge index of the run (inclusive).
+    pub start: u32,
+    /// Last edge index of the run (inclusive).
+    pub end: u32,
+    /// Local id (within the shard) of the instance the run belongs to.
+    pub local: u32,
+}
+
+/// The slice of a universe living on one network.
+#[derive(Debug, Clone)]
+pub struct UniverseShard {
+    network: NetworkId,
+    /// Local id → global instance id; ascending, so local order and global
+    /// order agree within a shard.
+    globals: Vec<InstanceId>,
+    /// Every interval run of every instance of the shard, sorted by
+    /// `(start, end, local)` — ready for a left-to-right sweep.
+    runs: Vec<ShardRun>,
+    /// Number of edges of the shard's network.
+    num_edges: usize,
+}
+
+impl UniverseShard {
+    /// The network this shard covers.
+    #[inline]
+    pub fn network(&self) -> NetworkId {
+        self.network
+    }
+
+    /// Number of instances in the shard.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.globals.len()
+    }
+
+    /// Returns `true` when the shard holds no instances.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.globals.is_empty()
+    }
+
+    /// Local id → global instance id table (ascending).
+    #[inline]
+    pub fn globals(&self) -> &[InstanceId] {
+        &self.globals
+    }
+
+    /// The global id of a local instance.
+    #[inline]
+    pub fn global_of(&self, local: u32) -> InstanceId {
+        self.globals[local as usize]
+    }
+
+    /// The shard's interval runs, sorted by `(start, end, local)`.
+    #[inline]
+    pub fn runs(&self) -> &[ShardRun] {
+        &self.runs
+    }
+
+    /// Number of edges of the shard's network.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+}
+
+/// A universe partitioned into one shard per network.
+///
+/// Construction is deterministic: shard `t` is network `t`, local ids follow
+/// ascending global ids, runs are sorted by `(start, end, local)`. Empty
+/// networks yield empty shards so shard indices always align with
+/// [`NetworkId`]s.
+#[derive(Debug, Clone)]
+pub struct ShardedUniverse {
+    shards: Vec<UniverseShard>,
+    /// Global instance id → owning shard (== network index).
+    shard_of: Vec<u32>,
+    /// Global instance id → local id within its shard.
+    local_of: Vec<u32>,
+}
+
+impl ShardedUniverse {
+    /// Partitions a universe by network.
+    pub fn build(universe: &DemandInstanceUniverse) -> Self {
+        let n = universe.num_instances();
+        let mut shard_of = vec![0u32; n];
+        let mut local_of = vec![0u32; n];
+        let mut shards = Vec::with_capacity(universe.num_networks());
+        for t in 0..universe.num_networks() {
+            let network = NetworkId::new(t);
+            let globals: Vec<InstanceId> = universe.instances_on_network(network).to_vec();
+            debug_assert!(globals.windows(2).all(|w| w[0] < w[1]));
+            let mut runs = Vec::new();
+            for (local, &d) in globals.iter().enumerate() {
+                shard_of[d.index()] = t as u32;
+                local_of[d.index()] = local as u32;
+                for run in universe.instance(d).path.runs() {
+                    runs.push(ShardRun {
+                        start: run.start,
+                        end: run.end,
+                        local: local as u32,
+                    });
+                }
+            }
+            runs.sort_unstable();
+            shards.push(UniverseShard {
+                network,
+                globals,
+                runs,
+                num_edges: universe.num_edges(network),
+            });
+        }
+        Self {
+            shards,
+            shard_of,
+            local_of,
+        }
+    }
+
+    /// Number of shards (== number of networks).
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total number of instances over all shards.
+    #[inline]
+    pub fn num_instances(&self) -> usize {
+        self.shard_of.len()
+    }
+
+    /// All shards, indexed by network.
+    #[inline]
+    pub fn shards(&self) -> &[UniverseShard] {
+        &self.shards
+    }
+
+    /// The shard of network `t`.
+    #[inline]
+    pub fn shard(&self, t: NetworkId) -> &UniverseShard {
+        &self.shards[t.index()]
+    }
+
+    /// The shard (network) owning a global instance.
+    #[inline]
+    pub fn shard_of(&self, d: InstanceId) -> NetworkId {
+        NetworkId(self.shard_of[d.index()])
+    }
+
+    /// The local id of a global instance within its shard.
+    #[inline]
+    pub fn local_of(&self, d: InstanceId) -> u32 {
+        self.local_of[d.index()]
+    }
+
+    /// Translates a (shard, local id) pair back to the global instance id.
+    #[inline]
+    pub fn to_global(&self, t: NetworkId, local: u32) -> InstanceId {
+        self.shards[t.index()].global_of(local)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{figure1_line_problem, figure6_problem, two_tree_problem};
+
+    #[test]
+    fn remap_round_trips_every_instance() {
+        for universe in [
+            figure1_line_problem().universe(),
+            two_tree_problem().universe(),
+            figure6_problem().universe(),
+        ] {
+            let sharded = ShardedUniverse::build(&universe);
+            assert_eq!(sharded.num_shards(), universe.num_networks());
+            assert_eq!(sharded.num_instances(), universe.num_instances());
+            for d in universe.instance_ids() {
+                let t = sharded.shard_of(d);
+                assert_eq!(t, universe.instance(d).network);
+                let local = sharded.local_of(d);
+                assert_eq!(sharded.to_global(t, local), d);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_sizes_match_by_network_index_and_runs_are_sorted() {
+        let universe = two_tree_problem().universe();
+        let sharded = ShardedUniverse::build(&universe);
+        let mut total_runs = 0;
+        for (t, shard) in sharded.shards().iter().enumerate() {
+            let network = NetworkId::new(t);
+            assert_eq!(shard.network(), network);
+            assert_eq!(shard.len(), universe.instances_on_network(network).len());
+            assert_eq!(shard.num_edges(), universe.num_edges(network));
+            assert!(shard.runs().windows(2).all(|w| w[0] <= w[1]));
+            assert!(shard.globals().windows(2).all(|w| w[0] < w[1]));
+            total_runs += shard.runs().len();
+        }
+        let expected: usize = universe.instances().map(|d| d.path.num_runs()).sum();
+        assert_eq!(total_runs, expected);
+    }
+
+    #[test]
+    fn empty_networks_yield_aligned_empty_shards() {
+        use crate::{TreeProblem, VertexId};
+        let mut p = TreeProblem::new(3);
+        let t0 = p
+            .add_network(vec![(VertexId(0), VertexId(1)), (VertexId(1), VertexId(2))])
+            .unwrap();
+        // A second network that no demand can access.
+        let _t1 = p
+            .add_network(vec![(VertexId(0), VertexId(2)), (VertexId(0), VertexId(1))])
+            .unwrap();
+        p.add_unit_demand(VertexId(0), VertexId(2), 1.0, vec![t0])
+            .unwrap();
+        let u = p.universe();
+        let sharded = ShardedUniverse::build(&u);
+        assert_eq!(sharded.num_shards(), 2);
+        assert_eq!(sharded.shard(NetworkId::new(0)).len(), 1);
+        assert!(sharded.shard(NetworkId::new(1)).is_empty());
+    }
+}

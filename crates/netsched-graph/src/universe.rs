@@ -21,6 +21,7 @@
 //! [`edge_loads`]: DemandInstanceUniverse::edge_loads
 //! [`is_feasible`]: DemandInstanceUniverse::is_feasible
 
+use crate::capacity::CapacityIndex;
 use crate::ids::{DemandId, EdgeId, GlobalEdge, InstanceId, NetworkId};
 use crate::path::EdgePath;
 use crate::EPS;
@@ -99,6 +100,9 @@ pub struct DemandInstanceUniverse {
     /// Cached: `true` when every capacity is exactly 1.0 (the
     /// uniform-bandwidth setting), enabling `O(runs)` feasibility checks.
     uniform_capacity: bool,
+    /// Range-minimum index over the capacities; built only in the
+    /// non-uniform setting (the uniform one never consults it).
+    capacity_index: Option<CapacityIndex>,
 }
 
 impl DemandInstanceUniverse {
@@ -139,6 +143,11 @@ impl DemandInstanceUniverse {
             .iter()
             .flat_map(|c| c.iter())
             .all(|&c| (c - 1.0).abs() <= EPS);
+        let capacity_index = if uniform_capacity {
+            None
+        } else {
+            Some(CapacityIndex::build(&capacities))
+        };
         Self {
             instances,
             num_demands,
@@ -148,6 +157,7 @@ impl DemandInstanceUniverse {
             by_demand,
             by_network,
             uniform_capacity,
+            capacity_index,
         }
     }
 
@@ -278,6 +288,24 @@ impl DemandInstanceUniverse {
         self.uniform_capacity
     }
 
+    /// The range-minimum index over the capacities; present exactly when
+    /// the universe is non-uniform (the uniform setting never needs it).
+    #[inline]
+    pub fn capacity_index(&self) -> Option<&CapacityIndex> {
+        self.capacity_index.as_ref()
+    }
+
+    /// Minimum capacity over every edge of a path of `network` —
+    /// `O(runs)` via the range-minimum index (constant 1.0 in the uniform
+    /// setting); `f64::INFINITY` for an empty path.
+    pub fn min_capacity_on_path(&self, network: NetworkId, path: &EdgePath) -> f64 {
+        match &self.capacity_index {
+            Some(index) => index.min_on_path(network, path),
+            None if path.is_empty() => f64::INFINITY,
+            None => 1.0,
+        }
+    }
+
     /// Two instances *overlap* if they belong to the same network and their
     /// paths share an edge (Section 2).
     pub fn overlapping(&self, a: InstanceId, b: InstanceId) -> bool {
@@ -379,11 +407,13 @@ impl DemandInstanceUniverse {
     /// Returns `true` if `candidate` can be added to `selection` without
     /// violating feasibility. `selection` is assumed feasible.
     ///
-    /// Under uniform capacities the check is an endpoint sweep over the
-    /// run intersections of the candidate with the selection —
-    /// `O(k log k)` where `k` is the number of intersecting runs, with no
-    /// per-edge work. (Greedy loops that add many candidates should prefer
-    /// a [`LoadTracker`].)
+    /// The check is an endpoint sweep over the run intersections of the
+    /// candidate with the selection — `O(k log k)` where `k` is the number
+    /// of intersecting runs, with no per-edge work. Under uniform
+    /// capacities each constant-load segment compares against 1.0; under
+    /// arbitrary capacities it compares against an `O(1)` range-minimum
+    /// query on the [`CapacityIndex`]. (Greedy loops that add many
+    /// candidates should prefer a [`LoadTracker`].)
     pub fn can_add(&self, selection: &[InstanceId], candidate: InstanceId) -> bool {
         let cand = &self.instances[candidate.index()];
         for &d in selection {
@@ -425,18 +455,56 @@ impl DemandInstanceUniverse {
             }
             true
         } else {
-            // Arbitrary capacities: per-edge check over the candidate's own
-            // path (each membership test is O(log runs)).
-            for e in cand.path.iter() {
-                let mut load = cand.height;
-                for &d in selection {
-                    let inst = &self.instances[d.index()];
-                    if inst.network == cand.network && inst.path.contains(e) {
-                        load += inst.height;
-                    }
+            // Arbitrary capacities: the same event sweep, but instead of a
+            // constant capacity every maximal constant-load segment is
+            // checked against a range-minimum query on the capacity index —
+            // `O(k log k + runs)` with no per-edge work.
+            let index = self
+                .capacity_index
+                .as_ref()
+                .expect("non-uniform universes build a capacity index");
+            let t = cand.network;
+            let mut events: Vec<(u32, f64)> = Vec::new();
+            for &d in selection {
+                let inst = &self.instances[d.index()];
+                if inst.network != t {
+                    continue;
                 }
-                if load > self.capacities[cand.network.index()][e.index()] + EPS {
-                    return false;
+                let shared = cand.path.intersection(&inst.path);
+                for run in shared.runs() {
+                    events.push((run.start, inst.height));
+                    events.push((run.end + 1, -inst.height));
+                }
+            }
+            events.sort_unstable_by_key(|e| e.0);
+            let mut load = cand.height;
+            let mut ei = 0;
+            for run in cand.path.runs() {
+                while ei < events.len() && events[ei].0 <= run.start {
+                    load += events[ei].1;
+                    ei += 1;
+                }
+                let mut seg_start = run.start;
+                loop {
+                    let next = if ei < events.len() {
+                        events[ei].0
+                    } else {
+                        u32::MAX
+                    };
+                    let seg_end = if next <= run.end { next - 1 } else { run.end };
+                    if seg_start <= seg_end
+                        && load > index.min_in(t, seg_start as usize, seg_end as usize) + EPS
+                    {
+                        return false;
+                    }
+                    if next > run.end {
+                        break;
+                    }
+                    while ei < events.len() && events[ei].0 == next {
+                        load += events[ei].1;
+                        ei += 1;
+                    }
+                    seg_start = next;
                 }
             }
             true

@@ -307,6 +307,14 @@ impl FromJson for HeightDistribution {
     }
 }
 
+/// Reads the optional `access_skew` field (absent in pre-skew files).
+fn optional_skew(value: &JsonValue) -> Result<f64, String> {
+    match value.field("access_skew") {
+        Ok(v) => v.as_f64(),
+        Err(_) => Ok(0.0),
+    }
+}
+
 impl ToJson for TreeWorkload {
     fn to_json(&self) -> JsonValue {
         JsonValue::object(vec![
@@ -318,6 +326,7 @@ impl ToJson for TreeWorkload {
                 "access_probability",
                 JsonValue::num(self.access_probability),
             ),
+            ("access_skew", JsonValue::num(self.access_skew)),
             ("profits", self.profits.to_json()),
             ("heights", self.heights.to_json()),
             ("seed", JsonValue::u64_value(self.seed)),
@@ -333,6 +342,7 @@ impl FromJson for TreeWorkload {
             demands: value.field("demands")?.as_usize()?,
             topology: TreeTopology::from_json(value.field("topology")?)?,
             access_probability: value.field("access_probability")?.as_f64()?,
+            access_skew: optional_skew(value)?,
             profits: ProfitDistribution::from_json(value.field("profits")?)?,
             heights: HeightDistribution::from_json(value.field("heights")?)?,
             seed: value.field("seed")?.as_u64()?,
@@ -353,6 +363,7 @@ impl ToJson for LineWorkload {
                 "access_probability",
                 JsonValue::num(self.access_probability),
             ),
+            ("access_skew", JsonValue::num(self.access_skew)),
             ("profits", self.profits.to_json()),
             ("heights", self.heights.to_json()),
             ("seed", JsonValue::u64_value(self.seed)),
@@ -370,6 +381,7 @@ impl FromJson for LineWorkload {
             max_length: value.field("max_length")?.as_u32()?,
             max_slack: value.field("max_slack")?.as_u32()?,
             access_probability: value.field("access_probability")?.as_f64()?,
+            access_skew: optional_skew(value)?,
             profits: ProfitDistribution::from_json(value.field("profits")?)?,
             heights: HeightDistribution::from_json(value.field("heights")?)?,
             seed: value.field("seed")?.as_u64()?,

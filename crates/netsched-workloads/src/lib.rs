@@ -14,10 +14,14 @@ pub mod demand_gen;
 pub mod io;
 pub mod json;
 pub mod line_gen;
+pub mod multi_net;
 pub mod scenarios;
 pub mod tree_gen;
 
 pub use demand_gen::{DemandSpec, HeightDistribution, ProfitDistribution};
 pub use line_gen::{LineWorkload, LineWorkloadBuilder};
+pub use multi_net::{
+    many_networks_line, many_networks_tree, skewed_networks_line, skewed_networks_tree,
+};
 pub use scenarios::{named_scenarios, scenario_by_name, scenario_index, Scenario};
 pub use tree_gen::{random_tree_edges, tree_problem, TreeTopology, TreeWorkload};

@@ -24,6 +24,11 @@ pub struct LineWorkload {
     /// Probability that a processor can access any given resource (at least
     /// one access is always granted).
     pub access_probability: f64,
+    /// Skew exponent for the per-resource access probability: resource `t`
+    /// is accessible with probability `access_probability / (t + 1)^skew`
+    /// (see [`crate::tree_gen::skewed_access_probability`]); 0.0 keeps
+    /// every resource equally likely.
+    pub access_skew: f64,
     /// Profit distribution.
     pub profits: ProfitDistribution,
     /// Height distribution.
@@ -42,6 +47,7 @@ impl Default for LineWorkload {
             max_length: 16,
             max_slack: 8,
             access_probability: 0.7,
+            access_skew: 0.0,
             profits: ProfitDistribution::Uniform {
                 min: 1.0,
                 max: 32.0,
@@ -67,8 +73,15 @@ impl LineWorkload {
             let slack = rng.gen_range(0..=self.max_slack.min(self.timeslots - release - len));
             let mut access: Vec<NetworkId> = all
                 .iter()
-                .copied()
-                .filter(|_| rng.gen_bool(self.access_probability.clamp(0.0, 1.0)))
+                .enumerate()
+                .filter(|&(t, _)| {
+                    rng.gen_bool(crate::tree_gen::skewed_access_probability(
+                        self.access_probability,
+                        self.access_skew,
+                        t,
+                    ))
+                })
+                .map(|(_, &net)| net)
                 .collect();
             if access.is_empty() {
                 access.push(all[rng.gen_range(0..all.len())]);

@@ -8,6 +8,7 @@
 
 use crate::demand_gen::{HeightDistribution, ProfitDistribution};
 use crate::line_gen::LineWorkload;
+use crate::multi_net::{many_networks_line, many_networks_tree, skewed_networks_line};
 use crate::tree_gen::{TreeTopology, TreeWorkload};
 use fxhash::FxHashMap;
 use netsched_graph::fixtures;
@@ -67,6 +68,7 @@ pub fn named_scenarios() -> Vec<Scenario> {
                 demands: 120,
                 topology: TreeTopology::RandomAttachment,
                 access_probability: 0.5,
+                access_skew: 0.0,
                 profits: ProfitDistribution::Uniform {
                     min: 1.0,
                     max: 64.0,
@@ -87,6 +89,7 @@ pub fn named_scenarios() -> Vec<Scenario> {
                 demands: 90,
                 topology: TreeTopology::Caterpillar,
                 access_probability: 0.7,
+                access_skew: 0.0,
                 profits: ProfitDistribution::PowerOfTwo { exponents: 6 },
                 heights: HeightDistribution::Mixed {
                     wide_fraction: 0.3,
@@ -110,6 +113,7 @@ pub fn named_scenarios() -> Vec<Scenario> {
                 max_length: 24,
                 max_slack: 12,
                 access_probability: 0.8,
+                access_skew: 0.0,
                 profits: ProfitDistribution::Uniform {
                     min: 1.0,
                     max: 32.0,
@@ -132,6 +136,7 @@ pub fn named_scenarios() -> Vec<Scenario> {
                 max_length: 18,
                 max_slack: 6,
                 access_probability: 0.9,
+                access_skew: 0.0,
                 profits: ProfitDistribution::Uniform {
                     min: 1.0,
                     max: 16.0,
@@ -142,6 +147,33 @@ pub fn named_scenarios() -> Vec<Scenario> {
                 },
                 seed: 31,
             },
+        },
+        Scenario::Line {
+            name: "many-networks-line".to_string(),
+            description: "A fleet of 16 identical machine timelines with jobs \
+                          spread evenly across them: one shard per machine, \
+                          balanced shard sizes (the sharded conflict engine's \
+                          happy path)."
+                .to_string(),
+            workload: many_networks_line(16, 140, 1601),
+        },
+        Scenario::Tree {
+            name: "many-networks-tree".to_string(),
+            description: "Twelve spanning trees of one shared fabric with \
+                          transfers routed over a few trees each: many \
+                          medium shards for shard-parallel sweeps and MIS \
+                          epochs."
+                .to_string(),
+            workload: many_networks_tree(12, 110, 1202),
+        },
+        Scenario::Line {
+            name: "skewed-shards-line".to_string(),
+            description: "Eight machine timelines with power-law popularity: \
+                          the first machine owns most reservations, the last \
+                          almost none — the skewed shard sizes that stress \
+                          shard-parallel load balance."
+                .to_string(),
+            workload: skewed_networks_line(8, 130, 1.5, 813),
         },
     ]
 }
@@ -155,10 +187,11 @@ pub fn scenario_index() -> FxHashMap<String, Scenario> {
         .collect()
 }
 
-/// Looks up a named scenario (via [`scenario_index`], so the two lookup
+/// Looks up a named scenario (a linear scan of [`named_scenarios`], the
+/// same single source [`scenario_index`] is built from, so the two lookup
 /// paths cannot drift apart).
 pub fn scenario_by_name(name: &str) -> Option<Scenario> {
-    scenario_index().remove(name)
+    named_scenarios().into_iter().find(|s| s.name() == name)
 }
 
 /// The worked example of Figure 1 (three jobs of heights 0.5, 0.7, 0.4 on a

@@ -119,6 +119,12 @@ pub struct TreeWorkload {
     /// Probability that a processor can access any given network (at least
     /// one access is always granted).
     pub access_probability: f64,
+    /// Skew exponent for the per-network access probability: network `t`
+    /// is accessible with probability `access_probability / (t + 1)^skew`.
+    /// 0.0 (the default) keeps every network equally likely; larger values
+    /// concentrate instances on the low-indexed networks, producing the
+    /// skewed shard sizes the sharded conflict engine is benchmarked on.
+    pub access_skew: f64,
     /// Profit distribution.
     pub profits: ProfitDistribution,
     /// Height distribution.
@@ -135,6 +141,7 @@ impl Default for TreeWorkload {
             demands: 60,
             topology: TreeTopology::RandomAttachment,
             access_probability: 0.6,
+            access_skew: 0.0,
             profits: ProfitDistribution::Uniform {
                 min: 1.0,
                 max: 32.0,
@@ -150,6 +157,13 @@ impl TreeWorkload {
     pub fn build(&self) -> Result<TreeProblem, GraphError> {
         tree_problem(self)
     }
+}
+
+/// The per-network access probability under a skew exponent:
+/// `base / (t + 1)^skew`, clamped into `[0, 1]`. A skew of 0 keeps the
+/// uniform behaviour (and the exact demand streams of earlier seeds).
+pub fn skewed_access_probability(base: f64, skew: f64, t: usize) -> f64 {
+    (base * ((t + 1) as f64).powf(-skew)).clamp(0.0, 1.0)
 }
 
 /// Materializes a [`TreeWorkload`] into a [`TreeProblem`].
@@ -171,8 +185,15 @@ pub fn tree_problem(w: &TreeWorkload) -> Result<TreeProblem, GraphError> {
         }
         let mut access: Vec<NetworkId> = networks
             .iter()
-            .copied()
-            .filter(|_| rng.gen_bool(w.access_probability.clamp(0.0, 1.0)))
+            .enumerate()
+            .filter(|&(t, _)| {
+                rng.gen_bool(skewed_access_probability(
+                    w.access_probability,
+                    w.access_skew,
+                    t,
+                ))
+            })
+            .map(|(_, &net)| net)
             .collect();
         if access.is_empty() {
             access.push(networks[rng.gen_range(0..networks.len())]);

@@ -27,6 +27,7 @@ fn main() {
         max_length: 10,
         max_slack: 5,
         access_probability: 0.85,
+        access_skew: 0.0,
         profits: ProfitDistribution::Uniform {
             min: 1.0,
             max: 20.0,

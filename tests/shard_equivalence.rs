@@ -1,0 +1,206 @@
+//! Determinism and equivalence suite for the sharded conflict engine.
+//!
+//! The sharding refactor is a pure representation change: on every input,
+//! at every thread count, the sharded build must produce a merged adjacency
+//! byte-identical to the pre-shard single-CSR path, and the shard-parallel
+//! two-phase engine must reproduce the reference engine's schedules and
+//! certificates exactly. These tests pin that contract on random
+//! multi-network tree and line instances, under both MIS strategies,
+//! sweeping the worker count through the rayon shim's global configuration.
+
+use netsched_core::framework::{run_two_phase, run_two_phase_on, run_two_phase_reference};
+use netsched_core::{AlgorithmConfig, RaiseRule, Scheduler, Solution};
+use netsched_decomp::{InstanceLayering, TreeDecompositionKind};
+use netsched_distrib::{
+    maximal_independent_set, sharded_mis, ConflictGraph, MisScratch, MisStrategy, RoundStats,
+    ShardedConflictGraph,
+};
+use netsched_graph::{DemandInstanceUniverse, InstanceId};
+use netsched_workloads::{many_networks_line, many_networks_tree, skewed_networks_line};
+use rayon::ThreadPoolBuilder;
+
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    ThreadPoolBuilder::new().num_threads(n).build_global().ok();
+    let out = f();
+    ThreadPoolBuilder::new().num_threads(0).build_global().ok();
+    out
+}
+
+/// Byte-level equality of two conflict graphs: identical per-vertex
+/// neighbor slices (which pins the CSR `offsets`/`neighbors` arrays) and
+/// edge counts.
+fn assert_same_graph(a: &ConflictGraph, b: &ConflictGraph, label: &str) {
+    assert_eq!(a.num_vertices(), b.num_vertices(), "{label}: vertex count");
+    assert_eq!(a.num_edges(), b.num_edges(), "{label}: edge count");
+    for v in 0..a.num_vertices() {
+        let d = InstanceId::new(v);
+        assert_eq!(a.neighbors(d), b.neighbors(d), "{label}: adjacency of {d}");
+    }
+}
+
+/// Exact equality of everything the solution certifies (stats are allowed
+/// to differ between the simulator-driven and array-driven Luby by
+/// accounting constants, so they are excluded).
+fn assert_same_solution(a: &Solution, b: &Solution, label: &str) {
+    assert_eq!(a.selected, b.selected, "{label}: schedule");
+    assert_eq!(a.raised_instances, b.raised_instances, "{label}: raised");
+    assert_eq!(a.profit, b.profit, "{label}: profit");
+    let (da, db) = (a.diagnostics, b.diagnostics);
+    assert_eq!(da.lambda, db.lambda, "{label}: lambda");
+    assert_eq!(da.dual_objective, db.dual_objective, "{label}: dual");
+    assert_eq!(da.steps, db.steps, "{label}: steps");
+    assert_eq!(
+        da.optimum_upper_bound, db.optimum_upper_bound,
+        "{label}: upper bound"
+    );
+    assert_eq!(a.certified_ratio(), b.certified_ratio(), "{label}: ratio");
+}
+
+fn universes() -> Vec<(String, DemandInstanceUniverse, InstanceLayering)> {
+    let mut out = Vec::new();
+    for (i, seed) in [3u64, 41].into_iter().enumerate() {
+        let p = many_networks_tree(6 + 2 * i, 70, seed).build().unwrap();
+        let u = p.universe();
+        let l = InstanceLayering::for_tree_problem(&p, &u, TreeDecompositionKind::Ideal);
+        out.push((format!("tree-{seed}"), u, l));
+    }
+    for (i, seed) in [9u64, 77].into_iter().enumerate() {
+        let p = many_networks_line(4 + 4 * i, 60, seed).build().unwrap();
+        let u = p.universe();
+        let l = InstanceLayering::line_length_classes(&u);
+        out.push((format!("line-{seed}"), u, l));
+    }
+    let p = skewed_networks_line(8, 80, 1.5, 2013).build().unwrap();
+    let u = p.universe();
+    let l = InstanceLayering::line_length_classes(&u);
+    out.push(("skewed-line".to_string(), u, l));
+    out
+}
+
+#[test]
+fn merged_adjacency_is_byte_identical_across_paths_and_thread_counts() {
+    for (name, universe, _) in universes() {
+        let flat = ConflictGraph::build(&universe);
+        for threads in [1usize, 2, 4] {
+            let merged = with_threads(threads, || {
+                let sharded = ShardedConflictGraph::build(&universe);
+                assert_eq!(sharded.num_edges(), flat.num_edges());
+                sharded.merged()
+            });
+            assert_same_graph(&flat, &merged, &format!("{name} @ {threads} threads"));
+        }
+    }
+}
+
+#[test]
+fn sharded_mis_equals_flat_mis_at_every_thread_count() {
+    // A windowed line instance large enough to clear the engine's parallel
+    // gates, so the shard-parallel code paths really execute.
+    let universe = many_networks_line(8, 150, 5).build().unwrap().universe();
+    assert!(universe.num_instances() >= 1024, "need a large active set");
+    let flat = ConflictGraph::build(&universe);
+    let sharded = ShardedConflictGraph::build(&universe);
+    let active: Vec<InstanceId> = universe.instance_ids().collect();
+    for strategy in [
+        MisStrategy::SequentialGreedy,
+        MisStrategy::Luby { seed: 17 },
+        MisStrategy::Luby { seed: 0xC0FFEE },
+    ] {
+        let mut stats = RoundStats::new();
+        let reference = maximal_independent_set(&flat, &active, strategy, &mut stats);
+        for threads in [1usize, 2, 4] {
+            let ours = with_threads(threads, || {
+                let mut scratch = MisScratch::new(universe.num_instances());
+                let mut stats = RoundStats::new();
+                sharded_mis(&sharded, &active, strategy, &mut stats, &mut scratch)
+            });
+            assert_eq!(reference, ours, "{strategy:?} @ {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn engine_schedules_match_the_reference_engine_exactly() {
+    let configs = [
+        AlgorithmConfig::deterministic(0.1),
+        AlgorithmConfig {
+            epsilon: 0.1,
+            mis: MisStrategy::Luby { seed: 99 },
+            seed: 99,
+        },
+    ];
+    for (name, universe, layering) in universes() {
+        for config in &configs {
+            let reference = run_two_phase_reference(&universe, &layering, RaiseRule::Unit, config);
+            for threads in [1usize, 4] {
+                let ours = with_threads(threads, || {
+                    let conflict = ShardedConflictGraph::build(&universe);
+                    run_two_phase_on(&universe, &conflict, &layering, RaiseRule::Unit, config)
+                });
+                ours.verify(&universe).unwrap();
+                assert_same_solution(
+                    &reference,
+                    &ours,
+                    &format!("{name} / {:?} @ {threads} threads", config.mis),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn tree_sessions_match_the_reference_engine_through_the_scheduler() {
+    let problem = many_networks_tree(8, 90, 23).build().unwrap();
+    let universe = problem.universe();
+    let layering =
+        InstanceLayering::for_tree_problem(&problem, &universe, TreeDecompositionKind::Ideal);
+    for config in [
+        AlgorithmConfig::deterministic(0.15),
+        AlgorithmConfig {
+            epsilon: 0.15,
+            mis: MisStrategy::Luby { seed: 7 },
+            seed: 7,
+        },
+    ] {
+        let reference = run_two_phase_reference(&universe, &layering, RaiseRule::Unit, &config);
+        let session = Scheduler::for_tree(&problem);
+        let a = session.solve(&config);
+        let b = session.solve(&config);
+        assert_same_solution(&reference, &a, "session vs reference");
+        assert_same_solution(&a, &b, "repeat solve");
+        // The sharded conflict graph is a session cache: one build for any
+        // number of solves.
+        assert_eq!(session.build_counts().conflict, 1);
+    }
+}
+
+#[test]
+fn narrow_rule_matches_reference_on_capacitated_instances() {
+    // Non-uniform capacities exercise the weighted-beta mirror tree and
+    // the range-minimum eligibility/can_add paths.
+    use netsched_graph::NetworkId;
+    use netsched_workloads::HeightDistribution;
+    let mut workload = many_networks_tree(5, 60, 31);
+    workload.heights = HeightDistribution::Mixed {
+        wide_fraction: 0.0,
+        min_narrow: 0.1,
+    };
+    let mut problem = workload.build().unwrap();
+    for t in 0..problem.num_networks() {
+        for e in (0..71).step_by(5) {
+            problem
+                .set_capacity(NetworkId::new(t), e, 1.5 + (e % 5) as f64 * 0.5)
+                .unwrap();
+        }
+    }
+    let universe = problem.universe();
+    assert!(!universe.is_uniform_capacity());
+    let layering =
+        InstanceLayering::for_tree_problem(&problem, &universe, TreeDecompositionKind::Ideal);
+    for rule in [RaiseRule::Unit, RaiseRule::Narrow] {
+        let config = AlgorithmConfig::deterministic(0.1);
+        let reference = run_two_phase_reference(&universe, &layering, rule, &config);
+        let ours = run_two_phase(&universe, &layering, rule, &config);
+        assert_same_solution(&reference, &ours, &format!("capacitated {rule:?}"));
+    }
+}

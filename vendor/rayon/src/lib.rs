@@ -1,15 +1,85 @@
 //! Offline drop-in shim for the subset of the `rayon` API used by the
-//! workspace: `par_iter().map(..).collect()` over slices and `Vec`s.
+//! workspace: `par_iter().map(..).collect()` over slices and `Vec`s, and
+//! `into_par_iter().map(..).collect()` over index ranges and owned `Vec`s
+//! (the shape of the per-shard loops in `netsched-distrib` and
+//! `netsched-core`).
 //!
 //! Work is genuinely executed in parallel with `std::thread::scope`
 //! (contiguous chunks, one OS thread per chunk, order-preserving collect),
 //! but there is no work stealing or global pool: the build environment has
 //! no crates.io access, so this shim keeps the experiment harness parallel
 //! and self-contained.
+//!
+//! The worker count defaults to `std::thread::available_parallelism` and can
+//! be pinned with [`ThreadPoolBuilder::build_global`], mirroring real
+//! rayon's global-pool configuration. One deliberate divergence: the shim
+//! allows reconfiguring the global worker count (real rayon errors on the
+//! second call), which the `shard_scaling` bench uses to sweep thread
+//! counts inside one process.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The public traits, mirroring `rayon::prelude`.
 pub mod prelude {
-    pub use crate::IntoParallelRefIterator;
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Globally configured worker count; 0 means "use the machine default".
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Configures the shim's global worker count, mirroring
+/// `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build_global`]; the shim
+/// never actually fails, the type exists for API compatibility.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "global thread pool could not be configured")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with the default (machine-sized) worker count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads; 0 restores the machine default.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Installs the configuration globally. Unlike real rayon this may be
+    /// called repeatedly; the latest call wins.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_THREADS.store(self.num_threads, Ordering::SeqCst);
+        Ok(())
+    }
+}
+
+/// The worker count parallel iterators currently run with.
+pub fn current_num_threads() -> usize {
+    match GLOBAL_THREADS.load(Ordering::SeqCst) {
+        0 => std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Effective number of workers for `n` items.
+fn effective_threads(n: usize) -> usize {
+    current_num_threads().min(n.max(1))
 }
 
 /// Types whose contents can be iterated in parallel by shared reference.
@@ -34,6 +104,99 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
 
     fn par_iter(&'a self) -> ParIter<'a, T> {
         ParIter { items: self }
+    }
+}
+
+/// Types that can be converted into an owning parallel iterator.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+
+    /// Consumes `self` and returns a parallel iterator over its items.
+    fn into_par_iter(self) -> IntoParIter<Self::Item>;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> IntoParIter<usize> {
+        IntoParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> IntoParIter<T> {
+        IntoParIter { items: self }
+    }
+}
+
+/// An owning parallel iterator.
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> IntoParIter<T> {
+    /// Maps every element through `f`, to be executed in parallel on
+    /// [`IntoParMap::collect`].
+    pub fn map<R, F>(self, f: F) -> IntoParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        IntoParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The result of [`IntoParIter::map`], executed on [`IntoParMap::collect`].
+pub struct IntoParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> IntoParMap<T, F> {
+    /// Runs the map in parallel and collects the results in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        let n = self.items.len();
+        let threads = effective_threads(n);
+        let f = &self.f;
+        if n == 0 || threads <= 1 {
+            return self.items.into_iter().map(f).collect();
+        }
+        // Split the owned items into contiguous chunks up front so every
+        // worker receives owned data; results are re-joined in input order.
+        let chunk = n.div_ceil(threads);
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+        let mut items = self.items.into_iter();
+        loop {
+            let c: Vec<T> = items.by_ref().take(chunk).collect();
+            if c.is_empty() {
+                break;
+            }
+            chunks.push(c);
+        }
+        let mut per_chunk: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            for handle in handles {
+                per_chunk.push(handle.join().expect("parallel map worker panicked"));
+            }
+        });
+        per_chunk.into_iter().flatten().collect()
     }
 }
 
@@ -72,10 +235,7 @@ impl<'a, T: Sync, F> ParMap<'a, T, F> {
         C: FromIterator<R>,
     {
         let n = self.items.len();
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(n.max(1));
+        let threads = effective_threads(n);
         let f = &self.f;
         if n == 0 || threads <= 1 {
             return self.items.iter().map(f).collect();
@@ -99,6 +259,7 @@ impl<'a, T: Sync, F> ParMap<'a, T, F> {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
 
     #[test]
     fn preserves_order_and_maps_all() {
@@ -116,5 +277,43 @@ mod tests {
         let empty: &[u32] = &[];
         let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn range_into_par_iter_preserves_order() {
+        let out: Vec<usize> = (0..1000).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(out.len(), 1000);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * i));
+        let empty: Vec<usize> = (7..7).into_par_iter().map(|i| i).collect();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn owned_vec_into_par_iter_moves_values_in_order() {
+        // Non-Copy payloads exercise the owned-chunk splitting.
+        let input: Vec<String> = (0..97).map(|i| format!("item-{i}")).collect();
+        let out: Vec<usize> = input.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(out.len(), 97);
+        assert_eq!(out[0], "item-0".len());
+        assert_eq!(out[96], "item-96".len());
+    }
+
+    #[test]
+    fn thread_pool_builder_pins_and_restores_the_worker_count() {
+        // NB: GLOBAL_THREADS is process-wide; this is the only test in
+        // this binary that touches it, and no sibling test asserts on the
+        // worker count, so the temporary pin cannot interfere.
+        ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build_global()
+            .unwrap();
+        assert_eq!(current_num_threads(), 2);
+        let out: Vec<usize> = (0..64).into_par_iter().map(|i| i + 1).collect();
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i + 1));
+        ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
+        assert!(current_num_threads() >= 1);
     }
 }
