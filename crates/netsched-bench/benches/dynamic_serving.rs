@@ -1,0 +1,354 @@
+//! Benchmark: incremental serving epochs versus from-scratch rebuilds.
+//!
+//! Replays the `churn-line` / `churn-tree` serving traces at several churn
+//! rates through two implementations of the same contract ("after this
+//! batch, give me the schedule of the surviving demand set"):
+//!
+//! * **incremental** — one long-lived `ServiceSession`: per epoch, splice
+//!   the universe, rebuild only the dirty shards' CSRs, splice the
+//!   layering, re-solve with the shard-parallel engine;
+//! * **from-scratch** — what a naive server does per batch: open a fresh
+//!   `Scheduler` over the surviving demand set (universe + sharding +
+//!   conflict sweep + decompositions + layering) and solve. Problem
+//!   assembly itself is kept *outside* the timer, so the comparison is
+//!   cache rebuild + solve on both sides.
+//!
+//! Both paths produce identical schedules (asserted on the final epoch;
+//! the full differential suite lives in `tests/dynamic_equivalence.rs`).
+//! Results are written to `BENCH_dynamic_serving.json`; run with `--quick`
+//! for the reduced CI configuration.
+
+use netsched_core::{AlgorithmConfig, Scheduler};
+use netsched_graph::{LineProblem, TreeProblem};
+use netsched_service::{replay_trace, ServiceSession};
+use netsched_workloads::json::JsonValue;
+use netsched_workloads::{
+    poisson_arrivals_line, poisson_arrivals_tree, scenario_by_name, ChurnSpec, EventTrace,
+    Scenario, TraceEvent,
+};
+use std::time::Instant;
+
+const CHURN_RATES: [f64; 3] = [0.02, 0.05, 0.10];
+
+enum Problem {
+    Tree(TreeProblem),
+    Line(LineProblem),
+}
+
+/// The from-scratch mirror: the surviving demand set as trace events.
+struct Mirror {
+    problem: Problem,
+    live: Vec<(usize, TraceEvent)>,
+    next_arrival: usize,
+}
+
+impl Mirror {
+    fn new(problem: Problem, initial: usize) -> Self {
+        let live = match &problem {
+            Problem::Tree(p) => p
+                .demands()
+                .iter()
+                .map(|d| {
+                    (
+                        d.id.index(),
+                        TraceEvent::ArriveTree {
+                            u: d.u,
+                            v: d.v,
+                            profit: d.profit,
+                            height: d.height,
+                            access: p.access(d.id).to_vec(),
+                        },
+                    )
+                })
+                .collect(),
+            Problem::Line(p) => p
+                .demands()
+                .iter()
+                .map(|d| {
+                    (
+                        d.id.index(),
+                        TraceEvent::ArriveLine {
+                            release: d.release,
+                            deadline: d.deadline,
+                            processing: d.processing,
+                            profit: d.profit,
+                            height: d.height,
+                            access: p.access(d.id).to_vec(),
+                        },
+                    )
+                })
+                .collect(),
+        };
+        Self {
+            problem,
+            live,
+            next_arrival: initial,
+        }
+    }
+
+    fn apply(&mut self, batch: &[TraceEvent]) {
+        for event in batch {
+            match event {
+                TraceEvent::Expire { arrival } => {
+                    let pos = self
+                        .live
+                        .iter()
+                        .position(|(a, _)| a == arrival)
+                        .expect("expiry of a live arrival");
+                    self.live.remove(pos);
+                }
+                arrive => {
+                    self.live.push((self.next_arrival, arrive.clone()));
+                    self.next_arrival += 1;
+                }
+            }
+        }
+    }
+
+    /// The surviving set as a fresh problem (not timed).
+    fn rebuild(&self) -> Problem {
+        match &self.problem {
+            Problem::Tree(base) => {
+                let mut p = TreeProblem::new(base.num_vertices());
+                for t in 0..base.num_networks() {
+                    let network = netsched_graph::NetworkId::new(t);
+                    let edges = base.network(network).edges().map(|(_, uv)| uv).collect();
+                    let id = p.add_network(edges).unwrap();
+                    for (e, &cap) in base.capacities(network).iter().enumerate() {
+                        if (cap - 1.0).abs() > f64::EPSILON {
+                            p.set_capacity(id, e, cap).unwrap();
+                        }
+                    }
+                }
+                for (_, event) in &self.live {
+                    if let TraceEvent::ArriveTree {
+                        u,
+                        v,
+                        profit,
+                        height,
+                        access,
+                    } = event
+                    {
+                        p.add_demand(*u, *v, *profit, *height, access.clone())
+                            .unwrap();
+                    }
+                }
+                Problem::Tree(p)
+            }
+            Problem::Line(base) => {
+                let mut p = LineProblem::new(base.timeslots(), base.num_resources());
+                for (_, event) in &self.live {
+                    if let TraceEvent::ArriveLine {
+                        release,
+                        deadline,
+                        processing,
+                        profit,
+                        height,
+                        access,
+                    } = event
+                    {
+                        p.add_demand(
+                            *release,
+                            *deadline,
+                            *processing,
+                            *profit,
+                            *height,
+                            access.clone(),
+                        )
+                        .unwrap();
+                    }
+                }
+                Problem::Line(p)
+            }
+        }
+    }
+}
+
+struct ChurnResult {
+    epochs: usize,
+    events: usize,
+    incremental_s: f64,
+    /// Splice + dirty-shard rebuild + layering portion of the incremental
+    /// epochs (from the session's own telemetry).
+    incremental_rebuild_s: f64,
+    /// Engine-solve portion of the incremental epochs.
+    incremental_solve_s: f64,
+    scratch_s: f64,
+    mean_dirty_shards: f64,
+    final_live: usize,
+}
+
+impl ChurnResult {
+    fn speedup(&self) -> f64 {
+        self.scratch_s / self.incremental_s
+    }
+
+    /// Cache-rebuild speedup: from-scratch rebuild time (everything but
+    /// the solve, which is identical on both sides) over the incremental
+    /// rebuild time.
+    fn rebuild_speedup(&self) -> f64 {
+        (self.scratch_s - self.incremental_solve_s) / self.incremental_rebuild_s
+    }
+
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("epochs", JsonValue::int(self.epochs)),
+            ("events", JsonValue::int(self.events)),
+            ("final_live_demands", JsonValue::int(self.final_live)),
+            (
+                "mean_incremental_epoch_ms",
+                JsonValue::num(1e3 * self.incremental_s / self.epochs as f64),
+            ),
+            (
+                "mean_incremental_rebuild_ms",
+                JsonValue::num(1e3 * self.incremental_rebuild_s / self.epochs as f64),
+            ),
+            (
+                "mean_incremental_solve_ms",
+                JsonValue::num(1e3 * self.incremental_solve_s / self.epochs as f64),
+            ),
+            (
+                "mean_scratch_epoch_ms",
+                JsonValue::num(1e3 * self.scratch_s / self.epochs as f64),
+            ),
+            ("mean_dirty_shards", JsonValue::num(self.mean_dirty_shards)),
+            ("epoch_speedup", JsonValue::num(self.speedup())),
+            ("rebuild_speedup", JsonValue::num(self.rebuild_speedup())),
+        ])
+    }
+}
+
+fn run_churn(scenario: &Scenario, churn: f64, epochs: usize) -> ChurnResult {
+    // Serving accuracy: ε = 0.25 (certified 4/(1−ε) ≈ 5.3 for the
+    // unit-height scenarios) — the latency/accuracy point a serving tier
+    // would run at; both paths solve with the same configuration.
+    let config = AlgorithmConfig::deterministic(0.25);
+    let spec = ChurnSpec {
+        epochs,
+        churn,
+        ..scenario.churn().expect("churn scenario").clone()
+    };
+    let (problem, trace, initial): (Problem, EventTrace, usize) = match scenario {
+        Scenario::Tree { workload, .. } => (
+            Problem::Tree(workload.build().unwrap()),
+            poisson_arrivals_tree(workload, &spec),
+            workload.demands,
+        ),
+        Scenario::Line { workload, .. } => (
+            Problem::Line(workload.build().unwrap()),
+            poisson_arrivals_line(workload, &spec),
+            workload.demands,
+        ),
+    };
+
+    // ---- incremental: one session, timed per epoch ----
+    let mut session = match &problem {
+        Problem::Tree(p) => ServiceSession::for_tree(p, config),
+        Problem::Line(p) => ServiceSession::for_line(p, config),
+    };
+    session.step(&[]).expect("initial solve"); // session warm-up, untimed
+    let start = Instant::now();
+    let deltas = replay_trace(&mut session, &trace).expect("trace replays");
+    let incremental_s = start.elapsed().as_secs_f64();
+    let mean_dirty_shards =
+        deltas.iter().map(|d| d.stats.dirty_shards).sum::<usize>() as f64 / deltas.len() as f64;
+    let incremental_rebuild_s: f64 = deltas.iter().map(|d| d.stats.rebuild_seconds).sum();
+    let incremental_solve_s: f64 = deltas.iter().map(|d| d.stats.solve_seconds).sum();
+
+    // ---- from-scratch: rebuild + solve per epoch (assembly untimed) ----
+    let mut mirror = Mirror::new(problem, initial);
+    let mut scratch_s = 0.0;
+    let mut scratch_profit = 0.0;
+    for batch in &trace.batches {
+        mirror.apply(batch);
+        let rebuilt = mirror.rebuild();
+        let start = Instant::now();
+        let solution = match &rebuilt {
+            Problem::Tree(p) => Scheduler::for_tree(p).solve(&config),
+            Problem::Line(p) => Scheduler::for_line(p).solve(&config),
+        };
+        scratch_s += start.elapsed().as_secs_f64();
+        scratch_profit = solution.profit;
+    }
+
+    // Same contract, same answer: the final standing schedules agree.
+    assert_eq!(
+        session.profit(),
+        scratch_profit,
+        "incremental and from-scratch schedules diverged"
+    );
+
+    ChurnResult {
+        epochs: trace.batches.len(),
+        events: trace.num_events(),
+        incremental_s,
+        incremental_rebuild_s,
+        incremental_solve_s,
+        scratch_s,
+        mean_dirty_shards,
+        final_live: session.live_demands(),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let epochs = if quick { 12 } else { 40 };
+    let mode = if quick { "quick" } else { "full" };
+    let host_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    let mut scenarios_json: Vec<(String, JsonValue)> = Vec::new();
+    for name in ["churn-line", "churn-tree"] {
+        let scenario = scenario_by_name(name).expect("churn scenario registered");
+        println!("\nbenchmark group: dynamic_serving/{name}");
+        println!(
+            "  networks: {}   epochs per churn rate: {epochs}",
+            match &scenario {
+                Scenario::Tree { workload, .. } => workload.networks,
+                Scenario::Line { workload, .. } => workload.resources,
+            }
+        );
+        let mut churn_json: Vec<(String, JsonValue)> = Vec::new();
+        for churn in CHURN_RATES {
+            let result = run_churn(&scenario, churn, epochs);
+            println!(
+                "  churn {:>4.0}%   incremental {:>8.3}ms/epoch (rebuild {:>6.3} + solve {:>6.3})   \
+                 from-scratch {:>8.3}ms/epoch   dirty shards {:>4.1}   epoch speedup {:.2}x   \
+                 rebuild speedup {:.2}x",
+                100.0 * churn,
+                1e3 * result.incremental_s / result.epochs as f64,
+                1e3 * result.incremental_rebuild_s / result.epochs as f64,
+                1e3 * result.incremental_solve_s / result.epochs as f64,
+                1e3 * result.scratch_s / result.epochs as f64,
+                result.mean_dirty_shards,
+                result.speedup(),
+                result.rebuild_speedup()
+            );
+            churn_json.push((format!("{churn}"), result.to_json()));
+        }
+        scenarios_json.push((
+            name.to_string(),
+            JsonValue::object(vec![(
+                "churn",
+                JsonValue::Object(churn_json.into_iter().collect()),
+            )]),
+        ));
+    }
+
+    let json = JsonValue::object(vec![
+        ("bench", JsonValue::String("dynamic_serving".to_string())),
+        ("mode", JsonValue::String(mode.to_string())),
+        ("host_threads", JsonValue::int(host_threads)),
+        (
+            "scenarios",
+            JsonValue::Object(scenarios_json.into_iter().collect()),
+        ),
+    ]);
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_dynamic_serving.json"
+    );
+    std::fs::write(path, json.render()).expect("writing BENCH_dynamic_serving.json must succeed");
+    println!("\nwrote BENCH_dynamic_serving.json ({mode} mode, host threads: {host_threads})");
+}

@@ -73,9 +73,10 @@ pub use line::{
 pub use sequential::{run_sequential, solve_sequential_on, solve_sequential_tree};
 pub use solution::{RunDiagnostics, Solution};
 pub use solver::{
-    registry, ArbitraryTreeSolver, BuildCounts, LineArbitrarySolver, LineNarrowSolver,
-    LineUnitSolver, NarrowTreeSolver, Portfolio, PortfolioRun, Problem, ProblemKind, Scheduler,
-    SequentialTreeSolver, SolveContext, Solver, SplitPart, UnitTreeSolver,
+    registry, solve_wide_narrow_on, ArbitraryTreeSolver, BuildCounts, EngineHalf,
+    LineArbitrarySolver, LineNarrowSolver, LineUnitSolver, NarrowTreeSolver, Portfolio,
+    PortfolioRun, Problem, ProblemKind, Scheduler, SequentialTreeSolver, SolveContext, Solver,
+    SplitPart, UnitTreeSolver,
 };
 pub use tree::{
     solve_arbitrary_tree, solve_arbitrary_tree_on, solve_narrow_tree, solve_narrow_tree_on,

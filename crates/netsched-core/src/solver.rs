@@ -686,44 +686,87 @@ pub fn translate_split_selection(
         .collect()
 }
 
-/// The wide/narrow combination of Theorems 6.3 and 7.2: run the unit-height
-/// engine on the wide half and the narrow engine on the narrow half (both
-/// from the session's cached split), then per network keep the more
-/// profitable schedule. The dual certificates add (`OPT ≤ ub_w + ub_n`).
-fn solve_wide_narrow(ctx: &SolveContext<'_>) -> Solution {
-    let universe = ctx.universe();
-    let wide = ctx.wide();
-    let narrow = ctx.narrow();
+/// One half of a wide/narrow split as borrowed engine inputs: the
+/// sub-universe, its (pre-built) sharded conflict graph and layering, and
+/// the map from sub-problem demand indices back to the original demand ids.
+///
+/// [`Scheduler`] sessions feed their cached [`SplitPart`]s through this
+/// view; the dynamic serving layer (`netsched-service`) feeds its
+/// incrementally maintained split cores — both run the exact same
+/// combination code, [`solve_wide_narrow_on`].
+#[derive(Clone, Copy)]
+pub struct EngineHalf<'a> {
+    /// The half's sub-universe.
+    pub universe: &'a DemandInstanceUniverse,
+    /// The sharded conflict graph of the sub-universe.
+    pub conflict: &'a ShardedConflictGraph,
+    /// The layering of the sub-universe.
+    pub layering: &'a InstanceLayering,
+    /// Sub-problem demand index → original demand id.
+    pub demand_map: &'a [DemandId],
+}
 
+impl<'a> EngineHalf<'a> {
+    /// The engine view of a cached [`SplitPart`].
+    pub fn of_split_part(part: &'a SplitPart) -> Self {
+        Self {
+            universe: &part.universe,
+            conflict: part.conflict(),
+            layering: &part.layering,
+            demand_map: &part.map,
+        }
+    }
+}
+
+/// The wide/narrow combination of Theorems 6.3 and 7.2 over
+/// externally-owned halves: run the unit-height engine on the wide half and
+/// the narrow engine on the narrow half, translate both schedules back into
+/// `universe`'s instance ids, then per network keep the more profitable
+/// schedule. The dual certificates add (`OPT ≤ ub_w + ub_n`).
+///
+/// This is the engine entry used both by the cached [`Scheduler`] session
+/// (via its split caches) and by the dynamic serving layer over a
+/// partially-rebuilt conflict graph; the output is a pure function of the
+/// halves and the configuration.
+pub fn solve_wide_narrow_on(
+    universe: &DemandInstanceUniverse,
+    wide: EngineHalf<'_>,
+    narrow: EngineHalf<'_>,
+    config: &AlgorithmConfig,
+) -> Solution {
     let wide_solution = if wide.universe.num_instances() > 0 {
         run_two_phase_on(
-            &wide.universe,
-            wide.conflict(),
-            &wide.layering,
+            wide.universe,
+            wide.conflict,
+            wide.layering,
             RaiseRule::Unit,
-            ctx.config(),
+            config,
         )
     } else {
         Solution::empty()
     };
     let narrow_solution = if narrow.universe.num_instances() > 0 {
         run_two_phase_on(
-            &narrow.universe,
-            narrow.conflict(),
-            &narrow.layering,
+            narrow.universe,
+            narrow.conflict,
+            narrow.layering,
             RaiseRule::Narrow,
-            ctx.config(),
+            config,
         )
     } else {
         Solution::empty()
     };
 
-    let wide_selected =
-        translate_split_selection(&wide.universe, &wide_solution.selected, &wide.map, universe);
+    let wide_selected = translate_split_selection(
+        wide.universe,
+        &wide_solution.selected,
+        wide.demand_map,
+        universe,
+    );
     let narrow_selected = translate_split_selection(
-        &narrow.universe,
+        narrow.universe,
         &narrow_solution.selected,
-        &narrow.map,
+        narrow.demand_map,
         universe,
     );
 
@@ -746,15 +789,15 @@ fn solve_wide_narrow(ctx: &SolveContext<'_>) -> Solution {
     stats.merge(&narrow_solution.stats);
 
     let mut raised_instances = translate_split_selection(
-        &wide.universe,
+        wide.universe,
         &wide_solution.raised_instances,
-        &wide.map,
+        wide.demand_map,
         universe,
     );
     raised_instances.extend(translate_split_selection(
-        &narrow.universe,
+        narrow.universe,
         &narrow_solution.raised_instances,
-        &narrow.map,
+        narrow.demand_map,
         universe,
     ));
     raised_instances.sort_unstable();
@@ -784,6 +827,16 @@ fn solve_wide_narrow(ctx: &SolveContext<'_>) -> Solution {
             optimum_upper_bound: wd.optimum_upper_bound + nd.optimum_upper_bound,
         },
     }
+}
+
+/// [`solve_wide_narrow_on`] over the session's cached split.
+fn solve_wide_narrow(ctx: &SolveContext<'_>) -> Solution {
+    solve_wide_narrow_on(
+        ctx.universe(),
+        EngineHalf::of_split_part(ctx.wide()),
+        EngineHalf::of_split_part(ctx.narrow()),
+        ctx.config(),
+    )
 }
 
 /// Theorem 5.3: the distributed `(7 + ε)`-approximation for unit-height /

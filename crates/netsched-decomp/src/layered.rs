@@ -16,7 +16,10 @@ use crate::balancing::balancing_decomposition;
 use crate::decomposition::TreeDecomposition;
 use crate::ideal::ideal_decomposition;
 use crate::root_fixing::root_fixing_decomposition;
-use netsched_graph::{DemandInstanceUniverse, EdgeId, InstanceId, TreeProblem, VertexId};
+use netsched_graph::{
+    DemandInstanceUniverse, EdgeId, EdgePath, InstanceId, NetworkId, TreeNetwork, TreeProblem,
+    VertexId,
+};
 
 /// Which tree decomposition to use when layering a tree problem.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,39 +69,8 @@ impl InstanceLayering {
         universe: &DemandInstanceUniverse,
         decompositions: &[TreeDecomposition],
     ) -> Self {
-        assert_eq!(decompositions.len(), problem.num_networks());
-        let pivot_sets: Vec<Vec<Vec<VertexId>>> = decompositions
-            .iter()
-            .enumerate()
-            .map(|(q, h)| h.pivot_sets(problem.network(netsched_graph::NetworkId::new(q))))
-            .collect();
-
-        let mut group = vec![0usize; universe.num_instances()];
-        let mut critical = vec![Vec::new(); universe.num_instances()];
-        for inst in universe.instances() {
-            let tree = problem.network(inst.network);
-            let h = &decompositions[inst.network.index()];
-            let demand = problem.demand(inst.demand);
-            let (a, b) = (demand.u, demand.v);
-            let path_vertices = tree.path_vertices(a, b);
-            let z = h.captured_at(&path_vertices);
-
-            // Group: instances captured at depth ℓ_q go to group 0, those at
-            // the root (depth 1) to group ℓ_q − 1.
-            group[inst.id.index()] = (h.max_depth() - h.depth_of(z)) as usize;
-
-            // Critical edges: wings of z plus wings of the bending point with
-            // respect to every pivot of z.
-            let mut edges = TreeDecomposition::wings_on_path(tree, &inst.path, z);
-            for &u in &pivot_sets[inst.network.index()][z.index()] {
-                let y = TreeDecomposition::bending_point(tree, a, b, u);
-                edges.extend(TreeDecomposition::wings_on_path(tree, &inst.path, y));
-            }
-            edges.sort_unstable();
-            edges.dedup();
-            critical[inst.id.index()] = edges;
-        }
-        Self::from_parts(group, critical)
+        TreeLayerer::from_decompositions(problem, decompositions.to_vec())
+            .layering(problem, universe)
     }
 
     /// Builds the layering for a tree problem using the chosen tree
@@ -109,16 +81,7 @@ impl InstanceLayering {
         universe: &DemandInstanceUniverse,
         kind: TreeDecompositionKind,
     ) -> Self {
-        let decomps: Vec<TreeDecomposition> = problem
-            .networks()
-            .iter()
-            .map(|t| match kind {
-                TreeDecompositionKind::RootFixing => root_fixing_decomposition(t, VertexId::new(0)),
-                TreeDecompositionKind::Balancing => balancing_decomposition(t),
-                TreeDecompositionKind::Ideal => ideal_decomposition(t),
-            })
-            .collect();
-        Self::from_tree_decompositions(problem, universe, &decomps)
+        TreeLayerer::new(problem, kind).layering(problem, universe)
     }
 
     /// The Appendix A layering: root-fixing decomposition per network with
@@ -161,19 +124,8 @@ impl InstanceLayering {
         let mut group = vec![0usize; universe.num_instances()];
         let mut critical = vec![Vec::new(); universe.num_instances()];
         for inst in universe.instances() {
-            let len = inst.len().max(1);
-            // Group i (0-based) holds lengths in [2^i · L_min, 2^{i+1} · L_min).
-            let ratio = len / l_min;
-            group[inst.id.index()] = (usize::BITS - 1 - ratio.leading_zeros()) as usize;
-
-            // Line instances are single interval runs; the critical edges
-            // are the two ends plus the midpoint, read off the bounds in
-            // O(1) without touching the per-edge representation.
-            let (s, e) = inst.path.bounds().expect("line instances are non-empty");
-            let mid = EdgeId::new((s.index() + e.index()) / 2);
-            let mut c = vec![s, mid, e];
-            c.sort_unstable();
-            c.dedup();
+            let (g, c) = line_assignment(l_min, &inst.path);
+            group[inst.id.index()] = g;
             critical[inst.id.index()] = c;
         }
         Self::from_parts(group, critical)
@@ -213,6 +165,44 @@ impl InstanceLayering {
         out
     }
 
+    /// Splices the layering in place after a universe splice
+    /// (`DemandInstanceUniverse::apply_demand_delta`): survivors keep their
+    /// per-instance assignment under the compacted ids given by `remap`
+    /// (old id → new id, `u32::MAX` = removed; must be monotone on
+    /// survivors, which the universe splice guarantees), and `additions`
+    /// supplies the `(group, critical)` assignment of every appended
+    /// instance in id order.
+    ///
+    /// Per-instance assignments are position-independent (they depend only
+    /// on the instance's own path and its network's decomposition), so the
+    /// spliced layering is byte-identical to a from-scratch build over the
+    /// new universe — at `O(|D|)` splice cost instead of a
+    /// `O(path)`-per-instance re-assignment.
+    pub fn splice(&mut self, remap: &[u32], additions: Vec<(usize, Vec<EdgeId>)>) {
+        assert_eq!(
+            remap.len(),
+            self.group.len(),
+            "remap must cover the layering"
+        );
+        let mut w = 0usize;
+        for (r, &m) in remap.iter().enumerate() {
+            if m != u32::MAX {
+                debug_assert_eq!(m as usize, w, "remap must be a stable compaction");
+                self.group.swap(w, r);
+                self.critical.swap(w, r);
+                w += 1;
+            }
+        }
+        self.group.truncate(w);
+        self.critical.truncate(w);
+        for (group, critical) in additions {
+            self.group.push(group);
+            self.critical.push(critical);
+        }
+        self.num_groups = self.group.iter().map(|g| g + 1).max().unwrap_or(0);
+        self.max_critical = self.critical.iter().map(|c| c.len()).max().unwrap_or(0);
+    }
+
     /// Verifies the defining property of layered decompositions against a
     /// universe: for any overlapping `d1 ∈ G_i`, `d2 ∈ G_j` with `i ≤ j`,
     /// `path(d2)` contains a critical edge of `d1`, and `π(d) ⊆ path(d)` for
@@ -249,6 +239,147 @@ impl InstanceLayering {
             }
         }
         Ok(())
+    }
+}
+
+/// The Section 7 per-instance line assignment: the length class of a
+/// (contiguous, non-empty) instance path relative to the universe's
+/// minimum instance length `l_min`, and its critical edges
+/// `π(d) = {s(d), mid(d), e(d)}`.
+///
+/// This is the single assignment rule behind
+/// [`InstanceLayering::line_length_classes`]; the dynamic serving layer
+/// calls it per *arriving* instance and splices the result (recomputing the
+/// whole layering only when `l_min` itself changes), so incremental and
+/// from-scratch line layerings are byte-identical by construction.
+pub fn line_assignment(l_min: usize, path: &EdgePath) -> (usize, Vec<EdgeId>) {
+    let len = path.len().max(1);
+    // Group i (0-based) holds lengths in [2^i · L_min, 2^{i+1} · L_min).
+    let ratio = len / l_min;
+    let group = (usize::BITS - 1 - ratio.leading_zeros()) as usize;
+
+    // Line instances are single interval runs; the critical edges are the
+    // two ends plus the midpoint, read off the bounds in O(1) without
+    // touching the per-edge representation.
+    let (s, e) = path.bounds().expect("line instances are non-empty");
+    let mid = EdgeId::new((s.index() + e.index()) / 2);
+    let mut c = vec![s, mid, e];
+    c.sort_unstable();
+    c.dedup();
+    (group, c)
+}
+
+/// Cached per-network tree decompositions plus their pivot sets, able to
+/// assign instances to layers **one at a time** — the building block of the
+/// dynamic-session path, where demands arrive and expire and only the new
+/// instances should pay the `O(path)` assignment cost.
+///
+/// Tree decompositions depend only on the (immutable) network topology, so
+/// one `TreeLayerer` serves a whole session: construct it once, then call
+/// [`TreeLayerer::assign`] per arriving instance and splice the results
+/// into the long-lived [`InstanceLayering`] via
+/// [`InstanceLayering::splice`]. The static builders
+/// ([`InstanceLayering::for_tree_problem`],
+/// [`InstanceLayering::from_tree_decompositions`]) route through the same
+/// assignment code, so incremental and from-scratch layerings are
+/// byte-identical by construction.
+#[derive(Debug, Clone)]
+pub struct TreeLayerer {
+    decomps: Vec<TreeDecomposition>,
+    pivot_sets: Vec<Vec<Vec<VertexId>>>,
+}
+
+impl TreeLayerer {
+    /// Builds the decompositions of every network of `problem` with the
+    /// chosen construction and caches their pivot sets.
+    pub fn new(problem: &TreeProblem, kind: TreeDecompositionKind) -> Self {
+        let decomps: Vec<TreeDecomposition> = problem
+            .networks()
+            .iter()
+            .map(|t| match kind {
+                TreeDecompositionKind::RootFixing => root_fixing_decomposition(t, VertexId::new(0)),
+                TreeDecompositionKind::Balancing => balancing_decomposition(t),
+                TreeDecompositionKind::Ideal => ideal_decomposition(t),
+            })
+            .collect();
+        Self::from_decompositions(problem, decomps)
+    }
+
+    /// Wraps already-built decompositions (one per network of `problem`).
+    pub fn from_decompositions(problem: &TreeProblem, decomps: Vec<TreeDecomposition>) -> Self {
+        assert_eq!(decomps.len(), problem.num_networks());
+        let pivot_sets: Vec<Vec<Vec<VertexId>>> = decomps
+            .iter()
+            .enumerate()
+            .map(|(q, h)| h.pivot_sets(problem.network(NetworkId::new(q))))
+            .collect();
+        Self {
+            decomps,
+            pivot_sets,
+        }
+    }
+
+    /// The cached decomposition of one network.
+    #[inline]
+    pub fn decomposition(&self, t: NetworkId) -> &TreeDecomposition {
+        &self.decomps[t.index()]
+    }
+
+    /// Assigns one instance — the demand `⟨u, v⟩` routed along `path` on
+    /// `network` (a network of the problem the layerer was built from) — to
+    /// its layer: returns `(group, critical edges)` exactly as the
+    /// from-scratch builders would (Lemma 4.2: wings of the capture point
+    /// plus wings of the bending point of every pivot).
+    pub fn assign(
+        &self,
+        tree: &TreeNetwork,
+        network: NetworkId,
+        u: VertexId,
+        v: VertexId,
+        path: &EdgePath,
+    ) -> (usize, Vec<EdgeId>) {
+        let h = &self.decomps[network.index()];
+        let path_vertices = tree.path_vertices(u, v);
+        let z = h.captured_at(&path_vertices);
+
+        // Group: instances captured at depth ℓ_q go to group 0, those at
+        // the root (depth 1) to group ℓ_q − 1.
+        let group = (h.max_depth() - h.depth_of(z)) as usize;
+
+        // Critical edges: wings of z plus wings of the bending point with
+        // respect to every pivot of z.
+        let mut edges = TreeDecomposition::wings_on_path(tree, path, z);
+        for &p in &self.pivot_sets[network.index()][z.index()] {
+            let y = TreeDecomposition::bending_point(tree, u, v, p);
+            edges.extend(TreeDecomposition::wings_on_path(tree, path, y));
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        (group, edges)
+    }
+
+    /// Assigns every instance of a universe (Lemma 4.2, merging the
+    /// per-network groups as `G_k = ∪_q G_k^{(q)}`).
+    pub fn layering(
+        &self,
+        problem: &TreeProblem,
+        universe: &DemandInstanceUniverse,
+    ) -> InstanceLayering {
+        let mut group = vec![0usize; universe.num_instances()];
+        let mut critical = vec![Vec::new(); universe.num_instances()];
+        for inst in universe.instances() {
+            let demand = problem.demand(inst.demand);
+            let (g, c) = self.assign(
+                problem.network(inst.network),
+                inst.network,
+                demand.u,
+                demand.v,
+                &inst.path,
+            );
+            group[inst.id.index()] = g;
+            critical[inst.id.index()] = c;
+        }
+        InstanceLayering::from_parts(group, critical)
     }
 }
 
@@ -431,6 +562,86 @@ mod tests {
             for &d in g {
                 assert_eq!(layering.group(d), gi);
             }
+        }
+    }
+
+    #[test]
+    fn tree_layerer_assign_matches_the_batch_builder() {
+        let p = figure6_many_demands();
+        let u = p.universe();
+        for kind in [
+            TreeDecompositionKind::RootFixing,
+            TreeDecompositionKind::Balancing,
+            TreeDecompositionKind::Ideal,
+        ] {
+            let reference = InstanceLayering::for_tree_problem(&p, &u, kind);
+            let layerer = TreeLayerer::new(&p, kind);
+            for inst in u.instances() {
+                let demand = p.demand(inst.demand);
+                let (g, c) = layerer.assign(
+                    p.network(inst.network),
+                    inst.network,
+                    demand.u,
+                    demand.v,
+                    &inst.path,
+                );
+                assert_eq!(g, reference.group(inst.id), "group of {}", inst.id);
+                assert_eq!(c, reference.critical(inst.id), "critical of {}", inst.id);
+            }
+        }
+    }
+
+    #[test]
+    fn splice_reproduces_a_from_scratch_layering() {
+        let p = figure6_many_demands();
+        let u = p.universe();
+        let full = InstanceLayering::for_tree_problem(&p, &u, TreeDecompositionKind::Ideal);
+
+        // Remove instances 1 and 3, append copies of instances 0 and 2's
+        // assignments: the spliced layering must equal `from_parts` on the
+        // same per-instance data.
+        let n = u.num_instances();
+        let mut remap = vec![0u32; n];
+        let mut next = 0u32;
+        for (i, slot) in remap.iter_mut().enumerate() {
+            if i == 1 || i == 3 {
+                *slot = u32::MAX;
+            } else {
+                *slot = next;
+                next += 1;
+            }
+        }
+        let additions: Vec<(usize, Vec<netsched_graph::EdgeId>)> = [0usize, 2]
+            .iter()
+            .map(|&i| {
+                let d = InstanceId::new(i);
+                (full.group(d), full.critical(d).to_vec())
+            })
+            .collect();
+
+        let mut spliced = full.clone();
+        spliced.splice(&remap, additions.clone());
+
+        let mut group = Vec::new();
+        let mut critical = Vec::new();
+        for i in 0..n {
+            if i != 1 && i != 3 {
+                let d = InstanceId::new(i);
+                group.push(full.group(d));
+                critical.push(full.critical(d).to_vec());
+            }
+        }
+        for (g, c) in additions {
+            group.push(g);
+            critical.push(c);
+        }
+        let fresh = InstanceLayering::from_parts(group, critical);
+        assert_eq!(spliced.num_groups(), fresh.num_groups());
+        assert_eq!(spliced.max_critical(), fresh.max_critical());
+        for i in 0..n - 2 + 2 {
+            let d = InstanceId::new(i);
+            assert_eq!(spliced.group(d), fresh.group(d), "group of {d}");
+            assert_eq!(spliced.critical(d), fresh.critical(d), "critical of {d}");
         }
     }
 

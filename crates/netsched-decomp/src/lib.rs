@@ -26,5 +26,5 @@ pub mod root_fixing;
 pub use balancing::balancing_decomposition;
 pub use decomposition::TreeDecomposition;
 pub use ideal::{ideal_decomposition, ideal_depth_bound};
-pub use layered::{InstanceLayering, TreeDecompositionKind};
+pub use layered::{line_assignment, InstanceLayering, TreeDecompositionKind, TreeLayerer};
 pub use root_fixing::root_fixing_decomposition;

@@ -31,8 +31,12 @@
 //! (the per-shard pair sets are disjoint and deterministic, so the merge
 //! is a permutation-free set union).
 
-use netsched_graph::{DemandInstanceUniverse, InstanceId, NetworkId, ShardedUniverse};
+use netsched_graph::{
+    DemandInstanceUniverse, InstanceId, NetworkId, ShardedUniverse, UniverseDelta, UniverseShard,
+};
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// The conflict graph of a demand-instance universe, in CSR form.
 #[derive(Debug, Clone)]
@@ -241,15 +245,105 @@ impl ShardConflict {
     }
 }
 
+/// Per-shard local `(low, high)` pair lists plus the global cross-shard
+/// pair list, as returned by [`route_demand_cliques`].
+type RoutedCliques = (Vec<Vec<(u32, u32)>>, Vec<(u32, u32)>);
+
+/// Routes every same-demand clique pair of the universe: pairs whose
+/// endpoints share a network go to that shard's local list (as ascending
+/// local ids — locals follow global order within a shard) for the shards
+/// selected by `keep`, and pairs spanning networks go to the global
+/// cross-shard list (always collected in full — cross rows are assembled
+/// wholesale). Shared by the from-scratch construction (`keep` everything)
+/// and the delta rebuild (`keep` the dirty shards) so the routing rule
+/// exists exactly once.
+fn route_demand_cliques(
+    universe: &DemandInstanceUniverse,
+    sharding: &ShardedUniverse,
+    keep: impl Fn(usize) -> bool,
+) -> RoutedCliques {
+    let mut demand_pairs: Vec<Vec<(u32, u32)>> = vec![Vec::new(); sharding.num_shards()];
+    let mut cross_pairs: Vec<(u32, u32)> = Vec::new();
+    for a in 0..universe.num_demands() {
+        let group = universe.instances_of_demand(netsched_graph::DemandId::new(a));
+        for (i, &d1) in group.iter().enumerate() {
+            for &d2 in &group[i + 1..] {
+                let (t1, t2) = (sharding.shard_of(d1), sharding.shard_of(d2));
+                if t1 == t2 {
+                    if keep(t1.index()) {
+                        demand_pairs[t1.index()]
+                            .push((sharding.local_of(d1), sharding.local_of(d2)));
+                    }
+                } else {
+                    cross_pairs.push(ordered(d1, d2));
+                }
+            }
+        }
+    }
+    (demand_pairs, cross_pairs)
+}
+
+/// One shard's local CSR from its (pre-sorted) run array plus the local
+/// same-demand pairs routed to it. This is the complete per-shard build —
+/// interval sweep, sort, dedup, CSR assembly — shared verbatim by the
+/// from-scratch construction ([`ShardedConflictGraph::build_with`]) and the
+/// dirty-shard rebuild ([`ShardedConflictGraph::apply_delta`]), so the two
+/// paths cannot drift apart.
+fn sweep_shard(shard: &UniverseShard, mut pairs: Vec<(u32, u32)>) -> ShardConflict {
+    let mut active: Vec<(u32, u32)> = Vec::new(); // (end, local)
+    for run in shard.runs() {
+        active.retain(|&(e, _)| e >= run.start);
+        for &(_, other) in &active {
+            if other != run.local {
+                pairs.push(if other < run.local {
+                    (other, run.local)
+                } else {
+                    (run.local, other)
+                });
+            }
+        }
+        active.push((run.end, run.local));
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    ShardConflict::from_pairs(shard.len(), &pairs)
+}
+
 /// The conflict graph in sharded form: one local CSR per network plus a
 /// compact cross-shard adjacency holding the same-demand cliques that span
 /// networks (the only conflict edges that ever cross a shard boundary).
-#[derive(Debug, Clone)]
+///
+/// The graph is *mutable over time*: [`ShardedConflictGraph::apply_delta`]
+/// re-synchronizes it with a universe splice by rebuilding only the dirty
+/// shards' local CSRs and the cross-shard rows, bumping a generation
+/// counter that also keys the cached [`merged`](ShardedConflictGraph::merged)
+/// fold.
+#[derive(Debug)]
 pub struct ShardedConflictGraph {
     sharding: ShardedUniverse,
     shards: Vec<ShardConflict>,
     /// Cross-shard same-demand edges, as a global CSR.
     cross: ConflictGraph,
+    /// Bumped by every [`ShardedConflictGraph::apply_delta`]; keys the
+    /// merged-fold cache.
+    generation: u64,
+    /// Cached result of [`ShardedConflictGraph::merged`] for `generation`.
+    merged_cache: Mutex<Option<(u64, ConflictGraph)>>,
+    /// How many times the merged fold actually ran (tests pin the caching).
+    merged_folds: AtomicU64,
+}
+
+impl Clone for ShardedConflictGraph {
+    fn clone(&self) -> Self {
+        Self {
+            sharding: self.sharding.clone(),
+            shards: self.shards.clone(),
+            cross: self.cross.clone(),
+            generation: self.generation,
+            merged_cache: Mutex::new(self.merged_cache.lock().unwrap().clone()),
+            merged_folds: AtomicU64::new(self.merged_folds.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl ShardedConflictGraph {
@@ -266,53 +360,16 @@ impl ShardedConflictGraph {
     /// serially beforehand into per-shard and cross-shard pair lists
     /// (`O(Σ |Inst(a)|²)`, the size of the cliques themselves).
     pub fn build_with(universe: &DemandInstanceUniverse, sharding: ShardedUniverse) -> Self {
-        let num_shards = sharding.num_shards();
         // Same-demand cliques, routed to the owning shard when both
         // endpoints share a network and to the cross-shard list otherwise.
-        let mut demand_pairs: Vec<Vec<(u32, u32)>> = vec![Vec::new(); num_shards];
-        let mut cross_pairs: Vec<(u32, u32)> = Vec::new();
-        for a in 0..universe.num_demands() {
-            let group = universe.instances_of_demand(netsched_graph::DemandId::new(a));
-            for (i, &d1) in group.iter().enumerate() {
-                for &d2 in &group[i + 1..] {
-                    let (t1, t2) = (sharding.shard_of(d1), sharding.shard_of(d2));
-                    if t1 == t2 {
-                        // Locals follow global order, so (d1, d2) ascending
-                        // maps to ascending locals.
-                        demand_pairs[t1.index()]
-                            .push((sharding.local_of(d1), sharding.local_of(d2)));
-                    } else {
-                        cross_pairs.push(ordered(d1, d2));
-                    }
-                }
-            }
-        }
+        let (demand_pairs, mut cross_pairs) = route_demand_cliques(universe, &sharding, |_| true);
 
         // One task per shard: interval sweep + same-demand pairs → local CSR.
         let work: Vec<(usize, Vec<(u32, u32)>)> = demand_pairs.into_iter().enumerate().collect();
         let sharding_ref = &sharding;
         let shards: Vec<ShardConflict> = work
             .into_par_iter()
-            .map(move |(t, mut pairs)| {
-                let shard = &sharding_ref.shards()[t];
-                let mut active: Vec<(u32, u32)> = Vec::new(); // (end, local)
-                for run in shard.runs() {
-                    active.retain(|&(e, _)| e >= run.start);
-                    for &(_, other) in &active {
-                        if other != run.local {
-                            pairs.push(if other < run.local {
-                                (other, run.local)
-                            } else {
-                                (run.local, other)
-                            });
-                        }
-                    }
-                    active.push((run.end, run.local));
-                }
-                pairs.sort_unstable();
-                pairs.dedup();
-                ShardConflict::from_pairs(shard.len(), &pairs)
-            })
+            .map(move |(t, pairs)| sweep_shard(&sharding_ref.shards()[t], pairs))
             .collect();
 
         cross_pairs.sort_unstable();
@@ -323,7 +380,72 @@ impl ShardedConflictGraph {
             sharding,
             shards,
             cross,
+            generation: 0,
+            merged_cache: Mutex::new(None),
+            merged_folds: AtomicU64::new(0),
         }
+    }
+
+    /// Re-synchronizes the graph with a universe splice
+    /// ([`DemandInstanceUniverse::apply_demand_delta`]): the owned
+    /// [`ShardedUniverse`] is spliced in place, the local CSRs of the
+    /// delta's **dirty** shards are rebuilt by the same per-shard sweep the
+    /// from-scratch construction uses (driven shard-parallel through
+    /// rayon), clean shards are kept untouched (their local id space did
+    /// not change), and the cross-shard same-demand CSR — whose global ids
+    /// were renumbered by the splice — is re-assembled from the surviving
+    /// demand cliques.
+    ///
+    /// Cost: `O(|D| + Σ |Inst(a)|²)` for the clique routing and cross
+    /// re-assembly plus the full sweep cost of the dirty shards only; a
+    /// batch that touches `k` of `r` networks leaves the other `r − k`
+    /// shards' sweep, sort and CSR assembly entirely unpaid. The result is
+    /// byte-identical to `ShardedConflictGraph::build(universe)`.
+    ///
+    /// Bumps the [`generation`](ShardedConflictGraph::generation) counter,
+    /// invalidating the cached [`merged`](ShardedConflictGraph::merged)
+    /// fold.
+    pub fn apply_delta(&mut self, universe: &DemandInstanceUniverse, delta: &UniverseDelta) {
+        self.sharding.apply_delta(universe, delta);
+
+        // Same-demand cliques: local pairs for dirty shards, plus the full
+        // cross-shard list (it is renumbered wholesale by the splice).
+        let dirty = delta.dirty();
+        let (demand_pairs, mut cross_pairs) =
+            route_demand_cliques(universe, &self.sharding, |t| dirty[t]);
+
+        let sharding_ref = &self.sharding;
+        let work: Vec<(usize, Vec<(u32, u32)>)> = demand_pairs
+            .into_iter()
+            .enumerate()
+            .filter(|&(t, _)| dirty[t])
+            .collect();
+        let rebuilt: Vec<(usize, ShardConflict)> = work
+            .into_par_iter()
+            .map(move |(t, pairs)| (t, sweep_shard(&sharding_ref.shards()[t], pairs)))
+            .collect();
+        for (t, shard) in rebuilt {
+            self.shards[t] = shard;
+        }
+
+        cross_pairs.sort_unstable();
+        cross_pairs.dedup();
+        self.cross = assemble_csr(universe.num_instances(), &cross_pairs);
+        self.generation += 1;
+    }
+
+    /// The current generation: 0 after a from-scratch build, bumped by
+    /// every [`ShardedConflictGraph::apply_delta`].
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// How many times the merged fold has actually run (as opposed to being
+    /// served from the generation-keyed cache).
+    #[inline]
+    pub fn merged_fold_count(&self) -> u64 {
+        self.merged_folds.load(Ordering::Relaxed)
     }
 
     /// The universe partition the graph was built on.
@@ -387,7 +509,27 @@ impl ShardedConflictGraph {
     /// deterministic and disjoint across shards, cross pairs are disjoint
     /// from both, and [`assemble_csr`] is a pure function of the sorted
     /// pair set.
+    ///
+    /// The fold is cached behind the graph's generation counter: repeated
+    /// calls between mutations return a clone of the cached CSR (one
+    /// `memcpy`-class copy) instead of re-folding, and
+    /// [`ShardedConflictGraph::apply_delta`] invalidates the cache by
+    /// bumping the generation.
     pub fn merged(&self) -> ConflictGraph {
+        let mut cache = self.merged_cache.lock().expect("merged cache poisoned");
+        if let Some((generation, graph)) = cache.as_ref() {
+            if *generation == self.generation {
+                return graph.clone();
+            }
+        }
+        let graph = self.fold_merged();
+        self.merged_folds.fetch_add(1, Ordering::Relaxed);
+        *cache = Some((self.generation, graph.clone()));
+        graph
+    }
+
+    /// The uncached merged fold behind [`ShardedConflictGraph::merged`].
+    fn fold_merged(&self) -> ConflictGraph {
         let mut pairs: Vec<(u32, u32)> = Vec::new();
         let shard_pairs: Vec<Vec<(u32, u32)>> = (0..self.shards.len())
             .into_par_iter()
@@ -540,6 +682,104 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn apply_delta_is_byte_identical_to_a_from_scratch_build() {
+        use netsched_graph::{ArrivingDemand, DemandId, TreeProblem, UniverseDelta, VertexId};
+
+        let mut p = TreeProblem::new(8);
+        let line: Vec<(VertexId, VertexId)> = (0..7)
+            .map(|i| (VertexId::new(i), VertexId::new(i + 1)))
+            .collect();
+        let t0 = p.add_network(line.clone()).unwrap();
+        let t1 = p.add_network(line.clone()).unwrap();
+        let t2 = p.add_network(line).unwrap();
+        p.add_unit_demand(VertexId(0), VertexId(4), 1.0, vec![t0, t1])
+            .unwrap();
+        p.add_unit_demand(VertexId(2), VertexId(6), 2.0, vec![t0])
+            .unwrap();
+        p.add_unit_demand(VertexId(1), VertexId(3), 3.0, vec![t1, t2])
+            .unwrap();
+        p.add_unit_demand(VertexId(5), VertexId(7), 4.0, vec![t2])
+            .unwrap();
+        let mut universe = p.universe();
+        let mut incremental = ShardedConflictGraph::build(&universe);
+        let mut delta = UniverseDelta::new();
+
+        // Epoch 1: expire demand 1 (network 0), add a demand on networks
+        // 0 and 2. Epoch 2: expire demand 0, empty arrivals.
+        let batches: Vec<(Vec<DemandId>, Vec<ArrivingDemand>)> = vec![
+            (
+                vec![DemandId(1)],
+                vec![ArrivingDemand {
+                    profit: 9.0,
+                    height: 1.0,
+                    instances: vec![
+                        (t0, p.network(t0).path_edges(VertexId(3), VertexId(6)), None),
+                        (t2, p.network(t2).path_edges(VertexId(3), VertexId(6)), None),
+                    ],
+                }],
+            ),
+            (vec![DemandId(0)], vec![]),
+        ];
+        for (expired, arrivals) in batches {
+            universe.apply_demand_delta(&expired, &arrivals, &mut delta);
+            incremental.apply_delta(&universe, &delta);
+
+            let fresh = ShardedConflictGraph::build(&universe);
+            let flat = ConflictGraph::build(&universe);
+            let merged = incremental.merged();
+            assert_eq!(flat.offsets, merged.offsets);
+            assert_eq!(flat.neighbors, merged.neighbors);
+            assert_eq!(incremental.num_edges(), fresh.num_edges());
+            for t in 0..incremental.num_shards() {
+                let network = NetworkId::new(t);
+                let (a, b) = (incremental.shard(network), fresh.shard(network));
+                assert_eq!(a.num_vertices(), b.num_vertices(), "shard {t}");
+                assert_eq!(a.num_edges(), b.num_edges(), "shard {t}");
+                for v in 0..a.num_vertices() as u32 {
+                    assert_eq!(a.neighbors(v), b.neighbors(v), "shard {t} vertex {v}");
+                }
+            }
+            for d in universe.instance_ids() {
+                assert_eq!(
+                    incremental.cross_neighbors(d),
+                    fresh.cross_neighbors(d),
+                    "cross row of {d}"
+                );
+                assert_eq!(incremental.degree(d), flat.degree(d), "degree of {d}");
+            }
+        }
+        assert_eq!(incremental.generation(), 2);
+    }
+
+    #[test]
+    fn merged_fold_is_cached_behind_the_generation_counter() {
+        use netsched_graph::{DemandId, UniverseDelta};
+
+        let mut universe = two_tree_problem().universe();
+        let mut sharded = ShardedConflictGraph::build(&universe);
+        assert_eq!(sharded.merged_fold_count(), 0);
+        let a = sharded.merged();
+        let b = sharded.merged();
+        assert_eq!(a.offsets, b.offsets);
+        assert_eq!(a.neighbors, b.neighbors);
+        assert_eq!(
+            sharded.merged_fold_count(),
+            1,
+            "second call must be served from the cache"
+        );
+
+        // A delta bumps the generation and invalidates the cache once.
+        let mut delta = UniverseDelta::new();
+        universe.apply_demand_delta(&[DemandId(0)], &[], &mut delta);
+        sharded.apply_delta(&universe, &delta);
+        assert_eq!(sharded.generation(), 1);
+        let c = sharded.merged();
+        let _ = sharded.merged();
+        assert_eq!(sharded.merged_fold_count(), 2);
+        assert_eq!(c.offsets, ConflictGraph::build(&universe).offsets);
     }
 
     #[test]

@@ -85,7 +85,9 @@ pub use path::{EdgePath, EdgeRun};
 pub use problem::TreeProblem;
 pub use shard::{ShardRun, ShardedUniverse, UniverseShard};
 pub use tree::TreeNetwork;
-pub use universe::{DemandInstance, DemandInstanceUniverse, LoadTracker};
+pub use universe::{
+    ArrivingDemand, DemandInstance, DemandInstanceUniverse, LoadTracker, UniverseDelta,
+};
 
 /// Tolerance used throughout the workspace when comparing floating-point
 /// profits, heights and dual values.

@@ -100,25 +100,27 @@ impl LineProblem {
         }
     }
 
-    /// Adds a windowed demand; returns its id.
-    ///
-    /// `release` and `deadline` are timeslot indices (inclusive window);
-    /// `processing` is the number of consecutive timeslots required.
-    #[allow(clippy::too_many_arguments)]
-    pub fn add_demand(
-        &mut self,
+    /// Validates a prospective demand against this problem without adding
+    /// it: the exact checks [`LineProblem::add_demand`] performs (which
+    /// delegates here), exposed so admission layers — the dynamic service
+    /// in `netsched-service` — share one validator and cannot drift.
+    pub fn validate_demand(
+        &self,
         release: u32,
         deadline: u32,
         processing: u32,
         profit: f64,
         height: f64,
-        access: Vec<NetworkId>,
-    ) -> Result<DemandId, GraphError> {
+        access: &[NetworkId],
+    ) -> Result<(), GraphError> {
         let id = DemandId::new(self.demands.len());
+        // The window check is evaluated in u64 so a near-u32::MAX
+        // processing time from an untrusted admission request cannot wrap
+        // `release + processing` past the deadline and slip through.
         if processing == 0
             || deadline < release
             || (deadline as usize) >= self.timeslots
-            || release + processing > deadline + 1
+            || release as u64 + processing as u64 > deadline as u64 + 1
         {
             return Err(GraphError::InvalidWindow {
                 demand: id,
@@ -136,7 +138,7 @@ impl LineProblem {
         if access.is_empty() {
             return Err(GraphError::EmptyAccessSet { demand: id });
         }
-        for &t in &access {
+        for &t in access {
             if t.index() >= self.num_resources {
                 return Err(GraphError::UnknownNetwork {
                     network: t,
@@ -144,6 +146,25 @@ impl LineProblem {
                 });
             }
         }
+        Ok(())
+    }
+
+    /// Adds a windowed demand; returns its id.
+    ///
+    /// `release` and `deadline` are timeslot indices (inclusive window);
+    /// `processing` is the number of consecutive timeslots required.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_demand(
+        &mut self,
+        release: u32,
+        deadline: u32,
+        processing: u32,
+        profit: f64,
+        height: f64,
+        access: Vec<NetworkId>,
+    ) -> Result<DemandId, GraphError> {
+        self.validate_demand(release, deadline, processing, profit, height, &access)?;
+        let id = DemandId::new(self.demands.len());
         let mut access = access;
         access.sort_unstable();
         access.dedup();

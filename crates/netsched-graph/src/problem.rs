@@ -84,16 +84,18 @@ impl TreeProblem {
         self.add_demand(u, v, profit, 1.0, access)
     }
 
-    /// Adds a demand with an arbitrary height and the given access set;
-    /// returns its id.
-    pub fn add_demand(
-        &mut self,
+    /// Validates a prospective demand against this problem without adding
+    /// it: the exact checks [`TreeProblem::add_demand`] performs (which
+    /// delegates here), exposed so admission layers — the dynamic service
+    /// in `netsched-service` — share one validator and cannot drift.
+    pub fn validate_demand(
+        &self,
         u: VertexId,
         v: VertexId,
         profit: f64,
         height: f64,
-        access: Vec<NetworkId>,
-    ) -> Result<DemandId, GraphError> {
+        access: &[NetworkId],
+    ) -> Result<(), GraphError> {
         let id = DemandId::new(self.demands.len());
         if u == v {
             return Err(GraphError::DegenerateDemand { demand: id });
@@ -116,7 +118,7 @@ impl TreeProblem {
         if access.is_empty() {
             return Err(GraphError::EmptyAccessSet { demand: id });
         }
-        for &t in &access {
+        for &t in access {
             if t.index() >= self.networks.len() {
                 return Err(GraphError::UnknownNetwork {
                     network: t,
@@ -124,6 +126,21 @@ impl TreeProblem {
                 });
             }
         }
+        Ok(())
+    }
+
+    /// Adds a demand with an arbitrary height and the given access set;
+    /// returns its id.
+    pub fn add_demand(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        profit: f64,
+        height: f64,
+        access: Vec<NetworkId>,
+    ) -> Result<DemandId, GraphError> {
+        self.validate_demand(u, v, profit, height, &access)?;
+        let id = DemandId::new(self.demands.len());
         let mut access = access;
         access.sort_unstable();
         access.dedup();

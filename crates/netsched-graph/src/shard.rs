@@ -18,7 +18,7 @@
 //! through the id table.
 
 use crate::ids::{InstanceId, NetworkId};
-use crate::universe::DemandInstanceUniverse;
+use crate::universe::{DemandInstanceUniverse, UniverseDelta};
 
 /// One interval run of one instance within a shard, in local instance ids.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -183,6 +183,63 @@ impl ShardedUniverse {
     pub fn to_global(&self, t: NetworkId, local: u32) -> InstanceId {
         self.shards[t.index()].global_of(local)
     }
+
+    /// Re-synchronizes the partition with a universe that was just spliced
+    /// by [`DemandInstanceUniverse::apply_demand_delta`], rebuilding only
+    /// the shards of the delta's **dirty** networks.
+    ///
+    /// * Clean shards keep their instances and local ids by construction,
+    ///   so their run arrays are untouched (no re-sort) and only the
+    ///   global-id column is renumbered through the delta's instance remap
+    ///   — `O(shard size)` with no path or sort work.
+    /// * Dirty shards are rebuilt from the universe: globals refilled from
+    ///   `instances_on_network`, run arrays re-collected and re-sorted.
+    ///   Both vectors are reused as sweep scratch (cleared and refilled in
+    ///   place), so steady-state epochs allocate nothing.
+    /// * The global `shard_of` / `local_of` tables are refilled in one
+    ///   `O(|D|)` pass.
+    ///
+    /// The result is byte-identical to `ShardedUniverse::build(universe)`:
+    /// the instance remap is monotone on survivors, so a clean shard's
+    /// renumbered globals stay ascending and its `(start, end, local)` run
+    /// order is unchanged.
+    pub fn apply_delta(&mut self, universe: &DemandInstanceUniverse, delta: &UniverseDelta) {
+        let n = universe.num_instances();
+        self.shard_of.clear();
+        self.shard_of.resize(n, 0);
+        self.local_of.clear();
+        self.local_of.resize(n, 0);
+        for (t, shard) in self.shards.iter_mut().enumerate() {
+            if delta.dirty()[t] {
+                shard.globals.clear();
+                shard
+                    .globals
+                    .extend_from_slice(universe.instances_on_network(shard.network));
+                shard.runs.clear();
+                for (local, &d) in shard.globals.iter().enumerate() {
+                    for run in universe.instance(d).path.runs() {
+                        shard.runs.push(ShardRun {
+                            start: run.start,
+                            end: run.end,
+                            local: local as u32,
+                        });
+                    }
+                }
+                shard.runs.sort_unstable();
+            } else {
+                for g in shard.globals.iter_mut() {
+                    let new = delta.instance_remap()[g.index()];
+                    debug_assert_ne!(new, u32::MAX, "clean shard lost an instance");
+                    *g = InstanceId(new);
+                }
+                debug_assert!(shard.globals.windows(2).all(|w| w[0] < w[1]));
+            }
+            for (local, &d) in shard.globals.iter().enumerate() {
+                self.shard_of[d.index()] = t as u32;
+                self.local_of[d.index()] = local as u32;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -225,6 +282,68 @@ mod tests {
         }
         let expected: usize = universe.instances().map(|d| d.path.num_runs()).sum();
         assert_eq!(total_runs, expected);
+    }
+
+    #[test]
+    fn apply_delta_matches_from_scratch_build() {
+        use crate::universe::ArrivingDemand;
+        use crate::{EdgePath, TreeProblem, VertexId};
+
+        // Two path networks; three demands with distinct footprints.
+        let mut p = TreeProblem::new(6);
+        let line: Vec<(VertexId, VertexId)> = (0..5)
+            .map(|i| (VertexId::new(i), VertexId::new(i + 1)))
+            .collect();
+        let t0 = p.add_network(line.clone()).unwrap();
+        let t1 = p.add_network(line).unwrap();
+        p.add_unit_demand(VertexId(0), VertexId(3), 1.0, vec![t0, t1])
+            .unwrap();
+        p.add_unit_demand(VertexId(1), VertexId(5), 2.0, vec![t0])
+            .unwrap();
+        p.add_unit_demand(VertexId(2), VertexId(4), 3.0, vec![t1])
+            .unwrap();
+        let mut universe = p.universe();
+        let mut sharded = ShardedUniverse::build(&universe);
+
+        // Expire demand 1 (network 0 only) and add a demand on network 0:
+        // shard 0 is dirty, shard 1 stays clean.
+        let mut delta = crate::universe::UniverseDelta::new();
+        universe.apply_demand_delta(
+            &[crate::DemandId(1)],
+            &[ArrivingDemand {
+                profit: 5.0,
+                height: 1.0,
+                instances: vec![(t0, EdgePath::interval(0, 2), None)],
+            }],
+            &mut delta,
+        );
+        assert_eq!(delta.dirty(), &[true, false]);
+        sharded.apply_delta(&universe, &delta);
+
+        let fresh = ShardedUniverse::build(&universe);
+        assert_eq!(sharded.num_shards(), fresh.num_shards());
+        assert_eq!(sharded.num_instances(), fresh.num_instances());
+        for t in 0..fresh.num_shards() {
+            let network = NetworkId::new(t);
+            assert_eq!(
+                sharded.shard(network).globals(),
+                fresh.shard(network).globals(),
+                "globals of shard {t}"
+            );
+            assert_eq!(
+                sharded.shard(network).runs(),
+                fresh.shard(network).runs(),
+                "runs of shard {t}"
+            );
+            assert_eq!(
+                sharded.shard(network).num_edges(),
+                fresh.shard(network).num_edges()
+            );
+        }
+        for d in universe.instance_ids() {
+            assert_eq!(sharded.shard_of(d), fresh.shard_of(d), "shard of {d}");
+            assert_eq!(sharded.local_of(d), fresh.local_of(d), "local of {d}");
+        }
     }
 
     #[test]

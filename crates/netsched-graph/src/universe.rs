@@ -526,6 +526,226 @@ impl DemandInstanceUniverse {
     }
 }
 
+/// A demand joining a universe through
+/// [`DemandInstanceUniverse::apply_demand_delta`]: its profit and height
+/// plus the pre-computed instances in canonical enumeration order (per
+/// accessible network ascending, then per admissible start time ascending —
+/// exactly the order `TreeProblem::universe` / `LineProblem::universe`
+/// would enumerate them).
+#[derive(Debug, Clone)]
+pub struct ArrivingDemand {
+    /// Profit of the demand (shared by all its instances).
+    pub profit: f64,
+    /// Height of the demand (shared by all its instances).
+    pub height: f64,
+    /// The instances to create: `(network, path, start)` triples in
+    /// canonical order.
+    pub instances: Vec<(NetworkId, EdgePath, Option<u32>)>,
+}
+
+/// The renumbering produced by one
+/// [`DemandInstanceUniverse::apply_demand_delta`] splice, reusable across
+/// epochs (every buffer is cleared and refilled in place).
+///
+/// A splice removes the instances of the expired demands and appends the
+/// instances of the arriving demands at the tail, renumbering both demand
+/// and instance ids so the result is **byte-identical** to a from-scratch
+/// universe over the surviving demand set (survivors keep their relative
+/// order; arrivals follow). The delta records the old→new id maps, which
+/// instances are new, and the *dirty networks* — the networks that gained
+/// or lost at least one instance. Everything outside a dirty network is
+/// untouched up to renumbering, which is what lets
+/// [`crate::ShardedUniverse::apply_delta`] and the sharded conflict engine
+/// rebuild per-shard state only where the batch actually landed.
+#[derive(Debug, Clone, Default)]
+pub struct UniverseDelta {
+    /// Old instance id → new instance id; `u32::MAX` for removed instances.
+    instance_remap: Vec<u32>,
+    /// Old demand id → new demand id; `u32::MAX` for expired demands.
+    demand_remap: Vec<u32>,
+    /// Instances with new id `>= first_added` were appended by the splice.
+    first_added: u32,
+    /// Per-network flag: `true` when the network gained or lost instances.
+    dirty: Vec<bool>,
+}
+
+impl UniverseDelta {
+    /// An empty delta, ready to be filled by a splice.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self, old_instances: usize, old_demands: usize, networks: usize) {
+        self.instance_remap.clear();
+        self.instance_remap.reserve(old_instances);
+        self.demand_remap.clear();
+        self.demand_remap.reserve(old_demands);
+        self.dirty.clear();
+        self.dirty.resize(networks, false);
+        self.first_added = 0;
+    }
+
+    /// Old instance id → new instance id map (`u32::MAX` = removed).
+    #[inline]
+    pub fn instance_remap(&self) -> &[u32] {
+        &self.instance_remap
+    }
+
+    /// The new id of a pre-splice instance, or `None` if it was removed.
+    #[inline]
+    pub fn map_instance(&self, old: InstanceId) -> Option<InstanceId> {
+        match self.instance_remap[old.index()] {
+            u32::MAX => None,
+            new => Some(InstanceId(new)),
+        }
+    }
+
+    /// Old demand id → new demand id map (`u32::MAX` = expired).
+    #[inline]
+    pub fn demand_remap(&self) -> &[u32] {
+        &self.demand_remap
+    }
+
+    /// The new id of a pre-splice demand, or `None` if it expired.
+    #[inline]
+    pub fn map_demand(&self, old: DemandId) -> Option<DemandId> {
+        match self.demand_remap[old.index()] {
+            u32::MAX => None,
+            new => Some(DemandId(new)),
+        }
+    }
+
+    /// First instance id that belongs to an arriving demand (all appended
+    /// instances form a suffix of the new id space).
+    #[inline]
+    pub fn first_added(&self) -> usize {
+        self.first_added as usize
+    }
+
+    /// The per-network dirty bitmap: `dirty()[t]` is `true` when network
+    /// `t` gained or lost at least one instance in the splice.
+    #[inline]
+    pub fn dirty(&self) -> &[bool] {
+        &self.dirty
+    }
+
+    /// Iterates over the dirty networks.
+    pub fn dirty_networks(&self) -> impl Iterator<Item = NetworkId> + '_ {
+        self.dirty
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d)
+            .map(|(t, _)| NetworkId::new(t))
+    }
+
+    /// Number of dirty networks.
+    pub fn num_dirty(&self) -> usize {
+        self.dirty.iter().filter(|&&d| d).count()
+    }
+}
+
+impl DemandInstanceUniverse {
+    /// Splices a demand batch into the universe in place: removes every
+    /// instance of the demands in `expired` (current dense ids) and appends
+    /// the instances of `arrivals` at the tail, renumbering demand and
+    /// instance ids densely.
+    ///
+    /// The result is byte-identical to building a fresh universe over the
+    /// surviving demands (in their current relative order) followed by the
+    /// arrivals: survivors keep their relative order, so the compaction is
+    /// a stable shift, and all appended instances form a suffix. Paths of
+    /// surviving instances are moved, not recomputed — the splice costs
+    /// `O(|D| + Σ new instances)` with no per-edge or per-path work.
+    ///
+    /// `delta` is cleared and refilled with the old→new id maps and the
+    /// dirty-network bitmap (reuse one [`UniverseDelta`] across epochs to
+    /// avoid reallocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics when an expired id is out of range or listed twice, or when
+    /// an arriving instance names an unknown network.
+    pub fn apply_demand_delta(
+        &mut self,
+        expired: &[DemandId],
+        arrivals: &[ArrivingDemand],
+        delta: &mut UniverseDelta,
+    ) {
+        delta.reset(self.instances.len(), self.num_demands, self.num_networks);
+
+        // Demand renumbering: survivors compact stably, arrivals append.
+        let mut removed = vec![false; self.num_demands];
+        for &a in expired {
+            assert!(a.index() < self.num_demands, "expired demand {a} unknown");
+            assert!(!removed[a.index()], "demand {a} expired twice");
+            removed[a.index()] = true;
+        }
+        let mut next_demand = 0u32;
+        for r in &removed {
+            delta
+                .demand_remap
+                .push(if *r { u32::MAX } else { next_demand });
+            if !*r {
+                next_demand += 1;
+            }
+        }
+
+        // Compact the instance list in place (moves, no path clones).
+        let old_instances = std::mem::take(&mut self.instances);
+        let mut next_instance = 0u32;
+        for mut inst in old_instances {
+            if removed[inst.demand.index()] {
+                delta.instance_remap.push(u32::MAX);
+                delta.dirty[inst.network.index()] = true;
+                continue;
+            }
+            delta.instance_remap.push(next_instance);
+            inst.id = InstanceId(next_instance);
+            inst.demand = DemandId(delta.demand_remap[inst.demand.index()]);
+            self.instances.push(inst);
+            next_instance += 1;
+        }
+        delta.first_added = next_instance;
+
+        // Append the arrivals.
+        for arrival in arrivals {
+            let demand = DemandId(next_demand);
+            next_demand += 1;
+            for (network, path, start) in &arrival.instances {
+                assert!(
+                    network.index() < self.num_networks,
+                    "arriving instance names unknown network {network}"
+                );
+                delta.dirty[network.index()] = true;
+                self.instances.push(DemandInstance {
+                    id: InstanceId(next_instance),
+                    demand,
+                    network: *network,
+                    profit: arrival.profit,
+                    height: arrival.height,
+                    path: path.clone(),
+                    start: *start,
+                });
+                next_instance += 1;
+            }
+        }
+        self.num_demands = next_demand as usize;
+
+        // Rebuild the secondary indices (O(|D|), allocation-reusing).
+        for group in &mut self.by_demand {
+            group.clear();
+        }
+        self.by_demand.resize(self.num_demands, Vec::new());
+        for group in &mut self.by_network {
+            group.clear();
+        }
+        for inst in &self.instances {
+            self.by_demand[inst.demand.index()].push(inst.id);
+            self.by_network[inst.network.index()].push(inst.id);
+        }
+    }
+}
+
 /// Incremental congestion accounting for greedy selection loops.
 ///
 /// The second phase of the two-phase framework repeatedly asks "does
@@ -730,6 +950,128 @@ mod tests {
         assert!(!u.is_uniform_capacity());
         assert!(u.is_feasible(&[InstanceId(0), InstanceId(1)]));
         assert!(!u.is_feasible(&[InstanceId(0), InstanceId(1), InstanceId(2)]));
+    }
+
+    /// Splice vs from-scratch: removing demands 0 and 2 of the Figure 1
+    /// universe and appending a new one must reproduce the fresh build
+    /// exactly, field by field.
+    #[test]
+    fn splice_matches_from_scratch_rebuild() {
+        let mut u = figure1_universe();
+        let arrival = ArrivingDemand {
+            profit: 4.0,
+            height: 0.9,
+            instances: vec![
+                (NetworkId(0), EdgePath::interval(1, 2), Some(1)),
+                (NetworkId(0), EdgePath::interval(2, 3), Some(2)),
+            ],
+        };
+        let mut delta = UniverseDelta::new();
+        u.apply_demand_delta(
+            &[DemandId(0), DemandId(2)],
+            std::slice::from_ref(&arrival),
+            &mut delta,
+        );
+
+        // From scratch: survivor (old demand 1) then the arrival.
+        let fresh = DemandInstanceUniverse::new(
+            vec![
+                DemandInstance {
+                    id: InstanceId(0),
+                    demand: DemandId(0),
+                    network: NetworkId(0),
+                    profit: 1.0,
+                    height: 0.7,
+                    path: EdgePath::interval(3, 5),
+                    start: Some(3),
+                },
+                DemandInstance {
+                    id: InstanceId(1),
+                    demand: DemandId(1),
+                    network: NetworkId(0),
+                    profit: 4.0,
+                    height: 0.9,
+                    path: EdgePath::interval(1, 2),
+                    start: Some(1),
+                },
+                DemandInstance {
+                    id: InstanceId(2),
+                    demand: DemandId(1),
+                    network: NetworkId(0),
+                    profit: 4.0,
+                    height: 0.9,
+                    path: EdgePath::interval(2, 3),
+                    start: Some(2),
+                },
+            ],
+            2,
+            vec![10],
+            None,
+        );
+        assert_eq!(u.num_instances(), fresh.num_instances());
+        assert_eq!(u.num_demands(), fresh.num_demands());
+        for d in u.instance_ids() {
+            assert_eq!(u.instance(d), fresh.instance(d), "instance {d}");
+        }
+        for a in 0..u.num_demands() {
+            assert_eq!(
+                u.instances_of_demand(DemandId::new(a)),
+                fresh.instances_of_demand(DemandId::new(a))
+            );
+        }
+        assert_eq!(
+            u.instances_on_network(NetworkId(0)),
+            fresh.instances_on_network(NetworkId(0))
+        );
+        // Delta bookkeeping: old instance 1 survived as 0, the rest removed,
+        // the two new instances form the tail.
+        assert_eq!(delta.instance_remap(), &[u32::MAX, 0, u32::MAX]);
+        assert_eq!(delta.demand_remap(), &[u32::MAX, 0, u32::MAX]);
+        assert_eq!(delta.first_added(), 1);
+        assert_eq!(delta.map_instance(InstanceId(1)), Some(InstanceId(0)));
+        assert_eq!(delta.map_instance(InstanceId(0)), None);
+        assert_eq!(delta.map_demand(DemandId(1)), Some(DemandId(0)));
+        assert_eq!(delta.num_dirty(), 1);
+        assert_eq!(
+            delta.dirty_networks().collect::<Vec<_>>(),
+            vec![NetworkId(0)]
+        );
+    }
+
+    #[test]
+    fn splice_marks_only_touched_networks_dirty() {
+        // Two networks; expire a demand living only on network 1.
+        let mk = |i: usize, a: usize, t: usize| DemandInstance {
+            id: InstanceId::new(i),
+            demand: DemandId::new(a),
+            network: NetworkId::new(t),
+            profit: 1.0,
+            height: 1.0,
+            path: EdgePath::interval(0, 1),
+            start: None,
+        };
+        let mut u = DemandInstanceUniverse::new(
+            vec![mk(0, 0, 0), mk(1, 1, 1), mk(2, 2, 0)],
+            3,
+            vec![3, 3],
+            None,
+        );
+        let mut delta = UniverseDelta::new();
+        u.apply_demand_delta(&[DemandId(1)], &[], &mut delta);
+        assert_eq!(delta.dirty(), &[false, true]);
+        assert_eq!(u.num_instances(), 2);
+        assert_eq!(u.num_demands(), 2);
+        // Survivors keep relative order under renumbered ids.
+        assert_eq!(u.instance(InstanceId(1)).demand, DemandId(1));
+        assert_eq!(u.instances_on_network(NetworkId(1)), &[] as &[InstanceId]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expired twice")]
+    fn splice_rejects_duplicate_expiry() {
+        let mut u = figure1_universe();
+        let mut delta = UniverseDelta::new();
+        u.apply_demand_delta(&[DemandId(0), DemandId(0)], &[], &mut delta);
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! A live, incrementally maintained solving core.
+//!
+//! A [`LiveCore`] bundles the three structures the two-phase engine reads —
+//! the demand-instance universe, its sharded conflict graph and its
+//! layering — and keeps them synchronized with a stream of demand splices.
+//! The session owns one core for the full live set and (lazily, once the
+//! height mix requires the wide/narrow split) one per split half; all three
+//! are driven by the same [`LiveCore::apply`].
+
+use netsched_core::framework::run_two_phase_on;
+use netsched_core::{AlgorithmConfig, RaiseRule, Solution};
+use netsched_decomp::{line_assignment, InstanceLayering, TreeDecompositionKind, TreeLayerer};
+use netsched_distrib::ShardedConflictGraph;
+use netsched_graph::{
+    ArrivingDemand, DemandId, DemandInstanceUniverse, EdgeId, LineProblem, TreeProblem,
+    UniverseDelta,
+};
+
+/// The layering assignments of one arriving demand's instances, in instance
+/// order (tree cores only; line cores re-derive length classes globally).
+pub(crate) type TreeAssignments = Vec<(usize, Vec<EdgeId>)>;
+
+/// One universe + conflict graph + layering triple, spliced in place per
+/// epoch. Byte-identical to the from-scratch structures of a fresh
+/// [`Scheduler`](netsched_core::Scheduler) over the same surviving demand
+/// set — the differential invariant the dynamic-equivalence suite pins.
+pub(crate) struct LiveCore {
+    pub universe: DemandInstanceUniverse,
+    pub conflict: ShardedConflictGraph,
+    pub layering: InstanceLayering,
+    /// Reusable splice scratch (id remaps + dirty bitmap).
+    delta: UniverseDelta,
+    /// For line cores: histogram of instance lengths, maintained across
+    /// splices so the global minimum length (which the length-class groups
+    /// depend on) is known without a scan. `None` for tree cores.
+    line_lengths: Option<Vec<u32>>,
+    /// The `L_min` the current line layering was assigned against.
+    layering_l_min: usize,
+}
+
+/// The minimum instance length recorded by a length histogram (1 for an
+/// empty universe, mirroring `line_length_classes`).
+fn histogram_min(counts: &[u32]) -> usize {
+    counts.iter().position(|&c| c > 0).unwrap_or(0).max(1)
+}
+
+impl LiveCore {
+    /// A core over a tree problem's current demand set, layered through the
+    /// session's shared [`TreeLayerer`].
+    pub(crate) fn new_tree(problem: &TreeProblem, layerer: &TreeLayerer) -> Self {
+        let universe = problem.universe();
+        let conflict = ShardedConflictGraph::build(&universe);
+        let layering = layerer.layering(problem, &universe);
+        Self {
+            universe,
+            conflict,
+            layering,
+            delta: UniverseDelta::new(),
+            line_lengths: None,
+            layering_l_min: 1,
+        }
+    }
+
+    /// A core over a line problem's current demand set.
+    pub(crate) fn new_line(problem: &LineProblem) -> Self {
+        let universe = problem.universe();
+        let conflict = ShardedConflictGraph::build(&universe);
+        let layering = InstanceLayering::line_length_classes(&universe);
+        let mut counts = vec![0u32; problem.timeslots() + 1];
+        for inst in universe.instances() {
+            counts[inst.len()] += 1;
+        }
+        let layering_l_min = histogram_min(&counts);
+        Self {
+            universe,
+            conflict,
+            layering,
+            delta: UniverseDelta::new(),
+            line_lengths: Some(counts),
+            layering_l_min,
+        }
+    }
+
+    /// Splices one epoch's demand delta through every structure:
+    ///
+    /// 1. the universe compacts expired instances and appends arrivals
+    ///    (`O(|D|)`, no path recomputation),
+    /// 2. the sharded conflict graph rebuilds **only** the dirty shards'
+    ///    local CSRs plus the renumbered cross-shard rows,
+    /// 3. the layering splices survivor assignments and appends the
+    ///    arrivals' — tree assignments come pre-computed in `assignments`;
+    ///    line length classes are assigned on the spot against the
+    ///    histogram-tracked minimum length, falling back to a full
+    ///    `O(|D|)` re-derivation only on the rare epochs where `L_min`
+    ///    itself changes (its groups are global ratios).
+    ///
+    /// `assignments` must hold one `(group, critical)` entry per arriving
+    /// instance, flattened in arrival order (ignored for line cores, which
+    /// pass an empty vector). Returns the number of dirty shards.
+    pub(crate) fn apply(
+        &mut self,
+        expired: &[DemandId],
+        arrivals: &[ArrivingDemand],
+        assignments: TreeAssignments,
+    ) -> usize {
+        // Expiring instance lengths must be read before the splice
+        // renumbers them away.
+        if let Some(counts) = &mut self.line_lengths {
+            for &a in expired {
+                for &d in self.universe.instances_of_demand(a) {
+                    counts[self.universe.instance(d).len()] -= 1;
+                }
+            }
+        }
+        self.universe
+            .apply_demand_delta(expired, arrivals, &mut self.delta);
+        self.conflict.apply_delta(&self.universe, &self.delta);
+        match &mut self.line_lengths {
+            Some(counts) => {
+                let old_min = self.layering_l_min;
+                for arrival in arrivals {
+                    for (_, path, _) in &arrival.instances {
+                        counts[path.len()] += 1;
+                    }
+                }
+                let new_min = histogram_min(counts);
+                if new_min == old_min {
+                    let additions: TreeAssignments = arrivals
+                        .iter()
+                        .flat_map(|a| a.instances.iter())
+                        .map(|(_, path, _)| line_assignment(new_min, path))
+                        .collect();
+                    self.layering.splice(self.delta.instance_remap(), additions);
+                } else {
+                    self.layering = InstanceLayering::line_length_classes(&self.universe);
+                    self.layering_l_min = new_min;
+                }
+            }
+            None => {
+                debug_assert_eq!(
+                    assignments.len(),
+                    arrivals.iter().map(|a| a.instances.len()).sum::<usize>()
+                );
+                self.layering
+                    .splice(self.delta.instance_remap(), assignments);
+            }
+        }
+        self.delta.num_dirty()
+    }
+
+    /// Runs the shard-parallel two-phase engine on the core's structures.
+    pub(crate) fn solve(&self, rule: RaiseRule, config: &AlgorithmConfig) -> Solution {
+        run_two_phase_on(&self.universe, &self.conflict, &self.layering, rule, config)
+    }
+}
+
+/// The decomposition kind every core layers tree problems with — the
+/// paper's ideal decomposition (∆ = 6), matching
+/// [`Scheduler`](netsched_core::Scheduler)'s dispatch.
+pub(crate) const TREE_LAYERING: TreeDecompositionKind = TreeDecompositionKind::Ideal;

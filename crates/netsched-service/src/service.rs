@@ -1,0 +1,222 @@
+//! The asynchronous, executor-agnostic frontend.
+//!
+//! [`Service`] wraps a [`ServiceSession`] behind a submission queue:
+//! [`Service::submit`] enqueues a batch of events and returns a
+//! [`SubmitFuture`]; whichever future is polled first **drives** one epoch,
+//! folding every submission queued so far into a single
+//! [`ServiceSession::step`] call and resolving all of their futures with
+//! the same shared [`ScheduleDelta`]. Concurrent submitters therefore get
+//! automatic batch admission — many submissions, one epoch — without any
+//! background thread, timer or executor dependency (the waker/queue
+//! machinery is hand-rolled on `std::task`, consistent with the
+//! workspace's vendored-shim policy: no tokio).
+//!
+//! Any executor works: `block_on` (provided here for examples and tests),
+//! tokio, async-std, or manual polling. Submissions are validated eagerly
+//! inside [`Service::submit`], so a queued batch cannot poison its epoch.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+use fxhash::FxHashSet;
+
+use crate::event::{DemandEvent, DemandTicket, ServiceError};
+use crate::session::{ScheduleDelta, ServiceSession};
+
+/// Outcome delivered to every submission folded into an epoch.
+type EpochResult = Result<Arc<ScheduleDelta>, ServiceError>;
+
+enum SlotState {
+    Waiting(Option<Waker>),
+    Done(EpochResult),
+}
+
+/// The per-submission completion slot shared between the queue and the
+/// future.
+struct Slot {
+    state: Mutex<SlotState>,
+}
+
+impl Slot {
+    fn fill(&self, result: EpochResult) {
+        let mut state = self.state.lock().expect("slot lock poisoned");
+        if let SlotState::Waiting(waker) = &mut *state {
+            let waker = waker.take();
+            *state = SlotState::Done(result);
+            if let Some(waker) = waker {
+                waker.wake();
+            }
+        }
+    }
+}
+
+struct Pending {
+    events: Vec<DemandEvent>,
+    slot: Arc<Slot>,
+}
+
+struct State {
+    session: ServiceSession,
+    queue: Vec<Pending>,
+    /// Tickets with an expiry already queued (so two queued submissions
+    /// cannot both expire the same demand).
+    queued_expiries: FxHashSet<u64>,
+}
+
+impl State {
+    /// Drains the queue and steps one epoch over the folded batch,
+    /// resolving every drained slot with the shared outcome.
+    fn drive(&mut self) -> EpochResult {
+        let pending: Vec<Pending> = self.queue.drain(..).collect();
+        self.queued_expiries.clear();
+        let batch: Vec<DemandEvent> = pending
+            .iter()
+            .flat_map(|p| p.events.iter().cloned())
+            .collect();
+        let outcome: EpochResult = self.session.step(&batch).map(Arc::new);
+        for p in &pending {
+            p.slot.fill(outcome.clone());
+        }
+        outcome
+    }
+}
+
+/// An async batch-admission scheduler service over a [`ServiceSession`];
+/// see the [module docs](self).
+pub struct Service {
+    state: Arc<Mutex<State>>,
+}
+
+impl Service {
+    /// Wraps a session.
+    pub fn new(session: ServiceSession) -> Self {
+        Self {
+            state: Arc::new(Mutex::new(State {
+                session,
+                queue: Vec::new(),
+                queued_expiries: FxHashSet::default(),
+            })),
+        }
+    }
+
+    /// Enqueues a batch of events and returns the future of the epoch that
+    /// will admit it. Validation happens here, eagerly: invalid arrivals,
+    /// unknown tickets and expiries already queued by an earlier
+    /// (unprocessed) submission are rejected without touching the queue.
+    pub fn submit(&self, events: Vec<DemandEvent>) -> Result<SubmitFuture, ServiceError> {
+        let mut state = self.state.lock().expect("service lock poisoned");
+        let mut batch_expiries: Vec<u64> = Vec::new();
+        for event in &events {
+            match event {
+                DemandEvent::Arrive(request) => state.session.validate_request(request)?,
+                DemandEvent::Expire(ticket) => {
+                    if !state.session.is_live(*ticket) {
+                        return Err(ServiceError::UnknownTicket(*ticket));
+                    }
+                    if state.queued_expiries.contains(&ticket.0)
+                        || batch_expiries.contains(&ticket.0)
+                    {
+                        return Err(ServiceError::DuplicateExpiry(*ticket));
+                    }
+                    batch_expiries.push(ticket.0);
+                }
+            }
+        }
+        state.queued_expiries.extend(batch_expiries);
+        let slot = Arc::new(Slot {
+            state: Mutex::new(SlotState::Waiting(None)),
+        });
+        state.queue.push(Pending {
+            events,
+            slot: slot.clone(),
+        });
+        Ok(SubmitFuture {
+            state: self.state.clone(),
+            slot,
+        })
+    }
+
+    /// Expires a demand; sugar for a one-event submission.
+    pub fn expire(&self, ticket: DemandTicket) -> Result<SubmitFuture, ServiceError> {
+        self.submit(vec![DemandEvent::Expire(ticket)])
+    }
+
+    /// Synchronously drives one epoch over everything queued (an empty
+    /// batch if nothing is queued) and returns its delta. Useful for
+    /// non-async callers and for forcing a quiescent re-solve.
+    pub fn flush(&self) -> EpochResult {
+        self.state.lock().expect("service lock poisoned").drive()
+    }
+
+    /// Reads the wrapped session under the service lock.
+    pub fn with_session<R>(&self, f: impl FnOnce(&ServiceSession) -> R) -> R {
+        f(&self.state.lock().expect("service lock poisoned").session)
+    }
+
+    /// Number of submissions waiting to be folded into the next epoch.
+    pub fn queued(&self) -> usize {
+        self.state
+            .lock()
+            .expect("service lock poisoned")
+            .queue
+            .len()
+    }
+}
+
+/// The future of one submission's epoch. The first submission polled
+/// drives the epoch for everyone queued; the others observe the shared
+/// result (their wakers fire if they were polled before completion).
+pub struct SubmitFuture {
+    state: Arc<Mutex<State>>,
+    slot: Arc<Slot>,
+}
+
+impl Future for SubmitFuture {
+    type Output = EpochResult;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        {
+            let mut slot = self.slot.state.lock().expect("slot lock poisoned");
+            match &mut *slot {
+                SlotState::Done(result) => return Poll::Ready(result.clone()),
+                SlotState::Waiting(waker) => *waker = Some(cx.waker().clone()),
+            }
+        }
+        // Not resolved yet: this poller becomes the driver. Re-check under
+        // the service lock (another thread may have driven in between).
+        let mut state = self.state.lock().expect("service lock poisoned");
+        if let SlotState::Done(result) = &*self.slot.state.lock().expect("slot lock poisoned") {
+            return Poll::Ready(result.clone());
+        }
+        // The epoch outcome reaches this future through its slot below.
+        let _ = state.drive();
+        let slot = self.slot.state.lock().expect("slot lock poisoned");
+        match &*slot {
+            SlotState::Done(result) => Poll::Ready(result.clone()),
+            SlotState::Waiting(_) => unreachable!("drive resolves every queued slot"),
+        }
+    }
+}
+
+/// Minimal single-future executor: polls to completion, parking the thread
+/// between wake-ups. Enough to drive [`SubmitFuture`]s from synchronous
+/// code (examples, benches, tests) without an async runtime.
+pub fn block_on<F: Future>(fut: F) -> F::Output {
+    struct ThreadWaker(std::thread::Thread);
+    impl Wake for ThreadWaker {
+        fn wake(self: Arc<Self>) {
+            self.0.unpark();
+        }
+    }
+    let waker = Waker::from(Arc::new(ThreadWaker(std::thread::current())));
+    let mut cx = Context::from_waker(&waker);
+    let mut fut = std::pin::pin!(fut);
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(out) => return out,
+            Poll::Pending => std::thread::park(),
+        }
+    }
+}

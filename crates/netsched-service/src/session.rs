@@ -1,0 +1,800 @@
+//! The synchronous epoch engine: [`ServiceSession`] and its
+//! [`ScheduleDelta`] output.
+//!
+//! # Epoch model
+//!
+//! A session owns a **mutable** solving state — live demand set, universe,
+//! sharded conflict graph, layerings, (lazily) the wide/narrow split — and
+//! advances it one *epoch* at a time: [`ServiceSession::step`] takes a
+//! batch of [`DemandEvent`]s, splices them through every cached structure,
+//! re-solves with the shard-parallel two-phase engine, and returns a
+//! [`ScheduleDelta`] describing only what changed. The invariant
+//! maintained by every epoch (and pinned by `tests/dynamic_equivalence.rs`)
+//! is:
+//!
+//! > after any event sequence, the session's conflict graph is
+//! > byte-identical to, and its schedule and certificate equal to, a
+//! > from-scratch [`Scheduler`](netsched_core::Scheduler) built over the
+//! > surviving demand set.
+
+use std::collections::BTreeMap;
+
+use fxhash::FxHashMap;
+use netsched_core::{solve_wide_narrow_on, AlgorithmConfig, EngineHalf, RaiseRule, Solution};
+use netsched_decomp::TreeLayerer;
+use netsched_distrib::ShardedConflictGraph;
+use netsched_graph::{
+    ArrivingDemand, DemandId, DemandInstanceUniverse, EdgePath, LineProblem, NetworkId, TreeProblem,
+};
+
+use crate::core::{LiveCore, TreeAssignments, TREE_LAYERING};
+use crate::event::{DemandEvent, DemandRequest, DemandTicket, ServiceError};
+
+/// Where a scheduled demand runs: its network and, for windowed line
+/// demands, the start timeslot of the chosen placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// The network the demand was scheduled on.
+    pub network: NetworkId,
+    /// Start timeslot of the chosen placement (line sessions only).
+    pub start: Option<u32>,
+}
+
+/// One scheduled demand in a delta or schedule listing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledDemand {
+    /// The demand's stable ticket.
+    pub ticket: DemandTicket,
+    /// Where it runs.
+    pub placement: Placement,
+}
+
+/// The dual certificate carried by every epoch (weak duality: the scaled
+/// dual objective upper-bounds the optimum of the **current** live set).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Certificate {
+    /// Machine-checked upper bound on the optimum profit.
+    pub optimum_upper_bound: f64,
+    /// The slackness λ reached by the first phase.
+    pub lambda: f64,
+    /// The raw dual objective `Σ α + Σ β`.
+    pub dual_objective: f64,
+}
+
+/// Bookkeeping of one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EpochStats {
+    /// Arrivals applied this epoch.
+    pub arrivals: usize,
+    /// Expiries applied this epoch.
+    pub expiries: usize,
+    /// Shards whose local CSR was rebuilt (dirty networks of the splice).
+    pub dirty_shards: usize,
+    /// Total shards (== networks) of the session.
+    pub num_shards: usize,
+    /// Live demands after the epoch.
+    pub live_demands: usize,
+    /// Demand instances after the epoch.
+    pub instances: usize,
+    /// `false` for the empty-batch fast path, which returns the standing
+    /// schedule without re-running the engine.
+    pub resolved: bool,
+    /// Wall-clock seconds spent splicing and rebuilding structures
+    /// (universe, dirty shards, layerings, split cores).
+    pub rebuild_seconds: f64,
+    /// Wall-clock seconds spent in the two-phase engine solve.
+    pub solve_seconds: f64,
+}
+
+/// What one epoch changed, instead of a full schedule: the paper solver's
+/// output re-expressed against the previous epoch.
+///
+/// Semantics:
+/// * `admitted` — demands scheduled now that were not scheduled before
+///   (including arrivals of this very batch that got in);
+/// * `evicted` — demands still live but no longer scheduled (a demand that
+///   left because it *expired* is not listed — its departure is implied by
+///   the expiry event itself);
+/// * `reassigned` — demands scheduled before and after, but on a different
+///   network or start slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleDelta {
+    /// The epoch this delta advanced the session to (1-based; a fresh
+    /// session is at epoch 0).
+    pub epoch: u64,
+    /// Tickets assigned to this batch's arrivals, in batch order.
+    pub tickets: Vec<DemandTicket>,
+    /// Newly scheduled demands, ascending by ticket.
+    pub admitted: Vec<ScheduledDemand>,
+    /// Live demands that lost their slot, ascending by ticket.
+    pub evicted: Vec<DemandTicket>,
+    /// Demands whose placement moved, ascending by ticket.
+    pub reassigned: Vec<ScheduledDemand>,
+    /// Total profit of the standing schedule after the epoch.
+    pub profit: f64,
+    /// The dual certificate of the standing schedule.
+    pub certificate: Certificate,
+    /// Epoch bookkeeping.
+    pub stats: EpochStats,
+}
+
+impl ScheduleDelta {
+    /// `true` when the epoch changed nothing in the standing schedule.
+    pub fn is_quiet(&self) -> bool {
+        self.admitted.is_empty() && self.evicted.is_empty() && self.reassigned.is_empty()
+    }
+}
+
+/// The demand-free topology a session was opened on.
+enum BaseProblem {
+    Tree(TreeProblem),
+    Line(LineProblem),
+}
+
+/// One live demand: its stable ticket plus the validated request.
+struct LiveDemand {
+    ticket: u64,
+    request: DemandRequest,
+}
+
+/// The lazily created wide/narrow split cores (see
+/// [`ServiceSession::step`]): each half mirrors the sub-problem a cached
+/// `Scheduler` split would build, maintained incrementally after creation.
+struct SplitState {
+    wide: LiveCore,
+    narrow: LiveCore,
+    /// Half demand index → full (current dense) demand id.
+    wide_map: Vec<DemandId>,
+    narrow_map: Vec<DemandId>,
+}
+
+/// A long-lived dynamic scheduling session; see the
+/// [module docs](self) for the epoch model and [`crate`] docs for the
+/// amortized cost table.
+pub struct ServiceSession {
+    base: BaseProblem,
+    /// Shared per-network tree decompositions (tree sessions only); built
+    /// once — networks never change.
+    layerer: Option<TreeLayerer>,
+    config: AlgorithmConfig,
+    live: Vec<LiveDemand>,
+    /// Ticket → current dense demand id.
+    index: FxHashMap<u64, u32>,
+    next_ticket: u64,
+    full: LiveCore,
+    split: Option<SplitState>,
+    /// Ticket → placement of the standing schedule.
+    schedule: BTreeMap<u64, Placement>,
+    epoch: u64,
+    solved: bool,
+    certificate: Certificate,
+    profit: f64,
+    last: Option<Solution>,
+}
+
+impl ServiceSession {
+    /// Opens a session over a tree problem, adopting its demands as the
+    /// initial live set (tickets `0..m` in problem order). The schedule is
+    /// computed by the first [`step`](ServiceSession::step).
+    pub fn for_tree(problem: &TreeProblem, config: AlgorithmConfig) -> Self {
+        let layerer = TreeLayerer::new(problem, TREE_LAYERING);
+        let full = LiveCore::new_tree(problem, &layerer);
+        let live: Vec<LiveDemand> = problem
+            .demands()
+            .iter()
+            .map(|d| LiveDemand {
+                ticket: d.id.index() as u64,
+                request: DemandRequest::Tree {
+                    u: d.u,
+                    v: d.v,
+                    profit: d.profit,
+                    height: d.height,
+                    access: problem.access(d.id).to_vec(),
+                },
+            })
+            .collect();
+        let mut base = TreeProblem::new(problem.num_vertices());
+        for t in 0..problem.num_networks() {
+            let network = NetworkId::new(t);
+            let edges = problem.network(network).edges().map(|(_, uv)| uv).collect();
+            let id = base.add_network(edges).expect("copied network is valid");
+            for (e, &cap) in problem.capacities(network).iter().enumerate() {
+                if (cap - 1.0).abs() > f64::EPSILON {
+                    base.set_capacity(id, e, cap).expect("copied capacity");
+                }
+            }
+        }
+        Self::assemble(BaseProblem::Tree(base), Some(layerer), config, live, full)
+    }
+
+    /// Opens a session over a line problem; see
+    /// [`for_tree`](ServiceSession::for_tree).
+    pub fn for_line(problem: &LineProblem, config: AlgorithmConfig) -> Self {
+        let full = LiveCore::new_line(problem);
+        let live: Vec<LiveDemand> = problem
+            .demands()
+            .iter()
+            .map(|d| LiveDemand {
+                ticket: d.id.index() as u64,
+                request: DemandRequest::Line {
+                    release: d.release,
+                    deadline: d.deadline,
+                    processing: d.processing,
+                    profit: d.profit,
+                    height: d.height,
+                    access: problem.access(d.id).to_vec(),
+                },
+            })
+            .collect();
+        let base = LineProblem::new(problem.timeslots(), problem.num_resources());
+        Self::assemble(BaseProblem::Line(base), None, config, live, full)
+    }
+
+    fn assemble(
+        base: BaseProblem,
+        layerer: Option<TreeLayerer>,
+        config: AlgorithmConfig,
+        live: Vec<LiveDemand>,
+        full: LiveCore,
+    ) -> Self {
+        let next_ticket = live.len() as u64;
+        let index = live
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.ticket, i as u32))
+            .collect();
+        Self {
+            base,
+            layerer,
+            config,
+            live,
+            index,
+            next_ticket,
+            full,
+            split: None,
+            schedule: BTreeMap::new(),
+            epoch: 0,
+            solved: false,
+            certificate: Certificate::default(),
+            profit: 0.0,
+            last: None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The epochs stepped so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The run configuration every epoch solves with.
+    pub fn config(&self) -> &AlgorithmConfig {
+        &self.config
+    }
+
+    /// Number of live demands.
+    pub fn live_demands(&self) -> usize {
+        self.live.len()
+    }
+
+    /// The tickets of all live demands, in current dense-id order.
+    pub fn live_tickets(&self) -> Vec<DemandTicket> {
+        self.live.iter().map(|d| DemandTicket(d.ticket)).collect()
+    }
+
+    /// `true` when the ticket names a live demand.
+    pub fn is_live(&self, ticket: DemandTicket) -> bool {
+        self.index.contains_key(&ticket.0)
+    }
+
+    /// The session's current demand-instance universe.
+    pub fn universe(&self) -> &DemandInstanceUniverse {
+        &self.full.universe
+    }
+
+    /// The session's incrementally maintained sharded conflict graph.
+    pub fn conflict(&self) -> &ShardedConflictGraph {
+        &self.full.conflict
+    }
+
+    /// The standing schedule, ascending by ticket.
+    pub fn schedule(&self) -> Vec<ScheduledDemand> {
+        self.schedule
+            .iter()
+            .map(|(&t, &placement)| ScheduledDemand {
+                ticket: DemandTicket(t),
+                placement,
+            })
+            .collect()
+    }
+
+    /// Total profit of the standing schedule.
+    pub fn profit(&self) -> f64 {
+        self.profit
+    }
+
+    /// The full engine [`Solution`] of the most recent solved epoch (`None`
+    /// before the first solve). Instance ids refer to the **current**
+    /// universe only as long as no further mutating epoch runs.
+    pub fn last_solution(&self) -> Option<&Solution> {
+        self.last.as_ref()
+    }
+
+    // ------------------------------------------------------------------
+    // Validation
+    // ------------------------------------------------------------------
+
+    /// Validates an arriving request against the session topology — by
+    /// delegating to the **same** `validate_demand` the problem types'
+    /// `add_demand` runs, so the admission surface and the constructors
+    /// cannot drift apart — without mutating anything.
+    pub fn validate_request(&self, request: &DemandRequest) -> Result<(), ServiceError> {
+        match (&self.base, request) {
+            (
+                BaseProblem::Tree(base),
+                DemandRequest::Tree {
+                    u,
+                    v,
+                    profit,
+                    height,
+                    access,
+                },
+            ) => base
+                .validate_demand(*u, *v, *profit, *height, access)
+                .map_err(|e| ServiceError::InvalidDemand(e.to_string())),
+            (
+                BaseProblem::Line(base),
+                DemandRequest::Line {
+                    release,
+                    deadline,
+                    processing,
+                    profit,
+                    height,
+                    access,
+                },
+            ) => base
+                .validate_demand(*release, *deadline, *processing, *profit, *height, access)
+                .map_err(|e| ServiceError::InvalidDemand(e.to_string())),
+            (BaseProblem::Tree(_), DemandRequest::Line { .. }) => {
+                Err(ServiceError::ShapeMismatch { expected: "tree" })
+            }
+            (BaseProblem::Line(_), DemandRequest::Tree { .. }) => {
+                Err(ServiceError::ShapeMismatch { expected: "line" })
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The epoch step
+    // ------------------------------------------------------------------
+
+    /// Advances the session by one epoch: validates and applies the batch,
+    /// rebuilds only the touched shards, re-solves, and returns the delta.
+    ///
+    /// Validation is all-or-nothing: on `Err` the session is unchanged. An
+    /// empty batch on an already-solved session is a true no-op (no
+    /// rebuild, no solve — `stats.resolved` is `false`).
+    pub fn step(&mut self, batch: &[DemandEvent]) -> Result<ScheduleDelta, ServiceError> {
+        // ---- validate & partition (no mutation before this block ends) --
+        let mut arrivals: Vec<DemandRequest> = Vec::new();
+        let mut expired: Vec<DemandId> = Vec::new();
+        for event in batch {
+            match event {
+                DemandEvent::Arrive(request) => {
+                    self.validate_request(request)?;
+                    arrivals.push(normalize(request.clone()));
+                }
+                DemandEvent::Expire(ticket) => {
+                    let id = *self
+                        .index
+                        .get(&ticket.0)
+                        .ok_or(ServiceError::UnknownTicket(*ticket))?;
+                    if expired.contains(&DemandId(id)) {
+                        return Err(ServiceError::DuplicateExpiry(*ticket));
+                    }
+                    expired.push(DemandId(id));
+                }
+            }
+        }
+        expired.sort_unstable();
+
+        // ---- empty-batch fast path ------------------------------------
+        if batch.is_empty() && self.solved {
+            self.epoch += 1;
+            return Ok(ScheduleDelta {
+                epoch: self.epoch,
+                tickets: Vec::new(),
+                admitted: Vec::new(),
+                evicted: Vec::new(),
+                reassigned: Vec::new(),
+                profit: self.profit,
+                certificate: self.certificate,
+                stats: EpochStats {
+                    arrivals: 0,
+                    expiries: 0,
+                    dirty_shards: 0,
+                    num_shards: self.full.conflict.num_shards(),
+                    live_demands: self.live.len(),
+                    instances: self.full.universe.num_instances(),
+                    resolved: false,
+                    rebuild_seconds: 0.0,
+                    solve_seconds: 0.0,
+                },
+            });
+        }
+
+        // ---- splice the full core -------------------------------------
+        let rebuild_start = std::time::Instant::now();
+        let (arrivings, assignments) = self.materialize(&arrivals);
+        let dirty_shards = self.full.apply(&expired, &arrivings, assignments.concat());
+
+        // ---- live-set bookkeeping -------------------------------------
+        let mut removed = vec![false; self.live.len()];
+        for &a in &expired {
+            removed[a.index()] = true;
+        }
+        // Old dense id → new dense id for survivors (u32::MAX = expired);
+        // mirrors the universe's demand renumbering.
+        let mut demand_remap = vec![u32::MAX; self.live.len()];
+        let mut next = 0u32;
+        for (i, r) in removed.iter().enumerate() {
+            if !*r {
+                demand_remap[i] = next;
+                next += 1;
+            }
+        }
+        let mut expired_tickets: Vec<DemandTicket> = Vec::with_capacity(expired.len());
+        let mut keep = removed.iter().map(|r| !*r);
+        let old_live = std::mem::take(&mut self.live);
+        self.live = old_live
+            .into_iter()
+            .filter(|d| {
+                let kept = keep.next().unwrap();
+                if !kept {
+                    expired_tickets.push(DemandTicket(d.ticket));
+                }
+                kept
+            })
+            .collect();
+        let mut new_tickets: Vec<DemandTicket> = Vec::with_capacity(arrivals.len());
+        for request in &arrivals {
+            let ticket = self.next_ticket;
+            self.next_ticket += 1;
+            new_tickets.push(DemandTicket(ticket));
+            self.live.push(LiveDemand {
+                ticket,
+                request: request.clone(),
+            });
+        }
+        self.index.clear();
+        for (i, d) in self.live.iter().enumerate() {
+            self.index.insert(d.ticket, i as u32);
+        }
+
+        // ---- wide/narrow split maintenance ----------------------------
+        let any_wide = self.live.iter().any(|d| d.request.is_wide());
+        let any_narrow = self.live.iter().any(|d| !d.request.is_wide());
+        let mixed = any_wide && any_narrow;
+        if self.split.is_some() {
+            self.update_split(&expired, &demand_remap, &arrivals, &arrivings, &assignments);
+        } else if mixed {
+            self.split = Some(self.build_split());
+        }
+
+        // ---- solve -----------------------------------------------------
+        let rebuild_seconds = rebuild_start.elapsed().as_secs_f64();
+        let solve_start = std::time::Instant::now();
+        let solution = if self.live.is_empty() {
+            Solution::empty()
+        } else if mixed {
+            let split = self.split.as_ref().expect("split exists when mixed");
+            solve_wide_narrow_on(
+                &self.full.universe,
+                EngineHalf {
+                    universe: &split.wide.universe,
+                    conflict: &split.wide.conflict,
+                    layering: &split.wide.layering,
+                    demand_map: &split.wide_map,
+                },
+                EngineHalf {
+                    universe: &split.narrow.universe,
+                    conflict: &split.narrow.conflict,
+                    layering: &split.narrow.layering,
+                    demand_map: &split.narrow_map,
+                },
+                &self.config,
+            )
+        } else if any_narrow {
+            self.full.solve(RaiseRule::Narrow, &self.config)
+        } else {
+            self.full.solve(RaiseRule::Unit, &self.config)
+        };
+        let solve_seconds = solve_start.elapsed().as_secs_f64();
+
+        // ---- delta extraction -----------------------------------------
+        let mut new_schedule: BTreeMap<u64, Placement> = BTreeMap::new();
+        for &d in &solution.selected {
+            let inst = self.full.universe.instance(d);
+            let ticket = self.live[inst.demand.index()].ticket;
+            new_schedule.insert(
+                ticket,
+                Placement {
+                    network: inst.network,
+                    start: inst.start,
+                },
+            );
+        }
+        let mut admitted = Vec::new();
+        let mut reassigned = Vec::new();
+        for (&ticket, &placement) in &new_schedule {
+            match self.schedule.get(&ticket) {
+                None => admitted.push(ScheduledDemand {
+                    ticket: DemandTicket(ticket),
+                    placement,
+                }),
+                Some(&old) if old != placement => reassigned.push(ScheduledDemand {
+                    ticket: DemandTicket(ticket),
+                    placement,
+                }),
+                Some(_) => {}
+            }
+        }
+        let evicted: Vec<DemandTicket> = self
+            .schedule
+            .keys()
+            .filter(|t| !new_schedule.contains_key(t) && self.index.contains_key(t))
+            .map(|&t| DemandTicket(t))
+            .collect();
+
+        self.schedule = new_schedule;
+        self.profit = solution.profit;
+        self.certificate = Certificate {
+            optimum_upper_bound: solution.diagnostics.optimum_upper_bound,
+            lambda: solution.diagnostics.lambda,
+            dual_objective: solution.diagnostics.dual_objective,
+        };
+        self.solved = true;
+        self.epoch += 1;
+        self.last = Some(solution);
+
+        Ok(ScheduleDelta {
+            epoch: self.epoch,
+            tickets: new_tickets,
+            admitted,
+            evicted,
+            reassigned,
+            profit: self.profit,
+            certificate: self.certificate,
+            stats: EpochStats {
+                arrivals: arrivals.len(),
+                expiries: expired.len(),
+                dirty_shards,
+                num_shards: self.full.conflict.num_shards(),
+                live_demands: self.live.len(),
+                instances: self.full.universe.num_instances(),
+                resolved: true,
+                rebuild_seconds,
+                solve_seconds,
+            },
+        })
+    }
+
+    /// Computes the universe splice inputs of a validated arrival batch:
+    /// one [`ArrivingDemand`] per request (instances in the canonical
+    /// `problem.universe()` enumeration order) and, for tree sessions, the
+    /// per-instance layering assignments.
+    fn materialize(
+        &self,
+        arrivals: &[DemandRequest],
+    ) -> (Vec<ArrivingDemand>, Vec<TreeAssignments>) {
+        let mut arrivings = Vec::with_capacity(arrivals.len());
+        let mut assignments = Vec::with_capacity(arrivals.len());
+        for request in arrivals {
+            let mut instances = Vec::new();
+            let mut assigns: TreeAssignments = Vec::new();
+            match (&self.base, request) {
+                (BaseProblem::Tree(base), DemandRequest::Tree { u, v, access, .. }) => {
+                    let layerer = self.layerer.as_ref().expect("tree sessions have a layerer");
+                    for &t in access {
+                        let tree = base.network(t);
+                        let path = tree.path_edges(*u, *v);
+                        assigns.push(layerer.assign(tree, t, *u, *v, &path));
+                        instances.push((t, path, None));
+                    }
+                }
+                (
+                    BaseProblem::Line(_),
+                    DemandRequest::Line {
+                        release,
+                        deadline,
+                        processing,
+                        ..
+                    },
+                ) => {
+                    let last_start = deadline + 1 - processing;
+                    for &t in request.access() {
+                        for start in *release..=last_start {
+                            let end = start + processing - 1;
+                            instances.push((
+                                t,
+                                EdgePath::interval(start as usize, end as usize),
+                                Some(start),
+                            ));
+                        }
+                    }
+                }
+                _ => unreachable!("validated requests match the session shape"),
+            }
+            arrivings.push(ArrivingDemand {
+                profit: request.profit(),
+                height: request.height(),
+                instances,
+            });
+            assignments.push(assigns);
+        }
+        (arrivings, assignments)
+    }
+
+    /// Splices the epoch's (already full-core-applied) delta through the
+    /// existing split cores: each half receives the expiries and arrivals
+    /// of its height class, and the half→full demand maps are renumbered
+    /// through the full core's demand remap.
+    fn update_split(
+        &mut self,
+        expired: &[DemandId],
+        demand_remap: &[u32],
+        arrivals: &[DemandRequest],
+        arrivings: &[ArrivingDemand],
+        assignments: &[TreeAssignments],
+    ) {
+        let split = self.split.as_mut().expect("caller checked");
+        let survivors = demand_remap.iter().filter(|&&m| m != u32::MAX).count() as u32;
+        let mut removed = vec![false; demand_remap.len()];
+        for &a in expired {
+            removed[a.index()] = true;
+        }
+
+        for wide_half in [true, false] {
+            let (core, map) = if wide_half {
+                (&mut split.wide, &mut split.wide_map)
+            } else {
+                (&mut split.narrow, &mut split.narrow_map)
+            };
+            // Expired positions within this half, in half order.
+            let half_expired: Vec<DemandId> = map
+                .iter()
+                .enumerate()
+                .filter(|&(_, full_id)| removed[full_id.index()])
+                .map(|(i, _)| DemandId::new(i))
+                .collect();
+            // This half's arrivals, in batch order.
+            let mut half_arrivings: Vec<ArrivingDemand> = Vec::new();
+            let mut half_assignments: TreeAssignments = Vec::new();
+            let mut half_new_full: Vec<DemandId> = Vec::new();
+            for (i, ((request, arriving), assigns)) in
+                arrivals.iter().zip(arrivings).zip(assignments).enumerate()
+            {
+                if request.is_wide() == wide_half {
+                    half_arrivings.push(arriving.clone());
+                    half_assignments.extend(assigns.iter().cloned());
+                    half_new_full.push(DemandId(survivors + i as u32));
+                }
+            }
+            core.apply(&half_expired, &half_arrivings, half_assignments);
+            // Renumber the half → full map and append the new arrivals.
+            let old_map = std::mem::take(map);
+            *map = old_map
+                .into_iter()
+                .filter_map(|full_id| match demand_remap[full_id.index()] {
+                    u32::MAX => None,
+                    new => Some(DemandId(new)),
+                })
+                .collect();
+            map.extend(half_new_full);
+        }
+    }
+
+    /// Builds the split cores from scratch over the current live set — the
+    /// one-time cost paid on the first epoch whose height mix is mixed
+    /// (identical to what a fresh `Scheduler`'s split caches would hold).
+    fn build_split(&self) -> SplitState {
+        let mut wide_map = Vec::new();
+        let mut narrow_map = Vec::new();
+        for (i, d) in self.live.iter().enumerate() {
+            if d.request.is_wide() {
+                wide_map.push(DemandId::new(i));
+            } else {
+                narrow_map.push(DemandId::new(i));
+            }
+        }
+        let (wide, narrow) = match &self.base {
+            BaseProblem::Tree(base) => {
+                let layerer = self.layerer.as_ref().expect("tree sessions have a layerer");
+                let build = |keep_wide: bool| {
+                    let mut p = base.clone();
+                    for d in &self.live {
+                        if d.request.is_wide() != keep_wide {
+                            continue;
+                        }
+                        if let DemandRequest::Tree {
+                            u,
+                            v,
+                            profit,
+                            height,
+                            access,
+                        } = &d.request
+                        {
+                            p.add_demand(*u, *v, *profit, *height, access.clone())
+                                .expect("live demands are valid");
+                        }
+                    }
+                    LiveCore::new_tree(&p, layerer)
+                };
+                (build(true), build(false))
+            }
+            BaseProblem::Line(base) => {
+                let build = |keep_wide: bool| {
+                    let mut p = base.clone();
+                    for d in &self.live {
+                        if d.request.is_wide() != keep_wide {
+                            continue;
+                        }
+                        if let DemandRequest::Line {
+                            release,
+                            deadline,
+                            processing,
+                            profit,
+                            height,
+                            access,
+                        } = &d.request
+                        {
+                            p.add_demand(
+                                *release,
+                                *deadline,
+                                *processing,
+                                *profit,
+                                *height,
+                                access.clone(),
+                            )
+                            .expect("live demands are valid");
+                        }
+                    }
+                    LiveCore::new_line(&p)
+                };
+                (build(true), build(false))
+            }
+        };
+        SplitState {
+            wide,
+            narrow,
+            wide_map,
+            narrow_map,
+        }
+    }
+}
+
+/// Sorts and deduplicates the access set, mirroring `add_demand`.
+fn normalize(mut request: DemandRequest) -> DemandRequest {
+    match &mut request {
+        DemandRequest::Tree { access, .. } | DemandRequest::Line { access, .. } => {
+            access.sort_unstable();
+            access.dedup();
+        }
+    }
+    request
+}
+
+impl std::fmt::Debug for ServiceSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceSession")
+            .field("epoch", &self.epoch)
+            .field("live_demands", &self.live.len())
+            .field("instances", &self.full.universe.num_instances())
+            .field("scheduled", &self.schedule.len())
+            .field("profit", &self.profit)
+            .finish()
+    }
+}

@@ -1,0 +1,433 @@
+//! Dynamic event-trace generators for the serving subsystem.
+//!
+//! A static workload describes one demand set; a **trace** describes how a
+//! demand set evolves: per-epoch batches of arrivals and expiries. The
+//! generators here model Poisson *tenant-replacement* traffic against a
+//! standing demand pool:
+//!
+//! * arrivals per epoch are `Poisson(churn × pool size)` — the `churn` knob
+//!   is the expected fraction of the pool replaced per epoch, so by
+//!   Little's law a demand lives `≈ 1/churn` epochs on average;
+//! * each epoch's traffic concentrates on a small **focus set** of
+//!   networks (a tenant's job array lands on one machine, a rack drains):
+//!   arrivals draw their access sets from the focus networks, and expiries
+//!   retire the oldest live demands whose access touches the focus — the
+//!   drain-and-refill pattern of per-machine job replacement. This is the
+//!   regime the incremental per-shard rebuild targets: one epoch dirties
+//!   `O(focus)` shards, not all of them. `focus = 0` disables the locality
+//!   (every network in focus, arrivals spread, oldest demands expire
+//!   regardless of placement);
+//! * access sets reuse the base workload's `access_probability` and
+//!   `access_skew` (restricted to the focus set), like the static
+//!   generators.
+//!
+//! Traces are neutral data ([`TraceEvent`] / [`EventTrace`]): expiries name
+//! the *arrival index* of the demand they retire (initial demands are
+//! arrivals `0..m₀`, traced arrivals continue from `m₀` in generation
+//! order), which maps 1:1 onto the service layer's tickets.
+
+use crate::demand_gen::DemandSpec;
+use crate::line_gen::LineWorkload;
+use crate::tree_gen::{skewed_access_probability, TreeWorkload};
+use netsched_graph::{NetworkId, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The churn profile of a dynamic trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnSpec {
+    /// Number of epochs (batches) to generate.
+    pub epochs: usize,
+    /// Expected fraction of the demand pool replaced per epoch, in
+    /// `(0, 1]`; mean demand lifetime is `≈ 1/churn` epochs.
+    pub churn: f64,
+    /// Number of networks each epoch's traffic concentrates on (sampled
+    /// per epoch); 0 disables the locality.
+    pub focus: usize,
+    /// Seed of the trace stream (independent of the base workload's seed).
+    pub seed: u64,
+}
+
+impl Default for ChurnSpec {
+    fn default() -> Self {
+        Self {
+            epochs: 32,
+            churn: 0.05,
+            focus: 2,
+            seed: 0,
+        }
+    }
+}
+
+/// One event of a dynamic trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A tree demand arrives.
+    ArriveTree {
+        /// One route end-point.
+        u: VertexId,
+        /// The other route end-point.
+        v: VertexId,
+        /// Profit.
+        profit: f64,
+        /// Height.
+        height: f64,
+        /// Accessible networks.
+        access: Vec<NetworkId>,
+    },
+    /// A windowed line demand arrives.
+    ArriveLine {
+        /// Release time.
+        release: u32,
+        /// Deadline (inclusive).
+        deadline: u32,
+        /// Processing time.
+        processing: u32,
+        /// Profit.
+        profit: f64,
+        /// Height.
+        height: f64,
+        /// Accessible resources.
+        access: Vec<NetworkId>,
+    },
+    /// The demand admitted as arrival number `arrival` expires (initial
+    /// demands count as arrivals `0..m₀`).
+    Expire {
+        /// Global arrival index of the retiring demand.
+        arrival: usize,
+    },
+}
+
+impl TraceEvent {
+    /// `true` for arrival events.
+    pub fn is_arrival(&self) -> bool {
+        !matches!(self, TraceEvent::Expire { .. })
+    }
+}
+
+/// A generated dynamic trace: one event batch per epoch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EventTrace {
+    /// The per-epoch event batches.
+    pub batches: Vec<Vec<TraceEvent>>,
+}
+
+impl EventTrace {
+    /// Total number of events over all batches.
+    pub fn num_events(&self) -> usize {
+        self.batches.iter().map(Vec::len).sum()
+    }
+
+    /// Total number of arrivals over all batches.
+    pub fn num_arrivals(&self) -> usize {
+        self.batches
+            .iter()
+            .flatten()
+            .filter(|e| e.is_arrival())
+            .count()
+    }
+}
+
+/// Knuth's product-of-uniforms Poisson sampler; fine for the per-epoch
+/// arrival intensities traces use (λ ≲ 100).
+fn poisson(rng: &mut StdRng, lambda: f64) -> usize {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen_range(0.0..1.0);
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Samples this epoch's focus set: `focus` distinct networks (all of them
+/// when `focus` is 0 or covers everything).
+fn sample_focus(rng: &mut StdRng, networks: usize, focus: usize) -> Vec<usize> {
+    if focus == 0 || focus >= networks {
+        return (0..networks).collect();
+    }
+    let mut pool: Vec<usize> = (0..networks).collect();
+    for i in 0..focus {
+        let j = rng.gen_range(i..networks);
+        pool.swap(i, j);
+    }
+    pool.truncate(focus);
+    pool.sort_unstable();
+    pool
+}
+
+/// Draws an access set from the focus networks with the base generators'
+/// skewed per-network probability (skew indexed by the *global* network
+/// id), guaranteeing at least one accessible network.
+fn sample_access(
+    rng: &mut StdRng,
+    focus: &[usize],
+    base_probability: f64,
+    skew: f64,
+) -> Vec<NetworkId> {
+    let mut access: Vec<NetworkId> = focus
+        .iter()
+        .filter(|&&t| rng.gen_bool(skewed_access_probability(base_probability, skew, t)))
+        .map(|&t| NetworkId::new(t))
+        .collect();
+    if access.is_empty() {
+        access.push(NetworkId::new(focus[rng.gen_range(0..focus.len())]));
+    }
+    access
+}
+
+/// The live pool the generators simulate: arrival index plus access set,
+/// oldest first. Expiries retire the oldest demand touching the focus —
+/// FIFO per tenant locality.
+struct Pool {
+    live: Vec<(usize, Vec<usize>)>,
+}
+
+impl Pool {
+    fn expire_on_focus(&mut self, focus: &[usize], count: usize) -> Vec<usize> {
+        let mut retired = Vec::with_capacity(count);
+        let mut i = 0;
+        while retired.len() < count && i < self.live.len() {
+            if self.live[i].1.iter().any(|t| focus.contains(t)) {
+                retired.push(self.live.remove(i).0);
+            } else {
+                i += 1;
+            }
+        }
+        retired
+    }
+
+    fn admit(&mut self, arrival: usize, access: &[NetworkId]) {
+        self.live
+            .push((arrival, access.iter().map(|t| t.index()).collect()));
+    }
+}
+
+/// Generates a Poisson tenant-replacement trace against a line workload's
+/// demand pool. The base workload describes the *initial* pool (what the
+/// service session is seeded with — its access sets are re-derived by
+/// replaying the workload build) and the arrival distributions; the spec
+/// describes the churn. See the [module docs](self).
+pub fn poisson_arrivals_line(base: &LineWorkload, spec: &ChurnSpec) -> EventTrace {
+    assert!(
+        spec.churn > 0.0 && spec.churn <= 1.0,
+        "churn must lie in (0, 1], got {}",
+        spec.churn
+    );
+    let problem = base.build().expect("base workload builds");
+    let mut pool = Pool {
+        live: problem
+            .demands()
+            .iter()
+            .map(|d| {
+                (
+                    d.id.index(),
+                    problem.access(d.id).iter().map(|t| t.index()).collect(),
+                )
+            })
+            .collect(),
+    };
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut arrivals = base.demands;
+    let mut batches = Vec::with_capacity(spec.epochs);
+    for _ in 0..spec.epochs {
+        let focus = sample_focus(&mut rng, base.resources, spec.focus);
+        let lambda = spec.churn * base.demands as f64;
+        let mut batch: Vec<TraceEvent> = pool
+            .expire_on_focus(&focus, poisson(&mut rng, lambda))
+            .into_iter()
+            .map(|arrival| TraceEvent::Expire { arrival })
+            .collect();
+        for _ in 0..poisson(&mut rng, lambda) {
+            let spec_d = DemandSpec::sample(&base.profits, &base.heights, &mut rng);
+            let len = rng.gen_range(base.min_length..=base.max_length);
+            let release = rng.gen_range(0..=(base.timeslots - len));
+            let slack = rng.gen_range(0..=base.max_slack.min(base.timeslots - release - len));
+            let access = sample_access(&mut rng, &focus, base.access_probability, base.access_skew);
+            pool.admit(arrivals, &access);
+            batch.push(TraceEvent::ArriveLine {
+                release,
+                deadline: release + len - 1 + slack,
+                processing: len,
+                profit: spec_d.profit,
+                height: spec_d.height,
+                access,
+            });
+            arrivals += 1;
+        }
+        batches.push(batch);
+    }
+    EventTrace { batches }
+}
+
+/// Generates a Poisson tenant-replacement trace against a tree workload's
+/// demand pool; see [`poisson_arrivals_line`].
+pub fn poisson_arrivals_tree(base: &TreeWorkload, spec: &ChurnSpec) -> EventTrace {
+    assert!(
+        spec.churn > 0.0 && spec.churn <= 1.0,
+        "churn must lie in (0, 1], got {}",
+        spec.churn
+    );
+    let problem = base.build().expect("base workload builds");
+    let mut pool = Pool {
+        live: problem
+            .demands()
+            .iter()
+            .map(|d| {
+                (
+                    d.id.index(),
+                    problem.access(d.id).iter().map(|t| t.index()).collect(),
+                )
+            })
+            .collect(),
+    };
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut arrivals = base.demands;
+    let mut batches = Vec::with_capacity(spec.epochs);
+    for _ in 0..spec.epochs {
+        let focus = sample_focus(&mut rng, base.networks, spec.focus);
+        let lambda = spec.churn * base.demands as f64;
+        let mut batch: Vec<TraceEvent> = pool
+            .expire_on_focus(&focus, poisson(&mut rng, lambda))
+            .into_iter()
+            .map(|arrival| TraceEvent::Expire { arrival })
+            .collect();
+        for _ in 0..poisson(&mut rng, lambda) {
+            let spec_d = DemandSpec::sample(&base.profits, &base.heights, &mut rng);
+            let u = rng.gen_range(0..base.vertices);
+            let mut v = rng.gen_range(0..base.vertices);
+            while v == u {
+                v = rng.gen_range(0..base.vertices);
+            }
+            let access = sample_access(&mut rng, &focus, base.access_probability, base.access_skew);
+            pool.admit(arrivals, &access);
+            batch.push(TraceEvent::ArriveTree {
+                u: VertexId::new(u),
+                v: VertexId::new(v),
+                profit: spec_d.profit,
+                height: spec_d.height,
+                access,
+            });
+            arrivals += 1;
+        }
+        batches.push(batch);
+    }
+    EventTrace { batches }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multi_net::{many_networks_line, many_networks_tree};
+
+    fn spec() -> ChurnSpec {
+        ChurnSpec {
+            epochs: 24,
+            churn: 0.1,
+            focus: 2,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn traces_are_reproducible_and_well_formed() {
+        let base = many_networks_line(8, 60, 3);
+        let a = poisson_arrivals_line(&base, &spec());
+        let b = poisson_arrivals_line(&base, &spec());
+        assert_eq!(a, b);
+        assert_eq!(a.batches.len(), 24);
+        assert!(a.num_arrivals() > 0);
+        assert!(a.num_events() > a.num_arrivals(), "expiries present");
+        // Every expiry names an arrival that happened no later.
+        let mut arrivals = base.demands;
+        for batch in &a.batches {
+            for event in batch {
+                if let TraceEvent::Expire { arrival } = event {
+                    assert!(*arrival < arrivals, "expiry of a future arrival");
+                }
+            }
+            arrivals += batch.iter().filter(|e| e.is_arrival()).count();
+        }
+    }
+
+    #[test]
+    fn no_arrival_expires_twice() {
+        let base = many_networks_tree(6, 50, 11);
+        let trace = poisson_arrivals_tree(&base, &spec());
+        let mut seen = std::collections::HashSet::new();
+        for event in trace.batches.iter().flatten() {
+            if let TraceEvent::Expire { arrival } = event {
+                assert!(seen.insert(*arrival), "arrival {arrival} expired twice");
+            }
+        }
+    }
+
+    #[test]
+    fn focus_limits_the_networks_a_batch_arrives_on() {
+        let base = many_networks_line(8, 80, 5);
+        let trace = poisson_arrivals_line(&base, &spec());
+        for batch in &trace.batches {
+            let mut nets = std::collections::HashSet::new();
+            for event in batch {
+                if let TraceEvent::ArriveLine { access, .. } = event {
+                    assert!(!access.is_empty());
+                    nets.extend(access.iter().map(|t| t.index()));
+                }
+            }
+            assert!(
+                nets.len() <= 2,
+                "arrivals focused on ≤ 2 networks: {nets:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn churn_holds_the_pool_near_its_target() {
+        let base = many_networks_tree(8, 80, 13);
+        let trace = poisson_arrivals_tree(
+            &base,
+            &ChurnSpec {
+                epochs: 60,
+                ..spec()
+            },
+        );
+        let mut live = base.demands as i64;
+        for batch in &trace.batches {
+            for event in batch {
+                live += if event.is_arrival() { 1 } else { -1 };
+            }
+        }
+        let drift = (live - base.demands as i64).abs();
+        assert!(
+            drift < base.demands as i64 / 2,
+            "pool drifted too far: {live} vs target {}",
+            base.demands
+        );
+    }
+
+    #[test]
+    fn zero_focus_spreads_arrivals() {
+        let base = many_networks_tree(6, 60, 2);
+        let trace = poisson_arrivals_tree(
+            &base,
+            &ChurnSpec {
+                focus: 0,
+                epochs: 40,
+                ..spec()
+            },
+        );
+        let mut nets = std::collections::HashSet::new();
+        for event in trace.batches.iter().flatten() {
+            if let TraceEvent::ArriveTree { access, .. } = event {
+                nets.extend(access.iter().map(|t| t.index()));
+            }
+        }
+        assert!(nets.len() > 2, "unfocused arrivals reach many networks");
+    }
+}

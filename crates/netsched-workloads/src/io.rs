@@ -6,6 +6,7 @@
 //! [`LineProblem`] is always fully indexed and queryable.
 
 use crate::demand_gen::{HeightDistribution, ProfitDistribution};
+use crate::dynamic::ChurnSpec;
 use crate::json::{FromJson, JsonValue, ToJson};
 use crate::line_gen::LineWorkload;
 use crate::scenarios::Scenario;
@@ -389,30 +390,63 @@ impl FromJson for LineWorkload {
     }
 }
 
+impl ToJson for ChurnSpec {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("epochs", JsonValue::int(self.epochs)),
+            ("churn", JsonValue::num(self.churn)),
+            ("focus", JsonValue::int(self.focus)),
+            ("seed", JsonValue::u64_value(self.seed)),
+        ])
+    }
+}
+
+impl FromJson for ChurnSpec {
+    fn from_json(value: &JsonValue) -> Result<Self, String> {
+        Ok(ChurnSpec {
+            epochs: value.field("epochs")?.as_usize()?,
+            churn: value.field("churn")?.as_f64()?,
+            focus: value.field("focus")?.as_usize()?,
+            seed: value.field("seed")?.as_u64()?,
+        })
+    }
+}
+
+/// Reads the optional `churn` field (absent in pre-dynamic scenario files
+/// and for static scenarios).
+fn optional_churn(value: &JsonValue) -> Result<Option<ChurnSpec>, String> {
+    match value.field("churn") {
+        Ok(v) => Ok(Some(ChurnSpec::from_json(v)?)),
+        Err(_) => Ok(None),
+    }
+}
+
 impl ToJson for Scenario {
     fn to_json(&self) -> JsonValue {
-        match self {
+        let (kind, name, description, workload, churn) = match self {
             Scenario::Tree {
                 name,
                 description,
                 workload,
-            } => JsonValue::object(vec![
-                ("kind", JsonValue::String("tree".to_string())),
-                ("name", JsonValue::String(name.clone())),
-                ("description", JsonValue::String(description.clone())),
-                ("workload", workload.to_json()),
-            ]),
+                churn,
+            } => ("tree", name, description, workload.to_json(), churn),
             Scenario::Line {
                 name,
                 description,
                 workload,
-            } => JsonValue::object(vec![
-                ("kind", JsonValue::String("line".to_string())),
-                ("name", JsonValue::String(name.clone())),
-                ("description", JsonValue::String(description.clone())),
-                ("workload", workload.to_json()),
-            ]),
+                churn,
+            } => ("line", name, description, workload.to_json(), churn),
+        };
+        let mut fields = vec![
+            ("kind", JsonValue::String(kind.to_string())),
+            ("name", JsonValue::String(name.clone())),
+            ("description", JsonValue::String(description.clone())),
+            ("workload", workload),
+        ];
+        if let Some(churn) = churn {
+            fields.push(("churn", churn.to_json()));
         }
+        JsonValue::object(fields)
     }
 }
 
@@ -420,16 +454,19 @@ impl FromJson for Scenario {
     fn from_json(value: &JsonValue) -> Result<Self, String> {
         let name = value.field("name")?.as_str()?.to_string();
         let description = value.field("description")?.as_str()?.to_string();
+        let churn = optional_churn(value)?;
         match value.field("kind")?.as_str()? {
             "tree" => Ok(Scenario::Tree {
                 name,
                 description,
                 workload: TreeWorkload::from_json(value.field("workload")?)?,
+                churn,
             }),
             "line" => Ok(Scenario::Line {
                 name,
                 description,
                 workload: LineWorkload::from_json(value.field("workload")?)?,
+                churn,
             }),
             other => Err(format!("unknown scenario kind `{other}`")),
         }
@@ -539,7 +576,42 @@ mod tests {
             let back: Scenario = from_json_str(&json).unwrap();
             assert_eq!(scenario.name(), back.name());
             assert_eq!(scenario.description(), back.description());
+            assert_eq!(scenario.churn(), back.churn(), "{}", scenario.name());
         }
+    }
+
+    #[test]
+    fn churn_scenarios_roundtrip_their_spec() {
+        let churn = named_scenarios()
+            .into_iter()
+            .find(|s| s.name() == "churn-line")
+            .expect("churn-line registered");
+        assert!(churn.churn().is_some());
+        let back: Scenario = from_json_str(&to_json_string(&churn).unwrap()).unwrap();
+        let spec = back.churn().expect("churn survives the roundtrip");
+        assert_eq!(spec, churn.churn().unwrap());
+    }
+
+    #[test]
+    fn pre_dynamic_scenario_files_parse_with_no_churn() {
+        // A scenario file written before the `churn` field existed must
+        // still load (backwards-compatible optional field).
+        let json = r#"{
+            "kind": "line",
+            "name": "old-scenario",
+            "description": "a static scenario from an old file",
+            "workload": {
+                "timeslots": 32, "resources": 2, "demands": 5,
+                "min_length": 1, "max_length": 4, "max_slack": 2,
+                "access_probability": 0.5,
+                "profits": {"kind": "constant", "value": 1.0},
+                "heights": {"kind": "unit"},
+                "seed": 3
+            }
+        }"#;
+        let back: Scenario = from_json_str(json).unwrap();
+        assert!(back.churn().is_none());
+        assert_eq!(back.name(), "old-scenario");
     }
 
     #[test]

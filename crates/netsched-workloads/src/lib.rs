@@ -11,6 +11,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod demand_gen;
+pub mod dynamic;
 pub mod io;
 pub mod json;
 pub mod line_gen;
@@ -19,6 +20,9 @@ pub mod scenarios;
 pub mod tree_gen;
 
 pub use demand_gen::{DemandSpec, HeightDistribution, ProfitDistribution};
+pub use dynamic::{
+    poisson_arrivals_line, poisson_arrivals_tree, ChurnSpec, EventTrace, TraceEvent,
+};
 pub use line_gen::{LineWorkload, LineWorkloadBuilder};
 pub use multi_net::{
     many_networks_line, many_networks_tree, skewed_networks_line, skewed_networks_tree,

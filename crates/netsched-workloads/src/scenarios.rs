@@ -7,6 +7,7 @@
 //! re-export the worked figures of the paper.
 
 use crate::demand_gen::{HeightDistribution, ProfitDistribution};
+use crate::dynamic::ChurnSpec;
 use crate::line_gen::LineWorkload;
 use crate::multi_net::{many_networks_line, many_networks_tree, skewed_networks_line};
 use crate::tree_gen::{TreeTopology, TreeWorkload};
@@ -14,7 +15,9 @@ use fxhash::FxHashMap;
 use netsched_graph::fixtures;
 use netsched_graph::{LineProblem, TreeProblem};
 
-/// A named scenario: either a tree-network or a line-network instance.
+/// A named scenario: either a tree-network or a line-network instance,
+/// optionally with a dynamic churn profile (the serving-subsystem
+/// scenarios; `None` for the static ones).
 #[derive(Debug, Clone)]
 pub enum Scenario {
     /// A tree-network scheduling scenario.
@@ -25,6 +28,9 @@ pub enum Scenario {
         description: String,
         /// The generated workload.
         workload: TreeWorkload,
+        /// Dynamic churn profile, when the scenario is a serving trace
+        /// (see [`crate::dynamic::poisson_arrivals_tree`]).
+        churn: Option<ChurnSpec>,
     },
     /// A windowed line-network scheduling scenario.
     Line {
@@ -34,6 +40,9 @@ pub enum Scenario {
         description: String,
         /// The generated workload.
         workload: LineWorkload,
+        /// Dynamic churn profile, when the scenario is a serving trace
+        /// (see [`crate::dynamic::poisson_arrivals_line`]).
+        churn: Option<ChurnSpec>,
     },
 }
 
@@ -49,6 +58,13 @@ impl Scenario {
     pub fn description(&self) -> &str {
         match self {
             Scenario::Tree { description, .. } | Scenario::Line { description, .. } => description,
+        }
+    }
+
+    /// The scenario's churn profile, when it is a dynamic serving trace.
+    pub fn churn(&self) -> Option<&ChurnSpec> {
+        match self {
+            Scenario::Tree { churn, .. } | Scenario::Line { churn, .. } => churn.as_ref(),
         }
     }
 }
@@ -76,6 +92,7 @@ pub fn named_scenarios() -> Vec<Scenario> {
                 heights: HeightDistribution::Unit,
                 seed: 2013,
             },
+            churn: None,
         },
         Scenario::Tree {
             name: "sensor-aggregation-trees".to_string(),
@@ -97,6 +114,7 @@ pub fn named_scenarios() -> Vec<Scenario> {
                 },
                 seed: 99,
             },
+            churn: None,
         },
         Scenario::Line {
             name: "batch-jobs-with-deadlines".to_string(),
@@ -121,6 +139,7 @@ pub fn named_scenarios() -> Vec<Scenario> {
                 heights: HeightDistribution::Unit,
                 seed: 7,
             },
+            churn: None,
         },
         Scenario::Line {
             name: "bandwidth-reservations".to_string(),
@@ -147,6 +166,7 @@ pub fn named_scenarios() -> Vec<Scenario> {
                 },
                 seed: 31,
             },
+            churn: None,
         },
         Scenario::Line {
             name: "many-networks-line".to_string(),
@@ -156,6 +176,7 @@ pub fn named_scenarios() -> Vec<Scenario> {
                           happy path)."
                 .to_string(),
             workload: many_networks_line(16, 140, 1601),
+            churn: None,
         },
         Scenario::Tree {
             name: "many-networks-tree".to_string(),
@@ -165,6 +186,7 @@ pub fn named_scenarios() -> Vec<Scenario> {
                           epochs."
                 .to_string(),
             workload: many_networks_tree(12, 110, 1202),
+            churn: None,
         },
         Scenario::Line {
             name: "skewed-shards-line".to_string(),
@@ -174,6 +196,65 @@ pub fn named_scenarios() -> Vec<Scenario> {
                           shard-parallel load balance."
                 .to_string(),
             workload: skewed_networks_line(8, 130, 1.5, 813),
+            churn: None,
+        },
+        Scenario::Line {
+            name: "churn-line".to_string(),
+            description: "A serving pool of 8 machine timelines under \
+                          continuous traffic: jobs arrive in per-epoch \
+                          tenant bursts focused on two machines, run for \
+                          ~1/churn epochs and expire — the dynamic-service \
+                          regime where each epoch dirties only the focused \
+                          shards."
+                .to_string(),
+            workload: LineWorkload {
+                timeslots: 128,
+                resources: 8,
+                demands: 360,
+                min_length: 2,
+                max_length: 24,
+                max_slack: 20,
+                access_probability: 0.02,
+                access_skew: 0.0,
+                profits: ProfitDistribution::Constant(8.0),
+                heights: HeightDistribution::Unit,
+                seed: 2024,
+            },
+            churn: Some(ChurnSpec {
+                epochs: 40,
+                churn: 0.05,
+                focus: 1,
+                seed: 20240,
+            }),
+        },
+        Scenario::Tree {
+            name: "churn-tree".to_string(),
+            description: "Eight spanning trees of a shared fabric serving \
+                          transfer requests that arrive in bursts against \
+                          two trees per epoch and expire after ~1/churn \
+                          epochs: the tree-shaped dynamic-service \
+                          counterpart of churn-line."
+                .to_string(),
+            workload: TreeWorkload {
+                vertices: 128,
+                networks: 8,
+                demands: 180,
+                topology: TreeTopology::RandomAttachment,
+                access_probability: 0.02,
+                access_skew: 0.0,
+                profits: ProfitDistribution::Uniform {
+                    min: 1.0,
+                    max: 32.0,
+                },
+                heights: HeightDistribution::Unit,
+                seed: 2025,
+            },
+            churn: Some(ChurnSpec {
+                epochs: 40,
+                churn: 0.05,
+                focus: 2,
+                seed: 20250,
+            }),
         },
     ]
 }
