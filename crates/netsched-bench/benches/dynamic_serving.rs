@@ -17,10 +17,18 @@
 //! the full differential suite lives in `tests/dynamic_equivalence.rs`).
 //! Results are written to `BENCH_dynamic_serving.json`; run with `--quick`
 //! for the reduced CI configuration.
+//!
+//! A second arm compares **warm vs cold re-solving** on the same traces:
+//! two identical incremental sessions, one in `ResolveMode::Cold` (the
+//! PR-4 path: splice + dirty-shard rebuild + from-zero solve) and one in
+//! `ResolveMode::Warm` (splice + dirty-shard rebuild + certificate
+//! repair). Every warm epoch's certificate is checked against the
+//! auto-selected solver's guarantee while timing; results are written to
+//! `BENCH_warm_resolve.json`.
 
 use netsched_core::{AlgorithmConfig, Scheduler};
 use netsched_graph::{LineProblem, TreeProblem};
-use netsched_service::{replay_trace, ServiceSession};
+use netsched_service::{replay_trace, ResolveMode, ServiceSession};
 use netsched_workloads::json::JsonValue;
 use netsched_workloads::{
     poisson_arrivals_line, poisson_arrivals_tree, scenario_by_name, ChurnSpec, EventTrace,
@@ -290,6 +298,149 @@ fn run_churn(scenario: &Scenario, churn: f64, epochs: usize) -> ChurnResult {
     }
 }
 
+struct WarmResult {
+    epochs: usize,
+    events: usize,
+    cold_s: f64,
+    cold_solve_s: f64,
+    warm_s: f64,
+    warm_solve_s: f64,
+    min_lambda: f64,
+    max_certified_ratio: f64,
+    guarantee: f64,
+    final_live: usize,
+}
+
+impl WarmResult {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("epochs", JsonValue::int(self.epochs)),
+            ("events", JsonValue::int(self.events)),
+            ("final_live_demands", JsonValue::int(self.final_live)),
+            (
+                "mean_cold_epoch_ms",
+                JsonValue::num(1e3 * self.cold_s / self.epochs as f64),
+            ),
+            (
+                "mean_cold_solve_ms",
+                JsonValue::num(1e3 * self.cold_solve_s / self.epochs as f64),
+            ),
+            (
+                "mean_warm_epoch_ms",
+                JsonValue::num(1e3 * self.warm_s / self.epochs as f64),
+            ),
+            (
+                "mean_warm_solve_ms",
+                JsonValue::num(1e3 * self.warm_solve_s / self.epochs as f64),
+            ),
+            ("epoch_speedup", JsonValue::num(self.cold_s / self.warm_s)),
+            (
+                "solve_speedup",
+                JsonValue::num(self.cold_solve_s / self.warm_solve_s),
+            ),
+            ("min_lambda", JsonValue::num(self.min_lambda)),
+            (
+                "max_certified_ratio",
+                JsonValue::num(self.max_certified_ratio),
+            ),
+            ("guarantee", JsonValue::num(self.guarantee)),
+        ])
+    }
+}
+
+/// Warm vs cold: two identical incremental sessions replay the same trace;
+/// only the re-solve strategy differs. The warm side's certificate is
+/// validated (λ ≥ 1 − ε, certified ratio ≤ the solver's guarantee) on
+/// every epoch — inside the contract, outside the comparison's honesty:
+/// both sides run exactly what a serving tier would.
+fn run_warm(scenario: &Scenario, churn: f64, epochs: usize) -> WarmResult {
+    let config = AlgorithmConfig::deterministic(0.25);
+    let spec = ChurnSpec {
+        epochs,
+        churn,
+        ..scenario.churn().expect("churn scenario").clone()
+    };
+    let (problem, trace): (Problem, EventTrace) = match scenario {
+        Scenario::Tree { workload, .. } => (
+            Problem::Tree(workload.build().unwrap()),
+            poisson_arrivals_tree(workload, &spec),
+        ),
+        Scenario::Line { workload, .. } => (
+            Problem::Line(workload.build().unwrap()),
+            poisson_arrivals_line(workload, &spec),
+        ),
+    };
+    // Both scenarios are unit-height, so the dispatch table selects the
+    // unit solvers: 7/(1 − ε) on trees (∆ = 6), 4/(1 − ε) on lines (∆ = 3).
+    let guarantee = match &problem {
+        Problem::Tree(p) => Scheduler::for_tree(p)
+            .auto_solver()
+            .guarantee(config.epsilon),
+        Problem::Line(p) => Scheduler::for_line(p)
+            .auto_solver()
+            .guarantee(config.epsilon),
+    }
+    .expect("paper solvers carry a guarantee");
+
+    let run = |mode: ResolveMode| {
+        let mut session = match &problem {
+            Problem::Tree(p) => ServiceSession::for_tree(p, config),
+            Problem::Line(p) => ServiceSession::for_line(p, config),
+        }
+        .with_resolve_mode(mode);
+        session.step(&[]).expect("initial solve"); // warm-up, untimed
+        let start = Instant::now();
+        let deltas = replay_trace(&mut session, &trace).expect("trace replays");
+        let total_s = start.elapsed().as_secs_f64();
+        let solve_s: f64 = deltas.iter().map(|d| d.stats.solve_seconds).sum();
+        (session, deltas, total_s, solve_s)
+    };
+
+    let (_, _, cold_s, cold_solve_s) = run(ResolveMode::Cold);
+    let (warm_session, warm_deltas, warm_s, warm_solve_s) = run(ResolveMode::Warm);
+
+    let mut min_lambda = f64::INFINITY;
+    let mut max_certified_ratio: f64 = 1.0;
+    for delta in &warm_deltas {
+        // Empty batches take the resolved=false fast path (no solve at
+        // all); an empty live set solves trivially. Neither certifies.
+        if !delta.stats.resolved || delta.stats.live_demands == 0 {
+            continue;
+        }
+        assert!(
+            delta.stats.warm_resolve,
+            "resolved warm epoch not flagged as a warm resume"
+        );
+        min_lambda = min_lambda.min(delta.certificate.lambda);
+        if delta.profit > 0.0 {
+            let ratio = delta.certificate.optimum_upper_bound / delta.profit;
+            max_certified_ratio = max_certified_ratio.max(ratio);
+            assert!(
+                ratio <= guarantee + 1e-6,
+                "warm certified ratio {ratio} exceeds the {guarantee} guarantee"
+            );
+        }
+        assert!(
+            delta.certificate.lambda >= 1.0 - config.epsilon - 1e-6,
+            "warm λ {} below 1 − ε",
+            delta.certificate.lambda
+        );
+    }
+
+    WarmResult {
+        epochs: trace.batches.len(),
+        events: trace.num_events(),
+        cold_s,
+        cold_solve_s,
+        warm_s,
+        warm_solve_s,
+        min_lambda,
+        max_certified_ratio,
+        guarantee,
+        final_live: warm_session.live_demands(),
+    }
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let epochs = if quick { 12 } else { 40 };
@@ -351,4 +502,50 @@ fn main() {
     );
     std::fs::write(path, json.render()).expect("writing BENCH_dynamic_serving.json must succeed");
     println!("\nwrote BENCH_dynamic_serving.json ({mode} mode, host threads: {host_threads})");
+
+    // ---- warm vs cold re-solve arm ----
+    let mut warm_json: Vec<(String, JsonValue)> = Vec::new();
+    for name in ["churn-line", "churn-tree"] {
+        let scenario = scenario_by_name(name).expect("churn scenario registered");
+        println!("\nbenchmark group: warm_resolve/{name}");
+        let mut churn_json: Vec<(String, JsonValue)> = Vec::new();
+        for churn in CHURN_RATES {
+            let result = run_warm(&scenario, churn, epochs);
+            println!(
+                "  churn {:>4.0}%   cold {:>8.3}ms/epoch (solve {:>6.3})   warm {:>8.3}ms/epoch \
+                 (solve {:>6.3})   epoch speedup {:.2}x   solve speedup {:.2}x   min λ {:.4}   \
+                 max ratio {:.2} (≤ {:.2})",
+                100.0 * churn,
+                1e3 * result.cold_s / result.epochs as f64,
+                1e3 * result.cold_solve_s / result.epochs as f64,
+                1e3 * result.warm_s / result.epochs as f64,
+                1e3 * result.warm_solve_s / result.epochs as f64,
+                result.cold_s / result.warm_s,
+                result.cold_solve_s / result.warm_solve_s,
+                result.min_lambda,
+                result.max_certified_ratio,
+                result.guarantee,
+            );
+            churn_json.push((format!("{churn}"), result.to_json()));
+        }
+        warm_json.push((
+            name.to_string(),
+            JsonValue::object(vec![(
+                "churn",
+                JsonValue::Object(churn_json.into_iter().collect()),
+            )]),
+        ));
+    }
+    let json = JsonValue::object(vec![
+        ("bench", JsonValue::String("warm_resolve".to_string())),
+        ("mode", JsonValue::String(mode.to_string())),
+        ("host_threads", JsonValue::int(host_threads)),
+        (
+            "scenarios",
+            JsonValue::Object(warm_json.into_iter().collect()),
+        ),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_warm_resolve.json");
+    std::fs::write(path, json.render()).expect("writing BENCH_warm_resolve.json must succeed");
+    println!("\nwrote BENCH_warm_resolve.json ({mode} mode, host threads: {host_threads})");
 }

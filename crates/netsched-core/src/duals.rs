@@ -401,6 +401,58 @@ impl DualState {
         }
     }
 
+    /// Subtracts a previously raised `β` contribution of `amount` from edge
+    /// `edge` of network `network` (and the mirrored `amount / c(e)` from
+    /// the weighted tree, when present).
+    ///
+    /// This is the splice primitive of the warm re-solve engine: when a
+    /// demand expires, the exact amounts its instances' raises added are
+    /// cleared out point by point, returning the `β` assignment to "as if
+    /// those raises never happened". Tiny negative residue left by
+    /// floating-point cancellation is clamped back to zero so the dual
+    /// assignment stays non-negative.
+    pub fn subtract_beta(
+        &mut self,
+        universe: &DemandInstanceUniverse,
+        network: NetworkId,
+        edge: netsched_graph::EdgeId,
+        amount: f64,
+    ) {
+        let nd = &mut self.beta[network.index()];
+        nd.beta.add(edge.index(), -amount);
+        let residue = nd.beta.point(edge.index());
+        if residue < 0.0 {
+            nd.beta.add(edge.index(), -residue);
+        }
+        if let Some(weighted) = &mut nd.weighted {
+            let c = universe.capacity(netsched_graph::GlobalEdge::new(network, edge));
+            weighted.add(edge.index(), -amount / c);
+            let residue = weighted.point(edge.index());
+            if residue < 0.0 {
+                weighted.add(edge.index(), -residue);
+            }
+        }
+    }
+
+    /// Compacts the `α` vector through a demand renumbering (old id → new
+    /// id, `u32::MAX` = expired) and extends it with zeros to `new_len`
+    /// (the arriving demands). Expired demands' `α` variables simply
+    /// disappear — no surviving constraint references them, since expiry
+    /// removes whole demands.
+    pub fn compact_alpha(&mut self, demand_remap: &[u32], new_len: usize) {
+        debug_assert_eq!(demand_remap.len(), self.alpha.len());
+        let mut next = 0usize;
+        for (old, &new) in demand_remap.iter().enumerate() {
+            if new != u32::MAX {
+                debug_assert_eq!(new as usize, next);
+                self.alpha[next] = self.alpha[old];
+                next += 1;
+            }
+        }
+        self.alpha.truncate(next);
+        self.alpha.resize(new_len, 0.0);
+    }
+
     /// The dual objective `Σ_a α(a) + Σ_e β(e)` of the current assignment.
     pub fn objective(&self) -> f64 {
         self.alpha.iter().sum::<f64>() + self.beta.iter().map(|nd| nd.beta.total()).sum::<f64>()

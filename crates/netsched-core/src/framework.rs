@@ -71,7 +71,7 @@ pub fn run_two_phase(
 /// the stage threshold, in group order. The Fenwick-heavy satisfaction
 /// checks are evaluated shard-parallel (reads only); the order-preserving
 /// merge keeps the result identical to the sequential filter.
-fn unsatisfied_of_group(
+pub(crate) fn unsatisfied_of_group(
     universe: &DemandInstanceUniverse,
     duals: &DualState,
     eligible: &[bool],
@@ -397,7 +397,12 @@ pub fn run_two_phase_reference(
 
 /// Derives a per-step MIS strategy from the base configuration so that
 /// every step uses fresh (but reproducible) randomness.
-fn derive_strategy(config: &AlgorithmConfig, epoch: usize, stage: usize, step: u64) -> MisStrategy {
+pub(crate) fn derive_strategy(
+    config: &AlgorithmConfig,
+    epoch: usize,
+    stage: usize,
+    step: u64,
+) -> MisStrategy {
     match config.mis {
         MisStrategy::SequentialGreedy => MisStrategy::SequentialGreedy,
         MisStrategy::Luby { seed } => {

@@ -59,6 +59,7 @@ pub mod sequential;
 pub mod solution;
 pub mod solver;
 pub mod tree;
+pub mod warm;
 
 pub use analysis::{run_two_phase_traced, StepRecord, Trace};
 pub use config::{approximation_bound, stage_xi, stages_per_epoch, AlgorithmConfig, RaiseRule};
@@ -73,12 +74,13 @@ pub use line::{
 pub use sequential::{run_sequential, solve_sequential_on, solve_sequential_tree};
 pub use solution::{RunDiagnostics, Solution};
 pub use solver::{
-    registry, solve_wide_narrow_on, ArbitraryTreeSolver, BuildCounts, EngineHalf,
-    LineArbitrarySolver, LineNarrowSolver, LineUnitSolver, NarrowTreeSolver, Portfolio,
-    PortfolioRun, Problem, ProblemKind, Scheduler, SequentialTreeSolver, SolveContext, Solver,
-    SplitPart, UnitTreeSolver,
+    combine_wide_narrow, registry, solve_wide_narrow_on, ArbitraryTreeSolver, BuildCounts,
+    EngineHalf, HalfOutcome, LineArbitrarySolver, LineNarrowSolver, LineUnitSolver,
+    NarrowTreeSolver, Portfolio, PortfolioRun, Problem, ProblemKind, Scheduler,
+    SequentialTreeSolver, SolveContext, Solver, SplitPart, UnitTreeSolver,
 };
 pub use tree::{
     solve_arbitrary_tree, solve_arbitrary_tree_on, solve_narrow_tree, solve_narrow_tree_on,
     solve_unit_tree, solve_unit_tree_on, subproblem,
 };
+pub use warm::{run_two_phase_warm_on, WarmState};

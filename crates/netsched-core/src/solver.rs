@@ -756,7 +756,47 @@ pub fn solve_wide_narrow_on(
     } else {
         Solution::empty()
     };
+    combine_wide_narrow(
+        universe,
+        HalfOutcome {
+            universe: wide.universe,
+            demand_map: wide.demand_map,
+            solution: wide_solution,
+        },
+        HalfOutcome {
+            universe: narrow.universe,
+            demand_map: narrow.demand_map,
+            solution: narrow_solution,
+        },
+    )
+}
 
+/// One solved half of a wide/narrow split, ready for
+/// [`combine_wide_narrow`]: the half's sub-universe, the map from its
+/// demand indices back to the original demand ids, and the half's engine
+/// solution (cold **or** warm — the combination is agnostic to how the
+/// half was solved, which is what lets the serving layer feed its
+/// warm-resumed split cores through the same Theorem 6.3 / 7.2 code).
+pub struct HalfOutcome<'a> {
+    /// The half's sub-universe.
+    pub universe: &'a DemandInstanceUniverse,
+    /// Sub-problem demand index → original demand id.
+    pub demand_map: &'a [DemandId],
+    /// The half's engine solution.
+    pub solution: Solution,
+}
+
+/// Combines two already-solved wide/narrow halves (Theorems 6.3 and 7.2):
+/// translate both schedules into `universe`'s instance ids, keep the more
+/// profitable schedule per network, and add the dual certificates
+/// (`OPT ≤ ub_w + ub_n`).
+pub fn combine_wide_narrow(
+    universe: &DemandInstanceUniverse,
+    wide: HalfOutcome<'_>,
+    narrow: HalfOutcome<'_>,
+) -> Solution {
+    let wide_solution = wide.solution;
+    let narrow_solution = narrow.solution;
     let wide_selected = translate_split_selection(
         wide.universe,
         &wide_solution.selected,

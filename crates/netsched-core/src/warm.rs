@@ -1,0 +1,697 @@
+//! Warm-started incremental re-solve with certificate repair.
+//!
+//! The paper's approximation guarantee is carried by the **dual
+//! certificate** (Lemma 3.1 / 6.1), not by any particular execution order
+//! of the first phase: weak duality holds for *any* non-negative dual
+//! assignment, scaled by the worst satisfaction slackness `λ` over the
+//! eligible instances. That freedom is what this module exploits. Instead
+//! of re-running the two-phase engine from zero duals after every demand
+//! splice, a [`WarmState`] persists
+//!
+//! * the [`DualState`] of the previous solve,
+//! * per-instance **raise records** (the exact `β` amounts each instance's
+//!   raises added, so an expiring demand's contributions can be cleared
+//!   out point by point — the "Fenwick point-clears"),
+//! * the surviving first-phase **stack** (the selection seed the second
+//!   phase replays), and
+//! * cached eligibility / relative heights / constraint-LHS lower bounds.
+//!
+//! [`WarmState::splice`] follows a universe splice: expired instances'
+//! `β` contributions are subtracted, expired demands' `α` variables are
+//! dropped, and every per-instance vector is renumbered through the
+//! [`UniverseDelta`] id maps. [`run_two_phase_warm_on`] then **repairs**
+//! the certificate: only the instances of *dirty* networks (the networks
+//! the splices touched since the last solve) can have lost satisfaction —
+//! a clean network's `β` range sums are untouched and `α` variables only
+//! ever grow — so the MIS/raise loop re-runs over the dirty shards alone,
+//! until every eligible instance is `(1 − ε)`-satisfied again. The second
+//! phase replays the whole stack (surviving seed + repair MISes, newest
+//! first), exactly like a cold run's stack pop.
+//!
+//! # The relaxed equivalence contract
+//!
+//! A warm re-solve is **certificate-equivalent**, not byte-equivalent, to
+//! a cold solve: the schedule may differ, but every epoch's certificate
+//! must verify (`λ ≥ 1 − ε`, feasible schedule) and the certified ratio
+//! must stay within the solver's worst-case guarantee. Both are checked
+//! in-engine: in debug builds they are asserted outright; in all builds a
+//! failed check triggers the safety valve — the state is reset and the
+//! solve re-runs from zero duals over all shards, which reproduces the
+//! cold engine's output exactly (a fresh [`WarmState`] with every shard
+//! dirty executes the identical step sequence as
+//! [`run_two_phase_on`](crate::run_two_phase_on)).
+
+use crate::config::{approximation_bound, stage_xi, stages_per_epoch, AlgorithmConfig, RaiseRule};
+use crate::duals::DualState;
+use crate::framework::{derive_strategy, unsatisfied_of_group};
+use crate::solution::{RunDiagnostics, Solution};
+use netsched_decomp::InstanceLayering;
+use netsched_distrib::{sharded_mis, MisScratch, RoundStats, ShardedConflictGraph};
+use netsched_graph::{
+    DemandInstanceUniverse, EdgeId, InstanceId, LoadTracker, NetworkId, UniverseDelta, EPS,
+};
+
+/// The `β` contributions of one instance's raises: the exact amounts added
+/// to each edge of its own network, accumulated across repair epochs.
+#[derive(Debug, Clone)]
+struct RaiseRecord {
+    network: NetworkId,
+    beta: Vec<(EdgeId, f64)>,
+}
+
+impl Default for RaiseRecord {
+    fn default() -> Self {
+        Self {
+            network: NetworkId::new(0),
+            beta: Vec::new(),
+        }
+    }
+}
+
+/// The persisted solver state a warm re-solve resumes from; see the
+/// [module docs](self).
+#[derive(Debug, Clone)]
+pub struct WarmState {
+    rule: RaiseRule,
+    duals: DualState,
+    /// Per-instance raise bookkeeping, indexed by current instance id.
+    records: Vec<RaiseRecord>,
+    /// The surviving first-phase stack (oldest MIS first) — the selection
+    /// seed the second phase replays.
+    stack: Vec<Vec<InstanceId>>,
+    /// Per-instance lower bound on the constraint LHS, exact as of the
+    /// instance's last visit by a repair pass (later raises only grow the
+    /// true LHS, so the cache never over-estimates).
+    lhs: Vec<f64>,
+    /// Cached eligibility (static per instance: heights and capacities
+    /// never change after admission).
+    eligible: Vec<bool>,
+    /// Cached maximum relative height `ĥ(d)` (static per instance).
+    rel_height: Vec<f64>,
+    /// Networks whose duals were perturbed by splices since the last
+    /// completed warm solve.
+    pending_dirty: Vec<bool>,
+    /// `false` until a warm solve has completed on this state; a fresh
+    /// state repairs every shard, which reproduces the cold engine.
+    primed: bool,
+    /// Warm solves completed on this state (telemetry).
+    epochs_resumed: u64,
+}
+
+impl WarmState {
+    /// A fresh state over a universe: zero duals, empty stack, every shard
+    /// pending. The first [`run_two_phase_warm_on`] on a fresh state is
+    /// step-for-step identical to the cold engine.
+    pub fn new(universe: &DemandInstanceUniverse, rule: RaiseRule) -> Self {
+        let n = universe.num_instances();
+        let rel_height: Vec<f64> = universe
+            .instance_ids()
+            .map(|d| DualState::max_relative_height(universe, d))
+            .collect();
+        let eligible = rel_height.iter().map(|&h| h <= 1.0 + EPS).collect();
+        Self {
+            rule,
+            duals: DualState::new(universe, rule),
+            records: vec![RaiseRecord::default(); n],
+            stack: Vec::new(),
+            lhs: vec![0.0; n],
+            eligible,
+            rel_height,
+            pending_dirty: vec![false; universe.num_networks()],
+            primed: false,
+            epochs_resumed: 0,
+        }
+    }
+
+    /// The raise rule this state resumes.
+    #[inline]
+    pub fn rule(&self) -> RaiseRule {
+        self.rule
+    }
+
+    /// Warm solves completed on this state so far.
+    #[inline]
+    pub fn epochs_resumed(&self) -> u64 {
+        self.epochs_resumed
+    }
+
+    /// The persisted dual assignment (read-only; certification telemetry).
+    #[inline]
+    pub fn duals(&self) -> &DualState {
+        &self.duals
+    }
+
+    /// Splices one universe delta through the persisted state. Must be
+    /// called **after** the universe splice, with the same
+    /// [`UniverseDelta`], exactly once per splice:
+    ///
+    /// 1. every removed instance's recorded `β` contributions are
+    ///    subtracted from the Fenwick trees (point-clears),
+    /// 2. expired demands' `α` variables are dropped and survivors
+    ///    compacted through the demand id map,
+    /// 3. the per-instance vectors (records, LHS cache, eligibility,
+    ///    relative heights) renumber through the instance id map, with the
+    ///    arrivals' entries freshly computed,
+    /// 4. the stack renumbers likewise (expired members drop out; only the
+    ///    newest occurrence of a re-raised instance is kept — an older
+    ///    duplicate below a newer one can never commit in the second
+    ///    phase, since tracker loads only grow), and
+    /// 5. the delta's dirty networks accumulate into the pending set the
+    ///    next repair consumes.
+    pub fn splice(&mut self, universe: &DemandInstanceUniverse, delta: &UniverseDelta) {
+        assert_eq!(
+            delta.old_num_instances(),
+            self.records.len(),
+            "warm state spliced against a delta of a different universe"
+        );
+        let n_new = universe.num_instances();
+
+        // 1. Point-clear the removed instances' β contributions.
+        for old in delta.removed_instances() {
+            let record = std::mem::take(&mut self.records[old.index()]);
+            for (edge, amount) in record.beta {
+                self.duals
+                    .subtract_beta(universe, record.network, edge, amount);
+            }
+        }
+
+        // 2. Compact α through the demand renumbering.
+        self.duals
+            .compact_alpha(delta.demand_remap(), universe.num_demands());
+
+        // 3. Renumber the per-instance vectors; arrivals get fresh entries.
+        let old_records = std::mem::take(&mut self.records);
+        let old_lhs = std::mem::take(&mut self.lhs);
+        let old_eligible = std::mem::take(&mut self.eligible);
+        let old_rel = std::mem::take(&mut self.rel_height);
+        self.records = vec![RaiseRecord::default(); n_new];
+        self.lhs = vec![0.0; n_new];
+        self.eligible = vec![false; n_new];
+        self.rel_height = vec![0.0; n_new];
+        for (old, record) in old_records.into_iter().enumerate() {
+            if let Some(new) = delta.map_instance(InstanceId::new(old)) {
+                self.records[new.index()] = record;
+                self.lhs[new.index()] = old_lhs[old];
+                self.eligible[new.index()] = old_eligible[old];
+                self.rel_height[new.index()] = old_rel[old];
+            }
+        }
+        for d in delta.first_added()..n_new {
+            let rel = DualState::max_relative_height(universe, InstanceId::new(d));
+            self.rel_height[d] = rel;
+            self.eligible[d] = rel <= 1.0 + EPS;
+        }
+
+        // 4. Renumber the stack, keeping only the newest occurrence.
+        let mut seen = vec![false; n_new];
+        for mis in self.stack.iter_mut().rev() {
+            mis.retain_mut(|d| match delta.map_instance(*d) {
+                Some(new) if !seen[new.index()] => {
+                    seen[new.index()] = true;
+                    *d = new;
+                    true
+                }
+                _ => false,
+            });
+        }
+        self.stack.retain(|mis| !mis.is_empty());
+
+        // 5. Accumulate the dirt for the next repair.
+        for (pending, &dirty) in self.pending_dirty.iter_mut().zip(delta.dirty()) {
+            *pending |= dirty;
+        }
+    }
+}
+
+/// One repair pass over the active instances: the cold engine's
+/// group × stage × step loop, restricted to `active`. Returns
+/// `(steps, max_steps_per_stage, raised)` and appends the new MIS sets to
+/// `stack`.
+#[allow(clippy::too_many_arguments)]
+fn repair_pass(
+    universe: &DemandInstanceUniverse,
+    conflict: &ShardedConflictGraph,
+    layering: &InstanceLayering,
+    config: &AlgorithmConfig,
+    warm: &mut WarmState,
+    active: &[bool],
+    groups: &[Vec<InstanceId>],
+    stages: usize,
+    xi: f64,
+    step_cap: u64,
+    stats: &mut RoundStats,
+    scratch: &mut MisScratch,
+    stack: &mut Vec<Vec<InstanceId>>,
+) -> (u64, u64, u64) {
+    let sharding = conflict.sharding();
+    let mut steps: u64 = 0;
+    let mut max_steps_per_stage: u64 = 0;
+    let mut raised: u64 = 0;
+    for (epoch, group) in groups.iter().enumerate() {
+        let filtered: Vec<InstanceId> = group
+            .iter()
+            .copied()
+            .filter(|d| active[d.index()])
+            .collect();
+        if filtered.is_empty() {
+            continue;
+        }
+        let mut group_by_shard: Vec<Vec<u32>> = vec![Vec::new(); conflict.num_shards()];
+        for (i, &d) in filtered.iter().enumerate() {
+            group_by_shard[sharding.shard_of(d).index()].push(i as u32);
+        }
+        for stage in 1..=stages {
+            let threshold = 1.0 - xi.powi(stage as i32);
+            let mut stage_steps: u64 = 0;
+            loop {
+                let unsatisfied = unsatisfied_of_group(
+                    universe,
+                    &warm.duals,
+                    &warm.eligible,
+                    &filtered,
+                    &group_by_shard,
+                    threshold,
+                );
+                if unsatisfied.is_empty() {
+                    break;
+                }
+                debug_assert!(
+                    stage_steps < step_cap,
+                    "stage exceeded the Claim 5.2 step bound ({step_cap})"
+                );
+                if stage_steps >= step_cap {
+                    break;
+                }
+                let strategy = derive_strategy(config, epoch, stage, stage_steps);
+                let mis = sharded_mis(conflict, &unsatisfied, strategy, stats, scratch);
+                let mut outgoing_messages = 0u64;
+                for &d in &mis {
+                    let pi = layering.critical(d);
+                    let delta = warm.duals.raise(universe, d, pi);
+                    if delta > 0.0 {
+                        let record = &mut warm.records[d.index()];
+                        record.network = universe.instance(d).network;
+                        let per_edge = match warm.rule {
+                            RaiseRule::Unit => delta,
+                            RaiseRule::Narrow => 2.0 * pi.len() as f64 * delta,
+                        };
+                        // Accumulate per edge so a long-lived instance's
+                        // record stays O(|π|) no matter how many repair
+                        // epochs re-raise it; the point-clear subtracts
+                        // the running total.
+                        for &e in pi {
+                            match record.beta.iter_mut().find(|(edge, _)| *edge == e) {
+                                Some(entry) => entry.1 += per_edge,
+                                None => record.beta.push((e, per_edge)),
+                            }
+                        }
+                    }
+                    outgoing_messages += conflict.degree(d) as u64;
+                }
+                raised += mis.len() as u64;
+                stats.record_messages(outgoing_messages, layering.max_critical() as u64 + 1);
+                stats.record_round();
+                stack.push(mis);
+                stage_steps += 1;
+            }
+            steps += stage_steps;
+            max_steps_per_stage = max_steps_per_stage.max(stage_steps);
+        }
+    }
+    (steps, max_steps_per_stage, raised)
+}
+
+/// Resumes the two-phase engine from a persisted [`WarmState`] after a
+/// universe splice (see the [module docs](self)).
+///
+/// `rule` must match the state's rule; callers switching rules (the
+/// serving layer when the live height mix changes class) must reset the
+/// state with [`WarmState::new`] first. The state must have been
+/// [spliced](WarmState::splice) through every universe delta since the
+/// previous solve.
+///
+/// On a fresh (never-solved) state this executes exactly the cold
+/// engine's step sequence and returns its exact output; on a primed state
+/// it repairs only the pending dirty shards and re-certifies.
+pub fn run_two_phase_warm_on(
+    universe: &DemandInstanceUniverse,
+    conflict: &ShardedConflictGraph,
+    layering: &InstanceLayering,
+    rule: RaiseRule,
+    config: &AlgorithmConfig,
+    warm: &mut WarmState,
+) -> Solution {
+    config.validate().expect("invalid algorithm configuration");
+    assert_eq!(
+        rule, warm.rule,
+        "warm state carries a different raise rule; reset it with WarmState::new"
+    );
+    assert_eq!(
+        warm.records.len(),
+        universe.num_instances(),
+        "warm state missed a universe splice"
+    );
+    if universe.num_instances() == 0 {
+        *warm = WarmState::new(universe, rule);
+        return Solution::empty();
+    }
+
+    let fresh = !warm.primed;
+    let mut active: Vec<bool> = if fresh {
+        vec![true; universe.num_instances()]
+    } else {
+        let mut mask = vec![false; universe.num_instances()];
+        for (t, &dirty) in warm.pending_dirty.iter().enumerate() {
+            if dirty {
+                for &d in universe.instances_on_network(NetworkId::new(t)) {
+                    mask[d.index()] = true;
+                }
+            }
+        }
+        mask
+    };
+
+    let h_min = warm
+        .rel_height
+        .iter()
+        .zip(&warm.eligible)
+        .filter(|&(_, &e)| e)
+        .map(|(&h, _)| h)
+        .fold(1.0_f64, f64::min);
+    let xi = stage_xi(rule, layering.max_critical().max(1), h_min);
+    let stages = stages_per_epoch(xi, config.epsilon);
+    let profit_ratio = (universe.max_profit() / universe.min_profit()).max(1.0);
+    let step_cap = 4 * (profit_ratio.log2().ceil() as u64 + 4) + 32;
+
+    let groups = layering.groups();
+    let mut stats = RoundStats::new();
+    let mut scratch = MisScratch::new(universe.num_instances());
+    let mut new_stack: Vec<Vec<InstanceId>> = Vec::new();
+
+    // ---------------- First phase: certificate repair ----------------
+    let mut steps = 0u64;
+    let mut max_steps_per_stage = 0u64;
+    let mut raised = 0u64;
+    let lambda_target = 1.0 - config.epsilon - 1e-6;
+    for attempt in 0..2 {
+        let (s, m, r) = repair_pass(
+            universe,
+            conflict,
+            layering,
+            config,
+            warm,
+            &active,
+            &groups,
+            stages,
+            xi,
+            step_cap,
+            &mut stats,
+            &mut scratch,
+            &mut new_stack,
+        );
+        steps += s;
+        max_steps_per_stage = max_steps_per_stage.max(m);
+        raised += r;
+
+        // Refresh the LHS cache exactly for everything this pass scanned.
+        for d in universe.instance_ids().filter(|d| active[d.index()]) {
+            warm.lhs[d.index()] = warm.duals.lhs(universe, d);
+        }
+        let lambda = cached_lambda(universe, warm);
+        let all_active = active.iter().all(|&a| a);
+        if lambda >= lambda_target || all_active || attempt == 1 {
+            break;
+        }
+        // A clean shard's satisfaction regressed beyond what the dirty
+        // bookkeeping predicted (should not happen — clean duals only
+        // grow); repair everything before certifying.
+        active = vec![true; universe.num_instances()];
+    }
+
+    // In debug builds, prove the LHS cache is a true lower bound.
+    #[cfg(debug_assertions)]
+    for d in universe.instance_ids() {
+        let exact = warm.duals.lhs(universe, d);
+        debug_assert!(
+            warm.lhs[d.index()] <= exact + 1e-9 * (1.0 + exact.abs()),
+            "LHS cache over-estimates instance {d}: cached {} > exact {exact}",
+            warm.lhs[d.index()]
+        );
+    }
+
+    let lambda = cached_lambda(universe, warm);
+    let dual_objective = warm.duals.objective();
+
+    // ---------------- Second phase: replay the full stack ----------------
+    let mut stack = std::mem::take(&mut warm.stack);
+    stack.append(&mut new_stack);
+    let mut tracker = LoadTracker::new(universe);
+    let mut selected: Vec<InstanceId> = Vec::new();
+    for mis in stack.iter().rev() {
+        let mut announced = 0u64;
+        for &d in mis {
+            if tracker.try_commit(universe, d) {
+                selected.push(d);
+                announced += conflict.degree(d) as u64;
+            }
+        }
+        stats.record_messages(announced, 1);
+        stats.record_round();
+    }
+    selected.sort_unstable();
+
+    let mut raised_instances: Vec<InstanceId> = stack.iter().flatten().copied().collect();
+    raised_instances.sort_unstable();
+    raised_instances.dedup();
+
+    warm.stack = stack;
+    warm.pending_dirty.iter_mut().for_each(|d| *d = false);
+    warm.primed = true;
+    warm.epochs_resumed += 1;
+
+    let profit = universe.total_profit(&selected);
+    let solution = Solution {
+        selected,
+        raised_instances,
+        profit,
+        stats,
+        diagnostics: RunDiagnostics {
+            epochs: groups.len(),
+            stages_per_epoch: stages,
+            steps,
+            max_steps_per_stage,
+            raised,
+            delta: layering.max_critical(),
+            lambda,
+            dual_objective,
+            optimum_upper_bound: dual_objective / lambda,
+        },
+    };
+
+    // ---------------- Certificate check + safety valve ----------------
+    let bound = approximation_bound(rule, layering.max_critical(), 1.0 - config.epsilon);
+    let ratio = solution.certified_ratio().unwrap_or(1.0);
+    let certified = solution.verify(universe).is_ok()
+        && lambda >= lambda_target
+        && ratio <= bound * (1.0 + 1e-9) + 1e-9;
+    if !certified && !fresh {
+        // The repaired certificate did not re-verify: fall back to a full
+        // from-zero warm run, which reproduces the cold engine exactly.
+        *warm = WarmState::new(universe, rule);
+        return run_two_phase_warm_on(universe, conflict, layering, rule, config, warm);
+    }
+    debug_assert!(
+        solution.verify(universe).is_ok(),
+        "warm schedule failed feasibility verification"
+    );
+    debug_assert!(
+        lambda >= lambda_target,
+        "warm certificate slackness λ = {lambda} below 1 − ε"
+    );
+    debug_assert!(
+        ratio <= bound * (1.0 + 1e-9) + 1e-9,
+        "warm certified ratio {ratio} exceeds the {bound} guarantee"
+    );
+    solution
+}
+
+/// `λ` from the cached LHS lower bounds: `min` over eligible instances of
+/// `LHS(d)/p(d)` (clamped exactly like the cold engine's certificate).
+fn cached_lambda(universe: &DemandInstanceUniverse, warm: &WarmState) -> f64 {
+    universe
+        .instance_ids()
+        .filter(|d| warm.eligible[d.index()])
+        .map(|d| warm.lhs[d.index()] / universe.profit(d))
+        .fold(1.0_f64, f64::min)
+        .max(EPS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::run_two_phase_on;
+    use netsched_graph::{ArrivingDemand, DemandId, EdgePath, LineProblem, NetworkId};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn line_universe(seed: u64, demands: usize) -> DemandInstanceUniverse {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut p = LineProblem::new(40, 3);
+        let nets: Vec<NetworkId> = (0..3).map(NetworkId::new).collect();
+        for _ in 0..demands {
+            let len = rng.gen_range(2..=8u32);
+            let release = rng.gen_range(0..=(40 - len));
+            let slack = rng.gen_range(0..=(40 - release - len).min(3));
+            let access: Vec<NetworkId> =
+                nets.iter().copied().filter(|_| rng.gen_bool(0.5)).collect();
+            let access = if access.is_empty() {
+                vec![nets[0]]
+            } else {
+                access
+            };
+            p.add_demand(
+                release,
+                release + len - 1 + slack,
+                len,
+                rng.gen_range(1.0..10.0),
+                1.0,
+                access,
+            )
+            .unwrap();
+        }
+        p.universe()
+    }
+
+    fn solve_pair(
+        universe: &DemandInstanceUniverse,
+        warm: &mut WarmState,
+        config: &AlgorithmConfig,
+    ) -> (Solution, Solution) {
+        let conflict = ShardedConflictGraph::build(universe);
+        let layering = InstanceLayering::line_length_classes(universe);
+        let cold = run_two_phase_on(universe, &conflict, &layering, RaiseRule::Unit, config);
+        let warm_sol = run_two_phase_warm_on(
+            universe,
+            &conflict,
+            &layering,
+            RaiseRule::Unit,
+            config,
+            warm,
+        );
+        (cold, warm_sol)
+    }
+
+    #[test]
+    fn fresh_warm_run_reproduces_the_cold_engine_exactly() {
+        let u = line_universe(3, 24);
+        let config = AlgorithmConfig::deterministic(0.1);
+        let mut warm = WarmState::new(&u, RaiseRule::Unit);
+        let (cold, warm_sol) = solve_pair(&u, &mut warm, &config);
+        assert_eq!(cold.selected, warm_sol.selected);
+        assert_eq!(cold.raised_instances, warm_sol.raised_instances);
+        assert_eq!(cold.profit, warm_sol.profit);
+        assert_eq!(cold.diagnostics.lambda, warm_sol.diagnostics.lambda);
+        assert_eq!(
+            cold.diagnostics.dual_objective,
+            warm_sol.diagnostics.dual_objective
+        );
+        assert_eq!(cold.diagnostics.steps, warm_sol.diagnostics.steps);
+        assert_eq!(warm.epochs_resumed(), 1);
+    }
+
+    #[test]
+    fn spliced_state_repairs_the_certificate_after_churn() {
+        let mut u = line_universe(7, 26);
+        let config = AlgorithmConfig::deterministic(0.1);
+        let mut warm = WarmState::new(&u, RaiseRule::Unit);
+        solve_pair(&u, &mut warm, &config);
+
+        let mut delta = UniverseDelta::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        for round in 0..6 {
+            // Expire two random demands, admit one fresh arrival.
+            let m = u.num_demands();
+            let mut expired = vec![
+                DemandId::new(rng.gen_range(0..m)),
+                DemandId::new(rng.gen_range(0..m)),
+            ];
+            expired.sort_unstable();
+            expired.dedup();
+            let start = rng.gen_range(0..34u32);
+            let arrival = ArrivingDemand {
+                profit: rng.gen_range(1.0..10.0),
+                height: 1.0,
+                instances: vec![(
+                    NetworkId::new(rng.gen_range(0..3)),
+                    EdgePath::interval(start as usize, start as usize + 4),
+                    Some(start),
+                )],
+            };
+            u.apply_demand_delta(&expired, &[arrival], &mut delta);
+            warm.splice(&u, &delta);
+
+            let conflict = ShardedConflictGraph::build(&u);
+            let layering = InstanceLayering::line_length_classes(&u);
+            let sol = run_two_phase_warm_on(
+                &u,
+                &conflict,
+                &layering,
+                RaiseRule::Unit,
+                &config,
+                &mut warm,
+            );
+            sol.verify(&u).unwrap();
+            assert!(
+                sol.diagnostics.lambda >= 0.9 - 1e-6,
+                "round {round}: λ = {} below 1 − ε",
+                sol.diagnostics.lambda
+            );
+            let bound = approximation_bound(RaiseRule::Unit, layering.max_critical(), 0.9);
+            assert!(
+                sol.certified_ratio().unwrap_or(1.0) <= bound + 1e-6,
+                "round {round}: certified ratio exceeds the guarantee"
+            );
+        }
+        assert_eq!(warm.epochs_resumed(), 7);
+    }
+
+    #[test]
+    fn expiring_everything_clears_the_dual_objective() {
+        let mut u = line_universe(13, 15);
+        let config = AlgorithmConfig::deterministic(0.1);
+        let mut warm = WarmState::new(&u, RaiseRule::Unit);
+        solve_pair(&u, &mut warm, &config);
+        assert!(warm.duals().objective() > 0.0);
+
+        let everyone: Vec<DemandId> = (0..u.num_demands()).map(DemandId::new).collect();
+        let mut delta = UniverseDelta::new();
+        u.apply_demand_delta(&everyone, &[], &mut delta);
+        warm.splice(&u, &delta);
+        // All α dropped, all recorded β point-cleared: the objective is
+        // (numerically) zero again.
+        assert!(
+            warm.duals().objective().abs() < 1e-9,
+            "stale dual mass survived the splice: {}",
+            warm.duals().objective()
+        );
+    }
+
+    #[test]
+    fn rule_mismatch_panics() {
+        let u = line_universe(1, 5);
+        let conflict = ShardedConflictGraph::build(&u);
+        let layering = InstanceLayering::line_length_classes(&u);
+        let mut warm = WarmState::new(&u, RaiseRule::Narrow);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_two_phase_warm_on(
+                &u,
+                &conflict,
+                &layering,
+                RaiseRule::Unit,
+                &AlgorithmConfig::deterministic(0.1),
+                &mut warm,
+            )
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -642,6 +642,31 @@ impl UniverseDelta {
     pub fn num_dirty(&self) -> usize {
         self.dirty.iter().filter(|&&d| d).count()
     }
+
+    /// Number of instances the universe held **before** the splice (the
+    /// domain of [`instance_remap`](UniverseDelta::instance_remap)).
+    #[inline]
+    pub fn old_num_instances(&self) -> usize {
+        self.instance_remap.len()
+    }
+
+    /// Number of demands the universe held **before** the splice (the
+    /// domain of [`demand_remap`](UniverseDelta::demand_remap)).
+    #[inline]
+    pub fn old_num_demands(&self) -> usize {
+        self.demand_remap.len()
+    }
+
+    /// Iterates over the **old** ids of the instances the splice removed —
+    /// the stable id-map query the warm re-solve engine uses to clear the
+    /// expired instances' dual contributions.
+    pub fn removed_instances(&self) -> impl Iterator<Item = InstanceId> + '_ {
+        self.instance_remap
+            .iter()
+            .enumerate()
+            .filter(|&(_, &new)| new == u32::MAX)
+            .map(|(old, _)| InstanceId::new(old))
+    }
 }
 
 impl DemandInstanceUniverse {

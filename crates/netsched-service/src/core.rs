@@ -8,7 +8,7 @@
 //! are driven by the same [`LiveCore::apply`].
 
 use netsched_core::framework::run_two_phase_on;
-use netsched_core::{AlgorithmConfig, RaiseRule, Solution};
+use netsched_core::{run_two_phase_warm_on, AlgorithmConfig, RaiseRule, Solution, WarmState};
 use netsched_decomp::{line_assignment, InstanceLayering, TreeDecompositionKind, TreeLayerer};
 use netsched_distrib::ShardedConflictGraph;
 use netsched_graph::{
@@ -36,6 +36,11 @@ pub(crate) struct LiveCore {
     line_lengths: Option<Vec<u32>>,
     /// The `L_min` the current line layering was assigned against.
     layering_l_min: usize,
+    /// Persisted warm-resolve state ([`ResolveMode::Warm`]
+    /// (crate::ResolveMode::Warm) sessions only): duals, raise records and
+    /// selection seed carried across epochs. `None` until the first warm
+    /// solve; reset whenever the required raise rule changes.
+    warm: Option<WarmState>,
 }
 
 /// The minimum instance length recorded by a length histogram (1 for an
@@ -58,6 +63,7 @@ impl LiveCore {
             delta: UniverseDelta::new(),
             line_lengths: None,
             layering_l_min: 1,
+            warm: None,
         }
     }
 
@@ -78,6 +84,7 @@ impl LiveCore {
             delta: UniverseDelta::new(),
             line_lengths: Some(counts),
             layering_l_min,
+            warm: None,
         }
     }
 
@@ -115,6 +122,9 @@ impl LiveCore {
         self.universe
             .apply_demand_delta(expired, arrivals, &mut self.delta);
         self.conflict.apply_delta(&self.universe, &self.delta);
+        if let Some(warm) = &mut self.warm {
+            warm.splice(&self.universe, &self.delta);
+        }
         match &mut self.line_lengths {
             Some(counts) => {
                 let old_min = self.layering_l_min;
@@ -151,6 +161,27 @@ impl LiveCore {
     /// Runs the shard-parallel two-phase engine on the core's structures.
     pub(crate) fn solve(&self, rule: RaiseRule, config: &AlgorithmConfig) -> Solution {
         run_two_phase_on(&self.universe, &self.conflict, &self.layering, rule, config)
+    }
+
+    /// Resumes the warm-started engine from the core's persisted
+    /// [`WarmState`], creating (or, on a raise-rule switch, resetting) it
+    /// first. A fresh state reproduces the cold engine exactly, so the
+    /// first warm epoch of a session matches [`LiveCore::solve`]
+    /// bit-for-bit; later epochs repair only the shards the splices since
+    /// the previous solve dirtied.
+    pub(crate) fn solve_warm(&mut self, rule: RaiseRule, config: &AlgorithmConfig) -> Solution {
+        if self.warm.as_ref().map(WarmState::rule) != Some(rule) {
+            self.warm = Some(WarmState::new(&self.universe, rule));
+        }
+        let warm = self.warm.as_mut().expect("warm state just ensured");
+        run_two_phase_warm_on(
+            &self.universe,
+            &self.conflict,
+            &self.layering,
+            rule,
+            config,
+            warm,
+        )
     }
 }
 

@@ -117,6 +117,15 @@ pub enum ServiceError {
     UnknownTicket(DemandTicket),
     /// The same ticket was expired twice within one batch.
     DuplicateExpiry(DemandTicket),
+    /// Two or more events of one submission failed validation. Every
+    /// failure is reported with the index of the offending event, so
+    /// async callers can drop or fix exactly the invalid tickets and
+    /// resubmit the rest (a single invalid event is returned as its bare
+    /// error instead).
+    InvalidBatch {
+        /// `(event index, error)` for every invalid event, in batch order.
+        failures: Vec<(usize, ServiceError)>,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -128,6 +137,13 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::UnknownTicket(t) => write!(f, "ticket {t} is not live"),
             ServiceError::DuplicateExpiry(t) => write!(f, "ticket {t} expired twice in one batch"),
+            ServiceError::InvalidBatch { failures } => {
+                write!(f, "{} events of the batch are invalid:", failures.len())?;
+                for (index, error) in failures {
+                    write!(f, " [#{index}: {error}]")?;
+                }
+                Ok(())
+            }
         }
     }
 }

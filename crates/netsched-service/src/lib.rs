@@ -41,13 +41,49 @@
 //! objective remains a machine-checked optimum upper bound epoch after
 //! epoch.
 //!
+//! # Warm vs Cold re-solve
+//!
+//! Rebuilding the caches incrementally left one from-scratch cost on the
+//! epoch path: the engine solve itself, re-run from zero duals every
+//! epoch. [`ResolveMode`] makes that a choice:
+//!
+//! * **[`ResolveMode::Cold`]** (the default) re-solves from zero. The
+//!   session is **byte-equivalent** to a fresh
+//!   [`Scheduler`](netsched_core::Scheduler): schedule, certificate and
+//!   merged conflict CSR match bit for bit (`tests/dynamic_equivalence.rs`
+//!   pins this, including for warm-capable sessions pinned to Cold).
+//! * **[`ResolveMode::Warm`]** resumes from a persisted
+//!   [`WarmState`](netsched_core::WarmState): expired demands' dual
+//!   contributions are point-cleared out of the Fenwick trees, clean
+//!   shards keep their `β`/`α` values and are not re-scanned, and the
+//!   MIS/raise loop repairs only the dirty shards until the certificate
+//!   verifies again. The contract deliberately relaxes to
+//!   **certificate-equivalence**: the schedule may differ from a cold
+//!   solve, but every epoch must carry a verifying dual certificate
+//!   (`λ ≥ 1 − ε`, feasible schedule) with a certified ratio within the
+//!   solver's worst-case guarantee — checked in-engine (debug builds
+//!   assert; release builds fall back to a from-zero re-solve when the
+//!   repaired certificate fails to verify). `tests/warm_equivalence.rs`
+//!   replays every churn trace through both paths and enforces the
+//!   relaxed contract epoch by epoch.
+//!
+//! Pick **Warm** for serving tiers (the solve is 60–85% of an incremental
+//! epoch; `BENCH_warm_resolve.json` records the resulting epoch speedups)
+//! and **Cold** whenever downstream consumers diff schedules against a
+//! reference solver. Sessions default to Cold; the
+//! `NETSCHED_RESOLVE_MODE` environment variable (`warm` / `cold`) flips
+//! the default for deployments and the CI matrix, and
+//! [`ServiceSession::with_resolve_mode`] pins a session explicitly.
+//!
 //! # Correctness anchor
 //!
-//! After **any** event sequence, the incremental session's conflict graph
+//! After **any** event sequence, a **Cold** session's conflict graph
 //! is byte-identical to — and its schedule and certificate equal to — a
 //! from-scratch [`Scheduler`](netsched_core::Scheduler) built over the same
 //! surviving demand set, at every thread count
-//! (`tests/dynamic_equivalence.rs`).
+//! (`tests/dynamic_equivalence.rs`). Warm sessions keep the incremental
+//! structures byte-identical (the splices are mode-independent) and
+//! relax only the solve, as above.
 //!
 //! # Amortized epoch cost
 //!
@@ -117,5 +153,5 @@ pub use event::{DemandEvent, DemandRequest, DemandTicket, ServiceError};
 pub use replay::replay_trace;
 pub use service::{block_on, Service, SubmitFuture};
 pub use session::{
-    Certificate, EpochStats, Placement, ScheduleDelta, ScheduledDemand, ServiceSession,
+    Certificate, EpochStats, Placement, ResolveMode, ScheduleDelta, ScheduledDemand, ServiceSession,
 };

@@ -105,24 +105,40 @@ impl Service {
     /// will admit it. Validation happens here, eagerly: invalid arrivals,
     /// unknown tickets and expiries already queued by an earlier
     /// (unprocessed) submission are rejected without touching the queue.
+    ///
+    /// The **whole** batch is validated before rejecting: when several
+    /// events are invalid, the error is [`ServiceError::InvalidBatch`]
+    /// listing every failure with its event index (a single invalid event
+    /// comes back as its bare error), so callers can resubmit precisely
+    /// the valid remainder instead of discovering failures one at a time.
     pub fn submit(&self, events: Vec<DemandEvent>) -> Result<SubmitFuture, ServiceError> {
         let mut state = self.state.lock().expect("service lock poisoned");
         let mut batch_expiries: Vec<u64> = Vec::new();
-        for event in &events {
+        let mut failures: Vec<(usize, ServiceError)> = Vec::new();
+        for (index, event) in events.iter().enumerate() {
             match event {
-                DemandEvent::Arrive(request) => state.session.validate_request(request)?,
+                DemandEvent::Arrive(request) => {
+                    if let Err(error) = state.session.validate_request(request) {
+                        failures.push((index, error));
+                    }
+                }
                 DemandEvent::Expire(ticket) => {
                     if !state.session.is_live(*ticket) {
-                        return Err(ServiceError::UnknownTicket(*ticket));
-                    }
-                    if state.queued_expiries.contains(&ticket.0)
+                        failures.push((index, ServiceError::UnknownTicket(*ticket)));
+                    } else if state.queued_expiries.contains(&ticket.0)
                         || batch_expiries.contains(&ticket.0)
                     {
-                        return Err(ServiceError::DuplicateExpiry(*ticket));
+                        failures.push((index, ServiceError::DuplicateExpiry(*ticket)));
+                    } else {
+                        batch_expiries.push(ticket.0);
                     }
-                    batch_expiries.push(ticket.0);
                 }
             }
+        }
+        match failures.len() {
+            0 => {}
+            1 => return Err(failures.pop().expect("one failure").1),
+            _ => return Err(ServiceError::InvalidBatch { failures }),
         }
         state.queued_expiries.extend(batch_expiries);
         let slot = Arc::new(Slot {
@@ -218,5 +234,104 @@ pub fn block_on<F: Future>(fut: F) -> F::Output {
             Poll::Ready(out) => return out,
             Poll::Pending => std::thread::park(),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::DemandRequest;
+    use crate::session::ServiceSession;
+    use netsched_core::AlgorithmConfig;
+    use netsched_graph::{LineProblem, NetworkId};
+
+    fn service() -> Service {
+        let mut problem = LineProblem::new(20, 2);
+        problem
+            .add_demand(0, 9, 4, 3.0, 1.0, vec![NetworkId::new(0)])
+            .unwrap();
+        Service::new(ServiceSession::for_line(
+            &problem,
+            AlgorithmConfig::deterministic(0.1),
+        ))
+    }
+
+    fn valid_arrival() -> DemandEvent {
+        DemandEvent::Arrive(DemandRequest::Line {
+            release: 2,
+            deadline: 12,
+            processing: 3,
+            profit: 1.0,
+            height: 1.0,
+            access: vec![NetworkId::new(0)],
+        })
+    }
+
+    fn invalid_arrival() -> DemandEvent {
+        DemandEvent::Arrive(DemandRequest::Line {
+            release: 9,
+            deadline: 3,
+            processing: 2,
+            profit: 1.0,
+            height: 1.0,
+            access: vec![NetworkId::new(0)],
+        })
+    }
+
+    #[test]
+    fn submit_reports_every_invalid_event_of_a_batch() {
+        let service = service();
+        // Three failures of three different kinds, interleaved with valid
+        // events: all of them must come back, each with its batch index.
+        let batch = vec![
+            valid_arrival(),
+            invalid_arrival(),
+            DemandEvent::Expire(DemandTicket(u64::MAX)),
+            valid_arrival(),
+            DemandEvent::Expire(DemandTicket(0)),
+            DemandEvent::Expire(DemandTicket(0)),
+        ];
+        let err = match service.submit(batch) {
+            Err(err) => err,
+            Ok(_) => panic!("invalid batch accepted"),
+        };
+        match &err {
+            ServiceError::InvalidBatch { failures } => {
+                let indices: Vec<usize> = failures.iter().map(|(i, _)| *i).collect();
+                assert_eq!(indices, vec![1, 2, 5]);
+                assert!(matches!(failures[0].1, ServiceError::InvalidDemand(_)));
+                assert!(matches!(
+                    failures[1].1,
+                    ServiceError::UnknownTicket(DemandTicket(u64::MAX))
+                ));
+                assert!(matches!(
+                    failures[2].1,
+                    ServiceError::DuplicateExpiry(DemandTicket(0))
+                ));
+            }
+            other => panic!("expected InvalidBatch, got {other}"),
+        }
+        let message = err.to_string();
+        assert!(message.contains("#1:"), "{message}");
+        assert!(message.contains("#2:"), "{message}");
+        assert!(message.contains("#5:"), "{message}");
+        // Nothing was queued: the valid remainder resubmits cleanly.
+        assert_eq!(service.queued(), 0);
+        assert!(service
+            .submit(vec![valid_arrival(), DemandEvent::Expire(DemandTicket(0))])
+            .is_ok());
+    }
+
+    #[test]
+    fn single_failures_keep_their_bare_error() {
+        let service = service();
+        let err = match service.submit(vec![valid_arrival(), invalid_arrival()]) {
+            Err(err) => err,
+            Ok(_) => panic!("invalid batch accepted"),
+        };
+        assert!(
+            matches!(err, ServiceError::InvalidDemand(_)),
+            "a lone failure is not wrapped: {err}"
+        );
     }
 }

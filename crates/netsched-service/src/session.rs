@@ -20,7 +20,10 @@
 use std::collections::BTreeMap;
 
 use fxhash::FxHashMap;
-use netsched_core::{solve_wide_narrow_on, AlgorithmConfig, EngineHalf, RaiseRule, Solution};
+use netsched_core::{
+    combine_wide_narrow, solve_wide_narrow_on, AlgorithmConfig, EngineHalf, HalfOutcome, RaiseRule,
+    Solution,
+};
 use netsched_decomp::TreeLayerer;
 use netsched_distrib::ShardedConflictGraph;
 use netsched_graph::{
@@ -29,6 +32,66 @@ use netsched_graph::{
 
 use crate::core::{LiveCore, TreeAssignments, TREE_LAYERING};
 use crate::event::{DemandEvent, DemandRequest, DemandTicket, ServiceError};
+
+/// How a session re-solves the standing schedule each epoch.
+///
+/// # Warm vs Cold
+///
+/// * [`Cold`](ResolveMode::Cold) re-runs the two-phase engine from zero
+///   duals every epoch. This preserves the PR-4 **byte-equivalence
+///   anchor** exactly: schedule, certificate and conflict CSR match a
+///   from-scratch [`Scheduler`](netsched_core::Scheduler) over the
+///   surviving demand set bit for bit.
+/// * [`Warm`](ResolveMode::Warm) resumes from the previous epoch's
+///   persisted [`WarmState`](netsched_core::WarmState): expired demands'
+///   dual contributions are point-cleared, clean shards keep their `β`/`α`
+///   values, and the MIS/raise loop re-runs only over the dirty shards
+///   until the repaired certificate verifies. This deliberately relaxes
+///   the anchor to **certificate-equivalence** — the schedule may differ
+///   from a cold solve, but every epoch's dual certificate must verify
+///   (`λ ≥ 1 − ε`, feasible schedule) and the certified ratio must stay
+///   within the solver's worst-case guarantee (checked in-engine; debug
+///   builds assert, release builds fall back to a from-zero re-solve).
+///
+/// Choose `Warm` for serving tiers where the engine solve dominates the
+/// epoch (the regime `BENCH_warm_resolve.json` measures); choose `Cold`
+/// when downstream consumers diff schedules against a reference solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResolveMode {
+    /// From-zero re-solve every epoch (byte-equivalent to a fresh
+    /// `Scheduler`; the default).
+    #[default]
+    Cold,
+    /// Warm-started resume with certificate repair
+    /// (certificate-equivalent, not byte-equivalent).
+    Warm,
+}
+
+impl ResolveMode {
+    /// Parses a mode name (`"cold"` / `"warm"`, case-insensitive).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "cold" => Some(ResolveMode::Cold),
+            "warm" => Some(ResolveMode::Warm),
+            _ => None,
+        }
+    }
+
+    /// The mode named by the `NETSCHED_RESOLVE_MODE` environment variable,
+    /// if set to a recognized value. Used by the session constructors as
+    /// the default, so a deployment (or the CI matrix) can flip every
+    /// default-constructed session to warm re-solving without code
+    /// changes; sessions built with
+    /// [`ServiceSession::with_resolve_mode`] are unaffected.
+    pub fn from_env() -> Option<Self> {
+        Self::parse(&std::env::var("NETSCHED_RESOLVE_MODE").ok()?)
+    }
+
+    /// [`ResolveMode::from_env`], falling back to [`ResolveMode::Cold`].
+    pub fn env_default() -> Self {
+        Self::from_env().unwrap_or_default()
+    }
+}
 
 /// Where a scheduled demand runs: its network and, for windowed line
 /// demands, the start timeslot of the chosen placement.
@@ -79,6 +142,10 @@ pub struct EpochStats {
     /// `false` for the empty-batch fast path, which returns the standing
     /// schedule without re-running the engine.
     pub resolved: bool,
+    /// `true` when the epoch's solve resumed a persisted warm state
+    /// ([`ResolveMode::Warm`]); `false` for cold solves and for the
+    /// empty-batch fast path.
+    pub warm_resolve: bool,
     /// Wall-clock seconds spent splicing and rebuilding structures
     /// (universe, dirty shards, layerings, split cores).
     pub rebuild_seconds: f64,
@@ -157,6 +224,7 @@ pub struct ServiceSession {
     /// once — networks never change.
     layerer: Option<TreeLayerer>,
     config: AlgorithmConfig,
+    resolve: ResolveMode,
     live: Vec<LiveDemand>,
     /// Ticket → current dense demand id.
     index: FxHashMap<u64, u32>,
@@ -247,6 +315,7 @@ impl ServiceSession {
             base,
             layerer,
             config,
+            resolve: ResolveMode::env_default(),
             live,
             index,
             next_ticket,
@@ -268,6 +337,22 @@ impl ServiceSession {
     /// The epochs stepped so far.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Pins the session's [`ResolveMode`] explicitly, overriding the
+    /// `NETSCHED_RESOLVE_MODE` environment default. Call before the first
+    /// [`step`](ServiceSession::step): switching an already-stepped
+    /// session is supported (a warm state is simply created — or ignored —
+    /// from the next epoch on) but the mode is part of the session's
+    /// contract and should not flip mid-stream.
+    pub fn with_resolve_mode(mut self, mode: ResolveMode) -> Self {
+        self.resolve = mode;
+        self
+    }
+
+    /// The session's re-solve mode.
+    pub fn resolve_mode(&self) -> ResolveMode {
+        self.resolve
     }
 
     /// The run configuration every epoch solves with.
@@ -420,6 +505,7 @@ impl ServiceSession {
                     live_demands: self.live.len(),
                     instances: self.full.universe.num_instances(),
                     resolved: false,
+                    warm_resolve: false,
                     rebuild_seconds: 0.0,
                     solve_seconds: 0.0,
                 },
@@ -487,28 +573,58 @@ impl ServiceSession {
         // ---- solve -----------------------------------------------------
         let rebuild_seconds = rebuild_start.elapsed().as_secs_f64();
         let solve_start = std::time::Instant::now();
+        let warm = self.resolve == ResolveMode::Warm;
         let solution = if self.live.is_empty() {
             Solution::empty()
         } else if mixed {
-            let split = self.split.as_ref().expect("split exists when mixed");
-            solve_wide_narrow_on(
-                &self.full.universe,
-                EngineHalf {
-                    universe: &split.wide.universe,
-                    conflict: &split.wide.conflict,
-                    layering: &split.wide.layering,
-                    demand_map: &split.wide_map,
-                },
-                EngineHalf {
-                    universe: &split.narrow.universe,
-                    conflict: &split.narrow.conflict,
-                    layering: &split.narrow.layering,
-                    demand_map: &split.narrow_map,
-                },
-                &self.config,
-            )
+            if warm {
+                // Each half resumes its own persisted warm state (wide
+                // under the unit rule, narrow under the narrow rule); the
+                // Theorem 6.3 / 7.2 combination is solve-agnostic.
+                let split = self.split.as_mut().expect("split exists when mixed");
+                let wide_solution = split.wide.solve_warm(RaiseRule::Unit, &self.config);
+                let narrow_solution = split.narrow.solve_warm(RaiseRule::Narrow, &self.config);
+                let split = self.split.as_ref().expect("split exists when mixed");
+                combine_wide_narrow(
+                    &self.full.universe,
+                    HalfOutcome {
+                        universe: &split.wide.universe,
+                        demand_map: &split.wide_map,
+                        solution: wide_solution,
+                    },
+                    HalfOutcome {
+                        universe: &split.narrow.universe,
+                        demand_map: &split.narrow_map,
+                        solution: narrow_solution,
+                    },
+                )
+            } else {
+                let split = self.split.as_ref().expect("split exists when mixed");
+                solve_wide_narrow_on(
+                    &self.full.universe,
+                    EngineHalf {
+                        universe: &split.wide.universe,
+                        conflict: &split.wide.conflict,
+                        layering: &split.wide.layering,
+                        demand_map: &split.wide_map,
+                    },
+                    EngineHalf {
+                        universe: &split.narrow.universe,
+                        conflict: &split.narrow.conflict,
+                        layering: &split.narrow.layering,
+                        demand_map: &split.narrow_map,
+                    },
+                    &self.config,
+                )
+            }
         } else if any_narrow {
-            self.full.solve(RaiseRule::Narrow, &self.config)
+            if warm {
+                self.full.solve_warm(RaiseRule::Narrow, &self.config)
+            } else {
+                self.full.solve(RaiseRule::Narrow, &self.config)
+            }
+        } else if warm {
+            self.full.solve_warm(RaiseRule::Unit, &self.config)
         } else {
             self.full.solve(RaiseRule::Unit, &self.config)
         };
@@ -576,6 +692,7 @@ impl ServiceSession {
                 live_demands: self.live.len(),
                 instances: self.full.universe.num_instances(),
                 resolved: true,
+                warm_resolve: warm && !self.live.is_empty(),
                 rebuild_seconds,
                 solve_seconds,
             },
@@ -796,5 +913,123 @@ impl std::fmt::Debug for ServiceSession {
             .field("scheduled", &self.schedule.len())
             .field("profit", &self.profit)
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::DemandEvent;
+    use netsched_graph::VertexId;
+
+    fn line_problem() -> LineProblem {
+        let mut p = LineProblem::new(24, 2);
+        let acc = vec![NetworkId::new(0), NetworkId::new(1)];
+        for (release, len, profit) in [(0u32, 4u32, 3.0), (2, 5, 2.0), (8, 3, 4.0), (14, 6, 1.5)] {
+            p.add_demand(release, release + len + 2, len, profit, 1.0, acc.clone())
+                .unwrap();
+        }
+        p
+    }
+
+    #[test]
+    fn resolve_mode_parses_and_defaults_cold() {
+        assert_eq!(ResolveMode::parse("warm"), Some(ResolveMode::Warm));
+        assert_eq!(ResolveMode::parse("WARM"), Some(ResolveMode::Warm));
+        assert_eq!(ResolveMode::parse("cold"), Some(ResolveMode::Cold));
+        assert_eq!(ResolveMode::parse("tepid"), None);
+        assert_eq!(ResolveMode::default(), ResolveMode::Cold);
+    }
+
+    #[test]
+    fn first_warm_epoch_matches_the_cold_engine_exactly() {
+        // A fresh warm state replays the cold engine's step sequence, so
+        // epoch 1 of a Warm session is bit-identical to a Cold session's.
+        let problem = line_problem();
+        let config = AlgorithmConfig::deterministic(0.1);
+        let mut cold =
+            ServiceSession::for_line(&problem, config).with_resolve_mode(ResolveMode::Cold);
+        let mut warm =
+            ServiceSession::for_line(&problem, config).with_resolve_mode(ResolveMode::Warm);
+        assert_eq!(warm.resolve_mode(), ResolveMode::Warm);
+        let dc = cold.step(&[]).unwrap();
+        let dw = warm.step(&[]).unwrap();
+        assert!(dw.stats.warm_resolve);
+        assert!(!dc.stats.warm_resolve);
+        assert_eq!(dc.profit, dw.profit);
+        assert_eq!(dc.admitted, dw.admitted);
+        assert_eq!(dc.certificate, dw.certificate);
+    }
+
+    #[test]
+    fn warm_sessions_recover_after_expiring_everything() {
+        let problem = line_problem();
+        let config = AlgorithmConfig::deterministic(0.1);
+        let mut session =
+            ServiceSession::for_line(&problem, config).with_resolve_mode(ResolveMode::Warm);
+        session.step(&[]).unwrap();
+        let everyone: Vec<DemandEvent> = session
+            .live_tickets()
+            .into_iter()
+            .map(DemandEvent::Expire)
+            .collect();
+        let delta = session.step(&everyone).unwrap();
+        assert_eq!(delta.profit, 0.0);
+        let delta = session
+            .step(&[DemandEvent::Arrive(DemandRequest::Line {
+                release: 0,
+                deadline: 10,
+                processing: 4,
+                profit: 5.0,
+                height: 1.0,
+                access: vec![NetworkId::new(0)],
+            })])
+            .unwrap();
+        assert_eq!(delta.admitted.len(), 1);
+        assert!(delta.certificate.optimum_upper_bound + 1e-9 >= delta.profit);
+        assert!(delta.certificate.lambda >= 0.9 - 1e-6);
+    }
+
+    #[test]
+    fn warm_sessions_survive_height_mix_transitions() {
+        // All-wide -> mixed (split cores, per-half warm states) -> back to
+        // a single class: every transition resets or re-primes the warm
+        // states without losing the certificate.
+        let mut p = TreeProblem::new(6);
+        let t = p
+            .add_network(vec![
+                (VertexId(0), VertexId(1)),
+                (VertexId(1), VertexId(2)),
+                (VertexId(2), VertexId(3)),
+                (VertexId(2), VertexId(4)),
+                (VertexId(4), VertexId(5)),
+            ])
+            .unwrap();
+        p.add_unit_demand(VertexId(0), VertexId(3), 3.0, vec![t])
+            .unwrap();
+        p.add_unit_demand(VertexId(1), VertexId(5), 2.0, vec![t])
+            .unwrap();
+        let config = AlgorithmConfig::deterministic(0.1);
+        let mut session = ServiceSession::for_tree(&p, config).with_resolve_mode(ResolveMode::Warm);
+        session.step(&[]).unwrap();
+
+        // A narrow arrival forces the wide/narrow split path.
+        let delta = session
+            .step(&[DemandEvent::Arrive(DemandRequest::Tree {
+                u: VertexId(3),
+                v: VertexId(5),
+                profit: 1.0,
+                height: 0.3,
+                access: vec![t],
+            })])
+            .unwrap();
+        assert!(delta.certificate.optimum_upper_bound + 1e-9 >= delta.profit);
+        let narrow_ticket = delta.tickets[0];
+
+        // Expiring the narrow demand returns to the all-wide full-core path.
+        let delta = session.step(&[DemandEvent::Expire(narrow_ticket)]).unwrap();
+        assert!(delta.certificate.lambda >= 0.9 - 1e-6);
+        assert!(delta.certificate.optimum_upper_bound + 1e-9 >= delta.profit);
+        assert!(session.profit() > 0.0);
     }
 }

@@ -1,333 +1,42 @@
 //! Differential invariant suite of the dynamic serving subsystem.
 //!
-//! The contract of `netsched-service` is that incrementality is purely a
-//! cost optimization: after **any** sequence of arrive/expire batches, the
-//! session's incrementally maintained conflict graph must be byte-identical
-//! to — and its schedule and dual certificate equal to — a from-scratch
-//! `Scheduler` built over the same surviving demand set, at every thread
-//! count. These tests replay generated and randomized traces, rebuilding
-//! the reference from scratch after every epoch.
+//! The contract of `netsched-service` in [`ResolveMode::Cold`] is that
+//! incrementality is purely a cost optimization: after **any** sequence of
+//! arrive/expire batches, the session's incrementally maintained conflict
+//! graph must be byte-identical to — and its schedule and dual certificate
+//! equal to — a from-scratch `Scheduler` built over the same surviving
+//! demand set, at every thread count. These tests replay generated and
+//! randomized traces, rebuilding the reference from scratch after every
+//! epoch. Sessions are pinned to `Cold` explicitly, so the suite keeps
+//! anchoring the byte-equivalence contract even when the environment
+//! (`NETSCHED_RESOLVE_MODE=warm`, the CI warm matrix leg) flips the
+//! default mode; the relaxed warm contract has its own suite in
+//! `tests/warm_equivalence.rs`.
+//!
+//! The randomized traces bind a [`common::ChurnCase`] — the event trace
+//! itself is the proptest strategy value, so a failing trace shrinks to a
+//! minimal event sequence instead of regenerating from a seed.
 
-use netsched_core::{AlgorithmConfig, Scheduler, Solution};
-use netsched_distrib::{ConflictGraph, MisStrategy};
-use netsched_graph::{InstanceId, LineProblem, NetworkId, TreeProblem, VertexId};
-use netsched_service::{DemandEvent, DemandRequest, DemandTicket, ServiceSession};
-use netsched_workloads::{
-    many_networks_line, many_networks_tree, poisson_arrivals_line, poisson_arrivals_tree,
-    ChurnSpec, EventTrace, HeightDistribution, TraceEvent,
+mod common;
+
+use common::{
+    check_trace, line_trace, line_trace_with_heights, tree_trace, with_threads, ChurnCase,
+    ChurnCases, ChurnShape, Mirror,
 };
+use netsched_core::AlgorithmConfig;
+use netsched_distrib::MisStrategy;
+use netsched_graph::{NetworkId, VertexId};
+use netsched_service::{DemandEvent, DemandRequest, DemandTicket, ResolveMode, ServiceSession};
+use netsched_workloads::HeightDistribution;
 use proptest::prelude::*;
-use rayon::ThreadPoolBuilder;
 
-fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
-    ThreadPoolBuilder::new().num_threads(n).build_global().ok();
-    let out = f();
-    ThreadPoolBuilder::new().num_threads(0).build_global().ok();
-    out
+/// A session pinned to the byte-equivalence contract.
+fn cold_line(problem: &netsched_graph::LineProblem, config: AlgorithmConfig) -> ServiceSession {
+    ServiceSession::for_line(problem, config).with_resolve_mode(ResolveMode::Cold)
 }
 
-/// Byte-level equality of the incremental merged CSR and the flat build.
-fn assert_same_graph(a: &ConflictGraph, b: &ConflictGraph, label: &str) {
-    assert_eq!(a.num_vertices(), b.num_vertices(), "{label}: vertex count");
-    assert_eq!(a.num_edges(), b.num_edges(), "{label}: edge count");
-    for v in 0..a.num_vertices() {
-        let d = InstanceId::new(v);
-        assert_eq!(a.neighbors(d), b.neighbors(d), "{label}: adjacency of {d}");
-    }
-}
-
-/// Exact equality of everything the solution certifies.
-fn assert_same_solution(a: &Solution, b: &Solution, label: &str) {
-    assert_eq!(a.selected, b.selected, "{label}: schedule");
-    assert_eq!(a.raised_instances, b.raised_instances, "{label}: raised");
-    assert_eq!(a.profit, b.profit, "{label}: profit");
-    let (da, db) = (a.diagnostics, b.diagnostics);
-    assert_eq!(da.lambda, db.lambda, "{label}: lambda");
-    assert_eq!(da.dual_objective, db.dual_objective, "{label}: dual");
-    assert_eq!(da.steps, db.steps, "{label}: steps");
-    assert_eq!(
-        da.optimum_upper_bound, db.optimum_upper_bound,
-        "{label}: upper bound"
-    );
-}
-
-/// A from-scratch mirror of the live demand set, driven by the same trace
-/// events the session consumes. Tracks demands by global arrival index.
-enum Mirror {
-    Tree {
-        base: TreeProblem,
-        live: Vec<(usize, TraceEvent)>,
-    },
-    Line {
-        base: LineProblem,
-        live: Vec<(usize, TraceEvent)>,
-    },
-}
-
-impl Mirror {
-    fn for_tree(problem: &TreeProblem) -> Self {
-        let mut base = TreeProblem::new(problem.num_vertices());
-        for t in 0..problem.num_networks() {
-            let network = NetworkId::new(t);
-            let edges = problem.network(network).edges().map(|(_, uv)| uv).collect();
-            let id = base.add_network(edges).unwrap();
-            for (e, &cap) in problem.capacities(network).iter().enumerate() {
-                if (cap - 1.0).abs() > f64::EPSILON {
-                    base.set_capacity(id, e, cap).unwrap();
-                }
-            }
-        }
-        let live = problem
-            .demands()
-            .iter()
-            .map(|d| {
-                (
-                    d.id.index(),
-                    TraceEvent::ArriveTree {
-                        u: d.u,
-                        v: d.v,
-                        profit: d.profit,
-                        height: d.height,
-                        access: problem.access(d.id).to_vec(),
-                    },
-                )
-            })
-            .collect();
-        Mirror::Tree { base, live }
-    }
-
-    fn for_line(problem: &LineProblem) -> Self {
-        let base = LineProblem::new(problem.timeslots(), problem.num_resources());
-        let live = problem
-            .demands()
-            .iter()
-            .map(|d| {
-                (
-                    d.id.index(),
-                    TraceEvent::ArriveLine {
-                        release: d.release,
-                        deadline: d.deadline,
-                        processing: d.processing,
-                        profit: d.profit,
-                        height: d.height,
-                        access: problem.access(d.id).to_vec(),
-                    },
-                )
-            })
-            .collect();
-        Mirror::Line { base, live }
-    }
-
-    fn apply(&mut self, batch: &[TraceEvent], next_arrival: &mut usize) {
-        let live = match self {
-            Mirror::Tree { live, .. } | Mirror::Line { live, .. } => live,
-        };
-        for event in batch {
-            match event {
-                TraceEvent::Expire { arrival } => {
-                    let pos = live
-                        .iter()
-                        .position(|(a, _)| a == arrival)
-                        .expect("mirror expires a live arrival");
-                    live.remove(pos);
-                }
-                arrive => {
-                    live.push((*next_arrival, arrive.clone()));
-                    *next_arrival += 1;
-                }
-            }
-        }
-    }
-
-    /// The surviving demand set as a fresh problem, demands in arrival
-    /// order — exactly the from-scratch rebuild the invariant names.
-    fn rebuild(&self) -> RebuiltProblem {
-        match self {
-            Mirror::Tree { base, live } => {
-                let mut p = base.clone();
-                for (_, event) in live {
-                    if let TraceEvent::ArriveTree {
-                        u,
-                        v,
-                        profit,
-                        height,
-                        access,
-                    } = event
-                    {
-                        p.add_demand(*u, *v, *profit, *height, access.clone())
-                            .unwrap();
-                    }
-                }
-                RebuiltProblem::Tree(p)
-            }
-            Mirror::Line { base, live } => {
-                let mut p = base.clone();
-                for (_, event) in live {
-                    if let TraceEvent::ArriveLine {
-                        release,
-                        deadline,
-                        processing,
-                        profit,
-                        height,
-                        access,
-                    } = event
-                    {
-                        p.add_demand(
-                            *release,
-                            *deadline,
-                            *processing,
-                            *profit,
-                            *height,
-                            access.clone(),
-                        )
-                        .unwrap();
-                    }
-                }
-                RebuiltProblem::Line(p)
-            }
-        }
-    }
-}
-
-enum RebuiltProblem {
-    Tree(TreeProblem),
-    Line(LineProblem),
-}
-
-impl RebuiltProblem {
-    fn solve(&self, config: &AlgorithmConfig) -> (Solution, ConflictGraph) {
-        match self {
-            RebuiltProblem::Tree(p) => {
-                let flat = ConflictGraph::build(&p.universe());
-                (Scheduler::for_tree(p).solve(config), flat)
-            }
-            RebuiltProblem::Line(p) => {
-                let flat = ConflictGraph::build(&p.universe());
-                (Scheduler::for_line(p).solve(config), flat)
-            }
-        }
-    }
-}
-
-fn to_events(batch: &[TraceEvent], tickets: &[DemandTicket]) -> Vec<DemandEvent> {
-    batch
-        .iter()
-        .map(|event| match event {
-            TraceEvent::ArriveTree {
-                u,
-                v,
-                profit,
-                height,
-                access,
-            } => DemandEvent::Arrive(DemandRequest::Tree {
-                u: *u,
-                v: *v,
-                profit: *profit,
-                height: *height,
-                access: access.clone(),
-            }),
-            TraceEvent::ArriveLine {
-                release,
-                deadline,
-                processing,
-                profit,
-                height,
-                access,
-            } => DemandEvent::Arrive(DemandRequest::Line {
-                release: *release,
-                deadline: *deadline,
-                processing: *processing,
-                profit: *profit,
-                height: *height,
-                access: access.clone(),
-            }),
-            TraceEvent::Expire { arrival } => DemandEvent::Expire(tickets[*arrival]),
-        })
-        .collect()
-}
-
-/// Replays a trace epoch by epoch, asserting the differential invariant
-/// after every epoch: merged CSR byte-identical to the flat build of the
-/// rebuilt universe, schedule and certificate equal to a from-scratch
-/// `Scheduler` solve.
-fn check_trace(
-    mut session: ServiceSession,
-    mut mirror: Mirror,
-    trace: &EventTrace,
-    config: &AlgorithmConfig,
-    label: &str,
-) {
-    let mut tickets: Vec<DemandTicket> = session.live_tickets();
-    let mut next_arrival = tickets.len();
-    for (epoch, batch) in trace.batches.iter().enumerate() {
-        let events = to_events(batch, &tickets);
-        let delta = session
-            .step(&events)
-            .unwrap_or_else(|e| panic!("{label} epoch {epoch}: {e}"));
-        tickets.extend(delta.tickets.iter().copied());
-        mirror.apply(batch, &mut next_arrival);
-
-        let label = format!("{label} epoch {epoch}");
-        let rebuilt = mirror.rebuild();
-        let (reference, flat) = rebuilt.solve(config);
-        assert_same_graph(&flat, &session.conflict().merged(), &label);
-        let ours = session.last_solution().expect("stepped sessions solved");
-        assert_same_solution(&reference, ours, &label);
-        assert_eq!(delta.profit, reference.profit, "{label}: delta profit");
-        assert_eq!(
-            delta.stats.live_demands,
-            session.live_demands(),
-            "{label}: live count"
-        );
-        // The standing schedule and the solution agree.
-        assert_eq!(session.schedule().len(), ours.selected.len(), "{label}");
-    }
-}
-
-fn line_trace(networks: usize, demands: usize, seed: u64, churn: f64) -> (LineProblem, EventTrace) {
-    line_trace_with_heights(networks, demands, seed, churn, HeightDistribution::Unit)
-}
-
-fn line_trace_with_heights(
-    networks: usize,
-    demands: usize,
-    seed: u64,
-    churn: f64,
-    heights: HeightDistribution,
-) -> (LineProblem, EventTrace) {
-    let mut base = many_networks_line(networks, demands, seed);
-    base.heights = heights;
-    let trace = poisson_arrivals_line(
-        &base,
-        &ChurnSpec {
-            epochs: 8,
-            churn,
-            focus: 2,
-            seed: seed ^ 0xD15EA5E,
-        },
-    );
-    (base.build().unwrap(), trace)
-}
-
-fn tree_trace(
-    networks: usize,
-    demands: usize,
-    seed: u64,
-    churn: f64,
-    heights: HeightDistribution,
-) -> (TreeProblem, EventTrace) {
-    let mut base = many_networks_tree(networks, demands, seed);
-    base.heights = heights;
-    let trace = poisson_arrivals_tree(
-        &base,
-        &ChurnSpec {
-            epochs: 8,
-            churn,
-            focus: 2,
-            seed: seed ^ 0xFEED,
-        },
-    );
-    (base.build().unwrap(), trace)
+fn cold_tree(problem: &netsched_graph::TreeProblem, config: AlgorithmConfig) -> ServiceSession {
+    ServiceSession::for_tree(problem, config).with_resolve_mode(ResolveMode::Cold)
 }
 
 #[test]
@@ -343,7 +52,7 @@ fn line_sessions_match_from_scratch_rebuilds_at_every_thread_count() {
             },
         ] {
             with_threads(threads, || {
-                let session = ServiceSession::for_line(&problem, config);
+                let session = cold_line(&problem, config);
                 let mirror = Mirror::for_line(&problem);
                 check_trace(
                     session,
@@ -363,7 +72,7 @@ fn tree_sessions_match_from_scratch_rebuilds_at_every_thread_count() {
     let config = AlgorithmConfig::deterministic(0.1);
     for threads in [1usize, 2, 4] {
         with_threads(threads, || {
-            let session = ServiceSession::for_tree(&problem, config);
+            let session = cold_tree(&problem, config);
             let mirror = Mirror::for_tree(&problem);
             check_trace(
                 session,
@@ -394,7 +103,7 @@ fn mixed_height_line_sessions_exercise_the_incremental_split() {
         },
     );
     let config = AlgorithmConfig::deterministic(0.1);
-    let session = ServiceSession::for_line(&problem, config);
+    let session = cold_line(&problem, config);
     check_trace(
         session,
         Mirror::for_line(&problem),
@@ -413,7 +122,7 @@ fn near_overflow_line_windows_are_rejected_not_admitted() {
     // have spliced a bogus instance before panicking).
     let (problem, _) = line_trace(3, 10, 41, 0.2);
     let config = AlgorithmConfig::deterministic(0.1);
-    let mut session = ServiceSession::for_line(&problem, config);
+    let mut session = cold_line(&problem, config);
     session.step(&[]).unwrap();
     let epoch = session.epoch();
     let result = session.step(&[DemandEvent::Arrive(DemandRequest::Line {
@@ -445,7 +154,7 @@ fn mixed_height_sessions_exercise_the_incremental_split() {
         },
     );
     let config = AlgorithmConfig::deterministic(0.1);
-    let session = ServiceSession::for_tree(&problem, config);
+    let session = cold_tree(&problem, config);
     check_trace(
         session,
         Mirror::for_tree(&problem),
@@ -467,7 +176,7 @@ fn capacitated_sessions_stay_equivalent() {
     }
     assert!(!problem.universe().is_uniform_capacity());
     let config = AlgorithmConfig::deterministic(0.1);
-    let session = ServiceSession::for_tree(&problem, config);
+    let session = cold_tree(&problem, config);
     check_trace(
         session,
         Mirror::for_tree(&problem),
@@ -481,11 +190,12 @@ fn capacitated_sessions_stay_equivalent() {
 fn empty_batch_epochs_are_true_no_ops() {
     let (problem, _) = line_trace(3, 15, 3, 0.2);
     let config = AlgorithmConfig::deterministic(0.1);
-    let mut session = ServiceSession::for_line(&problem, config);
+    let mut session = cold_line(&problem, config);
 
     // First step solves even with an empty batch.
     let first = session.step(&[]).unwrap();
     assert!(first.stats.resolved);
+    assert!(!first.stats.warm_resolve);
     assert!(!first.admitted.is_empty(), "initial demands get scheduled");
     let generation = session.conflict().generation();
     let profit = session.profit();
@@ -504,7 +214,7 @@ fn empty_batch_epochs_are_true_no_ops() {
 fn expiring_everything_empties_the_schedule_and_recovers() {
     let (problem, _) = line_trace(3, 12, 9, 0.2);
     let config = AlgorithmConfig::deterministic(0.1);
-    let mut session = ServiceSession::for_line(&problem, config);
+    let mut session = cold_line(&problem, config);
     session.step(&[]).unwrap();
     assert!(session.profit() > 0.0);
 
@@ -543,7 +253,7 @@ fn expiring_everything_empties_the_schedule_and_recovers() {
 fn invalid_batches_leave_the_session_untouched() {
     let (problem, _) = line_trace(3, 10, 13, 0.2);
     let config = AlgorithmConfig::deterministic(0.1);
-    let mut session = ServiceSession::for_line(&problem, config);
+    let mut session = cold_line(&problem, config);
     session.step(&[]).unwrap();
     let profit = session.profit();
     let epoch = session.epoch();
@@ -595,40 +305,58 @@ proptest! {
 
     #[test]
     fn random_line_traces_preserve_the_invariant(
-        seed in any::<u64>(),
-        demands in 10usize..24,
-        networks in 2usize..5,
-        churn_pct in 5u32..40,
-        wide_pct in 0u32..=100,
+        case in ChurnCases { shape: ChurnShape::Line },
     ) {
-        let heights = if wide_pct == 100 {
-            HeightDistribution::Unit
-        } else {
-            HeightDistribution::Mixed { wide_fraction: wide_pct as f64 / 100.0, min_narrow: 0.1 }
-        };
-        let (problem, trace) =
-            line_trace_with_heights(networks, demands, seed, churn_pct as f64 / 100.0, heights);
+        let case: ChurnCase = case;
         let config = AlgorithmConfig::deterministic(0.12);
-        let session = ServiceSession::for_line(&problem, config);
-        check_trace(session, Mirror::for_line(&problem), &trace, &config, "proptest-line");
+        let problem = case.line_problem();
+        let session = cold_line(problem, config);
+        check_trace(
+            session,
+            Mirror::for_line(problem),
+            &case.trace,
+            &config,
+            "proptest-line",
+        );
     }
 
     #[test]
     fn random_tree_traces_preserve_the_invariant(
-        seed in any::<u64>(),
-        demands in 10usize..22,
-        networks in 2usize..5,
-        churn_pct in 5u32..40,
-        wide_pct in 0u32..=100,
+        case in ChurnCases { shape: ChurnShape::Tree },
     ) {
-        let heights = if wide_pct == 100 {
-            HeightDistribution::Unit
-        } else {
-            HeightDistribution::Mixed { wide_fraction: wide_pct as f64 / 100.0, min_narrow: 0.1 }
-        };
-        let (problem, trace) = tree_trace(networks, demands, seed, churn_pct as f64 / 100.0, heights);
+        let case: ChurnCase = case;
         let config = AlgorithmConfig::deterministic(0.12);
-        let session = ServiceSession::for_tree(&problem, config);
-        check_trace(session, Mirror::for_tree(&problem), &trace, &config, "proptest-tree");
+        let problem = case.tree_problem();
+        let session = cold_tree(problem, config);
+        check_trace(
+            session,
+            Mirror::for_tree(problem),
+            &case.trace,
+            &config,
+            "proptest-tree",
+        );
+    }
+}
+
+#[test]
+fn shrinking_churn_cases_keeps_traces_valid() {
+    // Every shrink candidate of a sampled case must itself replay
+    // cleanly: expiries name live arrivals only, windows stay in range.
+    let strategy = ChurnCases {
+        shape: ChurnShape::Line,
+    };
+    let mut rng = proptest::TestRng::for_case("shrink-validity", 0);
+    for _ in 0..4 {
+        let case = proptest::Strategy::sample(&strategy, &mut rng);
+        for candidate in proptest::Strategy::shrink(&strategy, &case) {
+            let config = AlgorithmConfig::deterministic(0.2);
+            let mut session = cold_line(candidate.line_problem(), config);
+            let mut tickets: Vec<DemandTicket> = session.live_tickets();
+            for batch in &candidate.trace.batches {
+                let events = common::to_events(batch, &tickets);
+                let delta = session.step(&events).expect("shrunk trace stays valid");
+                tickets.extend(delta.tickets.iter().copied());
+            }
+        }
     }
 }

@@ -1,12 +1,27 @@
 //! Offline drop-in shim for the subset of the `proptest` API used by the
 //! workspace tests: the [`proptest!`] macro with a `#![proptest_config]`
-//! header, `arg in strategy` bindings over [`any`] and integer ranges, and
-//! the [`prop_assert!`] / [`prop_assert_eq!`] assertions.
+//! header, `arg in strategy` bindings over [`any`] and integer ranges, the
+//! [`prop_assert!`] / [`prop_assert_eq!`] assertions, and **greedy
+//! shrinking** through [`Strategy::shrink`].
 //!
-//! Unlike upstream proptest there is no shrinking and no persisted failure
-//! database; cases are generated from a deterministic per-test stream, so a
-//! failure always reproduces with plain `cargo test`. The build environment
-//! has no crates.io access, which is why this shim exists.
+//! # Shrinking
+//!
+//! When a case fails, the runner greedily minimizes it: every bound
+//! argument is walked through its strategy's [`Strategy::shrink`]
+//! candidates (others held fixed), keeping any candidate that still fails,
+//! until no candidate of any argument fails — a local minimum. The
+//! minimal input is printed (via `Debug`) and the case re-runs unprotected
+//! so the original assertion message surfaces. Bound values must therefore
+//! be `Clone + Debug`. Strategies default to no candidates (no shrinking);
+//! integer ranges bisect toward their lower bound, and custom strategies
+//! (e.g. the workspace's event-trace strategy) implement domain-aware
+//! shrinking. Shrink attempts run with the panic hook suppressed so the
+//! minimization loop does not spam the log.
+//!
+//! Unlike upstream proptest there is no persisted failure database; cases
+//! are generated from a deterministic per-test stream, so a failure always
+//! reproduces with plain `cargo test`. The build environment has no
+//! crates.io access, which is why this shim exists.
 
 /// Everything the tests import.
 pub mod prelude {
@@ -71,17 +86,71 @@ pub trait Strategy {
 
     /// Draws one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Simpler candidates to try when `value` made a case fail, most
+    /// aggressive first. The runner keeps any candidate that still fails
+    /// and re-shrinks from it; an empty list (the default) means the value
+    /// is already minimal.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
 }
 
 /// Types with a canonical full-domain strategy, used by [`any`].
 pub trait Arbitrary: Sized {
     /// Draws a uniform value of the type.
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Shrink candidates for a failing value (see [`Strategy::shrink`]).
+    fn shrink_value(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+/// Runs `f` with the global panic hook suppressed, returning `true` when
+/// it completes without panicking. Used by the shrinking loop so candidate
+/// evaluations do not spam the log. The swap is serialized through a
+/// process-wide mutex: two tests shrinking concurrently would otherwise
+/// race the take/restore and could leave the silent hook installed
+/// permanently. (A concurrently failing test in *another* thread is still
+/// silenced while a shrink candidate runs — an accepted shim tradeoff.)
+#[doc(hidden)]
+pub fn run_quiet(f: impl FnOnce()) -> bool {
+    static HOOK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let guard = HOOK_LOCK
+        .lock()
+        .unwrap_or_else(|poison| poison.into_inner());
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).is_ok();
+    std::panic::set_hook(hook);
+    drop(guard);
+    ok
+}
+
+fn shrink_toward<T>(lo: i128, value: i128, cast: impl Fn(i128) -> T) -> Vec<T> {
+    let mut out = Vec::new();
+    if value > lo {
+        out.push(lo);
+        let mid = lo + (value - lo) / 2;
+        if mid != lo && mid != value {
+            out.push(mid);
+        }
+        if value - 1 != lo && value - 1 != mid {
+            out.push(value - 1);
+        }
+    }
+    out.into_iter().map(cast).collect()
 }
 
 impl Arbitrary for u64 {
     fn arbitrary(rng: &mut TestRng) -> Self {
         rng.next_u64()
+    }
+
+    fn shrink_value(&self) -> Vec<Self> {
+        shrink_toward(0, *self as i128, |v| v as u64)
     }
 }
 
@@ -89,17 +158,33 @@ impl Arbitrary for u32 {
     fn arbitrary(rng: &mut TestRng) -> Self {
         (rng.next_u64() >> 32) as u32
     }
+
+    fn shrink_value(&self) -> Vec<Self> {
+        shrink_toward(0, *self as i128, |v| v as u32)
+    }
 }
 
 impl Arbitrary for usize {
     fn arbitrary(rng: &mut TestRng) -> Self {
         rng.next_u64() as usize
     }
+
+    fn shrink_value(&self) -> Vec<Self> {
+        shrink_toward(0, *self as i128, |v| v as usize)
+    }
 }
 
 impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> Self {
         rng.next_u64() & 1 == 1
+    }
+
+    fn shrink_value(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -122,6 +207,10 @@ impl<T: Arbitrary> Strategy for Any<T> {
     fn sample(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
     }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        value.shrink_value()
+    }
 }
 
 macro_rules! int_strategies {
@@ -133,6 +222,10 @@ macro_rules! int_strategies {
                 assert!(self.start < self.end, "empty strategy range");
                 let span = (self.end as u64).wrapping_sub(self.start as u64);
                 self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(self.start as i128, *value as i128, |v| v as $t)
             }
         }
         impl Strategy for core::ops::RangeInclusive<$t> {
@@ -147,6 +240,10 @@ macro_rules! int_strategies {
                 }
                 lo.wrapping_add((rng.next_u64() % span) as $t)
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(*self.start() as i128, *value as i128, |v| v as $t)
+            }
         }
     )*};
 }
@@ -154,7 +251,9 @@ macro_rules! int_strategies {
 int_strategies!(u8, u16, u32, u64, usize, i32, i64);
 
 /// Runs every property as a normal `#[test]`, iterating the configured
-/// number of deterministic cases.
+/// number of deterministic cases; failing cases are greedily shrunk to a
+/// minimal failing input before being reported (see the crate docs).
+/// Bound values must be `Clone + Debug`.
 #[macro_export]
 macro_rules! proptest {
     (
@@ -173,8 +272,73 @@ macro_rules! proptest {
                         concat!(module_path!(), "::", stringify!($name)),
                         __case,
                     );
-                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
-                    $body
+                    // Each bound value lives in a shared cell so the
+                    // re-run closure always reads the current candidate
+                    // while the shrink loop swaps values in and out.
+                    $(
+                        let $arg = ::std::rc::Rc::new(::std::cell::RefCell::new(
+                            $crate::Strategy::sample(&($strat), &mut __rng),
+                        ));
+                    )*
+                    let __run = {
+                        $(let $arg = ::std::rc::Rc::clone(&$arg);)*
+                        move || {
+                            $(let $arg = $arg.borrow().clone();)*
+                            $body
+                        }
+                    };
+                    let __passed = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(&__run),
+                    )
+                    .is_ok();
+                    if __passed {
+                        continue;
+                    }
+                    // Greedy minimization: walk each argument's shrink
+                    // candidates (others held fixed), keeping any
+                    // candidate that still fails, until no argument can
+                    // shrink further.
+                    let mut __rounds = 0;
+                    loop {
+                        let mut __changed = false;
+                        $(
+                            loop {
+                                let __value = $arg.borrow().clone();
+                                let __candidates =
+                                    $crate::Strategy::shrink(&($strat), &__value);
+                                let mut __advanced = false;
+                                for __candidate in __candidates {
+                                    let __backup = $arg.replace(__candidate);
+                                    if $crate::run_quiet(&__run) {
+                                        let _ = $arg.replace(__backup);
+                                    } else {
+                                        __advanced = true;
+                                        __changed = true;
+                                        break;
+                                    }
+                                }
+                                if !__advanced {
+                                    break;
+                                }
+                            }
+                        )*
+                        __rounds += 1;
+                        if !__changed || __rounds >= 64 {
+                            break;
+                        }
+                    }
+                    $(
+                        eprintln!(
+                            "proptest {}: case {__case} failed; minimal {} = {:#?}",
+                            stringify!($name),
+                            stringify!($arg),
+                            $arg.borrow(),
+                        );
+                    )*
+                    // Re-run the minimal case unprotected so the original
+                    // assertion panic (with its message) surfaces.
+                    __run();
+                    unreachable!("shrunk proptest case stopped failing on re-run");
                 }
             }
         )*
@@ -216,6 +380,7 @@ macro_rules! prop_assert_ne {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::run_quiet;
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(16))]
@@ -240,5 +405,47 @@ mod tests {
         assert_eq!(a.next_u64(), b.next_u64());
         let mut c = TestRng::for_case("x", 1);
         assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn range_shrink_bisects_toward_the_lower_bound() {
+        let strat = 3usize..100;
+        let candidates = Strategy::shrink(&strat, &80);
+        assert_eq!(candidates, vec![3, 41, 79]);
+        assert!(Strategy::shrink(&strat, &3).is_empty());
+        let incl = 1u32..=8;
+        assert_eq!(Strategy::shrink(&incl, &2), vec![1]);
+    }
+
+    #[test]
+    fn shrinking_finds_the_minimal_failing_input() {
+        // A property that fails for every n ≥ 10: the greedy shrink must
+        // land exactly on 10 (the local minimum of the range strategy).
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let strat = 0usize..1000;
+        let value = Rc::new(RefCell::new(977usize));
+        let run = {
+            let value = Rc::clone(&value);
+            move || assert!(*value.borrow() < 10)
+        };
+        assert!(!run_quiet(&run));
+        loop {
+            let current = *value.borrow();
+            let mut advanced = false;
+            for candidate in Strategy::shrink(&strat, &current) {
+                let backup = value.replace(candidate);
+                if run_quiet(&run) {
+                    let _ = value.replace(backup);
+                } else {
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                break;
+            }
+        }
+        assert_eq!(*value.borrow(), 10);
     }
 }
