@@ -1,0 +1,359 @@
+//! Benchmark: the cost of durability and the speed of recovery.
+//!
+//! Three arms over the `churn-line` serving scenario:
+//!
+//! * **append throughput** — one durable session per [`Durability`] mode
+//!   replays the same churn trace; reports epochs/s, the journal's share
+//!   of the epoch (from the session's own `journal_seconds` telemetry)
+//!   and log bytes per epoch. The spread between `None`/`Epoch`/`Batch`
+//!   is the fsync bill.
+//! * **snapshot cost** — times [`DurableSession::snapshot_now`] at the
+//!   end of the run and reports the document size on disk.
+//! * **restore scaling** — for log lengths `L ∈ {25, 50, 100, 200}`
+//!   (full mode), restores the same history twice: from the epoch-0
+//!   snapshot replaying **all** `L` records (the full cold rebuild a
+//!   snapshotless server would pay) and from the newest cadence snapshot
+//!   replaying only the suffix. Snapshot+replay must beat the full
+//!   rebuild on `L ≥ 100` logs — the number that justifies the snapshot
+//!   cadence.
+//!
+//! Results are written to `BENCH_durability.json`; run with `--quick`
+//! for the reduced CI configuration.
+
+use netsched_core::AlgorithmConfig;
+use netsched_persist::{restore, Durability, DurableSession, PersistConfig};
+use netsched_service::{DemandEvent, DemandTicket, ServiceSession};
+use netsched_workloads::json::JsonValue;
+use netsched_workloads::{
+    many_networks_line, poisson_arrivals_line, ChurnSpec, EventTrace, TraceEvent,
+};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "netsched-bench-durability-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The arrival-index → ticket table is the identity (tickets are issued
+/// sequentially from the initial demand set onward).
+fn ticket_table(initial: usize, trace: &EventTrace) -> Vec<DemandTicket> {
+    let arrivals = trace
+        .batches
+        .iter()
+        .flat_map(|b| b.iter())
+        .filter(|e| e.is_arrival())
+        .count();
+    (0..(initial + arrivals) as u64).map(DemandTicket).collect()
+}
+
+fn to_events(batch: &[TraceEvent], tickets: &[DemandTicket]) -> Vec<DemandEvent> {
+    batch
+        .iter()
+        .map(|event| match event {
+            TraceEvent::ArriveLine {
+                release,
+                deadline,
+                processing,
+                profit,
+                height,
+                access,
+            } => DemandEvent::Arrive(netsched_service::DemandRequest::Line {
+                release: *release,
+                deadline: *deadline,
+                processing: *processing,
+                profit: *profit,
+                height: *height,
+                access: access.clone(),
+            }),
+            TraceEvent::Expire { arrival } => DemandEvent::Expire(tickets[*arrival]),
+            TraceEvent::ArriveTree { .. } => unreachable!("line scenario"),
+        })
+        .collect()
+}
+
+struct Scenario {
+    problem: netsched_graph::LineProblem,
+    trace: EventTrace,
+    tickets: Vec<DemandTicket>,
+    config: AlgorithmConfig,
+}
+
+fn scenario(epochs: usize, seed: u64) -> Scenario {
+    let workload = many_networks_line(4, 48, seed);
+    let trace = poisson_arrivals_line(
+        &workload,
+        &ChurnSpec {
+            epochs,
+            churn: 0.06,
+            focus: 2,
+            seed: seed ^ 0xD15EA5E,
+        },
+    );
+    let tickets = ticket_table(workload.demands, &trace);
+    Scenario {
+        problem: workload.build().unwrap(),
+        trace,
+        tickets,
+        config: AlgorithmConfig::deterministic(0.25),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Arm 1+2: append throughput per durability mode + snapshot cost
+// ---------------------------------------------------------------------
+
+struct AppendResult {
+    epochs: usize,
+    total_s: f64,
+    journal_s: f64,
+    log_bytes: u64,
+    snapshot_s: f64,
+    snapshot_bytes: u64,
+}
+
+impl AppendResult {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("epochs", JsonValue::int(self.epochs)),
+            (
+                "mean_epoch_ms",
+                JsonValue::num(1e3 * self.total_s / self.epochs as f64),
+            ),
+            (
+                "mean_journal_us",
+                JsonValue::num(1e6 * self.journal_s / self.epochs as f64),
+            ),
+            (
+                "journal_share",
+                JsonValue::num(self.journal_s / self.total_s),
+            ),
+            (
+                "log_bytes_per_epoch",
+                JsonValue::num(self.log_bytes as f64 / self.epochs as f64),
+            ),
+            ("snapshot_ms", JsonValue::num(1e3 * self.snapshot_s)),
+            (
+                "snapshot_bytes",
+                JsonValue::int(self.snapshot_bytes as usize),
+            ),
+        ])
+    }
+}
+
+fn run_append(sc: &Scenario, durability: Durability, tag: &str) -> AppendResult {
+    let dir = temp_dir(tag);
+    let mut durable = DurableSession::create(
+        &dir,
+        ServiceSession::for_line(&sc.problem, sc.config),
+        PersistConfig {
+            durability,
+            snapshot_every: 0,
+        },
+    )
+    .expect("create");
+    let start = Instant::now();
+    let mut journal_s = 0.0;
+    for batch in &sc.trace.batches {
+        let events = to_events(batch, &sc.tickets);
+        let delta = durable.step(&events).expect("trace replays");
+        journal_s += delta.stats.journal_seconds;
+    }
+    let total_s = start.elapsed().as_secs_f64();
+    let log_bytes = std::fs::metadata(dir.join(netsched_persist::WAL_FILE))
+        .map(|m| m.len())
+        .unwrap_or(0);
+    let snap_start = Instant::now();
+    durable.snapshot_now().expect("snapshot");
+    let snapshot_s = snap_start.elapsed().as_secs_f64();
+    let snapshot_bytes = std::fs::metadata(netsched_persist::snapshot_path(
+        &dir,
+        durable.session().epoch(),
+    ))
+    .map(|m| m.len())
+    .unwrap_or(0);
+    let _ = std::fs::remove_dir_all(&dir);
+    AppendResult {
+        epochs: sc.trace.batches.len(),
+        total_s,
+        journal_s,
+        log_bytes,
+        snapshot_s,
+        snapshot_bytes,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Arm 3: restore time vs log length, snapshot+replay vs full rebuild
+// ---------------------------------------------------------------------
+
+struct RestoreResult {
+    log_len: usize,
+    full_rebuild_s: f64,
+    snapshot_replay_s: f64,
+    replayed_suffix: u64,
+    snapshot_epoch: u64,
+}
+
+impl RestoreResult {
+    fn speedup(&self) -> f64 {
+        self.full_rebuild_s / self.snapshot_replay_s
+    }
+
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("log_epochs", JsonValue::int(self.log_len)),
+            ("full_rebuild_ms", JsonValue::num(1e3 * self.full_rebuild_s)),
+            (
+                "snapshot_replay_ms",
+                JsonValue::num(1e3 * self.snapshot_replay_s),
+            ),
+            (
+                "replayed_suffix_epochs",
+                JsonValue::int(self.replayed_suffix as usize),
+            ),
+            (
+                "snapshot_epoch",
+                JsonValue::int(self.snapshot_epoch as usize),
+            ),
+            ("restore_speedup", JsonValue::num(self.speedup())),
+        ])
+    }
+}
+
+fn run_restore(log_len: usize, cadence: u64, seed: u64) -> RestoreResult {
+    let sc = scenario(log_len, seed);
+
+    // One directory with only the epoch-0 snapshot (every record must
+    // replay: the full cold rebuild), one with the snapshot cadence.
+    let mut dirs = Vec::new();
+    for (tag, snapshot_every) in [("full", 0u64), ("cadence", cadence)] {
+        let dir = temp_dir(&format!("restore-{log_len}-{tag}"));
+        let mut durable = DurableSession::create(
+            &dir,
+            ServiceSession::for_line(&sc.problem, sc.config),
+            PersistConfig {
+                durability: Durability::None,
+                snapshot_every,
+            },
+        )
+        .expect("create");
+        for batch in &sc.trace.batches {
+            let events = to_events(batch, &sc.tickets);
+            durable.step(&events).expect("trace replays");
+        }
+        dirs.push(dir);
+    }
+
+    let start = Instant::now();
+    let full = restore(&dirs[0]).expect("full rebuild restores");
+    let full_rebuild_s = start.elapsed().as_secs_f64();
+    assert_eq!(full.report.replayed_epochs as usize, log_len);
+
+    let start = Instant::now();
+    let quickpath = restore(&dirs[1]).expect("cadence restore");
+    let snapshot_replay_s = start.elapsed().as_secs_f64();
+    assert_eq!(full.session.profit(), quickpath.session.profit());
+    assert_eq!(full.session.epoch(), quickpath.session.epoch());
+
+    for dir in dirs {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    RestoreResult {
+        log_len,
+        full_rebuild_s,
+        snapshot_replay_s,
+        replayed_suffix: quickpath.report.replayed_epochs,
+        snapshot_epoch: quickpath.report.snapshot_epoch,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mode = if quick { "quick" } else { "full" };
+    let host_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    // ---- append throughput + snapshot cost ----
+    let append_epochs = if quick { 12 } else { 50 };
+    let sc = scenario(append_epochs, 7);
+    println!("benchmark group: durability/append ({append_epochs} epochs)");
+    let mut modes_json: Vec<(String, JsonValue)> = Vec::new();
+    for (durability, name) in [
+        (Durability::None, "none"),
+        (Durability::Epoch, "epoch"),
+        (Durability::Batch, "batch"),
+    ] {
+        let result = run_append(&sc, durability, name);
+        println!(
+            "  {name:>5}   {:>8.3}ms/epoch   journal {:>7.1}us/epoch ({:>5.2}% of epoch)   \
+             {:>6.0} log bytes/epoch   snapshot {:>7.3}ms / {} bytes",
+            1e3 * result.total_s / result.epochs as f64,
+            1e6 * result.journal_s / result.epochs as f64,
+            100.0 * result.journal_s / result.total_s,
+            result.log_bytes as f64 / result.epochs as f64,
+            1e3 * result.snapshot_s,
+            result.snapshot_bytes,
+        );
+        modes_json.push((name.to_string(), result.to_json()));
+    }
+
+    // ---- restore scaling ----
+    // The cadence deliberately does not divide the log lengths, so every
+    // restore replays a realistic non-empty suffix.
+    let log_lens: &[usize] = if quick {
+        &[10, 25]
+    } else {
+        &[25, 50, 100, 200]
+    };
+    let cadence = 16u64;
+    println!("\nbenchmark group: durability/restore (snapshot cadence {cadence})");
+    let mut restore_json: Vec<(String, JsonValue)> = Vec::new();
+    for &log_len in log_lens {
+        let result = run_restore(log_len, cadence, 11);
+        println!(
+            "  L = {log_len:>4}   full rebuild {:>9.3}ms   snapshot+replay {:>9.3}ms \
+             (suffix {:>3} epochs from snapshot @ {})   speedup {:.2}x",
+            1e3 * result.full_rebuild_s,
+            1e3 * result.snapshot_replay_s,
+            result.replayed_suffix,
+            result.snapshot_epoch,
+            result.speedup(),
+        );
+        if !quick && log_len >= 100 {
+            assert!(
+                result.speedup() > 1.0,
+                "snapshot+replay must beat the full cold rebuild on {log_len}-epoch logs"
+            );
+        }
+        restore_json.push((format!("{log_len}"), result.to_json()));
+    }
+
+    let json = JsonValue::object(vec![
+        ("bench", JsonValue::String("durability".to_string())),
+        ("mode", JsonValue::String(mode.to_string())),
+        ("host_threads", JsonValue::int(host_threads)),
+        (
+            "append",
+            JsonValue::Object(modes_json.into_iter().collect()),
+        ),
+        (
+            "restore",
+            JsonValue::object(vec![
+                ("snapshot_cadence", JsonValue::int(cadence as usize)),
+                (
+                    "log_lengths",
+                    JsonValue::Object(restore_json.into_iter().collect()),
+                ),
+            ]),
+        ),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_durability.json");
+    std::fs::write(path, json.render()).expect("writing BENCH_durability.json must succeed");
+    println!("\nwrote BENCH_durability.json ({mode} mode, host threads: {host_threads})");
+}

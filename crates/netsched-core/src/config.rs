@@ -1,6 +1,7 @@
 //! Configuration of the distributed algorithms.
 
 use netsched_distrib::MisStrategy;
+use netsched_workloads::json::{FromJson, JsonValue, ToJson};
 
 /// Tunables shared by every algorithm in this crate.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,6 +55,48 @@ impl AlgorithmConfig {
     }
 }
 
+impl ToJson for AlgorithmConfig {
+    fn to_json(&self) -> JsonValue {
+        // `MisStrategy` lives in `netsched-distrib`, which knows nothing of
+        // the JSON layer, so its encoding is inlined here.
+        let mis = match self.mis {
+            MisStrategy::Luby { seed } => JsonValue::object(vec![
+                ("strategy", JsonValue::String("luby".into())),
+                ("seed", JsonValue::u64_value(seed)),
+            ]),
+            MisStrategy::SequentialGreedy => JsonValue::object(vec![(
+                "strategy",
+                JsonValue::String("sequential-greedy".into()),
+            )]),
+        };
+        JsonValue::object(vec![
+            ("epsilon", JsonValue::num(self.epsilon)),
+            ("mis", mis),
+            ("seed", JsonValue::u64_value(self.seed)),
+        ])
+    }
+}
+
+impl FromJson for AlgorithmConfig {
+    fn from_json(value: &JsonValue) -> Result<Self, String> {
+        let mis_doc = value.field("mis")?;
+        let mis = match mis_doc.field("strategy")?.as_str()? {
+            "luby" => MisStrategy::Luby {
+                seed: mis_doc.field("seed")?.as_u64()?,
+            },
+            "sequential-greedy" => MisStrategy::SequentialGreedy,
+            other => return Err(format!("unknown MIS strategy `{other}`")),
+        };
+        let config = Self {
+            epsilon: value.field("epsilon")?.as_f64()?,
+            mis,
+            seed: value.field("seed")?.as_u64()?,
+        };
+        config.validate()?;
+        Ok(config)
+    }
+}
+
 /// The per-demand-instance dual constraint form used by the two-phase
 /// engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +111,28 @@ pub enum RaiseRule {
     /// `δ = s / (1 + 2·h(d)·|π(d)|²)` to `α(a_d)` and `2|π(d)|·δ` to `β(e)`
     /// for every critical edge, so that the constraint becomes tight.
     Narrow,
+}
+
+impl ToJson for RaiseRule {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::String(
+            match self {
+                RaiseRule::Unit => "unit",
+                RaiseRule::Narrow => "narrow",
+            }
+            .into(),
+        )
+    }
+}
+
+impl FromJson for RaiseRule {
+    fn from_json(value: &JsonValue) -> Result<Self, String> {
+        match value.as_str()? {
+            "unit" => Ok(RaiseRule::Unit),
+            "narrow" => Ok(RaiseRule::Narrow),
+            other => Err(format!("unknown raise rule `{other}`")),
+        }
+    }
 }
 
 /// Computes the paper's stage-progress constant `ξ` for the given raise
@@ -156,6 +221,28 @@ mod tests {
         assert!((approximation_bound(RaiseRule::Narrow, 6, 0.9) - 73.0 / 0.9).abs() < 1e-12);
         // Section 7 narrow: 19/(1 − ε).
         assert!((approximation_bound(RaiseRule::Narrow, 3, 0.9) - 19.0 / 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn config_and_rule_roundtrip_through_json() {
+        for config in [
+            AlgorithmConfig::default(),
+            AlgorithmConfig::deterministic(0.25),
+            AlgorithmConfig {
+                epsilon: 0.125,
+                mis: MisStrategy::Luby { seed: u64::MAX },
+                seed: (1 << 60) + 7,
+            },
+        ] {
+            let text = config.to_json().render();
+            let back = AlgorithmConfig::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, config);
+        }
+        for rule in [RaiseRule::Unit, RaiseRule::Narrow] {
+            let back = RaiseRule::from_json(&rule.to_json()).unwrap();
+            assert_eq!(back, rule);
+        }
+        assert!(RaiseRule::from_json(&JsonValue::String("wide".into())).is_err());
     }
 
     #[test]

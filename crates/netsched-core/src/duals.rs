@@ -25,6 +25,7 @@
 
 use crate::config::RaiseRule;
 use netsched_graph::{DemandInstanceUniverse, InstanceId, NetworkId};
+use netsched_workloads::json::{FromJson, JsonValue, ToJson};
 use rayon::prelude::*;
 
 /// A Fenwick (binary indexed) tree over `f64` with point updates and
@@ -81,6 +82,29 @@ impl Fenwick {
     #[inline]
     fn total(&self) -> f64 {
         self.prefix(self.tree.len() - 1)
+    }
+
+    /// Serializes the tree as its dense point values (the prefix structure
+    /// is derived data and is rebuilt on load).
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Array(self.dense.iter().map(|&x| JsonValue::num(x)).collect())
+    }
+
+    /// Rebuilds a tree from its dense point values. The internal prefix
+    /// nodes are re-accumulated in index order, so range sums may differ
+    /// from the original tree's in the last few bits — point reads and the
+    /// dense mirror are exact, which is all the certificate-equivalence
+    /// contract of restore needs.
+    fn from_json(value: &JsonValue) -> Result<Self, String> {
+        let entries = value.as_array()?;
+        let mut fen = Fenwick::new(entries.len());
+        for (i, v) in entries.iter().enumerate() {
+            let x = v.as_f64()?;
+            if x != 0.0 {
+                fen.add(i, x);
+            }
+        }
+        Ok(fen)
     }
 }
 
@@ -466,6 +490,115 @@ impl DualState {
         assert!(lambda > 0.0, "lambda must be positive");
         self.objective() / lambda
     }
+
+    /// Checks a deserialized assignment's dimensions against a universe:
+    /// the `α` vector, the per-network tree count and every tree's edge
+    /// count must match, and the capacitated-narrow mirror tree must be
+    /// present exactly when the universe and rule call for one.
+    pub fn validate_shape(&self, universe: &DemandInstanceUniverse) -> Result<(), String> {
+        if self.alpha.len() != universe.num_demands() {
+            return Err(format!(
+                "dual state has {} alpha entries, universe has {} demands",
+                self.alpha.len(),
+                universe.num_demands()
+            ));
+        }
+        if self.beta.len() != universe.num_networks() {
+            return Err(format!(
+                "dual state has {} networks, universe has {}",
+                self.beta.len(),
+                universe.num_networks()
+            ));
+        }
+        let mirror = self.rule == RaiseRule::Narrow && !universe.is_uniform_capacity();
+        for (t, nd) in self.beta.iter().enumerate() {
+            let edges = universe.num_edges(NetworkId::new(t));
+            if nd.beta.dense.len() != edges {
+                return Err(format!(
+                    "network {t}: dual state has {} beta entries, universe has {edges} edges",
+                    nd.beta.dense.len()
+                ));
+            }
+            if nd.weighted.is_some() != mirror {
+                return Err(format!(
+                    "network {t}: weighted mirror tree {} but the rule/capacity \
+                     setting requires it to be {}",
+                    if nd.weighted.is_some() {
+                        "present"
+                    } else {
+                        "absent"
+                    },
+                    if mirror { "present" } else { "absent" },
+                ));
+            }
+            if let Some(w) = &nd.weighted {
+                if w.dense.len() != edges {
+                    return Err(format!(
+                        "network {t}: dual state has {} weighted entries, \
+                         universe has {edges} edges",
+                        w.dense.len()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl ToJson for DualState {
+    fn to_json(&self) -> JsonValue {
+        let networks = self
+            .beta
+            .iter()
+            .map(|nd| {
+                JsonValue::object(vec![
+                    ("beta", nd.beta.to_json()),
+                    (
+                        "weighted",
+                        nd.weighted
+                            .as_ref()
+                            .map(Fenwick::to_json)
+                            .unwrap_or(JsonValue::Null),
+                    ),
+                ])
+            })
+            .collect();
+        JsonValue::object(vec![
+            ("rule", self.rule.to_json()),
+            (
+                "alpha",
+                JsonValue::Array(self.alpha.iter().map(|&x| JsonValue::num(x)).collect()),
+            ),
+            ("networks", JsonValue::Array(networks)),
+        ])
+    }
+}
+
+impl FromJson for DualState {
+    fn from_json(value: &JsonValue) -> Result<Self, String> {
+        let rule = RaiseRule::from_json(value.field("rule")?)?;
+        let alpha = value
+            .field("alpha")?
+            .as_array()?
+            .iter()
+            .map(JsonValue::as_f64)
+            .collect::<Result<Vec<_>, _>>()?;
+        let beta = value
+            .field("networks")?
+            .as_array()?
+            .iter()
+            .map(|nd| {
+                Ok(NetworkDuals {
+                    beta: Fenwick::from_json(nd.field("beta")?)?,
+                    weighted: match nd.field("weighted")? {
+                        JsonValue::Null => None,
+                        doc => Some(Fenwick::from_json(doc)?),
+                    },
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Self { alpha, beta, rule })
+    }
 }
 
 #[cfg(test)]
@@ -547,6 +680,41 @@ mod tests {
         // alpha, which also appears in the sibling instance's constraint.
         assert!(duals.lhs(&u, insts[1]) > 0.0);
         assert!((duals.lhs(&u, insts[1]) - u.profit(insts[0])).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dual_state_roundtrips_through_json() {
+        let u = figure1_line_problem().universe();
+        let mut duals = DualState::new(&u, RaiseRule::Narrow);
+        for d in u.instance_ids() {
+            let path: Vec<EdgeId> = u.instance(d).path.iter().collect();
+            duals.raise(&u, d, &path[..path.len().min(2)]);
+        }
+        let text = duals.to_json().render();
+        let back = DualState::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
+        back.validate_shape(&u).unwrap();
+        assert_eq!(back.rule(), duals.rule());
+        // Point values roundtrip bit-exactly; range sums are re-accumulated
+        // and may differ only in the last bits.
+        for d in u.instance_ids() {
+            let demand = u.instance(d).demand;
+            assert_eq!(back.alpha(demand).to_bits(), duals.alpha(demand).to_bits());
+            for e in u.instance(d).path.iter() {
+                let net = u.instance(d).network;
+                assert_eq!(back.beta(net, e).to_bits(), duals.beta(net, e).to_bits());
+            }
+            assert!((back.lhs(&u, d) - duals.lhs(&u, d)).abs() < 1e-12);
+        }
+        assert!((back.objective() - duals.objective()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dual_state_shape_validation_rejects_mismatches() {
+        let u = figure1_line_problem().universe();
+        let duals = DualState::new(&u, RaiseRule::Unit);
+        duals.validate_shape(&u).unwrap();
+        let other = two_tree_problem().universe();
+        assert!(duals.validate_shape(&other).is_err());
     }
 
     #[test]

@@ -50,6 +50,7 @@ use netsched_distrib::{sharded_mis, MisScratch, RoundStats, ShardedConflictGraph
 use netsched_graph::{
     DemandInstanceUniverse, EdgeId, InstanceId, LoadTracker, NetworkId, UniverseDelta, EPS,
 };
+use netsched_workloads::json::{FromJson, JsonValue, ToJson};
 
 /// The `β` contributions of one instance's raises: the exact amounts added
 /// to each edge of its own network, accumulated across repair epochs.
@@ -91,6 +92,15 @@ pub struct WarmState {
     /// Networks whose duals were perturbed by splices since the last
     /// completed warm solve.
     pending_dirty: Vec<bool>,
+    /// Per-network minimum of `LHS(d)/p(d)` over eligible instances
+    /// (`+∞` for a network with none), mirroring the cached LHS values.
+    /// Folding these `num_networks` entries yields the certificate's `λ`
+    /// bit-for-bit equal to the full `O(|D|)` scan (`f64::min` is exact,
+    /// associative and commutative), so certification after a repair is
+    /// `O(dirty shards + num_networks)`: clean networks' entries stay valid
+    /// across splices because a clean network's instance membership and
+    /// cached LHS entries are untouched.
+    shard_min: Vec<f64>,
     /// `false` until a warm solve has completed on this state; a fresh
     /// state repairs every shard, which reproduces the cold engine.
     primed: bool,
@@ -109,7 +119,7 @@ impl WarmState {
             .map(|d| DualState::max_relative_height(universe, d))
             .collect();
         let eligible = rel_height.iter().map(|&h| h <= 1.0 + EPS).collect();
-        Self {
+        let mut state = Self {
             rule,
             duals: DualState::new(universe, rule),
             records: vec![RaiseRecord::default(); n],
@@ -118,9 +128,14 @@ impl WarmState {
             eligible,
             rel_height,
             pending_dirty: vec![false; universe.num_networks()],
+            shard_min: vec![f64::INFINITY; universe.num_networks()],
             primed: false,
             epochs_resumed: 0,
+        };
+        for t in 0..universe.num_networks() {
+            state.recompute_shard_min(universe, NetworkId::new(t));
         }
+        state
     }
 
     /// The raise rule this state resumes.
@@ -139,6 +154,77 @@ impl WarmState {
     #[inline]
     pub fn duals(&self) -> &DualState {
         &self.duals
+    }
+
+    /// Total instance entries across the persisted first-phase stack — the
+    /// replay cost the second phase pays every epoch. Lifecycle policies
+    /// reset states whose stack mass has grown far beyond the live
+    /// instance count (a cold re-epoch is certificate-safe by
+    /// construction).
+    #[inline]
+    pub fn stack_mass(&self) -> usize {
+        self.stack.iter().map(Vec::len).sum()
+    }
+
+    /// Recomputes one network's λ minimum from the cached LHS values.
+    fn recompute_shard_min(&mut self, universe: &DemandInstanceUniverse, network: NetworkId) {
+        self.shard_min[network.index()] = universe
+            .instances_on_network(network)
+            .iter()
+            .copied()
+            .filter(|d| self.eligible[d.index()])
+            .map(|d| self.lhs[d.index()] / universe.profit(d))
+            .fold(f64::INFINITY, f64::min);
+    }
+
+    /// The certificate's `λ` from the per-network minima: bit-for-bit equal
+    /// to the full cached-LHS scan ([`cached_lambda`]), in
+    /// `O(num_networks)`.
+    fn shard_lambda(&self) -> f64 {
+        self.shard_min
+            .iter()
+            .copied()
+            .fold(1.0_f64, f64::min)
+            .max(EPS)
+    }
+
+    /// Checks a deserialized state's dimensions against a universe; see
+    /// [`DualState::validate_shape`] for the dual-side checks.
+    pub fn validate_shape(&self, universe: &DemandInstanceUniverse) -> Result<(), String> {
+        let n = universe.num_instances();
+        if self.records.len() != n {
+            return Err(format!(
+                "warm state has {} instance records, universe has {n} instances",
+                self.records.len()
+            ));
+        }
+        if self.pending_dirty.len() != universe.num_networks() {
+            return Err(format!(
+                "warm state has {} networks, universe has {}",
+                self.pending_dirty.len(),
+                universe.num_networks()
+            ));
+        }
+        for record in &self.records {
+            if record.network.index() >= universe.num_networks() {
+                return Err(format!(
+                    "raise record names network {} of a {}-network universe",
+                    record.network.index(),
+                    universe.num_networks()
+                ));
+            }
+        }
+        for mis in &self.stack {
+            for d in mis {
+                if d.index() >= n {
+                    return Err(format!(
+                        "stack names instance {} of a {n}-instance universe",
+                        d.index()
+                    ));
+                }
+            }
+        }
+        self.duals.validate_shape(universe)
     }
 
     /// Splices one universe delta through the persisted state. Must be
@@ -220,6 +306,174 @@ impl WarmState {
         for (pending, &dirty) in self.pending_dirty.iter_mut().zip(delta.dirty()) {
             *pending |= dirty;
         }
+    }
+}
+
+impl ToJson for WarmState {
+    fn to_json(&self) -> JsonValue {
+        let records = self
+            .records
+            .iter()
+            .map(|r| {
+                JsonValue::object(vec![
+                    ("network", JsonValue::int(r.network.index())),
+                    (
+                        "beta",
+                        JsonValue::Array(
+                            r.beta
+                                .iter()
+                                .map(|&(e, amount)| {
+                                    JsonValue::Array(vec![
+                                        JsonValue::int(e.index()),
+                                        JsonValue::num(amount),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        let stack = self
+            .stack
+            .iter()
+            .map(|mis| JsonValue::Array(mis.iter().map(|d| JsonValue::int(d.index())).collect()))
+            .collect();
+        // `+∞` (a network with no eligible instances) is not a JSON number;
+        // it travels as `null`.
+        let shard_min = self
+            .shard_min
+            .iter()
+            .map(|&x| {
+                if x.is_finite() {
+                    JsonValue::num(x)
+                } else {
+                    JsonValue::Null
+                }
+            })
+            .collect();
+        JsonValue::object(vec![
+            ("rule", self.rule.to_json()),
+            ("duals", self.duals.to_json()),
+            ("records", JsonValue::Array(records)),
+            ("stack", JsonValue::Array(stack)),
+            (
+                "lhs",
+                JsonValue::Array(self.lhs.iter().map(|&x| JsonValue::num(x)).collect()),
+            ),
+            (
+                "eligible",
+                JsonValue::Array(self.eligible.iter().map(|&b| JsonValue::Bool(b)).collect()),
+            ),
+            (
+                "rel_height",
+                JsonValue::Array(self.rel_height.iter().map(|&x| JsonValue::num(x)).collect()),
+            ),
+            (
+                "pending_dirty",
+                JsonValue::Array(
+                    self.pending_dirty
+                        .iter()
+                        .map(|&b| JsonValue::Bool(b))
+                        .collect(),
+                ),
+            ),
+            ("shard_min", JsonValue::Array(shard_min)),
+            ("primed", JsonValue::Bool(self.primed)),
+            ("epochs_resumed", JsonValue::u64_value(self.epochs_resumed)),
+        ])
+    }
+}
+
+fn bool_from_json(value: &JsonValue) -> Result<bool, String> {
+    match value {
+        JsonValue::Bool(b) => Ok(*b),
+        other => Err(format!("expected a boolean, got {}", other.render())),
+    }
+}
+
+impl FromJson for WarmState {
+    fn from_json(value: &JsonValue) -> Result<Self, String> {
+        let records = value
+            .field("records")?
+            .as_array()?
+            .iter()
+            .map(|r| {
+                let beta = r
+                    .field("beta")?
+                    .as_array()?
+                    .iter()
+                    .map(|pair| {
+                        let pair = pair.as_array()?;
+                        if pair.len() != 2 {
+                            return Err("raise record entries are [edge, amount] pairs".into());
+                        }
+                        Ok((EdgeId::new(pair[0].as_usize()?), pair[1].as_f64()?))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(RaiseRecord {
+                    network: NetworkId::new(r.field("network")?.as_usize()?),
+                    beta,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let stack = value
+            .field("stack")?
+            .as_array()?
+            .iter()
+            .map(|mis| {
+                mis.as_array()?
+                    .iter()
+                    .map(|d| Ok(InstanceId::new(d.as_usize()?)))
+                    .collect::<Result<Vec<_>, String>>()
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let floats = |name: &str| -> Result<Vec<f64>, String> {
+            value
+                .field(name)?
+                .as_array()?
+                .iter()
+                .map(JsonValue::as_f64)
+                .collect()
+        };
+        let bools = |name: &str| -> Result<Vec<bool>, String> {
+            value
+                .field(name)?
+                .as_array()?
+                .iter()
+                .map(bool_from_json)
+                .collect()
+        };
+        let shard_min = value
+            .field("shard_min")?
+            .as_array()?
+            .iter()
+            .map(|x| match x {
+                JsonValue::Null => Ok(f64::INFINITY),
+                other => other.as_f64(),
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let state = Self {
+            rule: RaiseRule::from_json(value.field("rule")?)?,
+            duals: DualState::from_json(value.field("duals")?)?,
+            records,
+            stack,
+            lhs: floats("lhs")?,
+            eligible: bools("eligible")?,
+            rel_height: floats("rel_height")?,
+            pending_dirty: bools("pending_dirty")?,
+            shard_min,
+            primed: bool_from_json(value.field("primed")?)?,
+            epochs_resumed: value.field("epochs_resumed")?.as_u64()?,
+        };
+        let n = state.records.len();
+        if state.lhs.len() != n || state.eligible.len() != n || state.rel_height.len() != n {
+            return Err("per-instance vectors disagree on the instance count".into());
+        }
+        if state.shard_min.len() != state.pending_dirty.len() {
+            return Err("per-network vectors disagree on the network count".into());
+        }
+        Ok(state)
     }
 }
 
@@ -357,6 +611,11 @@ pub fn run_two_phase_warm_on(
     }
 
     let fresh = !warm.primed;
+    let mut active_networks: Vec<bool> = if fresh {
+        vec![true; universe.num_networks()]
+    } else {
+        warm.pending_dirty.clone()
+    };
     let mut active: Vec<bool> = if fresh {
         vec![true; universe.num_instances()]
     } else {
@@ -413,11 +672,22 @@ pub fn run_two_phase_warm_on(
         max_steps_per_stage = max_steps_per_stage.max(m);
         raised += r;
 
-        // Refresh the LHS cache exactly for everything this pass scanned.
+        // Refresh the LHS cache exactly for everything this pass scanned,
+        // then fold the scanned networks' λ minima from it.
         for d in universe.instance_ids().filter(|d| active[d.index()]) {
             warm.lhs[d.index()] = warm.duals.lhs(universe, d);
         }
-        let lambda = cached_lambda(universe, warm);
+        for (t, &scanned) in active_networks.iter().enumerate() {
+            if scanned {
+                warm.recompute_shard_min(universe, NetworkId::new(t));
+            }
+        }
+        let lambda = warm.shard_lambda();
+        debug_assert_eq!(
+            lambda.to_bits(),
+            cached_lambda(universe, warm).to_bits(),
+            "per-network λ minima diverged from the full cached-LHS scan"
+        );
         let all_active = active.iter().all(|&a| a);
         if lambda >= lambda_target || all_active || attempt == 1 {
             break;
@@ -426,6 +696,7 @@ pub fn run_two_phase_warm_on(
         // bookkeeping predicted (should not happen — clean duals only
         // grow); repair everything before certifying.
         active = vec![true; universe.num_instances()];
+        active_networks = vec![true; universe.num_networks()];
     }
 
     // In debug builds, prove the LHS cache is a true lower bound.
@@ -439,7 +710,12 @@ pub fn run_two_phase_warm_on(
         );
     }
 
-    let lambda = cached_lambda(universe, warm);
+    let lambda = warm.shard_lambda();
+    debug_assert_eq!(
+        lambda.to_bits(),
+        cached_lambda(universe, warm).to_bits(),
+        "per-network λ minima diverged from the full cached-LHS scan"
+    );
     let dual_objective = warm.duals.objective();
 
     // ---------------- Second phase: replay the full stack ----------------
@@ -517,6 +793,9 @@ pub fn run_two_phase_warm_on(
 
 /// `λ` from the cached LHS lower bounds: `min` over eligible instances of
 /// `LHS(d)/p(d)` (clamped exactly like the cold engine's certificate).
+/// The full `O(|D|)` scan — superseded by [`WarmState::shard_lambda`] and
+/// kept as the debug/test reference the shard minima are checked against.
+#[cfg_attr(not(any(debug_assertions, test)), allow(dead_code))]
 fn cached_lambda(universe: &DemandInstanceUniverse, warm: &WarmState) -> f64 {
     universe
         .instance_ids()
@@ -674,6 +953,151 @@ mod tests {
             "stale dual mass survived the splice: {}",
             warm.duals().objective()
         );
+    }
+
+    fn churn_round(u: &mut DemandInstanceUniverse, rng: &mut StdRng, delta: &mut UniverseDelta) {
+        let m = u.num_demands();
+        let mut expired = vec![
+            DemandId::new(rng.gen_range(0..m)),
+            DemandId::new(rng.gen_range(0..m)),
+        ];
+        expired.sort_unstable();
+        expired.dedup();
+        let start = rng.gen_range(0..34u32);
+        let arrival = ArrivingDemand {
+            profit: rng.gen_range(1.0..10.0),
+            height: 1.0,
+            instances: vec![(
+                NetworkId::new(rng.gen_range(0..3)),
+                EdgePath::interval(start as usize, start as usize + 4),
+                Some(start),
+            )],
+        };
+        u.apply_demand_delta(&expired, &[arrival], delta);
+    }
+
+    #[test]
+    fn shard_minima_match_the_full_scan_bit_for_bit() {
+        let mut u = line_universe(21, 24);
+        let config = AlgorithmConfig::deterministic(0.1);
+        let mut warm = WarmState::new(&u, RaiseRule::Unit);
+        solve_pair(&u, &mut warm, &config);
+        assert_eq!(
+            warm.shard_lambda().to_bits(),
+            cached_lambda(&u, &warm).to_bits()
+        );
+
+        let mut delta = UniverseDelta::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        for round in 0..5 {
+            churn_round(&mut u, &mut rng, &mut delta);
+            warm.splice(&u, &delta);
+            let conflict = ShardedConflictGraph::build(&u);
+            let layering = InstanceLayering::line_length_classes(&u);
+            let sol = run_two_phase_warm_on(
+                &u,
+                &conflict,
+                &layering,
+                RaiseRule::Unit,
+                &config,
+                &mut warm,
+            );
+            assert_eq!(
+                warm.shard_lambda().to_bits(),
+                cached_lambda(&u, &warm).to_bits(),
+                "round {round}: shard minima diverged from the full scan"
+            );
+            assert_eq!(
+                sol.diagnostics.lambda.to_bits(),
+                warm.shard_lambda().to_bits(),
+                "round {round}: reported λ is not the shard fold"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_state_roundtrips_through_json() {
+        let mut u = line_universe(17, 22);
+        let config = AlgorithmConfig::deterministic(0.1);
+        let mut warm = WarmState::new(&u, RaiseRule::Unit);
+        solve_pair(&u, &mut warm, &config);
+        let mut delta = UniverseDelta::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        let conflict_layering = |u: &DemandInstanceUniverse| {
+            (
+                ShardedConflictGraph::build(u),
+                InstanceLayering::line_length_classes(u),
+            )
+        };
+        for _ in 0..3 {
+            churn_round(&mut u, &mut rng, &mut delta);
+            warm.splice(&u, &delta);
+            let (conflict, layering) = conflict_layering(&u);
+            run_two_phase_warm_on(
+                &u,
+                &conflict,
+                &layering,
+                RaiseRule::Unit,
+                &config,
+                &mut warm,
+            );
+        }
+
+        let text = warm.to_json().render();
+        let mut restored = WarmState::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
+        restored.validate_shape(&u).unwrap();
+        assert_eq!(restored.rule(), warm.rule());
+        assert_eq!(restored.epochs_resumed(), warm.epochs_resumed());
+        assert_eq!(restored.stack_mass(), warm.stack_mass());
+        assert_eq!(
+            restored.shard_lambda().to_bits(),
+            warm.shard_lambda().to_bits()
+        );
+
+        // Re-solving from the restored state must match re-solving from the
+        // original: the stack replay and the cached-LHS certificate are
+        // exact copies (only Fenwick-internal prefix nodes are
+        // re-accumulated, which no quiescent solve reads).
+        let (conflict, layering) = conflict_layering(&u);
+        let from_original = run_two_phase_warm_on(
+            &u,
+            &conflict,
+            &layering,
+            RaiseRule::Unit,
+            &config,
+            &mut warm,
+        );
+        let from_restored = run_two_phase_warm_on(
+            &u,
+            &conflict,
+            &layering,
+            RaiseRule::Unit,
+            &config,
+            &mut restored,
+        );
+        assert_eq!(from_original.selected, from_restored.selected);
+        assert_eq!(from_original.profit, from_restored.profit);
+        assert_eq!(
+            from_original.diagnostics.lambda.to_bits(),
+            from_restored.diagnostics.lambda.to_bits()
+        );
+        assert!(
+            (from_original.diagnostics.dual_objective - from_restored.diagnostics.dual_objective)
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn restored_state_rejects_the_wrong_universe() {
+        let u = line_universe(3, 12);
+        let config = AlgorithmConfig::deterministic(0.1);
+        let mut warm = WarmState::new(&u, RaiseRule::Unit);
+        solve_pair(&u, &mut warm, &config);
+        let restored =
+            WarmState::from_json(&JsonValue::parse(&warm.to_json().render()).unwrap()).unwrap();
+        let other = line_universe(4, 15);
+        assert!(restored.validate_shape(&other).is_err());
     }
 
     #[test]

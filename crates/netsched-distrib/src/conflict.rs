@@ -448,6 +448,22 @@ impl ShardedConflictGraph {
         self.merged_folds.load(Ordering::Relaxed)
     }
 
+    /// Advances the generation counter to at least `to` and drops the
+    /// cached merged fold.
+    ///
+    /// A graph rebuilt from a **restored** session snapshot starts over at
+    /// generation 0, so any external cache keyed by
+    /// [`generation`](ShardedConflictGraph::generation) (including the
+    /// internal merged-fold cache of a state that outlived the rebuild)
+    /// could serve a pre-crash fold for a post-restore graph. The restore
+    /// path calls this with the recovered epoch counter, re-establishing
+    /// the invariant that generations never repeat across the lifetime of
+    /// a logical session.
+    pub fn advance_generation(&mut self, to: u64) {
+        self.generation = self.generation.max(to);
+        *self.merged_cache.lock().expect("merged cache poisoned") = None;
+    }
+
     /// The universe partition the graph was built on.
     #[inline]
     pub fn sharding(&self) -> &ShardedUniverse {
@@ -780,6 +796,26 @@ mod tests {
         let _ = sharded.merged();
         assert_eq!(sharded.merged_fold_count(), 2);
         assert_eq!(c.offsets, ConflictGraph::build(&universe).offsets);
+    }
+
+    #[test]
+    fn advance_generation_invalidates_the_merged_cache() {
+        let universe = two_tree_problem().universe();
+        let mut sharded = ShardedConflictGraph::build(&universe);
+        let _ = sharded.merged();
+        assert_eq!(sharded.merged_fold_count(), 1);
+
+        // A restore-style advance must both raise the counter and force
+        // the next merged() to re-fold.
+        sharded.advance_generation(17);
+        assert_eq!(sharded.generation(), 17);
+        let refolded = sharded.merged();
+        assert_eq!(sharded.merged_fold_count(), 2);
+        assert_eq!(refolded.offsets, ConflictGraph::build(&universe).offsets);
+
+        // Advancing backwards never regresses the counter.
+        sharded.advance_generation(3);
+        assert_eq!(sharded.generation(), 17);
     }
 
     #[test]

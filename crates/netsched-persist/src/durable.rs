@@ -1,0 +1,211 @@
+//! [`DurableSession`]: a serving session whose epochs survive crashes.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use netsched_service::{
+    CompactionReport, DemandEvent, ScheduleDelta, ServiceError, ServiceSession,
+};
+
+use crate::restore::restore_inner;
+use crate::wal::{open_wal, sync_wal, WalHandle, WalJournal, WAL_FILE};
+use crate::{Durability, PersistConfig, RestoreReport};
+
+/// Snapshot files are named `snapshot-<epoch>.json`, epoch zero-padded so
+/// lexicographic directory order equals epoch order.
+pub const SNAPSHOT_PREFIX: &str = "snapshot-";
+
+/// The snapshot file path for `epoch` inside `dir`.
+pub fn snapshot_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("{SNAPSHOT_PREFIX}{epoch:020}.json"))
+}
+
+/// A [`ServiceSession`] wrapped in the durable serving tier: every
+/// accepted batch is journaled to the directory's write-ahead log before
+/// it executes, snapshots are written on an epoch cadence, and
+/// [`DurableSession::recover`] resumes after a crash from the newest
+/// valid snapshot plus log replay. See the [crate docs](crate) for the
+/// recovery contract and the fsync policies.
+pub struct DurableSession {
+    session: ServiceSession,
+    dir: PathBuf,
+    wal: WalHandle,
+    config: PersistConfig,
+    last_snapshot_epoch: u64,
+}
+
+impl DurableSession {
+    /// Starts a durable session in `dir` (created if absent): writes the
+    /// initial snapshot (so a restore is possible before the first
+    /// cadence snapshot), opens the write-ahead log for appending and
+    /// attaches the journal. The directory should be empty or belong to
+    /// this session's own history — recovering someone else's log into a
+    /// fresh session is what [`DurableSession::recover`] is for.
+    pub fn create(
+        dir: impl AsRef<Path>,
+        mut session: ServiceSession,
+        config: PersistConfig,
+    ) -> Result<Self, String> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        let wal = open_wal(&dir)?;
+        session.attach_journal(Box::new(WalJournal::new(
+            wal.clone(),
+            config.durability == Durability::Batch,
+        )));
+        let mut this = Self {
+            last_snapshot_epoch: session.epoch(),
+            session,
+            dir,
+            wal,
+            config,
+        };
+        this.snapshot_now()?;
+        Ok(this)
+    }
+
+    /// Resumes a durable session from `dir` after a crash: restores
+    /// (newest valid snapshot + log replay, see [`crate::restore`]),
+    /// truncates the log's corrupt suffix — if any — so new records
+    /// append at a clean frame boundary, re-attaches the journal and
+    /// returns the session together with the restore's accounting.
+    pub fn recover(
+        dir: impl AsRef<Path>,
+        config: PersistConfig,
+    ) -> Result<(Self, RestoreReport), String> {
+        let dir = dir.as_ref().to_path_buf();
+        let (mut session, report, valid_len) = restore_inner(&dir)?;
+        let wal_path = dir.join(WAL_FILE);
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&wal_path)
+            .map_err(|e| format!("opening {}: {e}", wal_path.display()))?;
+        let current = file
+            .metadata()
+            .map_err(|e| format!("inspecting {}: {e}", wal_path.display()))?
+            .len();
+        if current > valid_len {
+            file.set_len(valid_len)
+                .map_err(|e| format!("truncating the corrupt log suffix: {e}"))?;
+            file.sync_data()
+                .map_err(|e| format!("syncing the truncated log: {e}"))?;
+        }
+        drop(file);
+        let wal = open_wal(&dir)?;
+        session.attach_journal(Box::new(WalJournal::new(
+            wal.clone(),
+            config.durability == Durability::Batch,
+        )));
+        Ok((
+            Self {
+                last_snapshot_epoch: report.snapshot_epoch,
+                session,
+                dir,
+                wal,
+                config,
+            },
+            report,
+        ))
+    }
+
+    /// Admits one epoch batch durably: the attached journal appends the
+    /// record before the session mutates (a journal failure aborts with
+    /// the session unchanged); under [`Durability::Epoch`] the log is
+    /// fsynced after the step succeeds; on the snapshot cadence a
+    /// snapshot is written. Post-step persistence failures are reported
+    /// as [`ServiceError::Journal`] — the in-memory session has already
+    /// advanced, but its durability guarantee could not be met.
+    pub fn step(&mut self, batch: &[DemandEvent]) -> Result<ScheduleDelta, ServiceError> {
+        let delta = self.session.step(batch)?;
+        if self.config.durability == Durability::Epoch {
+            sync_wal(&self.wal).map_err(ServiceError::Journal)?;
+        }
+        if self.config.snapshot_every > 0
+            && self.session.epoch() - self.last_snapshot_epoch >= self.config.snapshot_every
+        {
+            self.snapshot_now().map_err(ServiceError::Journal)?;
+        }
+        Ok(delta)
+    }
+
+    /// Writes a snapshot now (outside the cadence): compacts the session
+    /// ([`ServiceSession::compact`] — the lifecycle policy dropping stale
+    /// split cores and oversized warm replay stacks), renders the
+    /// versioned document and writes it atomically (temp file + rename,
+    /// fsynced unless running [`Durability::None`]). Returns what the
+    /// compaction shed.
+    pub fn snapshot_now(&mut self) -> Result<CompactionReport, String> {
+        let compaction = self.session.compact();
+        let doc = self.session.snapshot();
+        let epoch = self.session.epoch();
+        let path = snapshot_path(&self.dir, epoch);
+        let tmp = path.with_extension("json.tmp");
+        {
+            let mut file =
+                File::create(&tmp).map_err(|e| format!("creating {}: {e}", tmp.display()))?;
+            file.write_all(doc.render().as_bytes())
+                .map_err(|e| format!("writing {}: {e}", tmp.display()))?;
+            if self.config.durability != Durability::None {
+                file.sync_all()
+                    .map_err(|e| format!("syncing {}: {e}", tmp.display()))?;
+            }
+        }
+        std::fs::rename(&tmp, &path).map_err(|e| format!("publishing {}: {e}", path.display()))?;
+        if self.config.durability != Durability::None {
+            // Make the rename itself durable; best-effort on filesystems
+            // that refuse directory fsyncs.
+            if let Ok(d) = File::open(&self.dir) {
+                let _ = d.sync_all();
+            }
+        }
+        self.last_snapshot_epoch = epoch;
+        Ok(compaction)
+    }
+
+    /// The wrapped session (the journal stays attached — stepping through
+    /// [`session_mut`](DurableSession::session_mut) still journals, it
+    /// just skips the epoch-cadence fsync and snapshot checks).
+    pub fn session(&self) -> &ServiceSession {
+        &self.session
+    }
+
+    /// Mutable access to the wrapped session.
+    pub fn session_mut(&mut self) -> &mut ServiceSession {
+        &mut self.session
+    }
+
+    /// Unwraps the session, detaching the journal.
+    pub fn into_session(mut self) -> ServiceSession {
+        self.session.detach_journal();
+        self.session
+    }
+
+    /// The directory holding the log and snapshots.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The epoch of the most recently written snapshot.
+    pub fn last_snapshot_epoch(&self) -> u64 {
+        self.last_snapshot_epoch
+    }
+
+    /// The persistence configuration.
+    pub fn config(&self) -> &PersistConfig {
+        &self.config
+    }
+}
+
+impl std::fmt::Debug for DurableSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableSession")
+            .field("dir", &self.dir)
+            .field("epoch", &self.session.epoch())
+            .field("last_snapshot_epoch", &self.last_snapshot_epoch)
+            .field("config", &self.config)
+            .finish()
+    }
+}

@@ -1,0 +1,238 @@
+//! Durable serving tier for `netsched-service`: a **write-ahead event
+//! log** plus **periodic snapshots**, with restore defined as *latest
+//! valid snapshot + log replay* through the session's normal
+//! [`step`](netsched_service::ServiceSession::step) path.
+//!
+//! # The recovery contract
+//!
+//! A [`DurableSession`] wraps a
+//! [`ServiceSession`](netsched_service::ServiceSession) and owns a
+//! directory:
+//!
+//! * `wal.log` — an append-only concatenation of framed, CRC-checksummed
+//!   records ([`netsched_workloads::framing`]), one per accepted epoch
+//!   batch. The record is appended through the session's
+//!   [`EpochJournal`](netsched_service::EpochJournal) hook **before** the
+//!   epoch executes (write-ahead: a journal failure aborts the step with
+//!   the session unchanged).
+//! * `snapshot-<epoch>.json` — versioned full-state snapshots
+//!   ([`ServiceSession::snapshot`](netsched_service::ServiceSession::snapshot)),
+//!   written atomically (temp file + rename) on a configurable epoch
+//!   cadence; [`compact`](netsched_service::ServiceSession::compact) runs
+//!   first, so stale split cores and oversized warm replay stacks never
+//!   reach disk.
+//!
+//! [`restore`] loads the newest snapshot that parses and validates
+//! (corrupt ones are skipped, counted in
+//! [`RestoreReport::dropped_snapshots`]), scans the log to its longest
+//! valid frame prefix (truncated tails, flipped checksum bytes and
+//! zero-length files all degrade to a shorter prefix, never a panic) and
+//! replays the records past the snapshot's epoch through the normal
+//! `step` path. Because replay *is* the serving path, the recovered
+//! session inherits the session's own equivalence contract: **Cold**
+//! restores are byte-identical to the uninterrupted run, **Warm**
+//! restores are certificate-equivalent (the root
+//! `tests/durability_recovery.rs` suite pins both, at several thread
+//! counts).
+//!
+//! # Choosing a [`Durability`]
+//!
+//! | mode | fsync | loses on power cut |
+//! |---|---|---|
+//! | [`Durability::None`] | never | everything since the OS last flushed |
+//! | [`Durability::Epoch`] | once per successful epoch | at most the in-flight epoch |
+//! | [`Durability::Batch`] | inside the journal append, before the epoch executes | nothing acknowledged |
+//!
+//! `Batch` is the classic write-ahead guarantee (the record is on disk
+//! before any state mutates); `Epoch` is the usual serving trade-off
+//! (group commit at epoch granularity); `None` is for tests and bulk
+//! loads. The `durability` bench records the append-throughput cost of
+//! each mode.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod durable;
+mod restore;
+mod wal;
+
+pub use durable::{snapshot_path, DurableSession, SNAPSHOT_PREFIX};
+pub use restore::{restore, RecoveredSession, RestoreReport};
+pub use wal::WAL_FILE;
+
+/// When the write-ahead log is forced to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// Never fsync: appends reach the OS page cache only. Fastest; a
+    /// crash of the *process* loses nothing (the kernel still holds the
+    /// writes), a power cut loses whatever the OS had not flushed.
+    None,
+    /// One fsync per successful epoch, after the step completes. A power
+    /// cut loses at most the epoch that was in flight.
+    #[default]
+    Epoch,
+    /// Fsync inside every journal append, **before** the epoch executes —
+    /// the classic write-ahead guarantee: no acknowledged batch can be
+    /// lost, at one `fdatasync` of latency per batch.
+    Batch,
+}
+
+/// Configuration of a [`DurableSession`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PersistConfig {
+    /// The fsync policy of the write-ahead log (snapshots are synced
+    /// whenever this is not [`Durability::None`]).
+    pub durability: Durability,
+    /// Write a snapshot every this many epochs (`0` disables automatic
+    /// snapshots; [`DurableSession::snapshot_now`] is always available).
+    /// The cadence trades write amplification against recovery time: the
+    /// log suffix a restore must replay is at most this many records.
+    pub snapshot_every: u64,
+}
+
+impl Default for PersistConfig {
+    fn default() -> Self {
+        Self {
+            durability: Durability::Epoch,
+            snapshot_every: 64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsched_core::AlgorithmConfig;
+    use netsched_graph::{LineProblem, NetworkId};
+    use netsched_service::{DemandEvent, DemandRequest, ServiceSession};
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static DIR_COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+    fn temp_dir() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "netsched-persist-{}-{}",
+            std::process::id(),
+            DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn line_problem() -> LineProblem {
+        let mut p = LineProblem::new(24, 2);
+        let acc = vec![NetworkId::new(0), NetworkId::new(1)];
+        for (release, len, profit) in [(0u32, 4u32, 3.0), (2, 5, 2.0), (8, 3, 4.0)] {
+            p.add_demand(release, release + len + 2, len, profit, 1.0, acc.clone())
+                .unwrap();
+        }
+        p
+    }
+
+    fn arrival(start: u32) -> DemandEvent {
+        DemandEvent::Arrive(DemandRequest::Line {
+            release: start,
+            deadline: start + 6,
+            processing: 3,
+            profit: 2.5,
+            height: 1.0,
+            access: vec![NetworkId::new(0)],
+        })
+    }
+
+    #[test]
+    fn kill_and_recover_resumes_the_exact_state() {
+        let dir = temp_dir();
+        let problem = line_problem();
+        let config = AlgorithmConfig::deterministic(0.1);
+        let mut durable = DurableSession::create(
+            &dir,
+            ServiceSession::for_line(&problem, config),
+            PersistConfig {
+                durability: Durability::Batch,
+                snapshot_every: 0,
+            },
+        )
+        .unwrap();
+        for start in [1u32, 5, 9, 13] {
+            durable.step(&[arrival(start)]).unwrap();
+        }
+        let profit = durable.session().profit();
+        let epoch = durable.session().epoch();
+        let schedule = durable.session().schedule();
+        drop(durable); // the crash
+
+        let (recovered, report) = DurableSession::recover(&dir, PersistConfig::default()).unwrap();
+        assert_eq!(report.snapshot_epoch, 0);
+        assert_eq!(report.replayed_epochs, 4);
+        assert_eq!(report.dropped_records, 0);
+        assert_eq!(report.dropped_snapshots, 0);
+        assert_eq!(report.final_epoch, epoch);
+        assert_eq!(recovered.session().epoch(), epoch);
+        assert_eq!(recovered.session().profit(), profit);
+        assert_eq!(recovered.session().schedule(), schedule);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_cadence_short_circuits_replay() {
+        let dir = temp_dir();
+        let problem = line_problem();
+        let config = AlgorithmConfig::deterministic(0.1);
+        let mut durable = DurableSession::create(
+            &dir,
+            ServiceSession::for_line(&problem, config),
+            PersistConfig {
+                durability: Durability::None,
+                snapshot_every: 2,
+            },
+        )
+        .unwrap();
+        for start in [1u32, 4, 7, 10, 13] {
+            durable.step(&[arrival(start)]).unwrap();
+        }
+        assert_eq!(durable.last_snapshot_epoch(), 4);
+        let profit = durable.session().profit();
+        drop(durable);
+
+        let recovered = restore(&dir).unwrap();
+        // The epoch-4 snapshot covers records 1..=4; only epoch 5 replays.
+        assert_eq!(recovered.report.snapshot_epoch, 4);
+        assert_eq!(recovered.report.replayed_epochs, 1);
+        assert_eq!(recovered.report.skipped_records, 4);
+        assert_eq!(recovered.report.final_epoch, 5);
+        assert_eq!(recovered.session.profit(), profit);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_newest_snapshot_falls_back_to_an_older_one() {
+        let dir = temp_dir();
+        let problem = line_problem();
+        let config = AlgorithmConfig::deterministic(0.1);
+        let mut durable = DurableSession::create(
+            &dir,
+            ServiceSession::for_line(&problem, config),
+            PersistConfig {
+                durability: Durability::None,
+                snapshot_every: 2,
+            },
+        )
+        .unwrap();
+        for start in [1u32, 4, 7, 10, 13] {
+            durable.step(&[arrival(start)]).unwrap();
+        }
+        let profit = durable.session().profit();
+        drop(durable);
+        std::fs::write(snapshot_path(&dir, 4), b"{ not json").unwrap();
+
+        let recovered = restore(&dir).unwrap();
+        assert_eq!(recovered.report.dropped_snapshots, 1);
+        assert_eq!(recovered.report.snapshot_epoch, 2);
+        assert_eq!(recovered.report.replayed_epochs, 3);
+        assert_eq!(recovered.report.final_epoch, 5);
+        assert_eq!(recovered.session.profit(), profit);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,167 @@
+//! Crash recovery: newest valid snapshot + write-ahead log replay.
+
+use std::path::{Path, PathBuf};
+
+use netsched_service::{parse_wal_record, DemandEvent, ServiceSession};
+use netsched_workloads::framing::scan_frames;
+use netsched_workloads::json::JsonValue;
+
+use crate::durable::SNAPSHOT_PREFIX;
+use crate::wal::WAL_FILE;
+
+/// What a [`restore`] recovered and what it had to discard. Every count
+/// is surfaced so operators can distinguish a clean restart (everything
+/// zero except `replayed_epochs`) from one that lost data to corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RestoreReport {
+    /// The epoch of the snapshot the session was rebuilt from.
+    pub snapshot_epoch: u64,
+    /// Newer snapshot files that failed to read, parse or validate and
+    /// were skipped in favor of an older one.
+    pub dropped_snapshots: usize,
+    /// Log records replayed through the normal `step` path.
+    pub replayed_epochs: u64,
+    /// Valid log records skipped because their epoch was already covered
+    /// by the snapshot.
+    pub skipped_records: usize,
+    /// Log records lost to the corrupt suffix (truncated tail, flipped
+    /// checksum, undecodable payload or an epoch discontinuity): the
+    /// offending record plus the structurally plausible ones after it.
+    pub dropped_records: usize,
+    /// The recovered session's epoch (`snapshot_epoch + replayed_epochs`).
+    pub final_epoch: u64,
+}
+
+/// A recovered session plus the restore's accounting.
+#[derive(Debug)]
+pub struct RecoveredSession {
+    /// The recovered session. No journal is attached — callers resuming
+    /// durable serving should use
+    /// [`DurableSession::recover`](crate::DurableSession::recover)
+    /// instead, which re-attaches the log.
+    pub session: ServiceSession,
+    /// What was recovered and what was discarded.
+    pub report: RestoreReport,
+}
+
+/// Rebuilds the session a crash interrupted, **read-only** (log and
+/// snapshot files are left untouched):
+///
+/// 1. snapshots are tried newest-first; the first one that reads, parses
+///    and shape-validates wins (failures are counted, not fatal);
+/// 2. the log is cut to its longest valid frame prefix
+///    ([`scan_frames`] — a truncated tail, a flipped checksum byte and a
+///    zero-length file all land here, never in a panic);
+/// 3. records at or before the snapshot's epoch are skipped, the rest
+///    replay in order through the normal
+///    [`step`](ServiceSession::step) path — so the recovered session
+///    inherits the session's own equivalence contract (cold:
+///    byte-identical; warm: certificate-equivalent).
+///
+/// Fails only when no snapshot in the directory is valid or a valid
+/// record fails to replay (which indicates a log/snapshot mismatch, not
+/// ordinary corruption).
+pub fn restore(dir: impl AsRef<Path>) -> Result<RecoveredSession, String> {
+    let (session, report, _) = restore_inner(dir.as_ref())?;
+    Ok(RecoveredSession { session, report })
+}
+
+/// [`restore`] plus the byte length of the log's valid prefix, which
+/// [`DurableSession::recover`](crate::DurableSession::recover) truncates
+/// to before appending new records.
+pub(crate) fn restore_inner(dir: &Path) -> Result<(ServiceSession, RestoreReport, u64), String> {
+    let mut snapshots = list_snapshots(dir)?;
+    snapshots.sort_by_key(|s| std::cmp::Reverse(s.0));
+    let mut dropped_snapshots = 0usize;
+    let mut restored = None;
+    for (_, path) in &snapshots {
+        match load_snapshot(path) {
+            Ok(session) => {
+                restored = Some(session);
+                break;
+            }
+            Err(_) => dropped_snapshots += 1,
+        }
+    }
+    let mut session =
+        restored.ok_or_else(|| format!("no valid snapshot under {}", dir.display()))?;
+    let snapshot_epoch = session.epoch();
+
+    // A missing log is a valid empty log (the session crashed before its
+    // first append).
+    let bytes = std::fs::read(dir.join(WAL_FILE)).unwrap_or_default();
+    let scan = scan_frames(&bytes);
+    let mut dropped_records = scan.dropped_frames;
+    let mut records: Vec<(u64, Vec<DemandEvent>)> = Vec::new();
+    for (i, frame) in scan.frames.iter().enumerate() {
+        let decoded = std::str::from_utf8(frame)
+            .map_err(|e| e.to_string())
+            .and_then(JsonValue::parse)
+            .and_then(|doc| parse_wal_record(&doc));
+        match decoded {
+            Ok(record) => records.push(record),
+            Err(_) => {
+                // A CRC-valid frame that does not decode as a record:
+                // treat it — and everything after it — as the corrupt
+                // suffix.
+                dropped_records += scan.frames.len() - i;
+                break;
+            }
+        }
+    }
+
+    let mut skipped_records = 0usize;
+    let mut replayed_epochs = 0u64;
+    for (i, (epoch, batch)) in records.iter().enumerate() {
+        if *epoch <= snapshot_epoch {
+            skipped_records += 1;
+            continue;
+        }
+        if *epoch != session.epoch() + 1 {
+            // An epoch gap means the log and the snapshot disagree about
+            // history; nothing after the gap can be applied soundly.
+            dropped_records += records.len() - i;
+            break;
+        }
+        session
+            .step(batch)
+            .map_err(|e| format!("replaying logged epoch {epoch} failed: {e}"))?;
+        replayed_epochs += 1;
+    }
+
+    let report = RestoreReport {
+        snapshot_epoch,
+        dropped_snapshots,
+        replayed_epochs,
+        skipped_records,
+        dropped_records,
+        final_epoch: session.epoch(),
+    };
+    Ok((session, report, scan.valid_len as u64))
+}
+
+/// Every `snapshot-<epoch>.json` in the directory, unordered.
+fn list_snapshots(dir: &Path) -> Result<Vec<(u64, PathBuf)>, String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    let mut snapshots = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("reading {}: {e}", dir.display()))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(epoch) = name
+            .strip_prefix(SNAPSHOT_PREFIX)
+            .and_then(|s| s.strip_suffix(".json"))
+            .and_then(|s| s.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        snapshots.push((epoch, entry.path()));
+    }
+    Ok(snapshots)
+}
+
+fn load_snapshot(path: &Path) -> Result<ServiceSession, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let doc = JsonValue::parse(&text)?;
+    ServiceSession::from_snapshot(&doc)
+}

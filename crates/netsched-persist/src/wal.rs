@@ -1,0 +1,94 @@
+//! The write-ahead log file and its [`EpochJournal`] adapter.
+//!
+//! The log is an append-only concatenation of
+//! [`framing`](netsched_workloads::framing) frames whose payloads are
+//! rendered [`wal_record`] documents. One shared handle is held by both
+//! the journal (attached to the session, appending on every accepted
+//! batch) and the [`DurableSession`](crate::DurableSession) (fsyncing it
+//! on the epoch cadence).
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use netsched_service::{wal_record, DemandEvent, EpochJournal};
+use netsched_workloads::framing::encode_frame;
+
+/// The write-ahead log file name inside a durable session directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// The open log file, shared between the attached journal and the
+/// durable session.
+pub(crate) struct WalInner {
+    file: File,
+}
+
+pub(crate) type WalHandle = Arc<Mutex<WalInner>>;
+
+/// Opens (creating if absent) the directory's log file for appending.
+pub(crate) fn open_wal(dir: &Path) -> Result<WalHandle, String> {
+    let path = dir.join(WAL_FILE);
+    let file = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .map_err(|e| format!("opening {}: {e}", path.display()))?;
+    Ok(Arc::new(Mutex::new(WalInner { file })))
+}
+
+/// Appends one framed record, optionally forcing it to stable storage.
+pub(crate) fn append_record(
+    handle: &WalHandle,
+    epoch: u64,
+    batch: &[DemandEvent],
+    sync: bool,
+) -> Result<(), String> {
+    let payload = wal_record(epoch, batch).render();
+    let frame = encode_frame(payload.as_bytes());
+    let mut inner = handle.lock().map_err(|_| "wal lock poisoned".to_string())?;
+    inner
+        .file
+        .write_all(&frame)
+        .map_err(|e| format!("appending to the write-ahead log: {e}"))?;
+    if sync {
+        inner
+            .file
+            .sync_data()
+            .map_err(|e| format!("syncing the write-ahead log: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Forces all appended records to stable storage.
+pub(crate) fn sync_wal(handle: &WalHandle) -> Result<(), String> {
+    let inner = handle.lock().map_err(|_| "wal lock poisoned".to_string())?;
+    inner
+        .file
+        .sync_data()
+        .map_err(|e| format!("syncing the write-ahead log: {e}"))
+}
+
+/// The [`EpochJournal`] implementation: appends one framed record per
+/// accepted batch; in [`Durability::Batch`](crate::Durability::Batch)
+/// mode the append fsyncs before returning, so the step cannot proceed
+/// until the record is durable.
+pub(crate) struct WalJournal {
+    handle: WalHandle,
+    sync_every_batch: bool,
+}
+
+impl WalJournal {
+    pub(crate) fn new(handle: WalHandle, sync_every_batch: bool) -> Self {
+        Self {
+            handle,
+            sync_every_batch,
+        }
+    }
+}
+
+impl EpochJournal for WalJournal {
+    fn record(&mut self, epoch: u64, batch: &[DemandEvent]) -> Result<(), String> {
+        append_record(&self.handle, epoch, batch, self.sync_every_batch)
+    }
+}

@@ -183,6 +183,20 @@ impl LiveCore {
             warm,
         )
     }
+
+    /// The persisted warm state, if any (read by snapshot serialization
+    /// and the compaction policy).
+    pub(crate) fn warm_state(&self) -> Option<&WarmState> {
+        self.warm.as_ref()
+    }
+
+    /// Installs (or clears) the persisted warm state. Callers must have
+    /// validated a restored state's shape against the core's universe;
+    /// clearing is always certificate-safe — the next warm solve simply
+    /// re-primes from zero duals, reproducing the cold engine.
+    pub(crate) fn set_warm_state(&mut self, warm: Option<WarmState>) {
+        self.warm = warm;
+    }
 }
 
 /// The decomposition kind every core layers tree problems with — the

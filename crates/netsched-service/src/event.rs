@@ -117,6 +117,11 @@ pub enum ServiceError {
     UnknownTicket(DemandTicket),
     /// The same ticket was expired twice within one batch.
     DuplicateExpiry(DemandTicket),
+    /// An attached [`EpochJournal`](crate::EpochJournal) refused to record
+    /// the batch. The write-ahead contract requires the batch to be
+    /// durable before the epoch executes, so the step is abandoned with
+    /// the session unchanged.
+    Journal(String),
     /// Two or more events of one submission failed validation. Every
     /// failure is reported with the index of the offending event, so
     /// async callers can drop or fix exactly the invalid tickets and
@@ -137,6 +142,7 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::UnknownTicket(t) => write!(f, "ticket {t} is not live"),
             ServiceError::DuplicateExpiry(t) => write!(f, "ticket {t} expired twice in one batch"),
+            ServiceError::Journal(why) => write!(f, "journal refused the batch: {why}"),
             ServiceError::InvalidBatch { failures } => {
                 write!(f, "{} events of the batch are invalid:", failures.len())?;
                 for (index, error) in failures {

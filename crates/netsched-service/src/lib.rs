@@ -104,6 +104,37 @@
 //! the resulting epoch speedups over from-scratch rebuilds across churn
 //! rates.
 //!
+//! # Durability & recovery
+//!
+//! Sessions are in-memory; the durable serving tier lives in
+//! `netsched-persist` and hooks in through three session surfaces:
+//!
+//! * **Write-ahead journal** — an attached [`EpochJournal`] receives every
+//!   validated batch (with the epoch it advances the session to) *before*
+//!   any state mutates; a journal error aborts the step with the session
+//!   unchanged. The persistence crate records batches as framed,
+//!   CRC-checksummed JSON records and offers fsync policies from "never"
+//!   to "every batch".
+//! * **Snapshots** — [`ServiceSession::snapshot`] serializes the full
+//!   session (base topology, live ticket table, schedule, certificate,
+//!   per-core [`WarmState`](netsched_core::WarmState)s) behind a versioned
+//!   header; [`ServiceSession::compact`] runs first, dropping stale split
+//!   cores and oversized warm replay stacks so snapshots don't grow
+//!   without bound. Snapshot cadence trades write amplification against
+//!   recovery time: frequent snapshots shorten the log suffix a restore
+//!   must replay, sparse snapshots make epochs cheaper but recovery
+//!   longer.
+//! * **Restore** — [`ServiceSession::from_snapshot`] rebuilds every
+//!   derived structure through the normal constructors and re-applies the
+//!   logged suffix through the normal [`step`](ServiceSession::step) path.
+//!   The recovered session therefore inherits the session's own
+//!   equivalence contract: **Cold** restores are byte-identical to the
+//!   uninterrupted run (schedule, certificate, merged conflict CSR);
+//!   **Warm** restores are certificate-equivalent (every replayed epoch
+//!   re-certifies `λ ≥ 1 − ε` within the worst-case ratio). The
+//!   kill-and-recover suite (`tests/durability_recovery.rs`) pins both,
+//!   at 1/2/4 threads.
+//!
 //! # Async frontend
 //!
 //! [`Service`] wraps a session behind a submission queue with hand-rolled
@@ -148,10 +179,13 @@ pub mod event;
 pub mod replay;
 pub mod service;
 pub mod session;
+pub mod snapshot;
 
 pub use event::{DemandEvent, DemandRequest, DemandTicket, ServiceError};
 pub use replay::replay_trace;
 pub use service::{block_on, Service, SubmitFuture};
 pub use session::{
-    Certificate, EpochStats, Placement, ResolveMode, ScheduleDelta, ScheduledDemand, ServiceSession,
+    Certificate, CompactionReport, EpochJournal, EpochStats, Placement, ResolveMode, ScheduleDelta,
+    ScheduledDemand, ServiceSession,
 };
+pub use snapshot::{parse_wal_record, wal_record, SNAPSHOT_FORMAT_VERSION};

@@ -22,16 +22,18 @@ use std::collections::BTreeMap;
 use fxhash::FxHashMap;
 use netsched_core::{
     combine_wide_narrow, solve_wide_narrow_on, AlgorithmConfig, EngineHalf, HalfOutcome, RaiseRule,
-    Solution,
+    Solution, WarmState,
 };
 use netsched_decomp::TreeLayerer;
 use netsched_distrib::ShardedConflictGraph;
 use netsched_graph::{
     ArrivingDemand, DemandId, DemandInstanceUniverse, EdgePath, LineProblem, NetworkId, TreeProblem,
 };
+use netsched_workloads::json::{FromJson, JsonValue, ToJson};
 
 use crate::core::{LiveCore, TreeAssignments, TREE_LAYERING};
 use crate::event::{DemandEvent, DemandRequest, DemandTicket, ServiceError};
+use crate::snapshot::SNAPSHOT_FORMAT_VERSION;
 
 /// How a session re-solves the standing schedule each epoch.
 ///
@@ -93,6 +95,34 @@ impl ResolveMode {
     }
 }
 
+/// A write-ahead hook for epoch batches: the durable serving tier
+/// (`netsched-persist`) attaches one so every validated batch is recorded
+/// **before** the epoch executes.
+///
+/// [`ServiceSession::step`] calls [`record`](EpochJournal::record) after
+/// the batch validated and before any session state mutates, with the
+/// epoch number the batch is about to advance the session to. A journal
+/// error aborts the step ([`ServiceError::Journal`]) with the session
+/// unchanged, so a batch is never executed unless its record is down —
+/// the write-ahead contract crash recovery replays against. How durable
+/// "down" is (buffered, fsynced per batch, fsynced per epoch) is the
+/// journal implementation's policy.
+pub trait EpochJournal: Send {
+    /// Records the validated batch of the epoch about to execute.
+    fn record(&mut self, epoch: u64, batch: &[DemandEvent]) -> Result<(), String>;
+}
+
+/// What [`ServiceSession::compact`] dropped; see its docs for the policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompactionReport {
+    /// The wide/narrow split cores were dropped because the live height
+    /// mix is no longer mixed.
+    pub split_dropped: bool,
+    /// Warm states reset because their replay stack had grown past
+    /// [`ServiceSession::STACK_MASS_FACTOR`] × live instances.
+    pub warm_states_shed: usize,
+}
+
 /// Where a scheduled demand runs: its network and, for windowed line
 /// demands, the start timeslot of the chosen placement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -151,6 +181,9 @@ pub struct EpochStats {
     pub rebuild_seconds: f64,
     /// Wall-clock seconds spent in the two-phase engine solve.
     pub solve_seconds: f64,
+    /// Wall-clock seconds spent recording the batch in the attached
+    /// [`EpochJournal`] (0 when none is attached).
+    pub journal_seconds: f64,
 }
 
 /// What one epoch changed, instead of a full schedule: the paper solver's
@@ -238,6 +271,9 @@ pub struct ServiceSession {
     certificate: Certificate,
     profit: f64,
     last: Option<Solution>,
+    /// Write-ahead hook called with every validated batch before it
+    /// executes; `None` for purely in-memory sessions.
+    journal: Option<Box<dyn EpochJournal>>,
 }
 
 impl ServiceSession {
@@ -327,6 +363,7 @@ impl ServiceSession {
             certificate: Certificate::default(),
             profit: 0.0,
             last: None,
+            journal: None,
         }
     }
 
@@ -402,10 +439,26 @@ impl ServiceSession {
     }
 
     /// The full engine [`Solution`] of the most recent solved epoch (`None`
-    /// before the first solve). Instance ids refer to the **current**
-    /// universe only as long as no further mutating epoch runs.
+    /// before the first solve **and** right after
+    /// [`from_snapshot`](ServiceSession::from_snapshot), until the next
+    /// solved epoch). Instance ids refer to the **current** universe only
+    /// as long as no further mutating epoch runs.
     pub fn last_solution(&self) -> Option<&Solution> {
         self.last.as_ref()
+    }
+
+    /// Attaches a write-ahead [`EpochJournal`]; every subsequent
+    /// [`step`](ServiceSession::step) records its validated batch through
+    /// it before executing. Replaces any previously attached journal.
+    pub fn attach_journal(&mut self, journal: Box<dyn EpochJournal>) {
+        self.journal = Some(journal);
+    }
+
+    /// Detaches the journal, returning it. Crash recovery replays logged
+    /// batches through [`step`](ServiceSession::step) with the journal
+    /// detached, so replayed epochs are not re-recorded.
+    pub fn detach_journal(&mut self) -> Option<Box<dyn EpochJournal>> {
+        self.journal.take()
     }
 
     // ------------------------------------------------------------------
@@ -486,6 +539,18 @@ impl ServiceSession {
         }
         expired.sort_unstable();
 
+        // ---- write-ahead journal (still no mutation) -------------------
+        // Every batch — including empty keep-alive ones — is recorded with
+        // the epoch it advances the session to, so a log replay reproduces
+        // the epoch counter exactly.
+        let journal_start = std::time::Instant::now();
+        if let Some(journal) = &mut self.journal {
+            journal
+                .record(self.epoch + 1, batch)
+                .map_err(ServiceError::Journal)?;
+        }
+        let journal_seconds = journal_start.elapsed().as_secs_f64();
+
         // ---- empty-batch fast path ------------------------------------
         if batch.is_empty() && self.solved {
             self.epoch += 1;
@@ -508,6 +573,7 @@ impl ServiceSession {
                     warm_resolve: false,
                     rebuild_seconds: 0.0,
                     solve_seconds: 0.0,
+                    journal_seconds,
                 },
             });
         }
@@ -695,6 +761,7 @@ impl ServiceSession {
                 warm_resolve: warm && !self.live.is_empty(),
                 rebuild_seconds,
                 solve_seconds,
+                journal_seconds,
             },
         })
     }
@@ -890,6 +957,262 @@ impl ServiceSession {
             wide_map,
             narrow_map,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Durability: compaction, snapshot, restore
+    // ------------------------------------------------------------------
+
+    /// Warm replay stacks larger than this factor × live instances are
+    /// shed by [`compact`](ServiceSession::compact).
+    pub const STACK_MASS_FACTOR: usize = 8;
+
+    /// The lifecycle/compaction policy of the durable serving tier, run
+    /// before every snapshot (and callable on its own):
+    ///
+    /// * the wide/narrow **split cores are dropped** once the live height
+    ///   mix is no longer mixed — they are stale caches at that point, and
+    ///   [`step`](ServiceSession::step) rebuilds byte-identical ones if
+    ///   the mix turns mixed again;
+    /// * a **warm state is reset** when its replay stack mass exceeds
+    ///   [`STACK_MASS_FACTOR`](Self::STACK_MASS_FACTOR) × live instances —
+    ///   long-lived sessions otherwise accumulate stack entries from
+    ///   churned-away epochs without bound. Resetting is certificate-safe:
+    ///   the next warm solve re-primes from zero duals (a cold re-epoch)
+    ///   and certifies like any fresh state.
+    pub fn compact(&mut self) -> CompactionReport {
+        let any_wide = self.live.iter().any(|d| d.request.is_wide());
+        let any_narrow = self.live.iter().any(|d| !d.request.is_wide());
+        let mixed = any_wide && any_narrow;
+        let mut report = CompactionReport::default();
+        if self.split.is_some() && !mixed {
+            self.split = None;
+            report.split_dropped = true;
+        }
+        let mut shed = |core: &mut LiveCore| {
+            let cap = Self::STACK_MASS_FACTOR * core.universe.num_instances().max(1);
+            if core.warm_state().is_some_and(|w| w.stack_mass() > cap) {
+                core.set_warm_state(None);
+                report.warm_states_shed += 1;
+            }
+        };
+        shed(&mut self.full);
+        if let Some(split) = &mut self.split {
+            shed(&mut split.wide);
+            shed(&mut split.narrow);
+        }
+        report
+    }
+
+    /// Serializes the session as a versioned snapshot document: base
+    /// topology, live ticket table (dense order), resolve mode, epoch
+    /// counter, standing schedule + certificate, and every core's
+    /// persisted [`WarmState`]. The split cores themselves are **not**
+    /// serialized — [`from_snapshot`](ServiceSession::from_snapshot)
+    /// rebuilds them from the live set (byte-identical by the session's
+    /// differential invariant) — only their warm states travel. The
+    /// `last` engine solution is transient telemetry and is not captured.
+    pub fn snapshot(&self) -> JsonValue {
+        let (shape, base) = match &self.base {
+            BaseProblem::Tree(p) => ("tree", p.to_json()),
+            BaseProblem::Line(p) => ("line", p.to_json()),
+        };
+        let live = JsonValue::Array(
+            self.live
+                .iter()
+                .map(|d| {
+                    JsonValue::Array(vec![JsonValue::u64_value(d.ticket), d.request.to_json()])
+                })
+                .collect(),
+        );
+        let schedule = JsonValue::Array(
+            self.schedule
+                .iter()
+                .map(|(&t, p)| JsonValue::Array(vec![JsonValue::u64_value(t), p.to_json()]))
+                .collect(),
+        );
+        let warm_or_null = |core: &LiveCore| {
+            core.warm_state()
+                .map(ToJson::to_json)
+                .unwrap_or(JsonValue::Null)
+        };
+        JsonValue::object(vec![
+            ("format", JsonValue::int(SNAPSHOT_FORMAT_VERSION as usize)),
+            ("shape", JsonValue::String(shape.into())),
+            ("base", base),
+            ("config", self.config.to_json()),
+            ("resolve", self.resolve.to_json()),
+            ("live", live),
+            ("next_ticket", JsonValue::u64_value(self.next_ticket)),
+            ("epoch", JsonValue::u64_value(self.epoch)),
+            ("solved", JsonValue::Bool(self.solved)),
+            ("schedule", schedule),
+            ("profit", JsonValue::num(self.profit)),
+            ("certificate", self.certificate.to_json()),
+            ("full_warm", warm_or_null(&self.full)),
+            (
+                "split",
+                match &self.split {
+                    None => JsonValue::Null,
+                    Some(s) => JsonValue::object(vec![
+                        ("wide_warm", warm_or_null(&s.wide)),
+                        ("narrow_warm", warm_or_null(&s.narrow)),
+                    ]),
+                },
+            ),
+        ])
+    }
+
+    /// Reconstructs a session from a [`snapshot`](ServiceSession::snapshot)
+    /// document: the base problem plus the live requests (in recorded
+    /// dense order) rebuild every derived structure through the normal
+    /// constructors — so the restored universe, conflict CSRs and
+    /// layerings are byte-identical to the uninterrupted session's — and
+    /// the recorded tickets, counters, schedule, certificate and warm
+    /// states are installed on top. Warm states are validated against the
+    /// rebuilt universes before installation. The cores' conflict-graph
+    /// generations are advanced past the recovered epoch so
+    /// generation-keyed merged-CSR caches can never alias pre-crash folds.
+    pub fn from_snapshot(doc: &JsonValue) -> Result<Self, String> {
+        let format = doc.field("format")?.as_u32()?;
+        if format != SNAPSHOT_FORMAT_VERSION {
+            return Err(format!(
+                "unsupported snapshot format {format} (this build reads {SNAPSHOT_FORMAT_VERSION})"
+            ));
+        }
+        let config = AlgorithmConfig::from_json(doc.field("config")?)?;
+        let resolve = ResolveMode::from_json(doc.field("resolve")?)?;
+        let live: Vec<(u64, DemandRequest)> = doc
+            .field("live")?
+            .as_array()?
+            .iter()
+            .map(|entry| {
+                let entry = entry.as_array()?;
+                if entry.len() != 2 {
+                    return Err("live entries are [ticket, request] pairs".to_string());
+                }
+                Ok((entry[0].as_u64()?, DemandRequest::from_json(&entry[1])?))
+            })
+            .collect::<Result<_, String>>()?;
+        let mut session = match doc.field("shape")?.as_str()? {
+            "tree" => {
+                let mut problem = TreeProblem::from_json(doc.field("base")?)?;
+                for (_, request) in &live {
+                    let DemandRequest::Tree {
+                        u,
+                        v,
+                        profit,
+                        height,
+                        access,
+                    } = request
+                    else {
+                        return Err("line request in a tree snapshot".into());
+                    };
+                    problem
+                        .add_demand(*u, *v, *profit, *height, access.clone())
+                        .map_err(|e| format!("snapshot live demand rejected: {e}"))?;
+                }
+                Self::for_tree(&problem, config)
+            }
+            "line" => {
+                let mut problem = LineProblem::from_json(doc.field("base")?)?;
+                for (_, request) in &live {
+                    let DemandRequest::Line {
+                        release,
+                        deadline,
+                        processing,
+                        profit,
+                        height,
+                        access,
+                    } = request
+                    else {
+                        return Err("tree request in a line snapshot".into());
+                    };
+                    problem
+                        .add_demand(
+                            *release,
+                            *deadline,
+                            *processing,
+                            *profit,
+                            *height,
+                            access.clone(),
+                        )
+                        .map_err(|e| format!("snapshot live demand rejected: {e}"))?;
+                }
+                Self::for_line(&problem, config)
+            }
+            other => return Err(format!("unknown session shape `{other}`")),
+        };
+        session.resolve = resolve;
+        session.index.clear();
+        for (i, (ticket, _)) in live.iter().enumerate() {
+            session.live[i].ticket = *ticket;
+            session.index.insert(*ticket, i as u32);
+        }
+        if session.index.len() != session.live.len() {
+            return Err("snapshot live tickets are not distinct".into());
+        }
+        session.next_ticket = doc.field("next_ticket")?.as_u64()?;
+        session.epoch = doc.field("epoch")?.as_u64()?;
+        session.solved = match doc.field("solved")? {
+            JsonValue::Bool(b) => *b,
+            other => return Err(format!("expected boolean `solved`, got {}", other.render())),
+        };
+        session.schedule = doc
+            .field("schedule")?
+            .as_array()?
+            .iter()
+            .map(|entry| {
+                let entry = entry.as_array()?;
+                if entry.len() != 2 {
+                    return Err("schedule entries are [ticket, placement] pairs".to_string());
+                }
+                Ok((entry[0].as_u64()?, Placement::from_json(&entry[1])?))
+            })
+            .collect::<Result<BTreeMap<_, _>, String>>()?;
+        for ticket in session.schedule.keys() {
+            if !session.index.contains_key(ticket) {
+                return Err(format!("scheduled ticket t{ticket} is not live"));
+            }
+        }
+        session.profit = doc.field("profit")?.as_f64()?;
+        session.certificate = Certificate::from_json(doc.field("certificate")?)?;
+        match doc.field("full_warm")? {
+            JsonValue::Null => {}
+            warm_doc => {
+                let warm = WarmState::from_json(warm_doc)?;
+                warm.validate_shape(&session.full.universe)?;
+                session.full.set_warm_state(Some(warm));
+            }
+        }
+        let any_wide = session.live.iter().any(|d| d.request.is_wide());
+        let any_narrow = session.live.iter().any(|d| !d.request.is_wide());
+        if any_wide && any_narrow {
+            let mut split = session.build_split();
+            let split_doc = doc.field("split")?;
+            if !matches!(split_doc, JsonValue::Null) {
+                for (key, core) in [
+                    ("wide_warm", &mut split.wide),
+                    ("narrow_warm", &mut split.narrow),
+                ] {
+                    match split_doc.field(key)? {
+                        JsonValue::Null => {}
+                        warm_doc => {
+                            let warm = WarmState::from_json(warm_doc)?;
+                            warm.validate_shape(&core.universe)?;
+                            core.set_warm_state(Some(warm));
+                        }
+                    }
+                }
+            }
+            session.split = Some(split);
+        }
+        session.full.conflict.advance_generation(session.epoch);
+        if let Some(split) = &mut session.split {
+            split.wide.conflict.advance_generation(session.epoch);
+            split.narrow.conflict.advance_generation(session.epoch);
+        }
+        Ok(session)
     }
 }
 

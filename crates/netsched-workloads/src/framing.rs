@@ -1,0 +1,315 @@
+//! Framed, length-prefixed, checksummed records — the wire format of the
+//! durable serving tier's write-ahead log (`netsched-persist`).
+//!
+//! A **frame** is `[len: u32 LE][crc32: u32 LE][payload: len bytes]`: the
+//! payload is opaque (the log stores rendered [`json`](crate::json)
+//! documents) and the CRC-32 (IEEE 802.3, the zlib/PNG polynomial) covers
+//! exactly the payload bytes. The format is deliberately dumb: no
+//! compression, no escape sequences, no sync markers — a log is an
+//! append-only concatenation of frames, and recovery is defined as the
+//! **longest valid prefix**: [`scan_frames`] walks frames from offset 0 and
+//! stops at the first truncated header, truncated payload, oversized length
+//! or checksum mismatch. Everything before the cut is trusted; everything
+//! after it — including frames that would individually re-validate — is
+//! dropped, because a corrupt length prefix makes every later frame
+//! boundary unreliable. The scan still *counts* the structurally plausible
+//! records of the dropped suffix so callers can surface how much was lost.
+
+/// Frames larger than this are treated as corruption (a flipped length
+/// byte can otherwise masquerade as a multi-gigabyte frame and defeat the
+/// truncation checks).
+pub const MAX_FRAME_PAYLOAD: u32 = 1 << 26;
+
+/// Bytes of the `[len][crc32]` frame header.
+pub const FRAME_HEADER_LEN: usize = 8;
+
+/// CRC-32 (IEEE 802.3 / zlib polynomial `0xEDB88320`), table-driven.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// Appends one `[len][crc32][payload]` frame to `buf`.
+pub fn append_frame(buf: &mut Vec<u8>, payload: &[u8]) {
+    assert!(
+        payload.len() <= MAX_FRAME_PAYLOAD as usize,
+        "frame payload exceeds MAX_FRAME_PAYLOAD"
+    );
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&crc32(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+}
+
+/// Encodes one payload as a standalone frame.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    append_frame(&mut buf, payload);
+    buf
+}
+
+/// Why a frame scan stopped before the end of the buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer than [`FRAME_HEADER_LEN`] bytes remained at `offset`.
+    TruncatedHeader {
+        /// Byte offset of the cut.
+        offset: usize,
+    },
+    /// The header at `offset` announced more payload bytes than remain.
+    TruncatedPayload {
+        /// Byte offset of the offending frame's header.
+        offset: usize,
+    },
+    /// The header at `offset` announced a payload larger than
+    /// [`MAX_FRAME_PAYLOAD`].
+    OversizedLength {
+        /// Byte offset of the offending frame's header.
+        offset: usize,
+    },
+    /// The payload at `offset` failed its CRC-32 check.
+    ChecksumMismatch {
+        /// Byte offset of the offending frame's header.
+        offset: usize,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::TruncatedHeader { offset } => {
+                write!(f, "truncated frame header at byte {offset}")
+            }
+            FrameError::TruncatedPayload { offset } => {
+                write!(f, "truncated frame payload at byte {offset}")
+            }
+            FrameError::OversizedLength { offset } => {
+                write!(f, "implausible frame length at byte {offset}")
+            }
+            FrameError::ChecksumMismatch { offset } => {
+                write!(f, "frame checksum mismatch at byte {offset}")
+            }
+        }
+    }
+}
+
+/// The result of scanning a buffer of concatenated frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameScan {
+    /// The payloads of the valid prefix, in order.
+    pub frames: Vec<Vec<u8>>,
+    /// Bytes of the valid prefix — truncating the log file to this length
+    /// removes the corrupt suffix.
+    pub valid_len: usize,
+    /// Records discarded with the corrupt suffix: the offending frame plus
+    /// every structurally plausible frame after it (their boundaries are
+    /// untrusted, so they are counted but never decoded). Zero when the
+    /// whole buffer is valid.
+    pub dropped_frames: usize,
+    /// The corruption that ended the scan, if any.
+    pub error: Option<FrameError>,
+}
+
+/// Splits a buffer into its longest valid frame prefix; see the
+/// [module docs](self) for the recovery semantics.
+pub fn scan_frames(bytes: &[u8]) -> FrameScan {
+    let mut frames = Vec::new();
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        let Some((len, stored_crc)) = read_header(bytes, offset) else {
+            return corrupt(
+                frames,
+                offset,
+                FrameError::TruncatedHeader { offset },
+                bytes,
+                offset, // nothing decodable past a partial header
+            );
+        };
+        if len > MAX_FRAME_PAYLOAD as usize {
+            return corrupt(
+                frames,
+                offset,
+                FrameError::OversizedLength { offset },
+                bytes,
+                offset,
+            );
+        }
+        let payload_start = offset + FRAME_HEADER_LEN;
+        let Some(payload) = bytes.get(payload_start..payload_start + len) else {
+            return corrupt(
+                frames,
+                offset,
+                FrameError::TruncatedPayload { offset },
+                bytes,
+                offset,
+            );
+        };
+        if crc32(payload) != stored_crc {
+            // The length was plausible, so the *next* boundary is known:
+            // salvage-count the remaining records without trusting them.
+            return corrupt(
+                frames,
+                offset,
+                FrameError::ChecksumMismatch { offset },
+                bytes,
+                payload_start + len,
+            );
+        }
+        frames.push(payload.to_vec());
+        offset = payload_start + len;
+    }
+    FrameScan {
+        frames,
+        valid_len: offset,
+        dropped_frames: 0,
+        error: None,
+    }
+}
+
+fn read_header(bytes: &[u8], offset: usize) -> Option<(usize, u32)> {
+    let header = bytes.get(offset..offset + FRAME_HEADER_LEN)?;
+    let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    Some((len, crc))
+}
+
+/// Builds the scan result for a corrupt suffix starting at `valid_len`:
+/// one dropped record for the offending frame, plus a structural
+/// salvage-count of plausible frames from `resume` on.
+fn corrupt(
+    frames: Vec<Vec<u8>>,
+    valid_len: usize,
+    error: FrameError,
+    bytes: &[u8],
+    mut resume: usize,
+) -> FrameScan {
+    let mut dropped = 1usize;
+    while resume < bytes.len() {
+        match read_header(bytes, resume) {
+            Some((len, _))
+                if len <= MAX_FRAME_PAYLOAD as usize
+                    && resume + FRAME_HEADER_LEN + len <= bytes.len() =>
+            {
+                dropped += 1;
+                resume += FRAME_HEADER_LEN + len;
+            }
+            _ => break,
+        }
+    }
+    FrameScan {
+        frames,
+        valid_len,
+        dropped_frames: dropped,
+        error: Some(error),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic check value of CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_of_several_frames() {
+        let mut buf = Vec::new();
+        let payloads: Vec<&[u8]> = vec![b"alpha", b"", b"{\"epoch\": 3}"];
+        for p in &payloads {
+            append_frame(&mut buf, p);
+        }
+        let scan = scan_frames(&buf);
+        assert!(scan.error.is_none());
+        assert_eq!(scan.dropped_frames, 0);
+        assert_eq!(scan.valid_len, buf.len());
+        assert_eq!(scan.frames, payloads);
+    }
+
+    #[test]
+    fn empty_buffer_is_a_valid_empty_log() {
+        let scan = scan_frames(&[]);
+        assert!(scan.frames.is_empty());
+        assert_eq!(scan.valid_len, 0);
+        assert_eq!(scan.dropped_frames, 0);
+        assert!(scan.error.is_none());
+    }
+
+    #[test]
+    fn truncated_tail_recovers_the_prefix() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, b"first");
+        append_frame(&mut buf, b"second");
+        let cut = buf.len() - 3; // mid-payload of the second frame
+        let scan = scan_frames(&buf[..cut]);
+        assert_eq!(scan.frames, vec![b"first".to_vec()]);
+        assert_eq!(scan.dropped_frames, 1);
+        assert!(matches!(
+            scan.error,
+            Some(FrameError::TruncatedPayload { .. })
+        ));
+        // Truncating to valid_len leaves a clean log.
+        let rescan = scan_frames(&buf[..scan.valid_len]);
+        assert!(rescan.error.is_none());
+        assert_eq!(rescan.frames.len(), 1);
+    }
+
+    #[test]
+    fn flipped_checksum_byte_drops_the_suffix_but_counts_it() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, b"one");
+        let corrupt_at = buf.len();
+        append_frame(&mut buf, b"two");
+        append_frame(&mut buf, b"three");
+        buf[corrupt_at + 4] ^= 0xFF; // flip a CRC byte of frame "two"
+        let scan = scan_frames(&buf);
+        assert_eq!(scan.frames, vec![b"one".to_vec()]);
+        assert_eq!(scan.valid_len, corrupt_at);
+        // The corrupt frame plus the (structurally plausible but untrusted)
+        // one after it.
+        assert_eq!(scan.dropped_frames, 2);
+        assert!(matches!(
+            scan.error,
+            Some(FrameError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_length_is_rejected() {
+        let mut buf = (MAX_FRAME_PAYLOAD + 1).to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0; 12]);
+        let scan = scan_frames(&buf);
+        assert!(scan.frames.is_empty());
+        assert_eq!(scan.valid_len, 0);
+        assert!(matches!(
+            scan.error,
+            Some(FrameError::OversizedLength { .. })
+        ));
+    }
+}

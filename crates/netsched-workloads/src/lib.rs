@@ -12,6 +12,7 @@
 
 pub mod demand_gen;
 pub mod dynamic;
+pub mod framing;
 pub mod io;
 pub mod json;
 pub mod line_gen;
@@ -23,6 +24,7 @@ pub use demand_gen::{DemandSpec, HeightDistribution, ProfitDistribution};
 pub use dynamic::{
     poisson_arrivals_line, poisson_arrivals_tree, ChurnSpec, EventTrace, TraceEvent,
 };
+pub use framing::{append_frame, crc32, encode_frame, scan_frames, FrameError, FrameScan};
 pub use line_gen::{LineWorkload, LineWorkloadBuilder};
 pub use multi_net::{
     many_networks_line, many_networks_tree, skewed_networks_line, skewed_networks_tree,
