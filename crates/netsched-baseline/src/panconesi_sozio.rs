@@ -125,6 +125,7 @@ pub fn run_ps_style(
             lambda,
             dual_objective,
             optimum_upper_bound: dual_objective / lambda,
+            quality: netsched_core::CertificateQuality::Full,
         },
     }
 }

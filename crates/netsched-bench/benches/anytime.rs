@@ -1,0 +1,223 @@
+//! Benchmark: the anytime frontier of deadline-bounded admission.
+//!
+//! One warm-started serving session per round budget replays the same
+//! `churn-line` trace through [`ServiceSession::step_with_deadline`],
+//! sweeping budgets `k ∈ {1, 2, 4, 8, 16, 32, ∞}`. Per budget we report:
+//!
+//! * **mean epoch ms** — how much latency the cut actually buys;
+//! * **truncated fraction** — how many epochs the budget genuinely bound
+//!   (a budget that never cuts is just the warm path with extra steps);
+//! * **mean certified ratio** — the quality bill: `profit / upper bound`
+//!   averaged over the epochs where a certificate exists, so the frontier
+//!   `latency ↓ vs certificate quality ↓` is visible in one table;
+//! * **final λ after reconvergence** — one undeadlined empty step at the
+//!   end must always land back at `λ ≥ 1 − ε` regardless of how hard the
+//!   trace was cut (asserted, not just reported).
+//!
+//! Results are written to `BENCH_anytime.json`; run with `--quick` for
+//! the reduced CI configuration.
+
+use netsched_core::{AlgorithmConfig, Budget};
+use netsched_service::{DemandEvent, DemandTicket, ResolveMode, ServiceSession};
+use netsched_workloads::json::JsonValue;
+use netsched_workloads::{
+    many_networks_line, poisson_arrivals_line, ChurnSpec, EventTrace, TraceEvent,
+};
+use std::time::Instant;
+
+/// The arrival-index → ticket table is the identity (tickets are issued
+/// sequentially from the initial demand set onward).
+fn ticket_table(initial: usize, trace: &EventTrace) -> Vec<DemandTicket> {
+    let arrivals = trace
+        .batches
+        .iter()
+        .flat_map(|b| b.iter())
+        .filter(|e| e.is_arrival())
+        .count();
+    (0..(initial + arrivals) as u64).map(DemandTicket).collect()
+}
+
+fn to_events(batch: &[TraceEvent], tickets: &[DemandTicket]) -> Vec<DemandEvent> {
+    batch
+        .iter()
+        .map(|event| match event {
+            TraceEvent::ArriveLine {
+                release,
+                deadline,
+                processing,
+                profit,
+                height,
+                access,
+            } => DemandEvent::Arrive(netsched_service::DemandRequest::Line {
+                release: *release,
+                deadline: *deadline,
+                processing: *processing,
+                profit: *profit,
+                height: *height,
+                access: access.clone(),
+            }),
+            TraceEvent::Expire { arrival } => DemandEvent::Expire(tickets[*arrival]),
+            TraceEvent::ArriveTree { .. } => unreachable!("line scenario"),
+        })
+        .collect()
+}
+
+struct Scenario {
+    problem: netsched_graph::LineProblem,
+    trace: EventTrace,
+    tickets: Vec<DemandTicket>,
+    config: AlgorithmConfig,
+}
+
+fn scenario(epochs: usize, seed: u64) -> Scenario {
+    let workload = many_networks_line(4, 48, seed);
+    let trace = poisson_arrivals_line(
+        &workload,
+        &ChurnSpec {
+            epochs,
+            churn: 0.08,
+            focus: 2,
+            seed: seed ^ 0xA17D1E,
+        },
+    );
+    let tickets = ticket_table(workload.demands, &trace);
+    Scenario {
+        problem: workload.build().unwrap(),
+        trace,
+        tickets,
+        config: AlgorithmConfig::deterministic(0.25),
+    }
+}
+
+struct BudgetResult {
+    epochs: usize,
+    total_s: f64,
+    truncated: usize,
+    ratio_sum: f64,
+    ratio_count: usize,
+    final_lambda: f64,
+    resume_s: f64,
+}
+
+impl BudgetResult {
+    fn mean_ratio(&self) -> f64 {
+        if self.ratio_count == 0 {
+            f64::NAN
+        } else {
+            self.ratio_sum / self.ratio_count as f64
+        }
+    }
+
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("epochs", JsonValue::int(self.epochs)),
+            (
+                "mean_epoch_ms",
+                JsonValue::num(1e3 * self.total_s / self.epochs as f64),
+            ),
+            (
+                "truncated_fraction",
+                JsonValue::num(self.truncated as f64 / self.epochs as f64),
+            ),
+            ("mean_certified_ratio", JsonValue::num(self.mean_ratio())),
+            ("final_lambda", JsonValue::num(self.final_lambda)),
+            ("reconverge_ms", JsonValue::num(1e3 * self.resume_s)),
+        ])
+    }
+}
+
+fn run_budget(sc: &Scenario, rounds: Option<u64>) -> BudgetResult {
+    let mut session =
+        ServiceSession::for_line(&sc.problem, sc.config).with_resolve_mode(ResolveMode::Warm);
+    let mut truncated = 0;
+    let mut ratio_sum = 0.0;
+    let mut ratio_count = 0;
+    let start = Instant::now();
+    for batch in &sc.trace.batches {
+        let events = to_events(batch, &sc.tickets);
+        // Round accounting is per-`Budget`: construct a fresh one each epoch.
+        let budget = rounds.map_or_else(Budget::unlimited, Budget::rounds);
+        let delta = session
+            .step_with_deadline(&events, &budget)
+            .expect("trace replays");
+        if delta.stats.quality.is_truncated() {
+            truncated += 1;
+        }
+        if let Some(ratio) = session.last_solution().and_then(|s| s.certified_ratio()) {
+            ratio_sum += ratio;
+            ratio_count += 1;
+        }
+    }
+    let total_s = start.elapsed().as_secs_f64();
+
+    // However hard the sweep cut, one undeadlined step reconverges.
+    let resume_start = Instant::now();
+    session.step(&[]).expect("reconvergence step");
+    let resume_s = resume_start.elapsed().as_secs_f64();
+    let final_lambda = session
+        .last_solution()
+        .map(|s| s.diagnostics.lambda)
+        .unwrap_or(f64::NAN);
+    assert!(
+        session.live_demands() == 0 || final_lambda >= 1.0 - sc.config.epsilon - 1e-6,
+        "reconverged λ = {final_lambda} below 1 − ε"
+    );
+    BudgetResult {
+        epochs: sc.trace.batches.len(),
+        total_s,
+        truncated,
+        ratio_sum,
+        ratio_count,
+        final_lambda,
+        resume_s,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mode = if quick { "quick" } else { "full" };
+    let host_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    let epochs = if quick { 12 } else { 40 };
+    let sc = scenario(epochs, 13);
+    println!("benchmark group: anytime/round-budget sweep ({epochs} epochs)");
+    let budgets: &[(Option<u64>, &str)] = &[
+        (Some(1), "1"),
+        (Some(2), "2"),
+        (Some(4), "4"),
+        (Some(8), "8"),
+        (Some(16), "16"),
+        (Some(32), "32"),
+        (None, "unlimited"),
+    ];
+    let mut budgets_json: Vec<(String, JsonValue)> = Vec::new();
+    for &(rounds, name) in budgets {
+        let result = run_budget(&sc, rounds);
+        println!(
+            "  k = {name:>9}   {:>8.3}ms/epoch   truncated {:>5.1}%   \
+             mean certified ratio {:>6.3}   reconverge {:>8.3}ms (final λ = {:.4})",
+            1e3 * result.total_s / result.epochs as f64,
+            100.0 * result.truncated as f64 / result.epochs as f64,
+            result.mean_ratio(),
+            1e3 * result.resume_s,
+            result.final_lambda,
+        );
+        budgets_json.push((name.to_string(), result.to_json()));
+    }
+
+    let json = JsonValue::object(vec![
+        ("bench", JsonValue::String("anytime".to_string())),
+        ("mode", JsonValue::String(mode.to_string())),
+        ("host_threads", JsonValue::int(host_threads)),
+        ("epochs", JsonValue::int(epochs)),
+        (
+            "round_budgets",
+            JsonValue::Object(budgets_json.into_iter().collect()),
+        ),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_anytime.json");
+    std::fs::write(path, json.render()).expect("writing BENCH_anytime.json must succeed");
+    println!("\nwrote BENCH_anytime.json ({mode} mode, host threads: {host_threads})");
+}

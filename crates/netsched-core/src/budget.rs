@@ -1,0 +1,260 @@
+//! Cooperative budgets for deadline-bounded (anytime) solving.
+//!
+//! The two-phase engine's first phase is a sequence of MIS/raise rounds
+//! whose dual assignment only ever grows, so the λ-certificate is
+//! **monotone**: stopping after any prefix of rounds still yields a
+//! feasible schedule (the second phase replays whatever the stack holds)
+//! and a *valid* — merely weaker — optimum upper bound
+//! `dual_objective / λ` (weak duality holds for every dual assignment;
+//! λ is clamped away from zero exactly like the full run's certificate).
+//!
+//! A [`Budget`] makes that cut point explicit: the engine calls
+//! [`Budget::consume_round`] between rounds and stops cooperatively the
+//! first time it returns `false`. Three limits compose, any subset may be
+//! set:
+//!
+//! * a **round cap** ([`Budget::rounds`]) — deterministic, the form the
+//!   anytime proptest contract is stated against;
+//! * a **wall-clock deadline** ([`Budget::deadline`]) — what a serving
+//!   tier's latency budget compiles to;
+//! * a **cancellation flag** ([`Budget::with_cancel`]) — cooperative
+//!   cancellation from another thread.
+//!
+//! Solutions report where they landed through
+//! [`CertificateQuality`] in
+//! [`RunDiagnostics::quality`](crate::RunDiagnostics::quality).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cooperative limit on first-phase MIS/raise rounds; see the
+/// [module docs](self). One budget may be shared by several engine runs
+/// (the wide/narrow split solves both halves against the same budget):
+/// round accounting is internal and atomic, so the cap applies to the
+/// *total* across everything charged against it.
+#[derive(Default)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    max_rounds: Option<u64>,
+    cancel: Option<Arc<AtomicBool>>,
+    rounds_used: AtomicU64,
+}
+
+impl Budget {
+    /// No limit: the engine runs to full certification. Equivalent to the
+    /// un-budgeted entry points.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// At most `max_rounds` first-phase MIS/raise rounds. Deterministic:
+    /// the cut lands at the same round on every identically-seeded run.
+    pub fn rounds(max_rounds: u64) -> Self {
+        Self::default().with_rounds(max_rounds)
+    }
+
+    /// Cut when `budget` of wall-clock time has elapsed (measured from
+    /// this call, not from the solve's start).
+    pub fn deadline(budget: Duration) -> Self {
+        Self::default().with_deadline(budget)
+    }
+
+    /// Cut at the given instant.
+    pub fn until(deadline: Instant) -> Self {
+        Self {
+            deadline: Some(deadline),
+            ..Self::default()
+        }
+    }
+
+    /// Adds a round cap to this budget (the tighter of the limits wins).
+    pub fn with_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = Some(max_rounds);
+        self
+    }
+
+    /// Adds a wall-clock deadline `budget` from now.
+    pub fn with_deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(Instant::now() + budget);
+        self
+    }
+
+    /// Adds a cancellation flag: once another thread stores `true`, the
+    /// next round check cuts.
+    pub fn with_cancel(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// `true` when any limit is set; an unlimited budget lets engines
+    /// skip all accounting.
+    pub fn is_limited(&self) -> bool {
+        self.deadline.is_some() || self.max_rounds.is_some() || self.cancel.is_some()
+    }
+
+    /// Charges one first-phase round. Returns `false` when the round must
+    /// **not** run — the budget is exhausted (round cap reached, deadline
+    /// passed or cancellation flagged) and the engine should cut.
+    pub fn consume_round(&self) -> bool {
+        if !self.is_limited() {
+            return true;
+        }
+        if let Some(flag) = &self.cancel {
+            if flag.load(Ordering::Relaxed) {
+                return false;
+            }
+        }
+        let used = self.rounds_used.fetch_add(1, Ordering::Relaxed);
+        if let Some(cap) = self.max_rounds {
+            if used >= cap {
+                return false;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Rounds charged so far (including the one that tripped the cap, if
+    /// any).
+    pub fn rounds_used(&self) -> u64 {
+        self.rounds_used.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Budget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Budget")
+            .field("deadline", &self.deadline)
+            .field("max_rounds", &self.max_rounds)
+            .field(
+                "cancelled",
+                &self.cancel.as_ref().map(|c| c.load(Ordering::Relaxed)),
+            )
+            .field("rounds_used", &self.rounds_used())
+            .finish()
+    }
+}
+
+/// How complete a solution's dual certificate is.
+///
+/// `Full` is the normal outcome: the first phase ran until every eligible
+/// instance was λ-satisfied, so the certificate carries the solver's
+/// worst-case guarantee. `Truncated` means a [`Budget`] cut the first
+/// phase early: the schedule is still feasible and
+/// `optimum_upper_bound` is still a **valid** bound (weak duality), but λ
+/// may sit below `1 − ε` and the certified ratio may exceed the
+/// guarantee. A warm engine carries the unfinished repair work forward in
+/// its [`WarmState`](crate::WarmState) — an un-budgeted follow-up epoch
+/// reconverges to full certification.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CertificateQuality {
+    /// The first phase ran to full λ-certification.
+    #[default]
+    Full,
+    /// A budget cut the first phase early.
+    Truncated {
+        /// First-phase (group × stage) slots not yet drained at the cut —
+        /// a deterministic, unit-free measure of the work skipped
+        /// (`0` only when the cut landed inside the very last stage).
+        rounds_left: u64,
+    },
+}
+
+impl CertificateQuality {
+    /// `true` for [`CertificateQuality::Full`].
+    pub fn is_full(&self) -> bool {
+        matches!(self, CertificateQuality::Full)
+    }
+
+    /// `true` for [`CertificateQuality::Truncated`].
+    pub fn is_truncated(&self) -> bool {
+        !self.is_full()
+    }
+
+    /// Combines the qualities of two sub-solves (the wide/narrow
+    /// combination): full only when both halves are full; truncated
+    /// remainders add.
+    pub fn merge(self, other: Self) -> Self {
+        use CertificateQuality::*;
+        match (self, other) {
+            (Full, Full) => Full,
+            (Truncated { rounds_left: a }, Truncated { rounds_left: b }) => {
+                Truncated { rounds_left: a + b }
+            }
+            (Truncated { rounds_left }, Full) | (Full, Truncated { rounds_left }) => {
+                Truncated { rounds_left }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budgets_never_cut() {
+        let budget = Budget::unlimited();
+        assert!(!budget.is_limited());
+        for _ in 0..10_000 {
+            assert!(budget.consume_round());
+        }
+        // Unlimited budgets skip accounting entirely.
+        assert_eq!(budget.rounds_used(), 0);
+    }
+
+    #[test]
+    fn round_caps_cut_after_exactly_the_cap() {
+        let budget = Budget::rounds(3);
+        assert!(budget.is_limited());
+        assert!(budget.consume_round());
+        assert!(budget.consume_round());
+        assert!(budget.consume_round());
+        assert!(!budget.consume_round());
+        assert!(!budget.consume_round());
+    }
+
+    #[test]
+    fn zero_round_budgets_cut_immediately() {
+        let budget = Budget::rounds(0);
+        assert!(!budget.consume_round());
+    }
+
+    #[test]
+    fn cancellation_flags_cut_cooperatively() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let budget = Budget::unlimited().with_cancel(flag.clone());
+        assert!(budget.consume_round());
+        flag.store(true, Ordering::Relaxed);
+        assert!(!budget.consume_round());
+    }
+
+    #[test]
+    fn elapsed_deadlines_cut() {
+        let budget = Budget::until(Instant::now() - Duration::from_millis(1));
+        assert!(!budget.consume_round());
+        let generous = Budget::deadline(Duration::from_secs(3600));
+        assert!(generous.consume_round());
+    }
+
+    #[test]
+    fn quality_merge_is_commutative_and_adds_remainders() {
+        use CertificateQuality::*;
+        assert_eq!(Full.merge(Full), Full);
+        assert_eq!(
+            Full.merge(Truncated { rounds_left: 2 }),
+            Truncated { rounds_left: 2 }
+        );
+        assert_eq!(
+            Truncated { rounds_left: 2 }.merge(Truncated { rounds_left: 3 }),
+            Truncated { rounds_left: 5 }
+        );
+        assert!(Truncated { rounds_left: 0 }.is_truncated());
+        assert!(Full.is_full());
+    }
+}

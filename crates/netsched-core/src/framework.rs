@@ -16,6 +16,7 @@
 //! Second phase: pop the stack and greedily keep every instance that stays
 //! feasible.
 
+use crate::budget::{Budget, CertificateQuality};
 use crate::config::{stage_xi, stages_per_epoch, AlgorithmConfig, RaiseRule};
 use crate::duals::DualState;
 use crate::solution::{RunDiagnostics, Solution};
@@ -127,6 +128,32 @@ pub fn run_two_phase_on(
     rule: RaiseRule,
     config: &AlgorithmConfig,
 ) -> Solution {
+    run_two_phase_on_budgeted(
+        universe,
+        conflict,
+        layering,
+        rule,
+        config,
+        &Budget::unlimited(),
+    )
+}
+
+/// [`run_two_phase_on`] under a cooperative [`Budget`]: the first phase
+/// checks the budget before every MIS/raise round and cuts the moment it
+/// is exhausted. The second phase always runs (it replays whatever the
+/// stack holds, so the schedule is feasible regardless of where the cut
+/// landed) and the certificate is computed from the duals as raised so
+/// far — a *valid* optimum upper bound by weak duality, tagged
+/// [`CertificateQuality::Truncated`] with the number of first-phase
+/// (group × stage) slots not yet drained.
+pub fn run_two_phase_on_budgeted(
+    universe: &DemandInstanceUniverse,
+    conflict: &ShardedConflictGraph,
+    layering: &InstanceLayering,
+    rule: RaiseRule,
+    config: &AlgorithmConfig,
+    budget: &Budget,
+) -> Solution {
     config.validate().expect("invalid algorithm configuration");
     if universe.num_instances() == 0 {
         return Solution::empty();
@@ -150,8 +177,14 @@ pub fn run_two_phase_on(
     let mut max_steps_per_stage: u64 = 0;
     let mut raised: u64 = 0;
 
+    // Budget accounting: `rounds_left` on a cut counts the first-phase
+    // (group × stage) slots not yet drained when the budget expired.
+    let total_slots = (groups.len() * stages) as u64;
+    let mut completed_slots: u64 = 0;
+    let mut cut = false;
+
     // ---------------- First phase ----------------
-    for (epoch, group) in groups.iter().enumerate() {
+    'groups: for (epoch, group) in groups.iter().enumerate() {
         // Group positions partitioned by shard, once per epoch.
         let mut group_by_shard: Vec<Vec<u32>> = vec![Vec::new(); conflict.num_shards()];
         for (i, &d) in group.iter().enumerate() {
@@ -179,6 +212,12 @@ pub fn run_two_phase_on(
                 if stage_steps >= step_cap {
                     break;
                 }
+                if !budget.consume_round() {
+                    cut = true;
+                    steps += stage_steps;
+                    max_steps_per_stage = max_steps_per_stage.max(stage_steps);
+                    break 'groups;
+                }
 
                 // One step: shard-parallel MIS among the unsatisfied
                 // instances of the group, then raise the whole MIS at once
@@ -202,6 +241,7 @@ pub fn run_two_phase_on(
             }
             steps += stage_steps;
             max_steps_per_stage = max_steps_per_stage.max(stage_steps);
+            completed_slots += 1;
         }
     }
 
@@ -252,6 +292,13 @@ pub fn run_two_phase_on(
             lambda,
             dual_objective,
             optimum_upper_bound: dual_objective / lambda,
+            quality: if cut {
+                CertificateQuality::Truncated {
+                    rounds_left: total_slots - completed_slots,
+                }
+            } else {
+                CertificateQuality::Full
+            },
         },
     }
 }
@@ -391,6 +438,7 @@ pub fn run_two_phase_reference(
             lambda,
             dual_objective,
             optimum_upper_bound: dual_objective / lambda,
+            quality: CertificateQuality::Full,
         },
     }
 }

@@ -124,6 +124,7 @@ pub fn run_sequential(universe: &DemandInstanceUniverse, layering: &InstanceLaye
             lambda,
             dual_objective,
             optimum_upper_bound: dual_objective / lambda,
+            quality: crate::budget::CertificateQuality::Full,
         },
     }
 }

@@ -1,5 +1,6 @@
 //! Solutions and run diagnostics.
 
+use crate::budget::CertificateQuality;
 use netsched_distrib::RoundStats;
 use netsched_graph::{DemandId, DemandInstanceUniverse, InstanceId, NetworkId};
 
@@ -27,6 +28,11 @@ pub struct RunDiagnostics {
     pub dual_objective: f64,
     /// `dual_objective / λ`, an upper bound on the optimum profit.
     pub optimum_upper_bound: f64,
+    /// Whether the first phase ran to full λ-certification or was cut by
+    /// a [`Budget`](crate::Budget). The bound above is valid either way;
+    /// only a [`Full`](CertificateQuality::Full) run carries the solver's
+    /// worst-case guarantee.
+    pub quality: CertificateQuality,
 }
 
 /// The outcome of one scheduling algorithm run.

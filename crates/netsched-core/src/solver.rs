@@ -71,8 +71,9 @@
 //! assert_eq!(session.build_counts().universe, 1);
 //! ```
 
+use crate::budget::Budget;
 use crate::config::{AlgorithmConfig, RaiseRule};
-use crate::framework::run_two_phase_on;
+use crate::framework::{run_two_phase_on, run_two_phase_on_budgeted};
 use crate::sequential::run_sequential;
 use crate::solution::{RunDiagnostics, Solution};
 use netsched_decomp::{InstanceLayering, TreeDecompositionKind};
@@ -734,24 +735,41 @@ pub fn solve_wide_narrow_on(
     narrow: EngineHalf<'_>,
     config: &AlgorithmConfig,
 ) -> Solution {
+    solve_wide_narrow_on_budgeted(universe, wide, narrow, config, &Budget::unlimited())
+}
+
+/// [`solve_wide_narrow_on`] under a cooperative [`Budget`]: both halves
+/// are charged against the **same** budget (its round accounting is
+/// shared), so the cap bounds the total first-phase work of the combined
+/// solve. The combined certificate is tagged with the merge of the two
+/// halves' qualities.
+pub fn solve_wide_narrow_on_budgeted(
+    universe: &DemandInstanceUniverse,
+    wide: EngineHalf<'_>,
+    narrow: EngineHalf<'_>,
+    config: &AlgorithmConfig,
+    budget: &Budget,
+) -> Solution {
     let wide_solution = if wide.universe.num_instances() > 0 {
-        run_two_phase_on(
+        run_two_phase_on_budgeted(
             wide.universe,
             wide.conflict,
             wide.layering,
             RaiseRule::Unit,
             config,
+            budget,
         )
     } else {
         Solution::empty()
     };
     let narrow_solution = if narrow.universe.num_instances() > 0 {
-        run_two_phase_on(
+        run_two_phase_on_budgeted(
             narrow.universe,
             narrow.conflict,
             narrow.layering,
             RaiseRule::Narrow,
             config,
+            budget,
         )
     } else {
         Solution::empty()
@@ -857,7 +875,15 @@ pub fn combine_wide_narrow(
             max_steps_per_stage: wd.max_steps_per_stage.max(nd.max_steps_per_stage),
             raised: wd.raised + nd.raised,
             delta: wd.delta.max(nd.delta),
-            lambda: if wide_solution.is_empty() && narrow_solution.is_empty() {
+            // Two genuinely empty (fully certified) halves mean an empty
+            // universe: λ = 1 by convention. A budget-truncated half that
+            // selected nothing must instead report its honest (tiny) λ,
+            // or an anytime cut would masquerade as a perfect certificate.
+            lambda: if wide_solution.is_empty()
+                && narrow_solution.is_empty()
+                && wd.quality.is_full()
+                && nd.quality.is_full()
+            {
                 1.0
             } else {
                 wd.lambda.min(nd.lambda).max(f64::MIN_POSITIVE)
@@ -865,6 +891,7 @@ pub fn combine_wide_narrow(
             dual_objective: wd.dual_objective + nd.dual_objective,
             // OPT ≤ OPT_wide + OPT_narrow ≤ ub_wide + ub_narrow.
             optimum_upper_bound: wd.optimum_upper_bound + nd.optimum_upper_bound,
+            quality: wd.quality.merge(nd.quality),
         },
     }
 }

@@ -41,6 +41,7 @@
 //! dirty executes the identical step sequence as
 //! [`run_two_phase_on`](crate::run_two_phase_on)).
 
+use crate::budget::{Budget, CertificateQuality};
 use crate::config::{approximation_bound, stage_xi, stages_per_epoch, AlgorithmConfig, RaiseRule};
 use crate::duals::DualState;
 use crate::framework::{derive_strategy, unsatisfied_of_group};
@@ -477,9 +478,20 @@ impl FromJson for WarmState {
     }
 }
 
+/// What one repair pass did, and where a [`Budget`] cut it (if it did).
+struct PassOutcome {
+    steps: u64,
+    max_steps_per_stage: u64,
+    raised: u64,
+    /// `true` when the budget cut the pass before it drained every stage.
+    cut: bool,
+    /// First-phase (group × stage) slots not yet drained at the cut.
+    rounds_left: u64,
+}
+
 /// One repair pass over the active instances: the cold engine's
-/// group × stage × step loop, restricted to `active`. Returns
-/// `(steps, max_steps_per_stage, raised)` and appends the new MIS sets to
+/// group × stage × step loop, restricted to `active` and checked against
+/// `budget` before every MIS/raise round. Appends the new MIS sets to
 /// `stack`.
 #[allow(clippy::too_many_arguments)]
 fn repair_pass(
@@ -493,21 +505,27 @@ fn repair_pass(
     stages: usize,
     xi: f64,
     step_cap: u64,
+    budget: &Budget,
     stats: &mut RoundStats,
     scratch: &mut MisScratch,
     stack: &mut Vec<Vec<InstanceId>>,
-) -> (u64, u64, u64) {
+) -> PassOutcome {
     let sharding = conflict.sharding();
     let mut steps: u64 = 0;
     let mut max_steps_per_stage: u64 = 0;
     let mut raised: u64 = 0;
-    for (epoch, group) in groups.iter().enumerate() {
+    let total_slots = (groups.len() * stages) as u64;
+    let mut completed_slots: u64 = 0;
+    let mut cut = false;
+    'groups: for (epoch, group) in groups.iter().enumerate() {
         let filtered: Vec<InstanceId> = group
             .iter()
             .copied()
             .filter(|d| active[d.index()])
             .collect();
         if filtered.is_empty() {
+            // Nothing to repair in this group: its slots count as drained.
+            completed_slots += stages as u64;
             continue;
         }
         let mut group_by_shard: Vec<Vec<u32>> = vec![Vec::new(); conflict.num_shards()];
@@ -535,6 +553,12 @@ fn repair_pass(
                 );
                 if stage_steps >= step_cap {
                     break;
+                }
+                if !budget.consume_round() {
+                    cut = true;
+                    steps += stage_steps;
+                    max_steps_per_stage = max_steps_per_stage.max(stage_steps);
+                    break 'groups;
                 }
                 let strategy = derive_strategy(config, epoch, stage, stage_steps);
                 let mis = sharded_mis(conflict, &unsatisfied, strategy, stats, scratch);
@@ -570,9 +594,16 @@ fn repair_pass(
             }
             steps += stage_steps;
             max_steps_per_stage = max_steps_per_stage.max(stage_steps);
+            completed_slots += 1;
         }
     }
-    (steps, max_steps_per_stage, raised)
+    PassOutcome {
+        steps,
+        max_steps_per_stage,
+        raised,
+        cut,
+        rounds_left: total_slots - completed_slots,
+    }
 }
 
 /// Resumes the two-phase engine from a persisted [`WarmState`] after a
@@ -594,6 +625,37 @@ pub fn run_two_phase_warm_on(
     rule: RaiseRule,
     config: &AlgorithmConfig,
     warm: &mut WarmState,
+) -> Solution {
+    run_two_phase_warm_on_budgeted(
+        universe,
+        conflict,
+        layering,
+        rule,
+        config,
+        warm,
+        &Budget::unlimited(),
+    )
+}
+
+/// [`run_two_phase_warm_on`] under a cooperative [`Budget`]: the repair
+/// loop checks the budget before every MIS/raise round and cuts when it
+/// is exhausted. On a cut the certificate is re-derived from the
+/// per-network λ minima cache over everything the pass scanned — a valid
+/// (if weaker) bound by weak duality — the solution is tagged
+/// [`CertificateQuality::Truncated`], and the **unfinished repair work is
+/// carried forward**: the scanned networks stay pending-dirty in `warm`,
+/// so an un-budgeted follow-up solve resumes the repair and reconverges
+/// to full certification. The in-engine certificate check and safety
+/// valve only apply to full (uncut) runs.
+#[allow(clippy::too_many_arguments)]
+pub fn run_two_phase_warm_on_budgeted(
+    universe: &DemandInstanceUniverse,
+    conflict: &ShardedConflictGraph,
+    layering: &InstanceLayering,
+    rule: RaiseRule,
+    config: &AlgorithmConfig,
+    warm: &mut WarmState,
+    budget: &Budget,
 ) -> Solution {
     config.validate().expect("invalid algorithm configuration");
     assert_eq!(
@@ -652,8 +714,9 @@ pub fn run_two_phase_warm_on(
     let mut max_steps_per_stage = 0u64;
     let mut raised = 0u64;
     let lambda_target = 1.0 - config.epsilon - 1e-6;
+    let mut truncated: Option<u64> = None;
     for attempt in 0..2 {
-        let (s, m, r) = repair_pass(
+        let pass = repair_pass(
             universe,
             conflict,
             layering,
@@ -664,13 +727,14 @@ pub fn run_two_phase_warm_on(
             stages,
             xi,
             step_cap,
+            budget,
             &mut stats,
             &mut scratch,
             &mut new_stack,
         );
-        steps += s;
-        max_steps_per_stage = max_steps_per_stage.max(m);
-        raised += r;
+        steps += pass.steps;
+        max_steps_per_stage = max_steps_per_stage.max(pass.max_steps_per_stage);
+        raised += pass.raised;
 
         // Refresh the LHS cache exactly for everything this pass scanned,
         // then fold the scanned networks' λ minima from it.
@@ -688,6 +752,13 @@ pub fn run_two_phase_warm_on(
             cached_lambda(universe, warm).to_bits(),
             "per-network λ minima diverged from the full cached-LHS scan"
         );
+        if pass.cut {
+            // Budget exhausted mid-repair: certify from the (just
+            // refreshed) per-network minima cache and stop here — the
+            // schedule is feasible and the bound valid either way.
+            truncated = Some(pass.rounds_left);
+            break;
+        }
         let all_active = active.iter().all(|&a| a);
         if lambda >= lambda_target || all_active || attempt == 1 {
             break;
@@ -741,7 +812,16 @@ pub fn run_two_phase_warm_on(
     raised_instances.dedup();
 
     warm.stack = stack;
-    warm.pending_dirty.iter_mut().for_each(|d| *d = false);
+    if truncated.is_some() {
+        // Dirty-work carry: the networks this (cut) repair was scanning
+        // are still under repair — keep them pending so the next solve
+        // resumes where the budget stopped.
+        for (pending, &scanned) in warm.pending_dirty.iter_mut().zip(&active_networks) {
+            *pending = scanned;
+        }
+    } else {
+        warm.pending_dirty.iter_mut().for_each(|d| *d = false);
+    }
     warm.primed = true;
     warm.epochs_resumed += 1;
 
@@ -761,8 +841,24 @@ pub fn run_two_phase_warm_on(
             lambda,
             dual_objective,
             optimum_upper_bound: dual_objective / lambda,
+            quality: match truncated {
+                Some(rounds_left) => CertificateQuality::Truncated { rounds_left },
+                None => CertificateQuality::Full,
+            },
         },
     };
+
+    // A truncated run is only held to the anytime contract: a feasible
+    // schedule and a valid (weaker) bound. λ may legitimately sit below
+    // the target — the safety valve and the guarantee asserts are for
+    // full runs only.
+    if truncated.is_some() {
+        debug_assert!(
+            solution.verify(universe).is_ok(),
+            "truncated warm schedule failed feasibility verification"
+        );
+        return solution;
+    }
 
     // ---------------- Certificate check + safety valve ----------------
     let bound = approximation_bound(rule, layering.max_critical(), 1.0 - config.epsilon);

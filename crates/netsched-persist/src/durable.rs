@@ -7,10 +7,11 @@ use std::path::{Path, PathBuf};
 use netsched_service::{
     CompactionReport, DemandEvent, ScheduleDelta, ServiceError, ServiceSession,
 };
+use netsched_workloads::FaultPlan;
 
 use crate::restore::restore_inner;
-use crate::wal::{open_wal, sync_wal, WalHandle, WalJournal, WAL_FILE};
-use crate::{Durability, PersistConfig, RestoreReport};
+use crate::wal::{install_faults, open_wal, sync_wal, wal_health, WalHandle, WalJournal, WAL_FILE};
+use crate::{Durability, PersistConfig, PersistError, RestoreReport, WalHealth};
 
 /// Snapshot files are named `snapshot-<epoch>.json`, epoch zero-padded so
 /// lexicographic directory order equals epoch order.
@@ -46,14 +47,15 @@ impl DurableSession {
         dir: impl AsRef<Path>,
         mut session: ServiceSession,
         config: PersistConfig,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, PersistError> {
         let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
-        let wal = open_wal(&dir)?;
-        session.attach_journal(Box::new(WalJournal::new(
-            wal.clone(),
-            config.durability == Durability::Batch,
-        )));
+        std::fs::create_dir_all(&dir).map_err(|e| PersistError::Io {
+            op: "creating",
+            path: dir.clone(),
+            source: e,
+        })?;
+        let wal = open_wal(&dir, config.durability).map_err(PersistError::Wal)?;
+        session.attach_journal(Box::new(WalJournal::new(wal.clone())));
         let mut this = Self {
             last_snapshot_epoch: session.epoch(),
             session,
@@ -73,32 +75,44 @@ impl DurableSession {
     pub fn recover(
         dir: impl AsRef<Path>,
         config: PersistConfig,
-    ) -> Result<(Self, RestoreReport), String> {
+    ) -> Result<(Self, RestoreReport), PersistError> {
         let dir = dir.as_ref().to_path_buf();
-        let (mut session, report, valid_len) = restore_inner(&dir)?;
+        let (mut session, report, valid_len) =
+            restore_inner(&dir).map_err(PersistError::Restore)?;
         let wal_path = dir.join(WAL_FILE);
         let file = std::fs::OpenOptions::new()
             .write(true)
             .create(true)
             .truncate(false)
             .open(&wal_path)
-            .map_err(|e| format!("opening {}: {e}", wal_path.display()))?;
+            .map_err(|e| PersistError::Io {
+                op: "opening",
+                path: wal_path.clone(),
+                source: e,
+            })?;
         let current = file
             .metadata()
-            .map_err(|e| format!("inspecting {}: {e}", wal_path.display()))?
+            .map_err(|e| PersistError::Io {
+                op: "inspecting",
+                path: wal_path.clone(),
+                source: e,
+            })?
             .len();
         if current > valid_len {
-            file.set_len(valid_len)
-                .map_err(|e| format!("truncating the corrupt log suffix: {e}"))?;
-            file.sync_data()
-                .map_err(|e| format!("syncing the truncated log: {e}"))?;
+            file.set_len(valid_len).map_err(|e| PersistError::Io {
+                op: "truncating the corrupt suffix of",
+                path: wal_path.clone(),
+                source: e,
+            })?;
+            file.sync_data().map_err(|e| PersistError::Io {
+                op: "syncing the truncated",
+                path: wal_path.clone(),
+                source: e,
+            })?;
         }
         drop(file);
-        let wal = open_wal(&dir)?;
-        session.attach_journal(Box::new(WalJournal::new(
-            wal.clone(),
-            config.durability == Durability::Batch,
-        )));
+        let wal = open_wal(&dir, config.durability).map_err(PersistError::Wal)?;
+        session.attach_journal(Box::new(WalJournal::new(wal.clone())));
         Ok((
             Self {
                 last_snapshot_epoch: report.snapshot_epoch,
@@ -112,21 +126,26 @@ impl DurableSession {
     }
 
     /// Admits one epoch batch durably: the attached journal appends the
-    /// record before the session mutates (a journal failure aborts with
-    /// the session unchanged); under [`Durability::Epoch`] the log is
-    /// fsynced after the step succeeds; on the snapshot cadence a
-    /// snapshot is written. Post-step persistence failures are reported
-    /// as [`ServiceError::Journal`] — the in-memory session has already
-    /// advanced, but its durability guarantee could not be met.
+    /// record before the session mutates (a journal failure — an append
+    /// that kept failing after its retries — aborts with the session
+    /// unchanged); when the **effective** durability is
+    /// [`Durability::Epoch`] the log is fsynced after the step succeeds;
+    /// on the snapshot cadence a snapshot is written. Post-step
+    /// persistence failures are reported as [`ServiceError::Journal`] —
+    /// the in-memory session has already advanced, but its durability
+    /// guarantee could not be met. Persistent fsync failures never reach
+    /// this error: they downgrade the effective durability instead (see
+    /// the [crate docs](crate) and [`DurableSession::health`]).
     pub fn step(&mut self, batch: &[DemandEvent]) -> Result<ScheduleDelta, ServiceError> {
         let delta = self.session.step(batch)?;
-        if self.config.durability == Durability::Epoch {
-            sync_wal(&self.wal).map_err(ServiceError::Journal)?;
+        if self.health().effective_durability == Durability::Epoch {
+            sync_wal(&self.wal, self.session.epoch()).map_err(ServiceError::Journal)?;
         }
         if self.config.snapshot_every > 0
             && self.session.epoch() - self.last_snapshot_epoch >= self.config.snapshot_every
         {
-            self.snapshot_now().map_err(ServiceError::Journal)?;
+            self.snapshot_now()
+                .map_err(|e| ServiceError::Journal(e.to_string()))?;
         }
         Ok(delta)
     }
@@ -137,23 +156,37 @@ impl DurableSession {
     /// versioned document and writes it atomically (temp file + rename,
     /// fsynced unless running [`Durability::None`]). Returns what the
     /// compaction shed.
-    pub fn snapshot_now(&mut self) -> Result<CompactionReport, String> {
+    pub fn snapshot_now(&mut self) -> Result<CompactionReport, PersistError> {
         let compaction = self.session.compact();
         let doc = self.session.snapshot();
         let epoch = self.session.epoch();
         let path = snapshot_path(&self.dir, epoch);
         let tmp = path.with_extension("json.tmp");
         {
-            let mut file =
-                File::create(&tmp).map_err(|e| format!("creating {}: {e}", tmp.display()))?;
+            let mut file = File::create(&tmp).map_err(|e| PersistError::Io {
+                op: "creating",
+                path: tmp.clone(),
+                source: e,
+            })?;
             file.write_all(doc.render().as_bytes())
-                .map_err(|e| format!("writing {}: {e}", tmp.display()))?;
+                .map_err(|e| PersistError::Io {
+                    op: "writing",
+                    path: tmp.clone(),
+                    source: e,
+                })?;
             if self.config.durability != Durability::None {
-                file.sync_all()
-                    .map_err(|e| format!("syncing {}: {e}", tmp.display()))?;
+                file.sync_all().map_err(|e| PersistError::Io {
+                    op: "syncing",
+                    path: tmp.clone(),
+                    source: e,
+                })?;
             }
         }
-        std::fs::rename(&tmp, &path).map_err(|e| format!("publishing {}: {e}", path.display()))?;
+        std::fs::rename(&tmp, &path).map_err(|e| PersistError::Io {
+            op: "publishing",
+            path: path.clone(),
+            source: e,
+        })?;
         if self.config.durability != Durability::None {
             // Make the rename itself durable; best-effort on filesystems
             // that refuse directory fsyncs.
@@ -163,6 +196,26 @@ impl DurableSession {
         }
         self.last_snapshot_epoch = epoch;
         Ok(compaction)
+    }
+
+    /// Installs a scripted [`FaultPlan`] into the session's I/O shim and
+    /// solve path: append/sync faults are counted and fired by the
+    /// write-ahead log (operation counters reset to 0 at installation),
+    /// and the plan's `panic_epochs` arm the session's injected solve
+    /// panics (exercised through
+    /// [`ServiceSession::step_with_deadline`](netsched_service::ServiceSession::step_with_deadline)'s
+    /// quarantine). Robustness-harness surface; installing
+    /// [`FaultPlan::none`] disarms everything.
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.session.inject_solve_panics(plan.panic_epochs.clone());
+        install_faults(&self.wal, plan);
+    }
+
+    /// The operator-visible health of the write-ahead log: effective vs.
+    /// configured durability, retry/sync-failure counters and every
+    /// [`DegradeEvent`](crate::DegradeEvent) so far.
+    pub fn health(&self) -> WalHealth {
+        wal_health(&self.wal)
     }
 
     /// The wrapped session (the journal stays attached — stepping through

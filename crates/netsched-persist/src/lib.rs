@@ -48,6 +48,36 @@
 //! (group commit at epoch granularity); `None` is for tests and bulk
 //! loads. The `durability` bench records the append-throughput cost of
 //! each mode.
+//!
+//! # Graceful degradation: the durability ladder
+//!
+//! The configured [`Durability`] is a *promise*, and the tier treats a
+//! disk that stops honoring it as an operational event, not a crash.
+//! Every log append and fsync runs through a retrying shim (short
+//! exponential backoff; failed or torn appends are rolled back to the
+//! pre-append length before the retry). When an **fsync keeps failing**
+//! after the retries, the session **downgrades its effective durability
+//! one rung and keeps serving**:
+//!
+//! ```text
+//! Batch ──fsync fails──▶ Epoch ──fsync fails──▶ None
+//! ```
+//!
+//! * `Batch → Epoch`: the record is in the log but could not be forced
+//!   to stable storage inside the append; subsequent appends stop
+//!   syncing and the epoch-cadence sync takes over.
+//! * `Epoch → None`: the epoch-cadence sync itself keeps failing; the
+//!   log degrades to page-cache-only durability.
+//!
+//! Appends that keep failing outright (not just their fsync) still fail
+//! the step — the write-ahead contract never silently drops a record.
+//! Every downgrade is **operator-visible**: [`DurableSession::health`]
+//! reports the effective vs. configured durability, retry and
+//! sync-failure counters and the full list of [`DegradeEvent`]s (epoch +
+//! cause). Fault campaigns are scripted with
+//! [`FaultPlan`](netsched_workloads::FaultPlan) via
+//! [`DurableSession::inject_faults`]; the root `tests/fault_injection.rs`
+//! suite pins the ladder end to end.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -55,6 +85,8 @@
 mod durable;
 mod restore;
 mod wal;
+
+use std::path::PathBuf;
 
 pub use durable::{snapshot_path, DurableSession, SNAPSHOT_PREFIX};
 pub use restore::{restore, RecoveredSession, RestoreReport};
@@ -96,6 +128,101 @@ impl Default for PersistConfig {
             durability: Durability::Epoch,
             snapshot_every: 64,
         }
+    }
+}
+
+/// An error of the durable tier's own I/O paths (session creation,
+/// crash recovery, snapshot writes). Wraps the underlying [`io::Error`]
+/// together with the operation and the file it targeted, so a failed
+/// recovery names the exact path that broke instead of a bare OS string.
+///
+/// [`io::Error`]: std::io::Error
+#[derive(Debug)]
+pub enum PersistError {
+    /// A filesystem operation failed.
+    Io {
+        /// What the tier was doing (e.g. `"creating"`, `"truncating the
+        /// corrupt suffix of"`).
+        op: &'static str,
+        /// The file or directory the operation targeted.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The write-ahead log shim failed (an append that kept failing
+    /// after its retries, or a poisoned lock).
+    Wal(String),
+    /// Restoring from snapshots plus log replay failed.
+    Restore(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io { op, path, source } => {
+                write!(f, "{op} {}: {source}", path.display())
+            }
+            PersistError::Wal(why) => write!(f, "write-ahead log: {why}"),
+            PersistError::Restore(why) => write!(f, "restore failed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// One rung-down move of the durability ladder, kept in [`WalHealth`]
+/// for the operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradeEvent {
+    /// The epoch whose persistence triggered the downgrade.
+    pub epoch: u64,
+    /// The effective durability before the event.
+    pub from: Durability,
+    /// The effective durability after the event.
+    pub to: Durability,
+    /// Why (the exhausted retry's final error).
+    pub cause: String,
+}
+
+/// Operator-visible health of the write-ahead log: what durability the
+/// session is *actually* delivering, and how it got there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalHealth {
+    /// The durability the session was configured with.
+    pub configured_durability: Durability,
+    /// The durability currently in effect — equal to the configured one
+    /// until fsync failures force a downgrade (`Batch → Epoch → None`).
+    pub effective_durability: Durability,
+    /// Total append attempts that failed and were retried (or gave up).
+    pub append_retries: u64,
+    /// Total fsync attempts that failed.
+    pub sync_failures: u64,
+    /// Every downgrade, oldest first.
+    pub degrade_events: Vec<DegradeEvent>,
+}
+
+impl WalHealth {
+    pub(crate) fn new(configured: Durability) -> Self {
+        Self {
+            configured_durability: configured,
+            effective_durability: configured,
+            append_retries: 0,
+            sync_failures: 0,
+            degrade_events: Vec::new(),
+        }
+    }
+
+    /// `true` when the session is delivering less durability than it was
+    /// configured for.
+    pub fn degraded(&self) -> bool {
+        self.effective_durability != self.configured_durability
     }
 }
 

@@ -6,89 +6,272 @@
 //! the journal (attached to the session, appending on every accepted
 //! batch) and the [`DurableSession`](crate::DurableSession) (fsyncing it
 //! on the epoch cadence).
+//!
+//! # Fault tolerance
+//!
+//! Every append and sync goes through a small shim that (a) consults an
+//! optionally installed [`FaultPlan`] — the robustness harness's scripted
+//! failures — and (b) retries transient failures with a short backoff.
+//! A failed or torn append is **rolled back** (`set_len` to the
+//! pre-append length) before the retry, so the log never accumulates
+//! torn frames from the retry loop itself. Sync failures that survive
+//! the retries do not fail the epoch: they *downgrade* the effective
+//! [`Durability`](crate::Durability) one rung (`Batch → Epoch → None`)
+//! and record the event in the operator-visible [`WalHealth`].
 
 use std::fs::{File, OpenOptions};
-use std::io::Write;
+use std::io::{self, Write};
 use std::path::Path;
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use netsched_service::{wal_record, DemandEvent, EpochJournal};
 use netsched_workloads::framing::encode_frame;
+use netsched_workloads::FaultPlan;
+
+use crate::{DegradeEvent, Durability, WalHealth};
 
 /// The write-ahead log file name inside a durable session directory.
 pub const WAL_FILE: &str = "wal.log";
+
+/// Failed appends are retried this many times (after the initial
+/// attempt) before the epoch is failed.
+const APPEND_RETRIES: u32 = 3;
+
+/// Failed syncs are retried this many times (after the initial attempt)
+/// before the effective durability degrades one rung.
+const SYNC_RETRIES: u32 = 2;
+
+/// Backoff before retry `attempt` (1-based): 100µs doubling per attempt.
+fn backoff(attempt: u32) -> Duration {
+    Duration::from_micros(100u64 << attempt.min(6))
+}
+
+/// How much a [`Durability`] promises — the degrade ladder only ever
+/// moves *down* this order.
+fn durability_rank(d: Durability) -> u8 {
+    match d {
+        Durability::None => 0,
+        Durability::Epoch => 1,
+        Durability::Batch => 2,
+    }
+}
+
+/// The installed fault schedule plus its operation counters.
+#[derive(Default)]
+struct FaultState {
+    plan: FaultPlan,
+    append_ops: u64,
+    sync_ops: u64,
+}
 
 /// The open log file, shared between the attached journal and the
 /// durable session.
 pub(crate) struct WalInner {
     file: File,
+    faults: FaultState,
+    health: WalHealth,
 }
 
 pub(crate) type WalHandle = Arc<Mutex<WalInner>>;
 
-/// Opens (creating if absent) the directory's log file for appending.
-pub(crate) fn open_wal(dir: &Path) -> Result<WalHandle, String> {
+impl WalInner {
+    /// One physical append attempt, counted against the fault plan.
+    fn write_frame(&mut self, frame: &[u8]) -> io::Result<()> {
+        let op = self.faults.append_ops;
+        self.faults.append_ops += 1;
+        if self.faults.plan.fails_append(op) {
+            return Err(io::Error::other("injected append failure"));
+        }
+        if self.faults.plan.tears_append(op) {
+            let torn = frame.len() / 2;
+            self.file.write_all(&frame[..torn])?;
+            return Err(io::Error::other("injected torn append"));
+        }
+        self.file.write_all(frame)
+    }
+
+    /// One physical sync attempt, counted against the fault plan.
+    fn sync_once(&mut self) -> io::Result<()> {
+        let op = self.faults.sync_ops;
+        self.faults.sync_ops += 1;
+        if self.faults.plan.fails_sync(op) {
+            return Err(io::Error::other("injected fsync failure"));
+        }
+        self.file.sync_data()
+    }
+
+    /// Downgrades the effective durability to `to` (no-op when already at
+    /// or below it), recording the operator-visible event.
+    fn degrade(&mut self, to: Durability, epoch: u64, cause: String) {
+        let from = self.health.effective_durability;
+        if durability_rank(from) <= durability_rank(to) {
+            return;
+        }
+        self.health.degrade_events.push(DegradeEvent {
+            epoch,
+            from,
+            to,
+            cause,
+        });
+        self.health.effective_durability = to;
+    }
+}
+
+/// Opens (creating if absent) the directory's log file for appending,
+/// with the health state initialized to the configured durability.
+pub(crate) fn open_wal(dir: &Path, configured: Durability) -> Result<WalHandle, String> {
     let path = dir.join(WAL_FILE);
     let file = OpenOptions::new()
         .create(true)
         .append(true)
         .open(&path)
         .map_err(|e| format!("opening {}: {e}", path.display()))?;
-    Ok(Arc::new(Mutex::new(WalInner { file })))
+    Ok(Arc::new(Mutex::new(WalInner {
+        file,
+        faults: FaultState::default(),
+        health: WalHealth::new(configured),
+    })))
 }
 
-/// Appends one framed record, optionally forcing it to stable storage.
+/// Installs a fault schedule into the log shim, resetting the operation
+/// counters (so a plan's indices count from the installation point).
+pub(crate) fn install_faults(handle: &WalHandle, plan: FaultPlan) {
+    if let Ok(mut inner) = handle.lock() {
+        inner.faults = FaultState {
+            plan,
+            append_ops: 0,
+            sync_ops: 0,
+        };
+    }
+}
+
+/// A clone of the operator-visible health state.
+pub(crate) fn wal_health(handle: &WalHandle) -> WalHealth {
+    handle
+        .lock()
+        .map(|inner| inner.health.clone())
+        .unwrap_or_else(|_| WalHealth::new(Durability::None))
+}
+
+/// Appends one framed record for the batch advancing the session to
+/// `epoch`. Failed or torn writes roll the file back to its pre-append
+/// length and retry with backoff; only a write that keeps failing after
+/// [`APPEND_RETRIES`] retries fails the append (and thereby the step,
+/// with the session untouched — the write-ahead contract). When the
+/// effective durability is [`Durability::Batch`] the record is fsynced
+/// before returning; a sync that keeps failing **degrades** the handle
+/// to [`Durability::Epoch`] instead of failing the append (the record is
+/// in the log, just not yet forced to stable storage).
 pub(crate) fn append_record(
     handle: &WalHandle,
     epoch: u64,
     batch: &[DemandEvent],
-    sync: bool,
 ) -> Result<(), String> {
     let payload = wal_record(epoch, batch).render();
     let frame = encode_frame(payload.as_bytes());
     let mut inner = handle.lock().map_err(|_| "wal lock poisoned".to_string())?;
-    inner
-        .file
-        .write_all(&frame)
-        .map_err(|e| format!("appending to the write-ahead log: {e}"))?;
-    if sync {
-        inner
+    let slow = inner.faults.plan.slow_append_micros;
+    if slow > 0 {
+        std::thread::sleep(Duration::from_micros(slow));
+    }
+    let mut attempt: u32 = 0;
+    loop {
+        let start = inner
             .file
-            .sync_data()
-            .map_err(|e| format!("syncing the write-ahead log: {e}"))?;
+            .metadata()
+            .map_err(|e| format!("inspecting the write-ahead log: {e}"))?
+            .len();
+        match inner.write_frame(&frame) {
+            Ok(()) => break,
+            Err(e) => {
+                // Roll back any torn prefix so the retry (and the
+                // recovery scanner) see a clean frame boundary.
+                let _ = inner.file.set_len(start);
+                attempt += 1;
+                inner.health.append_retries += 1;
+                if attempt > APPEND_RETRIES {
+                    return Err(format!(
+                        "appending to the write-ahead log (after {attempt} attempts): {e}"
+                    ));
+                }
+                std::thread::sleep(backoff(attempt));
+            }
+        }
+    }
+    if inner.health.effective_durability == Durability::Batch {
+        let mut attempt: u32 = 0;
+        loop {
+            match inner.sync_once() {
+                Ok(()) => break,
+                Err(e) => {
+                    attempt += 1;
+                    inner.health.sync_failures += 1;
+                    if attempt > SYNC_RETRIES {
+                        inner.degrade(
+                            Durability::Epoch,
+                            epoch,
+                            format!("batch-append fsync failed after {attempt} attempts: {e}"),
+                        );
+                        break;
+                    }
+                    std::thread::sleep(backoff(attempt));
+                }
+            }
+        }
     }
     Ok(())
 }
 
-/// Forces all appended records to stable storage.
-pub(crate) fn sync_wal(handle: &WalHandle) -> Result<(), String> {
-    let inner = handle.lock().map_err(|_| "wal lock poisoned".to_string())?;
-    inner
-        .file
-        .sync_data()
-        .map_err(|e| format!("syncing the write-ahead log: {e}"))
+/// Forces all appended records to stable storage (the epoch-cadence
+/// sync). A no-op once the handle has degraded to [`Durability::None`];
+/// a sync that keeps failing after the retries performs that degrade
+/// (`Epoch → None`) and returns `Ok` — the serving path stays up, the
+/// downgrade is reported through [`WalHealth`].
+pub(crate) fn sync_wal(handle: &WalHandle, epoch: u64) -> Result<(), String> {
+    let mut inner = handle.lock().map_err(|_| "wal lock poisoned".to_string())?;
+    if inner.health.effective_durability == Durability::None {
+        return Ok(());
+    }
+    let mut attempt: u32 = 0;
+    loop {
+        match inner.sync_once() {
+            Ok(()) => return Ok(()),
+            Err(e) => {
+                attempt += 1;
+                inner.health.sync_failures += 1;
+                if attempt > SYNC_RETRIES {
+                    inner.degrade(
+                        Durability::None,
+                        epoch,
+                        format!("epoch fsync failed after {attempt} attempts: {e}"),
+                    );
+                    return Ok(());
+                }
+                std::thread::sleep(backoff(attempt));
+            }
+        }
+    }
 }
 
 /// The [`EpochJournal`] implementation: appends one framed record per
-/// accepted batch; in [`Durability::Batch`](crate::Durability::Batch)
-/// mode the append fsyncs before returning, so the step cannot proceed
-/// until the record is durable.
+/// accepted batch. Whether the append fsyncs before returning is decided
+/// by the handle's **effective** durability (configured
+/// [`Durability::Batch`] until a degrade event lowers it), so the
+/// write-ahead guarantee holds exactly while the health state claims it
+/// does.
 pub(crate) struct WalJournal {
     handle: WalHandle,
-    sync_every_batch: bool,
 }
 
 impl WalJournal {
-    pub(crate) fn new(handle: WalHandle, sync_every_batch: bool) -> Self {
-        Self {
-            handle,
-            sync_every_batch,
-        }
+    pub(crate) fn new(handle: WalHandle) -> Self {
+        Self { handle }
     }
 }
 
 impl EpochJournal for WalJournal {
     fn record(&mut self, epoch: u64, batch: &[DemandEvent]) -> Result<(), String> {
-        append_record(&self.handle, epoch, batch, self.sync_every_batch)
+        append_record(&self.handle, epoch, batch)
     }
 }

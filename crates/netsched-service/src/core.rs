@@ -7,8 +7,10 @@
 //! height mix requires the wide/narrow split) one per split half; all three
 //! are driven by the same [`LiveCore::apply`].
 
-use netsched_core::framework::run_two_phase_on;
-use netsched_core::{run_two_phase_warm_on, AlgorithmConfig, RaiseRule, Solution, WarmState};
+use netsched_core::framework::run_two_phase_on_budgeted;
+use netsched_core::{
+    run_two_phase_warm_on_budgeted, AlgorithmConfig, Budget, RaiseRule, Solution, WarmState,
+};
 use netsched_decomp::{line_assignment, InstanceLayering, TreeDecompositionKind, TreeLayerer};
 use netsched_distrib::ShardedConflictGraph;
 use netsched_graph::{
@@ -158,9 +160,23 @@ impl LiveCore {
         self.delta.num_dirty()
     }
 
-    /// Runs the shard-parallel two-phase engine on the core's structures.
-    pub(crate) fn solve(&self, rule: RaiseRule, config: &AlgorithmConfig) -> Solution {
-        run_two_phase_on(&self.universe, &self.conflict, &self.layering, rule, config)
+    /// Runs the shard-parallel two-phase engine on the core's structures
+    /// under a cooperative [`Budget`] (pass [`Budget::unlimited`] for a
+    /// full run).
+    pub(crate) fn solve(
+        &self,
+        rule: RaiseRule,
+        config: &AlgorithmConfig,
+        budget: &Budget,
+    ) -> Solution {
+        run_two_phase_on_budgeted(
+            &self.universe,
+            &self.conflict,
+            &self.layering,
+            rule,
+            config,
+            budget,
+        )
     }
 
     /// Resumes the warm-started engine from the core's persisted
@@ -168,19 +184,28 @@ impl LiveCore {
     /// first. A fresh state reproduces the cold engine exactly, so the
     /// first warm epoch of a session matches [`LiveCore::solve`]
     /// bit-for-bit; later epochs repair only the shards the splices since
-    /// the previous solve dirtied.
-    pub(crate) fn solve_warm(&mut self, rule: RaiseRule, config: &AlgorithmConfig) -> Solution {
+    /// the previous solve dirtied. Under a binding [`Budget`] the repair
+    /// is cut cooperatively and the unfinished work stays pending in the
+    /// warm state (see
+    /// [`run_two_phase_warm_on_budgeted`]).
+    pub(crate) fn solve_warm(
+        &mut self,
+        rule: RaiseRule,
+        config: &AlgorithmConfig,
+        budget: &Budget,
+    ) -> Solution {
         if self.warm.as_ref().map(WarmState::rule) != Some(rule) {
             self.warm = Some(WarmState::new(&self.universe, rule));
         }
         let warm = self.warm.as_mut().expect("warm state just ensured");
-        run_two_phase_warm_on(
+        run_two_phase_warm_on_budgeted(
             &self.universe,
             &self.conflict,
             &self.layering,
             rule,
             config,
             warm,
+            budget,
         )
     }
 

@@ -131,6 +131,22 @@ pub enum ServiceError {
         /// `(event index, error)` for every invalid event, in batch order.
         failures: Vec<(usize, ServiceError)>,
     },
+    /// The async frontend's submit queue is full
+    /// ([`ServicePolicy::max_queued`](crate::ServicePolicy::max_queued)):
+    /// backpressure, not failure. Nothing was enqueued; resubmit after
+    /// roughly `retry_after_epochs` epochs have drained.
+    Overloaded {
+        /// A drain-time estimate (in epochs) derived from the current
+        /// queue depth; a polite client backs off at least this long.
+        retry_after_epochs: u64,
+    },
+    /// The solve of this batch panicked. The batch is quarantined — the
+    /// session was restored from its pre-step structures and is fully
+    /// operational; the offending batch must not be resubmitted verbatim.
+    Quarantined {
+        /// The panic payload (downcast to a string when possible).
+        reason: String,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -150,6 +166,14 @@ impl fmt::Display for ServiceError {
                 }
                 Ok(())
             }
+            ServiceError::Overloaded { retry_after_epochs } => write!(
+                f,
+                "submit queue is full; retry after ~{retry_after_epochs} epoch(s)"
+            ),
+            ServiceError::Quarantined { reason } => write!(
+                f,
+                "solve panicked and the batch was quarantined (session restored): {reason}"
+            ),
         }
     }
 }

@@ -135,6 +135,42 @@
 //!   kill-and-recover suite (`tests/durability_recovery.rs`) pins both,
 //!   at 1/2/4 threads.
 //!
+//! # Degraded modes & fault model
+//!
+//! The serving tier is built to degrade, not to fall over. Three
+//! mechanisms cover the three ways an epoch can go wrong:
+//!
+//! * **Deadlines (anytime admission)** — λ-certification is *monotone*
+//!   over the engine's raise loop, so a solve can stop at a latency
+//!   budget and still emit a feasible schedule with a **valid** (weaker)
+//!   optimum bound. [`ServiceSession::step_with_deadline`] threads a
+//!   cooperative [`Budget`](netsched_core::Budget) (round cap, wall-clock
+//!   deadline or cancellation flag) into the engine; a cut epoch's
+//!   `stats.quality` is
+//!   [`Truncated`](netsched_core::CertificateQuality::Truncated) and the
+//!   unfinished certification work stays pending in the session — the
+//!   next un-budgeted epoch (even an empty batch) finishes it. Tune the
+//!   budget to the epoch latency you can afford: round caps are
+//!   deterministic and testable, millisecond deadlines track wall-clock
+//!   SLOs. Under [`AdmissionClass`], latency-sensitive submissions get
+//!   the budgeted path while bulk submissions batch into full epochs.
+//! * **Backpressure** — a [`ServicePolicy`] with `max_queued > 0` bounds
+//!   the async frontend's submission queue; a full queue rejects with
+//!   [`ServiceError::Overloaded`]`{ retry_after_epochs }` instead of
+//!   growing without bound. Clients should back off at least the hinted
+//!   number of epochs.
+//! * **Quarantine** — [`ServiceSession::step_with_deadline`] runs the
+//!   epoch under `catch_unwind`; a panicking solve restores the session
+//!   from its pre-step snapshot and returns
+//!   [`ServiceError::Quarantined`] naming the poisoned batch's panic. The
+//!   session stays fully operational; only the offending batch is lost.
+//!
+//! Durability degrades independently in `netsched-persist`: injected or
+//! real fsync failures retry with backoff and then **downgrade** the
+//! effective durability (`Batch → Epoch → None`) rather than failing the
+//! epoch, with the downgrade visible in the operator-facing health state.
+//! See the `netsched-persist` crate docs for the degrade ladder.
+//!
 //! # Async frontend
 //!
 //! [`Service`] wraps a session behind a submission queue with hand-rolled
@@ -183,7 +219,7 @@ pub mod snapshot;
 
 pub use event::{DemandEvent, DemandRequest, DemandTicket, ServiceError};
 pub use replay::replay_trace;
-pub use service::{block_on, Service, SubmitFuture};
+pub use service::{block_on, AdmissionClass, BudgetSpec, Service, ServicePolicy, SubmitFuture};
 pub use session::{
     Certificate, CompactionReport, EpochJournal, EpochStats, Placement, ResolveMode, ScheduleDelta,
     ScheduledDemand, ServiceSession,

@@ -19,11 +19,71 @@ use std::future::Future;
 use std::pin::Pin;
 use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
+use std::time::Duration;
 
 use fxhash::FxHashSet;
+use netsched_core::Budget;
 
 use crate::event::{DemandEvent, DemandTicket, ServiceError};
 use crate::session::{ScheduleDelta, ServiceSession};
+
+/// How urgently a submission needs its epoch — the tiered admission
+/// classes of the degraded-operation layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionClass {
+    /// Batched into full epochs: the solve runs to full λ-certification
+    /// no matter how long it takes. The default, and the right class for
+    /// background churn.
+    #[default]
+    Bulk,
+    /// Needs its schedule within the policy's latency budget: any epoch
+    /// admitting at least one latency-sensitive submission runs under
+    /// [`ServicePolicy::latency_budget`] (via
+    /// [`ServiceSession::step_with_deadline`]) and may return a
+    /// [`Truncated`](netsched_core::CertificateQuality::Truncated)
+    /// certificate; the unfinished work completes in a later bulk epoch.
+    LatencySensitive,
+}
+
+/// A declarative latency budget, compiled to a [`Budget`] per epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BudgetSpec {
+    /// No limit — every epoch certifies fully.
+    #[default]
+    Unlimited,
+    /// At most this many first-phase MIS/raise rounds per epoch
+    /// (deterministic; what the anytime test suite uses).
+    Rounds(u64),
+    /// A wall-clock deadline this many milliseconds after the solve
+    /// starts.
+    Millis(u64),
+}
+
+impl BudgetSpec {
+    /// Compiles the spec into a fresh [`Budget`] (deadlines start now).
+    pub fn to_budget(&self) -> Budget {
+        match *self {
+            BudgetSpec::Unlimited => Budget::unlimited(),
+            BudgetSpec::Rounds(cap) => Budget::rounds(cap),
+            BudgetSpec::Millis(ms) => Budget::deadline(Duration::from_millis(ms)),
+        }
+    }
+}
+
+/// Tuning of the async frontend: queue bound and latency budget. The
+/// default policy is fully backward compatible — unbounded queue,
+/// unlimited budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServicePolicy {
+    /// Maximum submissions waiting in the queue (`0` = unbounded). When
+    /// the queue is full, [`Service::submit`] returns
+    /// [`ServiceError::Overloaded`] with a drain-time estimate instead of
+    /// queueing — bounded backpressure instead of unbounded memory.
+    pub max_queued: usize,
+    /// The budget epochs admitting latency-sensitive submissions run
+    /// under; bulk-only epochs always run unlimited.
+    pub latency_budget: BudgetSpec,
+}
 
 /// Outcome delivered to every submission folded into an epoch.
 type EpochResult = Result<Arc<ScheduleDelta>, ServiceError>;
@@ -54,6 +114,7 @@ impl Slot {
 
 struct Pending {
     events: Vec<DemandEvent>,
+    class: AdmissionClass,
     slot: Arc<Slot>,
 }
 
@@ -63,11 +124,17 @@ struct State {
     /// Tickets with an expiry already queued (so two queued submissions
     /// cannot both expire the same demand).
     queued_expiries: FxHashSet<u64>,
+    policy: ServicePolicy,
 }
 
 impl State {
     /// Drains the queue and steps one epoch over the folded batch,
-    /// resolving every drained slot with the shared outcome.
+    /// resolving every drained slot with the shared outcome. The epoch
+    /// runs under the policy's latency budget when any drained submission
+    /// is latency-sensitive (bulk-only epochs certify fully), and always
+    /// through [`ServiceSession::step_with_deadline`] — so a panicking
+    /// solve quarantines the folded batch instead of poisoning the
+    /// session.
     fn drive(&mut self) -> EpochResult {
         let pending: Vec<Pending> = self.queue.drain(..).collect();
         self.queued_expiries.clear();
@@ -75,7 +142,18 @@ impl State {
             .iter()
             .flat_map(|p| p.events.iter().cloned())
             .collect();
-        let outcome: EpochResult = self.session.step(&batch).map(Arc::new);
+        let budget = if pending
+            .iter()
+            .any(|p| p.class == AdmissionClass::LatencySensitive)
+        {
+            self.policy.latency_budget.to_budget()
+        } else {
+            Budget::unlimited()
+        };
+        let outcome: EpochResult = self
+            .session
+            .step_with_deadline(&batch, &budget)
+            .map(Arc::new);
         for p in &pending {
             p.slot.fill(outcome.clone());
         }
@@ -90,29 +168,70 @@ pub struct Service {
 }
 
 impl Service {
-    /// Wraps a session.
+    /// Wraps a session under the default (unbounded, unlimited)
+    /// [`ServicePolicy`].
     pub fn new(session: ServiceSession) -> Self {
+        Self::with_policy(session, ServicePolicy::default())
+    }
+
+    /// Wraps a session under an explicit [`ServicePolicy`] — queue bound
+    /// (backpressure via [`ServiceError::Overloaded`]) and latency budget
+    /// for epochs admitting latency-sensitive submissions.
+    pub fn with_policy(session: ServiceSession, policy: ServicePolicy) -> Self {
         Self {
             state: Arc::new(Mutex::new(State {
                 session,
                 queue: Vec::new(),
                 queued_expiries: FxHashSet::default(),
+                policy,
             })),
         }
     }
 
+    /// The frontend's policy.
+    pub fn policy(&self) -> ServicePolicy {
+        self.state.lock().expect("service lock poisoned").policy
+    }
+
     /// Enqueues a batch of events and returns the future of the epoch that
-    /// will admit it. Validation happens here, eagerly: invalid arrivals,
-    /// unknown tickets and expiries already queued by an earlier
-    /// (unprocessed) submission are rejected without touching the queue.
+    /// will admit it ([`AdmissionClass::Bulk`]; see
+    /// [`submit_with_class`](Service::submit_with_class)). Validation
+    /// happens here, eagerly: invalid arrivals, unknown tickets and
+    /// expiries already queued by an earlier (unprocessed) submission are
+    /// rejected without touching the queue.
     ///
     /// The **whole** batch is validated before rejecting: when several
     /// events are invalid, the error is [`ServiceError::InvalidBatch`]
     /// listing every failure with its event index (a single invalid event
     /// comes back as its bare error), so callers can resubmit precisely
     /// the valid remainder instead of discovering failures one at a time.
+    ///
+    /// When the policy bounds the queue and it is full, the submission is
+    /// rejected with [`ServiceError::Overloaded`] before validation —
+    /// backpressure is cheaper than validating work that cannot be
+    /// queued.
     pub fn submit(&self, events: Vec<DemandEvent>) -> Result<SubmitFuture, ServiceError> {
+        self.submit_with_class(events, AdmissionClass::Bulk)
+    }
+
+    /// [`submit`](Service::submit) with an explicit [`AdmissionClass`]:
+    /// an epoch that admits at least one latency-sensitive submission
+    /// runs under the policy's latency budget and may return a truncated
+    /// (but valid) certificate in its delta's `stats.quality`.
+    pub fn submit_with_class(
+        &self,
+        events: Vec<DemandEvent>,
+        class: AdmissionClass,
+    ) -> Result<SubmitFuture, ServiceError> {
         let mut state = self.state.lock().expect("service lock poisoned");
+        if state.policy.max_queued > 0 && state.queue.len() >= state.policy.max_queued {
+            // Drain-time estimate: every drive folds the whole queue into
+            // one epoch, so one epoch per full queue's worth of waiting
+            // submissions is a conservative upper bound.
+            return Err(ServiceError::Overloaded {
+                retry_after_epochs: 1 + (state.queue.len() / state.policy.max_queued) as u64,
+            });
+        }
         let mut batch_expiries: Vec<u64> = Vec::new();
         let mut failures: Vec<(usize, ServiceError)> = Vec::new();
         for (index, event) in events.iter().enumerate() {
@@ -146,6 +265,7 @@ impl Service {
         });
         state.queue.push(Pending {
             events,
+            class,
             slot: slot.clone(),
         });
         Ok(SubmitFuture {

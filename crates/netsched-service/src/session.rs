@@ -21,8 +21,8 @@ use std::collections::BTreeMap;
 
 use fxhash::FxHashMap;
 use netsched_core::{
-    combine_wide_narrow, solve_wide_narrow_on, AlgorithmConfig, EngineHalf, HalfOutcome, RaiseRule,
-    Solution, WarmState,
+    combine_wide_narrow, solve_wide_narrow_on_budgeted, AlgorithmConfig, Budget,
+    CertificateQuality, EngineHalf, HalfOutcome, RaiseRule, Solution, WarmState,
 };
 use netsched_decomp::TreeLayerer;
 use netsched_distrib::ShardedConflictGraph;
@@ -79,19 +79,47 @@ impl ResolveMode {
         }
     }
 
-    /// The mode named by the `NETSCHED_RESOLVE_MODE` environment variable,
-    /// if set to a recognized value. Used by the session constructors as
-    /// the default, so a deployment (or the CI matrix) can flip every
-    /// default-constructed session to warm re-solving without code
-    /// changes; sessions built with
+    /// The mode named by the `NETSCHED_RESOLVE_MODE` environment variable.
+    /// Used by the session constructors as the default, so a deployment
+    /// (or the CI matrix) can flip every default-constructed session to
+    /// warm re-solving without code changes; sessions built with
     /// [`ServiceSession::with_resolve_mode`] are unaffected.
-    pub fn from_env() -> Option<Self> {
-        Self::parse(&std::env::var("NETSCHED_RESOLVE_MODE").ok()?)
+    ///
+    /// Returns `Ok(None)` when the variable is unset and a descriptive
+    /// error when it is set to something other than `cold`/`warm` — a
+    /// typo'd deployment variable must not silently run the wrong mode.
+    pub fn from_env() -> Result<Option<Self>, String> {
+        match std::env::var("NETSCHED_RESOLVE_MODE") {
+            Err(std::env::VarError::NotPresent) => Ok(None),
+            Err(std::env::VarError::NotUnicode(raw)) => Err(format!(
+                "NETSCHED_RESOLVE_MODE is set to non-unicode value {raw:?} \
+                 (expected `cold` or `warm`)"
+            )),
+            Ok(raw) => match Self::parse(&raw) {
+                Some(mode) => Ok(Some(mode)),
+                None => Err(format!(
+                    "NETSCHED_RESOLVE_MODE is set to unrecognized value `{raw}` \
+                     (expected `cold` or `warm`)"
+                )),
+            },
+        }
     }
 
-    /// [`ResolveMode::from_env`], falling back to [`ResolveMode::Cold`].
+    /// [`ResolveMode::from_env`], falling back to [`ResolveMode::Cold`]
+    /// when the variable is unset **or** invalid. An invalid value is
+    /// reported once to stderr instead of being swallowed, so a typo'd
+    /// deployment shows up in operator logs.
     pub fn env_default() -> Self {
-        Self::from_env().unwrap_or_default()
+        match Self::from_env() {
+            Ok(mode) => mode.unwrap_or_default(),
+            Err(why) => {
+                static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+                WARN_ONCE.call_once(|| {
+                    eprintln!("netsched-service: {why}; falling back to cold re-solves");
+                });
+                ResolveMode::Cold
+            }
+        }
     }
 }
 
@@ -184,6 +212,12 @@ pub struct EpochStats {
     /// Wall-clock seconds spent recording the batch in the attached
     /// [`EpochJournal`] (0 when none is attached).
     pub journal_seconds: f64,
+    /// Whether the epoch's certificate is full or budget-truncated (a
+    /// deadline cut the solve early; see
+    /// [`ServiceSession::step_with_deadline`]). The empty-batch fast path
+    /// reports [`CertificateQuality::Full`] — it is only taken while no
+    /// truncated work is pending.
+    pub quality: CertificateQuality,
 }
 
 /// What one epoch changed, instead of a full schedule: the paper solver's
@@ -274,6 +308,13 @@ pub struct ServiceSession {
     /// Write-ahead hook called with every validated batch before it
     /// executes; `None` for purely in-memory sessions.
     journal: Option<Box<dyn EpochJournal>>,
+    /// `true` when the most recent solve was budget-truncated: unfinished
+    /// certification work is pending, so the next epoch must re-solve
+    /// even on an empty batch.
+    pending_anytime: bool,
+    /// Fault-injection hook: epochs whose solve panics deterministically
+    /// (see [`ServiceSession::inject_solve_panics`]). Never serialized.
+    panic_epochs: Vec<u64>,
 }
 
 impl ServiceSession {
@@ -364,6 +405,8 @@ impl ServiceSession {
             profit: 0.0,
             last: None,
             journal: None,
+            pending_anytime: false,
+            panic_epochs: Vec::new(),
         }
     }
 
@@ -514,8 +557,94 @@ impl ServiceSession {
     ///
     /// Validation is all-or-nothing: on `Err` the session is unchanged. An
     /// empty batch on an already-solved session is a true no-op (no
-    /// rebuild, no solve — `stats.resolved` is `false`).
+    /// rebuild, no solve — `stats.resolved` is `false`), **unless** a
+    /// previous deadline-bounded epoch left truncated work pending — then
+    /// the empty step re-solves and finishes the certification.
     pub fn step(&mut self, batch: &[DemandEvent]) -> Result<ScheduleDelta, ServiceError> {
+        self.step_inner(batch, &Budget::unlimited())
+    }
+
+    /// [`step`](ServiceSession::step) under a cooperative [`Budget`] and
+    /// with **per-batch panic isolation**.
+    ///
+    /// *Deadline-bounded (anytime) admission*: the engine checks the
+    /// budget between MIS/raise rounds and cuts when it is exhausted. A
+    /// cut epoch still returns a feasible schedule with a valid — merely
+    /// weaker — certificate, tagged
+    /// [`CertificateQuality::Truncated`] in `stats.quality`; the
+    /// unfinished certification work is carried into the session (warm
+    /// modes keep the repaired shards pending-dirty) and an un-budgeted
+    /// follow-up epoch — even an empty one — reconverges to full
+    /// certification.
+    ///
+    /// *Quarantine*: the step runs under `catch_unwind`. If the solve
+    /// panics, the batch is **quarantined** — the session is restored
+    /// from its pre-step snapshot (journal re-attached), the call returns
+    /// [`ServiceError::Quarantined`], and the session remains fully
+    /// operational. The pre-step snapshot costs one serialization of the
+    /// session per call; latency-sensitive tiers pay it in exchange for
+    /// not losing the session to a poisoned batch. Note the write-ahead
+    /// journal records the batch *before* the solve, so a quarantined
+    /// batch leaves a dead record in the log; replay-side recovery simply
+    /// re-runs it (engine panics are not reachable from validated batches
+    /// — the hook exists for fault injection).
+    pub fn step_with_deadline(
+        &mut self,
+        batch: &[DemandEvent],
+        budget: &Budget,
+    ) -> Result<ScheduleDelta, ServiceError> {
+        let doc = self.snapshot();
+        let pending_anytime = self.pending_anytime;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.step_inner(batch, budget)
+        }));
+        match outcome {
+            Ok(result) => result,
+            Err(payload) => {
+                let reason = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                // The panic may have left the live structures mid-splice:
+                // rebuild everything from the pre-step snapshot and carry
+                // over what the snapshot does not serialize.
+                let journal = self.journal.take();
+                let panic_epochs = std::mem::take(&mut self.panic_epochs);
+                let mut restored =
+                    Self::from_snapshot(&doc).expect("pre-step snapshot must round-trip");
+                restored.journal = journal;
+                restored.panic_epochs = panic_epochs;
+                restored.pending_anytime = pending_anytime;
+                *self = restored;
+                Err(ServiceError::Quarantined { reason })
+            }
+        }
+    }
+
+    /// `true` when the most recent solve was budget-truncated and the
+    /// session carries unfinished certification work; the next epoch
+    /// re-solves even on an empty batch.
+    pub fn anytime_pending(&self) -> bool {
+        self.pending_anytime
+    }
+
+    /// Arms the fault-injection hook: the solve of each listed epoch (the
+    /// 1-based epoch the step would advance the session to) panics with
+    /// `"injected solve fault"` before the engine runs. Harness plumbing
+    /// for exercising the quarantine path of
+    /// [`step_with_deadline`](ServiceSession::step_with_deadline) —
+    /// production solves have no panic sites reachable from a validated
+    /// batch. Never serialized; survives a quarantine restore.
+    pub fn inject_solve_panics(&mut self, epochs: Vec<u64>) {
+        self.panic_epochs = epochs;
+    }
+
+    fn step_inner(
+        &mut self,
+        batch: &[DemandEvent],
+        budget: &Budget,
+    ) -> Result<ScheduleDelta, ServiceError> {
         // ---- validate & partition (no mutation before this block ends) --
         let mut arrivals: Vec<DemandRequest> = Vec::new();
         let mut expired: Vec<DemandId> = Vec::new();
@@ -552,7 +681,9 @@ impl ServiceSession {
         let journal_seconds = journal_start.elapsed().as_secs_f64();
 
         // ---- empty-batch fast path ------------------------------------
-        if batch.is_empty() && self.solved {
+        // Skipped while truncated work is pending: an empty step is then
+        // exactly the "finish the certification" epoch.
+        if batch.is_empty() && self.solved && !self.pending_anytime {
             self.epoch += 1;
             return Ok(ScheduleDelta {
                 epoch: self.epoch,
@@ -574,6 +705,7 @@ impl ServiceSession {
                     rebuild_seconds: 0.0,
                     solve_seconds: 0.0,
                     journal_seconds,
+                    quality: CertificateQuality::Full,
                 },
             });
         }
@@ -639,6 +771,9 @@ impl ServiceSession {
         // ---- solve -----------------------------------------------------
         let rebuild_seconds = rebuild_start.elapsed().as_secs_f64();
         let solve_start = std::time::Instant::now();
+        if self.panic_epochs.contains(&(self.epoch + 1)) {
+            panic!("injected solve fault at epoch {}", self.epoch + 1);
+        }
         let warm = self.resolve == ResolveMode::Warm;
         let solution = if self.live.is_empty() {
             Solution::empty()
@@ -646,10 +781,14 @@ impl ServiceSession {
             if warm {
                 // Each half resumes its own persisted warm state (wide
                 // under the unit rule, narrow under the narrow rule); the
-                // Theorem 6.3 / 7.2 combination is solve-agnostic.
+                // Theorem 6.3 / 7.2 combination is solve-agnostic. Both
+                // halves charge the same budget.
                 let split = self.split.as_mut().expect("split exists when mixed");
-                let wide_solution = split.wide.solve_warm(RaiseRule::Unit, &self.config);
-                let narrow_solution = split.narrow.solve_warm(RaiseRule::Narrow, &self.config);
+                let wide_solution = split.wide.solve_warm(RaiseRule::Unit, &self.config, budget);
+                let narrow_solution =
+                    split
+                        .narrow
+                        .solve_warm(RaiseRule::Narrow, &self.config, budget);
                 let split = self.split.as_ref().expect("split exists when mixed");
                 combine_wide_narrow(
                     &self.full.universe,
@@ -666,7 +805,7 @@ impl ServiceSession {
                 )
             } else {
                 let split = self.split.as_ref().expect("split exists when mixed");
-                solve_wide_narrow_on(
+                solve_wide_narrow_on_budgeted(
                     &self.full.universe,
                     EngineHalf {
                         universe: &split.wide.universe,
@@ -681,18 +820,20 @@ impl ServiceSession {
                         demand_map: &split.narrow_map,
                     },
                     &self.config,
+                    budget,
                 )
             }
         } else if any_narrow {
             if warm {
-                self.full.solve_warm(RaiseRule::Narrow, &self.config)
+                self.full
+                    .solve_warm(RaiseRule::Narrow, &self.config, budget)
             } else {
-                self.full.solve(RaiseRule::Narrow, &self.config)
+                self.full.solve(RaiseRule::Narrow, &self.config, budget)
             }
         } else if warm {
-            self.full.solve_warm(RaiseRule::Unit, &self.config)
+            self.full.solve_warm(RaiseRule::Unit, &self.config, budget)
         } else {
-            self.full.solve(RaiseRule::Unit, &self.config)
+            self.full.solve(RaiseRule::Unit, &self.config, budget)
         };
         let solve_seconds = solve_start.elapsed().as_secs_f64();
 
@@ -739,7 +880,9 @@ impl ServiceSession {
             dual_objective: solution.diagnostics.dual_objective,
         };
         self.solved = true;
+        self.pending_anytime = solution.diagnostics.quality.is_truncated();
         self.epoch += 1;
+        let quality = solution.diagnostics.quality;
         self.last = Some(solution);
 
         Ok(ScheduleDelta {
@@ -762,6 +905,7 @@ impl ServiceSession {
                 rebuild_seconds,
                 solve_seconds,
                 journal_seconds,
+                quality,
             },
         })
     }

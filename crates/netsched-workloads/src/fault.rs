@@ -1,0 +1,122 @@
+//! Deterministic fault schedules for robustness testing.
+//!
+//! A [`FaultPlan`] scripts the I/O and solve faults a harness wants a run
+//! to survive: failed or short (torn) write-ahead appends, fsync errors,
+//! injected append latency, and epochs whose solve should panic. Plans
+//! are *schedules*, not probabilities — every fault fires at an exact
+//! operation index (or epoch), so a failing run replays bit-for-bit.
+//!
+//! The plan itself is pure data. `netsched-persist` installs one into its
+//! write-ahead log shim (`DurableSession::inject_faults`), which counts
+//! append and sync operations and consults the plan at each; the service
+//! layer consumes [`FaultPlan::panic_epochs`] through
+//! `ServiceSession::inject_solve_panics`. Keeping the plan here lets the
+//! workload/scenario layer describe fault campaigns alongside the demand
+//! traces they run against.
+
+/// A scripted schedule of injected faults, addressed by **operation
+/// index**: the persist layer counts write-ahead appends and syncs from
+/// the moment the plan is installed (each counter starting at 0), and a
+/// fault fires when its counter hits a listed index.
+///
+/// The default plan injects nothing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Append operations (0-based since plan installation) whose write
+    /// fails outright — no bytes of the frame reach the log.
+    pub fail_append_ops: Vec<u64>,
+    /// Append operations that tear: a strict prefix of the frame is
+    /// written before the write errors, leaving a torn frame for the
+    /// retry (or recovery scan) to deal with.
+    pub short_append_ops: Vec<u64>,
+    /// Sync operations (0-based; batch-mode appends and epoch/snapshot
+    /// fsyncs share one counter) whose `fsync` fails.
+    pub fail_sync_ops: Vec<u64>,
+    /// Extra latency, in microseconds, injected into **every** append —
+    /// a slow-disk model for exercising deadline-bounded epochs.
+    pub slow_append_micros: u64,
+    /// Epochs (the epoch the step would advance the session *to*) whose
+    /// solve panics; consumed by `ServiceSession::inject_solve_panics`
+    /// to exercise per-batch quarantine.
+    pub panic_epochs: Vec<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Schedules append failures at the given operation indices.
+    pub fn fail_appends(mut self, ops: impl IntoIterator<Item = u64>) -> Self {
+        self.fail_append_ops.extend(ops);
+        self
+    }
+
+    /// Schedules torn (short) appends at the given operation indices.
+    pub fn short_appends(mut self, ops: impl IntoIterator<Item = u64>) -> Self {
+        self.short_append_ops.extend(ops);
+        self
+    }
+
+    /// Schedules fsync failures at the given sync-operation indices.
+    pub fn fail_syncs(mut self, ops: impl IntoIterator<Item = u64>) -> Self {
+        self.fail_sync_ops.extend(ops);
+        self
+    }
+
+    /// Injects the given latency into every append.
+    pub fn slow_appends(mut self, micros: u64) -> Self {
+        self.slow_append_micros = micros;
+        self
+    }
+
+    /// Schedules solve panics at the given epochs.
+    pub fn panic_at_epochs(mut self, epochs: impl IntoIterator<Item = u64>) -> Self {
+        self.panic_epochs.extend(epochs);
+        self
+    }
+
+    /// `true` when the plan schedules nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self == &Self::default()
+    }
+
+    /// Should the append with this operation index fail without writing?
+    pub fn fails_append(&self, op: u64) -> bool {
+        self.fail_append_ops.contains(&op)
+    }
+
+    /// Should the append with this operation index tear mid-frame?
+    pub fn tears_append(&self, op: u64) -> bool {
+        self.short_append_ops.contains(&op)
+    }
+
+    /// Should the sync with this operation index fail?
+    pub fn fails_sync(&self, op: u64) -> bool {
+        self.fail_sync_ops.contains(&op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose_and_predicates_read_back() {
+        let plan = FaultPlan::none()
+            .fail_appends([0, 3])
+            .short_appends([1])
+            .fail_syncs([2, 2])
+            .slow_appends(50)
+            .panic_at_epochs([4]);
+        assert!(!plan.is_empty());
+        assert!(plan.fails_append(0) && plan.fails_append(3) && !plan.fails_append(1));
+        assert!(plan.tears_append(1) && !plan.tears_append(0));
+        assert!(plan.fails_sync(2) && !plan.fails_sync(0));
+        assert_eq!(plan.slow_append_micros, 50);
+        assert_eq!(plan.panic_epochs, vec![4]);
+        assert!(FaultPlan::none().is_empty());
+        assert!(FaultPlan::default().is_empty());
+    }
+}

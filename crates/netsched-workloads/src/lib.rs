@@ -12,6 +12,7 @@
 
 pub mod demand_gen;
 pub mod dynamic;
+pub mod fault;
 pub mod framing;
 pub mod io;
 pub mod json;
@@ -24,6 +25,7 @@ pub use demand_gen::{DemandSpec, HeightDistribution, ProfitDistribution};
 pub use dynamic::{
     poisson_arrivals_line, poisson_arrivals_tree, ChurnSpec, EventTrace, TraceEvent,
 };
+pub use fault::FaultPlan;
 pub use framing::{append_frame, crc32, encode_frame, scan_frames, FrameError, FrameScan};
 pub use line_gen::{LineWorkload, LineWorkloadBuilder};
 pub use multi_net::{

@@ -1,0 +1,302 @@
+//! Fault-injection harness: scripted I/O and solve faults against the
+//! durable serving tier, pinning **graceful degradation** end to end.
+//!
+//! Every fault is a deterministic [`FaultPlan`] schedule installed
+//! through [`DurableSession::inject_faults`]:
+//!
+//! * **Transient append failures** retry with backoff and succeed — the
+//!   epoch is served, the retries are counted in [`WalHealth`].
+//! * **Torn appends** are rolled back to the pre-append length before
+//!   the retry, so the log replays with zero dropped records afterwards.
+//! * **Persistent append failures** fail the step with the session
+//!   *unchanged* (the write-ahead contract never silently drops a
+//!   record).
+//! * **Persistent fsync failures** never fail the step: they walk the
+//!   durability ladder (`Batch → Epoch → None`) one rung per exhausted
+//!   retry loop, each downgrade operator-visible as a [`DegradeEvent`].
+//! * **Injected solve panics** are quarantined by
+//!   [`step_with_deadline`](netsched_service::ServiceSession::step_with_deadline):
+//!   the session restores from its pre-step structures and keeps
+//!   serving.
+//!
+//! A final scenario combines injected faults with deadline-bounded
+//! epochs and a crash, asserting recovery replays the survivors.
+
+use netsched_core::{AlgorithmConfig, Budget, CertificateQuality};
+use netsched_graph::{LineProblem, NetworkId};
+use netsched_persist::{Durability, DurableSession, PersistConfig};
+use netsched_service::{DemandEvent, DemandRequest, ServiceError, ServiceSession};
+use netsched_workloads::FaultPlan;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static DIR_COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+fn temp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "netsched-faults-{}-{}",
+        std::process::id(),
+        DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn line_problem() -> LineProblem {
+    let mut p = LineProblem::new(24, 2);
+    let acc = vec![NetworkId::new(0), NetworkId::new(1)];
+    for (release, len, profit) in [(0u32, 4u32, 3.0), (2, 5, 2.0), (8, 3, 4.0)] {
+        p.add_demand(release, release + len + 2, len, profit, 1.0, acc.clone())
+            .unwrap();
+    }
+    p
+}
+
+fn arrival(start: u32) -> DemandEvent {
+    DemandEvent::Arrive(DemandRequest::Line {
+        release: start,
+        deadline: start + 6,
+        processing: 3,
+        profit: 2.5,
+        height: 1.0,
+        access: vec![NetworkId::new(0)],
+    })
+}
+
+fn durable(dir: &PathBuf, durability: Durability) -> DurableSession {
+    DurableSession::create(
+        dir,
+        ServiceSession::for_line(&line_problem(), AlgorithmConfig::deterministic(0.1)),
+        PersistConfig {
+            durability,
+            snapshot_every: 0,
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn transient_append_failures_retry_and_serve_the_epoch() {
+    let dir = temp_dir();
+    let mut session = durable(&dir, Durability::Batch);
+    // Ops 0 and 1 fail, the op-2 retry lands: one logical append survives
+    // two injected faults.
+    session.inject_faults(FaultPlan::none().fail_appends([0, 1]));
+    session
+        .step(&[arrival(1)])
+        .expect("retries absorb the fault");
+    let health = session.health();
+    assert_eq!(health.append_retries, 2);
+    assert!(!health.degraded());
+    assert_eq!(session.session().epoch(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_appends_roll_back_and_leave_a_clean_log() {
+    let dir = temp_dir();
+    let mut session = durable(&dir, Durability::Epoch);
+    session.inject_faults(FaultPlan::none().short_appends([0, 2]));
+    for start in [1u32, 5, 9] {
+        session
+            .step(&[arrival(start)])
+            .expect("torn writes retried");
+    }
+    let profit = session.session().profit();
+    drop(session); // the crash
+    let (recovered, report) = DurableSession::recover(&dir, PersistConfig::default()).unwrap();
+    // The rollbacks kept every frame boundary clean: nothing dropped.
+    assert_eq!(report.dropped_records, 0);
+    assert_eq!(report.replayed_epochs, 3);
+    assert_eq!(recovered.session().epoch(), 3);
+    assert_eq!(recovered.session().profit(), profit);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn persistent_append_failures_fail_the_step_with_the_session_unchanged() {
+    let dir = temp_dir();
+    let mut session = durable(&dir, Durability::Batch);
+    session.step(&[arrival(1)]).unwrap();
+    let epoch = session.session().epoch();
+    let schedule = session.session().schedule();
+    // Four consecutive failures exhaust the initial attempt + 3 retries.
+    session.inject_faults(FaultPlan::none().fail_appends([0, 1, 2, 3]));
+    match session.step(&[arrival(5)]) {
+        Err(ServiceError::Journal(why)) => {
+            assert!(why.contains("injected append failure"), "{why}");
+        }
+        other => panic!("expected a journal failure, got {other:?}"),
+    }
+    // Write-ahead contract: the failed step left no trace.
+    assert_eq!(session.session().epoch(), epoch);
+    assert_eq!(session.session().schedule(), schedule);
+    assert!(!session.health().degraded());
+    // The injected ops are spent; the tier serves again.
+    session
+        .step(&[arrival(5)])
+        .expect("fault schedule exhausted");
+    assert_eq!(session.session().epoch(), epoch + 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn persistent_fsync_failures_walk_the_durability_ladder() {
+    let dir = temp_dir();
+    let mut session = durable(&dir, Durability::Batch);
+    // Six sync failures: 3 exhaust the batch-append sync (Batch → Epoch),
+    // the epoch-cadence sync of the same step then exhausts its own
+    // retries (Epoch → None). The step itself still succeeds.
+    session.inject_faults(FaultPlan::none().fail_syncs([0, 1, 2, 3, 4, 5]));
+    session.step(&[arrival(1)]).expect("degrade, not crash");
+    let health = session.health();
+    assert_eq!(health.configured_durability, Durability::Batch);
+    assert_eq!(health.effective_durability, Durability::None);
+    assert!(health.degraded());
+    assert_eq!(health.sync_failures, 6);
+    assert_eq!(health.degrade_events.len(), 2);
+    assert_eq!(health.degrade_events[0].from, Durability::Batch);
+    assert_eq!(health.degrade_events[0].to, Durability::Epoch);
+    assert_eq!(health.degrade_events[1].from, Durability::Epoch);
+    assert_eq!(health.degrade_events[1].to, Durability::None);
+    assert!(health.degrade_events[0].cause.contains("injected fsync"));
+    // Records were still appended: a crash now recovers every epoch.
+    session.step(&[arrival(5)]).unwrap();
+    let profit = session.session().profit();
+    drop(session);
+    let (recovered, report) = DurableSession::recover(&dir, PersistConfig::default()).unwrap();
+    assert_eq!(report.dropped_records, 0);
+    assert_eq!(recovered.session().epoch(), 2);
+    assert_eq!(recovered.session().profit(), profit);
+    assert!(!recovered.health().degraded());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn epoch_mode_degrades_to_none_and_stops_syncing() {
+    let dir = temp_dir();
+    let mut session = durable(&dir, Durability::Epoch);
+    session.inject_faults(FaultPlan::none().fail_syncs([0, 1, 2]));
+    session.step(&[arrival(1)]).expect("degrade, not crash");
+    let health = session.health();
+    assert_eq!(health.effective_durability, Durability::None);
+    assert_eq!(health.degrade_events.len(), 1);
+    assert_eq!(health.degrade_events[0].epoch, 1);
+    // Later steps skip the sync entirely — the spent plan would let a
+    // sync succeed, but `None` means none are attempted.
+    let failures = health.sync_failures;
+    session.step(&[arrival(5)]).unwrap();
+    assert_eq!(session.health().sync_failures, failures);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn slow_appends_only_add_latency() {
+    let dir = temp_dir();
+    let mut session = durable(&dir, Durability::Batch);
+    session.inject_faults(FaultPlan::none().slow_appends(200));
+    session.step(&[arrival(1)]).expect("slow disk still serves");
+    let health = session.health();
+    assert_eq!(health.append_retries, 0);
+    assert!(!health.degraded());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn injected_solve_panics_quarantine_the_batch_and_restore_the_session() {
+    let problem = line_problem();
+    let mut session = ServiceSession::for_line(&problem, AlgorithmConfig::deterministic(0.1));
+    session.step(&[arrival(1)]).unwrap();
+    let epoch = session.epoch();
+    let schedule = session.schedule();
+    let profit = session.profit();
+
+    session.inject_solve_panics(vec![epoch + 1]);
+    match session.step_with_deadline(&[arrival(5)], &Budget::unlimited()) {
+        Err(ServiceError::Quarantined { reason }) => {
+            assert!(reason.contains("injected solve fault"), "{reason}");
+        }
+        other => panic!("expected quarantine, got {other:?}"),
+    }
+    // The poisoned batch left nothing behind.
+    assert_eq!(session.epoch(), epoch);
+    assert_eq!(session.schedule(), schedule);
+    assert_eq!(session.profit(), profit);
+
+    // Disarmed, the same batch serves — the session was not poisoned.
+    session.inject_solve_panics(Vec::new());
+    let delta = session
+        .step_with_deadline(&[arrival(5)], &Budget::unlimited())
+        .expect("restored session serves");
+    assert_eq!(delta.stats.quality, CertificateQuality::Full);
+    assert_eq!(session.epoch(), epoch + 1);
+    session
+        .last_solution()
+        .expect("solved")
+        .verify(session.universe())
+        .expect("post-quarantine schedule feasible");
+}
+
+#[test]
+fn quarantine_through_the_durable_tier_keeps_serving() {
+    let dir = temp_dir();
+    let mut session = durable(&dir, Durability::Epoch);
+    session.step(&[arrival(1)]).unwrap();
+    // Arm the solve fault through the same plan surface as the I/O faults.
+    session.inject_faults(FaultPlan::none().panic_at_epochs([2]));
+    let budget = Budget::unlimited();
+    match session
+        .session_mut()
+        .step_with_deadline(&[arrival(5)], &budget)
+    {
+        Err(ServiceError::Quarantined { .. }) => {}
+        other => panic!("expected quarantine, got {other:?}"),
+    }
+    assert_eq!(session.session().epoch(), 1);
+    session.inject_faults(FaultPlan::none());
+    session
+        .step(&[arrival(9)])
+        .expect("tier serves after quarantine");
+    assert_eq!(session.session().epoch(), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn faults_deadlines_and_recovery_compose() {
+    // The CI fault leg's end-to-end scenario: torn and failed appends,
+    // exhausted fsyncs and deadline-cut epochs all at once, then a crash.
+    let dir = temp_dir();
+    let mut session = durable(&dir, Durability::Batch);
+    session.inject_faults(
+        FaultPlan::none()
+            .fail_appends([1])
+            .short_appends([3])
+            .fail_syncs([0, 1, 2])
+            .slow_appends(50),
+    );
+    let mut truncated = 0;
+    for start in [1u32, 5, 9, 13] {
+        // A fresh budget per epoch: round accounting is per-`Budget`.
+        let delta = session
+            .session_mut()
+            .step_with_deadline(&[arrival(start)], &Budget::rounds(1))
+            .expect("faulted, budgeted epoch still serves");
+        if delta.stats.quality.is_truncated() {
+            truncated += 1;
+        }
+    }
+    assert!(truncated > 0, "round budget 1 never cut a solve");
+    // Lift the deadline: the carried work converges.
+    let delta = session.step(&[]).unwrap();
+    assert_eq!(delta.stats.quality, CertificateQuality::Full);
+    assert!(session.health().degraded());
+    let epoch = session.session().epoch();
+    let profit = session.session().profit();
+    drop(session); // the crash
+
+    let (recovered, report) = DurableSession::recover(&dir, PersistConfig::default()).unwrap();
+    assert_eq!(report.dropped_records, 0);
+    assert_eq!(recovered.session().epoch(), epoch);
+    assert_eq!(recovered.session().profit(), profit);
+    let _ = std::fs::remove_dir_all(&dir);
+}
