@@ -10,7 +10,9 @@ use netsched_service::{
 use netsched_workloads::FaultPlan;
 
 use crate::restore::restore_inner;
-use crate::wal::{install_faults, open_wal, sync_wal, wal_health, WalHandle, WalJournal, WAL_FILE};
+use crate::wal::{
+    compact_wal, install_faults, open_wal, sync_wal, wal_health, WalHandle, WalJournal, WAL_FILE,
+};
 use crate::{Durability, PersistConfig, PersistError, RestoreReport, WalHealth};
 
 /// Snapshot files are named `snapshot-<epoch>.json`, epoch zero-padded so
@@ -69,9 +71,12 @@ impl DurableSession {
 
     /// Resumes a durable session from `dir` after a crash: restores
     /// (newest valid snapshot + log replay, see [`crate::restore`]),
-    /// truncates the log's corrupt suffix — if any — so new records
-    /// append at a clean frame boundary, re-attaches the journal and
-    /// returns the session together with the restore's accounting.
+    /// truncates the log's non-replayable suffix — a corrupt tail, an
+    /// undecodable record or an epoch discontinuity — so new records
+    /// append after the last record that actually replayed (and the next
+    /// recovery cannot trip over the same dead suffix), re-attaches the
+    /// journal and returns the session together with the restore's
+    /// accounting.
     pub fn recover(
         dir: impl AsRef<Path>,
         config: PersistConfig,
@@ -156,6 +161,15 @@ impl DurableSession {
     /// versioned document and writes it atomically (temp file + rename,
     /// fsynced unless running [`Durability::None`]). Returns what the
     /// compaction shed.
+    ///
+    /// A successful snapshot also **compacts the on-disk history**,
+    /// mirroring the in-memory policy: log records at or before the
+    /// *previous* snapshot's epoch are dropped from the write-ahead log
+    /// (every retained restore path — this snapshot, or a fallback to the
+    /// previous one — replays only records after that epoch), and
+    /// snapshot files older than the previous one are deleted. The log
+    /// and the snapshot directory therefore stay bounded at roughly two
+    /// cadences of history instead of growing without bound.
     pub fn snapshot_now(&mut self) -> Result<CompactionReport, PersistError> {
         let compaction = self.session.compact();
         let doc = self.session.snapshot();
@@ -194,6 +208,20 @@ impl DurableSession {
                 let _ = d.sync_all();
             }
         }
+        // The snapshot is durable: shed the history no retained restore
+        // path can need. Records at or before the *previous* snapshot's
+        // epoch are unreachable (restoring from this snapshot skips them;
+        // falling back to the previous one starts after them), as are
+        // snapshot files older than the previous one.
+        let retain_after = self.last_snapshot_epoch.min(epoch);
+        compact_wal(
+            &self.wal,
+            &self.dir.join(WAL_FILE),
+            retain_after,
+            self.config.durability != Durability::None,
+        )
+        .map_err(PersistError::Wal)?;
+        prune_snapshots(&self.dir, retain_after);
         self.last_snapshot_epoch = epoch;
         Ok(compaction)
     }
@@ -249,6 +277,28 @@ impl DurableSession {
     /// The persistence configuration.
     pub fn config(&self) -> &PersistConfig {
         &self.config
+    }
+}
+
+/// Deletes snapshot files with an epoch below `keep_from` (best-effort:
+/// an undeletable file only delays its removal to the next cadence).
+fn prune_snapshots(dir: &Path, keep_from: u64) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(epoch) = name
+            .to_str()
+            .and_then(|n| n.strip_prefix(SNAPSHOT_PREFIX))
+            .and_then(|n| n.strip_suffix(".json"))
+            .and_then(|n| n.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        if epoch < keep_from {
+            let _ = std::fs::remove_file(entry.path());
+        }
     }
 }
 

@@ -35,6 +35,27 @@
 //! `tests/durability_recovery.rs` suite pins both, at several thread
 //! counts).
 //!
+//! Quarantined batches never resurrect on replay: the journal records a
+//! batch *before* its solve, so a solve that panicked leaves a dead
+//! record in the log — the quarantine appends a **rollback tombstone**
+//! after restoring the session, and replay cancels the dead record
+//! against it. Should the tombstone append itself fail, the next
+//! accepted batch re-uses the dead record's epoch and replay lets the
+//! **last record of a duplicated epoch supersede** the earlier ones;
+//! either way the cancelled records are counted in
+//! [`RestoreReport::rolled_back_records`]. [`DurableSession::recover`]
+//! additionally truncates the log at the first record that could *not*
+//! replay (corrupt frame, undecodable payload or epoch discontinuity),
+//! so records acknowledged after a recovery are never stranded behind a
+//! dead suffix.
+//!
+//! On-disk history stays bounded: each successful cadence snapshot drops
+//! log records at or before the *previous* snapshot's epoch and deletes
+//! snapshot files older than the previous one (see
+//! [`DurableSession::snapshot_now`]), keeping roughly two cadences of
+//! replayable history — enough for a restore to fall back one snapshot
+//! when the newest is corrupt.
+//!
 //! # Choosing a [`Durability`]
 //!
 //! | mode | fsync | loses on power cut |
@@ -325,11 +346,19 @@ mod tests {
 
         let recovered = restore(&dir).unwrap();
         // The epoch-4 snapshot covers records 1..=4; only epoch 5 replays.
+        // Records 1 and 2 were compacted away when the epoch-4 snapshot
+        // landed (they are at or before the previous snapshot's epoch),
+        // so just 3 and 4 remain to skip.
         assert_eq!(recovered.report.snapshot_epoch, 4);
         assert_eq!(recovered.report.replayed_epochs, 1);
-        assert_eq!(recovered.report.skipped_records, 4);
+        assert_eq!(recovered.report.skipped_records, 2);
         assert_eq!(recovered.report.final_epoch, 5);
         assert_eq!(recovered.session.profit(), profit);
+        // The same snapshot pruned the files its predecessor made
+        // redundant: only the epoch-2 and epoch-4 snapshots remain.
+        assert!(!snapshot_path(&dir, 0).exists());
+        assert!(snapshot_path(&dir, 2).exists());
+        assert!(snapshot_path(&dir, 4).exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

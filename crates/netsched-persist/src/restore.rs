@@ -2,8 +2,8 @@
 
 use std::path::{Path, PathBuf};
 
-use netsched_service::{parse_wal_record, DemandEvent, ServiceSession};
-use netsched_workloads::framing::scan_frames;
+use netsched_service::{parse_wal_record, DemandEvent, ServiceSession, WalRecord};
+use netsched_workloads::framing::{scan_frames, FRAME_HEADER_LEN};
 use netsched_workloads::json::JsonValue;
 
 use crate::durable::SNAPSHOT_PREFIX;
@@ -28,6 +28,12 @@ pub struct RestoreReport {
     /// checksum, undecodable payload or an epoch discontinuity): the
     /// offending record plus the structurally plausible ones after it.
     pub dropped_records: usize,
+    /// Batch records skipped because a later record cancelled them: a
+    /// rollback tombstone (the batch was quarantined and never executed)
+    /// or a subsequent record re-using the same epoch (the quarantine's
+    /// tombstone append itself failed, so the retried batch supersedes
+    /// the dead record).
+    pub rolled_back_records: usize,
     /// The recovered session's epoch (`snapshot_epoch + replayed_epochs`).
     pub final_epoch: u64,
 }
@@ -52,8 +58,13 @@ pub struct RecoveredSession {
 /// 2. the log is cut to its longest valid frame prefix
 ///    ([`scan_frames`] — a truncated tail, a flipped checksum byte and a
 ///    zero-length file all land here, never in a panic);
-/// 3. records at or before the snapshot's epoch are skipped, the rest
-///    replay in order through the normal
+/// 3. the decoded records are resolved against quarantines: a rollback
+///    tombstone cancels the dead batch record it names, and a record
+///    re-using an earlier record's epoch supersedes it (the tombstone
+///    append itself failed mid-quarantine) — cancelled records are
+///    counted in [`RestoreReport::rolled_back_records`], never replayed;
+/// 4. resolved records at or before the snapshot's epoch are skipped,
+///    the rest replay in order through the normal
 ///    [`step`](ServiceSession::step) path — so the recovered session
 ///    inherits the session's own equivalence contract (cold:
 ///    byte-identical; warm: certificate-equivalent).
@@ -66,9 +77,13 @@ pub fn restore(dir: impl AsRef<Path>) -> Result<RecoveredSession, String> {
     Ok(RecoveredSession { session, report })
 }
 
-/// [`restore`] plus the byte length of the log's valid prefix, which
+/// [`restore`] plus the byte length of the log's **replayable** prefix —
+/// the offset of the first dropped record (corrupt frame, undecodable
+/// payload or epoch discontinuity), or the full valid frame length when
+/// nothing was dropped — which
 /// [`DurableSession::recover`](crate::DurableSession::recover) truncates
-/// to before appending new records.
+/// to before appending new records, so the next recovery does not trip
+/// over the same dead suffix.
 pub(crate) fn restore_inner(dir: &Path) -> Result<(ServiceSession, RestoreReport, u64), String> {
     let mut snapshots = list_snapshots(dir)?;
     snapshots.sort_by_key(|s| std::cmp::Reverse(s.0));
@@ -92,19 +107,55 @@ pub(crate) fn restore_inner(dir: &Path) -> Result<(ServiceSession, RestoreReport
     let bytes = std::fs::read(dir.join(WAL_FILE)).unwrap_or_default();
     let scan = scan_frames(&bytes);
     let mut dropped_records = scan.dropped_frames;
-    let mut records: Vec<(u64, Vec<DemandEvent>)> = Vec::new();
+    let mut rolled_back_records = 0usize;
+    // Byte offset at which the replayable prefix ends; `None` while no
+    // record has been dropped.
+    let mut truncate_at: Option<usize> = None;
+
+    // Resolve quarantines before replaying anything: the stack holds the
+    // records that survive, strictly increasing in epoch. A rollback
+    // tombstone for epoch `e` pops the dead record(s) with epoch ≥ `e`;
+    // so does a batch record re-using an earlier epoch (the tombstone
+    // append itself failed mid-quarantine, and the retried batch
+    // supersedes the dead record).
+    struct Resolved {
+        offset: usize,
+        epoch: u64,
+        batch: Vec<DemandEvent>,
+    }
+    let mut resolved: Vec<Resolved> = Vec::new();
+    let mut offset = 0usize;
     for (i, frame) in scan.frames.iter().enumerate() {
+        let frame_offset = offset;
+        offset += FRAME_HEADER_LEN + frame.len();
         let decoded = std::str::from_utf8(frame)
             .map_err(|e| e.to_string())
             .and_then(JsonValue::parse)
             .and_then(|doc| parse_wal_record(&doc));
         match decoded {
-            Ok(record) => records.push(record),
+            Ok(WalRecord::Batch { epoch, batch }) => {
+                while resolved.last().is_some_and(|r| r.epoch >= epoch) {
+                    resolved.pop();
+                    rolled_back_records += 1;
+                }
+                resolved.push(Resolved {
+                    offset: frame_offset,
+                    epoch,
+                    batch,
+                });
+            }
+            Ok(WalRecord::Rollback { epoch }) => {
+                while resolved.last().is_some_and(|r| r.epoch >= epoch) {
+                    resolved.pop();
+                    rolled_back_records += 1;
+                }
+            }
             Err(_) => {
                 // A CRC-valid frame that does not decode as a record:
                 // treat it — and everything after it — as the corrupt
                 // suffix.
                 dropped_records += scan.frames.len() - i;
+                truncate_at = Some(frame_offset);
                 break;
             }
         }
@@ -112,20 +163,23 @@ pub(crate) fn restore_inner(dir: &Path) -> Result<(ServiceSession, RestoreReport
 
     let mut skipped_records = 0usize;
     let mut replayed_epochs = 0u64;
-    for (i, (epoch, batch)) in records.iter().enumerate() {
-        if *epoch <= snapshot_epoch {
+    for (i, record) in resolved.iter().enumerate() {
+        if record.epoch <= snapshot_epoch {
             skipped_records += 1;
             continue;
         }
-        if *epoch != session.epoch() + 1 {
+        if record.epoch != session.epoch() + 1 {
             // An epoch gap means the log and the snapshot disagree about
-            // history; nothing after the gap can be applied soundly.
-            dropped_records += records.len() - i;
+            // history; nothing after the gap can be applied soundly. The
+            // gapped record precedes any already-recorded cut, so it
+            // becomes the truncation point.
+            dropped_records += resolved.len() - i;
+            truncate_at = Some(record.offset);
             break;
         }
         session
-            .step(batch)
-            .map_err(|e| format!("replaying logged epoch {epoch} failed: {e}"))?;
+            .step(&record.batch)
+            .map_err(|e| format!("replaying logged epoch {} failed: {e}", record.epoch))?;
         replayed_epochs += 1;
     }
 
@@ -135,9 +189,11 @@ pub(crate) fn restore_inner(dir: &Path) -> Result<(ServiceSession, RestoreReport
         replayed_epochs,
         skipped_records,
         dropped_records,
+        rolled_back_records,
         final_epoch: session.epoch(),
     };
-    Ok((session, report, scan.valid_len as u64))
+    let replayable_len = truncate_at.unwrap_or(scan.valid_len) as u64;
+    Ok((session, report, replayable_len))
 }
 
 /// Every `snapshot-<epoch>.json` in the directory, unordered.

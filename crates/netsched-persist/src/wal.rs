@@ -25,8 +25,11 @@ use std::path::Path;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use netsched_service::{wal_record, DemandEvent, EpochJournal};
-use netsched_workloads::framing::encode_frame;
+use netsched_service::{
+    parse_wal_record, wal_record, wal_rollback_record, DemandEvent, EpochJournal,
+};
+use netsched_workloads::framing::{encode_frame, scan_frames, FRAME_HEADER_LEN};
+use netsched_workloads::json::JsonValue;
 use netsched_workloads::FaultPlan;
 
 use crate::{DegradeEvent, Durability, WalHealth};
@@ -168,7 +171,18 @@ pub(crate) fn append_record(
     epoch: u64,
     batch: &[DemandEvent],
 ) -> Result<(), String> {
-    let payload = wal_record(epoch, batch).render();
+    append_payload(handle, epoch, wal_record(epoch, batch))
+}
+
+/// Appends one rollback tombstone for `epoch` (the journaled batch was
+/// quarantined and must not replay). Same retry/fsync policy as a batch
+/// record.
+pub(crate) fn append_rollback(handle: &WalHandle, epoch: u64) -> Result<(), String> {
+    append_payload(handle, epoch, wal_rollback_record(epoch))
+}
+
+fn append_payload(handle: &WalHandle, epoch: u64, payload: JsonValue) -> Result<(), String> {
+    let payload = payload.render();
     let frame = encode_frame(payload.as_bytes());
     let mut inner = handle.lock().map_err(|_| "wal lock poisoned".to_string())?;
     let slow = inner.faults.plan.slow_append_micros;
@@ -274,4 +288,64 @@ impl EpochJournal for WalJournal {
     fn record(&mut self, epoch: u64, batch: &[DemandEvent]) -> Result<(), String> {
         append_record(&self.handle, epoch, batch)
     }
+
+    fn record_rollback(&mut self, epoch: u64) -> Result<(), String> {
+        append_rollback(&self.handle, epoch)
+    }
+}
+
+/// Drops the log's prefix of records at or before `retain_after`
+/// (records the retained snapshots no longer need), rewriting the file in
+/// place under the handle's lock. Because record epochs are
+/// non-decreasing, the retained records are a contiguous suffix: the cut
+/// lands at the first record with epoch past `retain_after` — or,
+/// conservatively, at the first frame that does not decode (everything
+/// from there on is kept verbatim for recovery to adjudicate). Returns
+/// the bytes dropped.
+///
+/// The rewrite is `set_len(0)` + one write of the retained suffix, so a
+/// crash inside it can lose the retained records — which the snapshot
+/// that triggered the compaction already covers; only the
+/// fall-back-one-snapshot restore path narrows during that window.
+pub(crate) fn compact_wal(
+    handle: &WalHandle,
+    path: &Path,
+    retain_after: u64,
+    durable: bool,
+) -> Result<u64, String> {
+    let mut inner = handle.lock().map_err(|_| "wal lock poisoned".to_string())?;
+    let bytes =
+        std::fs::read(path).map_err(|e| format!("reading {} to compact: {e}", path.display()))?;
+    let scan = scan_frames(&bytes);
+    let mut cut = 0usize;
+    for frame in &scan.frames {
+        let epoch = std::str::from_utf8(frame)
+            .map_err(|e| e.to_string())
+            .and_then(JsonValue::parse)
+            .and_then(|doc| parse_wal_record(&doc))
+            .map(|record| record.epoch());
+        match epoch {
+            Ok(epoch) if epoch <= retain_after => cut += FRAME_HEADER_LEN + frame.len(),
+            _ => break,
+        }
+    }
+    if cut == 0 {
+        return Ok(0);
+    }
+    let retained = &bytes[cut..];
+    inner
+        .file
+        .set_len(0)
+        .map_err(|e| format!("truncating {} to compact: {e}", path.display()))?;
+    inner
+        .file
+        .write_all(retained)
+        .map_err(|e| format!("rewriting {} after compaction: {e}", path.display()))?;
+    if durable {
+        inner
+            .file
+            .sync_data()
+            .map_err(|e| format!("syncing the compacted {}: {e}", path.display()))?;
+    }
+    Ok(cut as u64)
 }

@@ -161,9 +161,13 @@
 //!   number of epochs.
 //! * **Quarantine** — [`ServiceSession::step_with_deadline`] runs the
 //!   epoch under `catch_unwind`; a panicking solve restores the session
-//!   from its pre-step snapshot and returns
-//!   [`ServiceError::Quarantined`] naming the poisoned batch's panic. The
-//!   session stays fully operational; only the offending batch is lost.
+//!   from its pre-step snapshot, appends a rollback tombstone to any
+//!   attached journal (so crash recovery never resurrects the poisoned
+//!   batch) and returns [`ServiceError::Quarantined`] naming the panic.
+//!   The session stays fully operational; only the offending batch is
+//!   lost. The pre-step snapshot costs one serialization of the session
+//!   per epoch, so the async frontend applies it only to budgeted epochs
+//!   unless [`ServicePolicy::quarantine`] opts every epoch in.
 //!
 //! Durability degrades independently in `netsched-persist`: injected or
 //! real fsync failures retry with backoff and then **downgrade** the
@@ -224,4 +228,6 @@ pub use session::{
     Certificate, CompactionReport, EpochJournal, EpochStats, Placement, ResolveMode, ScheduleDelta,
     ScheduledDemand, ServiceSession,
 };
-pub use snapshot::{parse_wal_record, wal_record, SNAPSHOT_FORMAT_VERSION};
+pub use snapshot::{
+    parse_wal_record, wal_record, wal_rollback_record, WalRecord, SNAPSHOT_FORMAT_VERSION,
+};

@@ -83,6 +83,14 @@ pub struct ServicePolicy {
     /// The budget epochs admitting latency-sensitive submissions run
     /// under; bulk-only epochs always run unlimited.
     pub latency_budget: BudgetSpec,
+    /// Run **every** epoch — including unlimited bulk-only ones — through
+    /// [`ServiceSession::step_with_deadline`] so a panicking solve is
+    /// quarantined instead of poisoning the session. Costs one pre-step
+    /// serialization of the session per epoch, so it is opt-in; with the
+    /// default `false`, only budgeted epochs (which pay that cost anyway)
+    /// get panic isolation and bulk-only epochs take the plain
+    /// [`step`](ServiceSession::step) path.
+    pub quarantine: bool,
 }
 
 /// Outcome delivered to every submission folded into an epoch.
@@ -131,10 +139,13 @@ impl State {
     /// Drains the queue and steps one epoch over the folded batch,
     /// resolving every drained slot with the shared outcome. The epoch
     /// runs under the policy's latency budget when any drained submission
-    /// is latency-sensitive (bulk-only epochs certify fully), and always
-    /// through [`ServiceSession::step_with_deadline`] — so a panicking
+    /// is latency-sensitive (bulk-only epochs certify fully). Budgeted
+    /// epochs — and every epoch under a `quarantine: true` policy — go
+    /// through [`ServiceSession::step_with_deadline`], so a panicking
     /// solve quarantines the folded batch instead of poisoning the
-    /// session.
+    /// session; unbudgeted epochs under the default policy take the plain
+    /// [`step`](ServiceSession::step) path and skip its per-epoch
+    /// pre-step serialization.
     fn drive(&mut self) -> EpochResult {
         let pending: Vec<Pending> = self.queue.drain(..).collect();
         self.queued_expiries.clear();
@@ -150,10 +161,12 @@ impl State {
         } else {
             Budget::unlimited()
         };
-        let outcome: EpochResult = self
-            .session
-            .step_with_deadline(&batch, &budget)
-            .map(Arc::new);
+        let outcome: EpochResult = if budget.is_limited() || self.policy.quarantine {
+            self.session.step_with_deadline(&batch, &budget)
+        } else {
+            self.session.step(&batch)
+        }
+        .map(Arc::new);
         for p in &pending {
             p.slot.fill(outcome.clone());
         }
@@ -440,6 +453,51 @@ mod tests {
         assert!(service
             .submit(vec![valid_arrival(), DemandEvent::Expire(DemandTicket(0))])
             .is_ok());
+    }
+
+    #[test]
+    fn quarantine_policy_isolates_a_panicking_solve() {
+        let mut problem = LineProblem::new(20, 2);
+        problem
+            .add_demand(0, 9, 4, 3.0, 1.0, vec![NetworkId::new(0)])
+            .unwrap();
+        let mut session = ServiceSession::for_line(&problem, AlgorithmConfig::deterministic(0.1));
+        session.inject_solve_panics(vec![1]);
+        let service = Service::with_policy(
+            session,
+            ServicePolicy {
+                quarantine: true,
+                ..ServicePolicy::default()
+            },
+        );
+        service.submit(vec![valid_arrival()]).unwrap();
+        match service.flush() {
+            Err(ServiceError::Quarantined { .. }) => {}
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        // The session survived the poisoned batch: it still answers
+        // queries and accepts new submissions (the armed fault stays
+        // armed, so the next epoch would quarantine again — the point is
+        // the service is degraded, not down).
+        assert_eq!(service.with_session(|s| s.epoch()), 0);
+        assert!(service.submit(vec![valid_arrival()]).is_ok());
+    }
+
+    #[test]
+    fn default_policy_drives_unbudgeted_epochs_without_isolation() {
+        // The default policy takes the plain `step` path for bulk-only
+        // epochs — no pre-step snapshot, so an armed panic propagates
+        // instead of being quarantined.
+        let mut problem = LineProblem::new(20, 2);
+        problem
+            .add_demand(0, 9, 4, 3.0, 1.0, vec![NetworkId::new(0)])
+            .unwrap();
+        let mut session = ServiceSession::for_line(&problem, AlgorithmConfig::deterministic(0.1));
+        session.inject_solve_panics(vec![1]);
+        let service = Service::new(session);
+        service.submit(vec![valid_arrival()]).unwrap();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| service.flush()));
+        assert!(outcome.is_err(), "plain step must not swallow the panic");
     }
 
     #[test]

@@ -138,6 +138,16 @@ impl ResolveMode {
 pub trait EpochJournal: Send {
     /// Records the validated batch of the epoch about to execute.
     fn record(&mut self, epoch: u64, batch: &[DemandEvent]) -> Result<(), String>;
+
+    /// Records that the batch journaled for `epoch` was **quarantined**
+    /// and never executed, so replay must skip its record. Called by
+    /// [`ServiceSession::step_with_deadline`] after a quarantine restores
+    /// the session; the default implementation is a no-op for journals
+    /// without rollback semantics.
+    fn record_rollback(&mut self, epoch: u64) -> Result<(), String> {
+        let _ = epoch;
+        Ok(())
+    }
 }
 
 /// What [`ServiceSession::compact`] dropped; see its docs for the policy.
@@ -583,11 +593,15 @@ impl ServiceSession {
     /// [`ServiceError::Quarantined`], and the session remains fully
     /// operational. The pre-step snapshot costs one serialization of the
     /// session per call; latency-sensitive tiers pay it in exchange for
-    /// not losing the session to a poisoned batch. Note the write-ahead
+    /// not losing the session to a poisoned batch. The write-ahead
     /// journal records the batch *before* the solve, so a quarantined
-    /// batch leaves a dead record in the log; replay-side recovery simply
-    /// re-runs it (engine panics are not reachable from validated batches
-    /// — the hook exists for fault injection).
+    /// batch leaves a dead record in the log; after the restore a
+    /// **rollback tombstone** ([`EpochJournal::record_rollback`]) is
+    /// appended so replay skips it. The tombstone is best-effort: if the
+    /// append itself fails, the next accepted batch re-uses the same
+    /// epoch number and replay lets the *last* record of a duplicated
+    /// epoch supersede the dead one (engine panics are not reachable from
+    /// validated batches — the hook exists for fault injection).
     pub fn step_with_deadline(
         &mut self,
         batch: &[DemandEvent],
@@ -617,6 +631,14 @@ impl ServiceSession {
                 restored.panic_epochs = panic_epochs;
                 restored.pending_anytime = pending_anytime;
                 *self = restored;
+                // The journal recorded the batch for epoch + 1 before the
+                // solve; tombstone it so replay does not resurrect the
+                // quarantined batch. Best-effort: a failed tombstone is
+                // covered by replay's duplicate-epoch supersede rule.
+                let dead_epoch = self.epoch + 1;
+                if let Some(journal) = &mut self.journal {
+                    let _ = journal.record_rollback(dead_epoch);
+                }
                 Err(ServiceError::Quarantined { reason })
             }
         }

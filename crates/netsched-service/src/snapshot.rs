@@ -197,6 +197,35 @@ impl FromJson for ResolveMode {
     }
 }
 
+/// One decoded write-ahead log record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A batch record: the epoch the batch advances the session to, plus
+    /// the batch's events in order.
+    Batch {
+        /// The epoch the batch advances the session to.
+        epoch: u64,
+        /// The batch's events, in order.
+        batch: Vec<DemandEvent>,
+    },
+    /// A rollback tombstone: the batch journaled for `epoch` was
+    /// quarantined and never executed. Replay must skip the preceding
+    /// batch record(s) carrying this epoch.
+    Rollback {
+        /// The epoch whose journaled batch was rolled back.
+        epoch: u64,
+    },
+}
+
+impl WalRecord {
+    /// The epoch the record refers to, for either variant.
+    pub fn epoch(&self) -> u64 {
+        match self {
+            WalRecord::Batch { epoch, .. } | WalRecord::Rollback { epoch } => *epoch,
+        }
+    }
+}
+
 /// Builds one write-ahead log record: the epoch the batch advances the
 /// session to, plus the batch's events in order.
 pub fn wal_record(epoch: u64, batch: &[DemandEvent]) -> JsonValue {
@@ -209,8 +238,19 @@ pub fn wal_record(epoch: u64, batch: &[DemandEvent]) -> JsonValue {
     ])
 }
 
-/// Parses one write-ahead log record back into `(epoch, batch)`.
-pub fn parse_wal_record(value: &JsonValue) -> Result<(u64, Vec<DemandEvent>), String> {
+/// Builds one rollback tombstone: the batch journaled for `epoch` was
+/// quarantined and its record must not replay.
+pub fn wal_rollback_record(epoch: u64) -> JsonValue {
+    JsonValue::object(vec![("rollback", JsonValue::u64_value(epoch))])
+}
+
+/// Parses one write-ahead log record (batch or rollback tombstone).
+pub fn parse_wal_record(value: &JsonValue) -> Result<WalRecord, String> {
+    if let Ok(rollback) = value.field("rollback") {
+        return Ok(WalRecord::Rollback {
+            epoch: rollback.as_u64()?,
+        });
+    }
     let epoch = value.field("epoch")?.as_u64()?;
     let batch = value
         .field("batch")?
@@ -218,7 +258,7 @@ pub fn parse_wal_record(value: &JsonValue) -> Result<(u64, Vec<DemandEvent>), St
         .iter()
         .map(DemandEvent::from_json)
         .collect::<Result<Vec<_>, _>>()?;
-    Ok((epoch, batch))
+    Ok(WalRecord::Batch { epoch, batch })
 }
 
 #[cfg(test)]
@@ -246,9 +286,18 @@ mod tests {
             DemandEvent::Expire(DemandTicket(u64::MAX)),
         ];
         let text = wal_record(17, &batch).render();
-        let (epoch, back) = parse_wal_record(&JsonValue::parse(&text).unwrap()).unwrap();
-        assert_eq!(epoch, 17);
-        assert_eq!(back, batch);
+        match parse_wal_record(&JsonValue::parse(&text).unwrap()).unwrap() {
+            WalRecord::Batch { epoch, batch: back } => {
+                assert_eq!(epoch, 17);
+                assert_eq!(back, batch);
+            }
+            other => panic!("expected a batch record, got {other:?}"),
+        }
+        let text = wal_rollback_record(17).render();
+        assert_eq!(
+            parse_wal_record(&JsonValue::parse(&text).unwrap()).unwrap(),
+            WalRecord::Rollback { epoch: 17 }
+        );
     }
 
     #[test]

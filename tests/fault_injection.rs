@@ -16,7 +16,9 @@
 //!   retry loop, each downgrade operator-visible as a [`DegradeEvent`].
 //! * **Injected solve panics** are quarantined by
 //!   [`step_with_deadline`](netsched_service::ServiceSession::step_with_deadline):
-//!   the session restores from its pre-step structures and keeps
+//!   the session restores from its pre-step structures, tombstones the
+//!   dead write-ahead record (replay skips it — or, if the tombstone
+//!   append fails too, the retried epoch supersedes it) and keeps
 //!   serving.
 //!
 //! A final scenario combines injected faults with deadline-bounded
@@ -258,6 +260,86 @@ fn quarantine_through_the_durable_tier_keeps_serving() {
         .step(&[arrival(9)])
         .expect("tier serves after quarantine");
     assert_eq!(session.session().epoch(), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn quarantined_batches_never_resurrect_across_a_crash() {
+    // The write-ahead journal records a batch before its solve, so a
+    // quarantine leaves a dead record in the log. The rollback tombstone
+    // appended after the restore must make replay skip it — and keep
+    // every acknowledged record after the retried epoch.
+    let dir = temp_dir();
+    let mut session = durable(&dir, Durability::Batch);
+    session.step(&[arrival(1)]).unwrap();
+    session.inject_faults(FaultPlan::none().panic_at_epochs([2]));
+    match session
+        .session_mut()
+        .step_with_deadline(&[arrival(5)], &Budget::unlimited())
+    {
+        Err(ServiceError::Quarantined { .. }) => {}
+        other => panic!("expected quarantine, got {other:?}"),
+    }
+    session.inject_faults(FaultPlan::none());
+    // The retry re-uses epoch 2 with a *different* batch, then a further
+    // acknowledged epoch lands on top.
+    session.step(&[arrival(9)]).expect("retry serves");
+    session.step(&[arrival(13)]).expect("later epoch serves");
+    let epoch = session.session().epoch();
+    let profit = session.session().profit();
+    let schedule = session.session().schedule();
+    drop(session); // the crash
+
+    let (recovered, report) = DurableSession::recover(&dir, PersistConfig::default()).unwrap();
+    assert_eq!(report.rolled_back_records, 1, "dead record not cancelled");
+    assert_eq!(report.dropped_records, 0, "acknowledged records dropped");
+    assert_eq!(report.final_epoch, epoch);
+    assert_eq!(recovered.session().epoch(), epoch);
+    assert_eq!(recovered.session().profit(), profit);
+    assert_eq!(recovered.session().schedule(), schedule);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn failed_tombstone_appends_fall_back_to_supersede_on_replay() {
+    // Worst case: the quarantine's own tombstone append fails too (the
+    // disk is misbehaving). The retried batch re-uses the dead record's
+    // epoch, and replay must let the last record of a duplicated epoch
+    // supersede the dead one.
+    let dir = temp_dir();
+    let mut session = durable(&dir, Durability::Epoch);
+    session.step(&[arrival(1)]).unwrap();
+    // Counters reset at installation: op 0 is the quarantined batch's
+    // (successful) record append, ops 1..=4 exhaust the tombstone's
+    // initial attempt + 3 retries.
+    session.inject_faults(
+        FaultPlan::none()
+            .panic_at_epochs([2])
+            .fail_appends([1, 2, 3, 4]),
+    );
+    match session
+        .session_mut()
+        .step_with_deadline(&[arrival(5)], &Budget::unlimited())
+    {
+        Err(ServiceError::Quarantined { .. }) => {}
+        other => panic!("expected quarantine, got {other:?}"),
+    }
+    assert!(
+        session.health().append_retries >= 4,
+        "tombstone append was expected to fail"
+    );
+    session.inject_faults(FaultPlan::none());
+    session.step(&[arrival(9)]).expect("retry serves");
+    session.step(&[arrival(13)]).expect("later epoch serves");
+    let epoch = session.session().epoch();
+    let profit = session.session().profit();
+    drop(session); // the crash
+
+    let (recovered, report) = DurableSession::recover(&dir, PersistConfig::default()).unwrap();
+    assert_eq!(report.rolled_back_records, 1, "dead record not superseded");
+    assert_eq!(report.dropped_records, 0);
+    assert_eq!(recovered.session().epoch(), epoch);
+    assert_eq!(recovered.session().profit(), profit);
     let _ = std::fs::remove_dir_all(&dir);
 }
 
