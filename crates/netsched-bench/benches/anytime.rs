@@ -176,9 +176,7 @@ fn run_budget(sc: &Scenario, rounds: Option<u64>) -> BudgetResult {
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let mode = if quick { "quick" } else { "full" };
-    let host_threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
+    let workers = rayon::current_num_threads();
 
     let epochs = if quick { 12 } else { 40 };
     let sc = scenario(epochs, 13);
@@ -207,17 +205,14 @@ fn main() {
         budgets_json.push((name.to_string(), result.to_json()));
     }
 
-    let json = JsonValue::object(vec![
-        ("bench", JsonValue::String("anytime".to_string())),
-        ("mode", JsonValue::String(mode.to_string())),
-        ("host_threads", JsonValue::int(host_threads)),
-        ("epochs", JsonValue::int(epochs)),
-        (
-            "round_budgets",
-            JsonValue::Object(budgets_json.into_iter().collect()),
-        ),
-    ]);
+    let mut entries = netsched_bench::host::meta("anytime", mode, workers);
+    entries.push(("epochs", JsonValue::int(epochs)));
+    entries.push((
+        "round_budgets",
+        JsonValue::Object(budgets_json.into_iter().collect()),
+    ));
+    let json = JsonValue::object(entries);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_anytime.json");
     std::fs::write(path, json.render()).expect("writing BENCH_anytime.json must succeed");
-    println!("\nwrote BENCH_anytime.json ({mode} mode, host threads: {host_threads})");
+    println!("\nwrote BENCH_anytime.json ({mode} mode, rayon workers: {workers})");
 }

@@ -275,9 +275,7 @@ fn run_restore(log_len: usize, cadence: u64, seed: u64) -> RestoreResult {
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let mode = if quick { "quick" } else { "full" };
-    let host_threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
+    let workers = rayon::current_num_threads();
 
     // ---- append throughput + snapshot cost ----
     let append_epochs = if quick { 12 } else { 50 };
@@ -334,26 +332,23 @@ fn main() {
         restore_json.push((format!("{log_len}"), result.to_json()));
     }
 
-    let json = JsonValue::object(vec![
-        ("bench", JsonValue::String("durability".to_string())),
-        ("mode", JsonValue::String(mode.to_string())),
-        ("host_threads", JsonValue::int(host_threads)),
-        (
-            "append",
-            JsonValue::Object(modes_json.into_iter().collect()),
-        ),
-        (
-            "restore",
-            JsonValue::object(vec![
-                ("snapshot_cadence", JsonValue::int(cadence as usize)),
-                (
-                    "log_lengths",
-                    JsonValue::Object(restore_json.into_iter().collect()),
-                ),
-            ]),
-        ),
-    ]);
+    let mut entries = netsched_bench::host::meta("durability", mode, workers);
+    entries.push((
+        "append",
+        JsonValue::Object(modes_json.into_iter().collect()),
+    ));
+    entries.push((
+        "restore",
+        JsonValue::object(vec![
+            ("snapshot_cadence", JsonValue::int(cadence as usize)),
+            (
+                "log_lengths",
+                JsonValue::Object(restore_json.into_iter().collect()),
+            ),
+        ]),
+    ));
+    let json = JsonValue::object(entries);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_durability.json");
     std::fs::write(path, json.render()).expect("writing BENCH_durability.json must succeed");
-    println!("\nwrote BENCH_durability.json ({mode} mode, host threads: {host_threads})");
+    println!("\nwrote BENCH_durability.json ({mode} mode, rayon workers: {workers})");
 }

@@ -441,13 +441,29 @@ fn run_warm(scenario: &Scenario, churn: f64, epochs: usize) -> WarmResult {
     }
 }
 
+/// Parses `--threads N` (0 = the shim's default worker count).
+fn thread_arg() -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            return args
+                .next()
+                .and_then(|n| n.parse().ok())
+                .expect("--threads takes a worker count");
+        }
+    }
+    0
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let epochs = if quick { 12 } else { 40 };
     let mode = if quick { "quick" } else { "full" };
-    let host_threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(thread_arg())
+        .build_global()
+        .ok();
+    let workers = rayon::current_num_threads();
 
     let mut scenarios_json: Vec<(String, JsonValue)> = Vec::new();
     for name in ["churn-line", "churn-tree"] {
@@ -487,21 +503,18 @@ fn main() {
         ));
     }
 
-    let json = JsonValue::object(vec![
-        ("bench", JsonValue::String("dynamic_serving".to_string())),
-        ("mode", JsonValue::String(mode.to_string())),
-        ("host_threads", JsonValue::int(host_threads)),
-        (
-            "scenarios",
-            JsonValue::Object(scenarios_json.into_iter().collect()),
-        ),
-    ]);
+    let mut entries = netsched_bench::host::meta("dynamic_serving", mode, workers);
+    entries.push((
+        "scenarios",
+        JsonValue::Object(scenarios_json.into_iter().collect()),
+    ));
+    let json = JsonValue::object(entries);
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),
         "/../../BENCH_dynamic_serving.json"
     );
     std::fs::write(path, json.render()).expect("writing BENCH_dynamic_serving.json must succeed");
-    println!("\nwrote BENCH_dynamic_serving.json ({mode} mode, host threads: {host_threads})");
+    println!("\nwrote BENCH_dynamic_serving.json ({mode} mode, rayon workers: {workers})");
 
     // ---- warm vs cold re-solve arm ----
     let mut warm_json: Vec<(String, JsonValue)> = Vec::new();
@@ -536,16 +549,13 @@ fn main() {
             )]),
         ));
     }
-    let json = JsonValue::object(vec![
-        ("bench", JsonValue::String("warm_resolve".to_string())),
-        ("mode", JsonValue::String(mode.to_string())),
-        ("host_threads", JsonValue::int(host_threads)),
-        (
-            "scenarios",
-            JsonValue::Object(warm_json.into_iter().collect()),
-        ),
-    ]);
+    let mut entries = netsched_bench::host::meta("warm_resolve", mode, workers);
+    entries.push((
+        "scenarios",
+        JsonValue::Object(warm_json.into_iter().collect()),
+    ));
+    let json = JsonValue::object(entries);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_warm_resolve.json");
     std::fs::write(path, json.render()).expect("writing BENCH_warm_resolve.json must succeed");
-    println!("\nwrote BENCH_warm_resolve.json ({mode} mode, host threads: {host_threads})");
+    println!("\nwrote BENCH_warm_resolve.json ({mode} mode, rayon workers: {workers})");
 }

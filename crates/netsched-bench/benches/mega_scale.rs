@@ -1,0 +1,213 @@
+//! Benchmark: the dynamic serving path at a 10⁵-demand live set.
+//!
+//! Replays the `mega-churn-line` / `mega-churn-tree` serving traces — 10⁵
+//! live demands over hundreds of networks, Poisson churn focused on a few
+//! hot shards per epoch — through one long-lived warm [`ServiceSession`]
+//! and reports what the million-demand scale push is accountable for:
+//!
+//! * **sustained epochs/sec** over the whole replay (splice + dirty-shard
+//!   CSR rebuild + warm re-solve per epoch), with the rebuild/solve split
+//!   from the session's own telemetry;
+//! * **bytes/demand** from the committed-bytes audit of every hot layer
+//!   (universe columns + paths, sharding/CSR/cross-group arenas, Fenwick
+//!   duals + raise records + replay stack) via
+//!   [`ServiceSession::memory_footprint`];
+//! * **peak RSS** (`VmHWM`) of the whole process, in the shared header.
+//!
+//! Results are written to `BENCH_mega_scale.json`. Run with `--quick` for
+//! the reduced CI configuration (a scaled-down live set; the committed
+//! artifact must come from a full-mode run) and `--threads N` to pin the
+//! rayon shim's worker count.
+
+use netsched_core::AlgorithmConfig;
+use netsched_service::{replay_trace, ResolveMode, ServiceSession};
+use netsched_workloads::json::JsonValue;
+use netsched_workloads::{
+    poisson_arrivals_line, poisson_arrivals_tree, scenario_by_name, ChurnSpec, Scenario,
+};
+use std::time::Instant;
+
+/// Parses `--threads N` (0 = the shim's default worker count).
+fn thread_arg() -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            return args
+                .next()
+                .and_then(|n| n.parse().ok())
+                .expect("--threads takes a worker count");
+        }
+    }
+    0
+}
+
+struct MegaResult {
+    live_demands: usize,
+    instances: usize,
+    epochs: usize,
+    events: usize,
+    replay_s: f64,
+    rebuild_s: f64,
+    solve_s: f64,
+    mean_dirty_shards: f64,
+    universe_bytes: usize,
+    conflict_bytes: usize,
+    warm_bytes: usize,
+}
+
+impl MegaResult {
+    fn total_bytes(&self) -> usize {
+        self.universe_bytes + self.conflict_bytes + self.warm_bytes
+    }
+
+    fn epochs_per_sec(&self) -> f64 {
+        self.epochs as f64 / self.replay_s
+    }
+
+    fn bytes_per_demand(&self) -> f64 {
+        self.total_bytes() as f64 / self.live_demands.max(1) as f64
+    }
+
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("live_demands", JsonValue::int(self.live_demands)),
+            ("instances", JsonValue::int(self.instances)),
+            ("epochs", JsonValue::int(self.epochs)),
+            ("events", JsonValue::int(self.events)),
+            (
+                "sustained_epochs_per_sec",
+                JsonValue::num(self.epochs_per_sec()),
+            ),
+            (
+                "mean_epoch_ms",
+                JsonValue::num(1e3 * self.replay_s / self.epochs as f64),
+            ),
+            (
+                "mean_rebuild_ms",
+                JsonValue::num(1e3 * self.rebuild_s / self.epochs as f64),
+            ),
+            (
+                "mean_solve_ms",
+                JsonValue::num(1e3 * self.solve_s / self.epochs as f64),
+            ),
+            ("mean_dirty_shards", JsonValue::num(self.mean_dirty_shards)),
+            ("universe_bytes", JsonValue::int(self.universe_bytes)),
+            ("conflict_bytes", JsonValue::int(self.conflict_bytes)),
+            ("warm_bytes", JsonValue::int(self.warm_bytes)),
+            ("total_bytes", JsonValue::int(self.total_bytes())),
+            ("bytes_per_demand", JsonValue::num(self.bytes_per_demand())),
+        ])
+    }
+}
+
+fn run_scenario(name: &str, quick: bool) -> MegaResult {
+    // Serving accuracy as in the dynamic_serving bench: the ε a serving
+    // tier would run at; the certificate suite pins correctness elsewhere.
+    let config = AlgorithmConfig::deterministic(0.25);
+    let mut scenario = scenario_by_name(name).expect("mega scenario registered");
+    let spec = {
+        let base = scenario.churn().expect("mega scenario has churn").clone();
+        ChurnSpec {
+            epochs: if quick { 6 } else { base.epochs },
+            ..base
+        }
+    };
+    // Quick mode scales the live set down so CI can afford the replay; the
+    // committed artifact comes from a full-mode run at the real size.
+    let (session, trace) = match &mut scenario {
+        Scenario::Line { workload, .. } => {
+            if quick {
+                workload.demands = 4_000;
+            }
+            let problem = workload.build().expect("mega line workload builds");
+            (
+                ServiceSession::for_line(&problem, config),
+                poisson_arrivals_line(workload, &spec),
+            )
+        }
+        Scenario::Tree { workload, .. } => {
+            if quick {
+                workload.demands = 4_000;
+            }
+            let problem = workload.build().expect("mega tree workload builds");
+            (
+                ServiceSession::for_tree(&problem, config),
+                poisson_arrivals_tree(workload, &spec),
+            )
+        }
+    };
+    let mut session = session.with_resolve_mode(ResolveMode::Warm);
+    session.step(&[]).expect("initial solve"); // warm-up, untimed
+
+    let start = Instant::now();
+    let deltas = replay_trace(&mut session, &trace).expect("trace replays");
+    let replay_s = start.elapsed().as_secs_f64();
+
+    let footprint = session.memory_footprint();
+    MegaResult {
+        live_demands: session.live_demands(),
+        instances: session.universe().num_instances(),
+        epochs: trace.batches.len(),
+        events: trace.num_events(),
+        replay_s,
+        rebuild_s: deltas.iter().map(|d| d.stats.rebuild_seconds).sum(),
+        solve_s: deltas.iter().map(|d| d.stats.solve_seconds).sum(),
+        mean_dirty_shards: deltas.iter().map(|d| d.stats.dirty_shards).sum::<usize>() as f64
+            / deltas.len() as f64,
+        universe_bytes: footprint.universe_bytes,
+        conflict_bytes: footprint.conflict_bytes,
+        warm_bytes: footprint.warm_bytes,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mode = if quick { "quick" } else { "full" };
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(thread_arg())
+        .build_global()
+        .ok();
+    let workers = rayon::current_num_threads();
+
+    let mut scenarios_json: Vec<(String, JsonValue)> = Vec::new();
+    for name in ["mega-churn-line", "mega-churn-tree"] {
+        println!("\nbenchmark group: mega_scale/{name}");
+        let result = run_scenario(name, quick);
+        println!(
+            "  live demands: {}   instances: {}   epochs: {}",
+            result.live_demands, result.instances, result.epochs
+        );
+        println!(
+            "  sustained {:>7.2} epochs/sec   epoch {:>9.3}ms (rebuild {:>7.3} + solve {:>8.3})   \
+             dirty shards {:>4.1}",
+            result.epochs_per_sec(),
+            1e3 * result.replay_s / result.epochs as f64,
+            1e3 * result.rebuild_s / result.epochs as f64,
+            1e3 * result.solve_s / result.epochs as f64,
+            result.mean_dirty_shards,
+        );
+        println!(
+            "  committed {:>6.1} MiB (universe {:.1} + conflict {:.1} + warm {:.1})   \
+             {:>6.0} bytes/demand",
+            result.total_bytes() as f64 / (1 << 20) as f64,
+            result.universe_bytes as f64 / (1 << 20) as f64,
+            result.conflict_bytes as f64 / (1 << 20) as f64,
+            result.warm_bytes as f64 / (1 << 20) as f64,
+            result.bytes_per_demand(),
+        );
+        scenarios_json.push((name.to_string(), result.to_json()));
+    }
+
+    let mut entries = netsched_bench::host::meta("mega_scale", mode, workers);
+    entries.push((
+        "scenarios",
+        JsonValue::Object(scenarios_json.into_iter().collect()),
+    ));
+    let json = JsonValue::object(entries);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mega_scale.json");
+    std::fs::write(path, json.render()).expect("writing BENCH_mega_scale.json must succeed");
+    println!(
+        "\nwrote BENCH_mega_scale.json ({mode} mode, rayon workers: {workers}, peak RSS {} kB)",
+        netsched_bench::host::peak_rss_kb()
+    );
+}

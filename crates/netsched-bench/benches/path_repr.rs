@@ -429,14 +429,12 @@ fn main() {
         r.print();
     }
 
-    let json = JsonValue::object(vec![
-        ("bench", JsonValue::String("path_repr".to_string())),
-        ("mode", JsonValue::String(mode.to_string())),
-        (
-            "scenarios",
-            JsonValue::object(results.iter().map(|r| (r.name, r.to_json())).collect()),
-        ),
-    ]);
+    let mut entries = netsched_bench::host::meta("path_repr", mode, rayon::current_num_threads());
+    entries.push((
+        "scenarios",
+        JsonValue::object(results.iter().map(|r| (r.name, r.to_json())).collect()),
+    ));
+    let json = JsonValue::object(entries);
     // Anchor at the workspace root regardless of the bench's working
     // directory, so CI and local runs agree on the artifact location.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_path_repr.json");

@@ -248,9 +248,9 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let sizes = if quick { 3 } else { 5 };
     let mode = if quick { "quick" } else { "full" };
-    let host_threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
+    // The sweep exercises every worker count in THREAD_COUNTS; the header
+    // records the widest one (per-thread timings carry the rest).
+    let workers = *THREAD_COUNTS.iter().max().unwrap();
 
     let results: Vec<ScenarioResult> = scenarios(quick)
         .iter()
@@ -260,24 +260,21 @@ fn main() {
         r.print();
     }
 
-    let json = JsonValue::object(vec![
-        ("bench", JsonValue::String("shard_scaling".to_string())),
-        ("mode", JsonValue::String(mode.to_string())),
-        ("host_threads", JsonValue::int(host_threads)),
-        (
-            "scenarios",
-            JsonValue::Object(
-                results
-                    .iter()
-                    .map(|r| (r.name.clone(), r.to_json()))
-                    .collect(),
-            ),
+    let mut entries = netsched_bench::host::meta("shard_scaling", mode, workers);
+    entries.push((
+        "scenarios",
+        JsonValue::Object(
+            results
+                .iter()
+                .map(|r| (r.name.clone(), r.to_json()))
+                .collect(),
         ),
-    ]);
+    ));
+    let json = JsonValue::object(entries);
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),
         "/../../BENCH_shard_scaling.json"
     );
     std::fs::write(path, json.render()).expect("writing BENCH_shard_scaling.json must succeed");
-    println!("\nwrote BENCH_shard_scaling.json ({mode} mode, host threads: {host_threads})");
+    println!("\nwrote BENCH_shard_scaling.json ({mode} mode, rayon workers: {workers})");
 }

@@ -60,6 +60,88 @@ pub mod measure {
     }
 }
 
+/// Host metadata recorded in every bench JSON header, so committed artifacts
+/// are interpretable without knowing the machine they ran on.
+pub mod host {
+    use netsched_workloads::json::JsonValue;
+
+    /// Logical CPUs visible to the process.
+    pub fn logical_cpus() -> usize {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    }
+
+    /// Physical cores: unique `(physical id, core id)` pairs from
+    /// `/proc/cpuinfo`, falling back to the logical count when the fields
+    /// are absent (VMs often omit them) or the file is unreadable.
+    pub fn physical_cores() -> usize {
+        let Ok(info) = std::fs::read_to_string("/proc/cpuinfo") else {
+            return logical_cpus();
+        };
+        let mut pairs = std::collections::BTreeSet::new();
+        let (mut package, mut core) = (None::<u64>, None::<u64>);
+        for line in info.lines() {
+            let mut parts = line.splitn(2, ':');
+            let key = parts.next().unwrap_or("").trim();
+            let value = parts.next().unwrap_or("").trim();
+            match key {
+                "physical id" => package = value.parse().ok(),
+                "core id" => core = value.parse().ok(),
+                "" => {
+                    if let (Some(p), Some(c)) = (package, core) {
+                        pairs.insert((p, c));
+                    }
+                    package = None;
+                    core = None;
+                }
+                _ => {}
+            }
+        }
+        if let (Some(p), Some(c)) = (package, core) {
+            pairs.insert((p, c));
+        }
+        if pairs.is_empty() {
+            logical_cpus()
+        } else {
+            pairs.len()
+        }
+    }
+
+    /// Peak resident set size of this process in KiB (`VmHWM` from
+    /// `/proc/self/status`); 0 when unavailable (non-Linux hosts).
+    pub fn peak_rss_kb() -> usize {
+        let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+            return 0;
+        };
+        status
+            .lines()
+            .find_map(|line| line.strip_prefix("VmHWM:"))
+            .and_then(|rest| rest.trim().trim_end_matches("kB").trim().parse().ok())
+            .unwrap_or(0)
+    }
+
+    /// The standard bench JSON header entries: bench name, mode, the rayon
+    /// worker count the run actually used (`host_threads` keeps its
+    /// historical key; workers beyond `physical_cores` measure shim
+    /// oversubscription, not hardware parallelism), the physical/logical
+    /// core counts and the process's peak RSS. Call this *after* the
+    /// measured work so the RSS high-water mark covers it, and splice the
+    /// entries at the front of the bench's top-level object so every
+    /// committed artifact carries the same provenance fields.
+    pub fn meta(bench: &str, mode: &str, rayon_workers: usize) -> Vec<(&'static str, JsonValue)> {
+        vec![
+            ("bench", JsonValue::String(bench.to_string())),
+            ("mode", JsonValue::String(mode.to_string())),
+            ("host_threads", JsonValue::int(rayon_workers)),
+            ("rayon_workers", JsonValue::int(rayon_workers)),
+            ("physical_cores", JsonValue::int(physical_cores())),
+            ("logical_cpus", JsonValue::int(logical_cpus())),
+            ("peak_rss_kb", JsonValue::int(peak_rss_kb())),
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::measure;

@@ -477,6 +477,21 @@ impl DualState {
         self.alpha.resize(new_len, 0.0);
     }
 
+    /// Heap bytes currently committed by the dual assignment (capacities,
+    /// not lengths) — the serving tier's bytes/demand audit.
+    pub fn committed_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut bytes = self.alpha.capacity() * size_of::<f64>()
+            + self.beta.capacity() * size_of::<NetworkDuals>();
+        for nd in &self.beta {
+            bytes += (nd.beta.tree.capacity() + nd.beta.dense.capacity()) * size_of::<f64>();
+            if let Some(w) = &nd.weighted {
+                bytes += (w.tree.capacity() + w.dense.capacity()) * size_of::<f64>();
+            }
+        }
+        bytes
+    }
+
     /// The dual objective `Σ_a α(a) + Σ_e β(e)` of the current assignment.
     pub fn objective(&self) -> f64 {
         self.alpha.iter().sum::<f64>() + self.beta.iter().map(|nd| nd.beta.total()).sum::<f64>()

@@ -53,34 +53,56 @@ use netsched_graph::{
 };
 use netsched_workloads::json::{FromJson, JsonValue, ToJson};
 
-/// The `β` contributions of one instance's raises: the exact amounts added
-/// to each edge of its own network, accumulated across repair epochs.
-#[derive(Debug, Clone)]
-struct RaiseRecord {
-    network: NetworkId,
-    beta: Vec<(EdgeId, f64)>,
-}
-
-impl Default for RaiseRecord {
-    fn default() -> Self {
-        Self {
-            network: NetworkId::new(0),
-            beta: Vec::new(),
-        }
-    }
-}
+/// Linked-arena sentinel: "no entry".
+const NIL: u32 = u32::MAX;
 
 /// The persisted solver state a warm re-solve resumes from; see the
 /// [module docs](self).
+///
+/// # Memory layout
+///
+/// The raise records and the replay stack — the two structures that used
+/// to be vectors-of-vectors — live in flat SoA arenas keyed by `u32`
+/// indices:
+///
+/// * **Raise records**: per-instance columns `rec_network` / `rec_head` /
+///   `rec_tail` point into a shared `(beta_edge, beta_amount, beta_next)`
+///   linked arena. Appending a raise entry reuses a freelist slot, so
+///   steady-state repair epochs never allocate; an expiring instance's
+///   chain is point-cleared and returned to the freelist.
+/// * **Replay stack**: `stack_items` + `stack_offsets` (one `[start, end)`
+///   range per MIS, oldest first). Splices compact both in place.
 #[derive(Debug, Clone)]
 pub struct WarmState {
     rule: RaiseRule,
     duals: DualState,
-    /// Per-instance raise bookkeeping, indexed by current instance id.
-    records: Vec<RaiseRecord>,
-    /// The surviving first-phase stack (oldest MIS first) — the selection
-    /// seed the second phase replays.
-    stack: Vec<Vec<InstanceId>>,
+    /// Per instance: the network its recorded raises live on.
+    rec_network: Vec<NetworkId>,
+    /// Per instance: head of its `β` entry chain in the arena (`NIL` =
+    /// no recorded raises).
+    rec_head: Vec<u32>,
+    /// Per instance: tail of its chain (appends preserve insertion order,
+    /// so point-clears subtract in exactly the order raises accumulated).
+    rec_tail: Vec<u32>,
+    /// Arena column: the edge of each `β` entry.
+    beta_edge: Vec<EdgeId>,
+    /// Arena column: the accumulated amount of each `β` entry.
+    beta_amount: Vec<f64>,
+    /// Arena column: next entry of the owning chain (`NIL` = end); doubles
+    /// as the freelist link for dead slots.
+    beta_next: Vec<u32>,
+    /// Head of the arena freelist (`NIL` = arena is dense).
+    free_head: u32,
+    /// The surviving first-phase stack, flattened (oldest MIS first) — the
+    /// selection seed the second phase replays.
+    stack_items: Vec<InstanceId>,
+    /// MIS `m` of the stack is `stack_items[stack_offsets[m] ..
+    /// stack_offsets[m + 1]]`.
+    stack_offsets: Vec<u32>,
+    /// Splice scratch: newest-occurrence marks (per new instance id).
+    seen: Vec<bool>,
+    /// Splice scratch: per stack item, survives-the-splice flag.
+    keep: Vec<bool>,
     /// Per-instance lower bound on the constraint LHS, exact as of the
     /// instance's last visit by a repair pass (later raises only grow the
     /// true LHS, so the cache never over-estimates).
@@ -123,8 +145,17 @@ impl WarmState {
         let mut state = Self {
             rule,
             duals: DualState::new(universe, rule),
-            records: vec![RaiseRecord::default(); n],
-            stack: Vec::new(),
+            rec_network: vec![NetworkId::new(0); n],
+            rec_head: vec![NIL; n],
+            rec_tail: vec![NIL; n],
+            beta_edge: Vec::new(),
+            beta_amount: Vec::new(),
+            beta_next: Vec::new(),
+            free_head: NIL,
+            stack_items: Vec::new(),
+            stack_offsets: vec![0],
+            seen: Vec::new(),
+            keep: Vec::new(),
             lhs: vec![0.0; n],
             eligible,
             rel_height,
@@ -164,7 +195,96 @@ impl WarmState {
     /// construction).
     #[inline]
     pub fn stack_mass(&self) -> usize {
-        self.stack.iter().map(Vec::len).sum()
+        self.stack_items.len()
+    }
+
+    /// The number of instances this state tracks (one record per
+    /// instance of the spliced universe).
+    #[inline]
+    fn instance_count(&self) -> usize {
+        self.rec_head.len()
+    }
+
+    /// MIS sets on the persisted replay stack.
+    #[inline]
+    fn num_mises(&self) -> usize {
+        self.stack_offsets.len() - 1
+    }
+
+    /// MIS `m` of the replay stack (oldest first).
+    #[inline]
+    fn mis(&self, m: usize) -> &[InstanceId] {
+        &self.stack_items[self.stack_offsets[m] as usize..self.stack_offsets[m + 1] as usize]
+    }
+
+    /// Appends one MIS to the replay stack (no per-MIS allocation once
+    /// the flat arena has warmed up).
+    #[inline]
+    fn push_mis(&mut self, mis: &[InstanceId]) {
+        self.stack_items.extend_from_slice(mis);
+        self.stack_offsets.push(self.stack_items.len() as u32);
+    }
+
+    /// Allocates one `β` arena slot (freelist first, then growth).
+    fn alloc_beta(&mut self, edge: EdgeId, amount: f64) -> u32 {
+        if self.free_head != NIL {
+            let slot = self.free_head;
+            self.free_head = self.beta_next[slot as usize];
+            self.beta_edge[slot as usize] = edge;
+            self.beta_amount[slot as usize] = amount;
+            self.beta_next[slot as usize] = NIL;
+            slot
+        } else {
+            let slot = self.beta_edge.len() as u32;
+            self.beta_edge.push(edge);
+            self.beta_amount.push(amount);
+            self.beta_next.push(NIL);
+            slot
+        }
+    }
+
+    /// Accumulates a raise of `per_edge` on every edge of `pi` into
+    /// instance `d`'s record chain, so a long-lived instance's record
+    /// stays `O(|π|)` no matter how many repair epochs re-raise it; the
+    /// point-clear subtracts the running totals.
+    fn record_raise(&mut self, d: InstanceId, network: NetworkId, pi: &[EdgeId], per_edge: f64) {
+        self.rec_network[d.index()] = network;
+        'edges: for &e in pi {
+            let mut cur = self.rec_head[d.index()];
+            while cur != NIL {
+                if self.beta_edge[cur as usize] == e {
+                    self.beta_amount[cur as usize] += per_edge;
+                    continue 'edges;
+                }
+                cur = self.beta_next[cur as usize];
+            }
+            let slot = self.alloc_beta(e, per_edge);
+            match self.rec_tail[d.index()] {
+                NIL => self.rec_head[d.index()] = slot,
+                tail => self.beta_next[tail as usize] = slot,
+            }
+            self.rec_tail[d.index()] = slot;
+        }
+    }
+
+    /// Heap bytes currently committed by this state's arenas and caches
+    /// (capacities, not lengths) — the serving tier's bytes/demand audit.
+    pub fn committed_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.duals.committed_bytes()
+            + self.rec_network.capacity() * size_of::<NetworkId>()
+            + (self.rec_head.capacity() + self.rec_tail.capacity()) * size_of::<u32>()
+            + self.beta_edge.capacity() * size_of::<EdgeId>()
+            + self.beta_amount.capacity() * size_of::<f64>()
+            + self.beta_next.capacity() * size_of::<u32>()
+            + self.stack_items.capacity() * size_of::<InstanceId>()
+            + self.stack_offsets.capacity() * size_of::<u32>()
+            + self.seen.capacity()
+            + self.keep.capacity()
+            + (self.lhs.capacity() + self.rel_height.capacity() + self.shard_min.capacity())
+                * size_of::<f64>()
+            + self.eligible.capacity()
+            + self.pending_dirty.capacity()
     }
 
     /// Recomputes one network's λ minimum from the cached LHS values.
@@ -193,10 +313,10 @@ impl WarmState {
     /// [`DualState::validate_shape`] for the dual-side checks.
     pub fn validate_shape(&self, universe: &DemandInstanceUniverse) -> Result<(), String> {
         let n = universe.num_instances();
-        if self.records.len() != n {
+        if self.instance_count() != n {
             return Err(format!(
                 "warm state has {} instance records, universe has {n} instances",
-                self.records.len()
+                self.instance_count()
             ));
         }
         if self.pending_dirty.len() != universe.num_networks() {
@@ -206,23 +326,21 @@ impl WarmState {
                 universe.num_networks()
             ));
         }
-        for record in &self.records {
-            if record.network.index() >= universe.num_networks() {
+        for network in &self.rec_network {
+            if network.index() >= universe.num_networks() {
                 return Err(format!(
                     "raise record names network {} of a {}-network universe",
-                    record.network.index(),
+                    network.index(),
                     universe.num_networks()
                 ));
             }
         }
-        for mis in &self.stack {
-            for d in mis {
-                if d.index() >= n {
-                    return Err(format!(
-                        "stack names instance {} of a {n}-instance universe",
-                        d.index()
-                    ));
-                }
+        for &d in &self.stack_items {
+            if d.index() >= n {
+                return Err(format!(
+                    "stack names instance {} of a {n}-instance universe",
+                    d.index()
+                ));
             }
         }
         self.duals.validate_shape(universe)
@@ -248,17 +366,37 @@ impl WarmState {
     pub fn splice(&mut self, universe: &DemandInstanceUniverse, delta: &UniverseDelta) {
         assert_eq!(
             delta.old_num_instances(),
-            self.records.len(),
+            self.instance_count(),
             "warm state spliced against a delta of a different universe"
         );
         let n_new = universe.num_instances();
+        let first_added = delta.first_added();
+        let remap = delta.instance_remap();
+        // Survivors form a prefix of the new id space; no removals means
+        // the remap is the identity on everything that existed before.
+        let has_removals = first_added < delta.old_num_instances();
 
-        // 1. Point-clear the removed instances' β contributions.
-        for old in delta.removed_instances() {
-            let record = std::mem::take(&mut self.records[old.index()]);
-            for (edge, amount) in record.beta {
-                self.duals
-                    .subtract_beta(universe, record.network, edge, amount);
+        if has_removals {
+            // 1. Point-clear the removed instances' β contributions and
+            //    return their chains to the freelist. The chain walks from
+            //    head to tail, so the subtracts happen in exactly the order
+            //    the raises accumulated — the float behavior of the old
+            //    per-record vector is preserved bit for bit.
+            for old in delta.removed_instances() {
+                let network = self.rec_network[old.index()];
+                let mut cur = self.rec_head[old.index()];
+                while cur != NIL {
+                    let next = self.beta_next[cur as usize];
+                    self.duals.subtract_beta(
+                        universe,
+                        network,
+                        self.beta_edge[cur as usize],
+                        self.beta_amount[cur as usize],
+                    );
+                    self.beta_next[cur as usize] = self.free_head;
+                    self.free_head = cur;
+                    cur = next;
+                }
             }
         }
 
@@ -266,42 +404,84 @@ impl WarmState {
         self.duals
             .compact_alpha(delta.demand_remap(), universe.num_demands());
 
-        // 3. Renumber the per-instance vectors; arrivals get fresh entries.
-        let old_records = std::mem::take(&mut self.records);
-        let old_lhs = std::mem::take(&mut self.lhs);
-        let old_eligible = std::mem::take(&mut self.eligible);
-        let old_rel = std::mem::take(&mut self.rel_height);
-        self.records = vec![RaiseRecord::default(); n_new];
-        self.lhs = vec![0.0; n_new];
-        self.eligible = vec![false; n_new];
-        self.rel_height = vec![0.0; n_new];
-        for (old, record) in old_records.into_iter().enumerate() {
-            if let Some(new) = delta.map_instance(InstanceId::new(old)) {
-                self.records[new.index()] = record;
-                self.lhs[new.index()] = old_lhs[old];
-                self.eligible[new.index()] = old_eligible[old];
-                self.rel_height[new.index()] = old_rel[old];
+        // 3. Renumber the per-instance columns in place. The remap is
+        //    monotone on survivors (new ≤ old), so a single forward pass
+        //    compacts every column without scratch; arrivals then extend
+        //    the columns with fresh entries.
+        if has_removals {
+            for (old, &new) in remap.iter().enumerate() {
+                if new == u32::MAX {
+                    continue;
+                }
+                let new = new as usize;
+                self.rec_network[new] = self.rec_network[old];
+                self.rec_head[new] = self.rec_head[old];
+                self.rec_tail[new] = self.rec_tail[old];
+                self.lhs[new] = self.lhs[old];
+                self.eligible[new] = self.eligible[old];
+                self.rel_height[new] = self.rel_height[old];
             }
         }
-        for d in delta.first_added()..n_new {
+        self.rec_network.truncate(first_added);
+        self.rec_network.resize(n_new, NetworkId::new(0));
+        self.rec_head.truncate(first_added);
+        self.rec_head.resize(n_new, NIL);
+        self.rec_tail.truncate(first_added);
+        self.rec_tail.resize(n_new, NIL);
+        self.lhs.truncate(first_added);
+        self.lhs.resize(n_new, 0.0);
+        self.eligible.truncate(first_added);
+        self.eligible.resize(n_new, false);
+        self.rel_height.truncate(first_added);
+        self.rel_height.resize(n_new, 0.0);
+        for d in first_added..n_new {
             let rel = DualState::max_relative_height(universe, InstanceId::new(d));
             self.rel_height[d] = rel;
             self.eligible[d] = rel <= 1.0 + EPS;
         }
 
-        // 4. Renumber the stack, keeping only the newest occurrence.
-        let mut seen = vec![false; n_new];
-        for mis in self.stack.iter_mut().rev() {
-            mis.retain_mut(|d| match delta.map_instance(*d) {
-                Some(new) if !seen[new.index()] => {
-                    seen[new.index()] = true;
-                    *d = new;
-                    true
+        // 4. Renumber the stack, keeping only the newest occurrence (an
+        //    older duplicate below a newer one can never commit in the
+        //    second phase, since tracker loads only grow). Pass one walks
+        //    newest → oldest marking keepers; pass two compacts forward in
+        //    place (the write cursor never passes the read cursor).
+        self.seen.clear();
+        self.seen.resize(n_new, false);
+        self.keep.clear();
+        self.keep.resize(self.stack_items.len(), false);
+        let num_mises = self.num_mises();
+        for m in (0..num_mises).rev() {
+            for i in self.stack_offsets[m] as usize..self.stack_offsets[m + 1] as usize {
+                let new = remap[self.stack_items[i].index()];
+                if new != u32::MAX && !self.seen[new as usize] {
+                    self.seen[new as usize] = true;
+                    self.keep[i] = true;
                 }
-                _ => false,
-            });
+            }
         }
-        self.stack.retain(|mis| !mis.is_empty());
+        let mut iw = 0usize;
+        let mut ow = 0usize;
+        for m in 0..num_mises {
+            let (s, e) = (
+                self.stack_offsets[m] as usize,
+                self.stack_offsets[m + 1] as usize,
+            );
+            let start_iw = iw;
+            for i in s..e {
+                if self.keep[i] {
+                    self.stack_items[iw] =
+                        InstanceId::new(remap[self.stack_items[i].index()] as usize);
+                    iw += 1;
+                }
+            }
+            if iw > start_iw {
+                self.stack_offsets[ow] = start_iw as u32;
+                ow += 1;
+            }
+        }
+        self.stack_offsets[ow] = iw as u32;
+        self.stack_offsets.truncate(ow + 1);
+        self.stack_items.truncate(iw);
 
         // 5. Accumulate the dirt for the next repair.
         for (pending, &dirty) in self.pending_dirty.iter_mut().zip(delta.dirty()) {
@@ -312,33 +492,32 @@ impl WarmState {
 
 impl ToJson for WarmState {
     fn to_json(&self) -> JsonValue {
-        let records = self
-            .records
-            .iter()
-            .map(|r| {
+        let records = (0..self.instance_count())
+            .map(|d| {
+                let mut beta = Vec::new();
+                let mut cur = self.rec_head[d];
+                while cur != NIL {
+                    beta.push(JsonValue::Array(vec![
+                        JsonValue::int(self.beta_edge[cur as usize].index()),
+                        JsonValue::num(self.beta_amount[cur as usize]),
+                    ]));
+                    cur = self.beta_next[cur as usize];
+                }
                 JsonValue::object(vec![
-                    ("network", JsonValue::int(r.network.index())),
-                    (
-                        "beta",
-                        JsonValue::Array(
-                            r.beta
-                                .iter()
-                                .map(|&(e, amount)| {
-                                    JsonValue::Array(vec![
-                                        JsonValue::int(e.index()),
-                                        JsonValue::num(amount),
-                                    ])
-                                })
-                                .collect(),
-                        ),
-                    ),
+                    ("network", JsonValue::int(self.rec_network[d].index())),
+                    ("beta", JsonValue::Array(beta)),
                 ])
             })
             .collect();
-        let stack = self
-            .stack
-            .iter()
-            .map(|mis| JsonValue::Array(mis.iter().map(|d| JsonValue::int(d.index())).collect()))
+        let stack = (0..self.num_mises())
+            .map(|m| {
+                JsonValue::Array(
+                    self.mis(m)
+                        .iter()
+                        .map(|d| JsonValue::int(d.index()))
+                        .collect(),
+                )
+            })
             .collect();
         // `+∞` (a network with no eligible instances) is not a JSON number;
         // it travels as `null`.
@@ -395,40 +574,43 @@ fn bool_from_json(value: &JsonValue) -> Result<bool, String> {
 
 impl FromJson for WarmState {
     fn from_json(value: &JsonValue) -> Result<Self, String> {
-        let records = value
-            .field("records")?
-            .as_array()?
-            .iter()
-            .map(|r| {
-                let beta = r
-                    .field("beta")?
-                    .as_array()?
-                    .iter()
-                    .map(|pair| {
-                        let pair = pair.as_array()?;
-                        if pair.len() != 2 {
-                            return Err("raise record entries are [edge, amount] pairs".into());
-                        }
-                        Ok((EdgeId::new(pair[0].as_usize()?), pair[1].as_f64()?))
-                    })
-                    .collect::<Result<Vec<_>, String>>()?;
-                Ok(RaiseRecord {
-                    network: NetworkId::new(r.field("network")?.as_usize()?),
-                    beta,
-                })
-            })
-            .collect::<Result<Vec<_>, String>>()?;
-        let stack = value
-            .field("stack")?
-            .as_array()?
-            .iter()
-            .map(|mis| {
-                mis.as_array()?
-                    .iter()
-                    .map(|d| Ok(InstanceId::new(d.as_usize()?)))
-                    .collect::<Result<Vec<_>, String>>()
-            })
-            .collect::<Result<Vec<_>, String>>()?;
+        let record_rows = value.field("records")?.as_array()?;
+        let mut rec_network = Vec::with_capacity(record_rows.len());
+        let mut rec_head = Vec::with_capacity(record_rows.len());
+        let mut rec_tail = Vec::with_capacity(record_rows.len());
+        let mut beta_edge = Vec::new();
+        let mut beta_amount = Vec::new();
+        let mut beta_next = Vec::new();
+        for r in record_rows {
+            rec_network.push(NetworkId::new(r.field("network")?.as_usize()?));
+            let mut head = NIL;
+            let mut tail = NIL;
+            for pair in r.field("beta")?.as_array()? {
+                let pair = pair.as_array()?;
+                if pair.len() != 2 {
+                    return Err("raise record entries are [edge, amount] pairs".into());
+                }
+                let slot = beta_edge.len() as u32;
+                beta_edge.push(EdgeId::new(pair[0].as_usize()?));
+                beta_amount.push(pair[1].as_f64()?);
+                beta_next.push(NIL);
+                match tail {
+                    NIL => head = slot,
+                    t => beta_next[t as usize] = slot,
+                }
+                tail = slot;
+            }
+            rec_head.push(head);
+            rec_tail.push(tail);
+        }
+        let mut stack_items = Vec::new();
+        let mut stack_offsets = vec![0u32];
+        for mis in value.field("stack")?.as_array()? {
+            for d in mis.as_array()? {
+                stack_items.push(InstanceId::new(d.as_usize()?));
+            }
+            stack_offsets.push(stack_items.len() as u32);
+        }
         let floats = |name: &str| -> Result<Vec<f64>, String> {
             value
                 .field(name)?
@@ -457,8 +639,17 @@ impl FromJson for WarmState {
         let state = Self {
             rule: RaiseRule::from_json(value.field("rule")?)?,
             duals: DualState::from_json(value.field("duals")?)?,
-            records,
-            stack,
+            rec_network,
+            rec_head,
+            rec_tail,
+            beta_edge,
+            beta_amount,
+            beta_next,
+            free_head: NIL,
+            stack_items,
+            stack_offsets,
+            seen: Vec::new(),
+            keep: Vec::new(),
             lhs: floats("lhs")?,
             eligible: bools("eligible")?,
             rel_height: floats("rel_height")?,
@@ -467,7 +658,7 @@ impl FromJson for WarmState {
             primed: bool_from_json(value.field("primed")?)?,
             epochs_resumed: value.field("epochs_resumed")?.as_u64()?,
         };
-        let n = state.records.len();
+        let n = state.instance_count();
         if state.lhs.len() != n || state.eligible.len() != n || state.rel_height.len() != n {
             return Err("per-instance vectors disagree on the instance count".into());
         }
@@ -491,8 +682,8 @@ struct PassOutcome {
 
 /// One repair pass over the active instances: the cold engine's
 /// group × stage × step loop, restricted to `active` and checked against
-/// `budget` before every MIS/raise round. Appends the new MIS sets to
-/// `stack`.
+/// `budget` before every MIS/raise round. Appends the new MIS sets
+/// directly to `warm`'s replay stack.
 #[allow(clippy::too_many_arguments)]
 fn repair_pass(
     universe: &DemandInstanceUniverse,
@@ -508,7 +699,6 @@ fn repair_pass(
     budget: &Budget,
     stats: &mut RoundStats,
     scratch: &mut MisScratch,
-    stack: &mut Vec<Vec<InstanceId>>,
 ) -> PassOutcome {
     let sharding = conflict.sharding();
     let mut steps: u64 = 0;
@@ -567,29 +757,18 @@ fn repair_pass(
                     let pi = layering.critical(d);
                     let delta = warm.duals.raise(universe, d, pi);
                     if delta > 0.0 {
-                        let record = &mut warm.records[d.index()];
-                        record.network = universe.instance(d).network;
                         let per_edge = match warm.rule {
                             RaiseRule::Unit => delta,
                             RaiseRule::Narrow => 2.0 * pi.len() as f64 * delta,
                         };
-                        // Accumulate per edge so a long-lived instance's
-                        // record stays O(|π|) no matter how many repair
-                        // epochs re-raise it; the point-clear subtracts
-                        // the running total.
-                        for &e in pi {
-                            match record.beta.iter_mut().find(|(edge, _)| *edge == e) {
-                                Some(entry) => entry.1 += per_edge,
-                                None => record.beta.push((e, per_edge)),
-                            }
-                        }
+                        warm.record_raise(d, universe.instance(d).network, pi, per_edge);
                     }
                     outgoing_messages += conflict.degree(d) as u64;
                 }
                 raised += mis.len() as u64;
                 stats.record_messages(outgoing_messages, layering.max_critical() as u64 + 1);
                 stats.record_round();
-                stack.push(mis);
+                warm.push_mis(&mis);
                 stage_steps += 1;
             }
             steps += stage_steps;
@@ -663,7 +842,7 @@ pub fn run_two_phase_warm_on_budgeted(
         "warm state carries a different raise rule; reset it with WarmState::new"
     );
     assert_eq!(
-        warm.records.len(),
+        warm.instance_count(),
         universe.num_instances(),
         "warm state missed a universe splice"
     );
@@ -707,7 +886,6 @@ pub fn run_two_phase_warm_on_budgeted(
     let groups = layering.groups();
     let mut stats = RoundStats::new();
     let mut scratch = MisScratch::new(universe.num_instances());
-    let mut new_stack: Vec<Vec<InstanceId>> = Vec::new();
 
     // ---------------- First phase: certificate repair ----------------
     let mut steps = 0u64;
@@ -730,7 +908,6 @@ pub fn run_two_phase_warm_on_budgeted(
             budget,
             &mut stats,
             &mut scratch,
-            &mut new_stack,
         );
         steps += pass.steps;
         max_steps_per_stage = max_steps_per_stage.max(pass.max_steps_per_stage);
@@ -790,13 +967,14 @@ pub fn run_two_phase_warm_on_budgeted(
     let dual_objective = warm.duals.objective();
 
     // ---------------- Second phase: replay the full stack ----------------
-    let mut stack = std::mem::take(&mut warm.stack);
-    stack.append(&mut new_stack);
+    // The repair passes appended their MISes directly onto warm's stack
+    // arena, so the surviving seed + repair MISes are already in order;
+    // replay newest first, exactly like a cold run's stack pop.
     let mut tracker = LoadTracker::new(universe);
     let mut selected: Vec<InstanceId> = Vec::new();
-    for mis in stack.iter().rev() {
+    for m in (0..warm.num_mises()).rev() {
         let mut announced = 0u64;
-        for &d in mis {
+        for &d in warm.mis(m) {
             if tracker.try_commit(universe, d) {
                 selected.push(d);
                 announced += conflict.degree(d) as u64;
@@ -807,11 +985,10 @@ pub fn run_two_phase_warm_on_budgeted(
     }
     selected.sort_unstable();
 
-    let mut raised_instances: Vec<InstanceId> = stack.iter().flatten().copied().collect();
+    let mut raised_instances: Vec<InstanceId> = warm.stack_items.clone();
     raised_instances.sort_unstable();
     raised_instances.dedup();
 
-    warm.stack = stack;
     if truncated.is_some() {
         // Dirty-work carry: the networks this (cut) repair was scanning
         // are still under repair — keep them pending so the next solve

@@ -37,11 +37,29 @@
 //! | merge back to flat CSR | — | `O(E_c log E_c)`, byte-identical |
 //! | greedy MIS | `O(E_c)` serial | per-shard sweeps + boundary fixpoint |
 //! | Luby phase | simulator messages | per-shard array scans |
+//! | demand splice | `O(R log R + E_c)` rebuild | dirty shards only, clean shards untouched |
+//! | cross-shard rows | rebuilt wholesale | stable-id group arena, spliced locally |
 //!
 //! Determinism is a hard contract: the merged CSR is byte-identical to
 //! [`conflict::ConflictGraph::build`] and both MIS strategies return the
 //! exact flat-path sets at every thread count (see the
 //! `shard_equivalence` suite at the workspace root).
+//!
+//! # Scale & memory layout
+//!
+//! Per-shard CSRs (offset/neighbor arrays over local `u32` ids) and the
+//! cross-shard group arena are the dominant conflict-side structures;
+//! [`ShardedConflictGraph::committed_bytes`](conflict::ShardedConflictGraph::committed_bytes)
+//! audits them. At the 10⁵-live-demand point the line scenario commits
+//! **28.5 MiB ≈ 299 bytes/demand** of conflict state, while the tree
+//! scenario's denser per-shard interval overlap commits 741 MiB
+//! (≈ 8.2 KiB/demand) — the current scaling cliff (see `ROADMAP.md`).
+//! [`ShardedConflictGraph::apply_delta`](conflict::ShardedConflictGraph::apply_delta)
+//! re-sweeps dirty shards only and splices cross-shard rows through
+//! stable group ids, so clean-shard epochs neither allocate (pinned by
+//! `alloc_regression`) nor re-assemble the cross CSR (pinned by an
+//! assembly-counter test on
+//! [`cross_assembly_count`](conflict::ShardedConflictGraph::cross_assembly_count)).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

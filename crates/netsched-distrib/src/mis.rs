@@ -348,7 +348,7 @@ pub fn sharded_greedy_mis(
                     continue;
                 }
                 let mut cross_blocked = false;
-                for &g in graph.cross_neighbors(d) {
+                for g in graph.cross_neighbors(d) {
                     if g >= d {
                         break;
                     }
@@ -437,7 +437,7 @@ fn sharded_luby(
                             nbrs.push(q);
                         }
                     }
-                    for &g in graph.cross_neighbors(d) {
+                    for g in graph.cross_neighbors(d) {
                         let q = pos[g.index()];
                         if q != u32::MAX {
                             nbrs.push(q);

@@ -52,6 +52,23 @@
 //! | conflict-graph build | `O(Σ bucket²)` HashMap buckets | sort-based interval sweep, CSR output |
 //! | capacitated `can_add` | `O(path len · selection)` | event sweep + `O(1)` range-min per segment |
 //! | universe sharding | — | `O(|D| log n)` [`ShardedUniverse::build`] |
+//! | demand splice | `O(|D| log n)` rebuild | `O(expired + new)` [`DemandInstanceUniverse::apply_demand_delta`] |
+//! | shard run-order upkeep | `O(R log R)` re-sweep per shard | survivor compaction + `O(new log new)` merge [`ShardedUniverse::apply_delta`] |
+//!
+//! # Scale & memory layout
+//!
+//! All hot structures are struct-of-arrays over dense `u32` ids: demand
+//! and instance attributes live in parallel column vectors, interval
+//! paths are inline (single run) or arena-packed, and every shard keeps
+//! flat run arrays plus a global↔local id table. Each layer exposes a
+//! `committed_bytes()` audit; at the 10⁵-live-demand operating point
+//! (full-mode `mega-churn-line`, 99,886 demands / 271,867 instances)
+//! the universe commits **49.8 MiB ≈ 523 bytes/demand**. Splices reuse
+//! persistent scratch (id remaps, merge buffers), so steady-state
+//! clean-shard epochs allocate nothing — pinned by the
+//! `alloc_regression` suite at the workspace root, with incremental
+//! run-order maintenance proptested against a full re-sweep at 1/2/4
+//! workers in `shard_equivalence`.
 //!
 //! The paper being reproduced is "Distributed Algorithms for Scheduling on
 //! Line and Tree Networks" (Chakaravarthy, Roy, Sabharwal; arXiv:1205.1924,
@@ -83,7 +100,7 @@ pub use lca::LcaIndex;
 pub use line::{LineDemand, LineNetwork, LineProblem};
 pub use path::{EdgePath, EdgeRun};
 pub use problem::TreeProblem;
-pub use shard::{ShardRun, ShardedUniverse, UniverseShard};
+pub use shard::{ShardRun, ShardSplice, ShardedUniverse, UniverseShard};
 pub use tree::TreeNetwork;
 pub use universe::{
     ArrivingDemand, DemandInstance, DemandInstanceUniverse, LoadTracker, UniverseDelta,

@@ -102,6 +102,17 @@ impl EdgePath {
         Self { repr: Repr::Empty }
     }
 
+    /// Heap bytes owned by this path: zero for the inline empty/one-run
+    /// representations, the boxed run arena's size otherwise (memory
+    /// accounting for the scale audit).
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        match &self.repr {
+            Repr::Empty | Repr::One(_) => 0,
+            Repr::Many(runs) => std::mem::size_of_val::<[EdgeRun]>(runs),
+        }
+    }
+
     /// Creates the contiguous path of edges `[start, end]` (inclusive)
     /// without any heap allocation; used by the line/timeline view where
     /// edge `i` is the timeslot `i`.

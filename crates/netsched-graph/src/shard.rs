@@ -89,6 +89,36 @@ impl UniverseShard {
     }
 }
 
+/// The per-shard record of what the last [`ShardedUniverse::apply_delta`]
+/// did to one **dirty** shard's local id space — the splice contract the
+/// incremental conflict-CSR maintenance in `netsched-distrib` consumes
+/// instead of re-sweeping the shard from scratch.
+#[derive(Debug, Clone, Default)]
+pub struct ShardSplice {
+    /// Old local id → new local id; `u32::MAX` for removed instances.
+    /// Monotone on survivors (local order is global order restricted to
+    /// the shard, and the global remap is monotone).
+    local_remap: Vec<u32>,
+    /// Locals `>= first_new_local` were appended by the splice (arrivals
+    /// carry larger global ids than every survivor, so they form a suffix
+    /// of the shard's local id space too).
+    first_new_local: u32,
+}
+
+impl ShardSplice {
+    /// Old local id → new local id map (`u32::MAX` = removed).
+    #[inline]
+    pub fn local_remap(&self) -> &[u32] {
+        &self.local_remap
+    }
+
+    /// First local id appended by the splice.
+    #[inline]
+    pub fn first_new_local(&self) -> u32 {
+        self.first_new_local
+    }
+}
+
 /// A universe partitioned into one shard per network.
 ///
 /// Construction is deterministic: shard `t` is network `t`, local ids follow
@@ -102,6 +132,15 @@ pub struct ShardedUniverse {
     shard_of: Vec<u32>,
     /// Global instance id → local id within its shard.
     local_of: Vec<u32>,
+    /// Per-shard splice records of the **last** `apply_delta`; only the
+    /// entries of that delta's dirty shards are current.
+    splices: Vec<ShardSplice>,
+    /// Reusable scratch for the dirty-shard run merge (arrival runs,
+    /// sorted).
+    run_scratch_new: Vec<ShardRun>,
+    /// Reusable scratch the merged run array is assembled into before it
+    /// is swapped with the shard's.
+    run_scratch_merged: Vec<ShardRun>,
 }
 
 impl ShardedUniverse {
@@ -135,10 +174,14 @@ impl ShardedUniverse {
                 num_edges: universe.num_edges(network),
             });
         }
+        let num_shards = shards.len();
         Self {
             shards,
             shard_of,
             local_of,
+            splices: vec![ShardSplice::default(); num_shards],
+            run_scratch_new: Vec::new(),
+            run_scratch_merged: Vec::new(),
         }
     }
 
@@ -184,51 +227,142 @@ impl ShardedUniverse {
         self.shards[t.index()].global_of(local)
     }
 
+    /// The splice record the last [`ShardedUniverse::apply_delta`] wrote
+    /// for shard `t`. Only current for that delta's **dirty** shards
+    /// (clean shards' records are stale leftovers of older epochs).
+    #[inline]
+    pub fn shard_splice(&self, t: NetworkId) -> &ShardSplice {
+        &self.splices[t.index()]
+    }
+
+    /// Heap bytes committed by the sharded index (globals/runs columns,
+    /// id tables, splice records and run scratch).
+    pub fn committed_bytes(&self) -> usize {
+        let mut bytes =
+            (self.shard_of.capacity() + self.local_of.capacity()) * std::mem::size_of::<u32>();
+        for shard in &self.shards {
+            bytes += shard.globals.capacity() * std::mem::size_of::<InstanceId>();
+            bytes += shard.runs.capacity() * std::mem::size_of::<ShardRun>();
+        }
+        bytes += self.shards.capacity() * std::mem::size_of::<UniverseShard>();
+        for splice in &self.splices {
+            bytes += splice.local_remap.capacity() * std::mem::size_of::<u32>();
+        }
+        bytes += self.splices.capacity() * std::mem::size_of::<ShardSplice>();
+        bytes += (self.run_scratch_new.capacity() + self.run_scratch_merged.capacity())
+            * std::mem::size_of::<ShardRun>();
+        bytes
+    }
+
     /// Re-synchronizes the partition with a universe that was just spliced
-    /// by [`DemandInstanceUniverse::apply_demand_delta`], rebuilding only
+    /// by [`DemandInstanceUniverse::apply_demand_delta`], splicing only
     /// the shards of the delta's **dirty** networks.
     ///
     /// * Clean shards keep their instances and local ids by construction,
     ///   so their run arrays are untouched (no re-sort) and only the
     ///   global-id column is renumbered through the delta's instance remap
     ///   — `O(shard size)` with no path or sort work.
-    /// * Dirty shards are rebuilt from the universe: globals refilled from
-    ///   `instances_on_network`, run arrays re-collected and re-sorted.
-    ///   Both vectors are reused as sweep scratch (cleared and refilled in
-    ///   place), so steady-state epochs allocate nothing.
+    /// * Dirty shards are **spliced, not rebuilt**: the globals column is
+    ///   compacted in place (recording the old→new local remap in the
+    ///   shard's [`ShardSplice`]), arrivals are appended from the suffix of
+    ///   `instances_on_network`, and the run array keeps its survivors —
+    ///   renumbered in place, which preserves the `(start, end, local)`
+    ///   order because the local remap is monotone — merged with the
+    ///   arrivals' runs, of which only the `O(batch)` new ones are sorted.
+    ///   Every buffer is reused in place, so steady-state epochs allocate
+    ///   nothing.
     /// * The global `shard_of` / `local_of` tables are refilled in one
     ///   `O(|D|)` pass.
     ///
     /// The result is byte-identical to `ShardedUniverse::build(universe)`:
-    /// the instance remap is monotone on survivors, so a clean shard's
-    /// renumbered globals stay ascending and its `(start, end, local)` run
-    /// order is unchanged.
+    /// the instance remap is monotone on survivors, so renumbered globals
+    /// stay ascending, surviving runs stay sorted, and the merge produces
+    /// exactly the order a full re-sort would.
     pub fn apply_delta(&mut self, universe: &DemandInstanceUniverse, delta: &UniverseDelta) {
         let n = universe.num_instances();
         self.shard_of.clear();
         self.shard_of.resize(n, 0);
         self.local_of.clear();
         self.local_of.resize(n, 0);
+        self.splices
+            .resize_with(self.shards.len(), ShardSplice::default);
+        let remap = delta.instance_remap();
         for (t, shard) in self.shards.iter_mut().enumerate() {
             if delta.dirty()[t] {
-                shard.globals.clear();
+                // Compact the globals column in place, recording the
+                // old→new local renumbering.
+                let splice = &mut self.splices[t];
+                splice.local_remap.clear();
+                let mut next_local = 0u32;
+                shard.globals.retain_mut(|g| {
+                    let new = remap[g.index()];
+                    if new == u32::MAX {
+                        splice.local_remap.push(u32::MAX);
+                        false
+                    } else {
+                        splice.local_remap.push(next_local);
+                        *g = InstanceId(new);
+                        next_local += 1;
+                        true
+                    }
+                });
+                splice.first_new_local = next_local;
+                // Arrivals carry larger global ids than every survivor, so
+                // the shard's survivors are exactly the prefix of the
+                // universe's (ascending) per-network index.
+                let all = universe.instances_on_network(shard.network);
+                debug_assert_eq!(
+                    &shard.globals[..],
+                    &all[..next_local as usize],
+                    "dirty-shard survivors must form a prefix of the network index"
+                );
+                shard.globals.extend_from_slice(&all[next_local as usize..]);
+
+                // Splice the run array: drop removed locals' runs and
+                // renumber survivors in place (monotone remap keeps the
+                // `(start, end, local)` order), then merge the arrivals'
+                // runs — the only ones that need sorting.
                 shard
-                    .globals
-                    .extend_from_slice(universe.instances_on_network(shard.network));
-                shard.runs.clear();
-                for (local, &d) in shard.globals.iter().enumerate() {
+                    .runs
+                    .retain_mut(|r| match splice.local_remap[r.local as usize] {
+                        u32::MAX => false,
+                        new => {
+                            r.local = new;
+                            true
+                        }
+                    });
+                self.run_scratch_new.clear();
+                for local in splice.first_new_local..shard.globals.len() as u32 {
+                    let d = shard.globals[local as usize];
                     for run in universe.instance(d).path.runs() {
-                        shard.runs.push(ShardRun {
+                        self.run_scratch_new.push(ShardRun {
                             start: run.start,
                             end: run.end,
-                            local: local as u32,
+                            local,
                         });
                     }
                 }
-                shard.runs.sort_unstable();
+                self.run_scratch_new.sort_unstable();
+                self.run_scratch_merged.clear();
+                self.run_scratch_merged
+                    .reserve(shard.runs.len() + self.run_scratch_new.len());
+                let (mut i, mut j) = (0, 0);
+                while i < shard.runs.len() && j < self.run_scratch_new.len() {
+                    if shard.runs[i] <= self.run_scratch_new[j] {
+                        self.run_scratch_merged.push(shard.runs[i]);
+                        i += 1;
+                    } else {
+                        self.run_scratch_merged.push(self.run_scratch_new[j]);
+                        j += 1;
+                    }
+                }
+                self.run_scratch_merged.extend_from_slice(&shard.runs[i..]);
+                self.run_scratch_merged
+                    .extend_from_slice(&self.run_scratch_new[j..]);
+                std::mem::swap(&mut shard.runs, &mut self.run_scratch_merged);
             } else {
                 for g in shard.globals.iter_mut() {
-                    let new = delta.instance_remap()[g.index()];
+                    let new = remap[g.index()];
                     debug_assert_ne!(new, u32::MAX, "clean shard lost an instance");
                     *g = InstanceId(new);
                 }

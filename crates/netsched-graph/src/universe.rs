@@ -179,6 +179,28 @@ impl DemandInstanceUniverse {
         self.num_networks
     }
 
+    /// Heap bytes committed by the universe's own buffers (instance table,
+    /// path run arenas, secondary indices, capacities) — the memory-audit
+    /// input the `mega_scale` bench reports as bytes/demand. Counts
+    /// capacities, not lengths, so it reflects what the allocator holds.
+    pub fn committed_bytes(&self) -> usize {
+        let mut bytes = self.instances.capacity() * std::mem::size_of::<DemandInstance>();
+        for inst in &self.instances {
+            bytes += inst.path.heap_bytes();
+        }
+        bytes += self.edges_per_network.capacity() * std::mem::size_of::<usize>();
+        for caps in &self.capacities {
+            bytes += caps.capacity() * std::mem::size_of::<f64>();
+        }
+        bytes += self.capacities.capacity() * std::mem::size_of::<Vec<f64>>();
+        for group in self.by_demand.iter().chain(&self.by_network) {
+            bytes += group.capacity() * std::mem::size_of::<InstanceId>();
+        }
+        bytes += self.by_demand.capacity() * std::mem::size_of::<Vec<InstanceId>>();
+        bytes += self.by_network.capacity() * std::mem::size_of::<Vec<InstanceId>>();
+        bytes
+    }
+
     /// Number of edges of network `t`.
     #[inline]
     pub fn num_edges(&self, t: NetworkId) -> usize {
@@ -567,6 +589,9 @@ pub struct UniverseDelta {
     first_added: u32,
     /// Per-network flag: `true` when the network gained or lost instances.
     dirty: Vec<bool>,
+    /// Splice scratch: per-old-demand expiry marks, reused across epochs so
+    /// a steady-state splice allocates nothing.
+    expired_mark: Vec<bool>,
 }
 
 impl UniverseDelta {
@@ -582,6 +607,8 @@ impl UniverseDelta {
         self.demand_remap.reserve(old_demands);
         self.dirty.clear();
         self.dirty.resize(networks, false);
+        self.expired_mark.clear();
+        self.expired_mark.resize(old_demands, false);
         self.first_added = 0;
     }
 
@@ -699,14 +726,13 @@ impl DemandInstanceUniverse {
         delta.reset(self.instances.len(), self.num_demands, self.num_networks);
 
         // Demand renumbering: survivors compact stably, arrivals append.
-        let mut removed = vec![false; self.num_demands];
         for &a in expired {
             assert!(a.index() < self.num_demands, "expired demand {a} unknown");
-            assert!(!removed[a.index()], "demand {a} expired twice");
-            removed[a.index()] = true;
+            assert!(!delta.expired_mark[a.index()], "demand {a} expired twice");
+            delta.expired_mark[a.index()] = true;
         }
         let mut next_demand = 0u32;
-        for r in &removed {
+        for r in &delta.expired_mark {
             delta
                 .demand_remap
                 .push(if *r { u32::MAX } else { next_demand });
@@ -715,20 +741,31 @@ impl DemandInstanceUniverse {
             }
         }
 
-        // Compact the instance list in place (moves, no path clones).
-        let old_instances = std::mem::take(&mut self.instances);
+        // Compact the instance list in place (moves within the existing
+        // buffer — no path clones and no reallocation of the instance
+        // vector, so a clean steady-state epoch is allocation-free).
         let mut next_instance = 0u32;
-        for mut inst in old_instances {
-            if removed[inst.demand.index()] {
-                delta.instance_remap.push(u32::MAX);
-                delta.dirty[inst.network.index()] = true;
-                continue;
-            }
-            delta.instance_remap.push(next_instance);
-            inst.id = InstanceId(next_instance);
-            inst.demand = DemandId(delta.demand_remap[inst.demand.index()]);
-            self.instances.push(inst);
-            next_instance += 1;
+        {
+            let UniverseDelta {
+                instance_remap,
+                demand_remap,
+                dirty,
+                expired_mark,
+                ..
+            } = delta;
+            self.instances.retain_mut(|inst| {
+                if expired_mark[inst.demand.index()] {
+                    instance_remap.push(u32::MAX);
+                    dirty[inst.network.index()] = true;
+                    false
+                } else {
+                    instance_remap.push(next_instance);
+                    inst.id = InstanceId(next_instance);
+                    inst.demand = DemandId(demand_remap[inst.demand.index()]);
+                    next_instance += 1;
+                    true
+                }
+            });
         }
         delta.first_added = next_instance;
 

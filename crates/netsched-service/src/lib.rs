@@ -225,8 +225,8 @@ pub use event::{DemandEvent, DemandRequest, DemandTicket, ServiceError};
 pub use replay::replay_trace;
 pub use service::{block_on, AdmissionClass, BudgetSpec, Service, ServicePolicy, SubmitFuture};
 pub use session::{
-    Certificate, CompactionReport, EpochJournal, EpochStats, Placement, ResolveMode, ScheduleDelta,
-    ScheduledDemand, ServiceSession,
+    Certificate, CompactionReport, EpochJournal, EpochStats, MemoryFootprint, Placement,
+    ResolveMode, ScheduleDelta, ScheduledDemand, ServiceSession,
 };
 pub use snapshot::{
     parse_wal_record, wal_record, wal_rollback_record, WalRecord, SNAPSHOT_FORMAT_VERSION,

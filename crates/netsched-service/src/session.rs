@@ -292,6 +292,28 @@ struct SplitState {
     narrow_map: Vec<DemandId>,
 }
 
+/// Per-layer heap commitment of a session's hot serving structures; see
+/// [`ServiceSession::memory_footprint`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MemoryFootprint {
+    /// Demand/instance columns, paths and the secondary indexes of every
+    /// live universe.
+    pub universe_bytes: usize,
+    /// Sharding index, per-shard CSRs, cross-group arena and splice
+    /// scratch of every live sharded conflict graph.
+    pub conflict_bytes: usize,
+    /// Warm-resolve state: Fenwick duals, the raise-record arena and the
+    /// replay stack (0 for cold sessions).
+    pub warm_bytes: usize,
+}
+
+impl MemoryFootprint {
+    /// Total committed bytes across all layers.
+    pub fn total_bytes(&self) -> usize {
+        self.universe_bytes + self.conflict_bytes + self.warm_bytes
+    }
+}
+
 /// A long-lived dynamic scheduling session; see the
 /// [module docs](self) for the epoch model and [`crate`] docs for the
 /// amortized cost table.
@@ -427,6 +449,26 @@ impl ServiceSession {
     /// The epochs stepped so far.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Heap bytes committed by the session's hot serving structures,
+    /// broken down by layer and summed over every live core (the full core
+    /// plus, when the height mix forced it, the wide/narrow split halves).
+    /// Divide by [`live_demands`](ServiceSession::live_demands) for the
+    /// bytes/demand figure the scale benchmarks report.
+    pub fn memory_footprint(&self) -> MemoryFootprint {
+        let mut fp = MemoryFootprint::default();
+        let mut add = |core: &LiveCore| {
+            fp.universe_bytes += core.universe.committed_bytes();
+            fp.conflict_bytes += core.conflict.committed_bytes();
+            fp.warm_bytes += core.warm_state().map_or(0, WarmState::committed_bytes);
+        };
+        add(&self.full);
+        if let Some(split) = &self.split {
+            add(&split.wide);
+            add(&split.narrow);
+        }
+        fp
     }
 
     /// Pins the session's [`ResolveMode`] explicitly, overriding the

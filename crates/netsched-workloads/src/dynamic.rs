@@ -191,15 +191,26 @@ struct Pool {
 
 impl Pool {
     fn expire_on_focus(&mut self, focus: &[usize], count: usize) -> Vec<usize> {
+        // Single forward compaction pass instead of repeated `Vec::remove`
+        // (which made a large pool's epoch quadratic): retirees are the
+        // first `count` focus-touching entries in pool order, survivors
+        // keep their FIFO order — identical output to the removal loop.
         let mut retired = Vec::with_capacity(count);
-        let mut i = 0;
-        while retired.len() < count && i < self.live.len() {
-            if self.live[i].1.iter().any(|t| focus.contains(t)) {
-                retired.push(self.live.remove(i).0);
+        let mut w = 0;
+        for r in 0..self.live.len() {
+            let touches = retired.len() < count
+                && self.live[r]
+                    .1
+                    .iter()
+                    .any(|t| focus.binary_search(t).is_ok());
+            if touches {
+                retired.push(self.live[r].0);
             } else {
-                i += 1;
+                self.live.swap(w, r);
+                w += 1;
             }
         }
+        self.live.truncate(w);
         retired
     }
 

@@ -256,6 +256,62 @@ pub fn named_scenarios() -> Vec<Scenario> {
                 seed: 20250,
             }),
         },
+        Scenario::Line {
+            name: "mega-churn-line".to_string(),
+            description: "The serving tier at fleet scale: 100k short jobs \
+                          live across 256 machine timelines of 4096 slots, \
+                          with per-epoch tenant bursts focused on two \
+                          machines. Sized so the live set is ~10⁵ demands \
+                          while per-shard conflict density stays bounded — \
+                          the regime the arena layouts and allocation-free \
+                          splice path target."
+                .to_string(),
+            workload: LineWorkload {
+                timeslots: 4096,
+                resources: 256,
+                demands: 100_000,
+                min_length: 2,
+                max_length: 6,
+                max_slack: 2,
+                access_probability: 0.004,
+                access_skew: 0.0,
+                profits: ProfitDistribution::Uniform { min: 1.0, max: 8.0 },
+                heights: HeightDistribution::Unit,
+                seed: 2026,
+            },
+            churn: Some(ChurnSpec {
+                epochs: 64,
+                churn: 0.0005,
+                focus: 2,
+                seed: 20260,
+            }),
+        },
+        Scenario::Tree {
+            name: "mega-churn-tree".to_string(),
+            description: "Fleet-scale transfer serving on trees: 100k \
+                          routes across 256 spanning trees of a 1024-vertex \
+                          fabric, arriving in two-tree tenant bursts and \
+                          expiring after ~1/churn epochs — the tree-shaped \
+                          counterpart of mega-churn-line."
+                .to_string(),
+            workload: TreeWorkload {
+                vertices: 1024,
+                networks: 256,
+                demands: 100_000,
+                topology: TreeTopology::RandomAttachment,
+                access_probability: 0.005,
+                access_skew: 0.0,
+                profits: ProfitDistribution::Uniform { min: 1.0, max: 8.0 },
+                heights: HeightDistribution::Unit,
+                seed: 2027,
+            },
+            churn: Some(ChurnSpec {
+                epochs: 64,
+                churn: 0.0005,
+                focus: 2,
+                seed: 20270,
+            }),
+        },
     ]
 }
 
@@ -294,13 +350,20 @@ mod tests {
     #[test]
     fn all_scenarios_build_valid_problems() {
         for scenario in named_scenarios() {
+            // The mega scenarios carry 10⁵ demands; build a same-shaped
+            // miniature here so the debug-mode test stays fast (full-size
+            // builds are exercised by the mega_scale bench).
             match &scenario {
                 Scenario::Tree { workload, .. } => {
+                    let mut workload = workload.clone();
+                    workload.demands = workload.demands.min(2000);
                     let p = workload.build().unwrap();
                     p.validate().unwrap();
                     assert_eq!(p.num_demands(), workload.demands);
                 }
                 Scenario::Line { workload, .. } => {
+                    let mut workload = workload.clone();
+                    workload.demands = workload.demands.min(2000);
                     let p = workload.build().unwrap();
                     assert_eq!(p.num_demands(), workload.demands);
                 }

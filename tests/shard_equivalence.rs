@@ -15,8 +15,14 @@ use netsched_distrib::{
     maximal_independent_set, sharded_mis, ConflictGraph, MisScratch, MisStrategy, RoundStats,
     ShardedConflictGraph,
 };
-use netsched_graph::{DemandInstanceUniverse, InstanceId};
+use netsched_graph::{
+    ArrivingDemand, DemandId, DemandInstanceUniverse, EdgePath, InstanceId, NetworkId,
+    UniverseDelta,
+};
 use netsched_workloads::{many_networks_line, many_networks_tree, skewed_networks_line};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use rayon::ThreadPoolBuilder;
 
 fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
@@ -178,7 +184,6 @@ fn tree_sessions_match_the_reference_engine_through_the_scheduler() {
 fn narrow_rule_matches_reference_on_capacitated_instances() {
     // Non-uniform capacities exercise the weighted-beta mirror tree and
     // the range-minimum eligibility/can_add paths.
-    use netsched_graph::NetworkId;
     use netsched_workloads::HeightDistribution;
     let mut workload = many_networks_tree(5, 60, 31);
     workload.heights = HeightDistribution::Mixed {
@@ -202,5 +207,90 @@ fn narrow_rule_matches_reference_on_capacitated_instances() {
         let reference = run_two_phase_reference(&universe, &layering, rule, &config);
         let ours = run_two_phase(&universe, &layering, rule, &config);
         assert_same_solution(&reference, &ours, &format!("capacitated {rule:?}"));
+    }
+}
+
+/// One randomized hot-shard churn trace: several epochs whose expiries and
+/// arrivals concentrate on two "hot" networks, so the same shards are
+/// spliced over and over. After every epoch the incrementally maintained
+/// sharding (per-shard run arrays and global-id columns, kept up to date by
+/// the sub-shard run-order maintenance in `ShardedUniverse::apply_delta`)
+/// must match a from-scratch rebuild exactly, and the merged adjacency must
+/// stay byte-identical.
+fn hot_shard_churn_case(seed: u64) {
+    let base = many_networks_line(6, 90, seed ^ 0x9e37_79b9);
+    let timeslots = base.timeslots as usize;
+    let problem = base.build().unwrap();
+    let mut universe = problem.universe();
+    let mut conflict = ShardedConflictGraph::build(&universe);
+    let mut delta = UniverseDelta::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for round in 0..5 {
+        let nets = universe.num_networks();
+        let hot = [
+            NetworkId::new(rng.gen_range(0..nets)),
+            NetworkId::new(rng.gen_range(0..nets)),
+        ];
+
+        // Expire a few demands whose instances touch the hot networks.
+        let mut expired: Vec<DemandId> = Vec::new();
+        for &t in &hot {
+            for &d in universe.instances_on_network(t).iter().take(3) {
+                expired.push(universe.demand_of(d));
+            }
+        }
+        expired.sort_unstable();
+        expired.dedup();
+        expired.truncate(4);
+
+        // Arrivals land on the same hot networks.
+        let mut arrivals = Vec::new();
+        for k in 0..3 {
+            let t = hot[k % 2];
+            let len: usize = rng.gen_range(2..6);
+            let start: usize = rng.gen_range(0..timeslots - len);
+            arrivals.push(ArrivingDemand {
+                profit: rng.gen_range(1.0..8.0),
+                height: 1.0,
+                instances: vec![(
+                    t,
+                    EdgePath::interval(start, start + len - 1),
+                    Some(start as u32),
+                )],
+            });
+        }
+
+        universe.apply_demand_delta(&expired, &arrivals, &mut delta);
+        conflict.apply_delta(&universe, &delta);
+
+        let fresh = ShardedConflictGraph::build(&universe);
+        for t in (0..universe.num_networks()).map(NetworkId::new) {
+            let inc = conflict.sharding().shard(t);
+            let full = fresh.sharding().shard(t);
+            assert_eq!(
+                inc.globals(),
+                full.globals(),
+                "round {round}: shard {t} global ids"
+            );
+            assert_eq!(inc.runs(), full.runs(), "round {round}: shard {t} runs");
+        }
+        assert_same_graph(
+            &fresh.merged(),
+            &conflict.merged(),
+            &format!("round {round}: merged adjacency"),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Incremental run-order maintenance is equivalent to a full re-sweep
+    /// on randomized hot-shard churn traces, at every worker count.
+    #[test]
+    fn incremental_run_order_matches_full_resweep_on_hot_shard_churn(seed in any::<u64>()) {
+        for threads in [1usize, 2, 4] {
+            with_threads(threads, || hot_shard_churn_case(seed));
+        }
     }
 }

@@ -10,8 +10,9 @@
 //! no crates.io access, so this shim keeps the experiment harness parallel
 //! and self-contained.
 //!
-//! The worker count defaults to `std::thread::available_parallelism` and can
-//! be pinned with [`ThreadPoolBuilder::build_global`], mirroring real
+//! The worker count defaults to `std::thread::available_parallelism`
+//! (overridable via `RAYON_NUM_THREADS`, as in real rayon) and can be
+//! pinned with [`ThreadPoolBuilder::build_global`], mirroring real
 //! rayon's global-pool configuration. One deliberate divergence: the shim
 //! allows reconfiguring the global worker count (real rayon errors on the
 //! second call), which the `shard_scaling` bench uses to sweep thread
@@ -67,12 +68,31 @@ impl ThreadPoolBuilder {
     }
 }
 
-/// The worker count parallel iterators currently run with.
+/// The `RAYON_NUM_THREADS` default, parsed once (0 when unset/invalid).
+/// Cached so the hot `current_num_threads` path never touches the
+/// allocating `std::env` API after the first call.
+fn env_threads() -> usize {
+    static ENV_THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *ENV_THREADS.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    })
+}
+
+/// The worker count parallel iterators currently run with: an explicit
+/// [`ThreadPoolBuilder::build_global`] call wins, then the
+/// `RAYON_NUM_THREADS` environment variable (mirroring real rayon), then
+/// the machine default.
 pub fn current_num_threads() -> usize {
     match GLOBAL_THREADS.load(Ordering::SeqCst) {
-        0 => std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1),
+        0 => match env_threads() {
+            0 => std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+            n => n,
+        },
         n => n,
     }
 }
