@@ -184,6 +184,9 @@ struct ChurnResult {
     scratch_s: f64,
     mean_dirty_shards: f64,
     final_live: usize,
+    /// Per-epoch admission latency (`epoch.step_ns`) from the session's
+    /// obs registry.
+    latency: netsched_obs::HistogramSnapshot,
 }
 
 impl ChurnResult {
@@ -222,6 +225,22 @@ impl ChurnResult {
             ("mean_dirty_shards", JsonValue::num(self.mean_dirty_shards)),
             ("epoch_speedup", JsonValue::num(self.speedup())),
             ("rebuild_speedup", JsonValue::num(self.rebuild_speedup())),
+            (
+                "latency_p50_ms",
+                JsonValue::num(self.latency.p50 as f64 / 1e6),
+            ),
+            (
+                "latency_p95_ms",
+                JsonValue::num(self.latency.p95 as f64 / 1e6),
+            ),
+            (
+                "latency_p99_ms",
+                JsonValue::num(self.latency.p99 as f64 / 1e6),
+            ),
+            (
+                "latency_max_ms",
+                JsonValue::num(self.latency.max as f64 / 1e6),
+            ),
         ])
     }
 }
@@ -255,6 +274,10 @@ fn run_churn(scenario: &Scenario, churn: f64, epochs: usize) -> ChurnResult {
         Problem::Line(p) => ServiceSession::for_line(p, config),
     };
     session.step(&[]).expect("initial solve"); // session warm-up, untimed
+
+    // Fresh registry post warm-up so the latency percentiles cover the
+    // measured churn epochs only, not the initial from-scratch solve.
+    let mut session = session.with_obs(netsched_obs::ObsRegistry::default());
     let start = Instant::now();
     let deltas = replay_trace(&mut session, &trace).expect("trace replays");
     let incremental_s = start.elapsed().as_secs_f64();
@@ -286,6 +309,13 @@ fn run_churn(scenario: &Scenario, churn: f64, epochs: usize) -> ChurnResult {
         "incremental and from-scratch schedules diverged"
     );
 
+    let latency = session.obs_registry().histogram("epoch.step_ns").snapshot();
+    assert_eq!(
+        latency.count,
+        trace.batches.len() as u64,
+        "epoch.step_ns must have one sample per churn epoch"
+    );
+
     ChurnResult {
         epochs: trace.batches.len(),
         events: trace.num_events(),
@@ -295,6 +325,7 @@ fn run_churn(scenario: &Scenario, churn: f64, epochs: usize) -> ChurnResult {
         scratch_s,
         mean_dirty_shards,
         final_live: session.live_demands(),
+        latency,
     }
 }
 

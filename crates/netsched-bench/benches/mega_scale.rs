@@ -53,6 +53,9 @@ struct MegaResult {
     universe_bytes: usize,
     conflict_bytes: usize,
     warm_bytes: usize,
+    /// Per-epoch admission latency (`epoch.step_ns`) from the session's
+    /// obs registry, covering the replayed churn epochs only.
+    latency: netsched_obs::HistogramSnapshot,
 }
 
 impl MegaResult {
@@ -96,6 +99,22 @@ impl MegaResult {
             ("warm_bytes", JsonValue::int(self.warm_bytes)),
             ("total_bytes", JsonValue::int(self.total_bytes())),
             ("bytes_per_demand", JsonValue::num(self.bytes_per_demand())),
+            (
+                "latency_p50_ms",
+                JsonValue::num(self.latency.p50 as f64 / 1e6),
+            ),
+            (
+                "latency_p95_ms",
+                JsonValue::num(self.latency.p95 as f64 / 1e6),
+            ),
+            (
+                "latency_p99_ms",
+                JsonValue::num(self.latency.p99 as f64 / 1e6),
+            ),
+            (
+                "latency_max_ms",
+                JsonValue::num(self.latency.max as f64 / 1e6),
+            ),
         ])
     }
 }
@@ -139,9 +158,20 @@ fn run_scenario(name: &str, quick: bool) -> MegaResult {
     let mut session = session.with_resolve_mode(ResolveMode::Warm);
     session.step(&[]).expect("initial solve"); // warm-up, untimed
 
+    // Fresh registry post warm-up so the latency percentiles cover the
+    // measured churn epochs only, not the initial from-scratch solve.
+    let mut session = session.with_obs(netsched_obs::ObsRegistry::default());
+
     let start = Instant::now();
     let deltas = replay_trace(&mut session, &trace).expect("trace replays");
     let replay_s = start.elapsed().as_secs_f64();
+
+    let latency = session.obs_registry().histogram("epoch.step_ns").snapshot();
+    assert_eq!(
+        latency.count,
+        trace.batches.len() as u64,
+        "epoch.step_ns must have one sample per churn epoch"
+    );
 
     let footprint = session.memory_footprint();
     MegaResult {
@@ -157,6 +187,7 @@ fn run_scenario(name: &str, quick: bool) -> MegaResult {
         universe_bytes: footprint.universe_bytes,
         conflict_bytes: footprint.conflict_bytes,
         warm_bytes: footprint.warm_bytes,
+        latency,
     }
 }
 

@@ -140,6 +140,81 @@ impl std::fmt::Debug for Budget {
     }
 }
 
+/// Online rounds-per-second calibration for wall-clock budgets.
+///
+/// Operators think in milliseconds; the engine's deterministic cut point
+/// is a *round cap* ([`Budget::rounds`]). A `RoundCalibration` learns the
+/// exchange rate online: feed it each epoch's observed `(rounds, seconds)`
+/// via [`observe`](RoundCalibration::observe) and it maintains an EWMA of
+/// seconds-per-round; [`rounds_for`](RoundCalibration::rounds_for) then
+/// compiles a millisecond deadline into the round cap the budget can
+/// afford. Callers should keep the wall-clock deadline as a belt-and-
+/// braces second limit (both limits compose on one [`Budget`]), so a
+/// stale EWMA can overshoot the deadline by at most the one round that
+/// trips the deadline check.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RoundCalibration {
+    secs_per_round: f64,
+    observations: u64,
+}
+
+impl RoundCalibration {
+    /// EWMA smoothing factor: each new observation contributes 20 %.
+    pub const ALPHA: f64 = 0.2;
+
+    /// Observations required before the calibration is trusted
+    /// ([`is_primed`](RoundCalibration::is_primed)).
+    pub const PRIME_OBSERVATIONS: u64 = 3;
+
+    /// A fresh, unprimed calibration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one epoch's observed solve: `rounds` first-phase MIS/raise
+    /// steps taking `seconds` of wall clock. Ignored unless both are
+    /// positive (an empty or instantaneous solve carries no signal).
+    pub fn observe(&mut self, rounds: u64, seconds: f64) {
+        if rounds == 0 || seconds <= 0.0 || seconds.is_nan() {
+            return;
+        }
+        let sample = seconds / rounds as f64;
+        self.secs_per_round = if self.observations == 0 {
+            sample
+        } else {
+            Self::ALPHA * sample + (1.0 - Self::ALPHA) * self.secs_per_round
+        };
+        self.observations += 1;
+    }
+
+    /// Number of observations folded in so far.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// `true` once enough observations arrived to trust the EWMA.
+    pub fn is_primed(&self) -> bool {
+        self.observations >= Self::PRIME_OBSERVATIONS
+    }
+
+    /// The learned EWMA of seconds per first-phase round (`None` until
+    /// [`is_primed`](RoundCalibration::is_primed)).
+    pub fn secs_per_round(&self) -> Option<f64> {
+        self.is_primed().then_some(self.secs_per_round)
+    }
+
+    /// Compiles a wall-clock budget into the round cap it affords at the
+    /// learned rate, at least 1 (`None` until primed — fall back to a
+    /// plain deadline budget).
+    pub fn rounds_for(&self, budget: Duration) -> Option<u64> {
+        let rate = self.secs_per_round()?;
+        // The relative epsilon keeps float jitter from turning an exact
+        // quotient (10 rounds affordable) into its floor minus one.
+        let affordable = (budget.as_secs_f64() / rate) * (1.0 + 1e-9);
+        Some((affordable.floor() as u64).max(1))
+    }
+}
+
 /// How complete a solution's dual certificate is.
 ///
 /// `Full` is the normal outcome: the first phase ran until every eligible
@@ -240,6 +315,35 @@ mod tests {
         assert!(!budget.consume_round());
         let generous = Budget::deadline(Duration::from_secs(3600));
         assert!(generous.consume_round());
+    }
+
+    #[test]
+    fn calibration_converges_and_compiles_deadlines_to_round_caps() {
+        let mut calib = RoundCalibration::new();
+        assert!(!calib.is_primed());
+        assert_eq!(calib.rounds_for(Duration::from_millis(10)), None);
+        // Degenerate observations carry no signal.
+        calib.observe(0, 1.0);
+        calib.observe(10, 0.0);
+        assert_eq!(calib.observations(), 0);
+        // A steady 1 ms/round rate: the EWMA converges to it exactly.
+        for _ in 0..20 {
+            calib.observe(50, 0.050);
+        }
+        assert!(calib.is_primed());
+        let rate = calib.secs_per_round().unwrap();
+        assert!((rate - 1e-3).abs() < 1e-12, "rate = {rate}");
+        assert_eq!(calib.rounds_for(Duration::from_millis(10)), Some(10));
+        // Even a tiny budget affords at least one round.
+        assert_eq!(calib.rounds_for(Duration::from_micros(10)), Some(1));
+        // A rate shift is tracked: after enough 2 ms/round epochs the cap
+        // halves.
+        for _ in 0..60 {
+            calib.observe(50, 0.100);
+        }
+        let rate = calib.secs_per_round().unwrap();
+        assert!((rate - 2e-3).abs() < 1e-4, "rate = {rate}");
+        assert_eq!(calib.rounds_for(Duration::from_millis(10)), Some(5));
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub mod tree;
 pub mod warm;
 
 pub use analysis::{run_two_phase_traced, StepRecord, Trace};
-pub use budget::{Budget, CertificateQuality};
+pub use budget::{Budget, CertificateQuality, RoundCalibration};
 pub use config::{approximation_bound, stage_xi, stages_per_epoch, AlgorithmConfig, RaiseRule};
 pub use duals::DualState;
 pub use framework::{

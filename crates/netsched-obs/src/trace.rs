@@ -1,0 +1,231 @@
+//! The span tracer: RAII guards around named regions with thread-aware
+//! nesting, recorded into a fixed ring buffer of recent spans.
+//!
+//! Tracing is **off by default** and gated by one relaxed atomic:
+//! [`span`] with tracing disabled takes no timestamp, allocates nothing
+//! and returns an inert guard — instrumented hot paths pay a single
+//! atomic load. Enable via the `NETSCHED_OBS` environment variable
+//! (`on`/`1`/`true`, read once) or programmatically with [`set_tracing`].
+//!
+//! Enabled spans record name, thread, nesting depth, start offset and
+//! duration into a global ring of the [`RING_CAPACITY`] most recent
+//! spans ([`recent_spans`] drains a copy, oldest first). The ring is a
+//! debugging aid — a flight recorder for "what did the last epoch do" —
+//! not a streaming export.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, Once, OnceLock};
+use std::time::Instant;
+
+/// How many recent spans the global ring retains.
+pub const RING_CAPACITY: usize = 1024;
+
+static TRACING: AtomicBool = AtomicBool::new(false);
+static TRACING_INIT: Once = Once::new();
+
+/// `true` when span tracing is enabled (via `NETSCHED_OBS=on|1|true`,
+/// read once on first call, or [`set_tracing`]).
+pub fn tracing_enabled() -> bool {
+    TRACING_INIT.call_once(|| {
+        if let Ok(value) = std::env::var("NETSCHED_OBS") {
+            let on = matches!(value.to_ascii_lowercase().as_str(), "on" | "1" | "true");
+            TRACING.store(on, Ordering::Relaxed);
+        }
+    });
+    TRACING.load(Ordering::Relaxed)
+}
+
+/// Enables or disables span tracing, overriding the environment default.
+pub fn set_tracing(on: bool) {
+    // Mark the environment consulted so a later `tracing_enabled` cannot
+    // overwrite this explicit choice.
+    TRACING_INIT.call_once(|| {});
+    TRACING.store(on, Ordering::Relaxed);
+}
+
+/// One completed span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The span's name (static, by construction of [`span`]).
+    pub name: &'static str,
+    /// Dense id of the recording thread (assigned on first span).
+    pub thread: u64,
+    /// Nesting depth within the recording thread (0 = top level).
+    pub depth: u32,
+    /// Start offset in nanoseconds since the process's first span.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub duration_ns: u64,
+}
+
+struct Ring {
+    slots: Vec<SpanRecord>,
+    /// Next slot to overwrite once the ring is full.
+    next: usize,
+    /// Total spans ever recorded (≥ `slots.len()`).
+    total: u64,
+}
+
+fn ring() -> &'static Mutex<Ring> {
+    static RING: OnceLock<Mutex<Ring>> = OnceLock::new();
+    RING.get_or_init(|| {
+        Mutex::new(Ring {
+            slots: Vec::with_capacity(RING_CAPACITY),
+            next: 0,
+            total: 0,
+        })
+    })
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn thread_id() -> u64 {
+    static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static THREAD_ID: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+    }
+    THREAD_ID.with(|id| *id)
+}
+
+thread_local! {
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+struct ActiveSpan {
+    name: &'static str,
+    start: Instant,
+    start_ns: u64,
+    depth: u32,
+}
+
+/// RAII guard of one [`span`]; records the span on drop. Inert (and
+/// cost-free to drop) when tracing was disabled at entry.
+#[must_use = "a span guard measures until it is dropped"]
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let duration_ns = active.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let record = SpanRecord {
+            name: active.name,
+            thread: thread_id(),
+            depth: active.depth,
+            start_ns: active.start_ns,
+            duration_ns,
+        };
+        let mut ring = ring().lock().expect("span ring poisoned");
+        ring.total += 1;
+        if ring.slots.len() < RING_CAPACITY {
+            ring.slots.push(record);
+            ring.next = ring.slots.len() % RING_CAPACITY;
+        } else {
+            let next = ring.next;
+            ring.slots[next] = record;
+            ring.next = (next + 1) % RING_CAPACITY;
+        }
+    }
+}
+
+/// Opens a span; the returned guard records it when dropped. When tracing
+/// is disabled this takes no timestamp and returns an inert guard — one
+/// relaxed atomic load total.
+pub fn span(name: &'static str) -> SpanGuard {
+    if !tracing_enabled() {
+        return SpanGuard { active: None };
+    }
+    let start_ns = epoch().elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    let depth = DEPTH.with(|d| {
+        let depth = d.get();
+        d.set(depth + 1);
+        depth
+    });
+    SpanGuard {
+        active: Some(ActiveSpan {
+            name,
+            start: Instant::now(),
+            start_ns,
+            depth,
+        }),
+    }
+}
+
+/// The ring's recent spans, oldest first.
+pub fn recent_spans() -> Vec<SpanRecord> {
+    let ring = ring().lock().expect("span ring poisoned");
+    if ring.slots.len() < RING_CAPACITY {
+        ring.slots.clone()
+    } else {
+        let mut out = Vec::with_capacity(RING_CAPACITY);
+        out.extend_from_slice(&ring.slots[ring.next..]);
+        out.extend_from_slice(&ring.slots[..ring.next]);
+        out
+    }
+}
+
+/// Total spans ever recorded (including ones the ring has overwritten).
+pub fn spans_recorded() -> u64 {
+    ring().lock().expect("span ring poisoned").total
+}
+
+/// Empties the ring (the total recorded count is kept).
+pub fn clear_spans() {
+    let mut ring = ring().lock().expect("span ring poisoned");
+    ring.slots.clear();
+    ring.next = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test owns the global tracer state: the enable/disable halves
+    // must not interleave with each other across test threads.
+    #[test]
+    fn spans_record_when_enabled_and_vanish_when_disabled() {
+        set_tracing(true);
+        clear_spans();
+        let before = spans_recorded();
+        {
+            let _outer = span("test.outer");
+            let _inner = span("test.inner");
+        }
+        let spans = recent_spans();
+        assert_eq!(spans_recorded() - before, 2);
+        // Inner drops first, so it is recorded first.
+        let inner = spans[spans.len() - 2];
+        let outer = spans[spans.len() - 1];
+        assert_eq!(inner.name, "test.inner");
+        assert_eq!(outer.name, "test.outer");
+        assert_eq!(outer.depth, inner.depth.saturating_sub(1));
+        assert_eq!(inner.thread, outer.thread);
+        assert!(inner.start_ns >= outer.start_ns);
+
+        set_tracing(false);
+        let before = spans_recorded();
+        {
+            let _quiet = span("test.quiet");
+        }
+        assert_eq!(spans_recorded(), before, "disabled spans must not record");
+
+        // Ring wrap: overfill and check the ring keeps the newest spans.
+        set_tracing(true);
+        clear_spans();
+        for _ in 0..RING_CAPACITY + 10 {
+            let _s = span("test.wrap");
+        }
+        let spans = recent_spans();
+        assert_eq!(spans.len(), RING_CAPACITY);
+        assert!(spans.windows(2).all(|w| w[0].start_ns <= w[1].start_ns));
+        set_tracing(false);
+    }
+}

@@ -4,14 +4,16 @@ use std::fs::File;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
+use netsched_core::Budget;
 use netsched_service::{
-    CompactionReport, DemandEvent, ScheduleDelta, ServiceError, ServiceSession,
+    wal_record, CompactionReport, DemandEvent, ScheduleDelta, ServiceError, ServiceSession,
 };
 use netsched_workloads::FaultPlan;
 
 use crate::restore::restore_inner;
 use crate::wal::{
-    compact_wal, install_faults, open_wal, sync_wal, wal_health, WalHandle, WalJournal, WAL_FILE,
+    compact_wal, install_faults, install_obs, open_wal, sync_wal, wal_health, WalHandle,
+    WalJournal, WAL_FILE,
 };
 use crate::{Durability, PersistConfig, PersistError, RestoreReport, WalHealth};
 
@@ -36,6 +38,12 @@ pub struct DurableSession {
     wal: WalHandle,
     config: PersistConfig,
     last_snapshot_epoch: u64,
+    /// Dump a `MetricsReport` JSON to `<dir>/metrics/` every this many
+    /// epochs (`0` = off; see
+    /// [`set_metrics_dump_every`](DurableSession::set_metrics_dump_every)).
+    metrics_dump_every: u64,
+    /// The epoch of the most recent metrics dump.
+    last_metrics_dump_epoch: u64,
 }
 
 impl DurableSession {
@@ -57,13 +65,16 @@ impl DurableSession {
             source: e,
         })?;
         let wal = open_wal(&dir, config.durability).map_err(PersistError::Wal)?;
+        install_obs(&wal, session.obs_registry());
         session.attach_journal(Box::new(WalJournal::new(wal.clone())));
         let mut this = Self {
             last_snapshot_epoch: session.epoch(),
+            last_metrics_dump_epoch: session.epoch(),
             session,
             dir,
             wal,
             config,
+            metrics_dump_every: 0,
         };
         this.snapshot_now()?;
         Ok(this)
@@ -117,14 +128,17 @@ impl DurableSession {
         }
         drop(file);
         let wal = open_wal(&dir, config.durability).map_err(PersistError::Wal)?;
+        install_obs(&wal, session.obs_registry());
         session.attach_journal(Box::new(WalJournal::new(wal.clone())));
         Ok((
             Self {
                 last_snapshot_epoch: report.snapshot_epoch,
+                last_metrics_dump_epoch: session.epoch(),
                 session,
                 dir,
                 wal,
                 config,
+                metrics_dump_every: 0,
             },
             report,
         ))
@@ -143,6 +157,46 @@ impl DurableSession {
     /// the [crate docs](crate) and [`DurableSession::health`]).
     pub fn step(&mut self, batch: &[DemandEvent]) -> Result<ScheduleDelta, ServiceError> {
         let delta = self.session.step(batch)?;
+        self.after_step()?;
+        Ok(delta)
+    }
+
+    /// [`step`](DurableSession::step) under a cooperative
+    /// [`Budget`] with panic quarantine, plus **quarantine forensics**: a
+    /// quarantined batch is persisted to
+    /// `<dir>/quarantine/epoch-<N>/` — `batch.json` (the poisoned batch
+    /// as a replayable [`wal_record`] document), `panic.txt` (the panic
+    /// payload) and `metrics.json` (the epoch's
+    /// [`MetricsReport`](netsched_obs::MetricsReport)) — before the error
+    /// returns, so the offending input survives for offline triage even
+    /// though the log's record was tombstoned. Forensics writes are
+    /// best-effort: a full disk must not turn a survived quarantine into
+    /// a failed epoch.
+    pub fn step_with_deadline(
+        &mut self,
+        batch: &[DemandEvent],
+        budget: &Budget,
+    ) -> Result<ScheduleDelta, ServiceError> {
+        // The epoch the batch would have advanced the session to — read
+        // before the step, because a quarantine restores the counter.
+        let dead_epoch = self.session.epoch() + 1;
+        match self.session.step_with_deadline(batch, budget) {
+            Ok(delta) => {
+                self.after_step()?;
+                Ok(delta)
+            }
+            Err(ServiceError::Quarantined { reason }) => {
+                self.dump_quarantine(dead_epoch, batch, &reason);
+                Err(ServiceError::Quarantined { reason })
+            }
+            Err(other) => Err(other),
+        }
+    }
+
+    /// The post-step durability work shared by every stepping surface:
+    /// the epoch-cadence fsync, the snapshot cadence and the metrics-dump
+    /// cadence.
+    fn after_step(&mut self) -> Result<(), ServiceError> {
         if self.health().effective_durability == Durability::Epoch {
             sync_wal(&self.wal, self.session.epoch()).map_err(ServiceError::Journal)?;
         }
@@ -152,7 +206,54 @@ impl DurableSession {
             self.snapshot_now()
                 .map_err(|e| ServiceError::Journal(e.to_string()))?;
         }
-        Ok(delta)
+        if self.metrics_dump_every > 0
+            && self.session.epoch() - self.last_metrics_dump_epoch >= self.metrics_dump_every
+        {
+            self.dump_metrics_now();
+            self.last_metrics_dump_epoch = self.session.epoch();
+        }
+        Ok(())
+    }
+
+    /// Enables (or, with `0`, disables) the periodic metrics dump: every
+    /// `every` epochs the session registry's
+    /// [`MetricsReport`](netsched_obs::MetricsReport) is written as JSON
+    /// to `<dir>/metrics/epoch-<N>.json`. Dumps are best-effort
+    /// observability output — an unwritable file never fails the epoch.
+    pub fn set_metrics_dump_every(&mut self, every: u64) {
+        self.metrics_dump_every = every;
+        self.last_metrics_dump_epoch = self.session.epoch();
+    }
+
+    /// Writes the current metrics report to
+    /// `<dir>/metrics/epoch-<N>.json` now, best-effort.
+    pub fn dump_metrics_now(&self) {
+        let dir = self.dir.join("metrics");
+        if std::fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let path = dir.join(format!("epoch-{:020}.json", self.session.epoch()));
+        let _ = std::fs::write(path, self.session.obs_registry().snapshot().to_json());
+    }
+
+    /// Persists a quarantined batch's forensics bundle, best-effort.
+    fn dump_quarantine(&self, dead_epoch: u64, batch: &[DemandEvent], reason: &str) {
+        let dir = self
+            .dir
+            .join("quarantine")
+            .join(format!("epoch-{dead_epoch}"));
+        if std::fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let _ = std::fs::write(
+            dir.join("batch.json"),
+            wal_record(dead_epoch, batch).render(),
+        );
+        let _ = std::fs::write(dir.join("panic.txt"), reason);
+        let _ = std::fs::write(
+            dir.join("metrics.json"),
+            self.session.obs_registry().snapshot().to_json(),
+        );
     }
 
     /// Writes a snapshot now (outside the cadence): compacts the session

@@ -99,6 +99,24 @@
 //! [`FaultPlan`](netsched_workloads::FaultPlan) via
 //! [`DurableSession::inject_faults`]; the root `tests/fault_injection.rs`
 //! suite pins the ladder end to end.
+//!
+//! # Observability
+//!
+//! The WAL records into the wrapped session's
+//! [`ObsRegistry`](netsched_obs::ObsRegistry), so one snapshot covers
+//! epochs and durability alike: `wal.append_ns` / `wal.fsync_ns` latency
+//! histograms plus counters that mirror [`WalHealth`] field-for-field —
+//! `wal.append_retries` ↔ [`WalHealth::append_retries`],
+//! `wal.sync_failures` ↔ [`WalHealth::sync_failures`],
+//! `wal.degrade_events` ↔ `WalHealth::degrade_events.len()`. Recovery
+//! records its phase timings (`restore.snapshot_load_ns`,
+//! `restore.scan_ns`, `restore.replay_ns`) into the recovered session's
+//! registry. [`DurableSession::set_metrics_dump_every`] writes periodic
+//! [`MetricsReport`](netsched_obs::MetricsReport) JSONs under
+//! `<dir>/metrics/`, and
+//! [`DurableSession::step_with_deadline`] persists a quarantined batch's
+//! forensics bundle (batch + panic payload + metrics) under
+//! `<dir>/quarantine/epoch-<N>/`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -85,6 +85,7 @@ pub fn restore(dir: impl AsRef<Path>) -> Result<RecoveredSession, String> {
 /// to before appending new records, so the next recovery does not trip
 /// over the same dead suffix.
 pub(crate) fn restore_inner(dir: &Path) -> Result<(ServiceSession, RestoreReport, u64), String> {
+    let load_start = std::time::Instant::now();
     let mut snapshots = list_snapshots(dir)?;
     snapshots.sort_by_key(|s| std::cmp::Reverse(s.0));
     let mut dropped_snapshots = 0usize;
@@ -101,9 +102,14 @@ pub(crate) fn restore_inner(dir: &Path) -> Result<(ServiceSession, RestoreReport
     let mut session =
         restored.ok_or_else(|| format!("no valid snapshot under {}", dir.display()))?;
     let snapshot_epoch = session.epoch();
+    session
+        .obs_registry()
+        .histogram("restore.snapshot_load_ns")
+        .record_duration(load_start.elapsed());
 
     // A missing log is a valid empty log (the session crashed before its
     // first append).
+    let scan_start = std::time::Instant::now();
     let bytes = std::fs::read(dir.join(WAL_FILE)).unwrap_or_default();
     let scan = scan_frames(&bytes);
     let mut dropped_records = scan.dropped_frames;
@@ -161,6 +167,12 @@ pub(crate) fn restore_inner(dir: &Path) -> Result<(ServiceSession, RestoreReport
         }
     }
 
+    session
+        .obs_registry()
+        .histogram("restore.scan_ns")
+        .record_duration(scan_start.elapsed());
+
+    let replay_start = std::time::Instant::now();
     let mut skipped_records = 0usize;
     let mut replayed_epochs = 0u64;
     for (i, record) in resolved.iter().enumerate() {
@@ -182,6 +194,11 @@ pub(crate) fn restore_inner(dir: &Path) -> Result<(ServiceSession, RestoreReport
             .map_err(|e| format!("replaying logged epoch {} failed: {e}", record.epoch))?;
         replayed_epochs += 1;
     }
+
+    session
+        .obs_registry()
+        .histogram("restore.replay_ns")
+        .record_duration(replay_start.elapsed());
 
     let report = RestoreReport {
         snapshot_epoch,

@@ -25,6 +25,7 @@ use std::path::Path;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use netsched_obs::{Counter, Histogram, ObsRegistry};
 use netsched_service::{
     parse_wal_record, wal_record, wal_rollback_record, DemandEvent, EpochJournal,
 };
@@ -68,12 +69,48 @@ struct FaultState {
     sync_ops: u64,
 }
 
+/// Pre-resolved WAL metric handles (see the crate docs' catalogue). The
+/// counters mirror the matching [`WalHealth`] fields — `wal.append_retries`
+/// tracks `health.append_retries`, `wal.sync_failures` tracks
+/// `health.sync_failures`, `wal.degrade_events` tracks
+/// `health.degrade_events.len()` — so a metrics scrape and a health query
+/// can be cross-checked against each other.
+#[derive(Clone)]
+pub(crate) struct WalObs {
+    /// `wal.append_ns` — whole journal append (retries and any
+    /// batch-durability fsync included).
+    append_ns: Histogram,
+    /// `wal.fsync_ns` — individual fsync attempts (batch and epoch cadence).
+    fsync_ns: Histogram,
+    /// `wal.append_retries` — mirrors [`WalHealth::append_retries`].
+    append_retries: Counter,
+    /// `wal.sync_failures` — mirrors [`WalHealth::sync_failures`].
+    sync_failures: Counter,
+    /// `wal.degrade_events` — mirrors `WalHealth::degrade_events.len()`.
+    degrade_events: Counter,
+}
+
+impl WalObs {
+    pub(crate) fn resolve(obs: &ObsRegistry) -> Self {
+        Self {
+            append_ns: obs.histogram("wal.append_ns"),
+            fsync_ns: obs.histogram("wal.fsync_ns"),
+            append_retries: obs.counter("wal.append_retries"),
+            sync_failures: obs.counter("wal.sync_failures"),
+            degrade_events: obs.counter("wal.degrade_events"),
+        }
+    }
+}
+
 /// The open log file, shared between the attached journal and the
 /// durable session.
 pub(crate) struct WalInner {
     file: File,
     faults: FaultState,
     health: WalHealth,
+    /// Metric handles, installed by the durable session (None until then —
+    /// the WAL stays usable without a registry).
+    obs: Option<WalObs>,
 }
 
 pub(crate) type WalHandle = Arc<Mutex<WalInner>>;
@@ -94,14 +131,20 @@ impl WalInner {
         self.file.write_all(frame)
     }
 
-    /// One physical sync attempt, counted against the fault plan.
+    /// One physical sync attempt, counted against the fault plan and
+    /// timed into `wal.fsync_ns`.
     fn sync_once(&mut self) -> io::Result<()> {
         let op = self.faults.sync_ops;
         self.faults.sync_ops += 1;
         if self.faults.plan.fails_sync(op) {
             return Err(io::Error::other("injected fsync failure"));
         }
-        self.file.sync_data()
+        let start = std::time::Instant::now();
+        let outcome = self.file.sync_data();
+        if let Some(obs) = &self.obs {
+            obs.fsync_ns.record_duration(start.elapsed());
+        }
+        outcome
     }
 
     /// Downgrades the effective durability to `to` (no-op when already at
@@ -118,6 +161,9 @@ impl WalInner {
             cause,
         });
         self.health.effective_durability = to;
+        if let Some(obs) = &self.obs {
+            obs.degrade_events.inc();
+        }
     }
 }
 
@@ -134,7 +180,17 @@ pub(crate) fn open_wal(dir: &Path, configured: Durability) -> Result<WalHandle, 
         file,
         faults: FaultState::default(),
         health: WalHealth::new(configured),
+        obs: None,
     })))
+}
+
+/// Resolves the WAL metric handles from `obs` and installs them into the
+/// handle; the durable session calls this with its session's registry so
+/// WAL and epoch metrics land in one report.
+pub(crate) fn install_obs(handle: &WalHandle, obs: &ObsRegistry) {
+    if let Ok(mut inner) = handle.lock() {
+        inner.obs = Some(WalObs::resolve(obs));
+    }
 }
 
 /// Installs a fault schedule into the log shim, resetting the operation
@@ -182,6 +238,7 @@ pub(crate) fn append_rollback(handle: &WalHandle, epoch: u64) -> Result<(), Stri
 }
 
 fn append_payload(handle: &WalHandle, epoch: u64, payload: JsonValue) -> Result<(), String> {
+    let append_start = std::time::Instant::now();
     let payload = payload.render();
     let frame = encode_frame(payload.as_bytes());
     let mut inner = handle.lock().map_err(|_| "wal lock poisoned".to_string())?;
@@ -204,6 +261,9 @@ fn append_payload(handle: &WalHandle, epoch: u64, payload: JsonValue) -> Result<
                 let _ = inner.file.set_len(start);
                 attempt += 1;
                 inner.health.append_retries += 1;
+                if let Some(obs) = &inner.obs {
+                    obs.append_retries.inc();
+                }
                 if attempt > APPEND_RETRIES {
                     return Err(format!(
                         "appending to the write-ahead log (after {attempt} attempts): {e}"
@@ -221,6 +281,9 @@ fn append_payload(handle: &WalHandle, epoch: u64, payload: JsonValue) -> Result<
                 Err(e) => {
                     attempt += 1;
                     inner.health.sync_failures += 1;
+                    if let Some(obs) = &inner.obs {
+                        obs.sync_failures.inc();
+                    }
                     if attempt > SYNC_RETRIES {
                         inner.degrade(
                             Durability::Epoch,
@@ -233,6 +296,9 @@ fn append_payload(handle: &WalHandle, epoch: u64, payload: JsonValue) -> Result<
                 }
             }
         }
+    }
+    if let Some(obs) = &inner.obs {
+        obs.append_ns.record_duration(append_start.elapsed());
     }
     Ok(())
 }
@@ -254,6 +320,9 @@ pub(crate) fn sync_wal(handle: &WalHandle, epoch: u64) -> Result<(), String> {
             Err(e) => {
                 attempt += 1;
                 inner.health.sync_failures += 1;
+                if let Some(obs) = &inner.obs {
+                    obs.sync_failures.inc();
+                }
                 if attempt > SYNC_RETRIES {
                     inner.degrade(
                         Durability::None,

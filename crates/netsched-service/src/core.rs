@@ -43,6 +43,11 @@ pub(crate) struct LiveCore {
     /// selection seed carried across epochs. `None` until the first warm
     /// solve; reset whenever the required raise rule changes.
     warm: Option<WarmState>,
+    /// Nanoseconds the most recent [`LiveCore::apply`] spent rebuilding
+    /// dirty conflict-graph shards — the session reads this after each
+    /// splice to split the epoch's rebuild time into its
+    /// `epoch.conflict_rebuild_ns` / `epoch.splice_ns` histograms.
+    pub(crate) conflict_rebuild_ns: u64,
 }
 
 /// The minimum instance length recorded by a length histogram (1 for an
@@ -66,6 +71,7 @@ impl LiveCore {
             line_lengths: None,
             layering_l_min: 1,
             warm: None,
+            conflict_rebuild_ns: 0,
         }
     }
 
@@ -87,6 +93,7 @@ impl LiveCore {
             line_lengths: Some(counts),
             layering_l_min,
             warm: None,
+            conflict_rebuild_ns: 0,
         }
     }
 
@@ -123,7 +130,9 @@ impl LiveCore {
         }
         self.universe
             .apply_demand_delta(expired, arrivals, &mut self.delta);
+        let conflict_start = std::time::Instant::now();
         self.conflict.apply_delta(&self.universe, &self.delta);
+        self.conflict_rebuild_ns = conflict_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         if let Some(warm) = &mut self.warm {
             warm.splice(&self.universe, &self.delta);
         }

@@ -175,6 +175,67 @@
 //! epoch, with the downgrade visible in the operator-facing health state.
 //! See the `netsched-persist` crate docs for the degrade ladder.
 //!
+//! # Observability
+//!
+//! Every session records into a per-session
+//! [`ObsRegistry`](netsched_obs::ObsRegistry) (share one across sessions
+//! with [`ServiceSession::with_obs`]; read it with
+//! [`ServiceSession::obs_registry`]). Recording is a few relaxed atomics —
+//! no locks, no allocations on the epoch path (pinned by the root
+//! `alloc_regression` suite). Snapshot the registry for a
+//! [`MetricsReport`](netsched_obs::MetricsReport) with exact counts and
+//! p50/p95/p99/max latencies, exportable as JSON or Prometheus text.
+//!
+//! The metric catalogue:
+//!
+//! | name | kind | meaning |
+//! |---|---|---|
+//! | `epoch.step_ns` | histogram | whole `step` call (admission latency) |
+//! | `epoch.validate_ns` | histogram | batch validation + partitioning |
+//! | `epoch.journal_ns` | histogram | write-ahead journal record |
+//! | `epoch.splice_ns` | histogram | universe/layering/warm/split splices |
+//! | `epoch.conflict_rebuild_ns` | histogram | dirty conflict-shard rebuilds |
+//! | `epoch.solve_ns` | histogram | two-phase engine solve |
+//! | `epoch.delta_emit_ns` | histogram | schedule diff + delta assembly |
+//! | `epoch.count` | counter | epochs stepped |
+//! | `epoch.quarantined` | counter | batches rolled back by quarantine |
+//! | `engine.mis_rounds` | counter | first-phase MIS/raise rounds |
+//! | `engine.raises` | counter | dual raises performed |
+//! | `engine.truncated_epochs` | counter | budget-cut epochs |
+//! | `service.queue_depth` | gauge | submissions waiting in the frontend |
+//! | `service.overloaded` | counter | submissions rejected by backpressure |
+//! | `service.latency_bulk_ns` | histogram | submit→delta, bulk class |
+//! | `service.latency_sensitive_ns` | histogram | submit→delta, latency-sensitive |
+//!
+//! A snapshot exports in the Prometheus text exposition format, names
+//! prefixed `netsched_` and sanitized to the exposition charset
+//! (`epoch.step_ns` → `netsched_epoch_step_ns`, values in nanoseconds):
+//!
+//! ```text
+//! # TYPE netsched_epoch_count counter
+//! netsched_epoch_count 64
+//! # TYPE netsched_epoch_step_ns summary
+//! netsched_epoch_step_ns{quantile="0.5"} 268435455
+//! netsched_epoch_step_ns{quantile="0.95"} 402653183
+//! netsched_epoch_step_ns{quantile="0.99"} 421700980
+//! netsched_epoch_step_ns_sum 17044316156
+//! netsched_epoch_step_ns_count 64
+//! netsched_epoch_step_ns_max 421700980
+//! ```
+//!
+//! The phase histograms tile the step: `splice + conflict_rebuild` equals
+//! the delta's `stats.rebuild_seconds` and `solve_ns` equals
+//! `stats.solve_seconds` (same clock reads). Span tracing
+//! (`NETSCHED_OBS=on` or [`netsched_obs::set_tracing`]) additionally
+//! records `epoch.step` → `epoch.rebuild` / `epoch.solve` regions into
+//! the flight-recorder ring; disabled spans cost one atomic load.
+//!
+//! Epoch solves also feed an online
+//! [`RoundCalibration`](netsched_core::RoundCalibration) (EWMA of engine
+//! seconds-per-round), which
+//! [`ServiceSession::calibrated_budget`] uses to compile wall-clock
+//! deadlines ([`BudgetSpec::Millis`]) into deterministic round caps.
+//!
 //! # Async frontend
 //!
 //! [`Service`] wraps a session behind a submission queue with hand-rolled

@@ -19,7 +19,7 @@ use std::future::Future;
 use std::pin::Pin;
 use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use fxhash::FxHashSet;
 use netsched_core::Budget;
@@ -124,6 +124,9 @@ struct Pending {
     events: Vec<DemandEvent>,
     class: AdmissionClass,
     slot: Arc<Slot>,
+    /// When the submission entered the queue; the drive records the
+    /// submit-to-delta latency per admission class from it.
+    submitted_at: Instant,
 }
 
 struct State {
@@ -149,6 +152,10 @@ impl State {
     fn drive(&mut self) -> EpochResult {
         let pending: Vec<Pending> = self.queue.drain(..).collect();
         self.queued_expiries.clear();
+        self.session
+            .obs_registry()
+            .gauge("service.queue_depth")
+            .set(0);
         let batch: Vec<DemandEvent> = pending
             .iter()
             .flat_map(|p| p.events.iter().cloned())
@@ -157,7 +164,13 @@ impl State {
             .iter()
             .any(|p| p.class == AdmissionClass::LatencySensitive)
         {
-            self.policy.latency_budget.to_budget()
+            match self.policy.latency_budget {
+                // A wall-clock budget goes through the session's online
+                // calibration: once primed, the deadline is compiled into
+                // a deterministic round cap as well (tightest limit wins).
+                BudgetSpec::Millis(ms) => self.session.calibrated_budget(Duration::from_millis(ms)),
+                spec => spec.to_budget(),
+            }
         } else {
             Budget::unlimited()
         };
@@ -167,7 +180,16 @@ impl State {
             self.session.step(&batch)
         }
         .map(Arc::new);
+        let obs = self.session.obs_registry();
+        let bulk = obs.histogram("service.latency_bulk_ns");
+        let sensitive = obs.histogram("service.latency_sensitive_ns");
         for p in &pending {
+            match p.class {
+                AdmissionClass::Bulk => bulk.record_duration(p.submitted_at.elapsed()),
+                AdmissionClass::LatencySensitive => {
+                    sensitive.record_duration(p.submitted_at.elapsed())
+                }
+            }
             p.slot.fill(outcome.clone());
         }
         outcome
@@ -238,6 +260,11 @@ impl Service {
     ) -> Result<SubmitFuture, ServiceError> {
         let mut state = self.state.lock().expect("service lock poisoned");
         if state.policy.max_queued > 0 && state.queue.len() >= state.policy.max_queued {
+            state
+                .session
+                .obs_registry()
+                .counter("service.overloaded")
+                .inc();
             // Drain-time estimate: every drive folds the whole queue into
             // one epoch, so one epoch per full queue's worth of waiting
             // submissions is a conservative upper bound.
@@ -280,7 +307,13 @@ impl Service {
             events,
             class,
             slot: slot.clone(),
+            submitted_at: Instant::now(),
         });
+        state
+            .session
+            .obs_registry()
+            .gauge("service.queue_depth")
+            .set(state.queue.len() as i64);
         Ok(SubmitFuture {
             state: self.state.clone(),
             slot,

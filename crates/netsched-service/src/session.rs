@@ -22,13 +22,14 @@ use std::collections::BTreeMap;
 use fxhash::FxHashMap;
 use netsched_core::{
     combine_wide_narrow, solve_wide_narrow_on_budgeted, AlgorithmConfig, Budget,
-    CertificateQuality, EngineHalf, HalfOutcome, RaiseRule, Solution, WarmState,
+    CertificateQuality, EngineHalf, HalfOutcome, RaiseRule, RoundCalibration, Solution, WarmState,
 };
 use netsched_decomp::TreeLayerer;
 use netsched_distrib::ShardedConflictGraph;
 use netsched_graph::{
     ArrivingDemand, DemandId, DemandInstanceUniverse, EdgePath, LineProblem, NetworkId, TreeProblem,
 };
+use netsched_obs::{Counter, Histogram, ObsRegistry};
 use netsched_workloads::json::{FromJson, JsonValue, ToJson};
 
 use crate::core::{LiveCore, TreeAssignments, TREE_LAYERING};
@@ -314,6 +315,60 @@ impl MemoryFootprint {
     }
 }
 
+/// Pre-resolved handles of the session's hot-path metrics, looked up once
+/// per registry so the epoch step records through bare `Arc`'d atomics
+/// (no registry lock on the hot path). See the crate docs' metric
+/// catalogue for the names.
+#[derive(Clone)]
+struct SessionMetrics {
+    /// `epoch.step_ns` — whole [`ServiceSession::step`] call, the
+    /// submit-to-delta admission latency the benches report.
+    step_ns: Histogram,
+    /// `epoch.validate_ns` — batch validation and partitioning.
+    validate_ns: Histogram,
+    /// `epoch.journal_ns` — write-ahead journal record (0 when detached).
+    journal_ns: Histogram,
+    /// `epoch.splice_ns` — universe/layering/warm/split splicing (the
+    /// rebuild window minus the conflict shard rebuilds).
+    splice_ns: Histogram,
+    /// `epoch.conflict_rebuild_ns` — dirty conflict-shard CSR rebuilds.
+    conflict_rebuild_ns: Histogram,
+    /// `epoch.solve_ns` — the two-phase engine solve.
+    solve_ns: Histogram,
+    /// `epoch.delta_emit_ns` — schedule diffing and delta assembly.
+    delta_emit_ns: Histogram,
+    /// `epoch.count` — epochs stepped (including empty fast-path epochs).
+    epochs: Counter,
+    /// `epoch.quarantined` — batches rolled back by panic quarantine.
+    quarantined: Counter,
+    /// `engine.mis_rounds` — first-phase MIS/raise rounds executed.
+    mis_rounds: Counter,
+    /// `engine.raises` — dual raises performed.
+    raises: Counter,
+    /// `engine.truncated_epochs` — epochs cut by a budget before full
+    /// certification.
+    truncated_epochs: Counter,
+}
+
+impl SessionMetrics {
+    fn resolve(obs: &ObsRegistry) -> Self {
+        Self {
+            step_ns: obs.histogram("epoch.step_ns"),
+            validate_ns: obs.histogram("epoch.validate_ns"),
+            journal_ns: obs.histogram("epoch.journal_ns"),
+            splice_ns: obs.histogram("epoch.splice_ns"),
+            conflict_rebuild_ns: obs.histogram("epoch.conflict_rebuild_ns"),
+            solve_ns: obs.histogram("epoch.solve_ns"),
+            delta_emit_ns: obs.histogram("epoch.delta_emit_ns"),
+            epochs: obs.counter("epoch.count"),
+            quarantined: obs.counter("epoch.quarantined"),
+            mis_rounds: obs.counter("engine.mis_rounds"),
+            raises: obs.counter("engine.raises"),
+            truncated_epochs: obs.counter("engine.truncated_epochs"),
+        }
+    }
+}
+
 /// A long-lived dynamic scheduling session; see the
 /// [module docs](self) for the epoch model and [`crate`] docs for the
 /// amortized cost table.
@@ -347,6 +402,15 @@ pub struct ServiceSession {
     /// Fault-injection hook: epochs whose solve panics deterministically
     /// (see [`ServiceSession::inject_solve_panics`]). Never serialized.
     panic_epochs: Vec<u64>,
+    /// The metrics registry every epoch records into (private per session
+    /// by default; share one via [`ServiceSession::with_obs`]).
+    obs: ObsRegistry,
+    /// Hot-path handles resolved from `obs` once.
+    metrics: SessionMetrics,
+    /// Online EWMA of engine seconds-per-round, fed by every solved epoch;
+    /// compiles wall-clock deadlines into deterministic round caps (see
+    /// [`ServiceSession::calibrated_budget`]).
+    calibration: RoundCalibration,
 }
 
 impl ServiceSession {
@@ -420,6 +484,8 @@ impl ServiceSession {
             .enumerate()
             .map(|(i, d)| (d.ticket, i as u32))
             .collect();
+        let obs = ObsRegistry::default();
+        let metrics = SessionMetrics::resolve(&obs);
         Self {
             base,
             layerer,
@@ -439,6 +505,9 @@ impl ServiceSession {
             journal: None,
             pending_anytime: false,
             panic_epochs: Vec::new(),
+            obs,
+            metrics,
+            calibration: RoundCalibration::new(),
         }
     }
 
@@ -485,6 +554,44 @@ impl ServiceSession {
     /// The session's re-solve mode.
     pub fn resolve_mode(&self) -> ResolveMode {
         self.resolve
+    }
+
+    /// Records every subsequent epoch's metrics into `obs` instead of the
+    /// session's private registry — so a process can aggregate several
+    /// sessions (or a session plus its durable wrapper) into one
+    /// [`MetricsReport`](netsched_obs::MetricsReport).
+    pub fn with_obs(mut self, obs: ObsRegistry) -> Self {
+        self.metrics = SessionMetrics::resolve(&obs);
+        self.obs = obs;
+        self
+    }
+
+    /// The metrics registry the session records into. Snapshot it for the
+    /// epoch phase breakdown, engine counters and admission-latency
+    /// percentiles (see the crate docs' metric catalogue).
+    pub fn obs_registry(&self) -> &ObsRegistry {
+        &self.obs
+    }
+
+    /// The session's online rounds-per-second calibration (primed after
+    /// [`RoundCalibration::PRIME_OBSERVATIONS`] solved epochs).
+    pub fn calibration(&self) -> &RoundCalibration {
+        &self.calibration
+    }
+
+    /// Compiles a wall-clock deadline into a [`Budget`] using the online
+    /// calibration: once primed, the budget carries a deterministic round
+    /// cap (`deadline / EWMA seconds-per-round`) **and** the wall-clock
+    /// deadline — whichever binds first cuts the solve, so a mispredicted
+    /// rate can overshoot the deadline by at most the engine's
+    /// between-checks granularity, while a well-predicted one cuts
+    /// deterministically. Before priming this is a plain
+    /// [`Budget::deadline`].
+    pub fn calibrated_budget(&self, deadline: std::time::Duration) -> Budget {
+        match self.calibration.rounds_for(deadline) {
+            Some(cap) => Budget::rounds(cap).with_deadline(deadline),
+            None => Budget::deadline(deadline),
+        }
     }
 
     /// The run configuration every epoch solves with.
@@ -672,7 +779,11 @@ impl ServiceSession {
                 restored.journal = journal;
                 restored.panic_epochs = panic_epochs;
                 restored.pending_anytime = pending_anytime;
+                restored.metrics = self.metrics.clone();
+                restored.obs = self.obs.clone();
+                restored.calibration = self.calibration;
                 *self = restored;
+                self.metrics.quarantined.inc();
                 // The journal recorded the batch for epoch + 1 before the
                 // solve; tombstone it so replay does not resurrect the
                 // quarantined batch. Best-effort: a failed tombstone is
@@ -709,7 +820,11 @@ impl ServiceSession {
         batch: &[DemandEvent],
         budget: &Budget,
     ) -> Result<ScheduleDelta, ServiceError> {
+        let step_start = std::time::Instant::now();
+        let _step_span = netsched_obs::span!("epoch.step");
+
         // ---- validate & partition (no mutation before this block ends) --
+        let validate_start = std::time::Instant::now();
         let mut arrivals: Vec<DemandRequest> = Vec::new();
         let mut expired: Vec<DemandId> = Vec::new();
         for event in batch {
@@ -731,6 +846,9 @@ impl ServiceSession {
             }
         }
         expired.sort_unstable();
+        self.metrics
+            .validate_ns
+            .record_duration(validate_start.elapsed());
 
         // ---- write-ahead journal (still no mutation) -------------------
         // Every batch — including empty keep-alive ones — is recorded with
@@ -742,13 +860,17 @@ impl ServiceSession {
                 .record(self.epoch + 1, batch)
                 .map_err(ServiceError::Journal)?;
         }
-        let journal_seconds = journal_start.elapsed().as_secs_f64();
+        let journal_elapsed = journal_start.elapsed();
+        let journal_seconds = journal_elapsed.as_secs_f64();
+        self.metrics.journal_ns.record_duration(journal_elapsed);
 
         // ---- empty-batch fast path ------------------------------------
         // Skipped while truncated work is pending: an empty step is then
         // exactly the "finish the certification" epoch.
         if batch.is_empty() && self.solved && !self.pending_anytime {
             self.epoch += 1;
+            self.metrics.epochs.inc();
+            self.metrics.step_ns.record_duration(step_start.elapsed());
             return Ok(ScheduleDelta {
                 epoch: self.epoch,
                 tickets: Vec::new(),
@@ -776,6 +898,7 @@ impl ServiceSession {
 
         // ---- splice the full core -------------------------------------
         let rebuild_start = std::time::Instant::now();
+        let rebuild_span = netsched_obs::span!("epoch.rebuild");
         let (arrivings, assignments) = self.materialize(&arrivals);
         let dirty_shards = self.full.apply(&expired, &arrivings, assignments.concat());
 
@@ -826,15 +949,26 @@ impl ServiceSession {
         let any_wide = self.live.iter().any(|d| d.request.is_wide());
         let any_narrow = self.live.iter().any(|d| !d.request.is_wide());
         let mixed = any_wide && any_narrow;
+        let mut conflict_ns = self.full.conflict_rebuild_ns;
         if self.split.is_some() {
             self.update_split(&expired, &demand_remap, &arrivals, &arrivings, &assignments);
+            let split = self.split.as_ref().expect("split just updated");
+            conflict_ns += split.wide.conflict_rebuild_ns + split.narrow.conflict_rebuild_ns;
         } else if mixed {
             self.split = Some(self.build_split());
         }
 
         // ---- solve -----------------------------------------------------
-        let rebuild_seconds = rebuild_start.elapsed().as_secs_f64();
+        let rebuild_elapsed = rebuild_start.elapsed();
+        drop(rebuild_span);
+        let rebuild_seconds = rebuild_elapsed.as_secs_f64();
+        let rebuild_ns = rebuild_elapsed.as_nanos().min(u64::MAX as u128) as u64;
+        self.metrics.conflict_rebuild_ns.record(conflict_ns);
+        self.metrics
+            .splice_ns
+            .record(rebuild_ns.saturating_sub(conflict_ns));
         let solve_start = std::time::Instant::now();
+        let solve_span = netsched_obs::span!("epoch.solve");
         if self.panic_epochs.contains(&(self.epoch + 1)) {
             panic!("injected solve fault at epoch {}", self.epoch + 1);
         }
@@ -899,9 +1033,13 @@ impl ServiceSession {
         } else {
             self.full.solve(RaiseRule::Unit, &self.config, budget)
         };
-        let solve_seconds = solve_start.elapsed().as_secs_f64();
+        let solve_elapsed = solve_start.elapsed();
+        drop(solve_span);
+        let solve_seconds = solve_elapsed.as_secs_f64();
+        self.metrics.solve_ns.record_duration(solve_elapsed);
 
         // ---- delta extraction -----------------------------------------
+        let delta_start = std::time::Instant::now();
         let mut new_schedule: BTreeMap<u64, Placement> = BTreeMap::new();
         for &d in &solution.selected {
             let inst = self.full.universe.instance(d);
@@ -947,7 +1085,22 @@ impl ServiceSession {
         self.pending_anytime = solution.diagnostics.quality.is_truncated();
         self.epoch += 1;
         let quality = solution.diagnostics.quality;
+        self.metrics.epochs.inc();
+        self.metrics.mis_rounds.add(solution.diagnostics.steps);
+        self.metrics.raises.add(solution.diagnostics.raised);
+        if quality.is_truncated() {
+            self.metrics.truncated_epochs.inc();
+        }
+        // Truncated epochs are valid rate samples too: the engine checks
+        // the budget between rounds, so (rounds run, seconds spent) holds
+        // regardless of where the cut landed.
+        self.calibration
+            .observe(solution.diagnostics.steps, solve_seconds);
         self.last = Some(solution);
+        self.metrics
+            .delta_emit_ns
+            .record_duration(delta_start.elapsed());
+        self.metrics.step_ns.record_duration(step_start.elapsed());
 
         Ok(ScheduleDelta {
             epoch: self.epoch,

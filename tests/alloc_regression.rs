@@ -6,7 +6,9 @@
 //! every shard clean — performs **zero heap allocations** across all three
 //! layers (`DemandInstanceUniverse::apply_demand_delta`,
 //! `ShardedConflictGraph::apply_delta`, `WarmState::splice`) once the
-//! session's scratch buffers have reached steady capacity. This binary
+//! session's scratch buffers have reached steady capacity — including
+//! the observability hooks the serving path runs every epoch (disabled
+//! spans, pre-resolved histogram/counter/gauge handles). This binary
 //! installs a counting global allocator and pins that contract; a
 //! regression (a stray `Vec::new` + `push`, a `collect`, a `mem::take`
 //! realloc) fails the count assertion rather than silently re-introducing
@@ -113,20 +115,36 @@ fn steady_state_clean_shard_splice_epochs_are_allocation_free() {
         warm.splice(&universe, &delta);
     }
 
+    // The serving path's observability hooks ride inside the same loop:
+    // with tracing disabled, a span is one relaxed atomic load and the
+    // pre-resolved metric handles are pure atomics — none of it may touch
+    // the heap either. Handles are resolved (and the registry's interior
+    // maps populated) before measurement starts, mirroring how
+    // `ServiceSession` pre-resolves its `SessionMetrics` at assembly.
+    netsched_obs::set_tracing(false);
+    let obs = netsched_obs::ObsRegistry::default();
+    let step_hist = obs.histogram("epoch.step_ns");
+    let epoch_counter = obs.counter("epoch.count");
+    let depth_gauge = obs.gauge("service.queue_depth");
+
     let live_before = universe.num_instances();
     let cross_before = conflict.cross_assembly_count();
     let before = allocations();
-    for _ in 0..8 {
+    for i in 0..8 {
+        let _epoch_span = netsched_obs::span!("epoch.step");
         universe.apply_demand_delta(&[], &[], &mut delta);
         conflict.apply_delta(&universe, &delta);
         warm.splice(&universe, &delta);
+        step_hist.record(1 + i as u64);
+        epoch_counter.inc();
+        depth_gauge.set(i);
     }
     let after = allocations();
     assert_eq!(
         after - before,
         0,
-        "steady-state clean-shard splice epochs must not touch the heap \
-         ({} allocations over 8 epochs)",
+        "steady-state clean-shard splice epochs (with disabled-mode obs \
+         hooks) must not touch the heap ({} allocations over 8 epochs)",
         after - before
     );
     // The epochs were real splices, not no-ops short-circuited upstream.
