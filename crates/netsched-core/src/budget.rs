@@ -174,6 +174,19 @@ impl RoundCalibration {
     /// Feeds one epoch's observed solve: `rounds` first-phase MIS/raise
     /// steps taking `seconds` of wall clock. Ignored unless both are
     /// positive (an empty or instantaneous solve carries no signal).
+    ///
+    /// **Feed full solves only.** An epoch's wall clock carries fixed
+    /// per-epoch overhead (second-phase replay, certificate fold) on top
+    /// of the per-round cost; a deadline-truncated epoch divides that
+    /// overhead by an artificially small round count, inflating the
+    /// sample. Under sustained overload the feedback loop ratchets: an
+    /// inflated EWMA compiles a smaller cap, the next epoch cuts even
+    /// earlier, its sample is worse still, and
+    /// [`rounds_for`](RoundCalibration::rounds_for) collapses toward its
+    /// floor of 1 (reproduced in this module's
+    /// `truncated_samples_ratchet_compiled_caps_downward` test). The
+    /// serving tier therefore only observes epochs whose certificate
+    /// quality [is full](CertificateQuality::is_full).
     pub fn observe(&mut self, rounds: u64, seconds: f64) {
         if rounds == 0 || seconds <= 0.0 || seconds.is_nan() {
             return;
@@ -271,6 +284,77 @@ impl CertificateQuality {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Reproduces the truncation ratchet the serving tier guards against:
+    /// a simulated engine with fixed per-epoch overhead, calibrated from
+    /// its own deadline-cut epochs, compiles ever-smaller round caps until
+    /// the cap collapses to the floor — while the same engine calibrated
+    /// from full solves only holds a stable cap.
+    #[test]
+    fn truncated_samples_ratchet_compiled_caps_downward() {
+        // Engine model: 5 ms of fixed overhead per epoch (replay,
+        // certificate fold) plus 0.1 ms per first-phase round. A full
+        // solve takes 100 rounds (15 ms); the 6 ms deadline affords a
+        // 40-round cap at the honest full-solve rate of 0.15 ms/round.
+        // Feeding cut epochs back attributes the 5 ms overhead to ever
+        // fewer rounds (fixed point: 0.6 ms/round → a 10-round cap).
+        const OVERHEAD_S: f64 = 5e-3;
+        const PER_ROUND_S: f64 = 1e-4;
+        const FULL_ROUNDS: u64 = 100;
+        let deadline = Duration::from_millis(6);
+        let epoch_secs = |rounds: u64| OVERHEAD_S + rounds as f64 * PER_ROUND_S;
+
+        // Prime both calibrations identically from three full solves.
+        let mut biased = RoundCalibration::new();
+        let mut gated = RoundCalibration::new();
+        for _ in 0..RoundCalibration::PRIME_OBSERVATIONS {
+            biased.observe(FULL_ROUNDS, epoch_secs(FULL_ROUNDS));
+            gated.observe(FULL_ROUNDS, epoch_secs(FULL_ROUNDS));
+        }
+        let initial_cap = biased.rounds_for(deadline).expect("primed");
+        assert!(initial_cap > 10, "the deadline affords real work");
+
+        // Sustained overload: every epoch is cut at its compiled cap, and
+        // the *biased* calibration feeds those truncated epochs back. The
+        // overhead is attributed to fewer and fewer rounds each time.
+        let mut cap = initial_cap;
+        let mut caps = vec![cap];
+        for _ in 0..40 {
+            let rounds = cap.min(FULL_ROUNDS);
+            biased.observe(rounds, epoch_secs(rounds));
+            cap = biased.rounds_for(deadline).expect("still primed");
+            caps.push(cap);
+        }
+        assert!(
+            caps.windows(2).all(|w| w[1] <= w[0]),
+            "the biased cap must ratchet monotonically downward: {caps:?}"
+        );
+        assert!(
+            *caps.last().unwrap() < initial_cap / 2,
+            "40 overloaded epochs must collapse the biased cap \
+             (started {initial_cap}, ended {})",
+            caps.last().unwrap()
+        );
+
+        // The gated calibration (full solves only — what the session does
+        // since the fix) never observes a cut epoch, so overload leaves
+        // its compiled cap untouched.
+        let gated_cap = gated.rounds_for(deadline).expect("primed");
+        for _ in 0..40 {
+            // Cut epochs happen, but are *not* observed.
+        }
+        assert_eq!(gated.rounds_for(deadline), Some(gated_cap));
+        assert_eq!(gated_cap, initial_cap);
+
+        // And interleaved recovery epochs (full solves) keep the gated
+        // EWMA pinned at the true rate.
+        gated.observe(FULL_ROUNDS, epoch_secs(FULL_ROUNDS));
+        let recovered = gated.rounds_for(deadline).expect("primed");
+        assert!(
+            recovered >= initial_cap.saturating_sub(1),
+            "full-solve samples must not erode the cap: {recovered} vs {initial_cap}"
+        );
+    }
 
     #[test]
     fn unlimited_budgets_never_cut() {

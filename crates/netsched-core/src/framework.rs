@@ -248,20 +248,12 @@ pub fn run_two_phase_on_budgeted(
     // ---------------- Second phase ----------------
     // Incremental congestion tracking: each candidate costs O(path(d)),
     // independent of how much has already been selected.
-    let mut tracker = LoadTracker::new(universe);
-    let mut selected: Vec<InstanceId> = Vec::new();
-    for mis in stack.iter().rev() {
-        let mut announced = 0u64;
-        for &d in mis {
-            if tracker.try_commit(universe, d) {
-                selected.push(d);
-                announced += conflict.degree(d) as u64;
-            }
-        }
-        stats.record_messages(announced, 1);
-        stats.record_round();
-    }
-    selected.sort_unstable();
+    let selected = replay_stack(
+        universe,
+        conflict,
+        stack.iter().rev().map(Vec::as_slice),
+        &mut stats,
+    );
 
     // The certificate: all eligible instances are λ-satisfied, so the dual
     // assignment scaled by 1/λ upper-bounds the optimum (weak duality).
@@ -301,6 +293,39 @@ pub fn run_two_phase_on_budgeted(
             },
         },
     }
+}
+
+/// The engine's second phase, factored to the **pipelining boundary**:
+/// pops the MIS layers newest-first and greedily commits every instance
+/// that still fits its edge capacities. It reads only the frozen
+/// first-phase output (the MIS stack) plus the immutable
+/// universe/conflict structures — no duals, no budget, no mutation of
+/// either input — which is exactly why a pipelined serving tier may run
+/// other work concurrently with it as long as that work touches neither
+/// (see [`run_two_phase_warm_overlapped`](crate::warm::run_two_phase_warm_overlapped)).
+/// Shared by the cold sharded engine and the warm-resume engine so their
+/// replays cannot drift apart.
+pub(crate) fn replay_stack<'a>(
+    universe: &DemandInstanceUniverse,
+    conflict: &ShardedConflictGraph,
+    mises: impl Iterator<Item = &'a [InstanceId]>,
+    stats: &mut RoundStats,
+) -> Vec<InstanceId> {
+    let mut tracker = LoadTracker::new(universe);
+    let mut selected: Vec<InstanceId> = Vec::new();
+    for mis in mises {
+        let mut announced = 0u64;
+        for &d in mis {
+            if tracker.try_commit(universe, d) {
+                selected.push(d);
+                announced += conflict.degree(d) as u64;
+            }
+        }
+        stats.record_messages(announced, 1);
+        stats.record_round();
+    }
+    selected.sort_unstable();
+    selected
 }
 
 /// The pre-shard reference engine: single flat CSR, simulator-driven MIS,

@@ -44,13 +44,11 @@
 use crate::budget::{Budget, CertificateQuality};
 use crate::config::{approximation_bound, stage_xi, stages_per_epoch, AlgorithmConfig, RaiseRule};
 use crate::duals::DualState;
-use crate::framework::{derive_strategy, unsatisfied_of_group};
+use crate::framework::{derive_strategy, replay_stack, unsatisfied_of_group};
 use crate::solution::{RunDiagnostics, Solution};
 use netsched_decomp::InstanceLayering;
 use netsched_distrib::{sharded_mis, MisScratch, RoundStats, ShardedConflictGraph};
-use netsched_graph::{
-    DemandInstanceUniverse, EdgeId, InstanceId, LoadTracker, NetworkId, UniverseDelta, EPS,
-};
+use netsched_graph::{DemandInstanceUniverse, EdgeId, InstanceId, NetworkId, UniverseDelta, EPS};
 use netsched_workloads::json::{FromJson, JsonValue, ToJson};
 
 /// Linked-arena sentinel: "no entry".
@@ -836,6 +834,72 @@ pub fn run_two_phase_warm_on_budgeted(
     warm: &mut WarmState,
     budget: &Budget,
 ) -> Solution {
+    // `None` overlap takes the exact single-threaded path — no scope, no
+    // spawn — so this entry point is bit-for-bit the pre-pipelining one.
+    warm_impl(
+        universe,
+        conflict,
+        layering,
+        rule,
+        config,
+        warm,
+        budget,
+        None::<fn()>,
+    )
+    .0
+}
+
+/// The warm engine's **pipelined phase boundary**:
+/// [`run_two_phase_warm_on_budgeted`] that additionally runs `overlap` on
+/// a scoped thread **concurrently with the second-phase stack replay**,
+/// returning the solution together with the closure's result.
+///
+/// The second phase reads only the frozen first-phase output (the MIS
+/// stack arena) plus the immutable universe/conflict structures
+/// ([`replay_stack`](crate::framework) — factored so the boundary is a
+/// function call, not a convention), so any `overlap` work that touches
+/// *neither the warm state nor this solve's universe/conflict/layering*
+/// is sound to interleave. The serving tier uses this to pre-materialize
+/// the **next** epoch's arrival instances (which read only the immutable
+/// base topology) while the current epoch replays — the "rebuild of
+/// epoch N+1 under replay of epoch N" half of the pipelined serving
+/// design. The closure runs exactly once, even when the first phase was
+/// budget-cut; a panic inside it propagates after the replay finishes.
+#[allow(clippy::too_many_arguments)]
+pub fn run_two_phase_warm_overlapped<R: Send>(
+    universe: &DemandInstanceUniverse,
+    conflict: &ShardedConflictGraph,
+    layering: &InstanceLayering,
+    rule: RaiseRule,
+    config: &AlgorithmConfig,
+    warm: &mut WarmState,
+    budget: &Budget,
+    overlap: impl FnOnce() -> R + Send,
+) -> (Solution, R) {
+    let (solution, extra) = warm_impl(
+        universe,
+        conflict,
+        layering,
+        rule,
+        config,
+        warm,
+        budget,
+        Some(overlap),
+    );
+    (solution, extra.expect("overlap closure runs exactly once"))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn warm_impl<R: Send>(
+    universe: &DemandInstanceUniverse,
+    conflict: &ShardedConflictGraph,
+    layering: &InstanceLayering,
+    rule: RaiseRule,
+    config: &AlgorithmConfig,
+    warm: &mut WarmState,
+    budget: &Budget,
+    overlap: Option<impl FnOnce() -> R + Send>,
+) -> (Solution, Option<R>) {
     config.validate().expect("invalid algorithm configuration");
     assert_eq!(
         rule, warm.rule,
@@ -848,7 +912,10 @@ pub fn run_two_phase_warm_on_budgeted(
     );
     if universe.num_instances() == 0 {
         *warm = WarmState::new(universe, rule);
-        return Solution::empty();
+        // The overlap contract holds even for degenerate solves: the
+        // closure runs exactly once (inline — there is no replay to hide
+        // it behind).
+        return (Solution::empty(), overlap.map(|f| f()));
     }
 
     let fresh = !warm.primed;
@@ -969,21 +1036,37 @@ pub fn run_two_phase_warm_on_budgeted(
     // ---------------- Second phase: replay the full stack ----------------
     // The repair passes appended their MISes directly onto warm's stack
     // arena, so the surviving seed + repair MISes are already in order;
-    // replay newest first, exactly like a cold run's stack pop.
-    let mut tracker = LoadTracker::new(universe);
-    let mut selected: Vec<InstanceId> = Vec::new();
-    for m in (0..warm.num_mises()).rev() {
-        let mut announced = 0u64;
-        for &d in warm.mis(m) {
-            if tracker.try_commit(universe, d) {
-                selected.push(d);
-                announced += conflict.degree(d) as u64;
-            }
-        }
-        stats.record_messages(announced, 1);
-        stats.record_round();
-    }
-    selected.sort_unstable();
+    // replay newest first, exactly like a cold run's stack pop. With an
+    // overlap closure, the replay shares the wall clock with it on a
+    // scoped thread — sound because the replay reads only the frozen
+    // stack and the immutable universe/conflict (see
+    // [`run_two_phase_warm_overlapped`]).
+    let mises = |warm: &WarmState| (0..warm.num_mises()).rev();
+    let (selected, extra) = match overlap {
+        None => (
+            replay_stack(
+                universe,
+                conflict,
+                mises(warm).map(|m| warm.mis(m)),
+                &mut stats,
+            ),
+            None,
+        ),
+        Some(f) => std::thread::scope(|scope| {
+            let handle = scope.spawn(f);
+            let selected = replay_stack(
+                universe,
+                conflict,
+                mises(warm).map(|m| warm.mis(m)),
+                &mut stats,
+            );
+            let extra = match handle.join() {
+                Ok(extra) => extra,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            (selected, Some(extra))
+        }),
+    };
 
     let mut raised_instances: Vec<InstanceId> = warm.stack_items.clone();
     raised_instances.sort_unstable();
@@ -1034,7 +1117,7 @@ pub fn run_two_phase_warm_on_budgeted(
             solution.verify(universe).is_ok(),
             "truncated warm schedule failed feasibility verification"
         );
-        return solution;
+        return (solution, extra);
     }
 
     // ---------------- Certificate check + safety valve ----------------
@@ -1046,8 +1129,12 @@ pub fn run_two_phase_warm_on_budgeted(
     if !certified && !fresh {
         // The repaired certificate did not re-verify: fall back to a full
         // from-zero warm run, which reproduces the cold engine exactly.
+        // The overlap work already ran (alongside the discarded replay).
         *warm = WarmState::new(universe, rule);
-        return run_two_phase_warm_on(universe, conflict, layering, rule, config, warm);
+        return (
+            run_two_phase_warm_on(universe, conflict, layering, rule, config, warm),
+            extra,
+        );
     }
     debug_assert!(
         solution.verify(universe).is_ok(),
@@ -1061,7 +1148,7 @@ pub fn run_two_phase_warm_on_budgeted(
         ratio <= bound * (1.0 + 1e-9) + 1e-9,
         "warm certified ratio {ratio} exceeds the {bound} guarantee"
     );
-    solution
+    (solution, extra)
 }
 
 /// `λ` from the cached LHS lower bounds: `min` over eligible instances of

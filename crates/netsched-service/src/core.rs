@@ -9,7 +9,8 @@
 
 use netsched_core::framework::run_two_phase_on_budgeted;
 use netsched_core::{
-    run_two_phase_warm_on_budgeted, AlgorithmConfig, Budget, RaiseRule, Solution, WarmState,
+    run_two_phase_warm_on_budgeted, run_two_phase_warm_overlapped, AlgorithmConfig, Budget,
+    RaiseRule, Solution, WarmState,
 };
 use netsched_decomp::{line_assignment, InstanceLayering, TreeDecompositionKind, TreeLayerer};
 use netsched_distrib::ShardedConflictGraph;
@@ -215,6 +216,35 @@ impl LiveCore {
             config,
             warm,
             budget,
+        )
+    }
+
+    /// [`LiveCore::solve_warm`], overlapping `overlap` with the engine's
+    /// phase-2 replay on a scoped thread (see
+    /// [`run_two_phase_warm_overlapped`]). The solution is bit-identical
+    /// to `solve_warm`'s — phase 2 only pops the frozen MIS stack — so the
+    /// pipelined session uses this to pre-materialize the next epoch's
+    /// arrivals for free.
+    pub(crate) fn solve_warm_overlapped<R: Send>(
+        &mut self,
+        rule: RaiseRule,
+        config: &AlgorithmConfig,
+        budget: &Budget,
+        overlap: impl FnOnce() -> R + Send,
+    ) -> (Solution, R) {
+        if self.warm.as_ref().map(WarmState::rule) != Some(rule) {
+            self.warm = Some(WarmState::new(&self.universe, rule));
+        }
+        let warm = self.warm.as_mut().expect("warm state just ensured");
+        run_two_phase_warm_overlapped(
+            &self.universe,
+            &self.conflict,
+            &self.layering,
+            rule,
+            config,
+            warm,
+            budget,
+            overlap,
         )
     }
 

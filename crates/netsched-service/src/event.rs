@@ -136,8 +136,12 @@ pub enum ServiceError {
     /// backpressure, not failure. Nothing was enqueued; resubmit after
     /// roughly `retry_after_epochs` epochs have drained.
     Overloaded {
-        /// A drain-time estimate (in epochs) derived from the current
-        /// queue depth; a polite client backs off at least this long.
+        /// How many epochs must run before the queue has drained; a
+        /// polite client backs off at least this long.
+        /// [`Service`](crate::Service) folds every queued submission into
+        /// the next epoch, so it always hints `1`; the threaded
+        /// [`PipelinedService`](crate::PipelinedService) steps one epoch
+        /// per queued submission and hints the current queue depth.
         retry_after_epochs: u64,
     },
     /// The solve of this batch panicked. The batch is quarantined — the

@@ -206,6 +206,10 @@
 //! | `service.overloaded` | counter | submissions rejected by backpressure |
 //! | `service.latency_bulk_ns` | histogram | submit→delta, bulk class |
 //! | `service.latency_sensitive_ns` | histogram | submit→delta, latency-sensitive |
+//! | `read.count` | counter | wait-free snapshot reads served |
+//! | `read.staleness_epochs` | histogram | per-read lag behind the in-flight epoch (≤ 1) |
+//! | `read.refresh_wait_ns` | histogram | reader refresh contention (slot lock + `Arc` clone) |
+//! | `pipeline.prefetch_hits` | counter | epochs that consumed a pre-materialized batch |
 //!
 //! A snapshot exports in the Prometheus text exposition format, names
 //! prefixed `netsched_` and sanitized to the exposition charset
@@ -235,6 +239,46 @@
 //! seconds-per-round), which
 //! [`ServiceSession::calibrated_budget`] uses to compile wall-clock
 //! deadlines ([`BudgetSpec::Millis`]) into deterministic round caps.
+//!
+//! # Pipelined serving & read consistency
+//!
+//! Epoch steps mutate the session; serving reads must not wait for them.
+//! The pipelined tier separates the two:
+//!
+//! * **Publication point** — [`ServiceSession::schedule_view`] attaches a
+//!   [`ScheduleView`]: every successful epoch ends by publishing an
+//!   immutable [`ScheduleSnapshot`] (schedule + certificate + profit +
+//!   quality, one `Arc`), and [`ScheduleReader`]s observe it with **one
+//!   atomic load** on the steady path — no lock, no allocation, no
+//!   waiting on the write side. Readers can never see a torn or
+//!   uncertified schedule: a snapshot is fully built before the view's
+//!   epoch stamp advances, and carries a fingerprint over every field
+//!   ([`ScheduleSnapshot::verify_fingerprint`]) so the stress suite
+//!   proves it rather than assumes it.
+//! * **Staleness contract** — a reader lags the in-flight epoch by **at
+//!   most one**: while a step is between its journal write and its
+//!   publication the last *certified* snapshot stays readable (staleness
+//!   exactly 1); outside that window staleness is 0. A quarantined epoch
+//!   never publishes — the rollback clears the in-flight bit and readers
+//!   continue on the last certified snapshot, so panic isolation and the
+//!   read path compose without coordination. `read.staleness_epochs`
+//!   records the observed distribution; its max is pinned ≤ 1.
+//! * **Pipelining** — [`ServiceSession::prefetch_arrivals`] announces the
+//!   next epoch's arrivals so their splice inputs (instance paths, tree
+//!   layering assignments) materialize on a scoped thread **overlapped
+//!   with the current epoch's phase-2 replay**, which only pops the
+//!   frozen MIS stack. [`PipelinedService`] wires this up end to end: a
+//!   writer thread steps one submission per epoch and uses its queue
+//!   lookahead to feed the prefetch, while readers hold
+//!   [`ScheduleReader`]s. Prefetching never changes results — schedules,
+//!   certificates and deltas are bit-identical with it on or off
+//!   (`tests/concurrent_serving.rs` pins both properties, and the
+//!   `concurrent_serving` bench measures read throughput and staleness
+//!   against a lock-the-session baseline).
+//!
+//! Sessions that never call [`ServiceSession::schedule_view`] pay nothing:
+//! the view is lazy and the single-threaded step path is unchanged bit
+//! for bit.
 //!
 //! # Async frontend
 //!
@@ -277,12 +321,15 @@
 
 mod core;
 pub mod event;
+pub mod pipeline;
 pub mod replay;
 pub mod service;
 pub mod session;
 pub mod snapshot;
+pub mod view;
 
 pub use event::{DemandEvent, DemandRequest, DemandTicket, ServiceError};
+pub use pipeline::PipelinedService;
 pub use replay::replay_trace;
 pub use service::{block_on, AdmissionClass, BudgetSpec, Service, ServicePolicy, SubmitFuture};
 pub use session::{
@@ -292,3 +339,4 @@ pub use session::{
 pub use snapshot::{
     parse_wal_record, wal_record, wal_rollback_record, WalRecord, SNAPSHOT_FORMAT_VERSION,
 };
+pub use view::{ScheduleReader, ScheduleSnapshot, ScheduleView};

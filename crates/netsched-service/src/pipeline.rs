@@ -1,0 +1,341 @@
+//! The pipelined serving frontend: a dedicated writer thread driving
+//! epochs while callers submit without blocking and readers observe the
+//! published schedule wait-free.
+//!
+//! [`PipelinedService`] moves a [`ServiceSession`] onto a worker thread.
+//! Submissions cross a channel and resolve through per-submission reply
+//! handles; the worker steps **one epoch per submission**, in order, and
+//! uses its queue lookahead to [announce](ServiceSession::prefetch_arrivals)
+//! the *next* submission's arrivals before stepping the current one — so
+//! the next epoch's splice inputs materialize on a scoped thread while the
+//! current epoch's phase-2 replay runs. Readers never talk to the worker
+//! at all: they hold [`ScheduleReader`]s on the session's
+//! [`ScheduleView`], published at the end of every successful epoch.
+//!
+//! Sequenced identically (one submission per step, same batches), a
+//! pipelined service produces bit-identical deltas to calling
+//! [`ServiceSession::step`] directly — prefetching and publication change
+//! *when* work happens, never what is computed. `tests/concurrent_serving.rs`
+//! pins this.
+//!
+//! Backpressure is a live depth counter instead of a queue scan: when
+//! [`ServicePolicy::max_queued`] is set and the counter is at the bound,
+//! [`PipelinedService::submit`] fails fast with
+//! [`ServiceError::Overloaded`] hinting the current depth in epochs (each
+//! queued submission is one epoch here, unlike [`Service`](crate::Service)
+//! which folds its queue).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use crate::event::{DemandEvent, DemandRequest, ServiceError};
+use crate::service::{BudgetSpec, ServicePolicy};
+use crate::session::{ScheduleDelta, ServiceSession};
+use crate::view::{ScheduleReader, ScheduleView};
+
+/// The reply side of one submission's result channel.
+type ReplyTx = mpsc::Sender<Result<ScheduleDelta, ServiceError>>;
+
+enum Msg {
+    Submit {
+        batch: Vec<DemandEvent>,
+        reply: ReplyTx,
+    },
+    Shutdown,
+}
+
+/// The pending result of one pipelined submission; resolve it with
+/// [`wait`](DeltaHandle::wait).
+pub struct DeltaHandle {
+    rx: mpsc::Receiver<Result<ScheduleDelta, ServiceError>>,
+}
+
+impl DeltaHandle {
+    /// Blocks until the submission's epoch has run and returns its delta.
+    /// Validation happens on the worker inside the step, so invalid
+    /// batches surface here, not at submit time.
+    pub fn wait(self) -> Result<ScheduleDelta, ServiceError> {
+        self.rx.recv().unwrap_or_else(|_| {
+            Err(ServiceError::Quarantined {
+                reason: "pipeline worker exited before resolving the submission".into(),
+            })
+        })
+    }
+
+    /// Non-blocking probe: the delta if the epoch already ran.
+    pub fn try_wait(&self) -> Option<Result<ScheduleDelta, ServiceError>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// A [`ServiceSession`] behind a writer thread; see the
+/// [module docs](self).
+pub struct PipelinedService {
+    tx: mpsc::Sender<Msg>,
+    view: ScheduleView,
+    depth: Arc<AtomicUsize>,
+    policy: ServicePolicy,
+    worker: Option<std::thread::JoinHandle<ServiceSession>>,
+}
+
+impl PipelinedService {
+    /// Moves the session onto a worker thread under `policy`
+    /// (`max_queued` bounds the submission channel; `latency_budget` and
+    /// `quarantine` select the step path exactly as
+    /// [`Service`](crate::Service) does — every submission here is
+    /// treated as latency-sensitive when a budget is configured).
+    pub fn with_policy(mut session: ServiceSession, policy: ServicePolicy) -> Self {
+        let view = session.schedule_view();
+        let depth = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel::<Msg>();
+        let worker_depth = depth.clone();
+        let worker = std::thread::Builder::new()
+            .name("netsched-pipeline".into())
+            .spawn(move || worker_loop(session, rx, worker_depth, policy))
+            .expect("spawn pipeline worker");
+        Self {
+            tx,
+            view,
+            depth,
+            policy,
+            worker: Some(worker),
+        }
+    }
+
+    /// [`with_policy`](PipelinedService::with_policy) under the default
+    /// (unbounded, unlimited) policy.
+    pub fn new(session: ServiceSession) -> Self {
+        Self::with_policy(session, ServicePolicy::default())
+    }
+
+    /// The session's publication point; clone readers off it freely.
+    pub fn view(&self) -> ScheduleView {
+        self.view.clone()
+    }
+
+    /// A new wait-free reader of the published schedule.
+    pub fn reader(&self) -> ScheduleReader {
+        self.view.reader()
+    }
+
+    /// Submissions accepted but not yet stepped.
+    pub fn queued(&self) -> usize {
+        self.depth.load(Ordering::Acquire)
+    }
+
+    /// Enqueues one batch as its own epoch and returns its result handle.
+    /// Fails fast with [`ServiceError::Overloaded`] when the policy
+    /// bounds the queue and it is full — the hint is the current depth,
+    /// since the worker steps one epoch per queued submission.
+    pub fn submit(&self, batch: Vec<DemandEvent>) -> Result<DeltaHandle, ServiceError> {
+        if self.policy.max_queued > 0 {
+            let queued = self.depth.load(Ordering::Acquire);
+            if queued >= self.policy.max_queued {
+                return Err(ServiceError::Overloaded {
+                    retry_after_epochs: queued as u64,
+                });
+            }
+        }
+        self.depth.fetch_add(1, Ordering::AcqRel);
+        let (reply, rx) = mpsc::channel();
+        if self.tx.send(Msg::Submit { batch, reply }).is_err() {
+            self.depth.fetch_sub(1, Ordering::AcqRel);
+            return Err(ServiceError::Quarantined {
+                reason: "pipeline worker is gone".into(),
+            });
+        }
+        Ok(DeltaHandle { rx })
+    }
+
+    /// Stops the worker and returns the session (drains every submission
+    /// already accepted first).
+    pub fn shutdown(mut self) -> ServiceSession {
+        self.shutdown_inner()
+            .expect("shutdown on a live pipeline returns the session")
+    }
+
+    fn shutdown_inner(&mut self) -> Option<ServiceSession> {
+        let worker = self.worker.take()?;
+        let _ = self.tx.send(Msg::Shutdown);
+        Some(worker.join().expect("pipeline worker panicked"))
+    }
+}
+
+impl Drop for PipelinedService {
+    fn drop(&mut self) {
+        let _ = self.shutdown_inner();
+    }
+}
+
+/// The arrivals of a batch, in event order — what
+/// [`ServiceSession::prefetch_arrivals`] wants announced.
+fn arrivals_of(batch: &[DemandEvent]) -> Vec<DemandRequest> {
+    batch
+        .iter()
+        .filter_map(|event| match event {
+            DemandEvent::Arrive(request) => Some(request.clone()),
+            DemandEvent::Expire(_) => None,
+        })
+        .collect()
+}
+
+fn worker_loop(
+    mut session: ServiceSession,
+    rx: mpsc::Receiver<Msg>,
+    depth: Arc<AtomicUsize>,
+    policy: ServicePolicy,
+) -> ServiceSession {
+    let mut queue: VecDeque<(Vec<DemandEvent>, ReplyTx)> = VecDeque::new();
+    loop {
+        // Refill: block for the first message only when nothing is queued,
+        // then drain whatever else has arrived — the lookahead that feeds
+        // the prefetch.
+        if queue.is_empty() {
+            match rx.recv() {
+                Ok(Msg::Submit { batch, reply }) => queue.push_back((batch, reply)),
+                Ok(Msg::Shutdown) | Err(_) => return session,
+            }
+        }
+        let mut shutdown = false;
+        while let Ok(msg) = rx.try_recv() {
+            match msg {
+                Msg::Submit { batch, reply } => queue.push_back((batch, reply)),
+                Msg::Shutdown => {
+                    // Drain what was accepted, then exit.
+                    shutdown = true;
+                    break;
+                }
+            }
+        }
+        while let Some((batch, reply)) = queue.pop_front() {
+            // Announce the *next* submission's arrivals so their splice
+            // inputs materialize during this step's phase-2 replay. A
+            // failed announcement is fine — that batch will report its
+            // own validation error when its step runs.
+            if let Some((next_batch, _)) = queue.front() {
+                let upcoming = arrivals_of(next_batch);
+                if !upcoming.is_empty() {
+                    let _ = session.prefetch_arrivals(&upcoming);
+                }
+            }
+            let budget = match policy.latency_budget {
+                BudgetSpec::Millis(ms) => session.calibrated_budget(Duration::from_millis(ms)),
+                spec => spec.to_budget(),
+            };
+            let result = if budget.is_limited() || policy.quarantine {
+                session.step_with_deadline(&batch, &budget)
+            } else {
+                session.step(&batch)
+            };
+            depth.fetch_sub(1, Ordering::AcqRel);
+            let _ = reply.send(result);
+        }
+        if shutdown {
+            return session;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsched_core::AlgorithmConfig;
+    use netsched_graph::{LineProblem, NetworkId};
+
+    fn arrival(release: u32) -> DemandEvent {
+        DemandEvent::Arrive(DemandRequest::Line {
+            release,
+            deadline: release + 8,
+            processing: 3,
+            profit: 2.0,
+            height: 1.0,
+            access: vec![NetworkId::new(0)],
+        })
+    }
+
+    fn session() -> ServiceSession {
+        let mut problem = LineProblem::new(40, 2);
+        problem
+            .add_demand(0, 9, 4, 3.0, 1.0, vec![NetworkId::new(0)])
+            .unwrap();
+        ServiceSession::for_line(&problem, AlgorithmConfig::deterministic(0.1))
+    }
+
+    #[test]
+    fn submissions_step_in_order_and_publish() {
+        let service = PipelinedService::new(session());
+        let mut reader = service.reader();
+        let handles: Vec<DeltaHandle> = (0..4)
+            .map(|i| service.submit(vec![arrival(2 * i)]).unwrap())
+            .collect();
+        for (i, handle) in handles.into_iter().enumerate() {
+            let delta = handle.wait().unwrap();
+            assert_eq!(delta.epoch, i as u64 + 1);
+        }
+        let session = service.shutdown();
+        assert_eq!(session.epoch(), 4);
+        let snap = reader.read();
+        assert_eq!(snap.epoch(), 4, "shutdown drained, last epoch published");
+        assert!(snap.verify_fingerprint());
+        assert!((snap.profit() - session.profit()).abs() < 1e-12);
+        assert_eq!(snap.schedule(), session.schedule());
+    }
+
+    #[test]
+    fn invalid_batches_fail_through_the_handle_without_stopping_the_worker() {
+        let service = PipelinedService::new(session());
+        let bad = service
+            .submit(vec![DemandEvent::Arrive(DemandRequest::Line {
+                release: 9,
+                deadline: 3,
+                processing: 2,
+                profit: 1.0,
+                height: 1.0,
+                access: vec![NetworkId::new(0)],
+            })])
+            .unwrap();
+        let good = service.submit(vec![arrival(0)]).unwrap();
+        assert!(matches!(bad.wait(), Err(ServiceError::InvalidDemand(_))));
+        assert_eq!(good.wait().unwrap().epoch, 1);
+    }
+
+    #[test]
+    fn bounded_queue_fails_fast_with_depth_hint() {
+        // An impossible-to-drain queue bound of 0 is "unbounded", so use 1
+        // and keep the worker busy by never letting it start: saturate
+        // with more submissions than the bound from this single thread —
+        // the worker may or may not have drained some, so only the error
+        // shape is asserted, against a bound the test can force.
+        let service = PipelinedService::with_policy(
+            session(),
+            ServicePolicy {
+                max_queued: 1,
+                ..ServicePolicy::default()
+            },
+        );
+        let mut overloaded = None;
+        let mut handles = Vec::new();
+        for i in 0..64 {
+            match service.submit(vec![arrival(i % 30)]) {
+                Ok(h) => handles.push(h),
+                Err(e) => {
+                    overloaded = Some(e);
+                    break;
+                }
+            }
+        }
+        if let Some(err) = overloaded {
+            match err {
+                ServiceError::Overloaded { retry_after_epochs } => {
+                    assert!(retry_after_epochs >= 1);
+                }
+                other => panic!("expected Overloaded, got {other:?}"),
+            }
+        }
+        for h in handles {
+            let _ = h.wait();
+        }
+    }
+}

@@ -152,10 +152,15 @@ impl State {
     fn drive(&mut self) -> EpochResult {
         let pending: Vec<Pending> = self.queue.drain(..).collect();
         self.queued_expiries.clear();
+        // Decrement-by-delta rather than `set(0)`: the registry may be
+        // shared across services (`with_obs`), and the gauge must come
+        // back to zero on *every* outcome — the drained submissions are
+        // dequeued whether the epoch below succeeds, aborts on a journal
+        // error, or quarantines.
         self.session
             .obs_registry()
             .gauge("service.queue_depth")
-            .set(0);
+            .add(-(pending.len() as i64));
         let batch: Vec<DemandEvent> = pending
             .iter()
             .flat_map(|p| p.events.iter().cloned())
@@ -265,11 +270,13 @@ impl Service {
                 .obs_registry()
                 .counter("service.overloaded")
                 .inc();
-            // Drain-time estimate: every drive folds the whole queue into
-            // one epoch, so one epoch per full queue's worth of waiting
-            // submissions is a conservative upper bound.
+            // Drain-time estimate: every drive folds the *whole* queue
+            // into one epoch, so however many submissions are waiting,
+            // one epoch drains them all. The hint is exactly 1 — a larger
+            // value would make well-behaved clients back off for epochs
+            // that will never be needed.
             return Err(ServiceError::Overloaded {
-                retry_after_epochs: 1 + (state.queue.len() / state.policy.max_queued) as u64,
+                retry_after_epochs: 1,
             });
         }
         let mut batch_expiries: Vec<u64> = Vec::new();
@@ -313,7 +320,7 @@ impl Service {
             .session
             .obs_registry()
             .gauge("service.queue_depth")
-            .set(state.queue.len() as i64);
+            .add(1);
         Ok(SubmitFuture {
             state: self.state.clone(),
             slot,
@@ -531,6 +538,106 @@ mod tests {
         service.submit(vec![valid_arrival()]).unwrap();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| service.flush()));
         assert!(outcome.is_err(), "plain step must not swallow the panic");
+    }
+
+    #[test]
+    fn overloaded_hints_one_epoch_because_drives_fold_the_whole_queue() {
+        let mut problem = LineProblem::new(20, 2);
+        problem
+            .add_demand(0, 9, 4, 3.0, 1.0, vec![NetworkId::new(0)])
+            .unwrap();
+        let service = Service::with_policy(
+            ServiceSession::for_line(&problem, AlgorithmConfig::deterministic(0.1)),
+            ServicePolicy {
+                max_queued: 2,
+                ..ServicePolicy::default()
+            },
+        );
+        let _a = service.submit(vec![valid_arrival()]).unwrap();
+        let _b = service.submit(vec![valid_arrival()]).unwrap();
+        match service.submit(vec![valid_arrival()]) {
+            Err(ServiceError::Overloaded { retry_after_epochs }) => {
+                // One drive folds every queued submission into one epoch,
+                // so the queue drains in exactly one epoch no matter how
+                // full it is (the old estimate said 2+ here).
+                assert_eq!(retry_after_epochs, 1);
+            }
+            Err(other) => panic!("expected Overloaded, got {other:?}"),
+            Ok(_) => panic!("full queue accepted a submission"),
+        }
+        // And indeed a single flush drains the whole queue.
+        service.flush().unwrap();
+        assert_eq!(service.queued(), 0);
+        assert!(service.submit(vec![valid_arrival()]).is_ok());
+    }
+
+    #[test]
+    fn queue_depth_gauge_returns_to_zero_on_every_dequeue_path() {
+        let depth = |service: &Service| {
+            service.with_session(|s| {
+                s.obs_registry()
+                    .snapshot()
+                    .gauge("service.queue_depth")
+                    .unwrap_or(0)
+            })
+        };
+
+        // Success path.
+        let service = service();
+        service.submit(vec![valid_arrival()]).unwrap();
+        service.submit(vec![valid_arrival()]).unwrap();
+        assert_eq!(depth(&service), 2);
+        service.flush().unwrap();
+        assert_eq!(depth(&service), 0);
+
+        // Rejected submissions (InvalidBatch and bare errors) never touch
+        // the gauge.
+        assert!(service
+            .submit(vec![invalid_arrival(), invalid_arrival()])
+            .is_err());
+        assert_eq!(depth(&service), 0);
+
+        // Journal-abort path: the step fails with the session unchanged,
+        // but the drained submissions are still dequeued.
+        struct RefusingJournal;
+        impl crate::session::EpochJournal for RefusingJournal {
+            fn record(&mut self, _epoch: u64, _batch: &[DemandEvent]) -> Result<(), String> {
+                Err("disk on fire".into())
+            }
+        }
+        let mut problem = LineProblem::new(20, 2);
+        problem
+            .add_demand(0, 9, 4, 3.0, 1.0, vec![NetworkId::new(0)])
+            .unwrap();
+        let mut session = ServiceSession::for_line(&problem, AlgorithmConfig::deterministic(0.1));
+        session.attach_journal(Box::new(RefusingJournal));
+        let service = Service::new(session);
+        service.submit(vec![valid_arrival()]).unwrap();
+        assert_eq!(depth(&service), 1);
+        assert!(matches!(service.flush(), Err(ServiceError::Journal(_))));
+        assert_eq!(depth(&service), 0);
+
+        // Quarantine path: the epoch rolls back, the dequeue still counts.
+        let mut problem = LineProblem::new(20, 2);
+        problem
+            .add_demand(0, 9, 4, 3.0, 1.0, vec![NetworkId::new(0)])
+            .unwrap();
+        let mut session = ServiceSession::for_line(&problem, AlgorithmConfig::deterministic(0.1));
+        session.inject_solve_panics(vec![1]);
+        let service = Service::with_policy(
+            session,
+            ServicePolicy {
+                quarantine: true,
+                ..ServicePolicy::default()
+            },
+        );
+        service.submit(vec![valid_arrival()]).unwrap();
+        assert_eq!(depth(&service), 1);
+        assert!(matches!(
+            service.flush(),
+            Err(ServiceError::Quarantined { .. })
+        ));
+        assert_eq!(depth(&service), 0);
     }
 
     #[test]

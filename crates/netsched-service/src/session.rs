@@ -35,6 +35,7 @@ use netsched_workloads::json::{FromJson, JsonValue, ToJson};
 use crate::core::{LiveCore, TreeAssignments, TREE_LAYERING};
 use crate::event::{DemandEvent, DemandRequest, DemandTicket, ServiceError};
 use crate::snapshot::SNAPSHOT_FORMAT_VERSION;
+use crate::view::{ScheduleSnapshot, ScheduleView};
 
 /// How a session re-solves the standing schedule each epoch.
 ///
@@ -407,10 +408,37 @@ pub struct ServiceSession {
     obs: ObsRegistry,
     /// Hot-path handles resolved from `obs` once.
     metrics: SessionMetrics,
-    /// Online EWMA of engine seconds-per-round, fed by every solved epoch;
-    /// compiles wall-clock deadlines into deterministic round caps (see
+    /// Online EWMA of engine seconds-per-round, fed by **full** solved
+    /// epochs only (truncated epochs over-weight fixed per-epoch overhead
+    /// and would ratchet the compiled round caps downward — see
+    /// `RoundCalibration::observe`); compiles wall-clock deadlines into
+    /// deterministic round caps (see
     /// [`ServiceSession::calibrated_budget`]).
     calibration: RoundCalibration,
+    /// The wait-free publication point, created lazily by
+    /// [`ServiceSession::schedule_view`]. `None` until a reader asks:
+    /// sessions that never hand out readers pay nothing on the step path.
+    /// Never serialized; carried across a quarantine restore.
+    view: Option<ScheduleView>,
+    /// Next epoch's announced arrivals ([`ServiceSession::prefetch_arrivals`]),
+    /// normalized and awaiting materialization overlapped with this
+    /// epoch's phase-2 replay.
+    lookahead: Vec<DemandRequest>,
+    /// A pre-materialized arrival batch (splice inputs computed during the
+    /// previous epoch's solve). Consumed by the next step whose arrivals
+    /// start with the staged requests; dropped otherwise. Materialization
+    /// reads only the immutable base topology and tree decompositions, so
+    /// a staged batch never goes stale structurally.
+    staged: Option<StagedBatch>,
+}
+
+/// Splice inputs pre-computed for an announced arrival batch; see
+/// [`ServiceSession::prefetch_arrivals`].
+struct StagedBatch {
+    /// The normalized requests the inputs were materialized from.
+    arrivals: Vec<DemandRequest>,
+    arrivings: Vec<ArrivingDemand>,
+    assignments: Vec<TreeAssignments>,
 }
 
 impl ServiceSession {
@@ -508,6 +536,9 @@ impl ServiceSession {
             obs,
             metrics,
             calibration: RoundCalibration::new(),
+            view: None,
+            lookahead: Vec::new(),
+            staged: None,
         }
     }
 
@@ -640,6 +671,12 @@ impl ServiceSession {
         self.profit
     }
 
+    /// The dual certificate of the standing schedule (zeroed before the
+    /// first solved epoch).
+    pub fn certificate(&self) -> Certificate {
+        self.certificate
+    }
+
     /// The full engine [`Solution`] of the most recent solved epoch (`None`
     /// before the first solve **and** right after
     /// [`from_snapshot`](ServiceSession::from_snapshot), until the next
@@ -647,6 +684,63 @@ impl ServiceSession {
     /// as long as no further mutating epoch runs.
     pub fn last_solution(&self) -> Option<&Solution> {
         self.last.as_ref()
+    }
+
+    /// The session's wait-free publication point (created on first call):
+    /// a [`ScheduleView`] whose [readers](ScheduleView::reader) observe
+    /// the last certified schedule with one atomic load per read,
+    /// regardless of what the write side is doing. Every subsequent
+    /// successful epoch publishes a fresh [`ScheduleSnapshot`] — the
+    /// in-flight window between a step starting and publishing is the
+    /// only time readers lag, by exactly one epoch (see the
+    /// [`view`](crate::view) module docs for the staleness contract).
+    ///
+    /// The view is shared: cloning the returned handle (or calling this
+    /// again) addresses the same slot. Publication costs one schedule
+    /// clone per epoch on the step path; sessions that never call this
+    /// pay nothing.
+    pub fn schedule_view(&mut self) -> ScheduleView {
+        if self.view.is_none() {
+            let quality = self
+                .last
+                .as_ref()
+                .map(|s| s.diagnostics.quality)
+                .unwrap_or(CertificateQuality::Full);
+            let snapshot = ScheduleSnapshot::capture(
+                self.epoch,
+                &self.schedule,
+                self.certificate,
+                self.profit,
+                quality,
+            );
+            self.view = Some(ScheduleView::new(snapshot, &self.obs));
+        }
+        self.view.clone().expect("view just ensured")
+    }
+
+    /// Announces the arrivals expected in the **next** step so the session
+    /// can pre-materialize their splice inputs (instance paths and tree
+    /// layering assignments) **overlapped with the current epoch's
+    /// phase-2 replay** on a scoped thread — the pipelining half of the
+    /// serving tier. Requests are validated now (topology never changes,
+    /// so validity is stable) and normalized.
+    ///
+    /// The staged work is consumed when the next step's arrival list
+    /// *starts with* the announced requests, in order (`pipeline.prefetch_hits`
+    /// counts consumptions); extra arrivals are materialized inline and a
+    /// non-matching batch simply drops the staged work. Prefetching is a
+    /// pure optimization: schedules, certificates and deltas are
+    /// bit-identical with or without it — materialization is
+    /// deterministic and reads only immutable topology. The overlap runs
+    /// on the unmixed warm-resolve solve path; other paths carry no
+    /// overlap thread and the announcement is dropped at the end of the
+    /// step.
+    pub fn prefetch_arrivals(&mut self, arrivals: &[DemandRequest]) -> Result<(), ServiceError> {
+        for request in arrivals {
+            self.validate_request(request)?;
+        }
+        self.lookahead = arrivals.iter().map(|r| normalize(r.clone())).collect();
+        Ok(())
     }
 
     /// Attaches a write-ahead [`EpochJournal`]; every subsequent
@@ -774,6 +868,7 @@ impl ServiceSession {
                 // over what the snapshot does not serialize.
                 let journal = self.journal.take();
                 let panic_epochs = std::mem::take(&mut self.panic_epochs);
+                let view = self.view.take();
                 let mut restored =
                     Self::from_snapshot(&doc).expect("pre-step snapshot must round-trip");
                 restored.journal = journal;
@@ -782,7 +877,14 @@ impl ServiceSession {
                 restored.metrics = self.metrics.clone();
                 restored.obs = self.obs.clone();
                 restored.calibration = self.calibration;
+                restored.view = view;
                 *self = restored;
+                // The poisoned epoch never published: clear its in-flight
+                // bit so readers' staleness returns to zero on the last
+                // certified snapshot.
+                if let Some(view) = &self.view {
+                    view.abort_epoch();
+                }
                 self.metrics.quarantined.inc();
                 // The journal recorded the batch for epoch + 1 before the
                 // solve; tombstone it so replay does not resurrect the
@@ -864,11 +966,28 @@ impl ServiceSession {
         let journal_seconds = journal_elapsed.as_secs_f64();
         self.metrics.journal_ns.record_duration(journal_elapsed);
 
+        // ---- mark the epoch in flight ---------------------------------
+        // Every early return above leaves the view untouched; from here
+        // the step either publishes (success, fast path) or the
+        // quarantine wrapper aborts the epoch on the restored session.
+        if let Some(view) = &self.view {
+            view.begin_epoch(self.epoch + 1);
+        }
+
         // ---- empty-batch fast path ------------------------------------
         // Skipped while truncated work is pending: an empty step is then
         // exactly the "finish the certification" epoch.
         if batch.is_empty() && self.solved && !self.pending_anytime {
             self.epoch += 1;
+            if let Some(view) = &self.view {
+                view.publish(ScheduleSnapshot::capture(
+                    self.epoch,
+                    &self.schedule,
+                    self.certificate,
+                    self.profit,
+                    CertificateQuality::Full,
+                ));
+            }
             self.metrics.epochs.inc();
             self.metrics.step_ns.record_duration(step_start.elapsed());
             return Ok(ScheduleDelta {
@@ -899,7 +1018,27 @@ impl ServiceSession {
         // ---- splice the full core -------------------------------------
         let rebuild_start = std::time::Instant::now();
         let rebuild_span = netsched_obs::span!("epoch.rebuild");
-        let (arrivings, assignments) = self.materialize(&arrivals);
+        let (arrivings, assignments) = match self.staged.take() {
+            // Consume work pre-materialized during the previous epoch's
+            // solve when this batch's arrivals start with the announced
+            // ones; anything beyond the staged prefix is materialized
+            // inline. Bit-identical to the unstaged path: materialization
+            // is deterministic over immutable topology.
+            Some(staged) if arrivals.starts_with(&staged.arrivals) => {
+                self.obs.counter("pipeline.prefetch_hits").inc();
+                let mut arrivings = staged.arrivings;
+                let mut assignments = staged.assignments;
+                let (rest_arrivings, rest_assignments) = materialize_arrivals(
+                    &self.base,
+                    self.layerer.as_ref(),
+                    &arrivals[staged.arrivals.len()..],
+                );
+                arrivings.extend(rest_arrivings);
+                assignments.extend(rest_assignments);
+                (arrivings, assignments)
+            }
+            _ => materialize_arrivals(&self.base, self.layerer.as_ref(), &arrivals),
+        };
         let dirty_shards = self.full.apply(&expired, &arrivings, assignments.concat());
 
         // ---- live-set bookkeeping -------------------------------------
@@ -1023,16 +1162,19 @@ impl ServiceSession {
             }
         } else if any_narrow {
             if warm {
-                self.full
-                    .solve_warm(RaiseRule::Narrow, &self.config, budget)
+                self.solve_full_warm(RaiseRule::Narrow, budget)
             } else {
                 self.full.solve(RaiseRule::Narrow, &self.config, budget)
             }
         } else if warm {
-            self.full.solve_warm(RaiseRule::Unit, &self.config, budget)
+            self.solve_full_warm(RaiseRule::Unit, budget)
         } else {
             self.full.solve(RaiseRule::Unit, &self.config, budget)
         };
+        // An announcement not consumed by an overlapped solve (cold mode,
+        // mixed split, empty live set) is dropped: the next step simply
+        // materializes its batch inline.
+        self.lookahead.clear();
         let solve_elapsed = solve_start.elapsed();
         drop(solve_span);
         let solve_seconds = solve_elapsed.as_secs_f64();
@@ -1091,11 +1233,25 @@ impl ServiceSession {
         if quality.is_truncated() {
             self.metrics.truncated_epochs.inc();
         }
-        // Truncated epochs are valid rate samples too: the engine checks
-        // the budget between rounds, so (rounds run, seconds spent) holds
-        // regardless of where the cut landed.
-        self.calibration
-            .observe(solution.diagnostics.steps, solve_seconds);
+        // Only full solves are rate samples. A truncated epoch's few
+        // rounds carry the epoch's whole fixed overhead, so its
+        // seconds-per-round reads high; feeding it would shrink the next
+        // compiled cap, truncate earlier, and ratchet the caps toward the
+        // floor (reproduced by `budget::tests::
+        // truncated_samples_ratchet_compiled_caps_downward`).
+        if quality.is_full() {
+            self.calibration
+                .observe(solution.diagnostics.steps, solve_seconds);
+        }
+        if let Some(view) = &self.view {
+            view.publish(ScheduleSnapshot::capture(
+                self.epoch,
+                &self.schedule,
+                self.certificate,
+                self.profit,
+                quality,
+            ));
+        }
         self.last = Some(solution);
         self.metrics
             .delta_emit_ns
@@ -1127,60 +1283,33 @@ impl ServiceSession {
         })
     }
 
-    /// Computes the universe splice inputs of a validated arrival batch:
-    /// one [`ArrivingDemand`] per request (instances in the canonical
-    /// `problem.universe()` enumeration order) and, for tree sessions, the
-    /// per-instance layering assignments.
-    fn materialize(
-        &self,
-        arrivals: &[DemandRequest],
-    ) -> (Vec<ArrivingDemand>, Vec<TreeAssignments>) {
-        let mut arrivings = Vec::with_capacity(arrivals.len());
-        let mut assignments = Vec::with_capacity(arrivals.len());
-        for request in arrivals {
-            let mut instances = Vec::new();
-            let mut assigns: TreeAssignments = Vec::new();
-            match (&self.base, request) {
-                (BaseProblem::Tree(base), DemandRequest::Tree { u, v, access, .. }) => {
-                    let layerer = self.layerer.as_ref().expect("tree sessions have a layerer");
-                    for &t in access {
-                        let tree = base.network(t);
-                        let path = tree.path_edges(*u, *v);
-                        assigns.push(layerer.assign(tree, t, *u, *v, &path));
-                        instances.push((t, path, None));
-                    }
-                }
-                (
-                    BaseProblem::Line(_),
-                    DemandRequest::Line {
-                        release,
-                        deadline,
-                        processing,
-                        ..
-                    },
-                ) => {
-                    let last_start = deadline + 1 - processing;
-                    for &t in request.access() {
-                        for start in *release..=last_start {
-                            let end = start + processing - 1;
-                            instances.push((
-                                t,
-                                EdgePath::interval(start as usize, end as usize),
-                                Some(start),
-                            ));
-                        }
-                    }
-                }
-                _ => unreachable!("validated requests match the session shape"),
-            }
-            arrivings.push(ArrivingDemand {
-                profit: request.profit(),
-                height: request.height(),
-                instances,
-            });
-            assignments.push(assigns);
+    /// [`LiveCore::solve_warm`] on the full core, overlapping the
+    /// materialization of any announced lookahead batch with the engine's
+    /// phase-2 replay on a scoped thread. Phase 2 only pops the frozen MIS
+    /// stack, and materialization reads only the immutable topology, so
+    /// the solution is bit-identical to the sequential path (no
+    /// announcement → exactly the sequential path, no thread spawned).
+    fn solve_full_warm(&mut self, rule: RaiseRule, budget: &Budget) -> Solution {
+        if self.lookahead.is_empty() {
+            return self.full.solve_warm(rule, &self.config, budget);
         }
-        (arrivings, assignments)
+        let lookahead = std::mem::take(&mut self.lookahead);
+        // Disjoint field borrows: the solve holds `self.full` mutably
+        // while the overlap thread reads only `base` and `layerer`.
+        let base = &self.base;
+        let layerer = self.layerer.as_ref();
+        let (solution, (arrivals, (arrivings, assignments))) =
+            self.full
+                .solve_warm_overlapped(rule, &self.config, budget, move || {
+                    let materialized = materialize_arrivals(base, layerer, &lookahead);
+                    (lookahead, materialized)
+                });
+        self.staged = Some(StagedBatch {
+            arrivals,
+            arrivings,
+            assignments,
+        });
+        solution
     }
 
     /// Splices the epoch's (already full-core-applied) delta through the
@@ -1575,6 +1704,65 @@ impl ServiceSession {
         }
         Ok(session)
     }
+}
+
+/// Computes the universe splice inputs of a validated arrival batch: one
+/// [`ArrivingDemand`] per request (instances in the canonical
+/// `problem.universe()` enumeration order) and, for tree sessions, the
+/// per-instance layering assignments. A free function over the immutable
+/// topology (not a session method) so the overlapped solve can run it on
+/// a scoped thread while the session's cores are mutably borrowed.
+fn materialize_arrivals(
+    base: &BaseProblem,
+    layerer: Option<&TreeLayerer>,
+    arrivals: &[DemandRequest],
+) -> (Vec<ArrivingDemand>, Vec<TreeAssignments>) {
+    let mut arrivings = Vec::with_capacity(arrivals.len());
+    let mut assignments = Vec::with_capacity(arrivals.len());
+    for request in arrivals {
+        let mut instances = Vec::new();
+        let mut assigns: TreeAssignments = Vec::new();
+        match (base, request) {
+            (BaseProblem::Tree(base), DemandRequest::Tree { u, v, access, .. }) => {
+                let layerer = layerer.expect("tree sessions have a layerer");
+                for &t in access {
+                    let tree = base.network(t);
+                    let path = tree.path_edges(*u, *v);
+                    assigns.push(layerer.assign(tree, t, *u, *v, &path));
+                    instances.push((t, path, None));
+                }
+            }
+            (
+                BaseProblem::Line(_),
+                DemandRequest::Line {
+                    release,
+                    deadline,
+                    processing,
+                    ..
+                },
+            ) => {
+                let last_start = deadline + 1 - processing;
+                for &t in request.access() {
+                    for start in *release..=last_start {
+                        let end = start + processing - 1;
+                        instances.push((
+                            t,
+                            EdgePath::interval(start as usize, end as usize),
+                            Some(start),
+                        ));
+                    }
+                }
+            }
+            _ => unreachable!("validated requests match the session shape"),
+        }
+        arrivings.push(ArrivingDemand {
+            profit: request.profit(),
+            height: request.height(),
+            instances,
+        });
+        assignments.push(assigns);
+    }
+    (arrivings, assignments)
 }
 
 /// Sorts and deduplicates the access set, mirroring `add_demand`.

@@ -1,0 +1,247 @@
+//! Contract suite of the pipelined serving tier (`ScheduleView` /
+//! `prefetch_arrivals` / `PipelinedService`).
+//!
+//! Three properties, none of them assumed:
+//!
+//! 1. **No torn or uncertified reads.** Readers spinning on a
+//!    [`ScheduleReader`] while the writer churns epochs only ever see
+//!    whole published snapshots: every observation passes its publish-time
+//!    fingerprint check, epochs are monotone, and the recorded staleness
+//!    never exceeds one epoch.
+//! 2. **Publication and prefetching are invisible to results.** A session
+//!    with a view attached — and a session whose batches are announced
+//!    via [`ServiceSession::prefetch_arrivals`] — produce bit-identical
+//!    deltas, schedules and certificates to a plain session over the same
+//!    trace.
+//! 3. **The pipelined frontend is just a seating arrangement.** Replaying
+//!    a trace through [`PipelinedService`] (one submission per epoch,
+//!    queue lookahead feeding the prefetch) matches direct
+//!    [`ServiceSession::step`] calls exactly.
+
+mod common;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use common::line_trace;
+use netsched_core::AlgorithmConfig;
+use netsched_service::{
+    replay_trace, DemandEvent, DemandRequest, DemandTicket, PipelinedService, ResolveMode,
+    ScheduleDelta, ServiceSession,
+};
+use netsched_workloads::{EventTrace, TraceEvent};
+
+fn to_events(batch: &[TraceEvent], tickets: &[DemandTicket]) -> Vec<DemandEvent> {
+    batch
+        .iter()
+        .map(|event| match event {
+            TraceEvent::ArriveLine {
+                release,
+                deadline,
+                processing,
+                profit,
+                height,
+                access,
+            } => DemandEvent::Arrive(DemandRequest::Line {
+                release: *release,
+                deadline: *deadline,
+                processing: *processing,
+                profit: *profit,
+                height: *height,
+                access: access.clone(),
+            }),
+            TraceEvent::Expire { arrival } => DemandEvent::Expire(tickets[*arrival]),
+            TraceEvent::ArriveTree { .. } => unreachable!("line traces only"),
+        })
+        .collect()
+}
+
+/// Zeroes the wall-clock timing fields so deltas compare on structure:
+/// everything else — tickets, admissions, evictions, reassignments,
+/// profit, certificate, shard/instance counts, quality — must match bit
+/// for bit.
+fn scrub(mut deltas: Vec<ScheduleDelta>) -> Vec<ScheduleDelta> {
+    for delta in &mut deltas {
+        delta.stats.rebuild_seconds = 0.0;
+        delta.stats.solve_seconds = 0.0;
+        delta.stats.journal_seconds = 0.0;
+    }
+    deltas
+}
+
+fn arrivals_of(events: &[DemandEvent]) -> Vec<DemandRequest> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            DemandEvent::Arrive(r) => Some(r.clone()),
+            DemandEvent::Expire(_) => None,
+        })
+        .collect()
+}
+
+/// The trace's batches as `DemandEvent` batches, resolving expiries
+/// through the session's ticket numbering (tickets are assigned in
+/// admission order, so the table can be computed without stepping).
+fn event_batches(trace: &EventTrace, initial: Vec<DemandTicket>) -> Vec<Vec<DemandEvent>> {
+    let mut tickets = initial;
+    let mut next = tickets.len() as u64;
+    let mut batches = Vec::with_capacity(trace.batches.len());
+    for batch in &trace.batches {
+        let events = to_events(batch, &tickets);
+        for event in &events {
+            if matches!(event, DemandEvent::Arrive(_)) {
+                tickets.push(DemandTicket(next));
+                next += 1;
+            }
+        }
+        batches.push(events);
+    }
+    batches
+}
+
+#[test]
+fn concurrent_readers_see_only_whole_certified_snapshots() {
+    let (problem, trace) = line_trace(4, 30, 97, 0.3);
+    let mut session = ServiceSession::for_line(&problem, AlgorithmConfig::deterministic(0.1))
+        .with_resolve_mode(ResolveMode::Warm);
+    let view = session.schedule_view();
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        for _ in 0..3 {
+            let mut reader = view.reader();
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut last_epoch = 0u64;
+                let mut reads = 0u64;
+                while !stop.load(Ordering::Acquire) || reads == 0 {
+                    let snap = reader.read();
+                    assert!(
+                        snap.verify_fingerprint(),
+                        "torn snapshot at epoch {}",
+                        snap.epoch()
+                    );
+                    assert!(
+                        snap.epoch() >= last_epoch,
+                        "published epochs must be monotone ({} after {})",
+                        snap.epoch(),
+                        last_epoch
+                    );
+                    // Internal consistency: the certificate published with
+                    // a schedule must dominate its profit (weak duality) —
+                    // a reader pairing fields from different epochs would
+                    // trip this.
+                    assert!(
+                        snap.certificate().optimum_upper_bound + 1e-6 >= snap.profit(),
+                        "certificate/profit mismatch at epoch {}",
+                        snap.epoch()
+                    );
+                    last_epoch = snap.epoch();
+                    reads += 1;
+                }
+            });
+        }
+        // The writer churns through the trace while the readers spin.
+        replay_trace(&mut session, &trace).expect("trace replays");
+        stop.store(true, Ordering::Release);
+    });
+
+    let report = session.obs_registry().snapshot();
+    let staleness = report
+        .histogram("read.staleness_epochs")
+        .expect("readers recorded staleness");
+    assert!(staleness.count >= 3, "every reader flushed its tallies");
+    assert!(
+        staleness.max <= 1,
+        "staleness is bounded by one epoch, saw {}",
+        staleness.max
+    );
+    assert_eq!(report.counter("read.count"), Some(staleness.count));
+    let final_epoch = view.published_epoch();
+    assert_eq!(final_epoch, session.epoch(), "last epoch was published");
+    assert!(!view.epoch_in_flight());
+}
+
+#[test]
+fn views_and_prefetching_never_change_results() {
+    let (problem, trace) = line_trace(4, 28, 41, 0.25);
+    let config = AlgorithmConfig::deterministic(0.1);
+
+    for mode in [ResolveMode::Cold, ResolveMode::Warm] {
+        // Baseline: plain session.
+        let mut plain = ServiceSession::for_line(&problem, config).with_resolve_mode(mode);
+        let plain_deltas = replay_trace(&mut plain, &trace).expect("plain replay");
+
+        // A view attached before the first epoch.
+        let mut viewed = ServiceSession::for_line(&problem, config).with_resolve_mode(mode);
+        let view = viewed.schedule_view();
+        let viewed_deltas = replay_trace(&mut viewed, &trace).expect("viewed replay");
+        assert_eq!(
+            scrub(plain_deltas.clone()),
+            scrub(viewed_deltas),
+            "{mode:?}: view changed results"
+        );
+        let mut reader = view.reader();
+        let snap = reader.read();
+        assert_eq!(snap.schedule(), viewed.schedule());
+        assert_eq!(snap.certificate(), plain.certificate());
+        assert!((snap.profit() - plain.profit()).abs() < 1e-12);
+
+        // Every batch announced one epoch ahead.
+        let mut prefetched = ServiceSession::for_line(&problem, config).with_resolve_mode(mode);
+        let batches = event_batches(&trace, prefetched.live_tickets());
+        let mut prefetched_deltas: Vec<ScheduleDelta> = Vec::new();
+        for (i, events) in batches.iter().enumerate() {
+            if let Some(next) = batches.get(i + 1) {
+                let upcoming = arrivals_of(next);
+                if !upcoming.is_empty() {
+                    prefetched.prefetch_arrivals(&upcoming).expect("valid");
+                }
+            }
+            prefetched_deltas.push(prefetched.step(events).expect("prefetched replay"));
+        }
+        assert_eq!(
+            scrub(plain_deltas),
+            scrub(prefetched_deltas),
+            "{mode:?}: prefetch changed results"
+        );
+        if mode == ResolveMode::Warm {
+            // The warm path actually exercised the overlapped solve.
+            let hits = prefetched
+                .obs_registry()
+                .snapshot()
+                .counter("pipeline.prefetch_hits")
+                .unwrap_or(0);
+            assert!(hits > 0, "warm replay never consumed a staged batch");
+        }
+    }
+}
+
+#[test]
+fn pipelined_service_matches_direct_stepping() {
+    let (problem, trace) = line_trace(3, 24, 7, 0.3);
+    let config = AlgorithmConfig::deterministic(0.1);
+
+    let mut direct =
+        ServiceSession::for_line(&problem, config).with_resolve_mode(ResolveMode::Warm);
+    let direct_deltas = replay_trace(&mut direct, &trace).expect("direct replay");
+
+    let session = ServiceSession::for_line(&problem, config).with_resolve_mode(ResolveMode::Warm);
+    let batches = event_batches(&trace, session.live_tickets());
+    let service = PipelinedService::new(session);
+    // Submit everything up front so the worker's queue lookahead (and thus
+    // the prefetch path) engages, then collect in order.
+    let handles: Vec<_> = batches
+        .into_iter()
+        .map(|events| service.submit(events).expect("accepted"))
+        .collect();
+    let piped_deltas: Vec<ScheduleDelta> = handles
+        .into_iter()
+        .map(|h| h.wait().expect("epoch ran"))
+        .collect();
+    assert_eq!(scrub(direct_deltas), scrub(piped_deltas));
+
+    let session = service.shutdown();
+    assert_eq!(session.epoch(), direct.epoch());
+    assert_eq!(session.schedule(), direct.schedule());
+    assert_eq!(session.certificate(), direct.certificate());
+}
